@@ -1,0 +1,134 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Not exhibits from the paper — these quantify the *reasons* behind the
+paper's choices using the same simulated machinery:
+
+1. peeling vs dynamic padding vs static padding on odd sizes;
+2. STRASSEN1-general child-scheme ablation (the paper's "same algorithm"
+   recursion costs 2m^2; switching beta=0 children to the two-temporary
+   scheme would reach 5m^2/3);
+3. cutoff-criterion ablation at a fixed size (theoretical 12 vs tuned);
+4. STRASSEN2 vs STRASSEN1 in the beta=0 case (the paper found STRASSEN2
+   competitive despite extra accumulate work — Figure 5's discussion).
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.context import ExecutionContext
+from repro.core.cutoff import SimpleCutoff, TheoreticalCutoff
+from repro.core.dgefmm import dgefmm
+from repro.core.workspace import Workspace
+from repro.harness.simtime import (
+    paper_hybrid_cutoff,
+    sim_dgefmm,
+    sim_dgemmw,
+    sim_essl,
+)
+from repro.machines.presets import RS6000
+from repro.phantom import Phantom
+from repro.utils.tables import format_table
+
+
+def test_ablation_odd_dimension_strategies(benchmark):
+    """Peeling (DGEFMM) vs dynamic padding (DGEMMW) vs static padding
+    (ESSL-style) on a sweep of odd orders: the paper's [14] analysis
+    says peeling wins; measure it."""
+
+    def run():
+        rows = []
+        crit = paper_hybrid_cutoff("RS6000")
+        for m in [401, 403, 501, 801, 1001, 1601]:
+            t_peel = sim_dgefmm(RS6000, m, m, m, cutoff=crit)
+            t_dyn = sim_dgemmw(RS6000, m, m, m)
+            t_stat = sim_essl(RS6000, m, m, m)
+            rows.append((m, t_peel, t_dyn, t_stat))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "Ablation: odd-dimension strategies (simulated RS/6000 seconds)",
+        format_table(
+            ["m (odd)", "peeling", "dynamic pad", "static pad"],
+            [(m, f"{a:.4f}", f"{b:.4f}", f"{c:.4f}")
+             for m, a, b, c in rows],
+        ),
+    )
+    # peeling never loses to either padding strategy on odd sizes
+    for _m, t_peel, t_dyn, t_stat in rows:
+        assert t_peel <= t_dyn * 1.005
+        assert t_peel <= t_stat * 1.005
+
+
+def test_ablation_strassen1_child_scheme(benchmark):
+    """Table 1 gives STRASSEN1-general 2m^2 under same-algorithm
+    recursion; the beta=0 children could drop to the two-temporary
+    scheme, reaching 5m^2/3 — the ablation the paper's bound implies."""
+
+    def peak(scheme):
+        ctx = ExecutionContext(dry=True)
+        ws = Workspace(dry=True)
+        m = 2048
+        dgefmm(Phantom(m, m), Phantom(m, m), Phantom(m, m), 1.0, 1.0,
+               scheme=scheme, cutoff=SimpleCutoff(16), ctx=ctx,
+               workspace=ws)
+        return ws.peak_elements / m**2
+
+    same_alg = benchmark.pedantic(
+        lambda: peak("strassen1"), rounds=1, iterations=1)
+    # "auto" with beta != 0 dispatches STRASSEN2 (m^2); the hypothetical
+    # beta0-children variant sits between: verify the ordering bound
+    s2 = peak("strassen2")
+    emit(
+        "Ablation: STRASSEN1 child-scheme memory",
+        f"same-algorithm children: {same_alg:.3f} m^2 (paper 2 m^2)\n"
+        f"STRASSEN2 instead:       {s2:.3f} m^2 (paper 1 m^2)",
+    )
+    assert same_alg == pytest.approx(2.0, abs=0.02)
+    assert s2 == pytest.approx(1.0, abs=0.02)
+
+
+def test_ablation_cutoff_choice(benchmark):
+    """Theoretical cutoff 12 over-recurses badly on a real cost model;
+    the tuned hybrid criterion is what makes Strassen practical."""
+
+    def run():
+        m = 1024
+        t_theory = sim_dgefmm(RS6000, m, m, m, cutoff=TheoreticalCutoff())
+        t_tuned = sim_dgefmm(RS6000, m, m, m,
+                             cutoff=paper_hybrid_cutoff("RS6000"))
+        t_none = sim_dgefmm(RS6000, m, m, m, cutoff=SimpleCutoff(10**9))
+        return t_theory, t_tuned, t_none
+
+    t_theory, t_tuned, t_none = benchmark.pedantic(
+        run, rounds=1, iterations=1)
+    emit(
+        "Ablation: cutoff criterion at m=1024 (simulated RS/6000)",
+        f"theoretical (tau=12): {t_theory:.4f}s\n"
+        f"tuned hybrid:         {t_tuned:.4f}s\n"
+        f"no recursion:         {t_none:.4f}s",
+    )
+    assert t_tuned < t_theory        # tuning beats operation counts
+    assert t_tuned < t_none          # and beats plain DGEMM
+
+
+def test_ablation_schemes_beta0(benchmark):
+    """STRASSEN2's extra accumulates cost little even where STRASSEN1's
+    beta=0 specialization is available (paper: 'no time penalty')."""
+
+    def run():
+        m = 1024
+        crit = paper_hybrid_cutoff("RS6000")
+        t1 = sim_dgefmm(RS6000, m, m, m, 1.0, 0.0, cutoff=crit)
+        ctx = ExecutionContext(RS6000, dry=True)
+        dgefmm(Phantom(m, m), Phantom(m, m), Phantom(m, m), 1.0, 0.0,
+               scheme="strassen2", cutoff=crit, ctx=ctx)
+        return t1, ctx.elapsed
+
+    t_s1, t_s2 = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "Ablation: STRASSEN1(beta=0) vs STRASSEN2 at m=1024",
+        f"STRASSEN1 path: {t_s1:.4f}s   STRASSEN2 path: {t_s2:.4f}s "
+        f"(penalty {100 * (t_s2 / t_s1 - 1):.2f}%)",
+    )
+    assert t_s2 / t_s1 < 1.03  # within 3%: "no time penalty" holds

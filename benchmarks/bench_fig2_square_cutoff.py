@@ -1,0 +1,27 @@
+"""Figure 2: the square-cutoff crossover scan on the RS/6000 model."""
+
+from benchmarks.conftest import emit
+from repro.harness import experiments as E
+
+
+def test_fig2_square_cutoff(benchmark):
+    d = benchmark(E.fig2_square_cutoff)
+    pts = d["points"]
+    # a crude ASCII rendition of the saw-toothed ratio curve
+    lines = []
+    for m, r in pts[::5]:
+        bar = "#" * max(0, int((r - 0.9) * 200))
+        lines.append(f"  {m:4d} {r:6.3f} {bar}")
+    emit(
+        "Figure 2: DGEMM/DGEFMM(1 level) vs square order, RS/6000",
+        "\n".join(
+            [
+                f"first win {d['first_win']} (paper 176), always "
+                f"{d['always_win']} (paper 214), recommended "
+                f"{d['recommended']} (paper chose 199)",
+            ]
+            + lines
+        ),
+    )
+    assert abs(d["recommended"] - 199) <= 5
+    assert d["first_win"] < 199 < d["always_win"]

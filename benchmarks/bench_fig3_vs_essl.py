@@ -1,0 +1,29 @@
+"""Figure 3: DGEFMM / IBM ESSL DGEMMS ratio on the RS/6000."""
+
+from benchmarks.conftest import emit
+from repro.harness import experiments as E
+
+
+def test_fig3_vs_essl(benchmark):
+    d = benchmark.pedantic(
+        lambda: E.fig3_vs_essl(step=25), rounds=1, iterations=1
+    )
+    pts = d["beta0"]["points"]
+    sample = "  ".join(f"{m}:{r:.3f}" for m, r in pts[::8])
+    emit(
+        "Figure 3: DGEFMM / ESSL DGEMMS, RS/6000",
+        "\n".join(
+            [
+                f"beta=0 average {d['beta0']['average']:.4f} "
+                f"(paper 1.052); general average "
+                f"{d['general']['average']:.4f} (paper 1.028)",
+                f"series sample: {sample}",
+            ]
+        ),
+    )
+    # vendor code slightly ahead on its own machine, within ~2% of paper
+    assert abs(d["beta0"]["average"] - 1.052) < 0.02
+    # the general case narrows the gap (ESSL needs the caller update)
+    assert d["general"]["average"] < d["beta0"]["average"]
+    # ratios hover near 1: competitive everywhere, never off by > 15%
+    assert all(0.85 < r < 1.2 for _, r in pts)

@@ -1,0 +1,24 @@
+"""Figure 6: DGEFMM / DGEMMW on random rectangular problems."""
+
+from benchmarks.conftest import emit
+from repro.harness import experiments as E
+
+
+def test_fig6_rectangular(benchmark):
+    d = benchmark.pedantic(
+        lambda: E.fig6_rect_vs_dgemmw(count=150), rounds=1, iterations=1
+    )
+    emit(
+        "Figure 6: DGEFMM / DGEMMW, random rectangular, RS/6000",
+        f"general average {d['general']['average']:.4f} (paper 0.974); "
+        f"beta=0 average {d['beta0']['average']:.4f} (paper 0.999)",
+    )
+    # rectangular problems favour DGEFMM more than square ones did
+    # (hybrid criterion catches extra recursions; peeling beats padding)
+    f5 = E.fig5_vs_dgemmw(step=100)
+    assert d["general"]["average"] < f5["general"]["average"] + 0.01
+    assert d["general"]["average"] < 0.99
+    assert d["beta0"]["average"] < 1.0
+    # x-axis range matches the paper's 10^7..10^10.5 operation window
+    xs = [x for x, _ in d["general"]["points"]]
+    assert min(xs) > 6.5 and max(xs) < 10.6

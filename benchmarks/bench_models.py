@@ -1,0 +1,46 @@
+"""Model-ladder bench: predicted vs empirical cutoffs (Section 3.4).
+
+Quantifies the paper's argument that "operation count is not an accurate
+enough predictor of performance to be used to tune actual code": each
+rung of the [14]-style model ladder predicts a square crossover, compared
+against the empirical cutoffs of the calibrated machines (Table 2).
+"""
+
+from benchmarks.conftest import emit
+from repro.models import (
+    MemoryTrafficModel,
+    OperationCountModel,
+    WeightedOpsModel,
+    predicted_square_crossover,
+)
+from repro.utils.tables import format_table
+
+
+def run_ladder():
+    rungs = [
+        ("operation count", OperationCountModel()),
+        ("weighted ops (g=5)", WeightedOpsModel(add_weight=5.0)),
+        ("weighted ops (g=10)", WeightedOpsModel(add_weight=10.0)),
+        ("traffic (Z=32Kw, w=4)",
+         MemoryTrafficModel(cache_words=32768, word_cost=4.0)),
+        ("traffic (Z=128Kw, w=4)",
+         MemoryTrafficModel(cache_words=131072, word_cost=4.0)),
+    ]
+    return [(name, predicted_square_crossover(m)) for name, m in rungs]
+
+
+def test_model_ladder(benchmark):
+    rows = benchmark.pedantic(run_ladder, rounds=1, iterations=1)
+    emit(
+        "Model ladder: predicted square crossovers "
+        "(empirical: RS/6000 199, C90 129, T3D 325)",
+        format_table(["model", "predicted tau"], rows),
+    )
+    by = dict(rows)
+    # the ladder's monotone story
+    assert by["operation count"] < 25
+    assert by["operation count"] < by["weighted ops (g=5)"]
+    assert by["weighted ops (g=5)"] < by["traffic (Z=32Kw, w=4)"]
+    # refined rungs land in the empirical decade, op count does not
+    assert 60 <= by["weighted ops (g=5)"] <= 400
+    assert 100 <= by["traffic (Z=32Kw, w=4)"] <= 500

@@ -1,0 +1,21 @@
+"""Section 2 analysis: operation-count model headline numbers."""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.harness import experiments as E
+
+
+def test_section2_opcounts(benchmark):
+    d = benchmark(E.section2_opcounts)
+    emit(
+        "Section 2 operation-count analysis",
+        "\n".join(
+            f"  {k}: {v}" for k, v in d.items() if k != "paper"
+        ),
+    )
+    assert d["theoretical_square_cutoff"] == 12
+    assert d["cutoff_improvement_256"] == pytest.approx(0.382, abs=0.002)
+    assert d["winograd_improvement_full"] == pytest.approx(0.143, abs=0.001)
+    assert d["winograd_improvement_m7"] == pytest.approx(0.0526, abs=0.0005)
+    assert d["winograd_improvement_m12"] == pytest.approx(0.0345, abs=0.0005)

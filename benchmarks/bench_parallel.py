@@ -1,0 +1,54 @@
+"""Parallel-extension bench: pdgefmm vs serial DGEFMM (wall clock).
+
+Speedup depends on host core count (a single-core container shows ~1x or
+slightly below due to pool overhead), so the bench *reports* the ratio
+and asserts only correctness and the documented memory trade.
+"""
+
+import os
+import time
+
+import numpy as np
+
+from benchmarks.conftest import emit
+from repro.core.cutoff import SimpleCutoff
+from repro.core.dgefmm import dgefmm
+from repro.core.parallel import pdgefmm
+from repro.core.workspace import Workspace
+
+
+def test_parallel_level(benchmark):
+    m = 768
+    rng = np.random.default_rng(0)
+    a = np.asfortranarray(rng.standard_normal((m, m)))
+    b = np.asfortranarray(rng.standard_normal((m, m)))
+    c_s = np.zeros((m, m), order="F")
+    c_p = np.zeros((m, m), order="F")
+    crit = SimpleCutoff(128)
+
+    def best(fn, n=3):
+        ts = []
+        for _ in range(n):
+            t0 = time.perf_counter()
+            fn()
+            ts.append(time.perf_counter() - t0)
+        return min(ts)
+
+    t_serial = best(lambda: dgefmm(a, b, c_s, cutoff=crit))
+    t_par = benchmark.pedantic(
+        lambda: best(lambda: pdgefmm(a, b, c_p, cutoff=crit)),
+        rounds=1, iterations=1,
+    )
+    ws_s, ws_p = Workspace(), Workspace()
+    dgefmm(a, b, c_s, cutoff=crit, workspace=ws_s)
+    pdgefmm(a, b, c_p, cutoff=crit, workspace=ws_p)
+    emit(
+        "Parallel extension: pdgefmm vs dgefmm, m=768",
+        f"serial {t_serial:.3f} s, parallel {t_par:.3f} s "
+        f"(speedup {t_serial / t_par:.2f}x on {os.cpu_count()} cpus)\n"
+        f"workspace: serial {ws_s.peak_elements / m**2:.3f} m^2, "
+        f"parallel {ws_p.peak_elements / m**2:.3f} m^2 "
+        f"(the memory-for-parallelism trade)",
+    )
+    np.testing.assert_allclose(c_p, c_s, atol=1e-9)
+    assert ws_p.peak_bytes > 2 * ws_s.peak_bytes

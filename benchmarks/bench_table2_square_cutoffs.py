@@ -1,0 +1,25 @@
+"""Table 2: empirical square cutoffs on RS/6000, C90, T3D."""
+
+from benchmarks.conftest import emit
+from repro.harness import experiments as E
+from repro.utils.tables import format_table
+
+
+def test_table2_square_cutoffs(benchmark):
+    rows = benchmark(E.table2_square_cutoffs)
+    emit(
+        "Table 2: empirical square cutoffs",
+        format_table(
+            ["machine", "measured tau", "paper tau", "band"],
+            [
+                (r["machine"], r["measured_tau"], r["paper_tau"],
+                 f"[{r['first_win']}, {r['always_win']}]")
+                for r in rows
+            ],
+        ),
+    )
+    for r in rows:
+        assert abs(r["measured_tau"] - r["paper_tau"]) <= 6
+    # ordering across machines: C90 < RS6000 < T3D (paper 129/199/325)
+    taus = {r["machine"]: r["measured_tau"] for r in rows}
+    assert taus["C90"] < taus["RS6000"] < taus["T3D"]

@@ -1,0 +1,33 @@
+"""Table 3: rectangular cutoff parameters (long-thin crossovers)."""
+
+from benchmarks.conftest import emit
+from repro.harness import experiments as E
+from repro.utils.tables import format_table
+
+
+def test_table3_rect_params(benchmark):
+    rows = benchmark(E.table3_rect_params)
+    emit(
+        "Table 3: rectangular cutoff parameters",
+        format_table(
+            ["machine", "tau_m", "tau_k", "tau_n", "sum", "paper",
+             "paper sum"],
+            [
+                (r["machine"], r["tau_m"], r["tau_k"], r["tau_n"],
+                 r["sum"], str(r["paper"]), r["paper_sum"])
+                for r in rows
+            ],
+        ),
+    )
+    for r in rows:
+        pm, pk, pn = r["paper"]
+        assert abs(r["tau_m"] - pm) <= 8
+        assert abs(r["tau_k"] - pk) <= 8
+        assert abs(r["tau_n"] - pn) <= 8
+    # the paper's asymmetry observations survive:
+    by = {r["machine"]: r for r in rows}
+    # RS/6000: sum differs from tau=199 by ~100 (DGEMM long-thin differs)
+    assert by["RS6000"]["sum"] > 199 + 60
+    # DGEMM performance is not symmetric in the dimensions
+    assert by["RS6000"]["tau_k"] > by["RS6000"]["tau_m"]
+    assert by["C90"]["tau_m"] > by["C90"]["tau_n"]

@@ -1,0 +1,57 @@
+"""Table 4: comparison of cutoff criteria on random problems."""
+
+from benchmarks.conftest import emit
+from repro.harness import experiments as E
+from repro.machines.presets import MACHINES
+from repro.utils.tables import format_table
+
+#: paper Table 4 averages for reference in the output
+PAPER_AVG = {
+    ("RS6000", "(15)/(11)"): 0.9529,
+    ("RS6000", "(15)/(12)"): 1.0017,
+    ("RS6000", "(15)/(12) two large"): 0.9888,
+    ("C90", "(15)/(11)"): 0.9375,
+    ("C90", "(15)/(12)"): 0.9428,
+    ("C90", "(15)/(12) two large"): 0.9098,
+    ("T3D", "(15)/(11)"): 0.9518,
+    ("T3D", "(15)/(12)"): 0.9777,
+    ("T3D", "(15)/(12) two large"): 0.9340,
+}
+
+
+def run_all():
+    rows = []
+    for mach in MACHINES.values():
+        rows.extend(
+            E.table4_criteria(mach, sample=100, sample_higham=300,
+                              sample_two_large=60)
+        )
+    return rows
+
+
+def test_table4_criteria(benchmark):
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    emit(
+        "Table 4: cutoff-criteria comparison (DGEFMM time ratios)",
+        format_table(
+            ["machine", "comparison", "n", "range", "quartiles",
+             "average", "paper avg"],
+            [
+                (r["machine"], r["comparison"], r["n"],
+                 f"{r['min']:.4f}-{r['max']:.4f}",
+                 f"{r['q1']:.4f};{r['median']:.4f};{r['q3']:.4f}",
+                 f"{r['mean']:.4f}",
+                 f"{PAPER_AVG[(r['machine'], r['comparison'])]:.4f}")
+                for r in rows
+            ],
+        ),
+    )
+    by = {(r["machine"], r["comparison"]): r for r in rows}
+    # the new criterion wins or ties everywhere (the paper's conclusion)
+    for mach in MACHINES:
+        assert by[(mach, "(15)/(11)")]["mean"] < 0.99
+        assert by[(mach, "(15)/(12) two large")]["mean"] < 1.01
+        assert by[(mach, "(15)/(12)")]["mean"] < 1.05
+    # RS/6000 averages land within ~0.03 of the paper's
+    assert abs(by[("RS6000", "(15)/(11)")]["mean"] - 0.9529) < 0.03
+    assert abs(by[("RS6000", "(15)/(12)")]["mean"] - 1.0017) < 0.03

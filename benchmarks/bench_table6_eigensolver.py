@@ -1,0 +1,38 @@
+"""Table 6: ISDA eigensolver with DGEMM vs DGEFMM (real wall clock)."""
+
+from benchmarks.conftest import emit
+from repro.harness import experiments as E
+from repro.utils.tables import format_table
+
+
+def test_table6_eigensolver(benchmark):
+    d = benchmark.pedantic(
+        lambda: E.table6_eigensolver(n=256, base_size=32),
+        rounds=1, iterations=1,
+    )
+    emit(
+        f"Table 6: ISDA eigensolver, n={d['n']} (paper: n=1000, RS/6000)",
+        format_table(
+            ["", "using DGEMM", "using DGEFMM", "paper DGEMM",
+             "paper DGEFMM"],
+            [
+                ("Total time (s)", f"{d['dgemm']['total_s']:.2f}",
+                 f"{d['dgefmm']['total_s']:.2f}", "1168", "974"),
+                ("MM time (s)", f"{d['dgemm']['mm_s']:.2f}",
+                 f"{d['dgefmm']['mm_s']:.2f}", "1030", "812"),
+            ],
+        )
+        + f"\nMM-time ratio {d['mm_ratio']:.3f} (paper 0.788); "
+        f"multiply-flop ratio {d['mul_flop_ratio']:.3f}",
+    )
+    # correctness is identical under the swap
+    assert d["dgemm"]["residual"] < 1e-7
+    assert d["dgefmm"]["residual"] < 1e-7
+    # the renaming deterministically removes multiply work (the source
+    # of the paper's ~20 % MM-time saving; wall seconds at this scaled
+    # order are too noisy to gate CI on, so they are reported only)
+    assert d["mul_flop_ratio"] < 0.95
+    # MM is a large share of total time; at the paper's n=1000 it is 88%,
+    # at this scaled-down order the O(n^3)-but-smaller-constant QR/Jacobi
+    # stages weigh more, so only a floor is asserted
+    assert d["dgemm"]["mm_s"] / d["dgemm"]["total_s"] > 0.25

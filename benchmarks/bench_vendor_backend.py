@@ -1,0 +1,59 @@
+"""Modern-host practicality: Strassen over a vendor (BLAS) base kernel.
+
+The paper's question, asked thirty years later on this host: with the
+base-case multiply delegated to numpy's tuned BLAS (`backend="vendor"`),
+does a Strassen level still pay?  The answer depends on the host's BLAS
+and threading; the bench reports the measured ratios and asserts only
+correctness (vendor kernels' speed is not ours to assert).
+"""
+
+import time
+
+import numpy as np
+
+from benchmarks.conftest import emit
+from repro.blas.level3 import dgemm
+from repro.core.cutoff import SimpleCutoff
+from repro.core.dgefmm import dgefmm
+
+
+def best(fn, n=3):
+    ts = []
+    for _ in range(n):
+        t0 = time.perf_counter()
+        fn()
+        ts.append(time.perf_counter() - t0)
+    return min(ts)
+
+
+def test_vendor_backend(benchmark):
+    rng = np.random.default_rng(0)
+    rows = []
+
+    def run():
+        for m in (1024, 1536):
+            a = np.asfortranarray(rng.standard_normal((m, m)))
+            b = np.asfortranarray(rng.standard_normal((m, m)))
+            c_v = np.zeros((m, m), order="F")
+            c_s = np.zeros((m, m), order="F")
+            t_v = best(lambda: dgemm(a, b, c_v, backend="vendor"))
+            crit = SimpleCutoff(m // 2 - 1)  # exactly one level
+            t_s = best(
+                lambda: dgefmm(a, b, c_s, cutoff=crit, backend="vendor")
+            )
+            np.testing.assert_allclose(c_s, c_v, atol=1e-8 * m)
+            rows.append((m, t_v, t_s, t_s / t_v))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "Vendor-backend: one Strassen level over numpy BLAS (this host)",
+        "\n".join(
+            f"  m={m}: vendor {tv:.3f} s, strassen+vendor {ts:.3f} s, "
+            f"ratio {r:.3f}"
+            for m, tv, ts, r in rows
+        )
+        + "\n  (< 1 means Strassen still pays over a tuned BLAS here)",
+    )
+    # correctness asserted inside run(); ratios are reported, not gated
+    assert all(r > 0 for *_x, r in rows)

@@ -1,0 +1,16 @@
+"""Benchmark-suite helpers.
+
+Every bench module regenerates one paper exhibit.  The ``benchmark``
+fixture times the experiment run itself (so ``--benchmark-only`` excludes
+none of them); the exhibit's content is printed so the run doubles as the
+reproduction log recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def emit(title: str, body: str) -> None:
+    """Print an exhibit so it lands in the benchmark session output."""
+    sys.stdout.write(f"\n===== {title} =====\n{body}\n")

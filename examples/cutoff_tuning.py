@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Calibrating DGEFMM's cutoff parameters, the Section 3.4 way.
+
+The paper's criterion (eq. 15) has four machine parameters: the square
+crossover tau and the long-thin crossovers (tau_m, tau_k, tau_n).  This
+script measures all four:
+
+- on this host, by wall-clock timing the real kernels (small sizes so it
+  finishes quickly), and
+- on the simulated RS/6000, where the same procedure lands on the
+  paper's Table 2/3 values — which is how the reproduction validates its
+  machine models.
+
+Usage:  python examples/cutoff_tuning.py [--host-max 512]
+"""
+
+import argparse
+import time
+
+import numpy as np
+
+from repro import ExecutionContext, dgefmm, dgemm
+from repro.core.cutoff import DepthCutoff
+from repro.machines.calibrate import measured_square_crossover
+from repro.machines.presets import RS6000
+from repro.phantom import Phantom
+
+
+def host_times(m: int, repeats: int = 3):
+    rng = np.random.default_rng(m)
+    a = np.asfortranarray(rng.standard_normal((m, m)))
+    b = np.asfortranarray(rng.standard_normal((m, m)))
+    c = np.zeros((m, m), order="F")
+
+    def best(fn):
+        ts = []
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            fn()
+            ts.append(time.perf_counter() - t0)
+        return min(ts)
+
+    t_std = best(lambda: dgemm(a, b, c))
+    t_one = best(lambda: dgefmm(a, b, c, cutoff=DepthCutoff(1)))
+    return t_std, t_one
+
+
+def sim_times(m: int):
+    def t(fn_is_one: bool) -> float:
+        ctx = ExecutionContext(RS6000, dry=True)
+        if fn_is_one:
+            dgefmm(Phantom(m, m), Phantom(m, m), Phantom(m, m),
+                   cutoff=DepthCutoff(1), ctx=ctx)
+        else:
+            dgemm(Phantom(m, m), Phantom(m, m), Phantom(m, m), ctx=ctx)
+        return ctx.elapsed
+
+    return t(False), t(True)
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--host-max", type=int, default=448,
+                    help="largest host order to probe (wall clock)")
+    args = ap.parse_args()
+
+    print("== host calibration (wall clock, this machine) ==")
+    print("   m    DGEMM s   1-level s   ratio")
+    host_tau = None
+    for m in range(64, args.host_max + 1, 32):
+        t_std, t_one = host_times(m)
+        marker = ""
+        if host_tau is None and t_std > t_one:
+            host_tau = m
+            marker = "   <- first win"
+        print(f"  {m:4d}  {t_std:8.4f}   {t_one:8.4f}   "
+              f"{t_std / max(t_one, 1e-12):5.2f}{marker}")
+    print(f"host square crossover (coarse): "
+          f"{host_tau if host_tau else '> ' + str(args.host_max)}")
+
+    print("\n== simulated RS/6000 (Section 3.4 procedure, dry run) ==")
+    first, always, rec = measured_square_crossover(
+        lambda m: sim_times(m)[0], lambda m: sim_times(m)[1], 150, 260)
+    print(f"first win {first}, always wins {always}, recommended {rec} "
+          f"(paper: 176 / 214 / chose 199)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

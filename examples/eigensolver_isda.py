@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""The paper's application study (Section 4.4): an ISDA eigensolver
+whose only change is "renaming DGEMM to DGEFMM".
+
+Solves a random symmetric eigenproblem twice — once with each multiply —
+and reports total time, matrix-multiplication time, and the residuals,
+i.e. this reproduction's Table 6.
+
+Usage:  python examples/eigensolver_isda.py [n]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.core.cutoff import SimpleCutoff
+from repro.eigensolver import GemmCounter, isda_eigh, make_gemm
+from repro.utils.matrixgen import random_symmetric
+
+
+def main() -> int:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 192
+    a = random_symmetric(n, seed=1996)
+    print(f"ISDA eigensolver, random symmetric {n}x{n} "
+          f"(paper: 1000x1000 on an RS/6000)\n")
+
+    results = {}
+    for kind in ("dgemm", "dgefmm"):
+        gemm = GemmCounter(
+            make_gemm(kind, cutoff=SimpleCutoff(96))
+        )
+        w, v, stats = isda_eigh(a, gemm, base_size=32)
+        resid = float(np.linalg.norm(a @ v - v * w))
+        wref = np.linalg.eigvalsh(a)
+        results[kind] = stats
+        print(f"using {kind.upper():7s}: total {stats.total_seconds:7.2f} s"
+              f"   MM {stats.gemm_seconds:7.2f} s in {stats.gemm_calls} "
+              f"calls   residual {resid:.2e}   "
+              f"max |w - w_ref| {np.max(np.abs(w - wref)):.2e}")
+
+    r = results["dgefmm"].gemm_seconds / results["dgemm"].gemm_seconds
+    print(f"\nMM-time ratio DGEFMM/DGEMM: {r:.3f} "
+          f"(paper: 812/1030 = 0.788)")
+    print("The only difference between the runs is the gemm callable — "
+          "the paper's 'renaming all calls to DGEMM as calls to DGEFMM'.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Accelerating a linear solver with Strassen (Bailey et al. [3]).
+
+The paper's reference [3] used Strassen's algorithm to accelerate dense
+linear-system solution; the mechanism is the same as the eigensolver
+study: blocked LU spends ~2n^3/3 flops in its trailing-matrix GEMM
+updates, so swapping that one callable swaps the whole solver's kernel.
+
+Usage:  python examples/linear_solver.py [n]
+"""
+
+import sys
+import time
+
+import numpy as np
+
+from repro.context import ExecutionContext
+from repro.core.cutoff import SimpleCutoff
+from repro.core.dgefmm import dgefmm
+from repro.blas.level3 import dgemm
+from repro.linalg import getrf, lu_solve
+from repro.utils.matrixgen import random_matrix
+
+
+def main() -> int:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 768
+    a = random_matrix(n, n, seed=0) + n * np.eye(n)
+    x_true = np.linspace(-1.0, 1.0, n)
+    b = a @ x_true
+
+    print(f"solving a random {n}x{n} system by blocked LU "
+          f"(panel n/4), GEMM swapped:\n")
+    for kind in ("dgemm", "dgefmm"):
+        ctx = ExecutionContext()
+        if kind == "dgemm":
+            def gemm(aa, bb, cc, alpha=1.0, beta=0.0):
+                dgemm(aa, bb, cc, alpha, beta, ctx=ctx)
+        else:
+            crit = SimpleCutoff(64)
+
+            def gemm(aa, bb, cc, alpha=1.0, beta=0.0):
+                dgefmm(aa, bb, cc, alpha, beta, cutoff=crit, ctx=ctx)
+
+        t0 = time.perf_counter()
+        lu, piv = getrf(a, gemm, block=max(64, n // 4))
+        t_fac = time.perf_counter() - t0
+        x = lu_solve(lu, piv, b)
+        err = float(np.max(np.abs(x - x_true)))
+        print(f"  {kind.upper():7s}: factor {t_fac:6.2f} s, "
+              f"{ctx.mul_flops / 1e9:.3f} G multiplies in updates, "
+              f"max |x - x_true| = {err:.2e}")
+    print("\nNote: the trailing updates after the first panels involve "
+          "tall-thin GEMMs\n(rank-64 updates), where the hybrid cutoff's "
+          "rectangular handling decides;\nStrassen engages fully once the "
+          "trailing blocks are large and square-ish.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

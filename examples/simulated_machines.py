@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Tour of the machine-simulation machinery.
+
+Walks the three calibrated 1996 machines through the Section 3.4
+experiments: the Figure 2 win band, the Table 3 asymmetry, a tuned
+eq. (15) criterion built from the measurements, and a recursion trace
+showing what that criterion decides on a concrete problem.
+
+Usage:  python examples/simulated_machines.py
+"""
+
+from repro.context import ExecutionContext
+from repro.core.dgefmm import dgefmm
+from repro.harness.tuning import tune_hybrid_cutoff
+from repro.machines.presets import FIXED_DIM, MACHINES
+from repro.phantom import Phantom
+from repro.utils.trace import render_trace, trace_summary
+
+
+def main() -> int:
+    for name, mach in MACHINES.items():
+        d = tune_hybrid_cutoff(mach, fixed=FIXED_DIM[name])
+        first, always = d["band"]
+        tm, tk, tn = d["rect"]
+        print(f"{name}:")
+        print(f"  square win band [{first}, {always}], tuned tau = "
+              f"{d['tau']}")
+        print(f"  long-thin crossovers (tau_m, tau_k, tau_n) = "
+              f"({tm}, {tk}, {tn})  sum {tm + tk + tn}")
+        crit = d["criterion"]
+        ctx = ExecutionContext(mach, dry=True, trace=True)
+        m, k, n = 160, 1957, 957   # the paper's criterion-(11) blind spot
+        dgefmm(Phantom(m, k), Phantom(k, n), Phantom(m, n),
+               cutoff=crit, ctx=ctx)
+        s = trace_summary(ctx.events)
+        print(f"  on {m}x{k}x{n}: {s['recurse']} recursions, "
+              f"{s['base']} base multiplies, depth {s['max_depth']}, "
+              f"modeled {ctx.elapsed:.3f} s")
+    print("\nrecursion trace for RS/6000 on 700x700x700, tuned criterion:")
+    mach = MACHINES["RS6000"]
+    crit = tune_hybrid_cutoff(mach)["criterion"]
+    ctx = ExecutionContext(mach, dry=True, trace=True)
+    dgefmm(Phantom(700, 700), Phantom(700, 700), Phantom(700, 700),
+           cutoff=crit, ctx=ctx)
+    print(render_trace(ctx.events))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,98 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+report    regenerate the paper's tables/figures (see harness.report)
+figures   export figure series as CSV files
+memory    print the Table 1 memory coefficients for a given order
+selftest  quick end-to-end verification of the installation
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_report(args) -> int:
+    from repro.harness.report import render
+
+    sys.stdout.write(render(args.only, args.full))
+    return 0
+
+
+def _cmd_figures(args) -> int:
+    from repro.harness.figdata import export_all_figures
+
+    paths = export_all_figures(args.outdir, fast=not args.full)
+    for p in paths:
+        print(p)
+    return 0
+
+
+def _cmd_memory(args) -> int:
+    from repro.harness.experiments import table1_memory
+    from repro.utils.tables import format_table
+
+    rows = table1_memory(m=args.order)
+    print(
+        format_table(
+            ["implementation", "beta=0 (m^2)", "general (m^2)"],
+            [
+                (r["implementation"], f"{r['beta0']:.3f}",
+                 f"{r['general']:.3f}")
+                for r in rows
+            ],
+            title=f"measured workspace coefficients, order {args.order}",
+        )
+    )
+    return 0
+
+
+def _cmd_selftest(args) -> int:
+    import numpy as np
+
+    from repro import SimpleCutoff, dgefmm, isda_eigh
+    from repro.utils.matrixgen import random_symmetric
+
+    rng = np.random.default_rng(0)
+    a = np.asfortranarray(rng.standard_normal((150, 130)))
+    b = np.asfortranarray(rng.standard_normal((130, 170)))
+    c = np.zeros((150, 170), order="F")
+    dgefmm(a, b, c, cutoff=SimpleCutoff(32))
+    ok_mm = bool(np.allclose(c, a @ b, atol=1e-9))
+    s = random_symmetric(48, seed=1)
+    w, v, _ = isda_eigh(s)
+    ok_eig = bool(np.allclose(w, np.linalg.eigvalsh(s), atol=1e-8))
+    print(f"dgefmm: {'ok' if ok_mm else 'FAILED'}")
+    print(f"isda_eigh: {'ok' if ok_eig else 'FAILED'}")
+    return 0 if (ok_mm and ok_eig) else 1
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(prog="python -m repro", description=__doc__)
+    sub = ap.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("report", help="regenerate paper exhibits")
+    p.add_argument("--only", default="", help="one exhibit, e.g. table4")
+    p.add_argument("--full", action="store_true")
+    p.set_defaults(fn=_cmd_report)
+
+    p = sub.add_parser("figures", help="export figure CSVs")
+    p.add_argument("--outdir", default="figures")
+    p.add_argument("--full", action="store_true")
+    p.set_defaults(fn=_cmd_figures)
+
+    p = sub.add_parser("memory", help="Table 1 coefficients")
+    p.add_argument("--order", type=int, default=2048)
+    p.set_defaults(fn=_cmd_memory)
+
+    p = sub.add_parser("selftest", help="quick installation check")
+    p.set_defaults(fn=_cmd_selftest)
+
+    args = ap.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

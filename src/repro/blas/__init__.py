@@ -1,0 +1,38 @@
+"""Instrumented BLAS substrate.
+
+The paper's DGEFMM is written *on top of* the vendor BLAS: base-case
+multiplies go to DGEMM, matrix additions to vectorized add kernels, and the
+dynamic-peeling fix-up to DGER / DGEMV (Section 3.3).  This subpackage is
+our vendor BLAS: a small Level 1/2/3 library implemented on numpy
+primitives using the **standard O(mkn) algorithm only** (blocked tile
+contractions — never ``np.matmul``, never anything Strassen-like), with
+every routine instrumented for operation counts and machine-model time.
+
+Routines follow BLAS in-place semantics (the output operand is mutated)
+but take numpy arrays/views instead of pointer+lda pairs; numpy strides
+subsume the leading-dimension bookkeeping of column-major BLAS.
+"""
+
+from repro.blas.level1 import daxpy, dcopy, ddot, dnrm2, dscal, dswap
+from repro.blas.level2 import dgemv, dger
+from repro.blas.level3 import dgemm, gemm_flops
+from repro.blas.addsub import accum, axpby, madd, mcopy, msub, mzero
+
+__all__ = [
+    "mcopy",
+    "mzero",
+    "daxpy",
+    "dcopy",
+    "ddot",
+    "dnrm2",
+    "dscal",
+    "dswap",
+    "dgemv",
+    "dger",
+    "dgemm",
+    "gemm_flops",
+    "madd",
+    "msub",
+    "accum",
+    "axpby",
+]

@@ -1,0 +1,172 @@
+"""Matrix addition/subtraction kernels — the paper's ``G(m, n)`` cost unit.
+
+Strassen's construction trades one block multiply for a fixed number of
+block additions, so these kernels are the second currency of every cost
+analysis in the paper (eq. 2).  Each charges ``G(m,n) = mn`` additions and
+the machine model's ``t_add(m, n)``.
+
+The four entry points cover every combination the two STRASSEN schedules
+need (Section 3.2 / Figure 1):
+
+- ``madd(x, y, out, alpha)`` — ``out <- alpha*(x + y)``
+- ``msub(x, y, out, alpha)`` — ``out <- alpha*(x - y)``
+- ``accum(x, out)``          — ``out <- out + x``
+- ``axpby(alpha, x, beta, y)`` — ``y <- alpha*x + beta*y``
+
+plus the data-movement kernels the padding comparators need
+(:func:`mcopy`, :func:`mzero`), charged at copy bandwidth.
+
+All outputs are mutated in place; full aliasing of an input with the
+output is permitted wherever numpy ufunc semantics make it safe (the
+schedules rely on ``msub(x, y, out=y)`` style in-place chains), but
+``accum(x, out=x)`` is rejected as it is always a bug.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.context import ExecutionContext, ensure_context
+from repro.blas.validate import require_matrix, require_shape, require_writable
+from repro.errors import ArgumentError
+
+__all__ = ["madd", "msub", "accum", "axpby", "mcopy", "mzero"]
+
+
+def _charge_add(ctx: ExecutionContext, name: str, m: int, n: int) -> None:
+    ctx.charge(
+        name, adds=float(m) * n, seconds=ctx.model_time("t_add", m, n)
+    )
+
+
+def madd(
+    x: Any,
+    y: Any,
+    out: Any,
+    alpha: float = 1.0,
+    *,
+    ctx: Optional[ExecutionContext] = None,
+) -> Any:
+    """``out <- alpha*(x + y)``; returns ``out``."""
+    ctx = ensure_context(ctx)
+    m, n = require_matrix("madd", "x", x)
+    require_shape("madd", "y", y, (m, n))
+    require_shape("madd", "out", out, (m, n))
+    require_writable("madd", "out", out)
+    _charge_add(ctx, "madd", m, n)
+    if not ctx.dry and m and n:
+        np.add(x, y, out=out)
+        if alpha != 1.0:
+            out *= alpha
+    return out
+
+
+def msub(
+    x: Any,
+    y: Any,
+    out: Any,
+    alpha: float = 1.0,
+    *,
+    ctx: Optional[ExecutionContext] = None,
+) -> Any:
+    """``out <- alpha*(x - y)``; returns ``out``."""
+    ctx = ensure_context(ctx)
+    m, n = require_matrix("msub", "x", x)
+    require_shape("msub", "y", y, (m, n))
+    require_shape("msub", "out", out, (m, n))
+    require_writable("msub", "out", out)
+    _charge_add(ctx, "msub", m, n)
+    if not ctx.dry and m and n:
+        np.subtract(x, y, out=out)
+        if alpha != 1.0:
+            out *= alpha
+    return out
+
+
+def accum(
+    x: Any,
+    out: Any,
+    *,
+    ctx: Optional[ExecutionContext] = None,
+) -> Any:
+    """``out <- out + x``; returns ``out``."""
+    ctx = ensure_context(ctx)
+    m, n = require_matrix("accum", "x", x)
+    require_shape("accum", "out", out, (m, n))
+    require_writable("accum", "out", out)
+    if out is x:
+        raise ArgumentError("accum", "out", "must not alias x")
+    _charge_add(ctx, "accum", m, n)
+    if not ctx.dry and m and n:
+        out += x
+    return out
+
+
+def axpby(
+    alpha: float,
+    x: Any,
+    beta: float,
+    y: Any,
+    *,
+    ctx: Optional[ExecutionContext] = None,
+) -> Any:
+    """``y <- alpha*x + beta*y`` (matrix AXPBY); returns ``y``.
+
+    With ``beta=0`` this is a scaled copy (``y <- alpha*x``), used by
+    STRASSEN2's scaling steps; with ``alpha=1, beta=beta`` it realizes the
+    ``C <- beta*C + P`` updates.
+    """
+    ctx = ensure_context(ctx)
+    m, n = require_matrix("axpby", "x", x)
+    require_shape("axpby", "y", y, (m, n))
+    require_writable("axpby", "y", y)
+    _charge_add(ctx, "axpby", m, n)
+    if ctx.dry or not (m and n):
+        return y
+    if beta == 0.0:
+        if alpha == 1.0:
+            y[...] = x
+        else:
+            np.multiply(x, alpha, out=y)
+    else:
+        if beta != 1.0:
+            y *= beta
+        if alpha == 1.0:
+            y += x
+        elif alpha != 0.0:
+            y += alpha * x
+    return y
+
+
+def mcopy(
+    x: Any,
+    out: Any,
+    *,
+    ctx: Optional[ExecutionContext] = None,
+) -> Any:
+    """``out <- x`` (matrix copy, charged at copy bandwidth)."""
+    ctx = ensure_context(ctx)
+    m, n = require_matrix("mcopy", "x", x)
+    require_shape("mcopy", "out", out, (m, n))
+    require_writable("mcopy", "out", out)
+    ctx.charge("mcopy", seconds=ctx.model_time("t_copy", m, n))
+    if not ctx.dry and m and n:
+        out[...] = x
+    return out
+
+
+def mzero(
+    out: Any,
+    *,
+    ctx: Optional[ExecutionContext] = None,
+) -> Any:
+    """``out <- 0`` (charged at copy bandwidth)."""
+    ctx = ensure_context(ctx)
+    m, n = require_matrix("mzero", "out", out)
+    require_writable("mzero", "out", out)
+    ctx.charge("mzero", seconds=ctx.model_time("t_copy", m, n))
+    if not ctx.dry and m and n:
+        out[...] = 0.0
+    return out

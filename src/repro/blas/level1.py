@@ -1,0 +1,155 @@
+"""Level 1 BLAS: vector-vector operations.
+
+Used by the eigensolver's Householder QR and by tests; all routines follow
+the in-place conventions of the reference BLAS and charge their operation
+counts to the :class:`~repro.context.ExecutionContext`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.context import ExecutionContext, ensure_context
+from repro.blas.validate import require_vector, require_writable
+
+__all__ = ["daxpy", "dscal", "dcopy", "ddot", "dnrm2", "dswap"]
+
+
+def daxpy(
+    alpha: float,
+    x: Any,
+    y: Any,
+    *,
+    ctx: Optional[ExecutionContext] = None,
+) -> Any:
+    """``y <- alpha*x + y`` (in place); returns ``y``."""
+    ctx = ensure_context(ctx)
+    n = require_vector("daxpy", "x", x)
+    require_vector("daxpy", "y", y)
+    require_writable("daxpy", "y", y)
+    if x.shape != y.shape:
+        from repro.errors import DimensionError
+
+        raise DimensionError(f"daxpy: x has length {n}, y has length {y.shape[0]}")
+    ctx.charge(
+        "daxpy", muls=n, adds=n, seconds=ctx.model_time("t_vec", n)
+    )
+    if not ctx.dry and n:
+        if alpha == 1.0:
+            np.add(y, x, out=y)
+        elif alpha != 0.0:
+            y += alpha * x
+    return y
+
+
+def dscal(
+    alpha: float,
+    x: Any,
+    *,
+    ctx: Optional[ExecutionContext] = None,
+) -> Any:
+    """``x <- alpha*x`` (in place); returns ``x``."""
+    ctx = ensure_context(ctx)
+    n = require_vector("dscal", "x", x)
+    require_writable("dscal", "x", x)
+    ctx.charge("dscal", muls=n, seconds=ctx.model_time("t_vec", n))
+    if not ctx.dry and n:
+        if alpha == 0.0:
+            x[...] = 0.0
+        elif alpha != 1.0:
+            x *= alpha
+    return x
+
+
+def dcopy(
+    x: Any,
+    y: Any,
+    *,
+    ctx: Optional[ExecutionContext] = None,
+) -> Any:
+    """``y <- x``; returns ``y``."""
+    ctx = ensure_context(ctx)
+    n = require_vector("dcopy", "x", x)
+    require_vector("dcopy", "y", y)
+    require_writable("dcopy", "y", y)
+    if x.shape != y.shape:
+        from repro.errors import DimensionError
+
+        raise DimensionError(f"dcopy: x has length {n}, y has length {y.shape[0]}")
+    ctx.charge("dcopy", seconds=ctx.model_time("t_vec", n))
+    if not ctx.dry and n:
+        y[...] = x
+    return y
+
+
+def dswap(
+    x: Any,
+    y: Any,
+    *,
+    ctx: Optional[ExecutionContext] = None,
+) -> None:
+    """Exchange the contents of ``x`` and ``y``."""
+    ctx = ensure_context(ctx)
+    n = require_vector("dswap", "x", x)
+    require_vector("dswap", "y", y)
+    require_writable("dswap", "x", x)
+    require_writable("dswap", "y", y)
+    if x.shape != y.shape:
+        from repro.errors import DimensionError
+
+        raise DimensionError(f"dswap: x has length {n}, y has length {y.shape[0]}")
+    ctx.charge("dswap", seconds=ctx.model_time("t_vec", n))
+    if not ctx.dry and n:
+        tmp = x.copy()
+        x[...] = y
+        y[...] = tmp
+
+
+def ddot(
+    x: Any,
+    y: Any,
+    *,
+    ctx: Optional[ExecutionContext] = None,
+) -> float:
+    """Inner product ``x . y`` (returns 0.0 in dry mode)."""
+    ctx = ensure_context(ctx)
+    n = require_vector("ddot", "x", x)
+    require_vector("ddot", "y", y)
+    if x.shape != y.shape:
+        from repro.errors import DimensionError
+
+        raise DimensionError(f"ddot: x has length {n}, y has length {y.shape[0]}")
+    ctx.charge(
+        "ddot", muls=n, adds=max(0, n - 1), seconds=ctx.model_time("t_vec", n)
+    )
+    if ctx.dry or n == 0:
+        return 0.0
+    # einsum keeps this in the "standard algorithm" family (no BLAS dot).
+    return float(np.einsum("i,i->", x, y))
+
+
+def dnrm2(
+    x: Any,
+    *,
+    ctx: Optional[ExecutionContext] = None,
+) -> float:
+    """Euclidean norm of ``x`` (returns 0.0 in dry mode).
+
+    Uses the scaled-sum-of-squares formulation so that vectors with large
+    entries do not overflow, matching the reference BLAS behaviour.
+    """
+    ctx = ensure_context(ctx)
+    n = require_vector("dnrm2", "x", x)
+    ctx.charge(
+        "dnrm2", muls=n, adds=max(0, n - 1), seconds=ctx.model_time("t_vec", n)
+    )
+    if ctx.dry or n == 0:
+        return 0.0
+    amax = float(np.max(np.abs(x)))
+    if amax == 0.0 or not math.isfinite(amax):
+        return amax
+    scaled = x / amax
+    return amax * math.sqrt(float(np.einsum("i,i->", scaled, scaled)))

@@ -1,0 +1,161 @@
+"""Level 3 BLAS: DGEMM, the standard O(mkn) matrix multiply.
+
+This is the substrate's "vendor DGEMM": the base-case multiplier every
+Strassen variant in this package calls when its cutoff criterion says to
+stop recursing.  It computes
+
+    ``C <- alpha * op(A) * op(B) + beta * C``
+
+with the conventional (non-Strassen) algorithm, cache-blocked into square
+tiles and contracted with ``np.einsum`` so the inner loops run in compiled
+code without delegating to a vendor BLAS (numpy's ``einsum`` performs the
+literal sum-of-products loop nest).  The tile size trades Python-loop
+overhead against cache residency; the default suits L2 caches of a few
+hundred KiB (three 160x160 float64 tiles ~= 600 KiB).
+
+Operation counts follow the paper's Section 2 model:
+``M(m,k,n) = 2mkn - mn`` (``mkn`` multiplies, ``mkn - mn`` adds).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.context import ExecutionContext, ensure_context
+from repro.blas.validate import opshape, require_matrix, require_writable
+from repro.errors import DimensionError
+
+__all__ = ["dgemm", "gemm_flops", "DEFAULT_TILE", "BACKENDS"]
+
+#: default cache-blocking tile edge for the standard-algorithm kernel
+DEFAULT_TILE = 160
+
+#: base-case kernel backends: "substrate" is this module's own blocked
+#: standard algorithm (the default everywhere — the reproduction's
+#: "vendor DGEMM" stand-in); "vendor" delegates the inner product to
+#: numpy's BLAS matmul, for honest *modern-host* experiments asking
+#: whether Strassen still beats a tuned vendor kernel today
+BACKENDS = ("substrate", "vendor")
+
+
+def gemm_flops(m: int, k: int, n: int) -> tuple[float, float]:
+    """(multiplies, additions) of the standard algorithm, paper eq. M(m,k,n)."""
+    muls = float(m) * k * n
+    adds = max(0.0, float(m) * k * n - float(m) * n)
+    return muls, adds
+
+
+def _standard_product(a: np.ndarray, b: np.ndarray, nb: int) -> np.ndarray:
+    """``a @ b`` by the standard algorithm, blocked into nb-by-nb tiles.
+
+    ``a`` is m-by-k, ``b`` is k-by-n, both arbitrary-strided views.  The
+    result is a fresh Fortran-ordered array (column-major, matching the
+    package's BLAS-style storage convention).
+    """
+    m, k = a.shape
+    _, n = b.shape
+    out = np.zeros((m, n), dtype=np.result_type(a, b), order="F")
+    if m == 0 or n == 0 or k == 0:
+        return out
+    if m <= nb and n <= nb and k <= nb:
+        np.einsum("ik,kj->ij", a, b, out=out)
+        return out
+    for j0 in range(0, n, nb):
+        j1 = min(j0 + nb, n)
+        for i0 in range(0, m, nb):
+            i1 = min(i0 + nb, m)
+            acc = out[i0:i1, j0:j1]
+            first = True
+            for l0 in range(0, k, nb):
+                l1 = min(l0 + nb, k)
+                tile = np.einsum(
+                    "ik,kj->ij", a[i0:i1, l0:l1], b[l0:l1, j0:j1]
+                )
+                if first:
+                    acc[...] = tile
+                    first = False
+                else:
+                    acc += tile
+    return out
+
+
+def dgemm(
+    a: Any,
+    b: Any,
+    c: Any,
+    alpha: float = 1.0,
+    beta: float = 0.0,
+    transa: bool = False,
+    transb: bool = False,
+    *,
+    ctx: Optional[ExecutionContext] = None,
+    nb: int = DEFAULT_TILE,
+    backend: str = "substrate",
+) -> Any:
+    """Standard-algorithm GEMM: ``C <- alpha*op(A)*op(B) + beta*C`` in place.
+
+    Parameters mirror the Level 3 BLAS DGEMM: ``op(A)`` is m-by-k,
+    ``op(B)`` is k-by-n, ``C`` is m-by-n and is mutated (and returned).
+    ``nb`` is the cache-blocking tile edge of the inner kernel;
+    ``backend`` selects the inner product implementation (see
+    :data:`BACKENDS`).
+
+    This routine never recurses and never applies Strassen's construction;
+    it is the baseline DGEMM of all experiments and the base case of every
+    Strassen variant in :mod:`repro.core` and :mod:`repro.comparators`.
+    """
+    ctx = ensure_context(ctx)
+    if backend not in BACKENDS:
+        from repro.errors import ArgumentError
+
+        raise ArgumentError(
+            "dgemm", "backend", f"must be one of {BACKENDS}, got {backend!r}"
+        )
+    require_matrix("dgemm", "a", a)
+    require_matrix("dgemm", "b", b)
+    require_matrix("dgemm", "c", c)
+    require_writable("dgemm", "c", c)
+    m, k = opshape(a, transa)
+    kb, n = opshape(b, transb)
+    if kb != k:
+        raise DimensionError(
+            f"dgemm: op(A) is {m}x{k} but op(B) is {kb}x{n}"
+        )
+    if tuple(c.shape) != (m, n):
+        raise DimensionError(
+            f"dgemm: C has shape {tuple(c.shape)}, expected {(m, n)}"
+        )
+    if nb <= 0:
+        raise DimensionError(f"dgemm: tile size nb={nb} must be positive")
+    muls, adds = gemm_flops(m, k, n)
+    ctx.charge(
+        "dgemm", muls=muls, adds=adds, seconds=ctx.model_time("t_gemm", m, k, n)
+    )
+    if ctx.dry:
+        return c
+    if m == 0 or n == 0:
+        return c
+    if k == 0 or alpha == 0.0:
+        # C <- beta*C only.
+        if beta == 0.0:
+            c[...] = 0.0
+        elif beta != 1.0:
+            c *= beta
+        return c
+    opa = a.T if transa else a
+    opb = b.T if transb else b
+    if backend == "vendor":
+        prod = np.asfortranarray(opa @ opb)
+    else:
+        prod = _standard_product(opa, opb, nb)
+    if alpha != 1.0:
+        prod *= alpha
+    if beta == 0.0:
+        c[...] = prod
+    else:
+        if beta != 1.0:
+            c *= beta
+        c += prod
+    return c

@@ -1,0 +1,62 @@
+"""Argument validation shared by the BLAS kernels (xerbla-style).
+
+Checks are written to be cheap (tuple comparisons) because they sit on the
+hot path of the Strassen recursion; failure messages name the routine and
+argument the way the reference BLAS ``xerbla`` does, which makes shape bugs
+in schedule code immediately legible.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Tuple
+
+from repro.errors import ArgumentError, DimensionError
+from repro.phantom import is_phantom
+
+__all__ = [
+    "require_matrix",
+    "require_vector",
+    "require_shape",
+    "require_writable",
+    "opshape",
+]
+
+
+def require_matrix(routine: str, name: str, x: Any) -> Tuple[int, int]:
+    """Check ``x`` is a 2-D array/Phantom; return its shape."""
+    shape = getattr(x, "shape", None)
+    if shape is None or len(shape) != 2:
+        raise ArgumentError(routine, name, f"must be a 2-D matrix, got {x!r}")
+    return shape[0], shape[1]
+
+
+def require_vector(routine: str, name: str, x: Any) -> int:
+    """Check ``x`` is a 1-D array/Phantom; return its length."""
+    shape = getattr(x, "shape", None)
+    if shape is None or len(shape) != 1:
+        raise ArgumentError(routine, name, f"must be a 1-D vector, got {x!r}")
+    return shape[0]
+
+
+def require_shape(routine: str, name: str, x: Any, shape: Tuple[int, ...]) -> None:
+    """Check ``x.shape == shape``."""
+    actual = tuple(getattr(x, "shape", ()))
+    if actual != tuple(shape):
+        raise DimensionError(
+            f"{routine}: operand '{name}' has shape {actual}, expected {shape}"
+        )
+
+
+def require_writable(routine: str, name: str, x: Any) -> None:
+    """Check a numpy output operand is writable (Phantoms trivially are)."""
+    if is_phantom(x):
+        return
+    flags = getattr(x, "flags", None)
+    if flags is not None and not flags.writeable:
+        raise ArgumentError(routine, name, "must be a writable array")
+
+
+def opshape(x: Any, trans: bool) -> Tuple[int, int]:
+    """Shape of ``op(x)`` — ``x`` transposed when ``trans`` is set."""
+    m, n = x.shape
+    return (n, m) if trans else (m, n)

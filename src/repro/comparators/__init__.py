@@ -1,0 +1,34 @@
+"""Re-implementations of the codes the paper compares DGEFMM against.
+
+The originals are closed-source (IBM ESSL, CRAY scilib) or unavailable
+1990s distributions (GEMMW), but every property the paper's evaluation
+rests on is pinned down by their published descriptions:
+
+- :mod:`repro.comparators.dgemmw` — Douglas, Heroux, Slishman & Smith's
+  GEMMW [8]: Winograd variant, **dynamic padding**, the simple cutoff
+  criterion (paper eq. 11), and an m-by-n buffer for the general
+  alpha/beta case.
+- :mod:`repro.comparators.essl_dgemms` — IBM ESSL's DGEMMS: Winograd
+  variant, **multiplication only** (``C = op(A) op(B)``; the caller must
+  scale and update, as the paper's Section 4.1 timing loop does).
+- :mod:`repro.comparators.cray_sgemms` — CRAY scilib's SGEMMS: Strassen's
+  **original** 18-addition recursion with straightforward temporaries and
+  static padding.
+- :mod:`repro.comparators.strassen_original` — the shared original-1969
+  recursion used by the CRAY comparator and by op-count ablations.
+"""
+
+from repro.comparators.bailey import bailey_strassen
+from repro.comparators.cray_sgemms import cray_sgemms
+from repro.comparators.dgemmw import dgemmw
+from repro.comparators.essl_dgemms import essl_dgemms, essl_dgemms_general
+from repro.comparators.strassen_original import strassen_original
+
+__all__ = [
+    "bailey_strassen",
+    "dgemmw",
+    "essl_dgemms",
+    "essl_dgemms_general",
+    "cray_sgemms",
+    "strassen_original",
+]

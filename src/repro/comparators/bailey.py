@@ -1,0 +1,179 @@
+"""Bailey's memory-lean schedule for Strassen's original algorithm.
+
+Paper Section 3.2: "Using Strassen's original algorithm, Bailey, et al.
+[3] devised a straightforward scheme that reduces the total memory
+requirements to (mk + kn + mn)/3" — the benchmark DGEFMM's Winograd
+schedules are measured against (the open question the paper answers is
+whether *Winograd's* nested stage (4) admits a similar reduction).
+
+This module implements that scheme: per level one A-shaped temporary TA,
+one B-shaped TB and one product-shaped TP, with C's quadrants (beta = 0)
+hosting the running combinations
+
+    C11 = M1 + M4 - M5 + M7      C12 = M3 + M5
+    C21 = M2 + M4                C22 = M1 - M2 + M3 + M6
+
+as the seven products are produced in an order that lets every M be
+consumed immediately.  Peak memory: (mk + kn + mn)/4 per level,
+(mk + kn + mn)/3 over the recursion — m^2 for square operands, measured
+exactly by the tests.  The general alpha/beta case uses a product buffer
+plus an update pass, matching how [3] used the routine inside linear
+solvers.
+
+Odd dimensions are handled by static padding (Strassen's original
+suggestion, consistent with the CRAY-2 lineage of [2, 3]).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.blas.addsub import accum, axpby, madd, mcopy, msub
+from repro.blas.level3 import dgemm
+from repro.blas.validate import opshape, require_matrix, require_writable
+from repro.context import ExecutionContext, RecursionEvent, ensure_context
+from repro.core.cutoff import CutoffCriterion, SimpleCutoff
+from repro.core.padding import run_statically_padded
+from repro.core.workspace import Workspace
+from repro.errors import DimensionError
+
+__all__ = ["bailey_strassen", "BAILEY_DEFAULT_CUTOFF"]
+
+BAILEY_DEFAULT_CUTOFF = SimpleCutoff(tau=128)
+
+
+def _planned_depth(m: int, k: int, n: int, crit: CutoffCriterion) -> int:
+    depth = 0
+    while not crit.stop(m, k, n) and min(m, k, n) >= 2 and depth < 48:
+        m, k, n = (m + 1) // 2, (k + 1) // 2, (n + 1) // 2
+        depth += 1
+    return depth
+
+
+def bailey_strassen(
+    a: Any,
+    b: Any,
+    c: Any,
+    alpha: float = 1.0,
+    beta: float = 0.0,
+    transa: bool = False,
+    transb: bool = False,
+    *,
+    cutoff: Optional[CutoffCriterion] = None,
+    ctx: Optional[ExecutionContext] = None,
+    workspace: Optional[Workspace] = None,
+) -> Any:
+    """Bailey-scheme Strassen: ``C <- alpha*op(A)*op(B) + beta*C``."""
+    ctx = ensure_context(ctx)
+    require_matrix("bailey_strassen", "a", a)
+    require_matrix("bailey_strassen", "b", b)
+    require_matrix("bailey_strassen", "c", c)
+    require_writable("bailey_strassen", "c", c)
+    m, k = opshape(a, transa)
+    kb, n = opshape(b, transb)
+    if kb != k:
+        raise DimensionError(
+            f"bailey_strassen: op(A) is {m}x{k} but op(B) is {kb}x{n}"
+        )
+    if tuple(c.shape) != (m, n):
+        raise DimensionError(
+            f"bailey_strassen: C has shape {tuple(c.shape)}, "
+            f"expected {(m, n)}"
+        )
+    crit = cutoff if cutoff is not None else BAILEY_DEFAULT_CUTOFF
+    ws = workspace if workspace is not None else Workspace(dry=ctx.dry)
+    opa = a.T if transa else a
+    opb = b.T if transb else b
+
+    if m == 0 or n == 0:
+        return c
+    if k == 0 or alpha == 0.0:
+        axpby(0.0, c, beta, c, ctx=ctx)
+        return c
+
+    depth = _planned_depth(m, k, n, crit)
+
+    def multiply_even(aa: Any, bb: Any, cc: Any, al: float, be: float) -> None:
+        _rec(aa, bb, cc, al, 0, crit, ctx, ws)
+
+    if beta == 0.0:
+        run_statically_padded(
+            opa, opb, c, alpha, 0.0, depth, multiply_even, ws, ctx=ctx
+        )
+    else:
+        with ws.frame():
+            t = ws.alloc(m, n, getattr(c, "dtype", None) or "float64")
+            run_statically_padded(
+                opa, opb, t, alpha, 0.0, depth, multiply_even, ws, ctx=ctx
+            )
+            axpby(1.0, t, beta, c, ctx=ctx)
+
+    ctx.stats["workspace_peak_bytes"] = max(
+        ctx.stats.get("workspace_peak_bytes", 0), ws.peak_bytes
+    )
+    return c
+
+
+def _rec(
+    a: Any,
+    b: Any,
+    c: Any,
+    alpha: float,
+    depth: int,
+    crit: CutoffCriterion,
+    ctx: ExecutionContext,
+    ws: Workspace,
+) -> None:
+    """``C <- alpha*A*B`` (overwrite), Bailey's three-temporary level."""
+    m, k = a.shape
+    n = b.shape[1]
+    if crit.stop(m, k, n) or min(m, k, n) < 2 or m % 2 or k % 2 or n % 2:
+        ctx.record(RecursionEvent("base", m, k, n, depth))
+        dgemm(a, b, c, alpha, 0.0, ctx=ctx)
+        return
+    ctx.record(RecursionEvent("recurse", m, k, n, depth, scheme="bailey"))
+
+    hm, hk, hn = m // 2, k // 2, n // 2
+    dt = getattr(c, "dtype", None) or "float64"
+    a11, a12, a21, a22 = a[:hm, :hk], a[:hm, hk:], a[hm:, :hk], a[hm:, hk:]
+    b11, b12, b21, b22 = b[:hk, :hn], b[:hk, hn:], b[hk:, :hn], b[hk:, hn:]
+    c11, c12, c21, c22 = c[:hm, :hn], c[:hm, hn:], c[hm:, :hn], c[hm:, hn:]
+
+    def rec(aa: Any, bb: Any, cc: Any) -> None:
+        _rec(aa, bb, cc, 1.0, depth + 1, crit, ctx, ws)
+
+    with ws.frame():
+        ta = ws.alloc(hm, hk, dt)
+        tb = ws.alloc(hk, hn, dt)
+        tp = ws.alloc(hm, hn, dt)
+
+        madd(a11, a22, ta, ctx=ctx)          # M1 = (A11+A22)(B11+B22)
+        madd(b11, b22, tb, ctx=ctx)
+        rec(ta, tb, tp)
+        mcopy(tp, c11, ctx=ctx)              # C11 = M1
+        mcopy(tp, c22, ctx=ctx)              # C22 = M1
+        madd(a21, a22, ta, ctx=ctx)          # M2 = (A21+A22) B11
+        rec(ta, b11, c21)                    # C21 = M2
+        axpby(-1.0, c21, 1.0, c22, ctx=ctx)  # C22 = M1 - M2
+        msub(b12, b22, tb, ctx=ctx)          # M3 = A11 (B12-B22)
+        rec(a11, tb, c12)                    # C12 = M3
+        accum(c12, c22, ctx=ctx)             # C22 = M1 - M2 + M3
+        msub(b21, b11, tb, ctx=ctx)          # M4 = A22 (B21-B11)
+        rec(a22, tb, tp)
+        accum(tp, c11, ctx=ctx)              # C11 = M1 + M4
+        accum(tp, c21, ctx=ctx)              # C21 = M2 + M4   (done)
+        madd(a11, a12, ta, ctx=ctx)          # M5 = (A11+A12) B22
+        rec(ta, b22, tp)
+        axpby(-1.0, tp, 1.0, c11, ctx=ctx)   # C11 = M1 + M4 - M5
+        accum(tp, c12, ctx=ctx)              # C12 = M3 + M5   (done)
+        msub(a21, a11, ta, ctx=ctx)          # M6 = (A21-A11)(B11+B12)
+        madd(b11, b12, tb, ctx=ctx)
+        rec(ta, tb, tp)
+        accum(tp, c22, ctx=ctx)              # C22 done
+        msub(a12, a22, ta, ctx=ctx)          # M7 = (A12-A22)(B21+B22)
+        madd(b21, b22, tb, ctx=ctx)
+        rec(ta, tb, tp)
+        accum(tp, c11, ctx=ctx)              # C11 done
+
+    if alpha != 1.0:
+        axpby(0.0, c, alpha, c, ctx=ctx)

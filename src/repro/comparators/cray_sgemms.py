@@ -1,0 +1,108 @@
+"""CRAY-style SGEMMS — scilib's Strassen routine, as the paper uses it.
+
+The observable properties the paper's Figure 4 and Table 1 rest on:
+
+- it implements **Strassen's original** 1969 recursion (not the Winograd
+  variant) following Bailey's CRAY-2 work [2, 3];
+- it uses a straightforward temporary scheme with a large footprint —
+  the documented ``7 m^2 / 3`` of Table 1, versus DGEFMM's ``2m^2/3``/
+  ``m^2`` (a 57+ percent reduction);
+- it handles the general alpha/beta case (Figure 4 reports both).
+
+Our realization: the original-Strassen recursion of
+:mod:`repro.comparators.strassen_original` (two operand temporaries plus
+all seven products per level) under static padding, with the general case
+handled through a product buffer and an update pass.  The measured peak
+of this straightforward scheme is about ``3 m^2`` — the same "several
+times DGEFMM" memory story as the documented 7/3 coefficient; the Table 1
+benchmark reports our measured value side by side with the paper's
+documented one.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.blas.addsub import axpby
+from repro.blas.validate import opshape, require_matrix, require_writable
+from repro.comparators.strassen_original import strassen_original
+from repro.context import ExecutionContext, ensure_context
+from repro.core.cutoff import CutoffCriterion, SimpleCutoff
+from repro.core.padding import run_statically_padded
+from repro.core.workspace import Workspace
+from repro.errors import DimensionError
+
+__all__ = ["cray_sgemms", "CRAY_DEFAULT_CUTOFF"]
+
+CRAY_DEFAULT_CUTOFF = SimpleCutoff(tau=128)
+
+
+def _planned_depth(m: int, k: int, n: int, crit: CutoffCriterion) -> int:
+    depth = 0
+    while not crit.stop(m, k, n) and min(m, k, n) >= 2 and depth < 48:
+        m, k, n = (m + 1) // 2, (k + 1) // 2, (n + 1) // 2
+        depth += 1
+    return depth
+
+
+def cray_sgemms(
+    a: Any,
+    b: Any,
+    c: Any,
+    alpha: float = 1.0,
+    beta: float = 0.0,
+    transa: bool = False,
+    transb: bool = False,
+    *,
+    cutoff: Optional[CutoffCriterion] = None,
+    ctx: Optional[ExecutionContext] = None,
+    workspace: Optional[Workspace] = None,
+) -> Any:
+    """SGEMMS-style ``C <- alpha*op(A)*op(B) + beta*C`` (in place)."""
+    ctx = ensure_context(ctx)
+    require_matrix("cray_sgemms", "a", a)
+    require_matrix("cray_sgemms", "b", b)
+    require_matrix("cray_sgemms", "c", c)
+    require_writable("cray_sgemms", "c", c)
+    m, k = opshape(a, transa)
+    kb, n = opshape(b, transb)
+    if kb != k:
+        raise DimensionError(
+            f"cray_sgemms: op(A) is {m}x{k} but op(B) is {kb}x{n}"
+        )
+    if tuple(c.shape) != (m, n):
+        raise DimensionError(
+            f"cray_sgemms: C has shape {tuple(c.shape)}, expected {(m, n)}"
+        )
+    crit = cutoff if cutoff is not None else CRAY_DEFAULT_CUTOFF
+    ws = workspace if workspace is not None else Workspace(dry=ctx.dry)
+    opa = a.T if transa else a
+    opb = b.T if transb else b
+
+    if m == 0 or n == 0:
+        return c
+    if k == 0 or alpha == 0.0:
+        axpby(0.0, c, beta, c, ctx=ctx)
+        return c
+
+    depth = _planned_depth(m, k, n, crit)
+
+    def multiply_even(aa: Any, bb: Any, cc: Any, al: float, be: float) -> None:
+        strassen_original(aa, bb, cc, al, cutoff=crit, ctx=ctx, workspace=ws)
+
+    if beta == 0.0:
+        run_statically_padded(
+            opa, opb, c, alpha, 0.0, depth, multiply_even, ws, ctx=ctx
+        )
+    else:
+        with ws.frame():
+            t = ws.alloc(m, n, getattr(c, "dtype", None) or "float64")
+            run_statically_padded(
+                opa, opb, t, alpha, 0.0, depth, multiply_even, ws, ctx=ctx
+            )
+            axpby(1.0, t, beta, c, ctx=ctx)
+
+    ctx.stats["workspace_peak_bytes"] = max(
+        ctx.stats.get("workspace_peak_bytes", 0), ws.peak_bytes
+    )
+    return c

@@ -1,0 +1,136 @@
+"""Strassen's original 1969 recursion (7 multiplies, 18 additions).
+
+This is the algorithm the CRAY SGEMMS comparator and the eq.(4)-vs-eq.(5)
+op-count comparison are about.  The level schedule is deliberately
+*straightforward* (paper: "a straightforward scheme"): two operand
+temporaries hold the block sums and all seven products M1..M7 are
+materialized before the output stage — nine quadrant temporaries per
+level, substantially more memory than the Winograd schedules of
+:mod:`repro.core`, which is exactly the memory story Table 1 tells.
+
+Even dimensions are required at every level; callers wrap the recursion
+with static padding (:func:`repro.core.padding.run_statically_padded`) as
+Strassen's paper originally suggested.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.blas.addsub import accum, axpby, madd, msub
+from repro.blas.level3 import dgemm
+from repro.context import ExecutionContext, RecursionEvent, ensure_context
+from repro.core.cutoff import CutoffCriterion, TheoreticalCutoff
+from repro.core.workspace import Workspace
+from repro.errors import DimensionError
+
+__all__ = ["strassen_original", "strassen_original_level"]
+
+
+def strassen_original(
+    a: Any,
+    b: Any,
+    c: Any,
+    alpha: float = 1.0,
+    *,
+    cutoff: Optional[CutoffCriterion] = None,
+    ctx: Optional[ExecutionContext] = None,
+    workspace: Optional[Workspace] = None,
+    depth: int = 0,
+) -> Any:
+    """``C <- alpha * A * B`` by Strassen's original recursion (beta = 0).
+
+    Every dimension met during recursion must be even (recursion stops
+    before a split would create odd halves only if the cutoff says so —
+    callers are responsible for padding, as the original algorithm
+    assumes).  Raises :class:`~repro.errors.DimensionError` on an odd
+    dimension at a recursion point.
+    """
+    ctx = ensure_context(ctx)
+    ws = workspace if workspace is not None else Workspace(dry=ctx.dry)
+    crit = cutoff if cutoff is not None else TheoreticalCutoff()
+
+    m, k = a.shape
+    n = b.shape[1]
+    if m == 0 or n == 0:
+        return c
+    if crit.stop(m, k, n) or min(m, k, n) < 2:
+        ctx.record(RecursionEvent("base", m, k, n, depth))
+        dgemm(a, b, c, alpha, 0.0, ctx=ctx)
+        return c
+    if m % 2 or k % 2 or n % 2:
+        raise DimensionError(
+            f"strassen_original: odd dimension at recursion point "
+            f"({m}, {k}, {n}); pad the inputs (static padding)"
+        )
+    ctx.record(RecursionEvent("recurse", m, k, n, depth, scheme="original"))
+    strassen_original_level(
+        a, b, c, alpha, ctx=ctx, ws=ws, crit=crit, depth=depth
+    )
+    return c
+
+
+def strassen_original_level(
+    a: Any,
+    b: Any,
+    c: Any,
+    alpha: float,
+    *,
+    ctx: ExecutionContext,
+    ws: Workspace,
+    crit: CutoffCriterion,
+    depth: int,
+) -> None:
+    """One level of the original recursion (see module docstring)."""
+    m, k = a.shape
+    n = b.shape[1]
+    hm, hk, hn = m // 2, k // 2, n // 2
+
+    a11, a12, a21, a22 = a[:hm, :hk], a[:hm, hk:], a[hm:, :hk], a[hm:, hk:]
+    b11, b12, b21, b22 = b[:hk, :hn], b[:hk, hn:], b[hk:, :hn], b[hk:, hn:]
+    c11, c12, c21, c22 = c[:hm, :hn], c[:hm, hn:], c[hm:, :hn], c[hm:, hn:]
+
+    def rec(aa: Any, bb: Any, cc: Any) -> None:
+        strassen_original(
+            aa, bb, cc, 1.0,
+            cutoff=crit, ctx=ctx, workspace=ws, depth=depth + 1,
+        )
+
+    dt = getattr(c, "dtype", None) or "float64"
+    with ws.frame():
+        ta = ws.alloc(hm, hk, dt)
+        tb = ws.alloc(hk, hn, dt)
+        ms = [ws.alloc(hm, hn, dt) for _ in range(7)]
+        m1, m2, m3, m4, m5, m6, m7 = ms
+
+        madd(a11, a22, ta, ctx=ctx)       # M1 = (A11+A22)(B11+B22)
+        madd(b11, b22, tb, ctx=ctx)
+        rec(ta, tb, m1)
+        madd(a21, a22, ta, ctx=ctx)       # M2 = (A21+A22) B11
+        rec(ta, b11, m2)
+        msub(b12, b22, tb, ctx=ctx)       # M3 = A11 (B12-B22)
+        rec(a11, tb, m3)
+        msub(b21, b11, tb, ctx=ctx)       # M4 = A22 (B21-B11)
+        rec(a22, tb, m4)
+        madd(a11, a12, ta, ctx=ctx)       # M5 = (A11+A12) B22
+        rec(ta, b22, m5)
+        msub(a21, a11, ta, ctx=ctx)       # M6 = (A21-A11)(B11+B12)
+        madd(b11, b12, tb, ctx=ctx)
+        rec(ta, tb, m6)
+        msub(a12, a22, ta, ctx=ctx)       # M7 = (A12-A22)(B21+B22)
+        madd(b21, b22, tb, ctx=ctx)
+        rec(ta, tb, m7)
+
+        madd(m1, m4, c11, ctx=ctx)        # C11 = M1+M4-M5+M7
+        axpby(-1.0, m5, 1.0, c11, ctx=ctx)
+        accum(m7, c11, ctx=ctx)
+        madd(m3, m5, c12, ctx=ctx)        # C12 = M3+M5
+        madd(m2, m4, c21, ctx=ctx)        # C21 = M2+M4
+        msub(m1, m2, c22, ctx=ctx)        # C22 = M1-M2+M3+M6
+        accum(m3, c22, ctx=ctx)
+        accum(m6, c22, ctx=ctx)
+
+    if alpha != 1.0:
+        # fold alpha once at this level's exit (the original algorithm
+        # has no alpha; SGEMMS-style callers scale the product)
+        axpby(0.0, c, alpha, c, ctx=ctx)

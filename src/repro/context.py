@@ -1,0 +1,160 @@
+"""Execution context: instrumentation, simulated time, dry-run switch.
+
+Every kernel in :mod:`repro.blas` and every Strassen driver accepts an
+optional :class:`ExecutionContext`.  The context serves three roles:
+
+1. **Instrumentation** — counts kernel invocations and floating-point
+   operations using the paper's operation-count conventions
+   (Section 2: ``M(m,k,n) = 2mkn - mn`` for a standard multiply,
+   ``G(m,n) = mn`` for a matrix add/subtract).
+
+2. **Simulated clock** — when a :class:`~repro.machines.model.MachineModel`
+   is attached, each kernel also charges its *modeled* execution time for
+   that machine, enabling deterministic reproduction of the paper's
+   timing-shaped experiments (cutoff crossovers, criteria comparisons,
+   code-vs-code ratios) without 1996 hardware.
+
+3. **Dry-run switch** — with ``dry=True`` the kernels skip all numerics
+   (operands are :class:`~repro.phantom.Phantom` shapes), so parameter
+   sweeps over thousands of large problems are instant while exercising
+   the identical control flow.
+
+The context is deliberately cheap: plain attribute bumps, no locking —
+one context per top-level call or experiment.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+__all__ = ["ExecutionContext", "ensure_context", "RecursionEvent"]
+
+
+@dataclass
+class RecursionEvent:
+    """One node of the Strassen recursion tree, recorded when tracing.
+
+    ``action`` is one of ``"recurse"``, ``"base"``, ``"peel"``; dims are
+    the (m, k, n) of the product at this node; ``depth`` is the recursion
+    depth (0 = top-level call).
+    """
+
+    action: str
+    m: int
+    k: int
+    n: int
+    depth: int
+    scheme: str = ""
+
+
+class ExecutionContext:
+    """Mutable per-call instrumentation and simulation state.
+
+    Parameters
+    ----------
+    machine:
+        Optional machine cost model (see :mod:`repro.machines`).  When
+        present, kernels advance :attr:`elapsed` by the model's predicted
+        time for each operation.
+    dry:
+        When True, kernels validate shapes and charge costs but perform no
+        floating-point work; operands must then be Phantoms (or are simply
+        not touched).
+    trace:
+        When True, Strassen drivers append :class:`RecursionEvent` records
+        to :attr:`events` — used by tests and by the recursion-depth
+        experiments (Table 5).
+    """
+
+    def __init__(
+        self,
+        machine: Optional[Any] = None,
+        *,
+        dry: bool = False,
+        trace: bool = False,
+    ) -> None:
+        if dry and machine is None:
+            # Dry runs are allowed without a machine (pure op counting),
+            # but most callers want timing; nothing to validate here.
+            pass
+        self.machine = machine
+        self.dry = bool(dry)
+        self.trace = bool(trace)
+        self.reset()
+
+    # ------------------------------------------------------------------ #
+    def reset(self) -> None:
+        """Zero all counters and the simulated clock."""
+        #: total floating-point operations charged (multiplies + adds)
+        self.flops: float = 0.0
+        #: scalar multiplications charged (the "7 multiplies" currency)
+        self.mul_flops: float = 0.0
+        #: scalar additions/subtractions charged
+        self.add_flops: float = 0.0
+        #: simulated seconds elapsed (0 unless a machine model is attached)
+        self.elapsed: float = 0.0
+        #: kernel name -> number of invocations
+        self.kernel_calls: Counter = Counter()
+        #: recursion trace (populated when ``trace=True``)
+        self.events: List[RecursionEvent] = []
+        #: scratch area for drivers (workspace peak, decisions, ...)
+        self.stats: Dict[str, Any] = {}
+
+    # ------------------------------------------------------------------ #
+    def charge(
+        self,
+        kernel: str,
+        *,
+        muls: float = 0.0,
+        adds: float = 0.0,
+        seconds: Optional[float] = None,
+    ) -> None:
+        """Record one kernel invocation.
+
+        ``muls``/``adds`` follow the paper's operation-count model;
+        ``seconds`` is the machine-model time (ignored when no machine is
+        attached — callers pass it unconditionally for simplicity).
+        """
+        self.kernel_calls[kernel] += 1
+        self.mul_flops += muls
+        self.add_flops += adds
+        self.flops += muls + adds
+        if self.machine is not None and seconds is not None:
+            self.elapsed += seconds
+
+    def record(self, event: RecursionEvent) -> None:
+        """Append a recursion-trace event (no-op unless tracing)."""
+        if self.trace:
+            self.events.append(event)
+
+    # ------------------------------------------------------------------ #
+    def model_time(self, method: str, *dims: int) -> Optional[float]:
+        """Predicted seconds for a kernel on the attached machine.
+
+        ``method`` names a timing method of the machine model
+        (``"t_gemm"``, ``"t_add"``, ``"t_ger"``, ``"t_gemv"``,
+        ``"t_copy"``, ``"t_scal"``).  Returns None when no machine model
+        is attached (wall-clock mode).
+        """
+        if self.machine is None:
+            return None
+        return getattr(self.machine, method)(*dims)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        mach = type(self.machine).__name__ if self.machine else None
+        return (
+            f"ExecutionContext(machine={mach}, dry={self.dry}, "
+            f"flops={self.flops:.3g}, elapsed={self.elapsed:.3g}s)"
+        )
+
+
+def ensure_context(ctx: Optional[ExecutionContext]) -> ExecutionContext:
+    """Return ``ctx`` or a fresh default context.
+
+    Public entry points call this once and pass the result down the whole
+    recursion, so a user who does not care about instrumentation pays only
+    one small allocation per top-level call.
+    """
+    return ctx if ctx is not None else ExecutionContext()

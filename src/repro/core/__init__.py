@@ -1,0 +1,34 @@
+"""The paper's primary contribution: DGEFMM and its building blocks.
+
+- :mod:`repro.core.dgefmm` — the public DGEMM-compatible driver,
+- :mod:`repro.core.strassen1` / :mod:`repro.core.strassen2` — the two
+  computation schedules of Section 3.2,
+- :mod:`repro.core.peeling` — dynamic peeling for odd dimensions (3.3),
+- :mod:`repro.core.padding` — static/dynamic padding (for comparison),
+- :mod:`repro.core.cutoff` — every cutoff criterion of Sections 2/3.4,
+- :mod:`repro.core.workspace` — temporary storage with peak tracking (3.2),
+- :mod:`repro.core.opcount` — the operation-count model of Section 2,
+- :mod:`repro.core.winograd` — the Winograd stage equations, as an oracle.
+"""
+
+from repro.core.cutoff import (
+    CutoffCriterion,
+    HighamCutoff,
+    HybridCutoff,
+    PlaneCutoff,
+    SimpleCutoff,
+    TheoreticalCutoff,
+)
+from repro.core.dgefmm import dgefmm
+from repro.core.workspace import Workspace
+
+__all__ = [
+    "dgefmm",
+    "Workspace",
+    "CutoffCriterion",
+    "TheoreticalCutoff",
+    "SimpleCutoff",
+    "HighamCutoff",
+    "PlaneCutoff",
+    "HybridCutoff",
+]

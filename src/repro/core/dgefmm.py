@@ -1,0 +1,295 @@
+"""DGEFMM — the paper's drop-in replacement for Level 3 BLAS DGEMM.
+
+``dgefmm`` computes ``C <- alpha * op(A) * op(B) + beta * C`` exactly like
+DGEMM (Section 3.1), but multiplies by the Winograd variant of Strassen's
+algorithm whenever the cutoff criterion says a recursion level pays off:
+
+1. **Cutoff test** (Section 3.4): the criterion (default: the paper's
+   hybrid condition, eq. 15) decides recurse-vs-base at *every* level; the
+   base case calls the standard-algorithm :func:`repro.blas.dgemm`.
+2. **Dynamic peeling** (Section 3.3): odd dimensions are stripped at each
+   level, the Strassen schedule runs on the even core, and the peeled
+   row/column contributions are applied with DGER/DGEMV fix-ups.
+3. **Scheme dispatch** (Section 3.2): ``beta == 0`` uses STRASSEN1's
+   two-temporary variant (extra memory ``(m*max(k,n) + kn)/3``); general
+   ``beta`` uses STRASSEN2's three-temporary multiply-accumulate schedule
+   (``(mk + kn + mn)/3``) — the Table 1 "DGEFMM" row.
+
+Example
+-------
+>>> import numpy as np
+>>> from repro import dgefmm
+>>> rng = np.random.default_rng(7)
+>>> A = rng.standard_normal((300, 300))
+>>> B = rng.standard_normal((300, 300))
+>>> C = np.zeros((300, 300), order="F")
+>>> dgefmm(A, B, C)                                   # doctest: +ELLIPSIS
+array(...)
+>>> bool(np.allclose(C, A @ B))
+True
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.blas.addsub import axpby
+from repro.blas.level3 import DEFAULT_TILE, dgemm
+from repro.blas.validate import opshape, require_matrix, require_writable
+from repro.context import (
+    ExecutionContext,
+    RecursionEvent,
+    ensure_context,
+)
+from repro.core.cutoff import CutoffCriterion, DepthCutoff, HybridCutoff
+from repro.core.peeling import (
+    apply_fixups,
+    apply_fixups_head,
+    core_views,
+    peel_split,
+)
+from repro.core.strassen1 import (
+    strassen1_beta0_level,
+    strassen1_general_level,
+)
+from repro.core.strassen2 import strassen2_level
+from repro.core.textbook import textbook_level
+from repro.core.workspace import Workspace
+from repro.errors import ArgumentError, DimensionError
+
+__all__ = ["dgefmm", "zgefmm", "DEFAULT_CUTOFF", "SCHEMES"]
+
+#: Default cutoff for hosts where no calibration has been run.  The tau
+#: values are deliberately conservative for a numpy-kernel substrate; the
+#: calibration example (examples/cutoff_tuning.py) shows how to measure
+#: machine-specific parameters the way Section 4.2 does.
+DEFAULT_CUTOFF = HybridCutoff(tau=128, tau_m=96, tau_k=96, tau_n=96)
+
+#: Recognised values of the ``scheme`` argument.
+SCHEMES = ("auto", "strassen1", "strassen1_general", "strassen2", "textbook")
+
+
+def dgefmm(
+    a: Any,
+    b: Any,
+    c: Any,
+    alpha: float = 1.0,
+    beta: float = 0.0,
+    transa: bool = False,
+    transb: bool = False,
+    *,
+    cutoff: Optional[CutoffCriterion] = None,
+    scheme: str = "auto",
+    peel: str = "tail",
+    ctx: Optional[ExecutionContext] = None,
+    workspace: Optional[Workspace] = None,
+    nb: int = DEFAULT_TILE,
+    backend: str = "substrate",
+) -> Any:
+    """Strassen-based GEMM: ``C <- alpha*op(A)*op(B) + beta*C`` in place.
+
+    Parameters
+    ----------
+    a, b, c:
+        numpy arrays (any strides; Fortran order is fastest) or Phantoms
+        in dry mode.  ``op(A)`` is m-by-k, ``op(B)`` k-by-n, ``C`` m-by-n;
+        ``C`` is mutated and returned.
+    alpha, beta:
+        DGEMM scalars.  ``beta == 0`` means C's input content is ignored.
+    transa, transb:
+        Apply the operation to ``A^T`` / ``B^T`` (views; nothing copied).
+    cutoff:
+        A :class:`~repro.core.cutoff.CutoffCriterion`; default
+        :data:`DEFAULT_CUTOFF`.  Recursion also stops whenever a dimension
+        drops below 2.
+    scheme:
+        ``"auto"`` (the paper's DGEFMM dispatch: STRASSEN1 when beta = 0,
+        STRASSEN2 otherwise), or force ``"strassen1"``, ``"strassen2"``,
+        or ``"strassen1_general"`` (the general schedule at every level,
+        reproducing Table 1's 2m^2 figure) for study.
+    peel:
+        Odd-dimension peeling side, ``"tail"`` (the paper's: strip the
+        last row/column) or ``"head"`` (strip the first) — an alternate
+        peeling technique from the paper's future-work list; costs are
+        identical by symmetry.
+    ctx:
+        Instrumentation/simulation context (op counts, model time, trace).
+    workspace:
+        Workspace to draw temporaries from (default: a fresh one).  The
+        peak is reported in ``ctx.stats["workspace_peak_bytes"]``.
+    nb:
+        Tile edge for the base-case standard-algorithm kernel.
+    backend:
+        Base-case kernel backend (see :data:`repro.blas.level3.BACKENDS`):
+        ``"substrate"`` (default, the package's own standard-algorithm
+        kernel) or ``"vendor"`` (numpy's BLAS matmul) for modern-host
+        practicality experiments.
+    """
+    ctx = ensure_context(ctx)
+    require_matrix("dgefmm", "a", a)
+    require_matrix("dgefmm", "b", b)
+    require_matrix("dgefmm", "c", c)
+    require_writable("dgefmm", "c", c)
+    if scheme not in SCHEMES:
+        raise ArgumentError(
+            "dgefmm", "scheme", f"must be one of {SCHEMES}, got {scheme!r}"
+        )
+    if peel not in ("tail", "head"):
+        raise ArgumentError(
+            "dgefmm", "peel", f"must be 'tail' or 'head', got {peel!r}"
+        )
+    m, k = opshape(a, transa)
+    kb, n = opshape(b, transb)
+    if kb != k:
+        raise DimensionError(f"dgefmm: op(A) is {m}x{k} but op(B) is {kb}x{n}")
+    if tuple(c.shape) != (m, n):
+        raise DimensionError(
+            f"dgefmm: C has shape {tuple(c.shape)}, expected {(m, n)}"
+        )
+
+    crit = cutoff if cutoff is not None else DEFAULT_CUTOFF
+    ws = workspace if workspace is not None else Workspace(dry=ctx.dry)
+    opa = a.T if transa else a
+    opb = b.T if transb else b
+
+    _rec(opa, opb, c, alpha, beta, 0, crit, scheme, peel, ctx, ws, nb,
+         backend)
+
+    ctx.stats["workspace_peak_bytes"] = max(
+        ctx.stats.get("workspace_peak_bytes", 0), ws.peak_bytes
+    )
+    return c
+
+
+def zgefmm(
+    a: Any,
+    b: Any,
+    c: Any,
+    alpha: complex = 1.0,
+    beta: complex = 0.0,
+    transa: bool = False,
+    transb: bool = False,
+    **kwargs: Any,
+) -> Any:
+    """Complex GEMM by the same Strassen machinery (ZGEMM counterpart).
+
+    The paper notes DGEMMW "also provides routines for multiplying
+    complex matrices, a feature not contained in our package"; this
+    extension closes that gap.  Strassen's construction is field-
+    agnostic, so the schedules run unchanged over complex128 operands
+    (temporaries are allocated in the output's dtype); each "multiply"
+    in the operation-count model then stands for one complex multiply.
+
+    ``transa``/``transb`` request the **transpose**, not the conjugate
+    transpose (matching ``op(X) = X^T`` in the real interface); apply
+    ``numpy.conj`` to an operand view for the conjugated case.
+    """
+    return dgefmm(a, b, c, alpha, beta, transa, transb, **kwargs)
+
+
+def _scale_only(c: Any, beta: float, ctx: ExecutionContext) -> None:
+    """``C <- beta*C`` — the k == 0 / alpha == 0 degenerate GEMM."""
+    if c.shape[0] and c.shape[1]:
+        axpby(0.0, c, beta, c, ctx=ctx)
+
+
+def _pick_level(scheme: str, beta: float):
+    """Resolve (level function, child scheme) for this node.
+
+    The child scheme matters for ``"strassen1"``: the paper's Table 1
+    figure for the general case assumes the seven (beta = 0) products are
+    "computed recursively using the same algorithm", i.e. the general
+    six-temporary schedule — so the general variant pins its children to
+    ``"strassen1_general"`` rather than letting them drop back to the
+    cheaper beta = 0 variant.
+    """
+    if scheme == "auto":
+        return ("s1b0" if beta == 0.0 else "s2"), "auto"
+    if scheme == "strassen2":
+        return "s2", "strassen2"
+    if scheme == "strassen1":
+        if beta == 0.0:
+            return "s1b0", "strassen1"
+        return "s1g", "strassen1_general"
+    if scheme == "textbook":
+        return "tb", "textbook"
+    # strassen1_general
+    return "s1g", "strassen1_general"
+
+
+def _rec(
+    a: Any,
+    b: Any,
+    c: Any,
+    alpha: float,
+    beta: float,
+    depth: int,
+    crit: CutoffCriterion,
+    scheme: str,
+    peel: str,
+    ctx: ExecutionContext,
+    ws: Workspace,
+    nb: int,
+    backend: str = "substrate",
+) -> None:
+    """Recursive body: cutoff test, peel, schedule, fix-ups."""
+    m, k = a.shape
+    n = b.shape[1]
+    if m == 0 or n == 0:
+        return
+    if k == 0 or alpha == 0.0:
+        _scale_only(c, beta, ctx)
+        return
+    if crit.stop(m, k, n) or min(m, k, n) < 2:
+        ctx.record(RecursionEvent("base", m, k, n, depth))
+        dgemm(a, b, c, alpha, beta, ctx=ctx, nb=nb, backend=backend)
+        return
+
+    mp, kp, np_ = peel_split(m, k, n)
+    peeled = (mp, kp, np_) != (m, k, n)
+    if peeled:
+        ctx.record(RecursionEvent("peel", m, k, n, depth))
+    level, child_scheme = _pick_level(scheme, beta)
+    ctx.record(RecursionEvent("recurse", mp, kp, np_, depth, scheme=level))
+
+    if peeled:
+        core_a, core_b, core_c = core_views(a, b, c, peel)
+    else:
+        core_a, core_b, core_c = a, b, c
+
+    def recurse(aa: Any, bb: Any, cc: Any, al: float, be: float) -> None:
+        _rec(aa, bb, cc, al, be, depth + 1, crit, child_scheme, peel,
+             ctx, ws, nb, backend)
+
+    stateful = isinstance(crit, DepthCutoff)
+    if stateful:
+        crit.descend()
+    try:
+        if level == "s1b0":
+            strassen1_beta0_level(
+                core_a, core_b, core_c, alpha, ctx=ctx, ws=ws, recurse=recurse
+            )
+        elif level == "s1g":
+            strassen1_general_level(
+                core_a, core_b, core_c, alpha, beta,
+                ctx=ctx, ws=ws, recurse=recurse,
+            )
+        elif level == "tb":
+            textbook_level(
+                core_a, core_b, core_c, alpha, beta,
+                ctx=ctx, ws=ws, recurse=recurse,
+            )
+        else:
+            strassen2_level(
+                core_a, core_b, core_c, alpha, beta,
+                ctx=ctx, ws=ws, recurse=recurse,
+            )
+    finally:
+        if stateful:
+            crit.ascend()
+
+    if peeled:
+        if peel == "tail":
+            apply_fixups(a, b, c, alpha, beta, ctx=ctx)
+        else:
+            apply_fixups_head(a, b, c, alpha, beta, ctx=ctx)

@@ -1,0 +1,218 @@
+"""The operation-count model of paper Section 2.
+
+All costs are arithmetic operation counts (multiplies + adds), following
+the paper's conventions::
+
+    M(m, k, n) = 2mkn - mn      standard multiply of (m x k) by (k x n)
+    G(m, n)    = mn             matrix addition/subtraction
+
+Strassen/Winograd cost obeys the recurrence (paper eq. 2)::
+
+    W(m,k,n) = M(m,k,n)                                  if cutoff stops
+             = 7 W(m/2,k/2,n/2) + 4 G(m/2,k/2)
+                 + 4 G(k/2,n/2) + 7 G(m/2,n/2)           otherwise
+
+with closed forms for fixed recursion depth d (eqs. 3-5).  The module also
+exposes the paper's headline analysis numbers — the theoretical square
+cutoff of 12 (eqs. 7/8), the 7/8 asymptotic ratio (eq. 1), the 38.2 %
+improvement of cutoff-12 over full recursion at order 256, and the
+Winograd-vs-original comparison — all of which the test suite asserts.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.core.cutoff import CutoffCriterion, TheoreticalCutoff
+
+__all__ = [
+    "standard_ops",
+    "add_ops",
+    "one_level_ratio",
+    "winograd_depth_ops",
+    "winograd_square_ops",
+    "strassen_square_ops",
+    "strassen_ops",
+    "theoretical_square_cutoff",
+    "winograd_vs_strassen_limit",
+    "cutoff_improvement_square",
+]
+
+
+def standard_ops(m: int, k: int, n: int) -> float:
+    """``M(m,k,n) = 2mkn - mn``: ops of the standard algorithm."""
+    return 2.0 * m * k * n - float(m) * n
+
+
+def add_ops(m: int, n: int) -> float:
+    """``G(m,n) = mn``: ops of one matrix addition/subtraction."""
+    return float(m) * n
+
+
+def one_level_ratio(m: int) -> float:
+    """Paper eq. (1): ratio of one-level-Strassen ops to standard ops.
+
+    ``(7m^3 + 11m^2) / (8m^3 - 4m^2)`` — approaches 7/8 for large m.
+    (Stated for Strassen's original 18-add version on square matrices,
+    as in the paper's Section 2 derivation.)
+    """
+    if m <= 0 or m % 2:
+        raise ValueError(f"one_level_ratio requires positive even m, got {m}")
+    num = 7.0 * m**3 + 11.0 * m**2
+    den = 8.0 * m**3 - 4.0 * m**2
+    return num / den
+
+
+def winograd_depth_ops(d: int, m0: int, k0: int, n0: int) -> float:
+    """Paper eq. (3): Winograd cost with exactly d recursion levels.
+
+    Input sizes are ``2^d m0 x 2^d k0`` and ``2^d k0 x 2^d n0``; the d-th
+    level's products (size m0 x k0 x n0) use the standard algorithm.
+    """
+    if d < 0:
+        raise ValueError(f"depth must be >= 0, got {d}")
+    mul_term = 7.0**d * (2.0 * m0 * k0 * n0 - float(m0) * n0)
+    add_term = (
+        (7.0**d - 4.0**d)
+        * (4.0 * m0 * k0 + 4.0 * k0 * n0 + 7.0 * m0 * n0)
+        / 3.0
+    )
+    return mul_term + add_term
+
+
+def winograd_square_ops(d: int, m0: int) -> float:
+    """Paper eq. (4): square specialization of eq. (3).
+
+    ``W(2^d m0) = 7^d (2 m0^3 - m0^2) + 5 m0^2 (7^d - 4^d)``.
+    """
+    if d < 0:
+        raise ValueError(f"depth must be >= 0, got {d}")
+    return 7.0**d * (2.0 * m0**3 - float(m0) ** 2) + 5.0 * m0**2 * (
+        7.0**d - 4.0**d
+    )
+
+
+def strassen_square_ops(d: int, m0: int) -> float:
+    """Paper eq. (5): as eq. (4) but for Strassen's original (18 adds).
+
+    ``S(2^d m0) = 7^d (2 m0^3 - m0^2) + 6 m0^2 (7^d - 4^d)``.
+    """
+    if d < 0:
+        raise ValueError(f"depth must be >= 0, got {d}")
+    return 7.0**d * (2.0 * m0**3 - float(m0) ** 2) + 6.0 * m0**2 * (
+        7.0**d - 4.0**d
+    )
+
+
+def strassen_ops(
+    m: int,
+    k: int,
+    n: int,
+    criterion: Optional[CutoffCriterion] = None,
+    *,
+    adds_per_level: int = 15,
+) -> float:
+    """Paper eq. (2): Winograd op count under an arbitrary cutoff criterion.
+
+    Requires even dimensions along the whole recursion when recursion is
+    taken (the model of Section 2 assumes even splits; peeled execution is
+    measured, not modeled — the paper does the same).  ``adds_per_level``
+    may be set to 18 to model Strassen's original variant; the split of
+    additions among the three block shapes is then 5 A-shaped, 5 B-shaped
+    and 8 C-shaped, versus Winograd's 4 + 4 + 7.
+    """
+    crit = criterion if criterion is not None else TheoreticalCutoff()
+    if adds_per_level == 15:
+        a_adds, b_adds, c_adds = 4, 4, 7
+    elif adds_per_level == 18:
+        a_adds, b_adds, c_adds = 5, 5, 8
+    else:
+        raise ValueError(
+            f"adds_per_level must be 15 (Winograd) or 18 (Strassen), "
+            f"got {adds_per_level}"
+        )
+
+    from repro.core.cutoff import DepthCutoff
+
+    stateful = isinstance(crit, DepthCutoff)
+
+    def w(m_: int, k_: int, n_: int) -> float:
+        if (
+            crit.stop(m_, k_, n_)
+            or m_ % 2
+            or k_ % 2
+            or n_ % 2
+            or min(m_, k_, n_) < 2
+        ):
+            return standard_ops(m_, k_, n_)
+        h_m, h_k, h_n = m_ // 2, k_ // 2, n_ // 2
+        if stateful:
+            crit.descend()
+        try:
+            sub = 7.0 * w(h_m, h_k, h_n)
+        finally:
+            if stateful:
+                crit.ascend()
+        return (
+            sub
+            + a_adds * add_ops(h_m, h_k)
+            + b_adds * add_ops(h_k, h_n)
+            + c_adds * add_ops(h_m, h_n)
+        )
+
+    return w(m, k, n)
+
+
+def theoretical_square_cutoff() -> int:
+    """Largest square order at which eq. (7) says to stop: 12.
+
+    (Stop iff ``m^3 <= 12 m^2``, i.e. m <= 12.)
+    """
+    crit = TheoreticalCutoff()
+    m = 1
+    while crit.stop(m + 1, m + 1, m + 1):
+        m += 1
+    return m
+
+
+def winograd_vs_strassen_limit(m0: int) -> float:
+    """Limit as d -> infinity of eq.(5)/eq.(4): ``(5 + 2 m0)/(4 + 2 m0)``.
+
+    14.3 % improvement at full recursion (m0 = 1); 5.26 %-3.45 % for
+    m0 in 7..12 (the bottom sizes that occur with the optimal cutoff 12).
+    """
+    if m0 < 1:
+        raise ValueError(f"m0 must be >= 1, got {m0}")
+    return (5.0 + 2.0 * m0) / (4.0 + 2.0 * m0)
+
+
+def cutoff_improvement_square(
+    order: int,
+    full_m0: int = 1,
+    cut_depth: Optional[int] = None,
+    cut_m0: Optional[int] = None,
+) -> float:
+    """Ratio of Winograd ops without cutoff to with cutoff, square case.
+
+    The paper's example: order 256 = 2^8*1 (full recursion) versus
+    2^5*8 (cutoff 12 leaves bottom blocks of order 8), ratio ~= 1.382,
+    i.e. a 38.2 % improvement from using cutoffs.
+
+    When ``cut_depth``/``cut_m0`` are omitted they are derived from the
+    optimal theoretical cutoff: halve while the order exceeds 12.
+    """
+    d_full = 0
+    m0 = order
+    while m0 % 2 == 0 and m0 // 2 >= full_m0:
+        m0 //= 2
+        d_full += 1
+    if cut_depth is None or cut_m0 is None:
+        tau = theoretical_square_cutoff()
+        cut_m0 = order
+        cut_depth = 0
+        while cut_m0 % 2 == 0 and cut_m0 > tau:
+            cut_m0 //= 2
+            cut_depth += 1
+    return winograd_square_ops(d_full, m0) / winograd_square_ops(
+        cut_depth, cut_m0
+    )

@@ -1,0 +1,151 @@
+"""Padding strategies for odd dimensions (paper Section 2).
+
+The paper contrasts three ways of dealing with odd matrix dimensions:
+
+- **static padding** — Strassen's original suggestion: pad the inputs up
+  front with zero rows/columns so that *every* dimension met during the
+  planned ``d`` recursion levels is even (i.e. round each dimension up to
+  a multiple of ``2^d``); strip the padding from the product at the end.
+- **dynamic padding** — pad by a single zero row/column at each recursion
+  level where an odd dimension appears (used by DGEMMW [8]).
+- **dynamic peeling** — the paper's choice (see
+  :mod:`repro.core.peeling`): strip instead of pad, and fix up.
+
+This module implements both padding strategies.  They serve two purposes:
+(1) the comparator codes (:mod:`repro.comparators`) are built on them, and
+(2) the padding-vs-peeling ablation benchmark quantifies the trade-off the
+paper's operation-count analysis [14] predicted in peeling's favour.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Tuple
+
+from repro.blas.addsub import mcopy, mzero
+from repro.context import ExecutionContext
+from repro.core.workspace import Workspace
+
+__all__ = [
+    "round_up_multiple",
+    "static_pad_shape",
+    "pad_into",
+    "dynamic_pad_operands",
+    "run_statically_padded",
+]
+
+
+def round_up_multiple(x: int, q: int) -> int:
+    """Smallest multiple of ``q`` that is >= ``x``."""
+    if q <= 0:
+        raise ValueError(f"q must be positive, got {q}")
+    return -(-x // q) * q
+
+
+def static_pad_shape(m: int, k: int, n: int, depth: int) -> Tuple[int, int, int]:
+    """Dims rounded up so ``depth`` halvings keep everything even.
+
+    With ``depth`` planned recursion levels, every dimension must be a
+    multiple of ``2^depth``.
+    """
+    q = 1 << depth
+    return (
+        round_up_multiple(m, q),
+        round_up_multiple(k, q),
+        round_up_multiple(n, q),
+    )
+
+
+def pad_into(
+    x: Any,
+    padded: Any,
+    *,
+    ctx: ExecutionContext,
+) -> Any:
+    """Copy ``x`` into the top-left corner of ``padded``, zero elsewhere.
+
+    ``padded`` must be at least as large as ``x`` in both dimensions.
+    Charged as one zero-fill plus one copy (what an implementation that
+    pads would actually pay in memory traffic).
+    """
+    m, n = x.shape
+    pm, pn = padded.shape
+    if pm < m or pn < n:
+        from repro.errors import DimensionError
+
+        raise DimensionError(
+            f"pad_into: target {padded.shape} smaller than source {x.shape}"
+        )
+    # Zero only the margin (the copy overwrites the corner anyway); the
+    # margin is charged as a zero of the two border strips.
+    if pn > n:
+        mzero(padded[:, n:], ctx=ctx)
+    if pm > m:
+        mzero(padded[m:, :n], ctx=ctx)
+    mcopy(x, padded[:m, :n], ctx=ctx)
+    return padded
+
+
+def dynamic_pad_operands(
+    a: Any,
+    b: Any,
+    ws: Workspace,
+    *,
+    ctx: ExecutionContext,
+) -> Tuple[Any, Any, Tuple[int, int, int]]:
+    """One level of dynamic padding: round odd dims of A/B up by one.
+
+    Returns even-dimensioned operands (padded workspace copies where
+    needed, the originals otherwise) and the padded (m, k, n).  The caller
+    is responsible for computing into a padded C and cropping — see
+    :func:`repro.comparators.dgemmw.dgemmw`.
+
+    Must be called inside an open workspace frame; the padded buffers are
+    drawn from it and released with the frame.
+    """
+    m, k = a.shape
+    n = b.shape[1]
+    dt = getattr(a, "dtype", None) or "float64"
+    pm, pk, pn = m + (m & 1), k + (k & 1), n + (n & 1)
+    pa, pb = a, b
+    if (pm, pk) != (m, k):
+        pa = pad_into(a, ws.alloc(pm, pk, dt), ctx=ctx)
+    if (pk, pn) != (k, n):
+        pb = pad_into(b, ws.alloc(pk, pn, dt), ctx=ctx)
+    return pa, pb, (pm, pk, pn)
+
+
+def run_statically_padded(
+    a: Any,
+    b: Any,
+    c: Any,
+    alpha: float,
+    beta: float,
+    depth: int,
+    multiply_even: Callable[[Any, Any, Any, float, float], None],
+    ws: Workspace,
+    *,
+    ctx: ExecutionContext,
+) -> None:
+    """Static padding driver: pad, multiply with ``multiply_even``, crop.
+
+    ``multiply_even`` receives operands whose dimensions are multiples of
+    ``2^depth`` and computes ``Cp <- alpha*Ap*Bp`` (beta = 0 on the padded
+    product); the caller's ``beta`` is applied during the crop-accumulate.
+    When no padding is needed the product is computed directly into ``c``
+    with the caller's ``beta``.
+    """
+    from repro.blas.addsub import axpby
+
+    m, k = a.shape
+    n = b.shape[1]
+    pm, pk, pn = static_pad_shape(m, k, n, depth)
+    if (pm, pk, pn) == (m, k, n):
+        multiply_even(a, b, c, alpha, beta)
+        return
+    dt = getattr(c, "dtype", None) or "float64"
+    with ws.frame():
+        pa = pad_into(a, ws.alloc(pm, pk, dt), ctx=ctx) if (pm, pk) != (m, k) else a
+        pb = pad_into(b, ws.alloc(pk, pn, dt), ctx=ctx) if (pk, pn) != (k, n) else b
+        pc = ws.alloc(pm, pn, dt)
+        multiply_even(pa, pb, pc, alpha, 0.0)
+        axpby(1.0, pc[:m, :n], beta, c, ctx=ctx)

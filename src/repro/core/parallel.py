@@ -1,0 +1,185 @@
+"""Task-parallel DGEFMM — the paper's "extend ... to use parallelism".
+
+Strassen's construction is naturally task-parallel: after stages (1) and
+(2) produce the S/T block sums, the seven products of stage (3) touch
+disjoint outputs and read-only inputs.  :func:`pdgefmm` runs one such
+level with the products dispatched to a thread pool (each product is a
+full serial :func:`~repro.core.dgefmm.dgefmm` recursion; numpy's einsum
+kernels release the GIL, so threads genuinely overlap), then combines
+stage (4) serially.
+
+The parallel level deliberately abandons the memory frugality of the
+serial schedules: all four S, all four T and all seven P blocks are live
+at once (mk + kn + 7mn/4 extra in the general case), the classical
+memory-for-parallelism trade the paper's serial design avoided.  The
+workspace accounting makes that cost visible, as everywhere else.
+
+Instrumentation: worker threads charge private contexts which are merged
+into the caller's context afterwards, so op counts remain exact;
+``elapsed`` (model time) accumulates *summed* worker time, i.e. it stays
+a work measure, not a wall-clock prediction.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Optional
+
+from repro.blas.addsub import accum, axpby, madd, msub
+from repro.blas.level3 import DEFAULT_TILE, dgemm
+from repro.blas.validate import opshape, require_matrix, require_writable
+from repro.context import ExecutionContext, ensure_context
+from repro.core.cutoff import CutoffCriterion
+from repro.core.dgefmm import DEFAULT_CUTOFF, dgefmm
+from repro.core.peeling import apply_fixups, peel_split
+from repro.core.workspace import Workspace
+from repro.errors import DimensionError
+
+__all__ = ["pdgefmm"]
+
+
+def pdgefmm(
+    a: Any,
+    b: Any,
+    c: Any,
+    alpha: float = 1.0,
+    beta: float = 0.0,
+    transa: bool = False,
+    transb: bool = False,
+    *,
+    workers: int = 7,
+    cutoff: Optional[CutoffCriterion] = None,
+    ctx: Optional[ExecutionContext] = None,
+    workspace: Optional[Workspace] = None,
+    nb: int = DEFAULT_TILE,
+) -> Any:
+    """Parallel Strassen GEMM: ``C <- alpha*op(A)*op(B) + beta*C``.
+
+    One Winograd level with its seven products run on up to ``workers``
+    threads; below that level each product is an ordinary serial DGEFMM
+    (with the given cutoff).  Falls back to serial DGEFMM whenever the
+    cutoff declines the top-level recursion.  Not supported in dry mode
+    (simulated time has no thread model).
+    """
+    ctx = ensure_context(ctx)
+    if ctx.dry:
+        raise DimensionError("pdgefmm does not support dry-run contexts")
+    require_matrix("pdgefmm", "a", a)
+    require_matrix("pdgefmm", "b", b)
+    require_matrix("pdgefmm", "c", c)
+    require_writable("pdgefmm", "c", c)
+    if workers < 1:
+        raise DimensionError(f"pdgefmm: workers={workers} must be >= 1")
+    m, k = opshape(a, transa)
+    kb, n = opshape(b, transb)
+    if kb != k:
+        raise DimensionError(f"pdgefmm: op(A) is {m}x{k} but op(B) is {kb}x{n}")
+    if tuple(c.shape) != (m, n):
+        raise DimensionError(
+            f"pdgefmm: C has shape {tuple(c.shape)}, expected {(m, n)}"
+        )
+    crit = cutoff if cutoff is not None else DEFAULT_CUTOFF
+    ws = workspace if workspace is not None else Workspace()
+    opa = a.T if transa else a
+    opb = b.T if transb else b
+
+    if m == 0 or n == 0:
+        return c
+    if (
+        k == 0
+        or alpha == 0.0
+        or crit.stop(m, k, n)
+        or min(m, k, n) < 2
+    ):
+        return dgefmm(a, b, c, alpha, beta, transa, transb,
+                      cutoff=crit, ctx=ctx, workspace=ws, nb=nb)
+
+    mp, kp, np_ = peel_split(m, k, n)
+    _parallel_level(
+        opa[:mp, :kp], opb[:kp, :np_], c[:mp, :np_], alpha, beta,
+        workers, crit, ctx, ws, nb,
+    )
+    if (mp, kp, np_) != (m, k, n):
+        apply_fixups(opa, opb, c, alpha, beta, ctx=ctx)
+    ctx.stats["workspace_peak_bytes"] = max(
+        ctx.stats.get("workspace_peak_bytes", 0), ws.peak_bytes
+    )
+    return c
+
+
+def _parallel_level(
+    a: Any,
+    b: Any,
+    c: Any,
+    alpha: float,
+    beta: float,
+    workers: int,
+    crit: CutoffCriterion,
+    ctx: ExecutionContext,
+    ws: Workspace,
+    nb: int,
+) -> None:
+    m, k = a.shape
+    n = b.shape[1]
+    hm, hk, hn = m // 2, k // 2, n // 2
+    dt = getattr(c, "dtype", None) or "float64"
+
+    a11, a12, a21, a22 = a[:hm, :hk], a[:hm, hk:], a[hm:, :hk], a[hm:, hk:]
+    b11, b12, b21, b22 = b[:hk, :hn], b[:hk, hn:], b[hk:, :hn], b[hk:, hn:]
+    c11, c12, c21, c22 = c[:hm, :hn], c[:hm, hn:], c[hm:, :hn], c[hm:, hn:]
+
+    with ws.frame():
+        # stages (1)/(2): all eight sums materialized (read-only inputs
+        # for the concurrent products)
+        s1 = madd(a21, a22, ws.alloc(hm, hk, dt), ctx=ctx)
+        s2 = msub(s1, a11, ws.alloc(hm, hk, dt), ctx=ctx)
+        s3 = msub(a11, a21, ws.alloc(hm, hk, dt), ctx=ctx)
+        s4 = msub(a12, s2, ws.alloc(hm, hk, dt), ctx=ctx)
+        t1 = msub(b12, b11, ws.alloc(hk, hn, dt), ctx=ctx)
+        t2 = msub(b22, t1, ws.alloc(hk, hn, dt), ctx=ctx)
+        t3 = msub(b22, b12, ws.alloc(hk, hn, dt), ctx=ctx)
+        t4 = msub(t2, b21, ws.alloc(hk, hn, dt), ctx=ctx)
+
+        ps = [ws.alloc(hm, hn, dt) for _ in range(7)]
+        p1, p2, p3, p4, p5, p6, p7 = ps
+        jobs = [
+            (a11, b11, p1), (a12, b21, p2), (s4, b22, p3), (a22, t4, p4),
+            (s1, t1, p5), (s2, t2, p6), (s3, t3, p7),
+        ]
+
+        worker_ctxs = [ExecutionContext() for _ in jobs]
+
+        def run(idx: int) -> None:
+            aa, bb, cc = jobs[idx]
+            # each worker gets a private workspace and context; the
+            # serial recursion below is the ordinary DGEFMM
+            dgefmm(aa, bb, cc, 1.0, 0.0, cutoff=crit,
+                   ctx=worker_ctxs[idx], workspace=Workspace(), nb=nb)
+
+        if workers == 1:
+            for i in range(len(jobs)):
+                run(i)
+        else:
+            with ThreadPoolExecutor(max_workers=min(workers, 7)) as pool:
+                list(pool.map(run, range(len(jobs))))
+
+        # merge worker instrumentation (work, not wall time)
+        for wctx in worker_ctxs:
+            ctx.mul_flops += wctx.mul_flops
+            ctx.add_flops += wctx.add_flops
+            ctx.flops += wctx.flops
+            ctx.elapsed += wctx.elapsed
+            ctx.kernel_calls.update(wctx.kernel_calls)
+
+        # stage (4), serial: U-tree over the materialized products
+        accum(p1, p6, ctx=ctx)                 # p6 = U2
+        accum(p1, p2, ctx=ctx)                 # p2 = U1
+        axpby(alpha, p2, beta, c11, ctx=ctx)   # C11 done
+        accum(p6, p7, ctx=ctx)                 # p7 = U3
+        axpby(alpha, p7, beta, c21, ctx=ctx)
+        axpby(-alpha, p4, 1.0, c21, ctx=ctx)   # C21 done
+        axpby(alpha, p7, beta, c22, ctx=ctx)
+        axpby(alpha, p5, 1.0, c22, ctx=ctx)    # C22 done
+        accum(p6, p5, ctx=ctx)                 # p5 = U4
+        accum(p3, p5, ctx=ctx)                 # p5 = U5
+        axpby(alpha, p5, beta, c12, ctx=ctx)   # C12 done

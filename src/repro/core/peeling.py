@@ -1,0 +1,152 @@
+"""Dynamic peeling for odd dimensions (paper Sections 2 and 3.3).
+
+When any of (m, k, n) is odd, DGEFMM strips the trailing row/column,
+applies Strassen's construction to the even core, and applies the peeled
+contributions as *fix-up* work.  Partitioning (paper eq. 9, all dims odd)::
+
+    A = [[A11, a12],      B = [[B11, b12],
+         [a21, a22]]           [b21, b22]]
+
+    C11 <- alpha*(A11 B11 + a12 b21) + beta*C11     (core + rank-one DGER)
+    c12 <- alpha*[A11 a12][b12; b22] + beta*c12     (one DGEMV, full k)
+    [c21 c22] <- alpha*[a21 a22] B + beta*[c21 c22] (one DGEMV^T, full k,n)
+
+The three steps are exactly the paper's combined fix-up: one BLAS rank-one
+update plus two matrix-vector products — no special cases inside the
+Strassen schedules and no extra temporary memory.
+
+This module provides the dimension split and the fix-up executor; the
+driver in :mod:`repro.core.dgefmm` calls them around every recursion level
+that encounters odd dimensions (peeling is *dynamic*: it happens at each
+level where it is needed, not once up front).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Tuple
+
+from repro.blas.level2 import dgemv, dger
+from repro.context import ExecutionContext
+
+__all__ = [
+    "peel_split",
+    "apply_fixups",
+    "apply_fixups_head",
+    "core_views",
+    "fixup_ops",
+]
+
+
+def peel_split(m: int, k: int, n: int) -> Tuple[int, int, int]:
+    """Even-core dimensions: each odd dimension loses one index."""
+    return m - (m & 1), k - (k & 1), n - (n & 1)
+
+
+def core_views(a: Any, b: Any, c: Any, side: str = "tail"):
+    """Even-core operand views for the chosen peeling side.
+
+    ``side="tail"`` (the paper's choice) strips the *last* row/column of
+    each odd dimension; ``side="head"`` strips the *first* — one of the
+    "alternate peeling techniques" the paper's future work proposes
+    investigating.  Head peeling produces non-contiguous-leading cores
+    (offset views), which on real column-major BLAS would shift panel
+    alignment; numpy strides make it free here, and the op/time costs
+    are identical by symmetry — which the ablation test verifies.
+    """
+    m, k = a.shape
+    n = b.shape[1]
+    mo, ko, no = m & 1, k & 1, n & 1
+    if side == "tail":
+        return a[: m - mo, : k - ko], b[: k - ko, : n - no], c[: m - mo, : n - no]
+    if side == "head":
+        return a[mo:, ko:], b[ko:, no:], c[mo:, no:]
+    raise ValueError(f"unknown peeling side {side!r}")
+
+
+def apply_fixups(
+    a: Any,
+    b: Any,
+    c: Any,
+    alpha: float,
+    beta: float,
+    *,
+    ctx: Optional[ExecutionContext] = None,
+) -> None:
+    """Apply the peeling fix-up contributions to ``C`` in place.
+
+    ``a``, ``b``, ``c`` are the full (possibly odd-dimensioned) operands,
+    *after* transposition has been resolved to plain views; the even core
+    ``C[:mp,:np] += alpha*A[:mp,:kp] B[:kp,:np]`` must already have been
+    computed (with its ``beta`` scaling).  The fix-ups are:
+
+    - ``k`` odd:  DGER rank-one update of the core block with the peeled
+      column of A times the peeled row of B;
+    - ``n`` odd:  DGEMV for the last column of C (uses the **full** k,
+      covering both the core and peeled-k contributions);
+    - ``m`` odd:  transposed DGEMV for the last row of C (full k and n,
+      including the bottom-right corner element).
+    """
+    m, k = a.shape
+    n = b.shape[1]
+    mp, kp, np_ = peel_split(m, k, n)
+    if kp < k and mp and np_:
+        # C11 += alpha * a12 * b21^T   (rank-one, paper's first fix-up)
+        dger(a[:mp, kp], b[kp, :np_], c[:mp, :np_], alpha=alpha, ctx=ctx)
+    if np_ < n and mp:
+        # c12 <- alpha * A[:mp, :] * B[:, n-1] + beta * c12   (full k)
+        dgemv(
+            a[:mp, :], b[:, np_], c[:mp, np_],
+            alpha=alpha, beta=beta, ctx=ctx,
+        )
+    if mp < m:
+        # [c21 c22] <- alpha * B^T * A[m-1, :]^T + beta * row   (full k, n)
+        dgemv(
+            b, a[mp, :], c[mp, :],
+            alpha=alpha, beta=beta, trans=True, ctx=ctx,
+        )
+
+
+def apply_fixups_head(
+    a: Any,
+    b: Any,
+    c: Any,
+    alpha: float,
+    beta: float,
+    *,
+    ctx: Optional[ExecutionContext] = None,
+) -> None:
+    """Head-side fix-ups: mirror image of :func:`apply_fixups`.
+
+    The stripped *first* row/column contributions: a rank-one update of
+    the core with A's first column times B's first row (k odd), a DGEMV
+    for C's first column (n odd, full k), and a transposed DGEMV for C's
+    first row (m odd, full k and n).
+    """
+    m, k = a.shape
+    n = b.shape[1]
+    mo, ko, no = m & 1, k & 1, n & 1
+    if ko and m - mo and n - no:
+        dger(a[mo:, 0], b[0, no:], c[mo:, no:], alpha=alpha, ctx=ctx)
+    if no and m - mo:
+        dgemv(a[mo:, :], b[:, 0], c[mo:, 0], alpha=alpha, beta=beta, ctx=ctx)
+    if mo:
+        dgemv(b, a[0, :], c[0, :], alpha=alpha, beta=beta, trans=True,
+              ctx=ctx)
+
+
+def fixup_ops(m: int, k: int, n: int) -> float:
+    """Operation count of the fix-up work for one peeled level.
+
+    DGER on (mp x np): 2*mp*np; DGEMV column: 2*mp*k; DGEMV row: 2*n*k —
+    only the terms for the dimensions that are actually odd.  Used by the
+    op-count model extension and tests.
+    """
+    mp, kp, np_ = peel_split(m, k, n)
+    ops = 0.0
+    if kp < k:
+        ops += 2.0 * mp * np_
+    if np_ < n:
+        ops += 2.0 * mp * k
+    if mp < m:
+        ops += 2.0 * n * k
+    return ops

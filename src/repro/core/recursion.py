@@ -1,0 +1,103 @@
+"""Closed-form recursion analytics, cross-checked against execution.
+
+For planning and for testing, it is useful to predict — without running
+anything — what a cutoff criterion will make the DGEFMM recursion do:
+how deep it goes, how many base-case multiplies it issues, how much
+multiply work remains.  These helpers compute those quantities by
+walking the same decision function the driver uses (cutoff + the
+"dims < 2" guard + peeling arithmetic), so the test suite can assert
+they match the instrumented counts of real executions exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.core.cutoff import CutoffCriterion, DepthCutoff
+from repro.core.dgefmm import DEFAULT_CUTOFF
+from repro.core.peeling import peel_split
+
+__all__ = [
+    "recursion_profile",
+    "base_multiplies",
+    "multiply_fraction",
+]
+
+
+def recursion_profile(
+    m: int,
+    k: int,
+    n: int,
+    criterion: Optional[CutoffCriterion] = None,
+) -> Dict:
+    """Predicted recursion structure for one DGEFMM call.
+
+    Returns ``{"recurse": #internal nodes, "base": #base multiplies,
+    "peel": #peeled nodes, "max_depth": deepest base level,
+    "mul_flops": scalar multiplies of all base cases (the Strassen
+    currency; fix-up multiplies excluded), "base_shapes": {shape:
+    count}}``.
+    """
+    crit = criterion if criterion is not None else DEFAULT_CUTOFF
+    stateful = isinstance(crit, DepthCutoff)
+    prof = {
+        "recurse": 0,
+        "base": 0,
+        "peel": 0,
+        "max_depth": 0,
+        "mul_flops": 0.0,
+        "base_shapes": {},
+    }
+
+    def walk(m_: int, k_: int, n_: int, depth: int) -> None:
+        if m_ == 0 or n_ == 0 or k_ == 0:
+            return
+        prof["max_depth"] = max(prof["max_depth"], depth)
+        if crit.stop(m_, k_, n_) or min(m_, k_, n_) < 2:
+            prof["base"] += 1
+            prof["mul_flops"] += float(m_) * k_ * n_
+            key = (m_, k_, n_)
+            prof["base_shapes"][key] = prof["base_shapes"].get(key, 0) + 1
+            return
+        mp, kp, np_ = peel_split(m_, k_, n_)
+        if (mp, kp, np_) != (m_, k_, n_):
+            prof["peel"] += 1
+        prof["recurse"] += 1
+        if stateful:
+            crit.descend()
+        try:
+            for _ in range(7):
+                walk(mp // 2, kp // 2, np_ // 2, depth + 1)
+        finally:
+            if stateful:
+                crit.ascend()
+
+    walk(m, k, n, 0)
+    return prof
+
+
+def base_multiplies(
+    m: int,
+    k: int,
+    n: int,
+    criterion: Optional[CutoffCriterion] = None,
+) -> int:
+    """Number of base-case standard multiplies (7^depth on even sizes)."""
+    return recursion_profile(m, k, n, criterion)["base"]
+
+
+def multiply_fraction(
+    m: int,
+    k: int,
+    n: int,
+    criterion: Optional[CutoffCriterion] = None,
+) -> float:
+    """Strassen's multiply saving: base multiplies / standard multiplies.
+
+    (7/8)^d for d even recursion levels — e.g. 0.669 for three levels —
+    excluding the O(n^2) peeling fix-ups.
+    """
+    if m == 0 or k == 0 or n == 0:
+        return 1.0
+    prof = recursion_profile(m, k, n, criterion)
+    return prof["mul_flops"] / (float(m) * k * n)

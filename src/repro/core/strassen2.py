@@ -1,0 +1,91 @@
+"""STRASSEN2 — the paper's Figure 1 schedule (three temporaries).
+
+STRASSEN2 is the paper's key memory innovation: by making the *recursive*
+operation a full multiply-accumulate ``C <- alpha*A*B + beta*C`` (which
+DGEFMM itself supports), the Winograd variant can be scheduled so that C's
+own storage holds the evolving partial sums, leaving only the three
+minimal temporaries
+
+    R1 (m/2 x k/2),  R2 (k/2 x n/2),  R3 (m/2 x n/2)
+
+— total extra memory bounded by ``(mk + kn + mn)/3`` over the whole
+recursion (``m^2`` for square operands), even in the general ``beta != 0``
+case.  The paper cites [14] for the proof that three is the minimum.
+
+The 21-step schedule below is the paper's Figure 1.  Step numbering,
+destinations (R1/R2/R3/C quadrants) and the algorithmic variable each step
+realizes are kept as comments in the paper's own notation.  The sign
+convention for T4/P4 follows the figure: ``R2 <- alpha*(B21 - T2)`` is
+``-alpha*T4`` (with T4 = T2 - B21 as in :mod:`repro.core.winograd`), so
+C21 accumulates ``-alpha*P4`` via its first touch and ``+alpha*U3`` later.
+
+Recursive multiplications (7 of them: steps 3, 8, 10, 11, 14, 16, 19) go
+back through the driver callback, so cutoff testing and dynamic peeling
+apply at every level.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.blas.addsub import accum, axpby, madd, msub
+from repro.context import ExecutionContext
+from repro.core.workspace import Workspace
+
+__all__ = ["strassen2_level"]
+
+#: recursive multiply-accumulate: recurse(a, b, c, alpha, beta)
+RecurseFn = Callable[[Any, Any, Any, float, float], None]
+
+
+def strassen2_level(
+    a: Any,
+    b: Any,
+    c: Any,
+    alpha: float,
+    beta: float,
+    *,
+    ctx: ExecutionContext,
+    ws: Workspace,
+    recurse: RecurseFn,
+) -> None:
+    """One level of the STRASSEN2 schedule: ``C <- alpha*A*B + beta*C``.
+
+    All of m, k, n must be even (the driver peels odd dimensions first).
+    """
+    m, k = a.shape
+    n = b.shape[1]
+    hm, hk, hn = m // 2, k // 2, n // 2
+
+    a11, a12, a21, a22 = a[:hm, :hk], a[:hm, hk:], a[hm:, :hk], a[hm:, hk:]
+    b11, b12, b21, b22 = b[:hk, :hn], b[:hk, hn:], b[hk:, :hn], b[hk:, hn:]
+    c11, c12, c21, c22 = c[:hm, :hn], c[:hm, hn:], c[hm:, :hn], c[hm:, hn:]
+
+    dt = getattr(c, "dtype", None) or "float64"
+    with ws.frame():
+        r1 = ws.alloc(hm, hk, dt)
+        r2 = ws.alloc(hk, hn, dt)
+        r3 = ws.alloc(hm, hn, dt)
+
+        # -- paper Figure 1, steps 1-21 --------------------------------- #
+        madd(a21, a22, r1, alpha, ctx=ctx)        # 1  R1 = alpha*S1
+        msub(b12, b11, r2, ctx=ctx)               # 2  R2 = T1
+        recurse(r1, r2, r3, 1.0, 0.0)             # 3  R3 = alpha*P5
+        axpby(1.0, r3, beta, c22, ctx=ctx)        # 4  C22 = beta*C22 + a*P5
+        axpby(1.0, r3, beta, c12, ctx=ctx)        # 5  C12 = beta*C12 + a*P5
+        axpby(-alpha, a11, 1.0, r1, ctx=ctx)      # 6  R1 = alpha*S2
+        msub(b22, r2, r2, ctx=ctx)                # 7  R2 = T2
+        recurse(a11, b11, r3, alpha, 0.0)         # 8  R3 = alpha*P1
+        axpby(1.0, r3, beta, c11, ctx=ctx)        # 9  C11 = beta*C11 + a*P1
+        recurse(r1, r2, r3, 1.0, 1.0)             # 10 R3 += a*P6 (= a*U2)
+        recurse(a12, b21, c11, alpha, 1.0)        # 11 C11 += alpha*P2
+        axpby(alpha, a12, -1.0, r1, ctx=ctx)      # 12 R1 = alpha*S4
+        axpby(alpha, b21, -alpha, r2, ctx=ctx)    # 13 R2 = -alpha*T4
+        recurse(r1, b22, c12, 1.0, 1.0)           # 14 C12 += alpha*P3
+        accum(r3, c12, ctx=ctx)                   # 15 C12 += alpha*U2
+        recurse(a22, r2, c21, 1.0, beta)          # 16 C21 = b*C21 - a*P4
+        msub(a11, a21, r1, alpha, ctx=ctx)        # 17 R1 = alpha*S3
+        msub(b22, b12, r2, ctx=ctx)               # 18 R2 = T3
+        recurse(r1, r2, r3, 1.0, 1.0)             # 19 R3 += a*P7 (= a*U3)
+        accum(r3, c21, ctx=ctx)                   # 20 C21 += alpha*U3
+        accum(r3, c22, ctx=ctx)                   # 21 C22 += alpha*U3

@@ -1,0 +1,101 @@
+"""The textbook Winograd schedule: minimal additions, maximal memory.
+
+The Winograd variant needs only 15 block additions when every S, T and P
+may live in its own temporary (Section 2's stage-(4) U-tree reuses the
+partial sums U2 and U3).  The paper's STRASSEN1/STRASSEN2 schedules trade
+a few extra additions for drastically less memory; this module implements
+the other end of that trade as a reference point:
+
+- temporaries per level: S1, S2, S4 (m/2 x k/2) + T1, T2, T4 (k/2 x n/2)
+  + P1..P7 (m/2 x n/2) — S3/T3 reuse the S1/T1 slots once those are dead
+  — about ``3(mk + kn)/4 + 7mn/4`` per level (vs STRASSEN2's
+  ``(mk + kn + mn)/4``);
+- block additions per level: exactly 15 (8 in stages 1-2, 7 in stage 4).
+
+The ablation benchmark measures both sides of the trade; DGEFMM exposes
+the schedule as ``scheme="textbook"`` so the comparison runs through the
+identical driver (cutoffs, peeling, instrumentation).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.blas.addsub import accum, axpby, madd, msub
+from repro.context import ExecutionContext
+from repro.core.workspace import Workspace
+
+__all__ = ["textbook_level"]
+
+RecurseFn = Callable[[Any, Any, Any, float, float], None]
+
+
+def textbook_level(
+    a: Any,
+    b: Any,
+    c: Any,
+    alpha: float,
+    beta: float,
+    *,
+    ctx: ExecutionContext,
+    ws: Workspace,
+    recurse: RecurseFn,
+) -> None:
+    """One Winograd level with the minimal-addition (15-add) schedule.
+
+    All of m, k, n must be even.  ``C <- alpha*A*B + beta*C``.
+    """
+    m, k = a.shape
+    n = b.shape[1]
+    hm, hk, hn = m // 2, k // 2, n // 2
+    dt = getattr(c, "dtype", None) or "float64"
+
+    a11, a12, a21, a22 = a[:hm, :hk], a[:hm, hk:], a[hm:, :hk], a[hm:, hk:]
+    b11, b12, b21, b22 = b[:hk, :hn], b[:hk, hn:], b[hk:, :hn], b[hk:, hn:]
+    c11, c12, c21, c22 = c[:hm, :hn], c[:hm, hn:], c[hm:, :hn], c[hm:, hn:]
+
+    with ws.frame():
+        s1 = ws.alloc(hm, hk, dt)
+        s2 = ws.alloc(hm, hk, dt)
+        s4 = ws.alloc(hm, hk, dt)
+        t1 = ws.alloc(hk, hn, dt)
+        t2 = ws.alloc(hk, hn, dt)
+        t4 = ws.alloc(hk, hn, dt)
+        ps = [ws.alloc(hm, hn, dt) for _ in range(7)]
+        p1, p2, p3, p4, p5, p6, p7 = ps
+
+        # stages (1)/(2): 8 additions (S3/T3 reuse the S1/T1 buffers
+        # after P5 is computed)
+        madd(a21, a22, s1, ctx=ctx)            # S1
+        msub(s1, a11, s2, ctx=ctx)             # S2
+        msub(a12, s2, s4, ctx=ctx)             # S4
+        msub(b12, b11, t1, ctx=ctx)            # T1
+        msub(b22, t1, t2, ctx=ctx)             # T2
+        msub(t2, b21, t4, ctx=ctx)             # T4
+
+        # stage (3): 7 recursive products
+        recurse(a11, b11, p1, 1.0, 0.0)
+        recurse(a12, b21, p2, 1.0, 0.0)
+        recurse(s4, b22, p3, 1.0, 0.0)
+        recurse(a22, t4, p4, 1.0, 0.0)
+        recurse(s1, t1, p5, 1.0, 0.0)
+        recurse(s2, t2, p6, 1.0, 0.0)
+        msub(a11, a21, s1, ctx=ctx)            # S3 (reuses S1's buffer)
+        msub(b22, b12, t1, ctx=ctx)            # T3 (reuses T1's buffer)
+        recurse(s1, t1, p7, 1.0, 0.0)
+
+        # stage (4): the U-tree (its 7 additions are the steps marked U;
+        # the four axpby merges are the beta-scaled writes into C, which
+        # the C-reuse schedules get for free by computing products in
+        # place — the measured reason "15 adds" does not mean fastest)
+        accum(p1, p6, ctx=ctx)                 # U2 = P1 + P6
+        accum(p1, p2, ctx=ctx)                 # U1 = P1 + P2
+        accum(p6, p7, ctx=ctx)                 # U3 = U2 + P7
+        axpby(alpha, p2, beta, c11, ctx=ctx)   # C11 <- b C11 + a U1
+        axpby(alpha, p7, beta, c21, ctx=ctx)
+        axpby(-alpha, p4, 1.0, c21, ctx=ctx)   # U6 fold: C21 gets U3 - P4
+        axpby(alpha, p7, beta, c22, ctx=ctx)
+        axpby(alpha, p5, 1.0, c22, ctx=ctx)    # U7 fold: C22 gets U3 + P5
+        accum(p6, p5, ctx=ctx)                 # U4 = U2 + P5
+        accum(p5, p3, ctx=ctx)                 # U5 = U4 + P3
+        axpby(alpha, p3, beta, c12, ctx=ctx)   # C12 <- b C12 + a U5

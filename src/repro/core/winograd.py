@@ -1,0 +1,190 @@
+"""The Winograd variant's stage equations (paper Section 2), as an oracle.
+
+Winograd's variant of Strassen's algorithm (credited to M. Paterson) uses
+7 block multiplications and 15 block additions/subtractions.  With inputs
+partitioned into 2x2 blocks
+
+    A = [[A11, A12],    B = [[B11, B12],
+         [A21, A22]]         [B21, B22]]
+
+the four stages are:
+
+Stage (1) — four S sums on A's blocks::
+
+    S1 = A21 + A22        S2 = S1 - A11
+    S3 = A11 - A21        S4 = A12 - S2
+
+Stage (2) — four T sums on B's blocks::
+
+    T1 = B12 - B11        T2 = B22 - T1
+    T3 = B22 - B12        T4 = T2 - B21
+
+Stage (3) — seven products::
+
+    P1 = A11 * B11        P2 = A12 * B21       P3 = S4 * B22
+    P4 = A22 * T4         P5 = S1 * T1         P6 = S2 * T2
+    P7 = S3 * T3
+
+Stage (4) — seven sums::
+
+    U1 = P1 + P2          U2 = P1 + P6         U3 = U2 + P7
+    U4 = U2 + P5          U5 = U4 + P3         U6 = U3 - P4
+    U7 = U3 + P5
+
+with ``C11 = U1, C12 = U5, C21 = U6, C22 = U7``.
+
+(The sign convention ``T4 = T2 - B21`` with ``C21 = U3 - P4`` is the one
+used by Douglas et al.; the paper's Figure 1 schedule folds the opposite
+sign into its accumulation order — both are verified equivalent by the
+test suite.)
+
+This module implements the stages directly with plain numpy on explicit
+blocks.  It exists as an *oracle*: the optimized STRASSEN1/STRASSEN2
+schedules and every comparator are tested against it block-for-block.  It
+is also the clearest executable statement of the algorithm for readers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+__all__ = [
+    "split_blocks",
+    "join_blocks",
+    "winograd_stages",
+    "winograd_multiply",
+    "strassen_original_stages",
+    "strassen_original_multiply",
+    "WINOGRAD_MULTIPLIES",
+    "WINOGRAD_ADDS",
+    "STRASSEN_MULTIPLIES",
+    "STRASSEN_ADDS",
+]
+
+#: block-operation counts quoted throughout the paper's Section 2
+WINOGRAD_MULTIPLIES = 7
+WINOGRAD_ADDS = 15
+STRASSEN_MULTIPLIES = 7
+STRASSEN_ADDS = 18
+
+
+def split_blocks(x: np.ndarray) -> Tuple[np.ndarray, ...]:
+    """Split an even-dimensioned matrix into its four half blocks.
+
+    Returns views ``(X11, X12, X21, X22)``.
+    """
+    m, n = x.shape
+    if m % 2 or n % 2:
+        raise ValueError(f"split_blocks requires even dims, got {(m, n)}")
+    h, w = m // 2, n // 2
+    return x[:h, :w], x[:h, w:], x[h:, :w], x[h:, w:]
+
+
+def join_blocks(
+    c11: np.ndarray, c12: np.ndarray, c21: np.ndarray, c22: np.ndarray
+) -> np.ndarray:
+    """Assemble four blocks into one matrix (inverse of split_blocks)."""
+    return np.block([[c11, c12], [c21, c22]])
+
+
+def winograd_stages(
+    a: np.ndarray, b: np.ndarray
+) -> Dict[str, np.ndarray]:
+    """All intermediate quantities of the Winograd variant, by name.
+
+    One level only; the seven products use the standard algorithm.
+    Returns a dict with keys S1..S4, T1..T4, P1..P7, U1..U7, C11..C22.
+    Used by tests to pin down every stage, not just the final product.
+    """
+    a11, a12, a21, a22 = split_blocks(np.asarray(a, dtype=np.float64))
+    b11, b12, b21, b22 = split_blocks(np.asarray(b, dtype=np.float64))
+
+    s1 = a21 + a22
+    s2 = s1 - a11
+    s3 = a11 - a21
+    s4 = a12 - s2
+
+    t1 = b12 - b11
+    t2 = b22 - t1
+    t3 = b22 - b12
+    t4 = t2 - b21
+
+    p1 = a11 @ b11
+    p2 = a12 @ b21
+    p3 = s4 @ b22
+    p4 = a22 @ t4
+    p5 = s1 @ t1
+    p6 = s2 @ t2
+    p7 = s3 @ t3
+
+    u1 = p1 + p2
+    u2 = p1 + p6
+    u3 = u2 + p7
+    u4 = u2 + p5
+    u5 = u4 + p3
+    u6 = u3 - p4
+    u7 = u3 + p5
+
+    return {
+        "S1": s1, "S2": s2, "S3": s3, "S4": s4,
+        "T1": t1, "T2": t2, "T3": t3, "T4": t4,
+        "P1": p1, "P2": p2, "P3": p3, "P4": p4, "P5": p5, "P6": p6, "P7": p7,
+        "U1": u1, "U2": u2, "U3": u3, "U4": u4, "U5": u5, "U6": u6, "U7": u7,
+        "C11": u1, "C12": u5, "C21": u6, "C22": u7,
+    }
+
+
+def winograd_multiply(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """One level of the Winograd variant (oracle); requires even dims."""
+    st = winograd_stages(a, b)
+    return join_blocks(st["C11"], st["C12"], st["C21"], st["C22"])
+
+
+def strassen_original_stages(
+    a: np.ndarray, b: np.ndarray
+) -> Dict[str, np.ndarray]:
+    """Strassen's original 1969 construction: 7 multiplies, 18 add/subs.
+
+    Using the customary naming (M1..M7)::
+
+        M1 = (A11 + A22)(B11 + B22)
+        M2 = (A21 + A22) B11
+        M3 = A11 (B12 - B22)
+        M4 = A22 (B21 - B11)
+        M5 = (A11 + A12) B22
+        M6 = (A21 - A11)(B11 + B12)
+        M7 = (A12 - A22)(B21 + B22)
+
+        C11 = M1 + M4 - M5 + M7      C12 = M3 + M5
+        C21 = M2 + M4                C22 = M1 - M2 + M3 + M6
+
+    (10 pre-addition + 8 post-addition block operations = 18.)
+    """
+    a11, a12, a21, a22 = split_blocks(np.asarray(a, dtype=np.float64))
+    b11, b12, b21, b22 = split_blocks(np.asarray(b, dtype=np.float64))
+
+    m1 = (a11 + a22) @ (b11 + b22)
+    m2 = (a21 + a22) @ b11
+    m3 = a11 @ (b12 - b22)
+    m4 = a22 @ (b21 - b11)
+    m5 = (a11 + a12) @ b22
+    m6 = (a21 - a11) @ (b11 + b12)
+    m7 = (a12 - a22) @ (b21 + b22)
+
+    c11 = m1 + m4 - m5 + m7
+    c12 = m3 + m5
+    c21 = m2 + m4
+    c22 = m1 - m2 + m3 + m6
+
+    return {
+        "M1": m1, "M2": m2, "M3": m3, "M4": m4, "M5": m5, "M6": m6, "M7": m7,
+        "C11": c11, "C12": c12, "C21": c21, "C22": c22,
+    }
+
+
+def strassen_original_multiply(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """One level of Strassen's original algorithm (oracle); even dims."""
+    st = strassen_original_stages(a, b)
+    return join_blocks(st["C11"], st["C12"], st["C21"], st["C22"])

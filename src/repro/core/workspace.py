@@ -1,0 +1,118 @@
+"""Temporary-variable storage with live/peak accounting (paper Section 3.2).
+
+The paper's central memory claims (Table 1) are stated as coefficients of
+m² extra storage.  Rather than asserting those coefficients, this package
+*measures* them: every temporary used by every Strassen variant is drawn
+from a :class:`Workspace`, a stack-discipline allocator that tracks live
+bytes and the high-water mark.  The Table 1 benchmark divides the measured
+peak by m² and compares against the paper's column.
+
+Stack discipline mirrors the call structure of the recursion: a schedule
+opens a frame, allocates its temporaries, recurses (children open nested
+frames), and the frame context manager releases everything on exit.  A
+frame that is exited while a *deeper* frame is still open raises
+:class:`~repro.errors.WorkspaceError` — that invariant catches schedule
+bugs where a temporary would outlive its scope.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Iterator, List
+
+import numpy as np
+
+from repro.errors import WorkspaceError
+from repro.phantom import Phantom
+
+__all__ = ["Workspace"]
+
+_F64_BYTES = 8
+
+
+class Workspace:
+    """Stack allocator for matrix temporaries.
+
+    Parameters
+    ----------
+    dry:
+        When True, :meth:`alloc` returns :class:`~repro.phantom.Phantom`
+        shapes instead of real arrays (byte accounting is identical), so
+        dry-run timing sweeps also produce exact memory measurements.
+    """
+
+    def __init__(self, *, dry: bool = False) -> None:
+        self.dry = bool(dry)
+        self._live_bytes = 0
+        self._peak_bytes = 0
+        # each frame is the number of bytes it holds; index = depth
+        self._frames: List[int] = []
+
+    # ------------------------------------------------------------------ #
+    @property
+    def live_bytes(self) -> int:
+        """Bytes currently allocated across all open frames."""
+        return self._live_bytes
+
+    @property
+    def peak_bytes(self) -> int:
+        """High-water mark of :attr:`live_bytes` over the workspace's life."""
+        return self._peak_bytes
+
+    @property
+    def peak_elements(self) -> float:
+        """Peak expressed in float64 elements (the paper's unit)."""
+        return self._peak_bytes / _F64_BYTES
+
+    @property
+    def depth(self) -> int:
+        """Number of open frames."""
+        return len(self._frames)
+
+    # ------------------------------------------------------------------ #
+    @contextmanager
+    def frame(self) -> Iterator["Workspace"]:
+        """Open an allocation frame; everything allocated inside is
+        released (accounting-wise) when the frame exits."""
+        self._frames.append(0)
+        my_depth = len(self._frames)
+        try:
+            yield self
+        finally:
+            if len(self._frames) != my_depth:
+                raise WorkspaceError(
+                    f"frame imbalance: expected depth {my_depth}, "
+                    f"found {len(self._frames)} at frame exit"
+                )
+            freed = self._frames.pop()
+            self._live_bytes -= freed
+
+    def alloc(self, m: int, n: int, dtype=np.float64) -> Any:
+        """Allocate an m-by-n temporary in the innermost frame.
+
+        Returns a Fortran-ordered array (or a Phantom in dry mode).  The
+        array contents are uninitialised, as with BLAS work arrays.
+        ``dtype`` defaults to float64 (the DGEFMM case); the complex
+        extension allocates complex128 temporaries, charged at their
+        true byte size.  Dry-mode phantoms always account as float64 —
+        the paper's memory coefficients are stated in elements, and the
+        dry experiments use real dtypes only through this default.
+        """
+        if not self._frames:
+            raise WorkspaceError("alloc outside any workspace frame")
+        if m < 0 or n < 0:
+            raise WorkspaceError(f"invalid temporary shape ({m}, {n})")
+        nbytes = m * n * np.dtype(dtype).itemsize
+        self._frames[-1] += nbytes
+        self._live_bytes += nbytes
+        if self._live_bytes > self._peak_bytes:
+            self._peak_bytes = self._live_bytes
+        if self.dry:
+            return Phantom(m, n)
+        return np.empty((m, n), dtype=dtype, order="F")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Workspace(live={self._live_bytes}B, peak={self._peak_bytes}B, "
+            f"depth={self.depth}, dry={self.dry})"
+        )

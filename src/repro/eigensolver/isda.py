@@ -1,0 +1,245 @@
+"""ISDA divide-and-conquer driver with a pluggable GEMM.
+
+The Invariant Subspace Decomposition Algorithm [15], as used by the paper
+to demonstrate DGEFMM (Section 4.4):
+
+1. bound the spectrum (Gershgorin), pick a split point;
+2. map the matrix affinely so the split lands at 1/2 with spectrum in
+   [0, 1], then run the beta polynomial iteration — *pure matrix
+   multiplication* — until it converges to a spectral projector;
+3. extract orthonormal range/null bases with rank-revealing QR;
+4. compress: ``A1 = V1^T A V1``, ``A2 = V2^T A V2`` (more GEMMs);
+5. recurse on the two halves; solve small blocks with Jacobi;
+6. back-transform eigenvectors through the accumulated bases.
+
+"Incorporating Strassen's algorithm into this eigensolver was
+accomplished easily by renaming all calls to DGEMM as calls to DGEFMM" —
+here that renaming is the ``gemm=`` argument, and :class:`GemmCounter`
+measures the MM time / total time split that Table 6 reports.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+
+from repro.blas.level3 import dgemm as _blas_dgemm
+from repro.core.cutoff import CutoffCriterion
+from repro.core.dgefmm import dgefmm as _dgefmm
+from repro.errors import ConvergenceError, DimensionError
+from repro.eigensolver.jacobi import jacobi_eigh
+from repro.eigensolver.polynomial import beta_iteration, scale_to_unit
+from repro.eigensolver.qr import projector_bases
+
+__all__ = ["isda_eigh", "make_gemm", "GemmCounter", "IsdaStats"]
+
+
+class GemmCounter:
+    """Wraps a gemm callable; accumulates call count and wall seconds.
+
+    This is the measurement device behind Table 6's "MM time" row.
+    """
+
+    def __init__(self, gemm) -> None:
+        self._gemm = gemm
+        self.calls = 0
+        self.seconds = 0.0
+        self.flops = 0.0
+
+    def __call__(self, a, b, c, alpha=1.0, beta=0.0) -> None:
+        t0 = time.perf_counter()
+        self._gemm(a, b, c, alpha, beta)
+        self.seconds += time.perf_counter() - t0
+        self.calls += 1
+        m, k = a.shape
+        self.flops += 2.0 * m * k * c.shape[1]
+
+
+def make_gemm(
+    kind: str = "dgemm",
+    *,
+    cutoff: Optional[CutoffCriterion] = None,
+    ctx=None,
+):
+    """Build a gemm callable for :func:`isda_eigh`.
+
+    ``kind`` is ``"dgemm"`` (the standard algorithm) or ``"dgefmm"``
+    (the paper's Strassen routine); this is the "renaming" of Section
+    4.4 in callable form.
+    """
+    if kind == "dgemm":
+        def gemm(a, b, c, alpha=1.0, beta=0.0):
+            _blas_dgemm(a, b, c, alpha, beta, ctx=ctx)
+    elif kind == "dgefmm":
+        def gemm(a, b, c, alpha=1.0, beta=0.0):
+            _dgefmm(a, b, c, alpha, beta, cutoff=cutoff, ctx=ctx)
+    else:
+        raise ValueError(f"unknown gemm kind {kind!r}")
+    return gemm
+
+
+@dataclass
+class IsdaStats:
+    """Work accounting for one :func:`isda_eigh` run."""
+
+    splits: int = 0
+    beta_iterations: int = 0
+    base_solves: int = 0
+    retries: int = 0
+    max_depth: int = 0
+    gemm_calls: int = 0
+    gemm_seconds: float = 0.0
+    total_seconds: float = 0.0
+    notes: list = field(default_factory=list)
+
+
+def _gershgorin(a: np.ndarray) -> Tuple[float, float]:
+    """Spectral bounds from Gershgorin disks (cheap, always valid)."""
+    d = np.diag(a)
+    radii = np.sum(np.abs(a), axis=1) - np.abs(d)
+    return float(np.min(d - radii)), float(np.max(d + radii))
+
+
+def isda_eigh(
+    a: np.ndarray,
+    gemm: Optional[Callable] = None,
+    *,
+    base_size: int = 32,
+    tol: float = 1e-12,
+    max_iter: int = 120,
+    max_retries: int = 4,
+) -> Tuple[np.ndarray, np.ndarray, IsdaStats]:
+    """Full symmetric eigendecomposition by ISDA.
+
+    Parameters
+    ----------
+    a:
+        Symmetric matrix (not modified).
+    gemm:
+        In-place GEMM callable ``gemm(A, B, C, alpha, beta)``; default is
+        the substrate's standard-algorithm DGEMM.  Pass
+        ``make_gemm("dgefmm")`` (or any wrapped variant) to reproduce the
+        paper's swap.  Wrap in :class:`GemmCounter` to measure MM time.
+    base_size:
+        Subproblems at or below this order are solved with Jacobi.
+    tol, max_iter:
+        Projector-iteration controls (see
+        :func:`repro.eigensolver.polynomial.beta_iteration`).
+    max_retries:
+        Split-point perturbation attempts when an eigenvalue sits on the
+        split (the repelling fixed point).
+
+    Returns
+    -------
+    (w, v, stats):
+        Eigenvalues ascending, orthonormal eigenvectors (columns), and an
+        :class:`IsdaStats` record.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    if a.ndim != 2 or a.shape[0] != a.shape[1]:
+        raise DimensionError(f"isda_eigh: need a square matrix, got {a.shape}")
+    scale = max(1.0, float(np.abs(a).max())) if a.size else 1.0
+    if a.size and not np.allclose(a, a.T, atol=1e-8 * scale):
+        raise DimensionError("isda_eigh: input is not symmetric")
+
+    counter = gemm if isinstance(gemm, GemmCounter) else GemmCounter(
+        gemm if gemm is not None else make_gemm("dgemm")
+    )
+    stats = IsdaStats()
+    t0 = time.perf_counter()
+    w, v = _solve(np.asfortranarray(a), counter, base_size, tol, max_iter,
+                  max_retries, 0, stats)
+    order = np.argsort(w)
+    stats.total_seconds = time.perf_counter() - t0
+    stats.gemm_calls = counter.calls
+    stats.gemm_seconds = counter.seconds
+    return w[order], v[:, order], stats
+
+
+def _solve(
+    a: np.ndarray,
+    gemm: GemmCounter,
+    base_size: int,
+    tol: float,
+    max_iter: int,
+    max_retries: int,
+    depth: int,
+    stats: IsdaStats,
+) -> Tuple[np.ndarray, np.ndarray]:
+    n = a.shape[0]
+    stats.max_depth = max(stats.max_depth, depth)
+    if n == 0:
+        return np.empty(0), np.empty((0, 0))
+    if n <= base_size:
+        stats.base_solves += 1
+        return jacobi_eigh(a, tol=max(tol, 1e-13))
+
+    lo, hi = _gershgorin(a)
+    width = hi - lo
+    norm = max(abs(lo), abs(hi), 1e-300)
+    if width <= 1e-12 * norm:
+        # spectrum is (numerically) a single point: A = c*I
+        stats.notes.append(f"cluster of size {n} at depth {depth}")
+        c = float(np.trace(a)) / n
+        return np.full(n, c), np.eye(n)
+
+    # Split at the midpoint of the Gershgorin interval, nudged on retry.
+    for attempt in range(max_retries + 1):
+        frac = 0.5 + 0.09 * attempt * (1 if attempt % 2 else -1)
+        split = lo + frac * width
+        b = scale_to_unit(a, split, lo, hi)
+        try:
+            p, iters = beta_iteration(b, gemm, tol=tol, max_iter=max_iter)
+        except ConvergenceError:
+            stats.retries += 1
+            continue
+        stats.beta_iterations += iters
+        r = int(round(float(np.trace(p))))
+        if r == 0 or r == n:
+            # split missed the spectrum (all eigenvalues on one side):
+            # shrink toward the spectral mean and retry
+            stats.retries += 1
+            continue
+        break
+    else:
+        # Degenerate splitting (tight cluster straddling every split we
+        # tried): fall back to Jacobi — correctness over elegance.
+        stats.notes.append(f"split failure at n={n}, depth {depth}; Jacobi")
+        stats.base_solves += 1
+        return jacobi_eigh(a, tol=max(tol, 1e-13), max_sweeps=120)
+
+    stats.splits += 1
+    v1, v2 = projector_bases(p, r)
+
+    # Compress: A_i = V_i^T A V_i  (two GEMMs each; the multiplications
+    # the paper counts in "MM time")
+    tmp = np.empty((n, r), order="F")
+    gemm(a, v1, tmp, 1.0, 0.0)
+    a1 = np.empty((r, r), order="F")
+    gemm(np.asfortranarray(v1.T), tmp, a1, 1.0, 0.0)
+    tmp2 = np.empty((n, n - r), order="F")
+    gemm(a, v2, tmp2, 1.0, 0.0)
+    a2 = np.empty((n - r, n - r), order="F")
+    gemm(np.asfortranarray(v2.T), tmp2, a2, 1.0, 0.0)
+
+    # symmetrize compressed blocks (roundoff)
+    a1 = np.asfortranarray((a1 + a1.T) * 0.5)
+    a2 = np.asfortranarray((a2 + a2.T) * 0.5)
+
+    w1, u1 = _solve(a1, gemm, base_size, tol, max_iter, max_retries,
+                    depth + 1, stats)
+    w2, u2 = _solve(a2, gemm, base_size, tol, max_iter, max_retries,
+                    depth + 1, stats)
+
+    # back-transform eigenvectors: columns V_i @ U_i (two more GEMMs)
+    z1 = np.empty((n, r), order="F")
+    gemm(np.asfortranarray(v1), np.asfortranarray(u1), z1, 1.0, 0.0)
+    z2 = np.empty((n, n - r), order="F")
+    gemm(np.asfortranarray(v2), np.asfortranarray(u2), z2, 1.0, 0.0)
+
+    w = np.concatenate([w1, w2])
+    v = np.concatenate([z1, z2], axis=1)
+    return w, v

@@ -1,0 +1,91 @@
+"""The ISDA polynomial iteration: matrix -> spectral projector.
+
+ISDA's kernel [15] applies a polynomial function to a symmetric matrix
+"until a certain convergence criterion is met" (paper Section 4.4); the
+converged matrix is a spectral projector whose range/null spaces split
+the eigenproblem in two.  The classical choice is the incomplete-beta
+(smoothstep) polynomial
+
+    p(x) = 3 x^2 - 2 x^3
+
+on a matrix pre-scaled so its spectrum lies in [0, 1]: 0 and 1 are
+attracting fixed points, 1/2 is repelling, so iterating ``C <- p(C)``
+drives every eigenvalue below the split point to 0 and every one above
+it to 1 — using nothing but matrix multiplication, which is why swapping
+DGEMM for DGEFMM accelerates the whole solver.
+
+Each iteration costs exactly two GEMM calls (``S = C*C`` and the fused
+``C' = 3S - 2*(S*C)`` via one multiply-accumulate-style update).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConvergenceError
+
+__all__ = ["beta_iteration", "scale_to_unit", "GemmFn"]
+
+#: in-place GEMM contract: gemm(a, b, c, alpha, beta) -> C = a*A*B + b*C
+GemmFn = Callable[[np.ndarray, np.ndarray, np.ndarray, float, float], None]
+
+
+def scale_to_unit(
+    a: np.ndarray, split: float, lo: float, hi: float
+) -> np.ndarray:
+    """Affine map of A so [lo, hi] lands in [0, 1] with ``split`` at 1/2.
+
+    ``lo``/``hi`` bound the spectrum (e.g. from Gershgorin disks); the
+    map is ``B = (A - split*I)*s + I/2`` with ``s`` chosen so both ends
+    stay inside [0, 1]:  s = 1 / (2 * max(hi - split, split - lo)).
+    """
+    if not lo <= split <= hi:
+        raise ValueError(f"split {split} outside spectral bounds [{lo}, {hi}]")
+    half_width = max(hi - split, split - lo)
+    if half_width <= 0.0:
+        raise ValueError("degenerate spectral bounds")
+    s = 0.5 / half_width
+    b = a * s
+    d = np.arange(a.shape[0])
+    b[d, d] += 0.5 - split * s
+    return np.asfortranarray(b)
+
+
+def beta_iteration(
+    b: np.ndarray,
+    gemm: GemmFn,
+    *,
+    tol: float = 1e-13,
+    max_iter: int = 100,
+) -> Tuple[np.ndarray, int]:
+    """Iterate ``C <- 3 C^2 - 2 C^3`` to a projector; returns (P, iters).
+
+    ``b`` must be symmetric with spectrum in [0, 1].  Convergence is
+    declared when ``||C^2 - C||_F <= tol * n`` (idempotency); raises
+    :class:`~repro.errors.ConvergenceError` if an eigenvalue sits too
+    close to the repelling point 1/2 to converge in ``max_iter`` steps
+    (the ISDA driver then retries with a shifted split point).
+    """
+    n = b.shape[0]
+    c = np.array(b, dtype=np.float64, order="F", copy=True)
+    s = np.empty_like(c)   # C^2
+    t = np.empty_like(c)   # C^3 staging
+    for it in range(1, max_iter + 1):
+        gemm(c, c, s, 1.0, 0.0)          # S = C^2
+        resid = float(np.linalg.norm(s - c))
+        if resid <= tol * max(n, 1):
+            return c, it - 1
+        gemm(s, c, t, 1.0, 0.0)          # T = C^3
+        # C <- 3 S - 2 T  (elementwise combine; no extra GEMM)
+        np.multiply(s, 3.0, out=c)
+        c -= 2.0 * t
+        # symmetrize against roundoff drift (cheap, keeps Jacobi-grade
+        # symmetry for the QR split)
+        c += c.T
+        c *= 0.5
+    raise ConvergenceError(
+        f"beta_iteration: no projector after {max_iter} iterations "
+        f"(an eigenvalue is likely within ~2^-{max_iter} of the split)"
+    )

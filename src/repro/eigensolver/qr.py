@@ -1,0 +1,91 @@
+"""Householder QR with column pivoting (rank-revealing).
+
+ISDA needs, from a converged spectral projector P (symmetric, idempotent,
+rank r), an orthonormal basis of its range and one of its null space.
+Column-pivoted QR delivers both at once: with ``P Pi = Q R`` and pivoting
+by largest remaining column norm, the first r columns of Q span range(P)
+and the rest span its orthogonal complement (= null(P), by symmetry).
+
+Classical Businger-Golub algorithm with the standard downdate-and-refresh
+norm maintenance; Q is accumulated explicitly since ISDA consumes it as a
+dense basis.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import DimensionError
+
+__all__ = ["qr_column_pivot", "projector_bases"]
+
+
+def qr_column_pivot(
+    a: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Column-pivoted QR factorization: ``A[:, piv] = Q @ R``.
+
+    Returns ``(q, r, piv)`` with ``q`` m-by-m orthogonal, ``r`` m-by-n
+    upper triangular with non-increasing ``|r[j, j]|``, and ``piv`` the
+    column permutation as an index array.
+    """
+    a = np.array(a, dtype=np.float64, order="F", copy=True)
+    if a.ndim != 2:
+        raise DimensionError(f"qr_column_pivot: need a matrix, got {a.shape}")
+    m, n = a.shape
+    q = np.eye(m)
+    piv = np.arange(n)
+    if m == 0 or n == 0:
+        return q, a, piv
+
+    col_norms = np.sum(a * a, axis=0)
+    steps = min(m, n)
+    for j in range(steps):
+        # pivot: bring the largest remaining column forward
+        jmax = j + int(np.argmax(col_norms[j:]))
+        if jmax != j:
+            a[:, [j, jmax]] = a[:, [jmax, j]]
+            piv[[j, jmax]] = piv[[jmax, j]]
+            col_norms[[j, jmax]] = col_norms[[jmax, j]]
+        x = a[j:, j]
+        normx = float(np.linalg.norm(x))
+        if normx > 0.0:
+            # Householder vector v s.t. (I - 2 v v^T) x = -sign(x0)||x|| e1
+            v = x.copy()
+            v[0] += np.sign(x[0]) * normx if x[0] != 0.0 else normx
+            vnorm = float(np.linalg.norm(v))
+            if vnorm > 0.0:
+                v /= vnorm
+                # two-sided application: trailing columns of A, rows of Q^T
+                a[j:, j:] -= 2.0 * np.outer(v, v @ a[j:, j:])
+                q[:, j:] -= 2.0 * np.outer(q[:, j:] @ v, v)
+        # exact zeros below the diagonal (Householder guarantees this up
+        # to roundoff; keep R clean for downstream rank decisions)
+        a[j + 1:, j] = 0.0
+        if j + 1 < n:
+            # downdate remaining squared norms; refresh when cancellation
+            # makes them unreliable (standard Businger-Golub safeguard)
+            col_norms[j + 1:] -= a[j, j + 1:] ** 2
+            bad = col_norms[j + 1:] < 1e-10 * np.abs(a[j, j + 1:] ** 2 + 1.0)
+            if np.any(bad):
+                idx = j + 1 + np.nonzero(bad)[0]
+                col_norms[idx] = np.sum(a[j + 1:, idx] ** 2, axis=0)
+    return q, a, piv
+
+
+def projector_bases(
+    p: np.ndarray,
+    rank: int,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Orthonormal bases (V1, V2) of range(P) and its complement.
+
+    ``p`` is a (numerically) symmetric idempotent matrix of the given
+    rank; V1 has ``rank`` columns, V2 the remaining ``n - rank``.
+    """
+    n = p.shape[0]
+    if not 0 <= rank <= n:
+        raise DimensionError(f"projector_bases: rank {rank} out of range for n={n}")
+    q, _r, _piv = qr_column_pivot(p)
+    return q[:, :rank], q[:, rank:]

@@ -1,0 +1,45 @@
+"""Exception types used across the :mod:`repro` package.
+
+The error taxonomy mirrors the failure modes of a Level 3 BLAS
+implementation: argument validation (``xerbla``-style), dimension
+mismatches between operands, and workspace-allocator misuse.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ArgumentError",
+    "DimensionError",
+    "WorkspaceError",
+    "ConvergenceError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ArgumentError(ReproError, ValueError):
+    """An argument has an invalid value (bad transpose flag, negative dim...).
+
+    Plays the role of the reference BLAS ``xerbla`` error handler: the
+    offending routine and argument are named in the message.
+    """
+
+    def __init__(self, routine: str, argument: str, message: str) -> None:
+        self.routine = routine
+        self.argument = argument
+        super().__init__(f"{routine}: parameter '{argument}' {message}")
+
+
+class DimensionError(ReproError, ValueError):
+    """Operand shapes are mutually inconsistent for the requested operation."""
+
+
+class WorkspaceError(ReproError, RuntimeError):
+    """Workspace allocator misuse (pop without push, leak at frame exit...)."""
+
+
+class ConvergenceError(ReproError, RuntimeError):
+    """An iterative kernel (eigensolver polynomial iteration) failed to converge."""

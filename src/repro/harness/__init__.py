@@ -1,0 +1,37 @@
+"""Experiment harness: one function per paper table/figure.
+
+:mod:`repro.harness.simtime` provides the simulated-timing primitives
+(dry-run a multiplication routine against a machine model and read the
+modeled seconds); :mod:`repro.harness.problems` generates the random
+problem sets of Section 4.2; :mod:`repro.harness.experiments` implements
+every table and figure of the evaluation; :mod:`repro.harness.report`
+renders them in the paper's layout.
+"""
+
+from repro.harness.experiments import (
+    fig2_square_cutoff,
+    fig3_vs_essl,
+    fig4_vs_cray,
+    fig5_vs_dgemmw,
+    fig6_rect_vs_dgemmw,
+    table1_memory,
+    table2_square_cutoffs,
+    table3_rect_params,
+    table4_criteria,
+    table5_recursions,
+    table6_eigensolver,
+)
+
+__all__ = [
+    "fig2_square_cutoff",
+    "table2_square_cutoffs",
+    "table3_rect_params",
+    "table4_criteria",
+    "table5_recursions",
+    "fig3_vs_essl",
+    "fig4_vs_cray",
+    "fig5_vs_dgemmw",
+    "fig6_rect_vs_dgemmw",
+    "table1_memory",
+    "table6_eigensolver",
+]

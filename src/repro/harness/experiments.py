@@ -1,0 +1,604 @@
+"""Every table and figure of the paper's evaluation, as functions.
+
+Each function regenerates one exhibit and returns plain data structures
+(lists/dicts) that :mod:`repro.harness.report` renders in the paper's
+layout and that the benchmark suite asserts shape properties on.
+
+Simulated experiments (Tables 2-5, Figures 2-6) dry-run the real code
+against the calibrated machine models; Table 1 measures workspace peaks;
+Table 6 runs the eigensolver for real (wall clock) at a configurable
+order.  Sample counts default to smaller values than the paper's
+100/1000 so the full suite stays interactive; every function accepts the
+paper's counts for a faithful (slower) run.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.comparators.bailey import bailey_strassen
+from repro.comparators.cray_sgemms import cray_sgemms
+from repro.comparators.dgemmw import dgemmw
+from repro.comparators.essl_dgemms import essl_dgemms_general
+from repro.context import ExecutionContext
+from repro.core.cutoff import (
+    DepthCutoff,
+    HighamCutoff,
+    HybridCutoff,
+    SimpleCutoff,
+)
+from repro.core.dgefmm import dgefmm
+from repro.core.workspace import Workspace
+from repro.eigensolver import GemmCounter, isda_eigh, make_gemm
+from repro.harness.problems import (
+    dimension_bounds,
+    disagreement_problems,
+    sample_problems,
+    two_dims_large_problems,
+)
+from repro.harness.simtime import (
+    paper_hybrid_cutoff,
+    paper_simple_cutoff,
+    sim_cray,
+    sim_dgefmm,
+    sim_dgemm,
+    sim_dgemmw,
+    sim_essl,
+)
+from repro.machines.model import MachineModel
+from repro.machines.presets import (
+    C90,
+    FIXED_DIM,
+    MACHINES,
+    PAPER_RECT_PARAMS,
+    PAPER_SQUARE_CUTOFF,
+    RS6000,
+    VENDOR_GAIN,
+)
+from repro.phantom import Phantom
+from repro.utils.matrixgen import random_symmetric
+
+__all__ = [
+    "fig2_square_cutoff",
+    "table2_square_cutoffs",
+    "table3_rect_params",
+    "table4_criteria",
+    "table5_recursions",
+    "fig3_vs_essl",
+    "fig4_vs_cray",
+    "fig5_vs_dgemmw",
+    "fig6_rect_vs_dgemmw",
+    "table1_memory",
+    "table6_eigensolver",
+    "section2_opcounts",
+    "SCAN_RANGES",
+]
+
+#: square-cutoff scan windows per machine (paper's Fig. 2 used 120-260)
+SCAN_RANGES = {"RS6000": (120, 300), "C90": (80, 220), "T3D": (250, 460)}
+
+
+def _one_level_time(mach: MachineModel, m: int, k: int, n: int) -> float:
+    return sim_dgefmm(mach, m, k, n, 1.0, 0.0, cutoff=DepthCutoff(1))
+
+
+# --------------------------------------------------------------------- #
+# Figure 2 / Table 2: square cutoff
+# --------------------------------------------------------------------- #
+
+def fig2_square_cutoff(
+    mach: MachineModel = RS6000,
+    lo: Optional[int] = None,
+    hi: Optional[int] = None,
+) -> Dict:
+    """Figure 2: ratio DGEMM/DGEFMM(1 level) vs square order.
+
+    Returns the scan points plus the (first win, always wins,
+    recommended) summary — the paper's 176 / 214 / 199 on the RS/6000.
+    """
+    base = mach.name.split("(")[0]
+    sl, sh = SCAN_RANGES.get(base, (120, 300))
+    lo = lo if lo is not None else sl
+    hi = hi if hi is not None else sh
+    points: List[Tuple[int, float]] = []
+    for m in range(lo, hi + 1):
+        points.append((m, sim_dgemm(mach, m, m, m) / _one_level_time(mach, m, m, m)))
+    wins = [r > 1.0 for _, r in points]
+    first = points[wins.index(True)][0] if any(wins) else None
+    always = None
+    for (m, _r), w in zip(reversed(points), reversed(wins)):
+        if not w:
+            break
+        always = m
+    recommended = (first + always) // 2 if first and always else None
+    return {
+        "machine": mach.name,
+        "points": points,
+        "first_win": first,
+        "always_win": always,
+        "recommended": recommended,
+        "paper": {"first_win": 176, "always_win": 214, "chosen": 199},
+    }
+
+
+def table2_square_cutoffs(
+    machines: Optional[Sequence[MachineModel]] = None,
+) -> List[Dict]:
+    """Table 2: empirical square cutoffs on all machines."""
+    machines = list(machines) if machines is not None else list(MACHINES.values())
+    rows = []
+    for mach in machines:
+        d = fig2_square_cutoff(mach)
+        rows.append(
+            {
+                "machine": mach.name,
+                "measured_tau": d["recommended"],
+                "first_win": d["first_win"],
+                "always_win": d["always_win"],
+                "paper_tau": PAPER_SQUARE_CUTOFF[mach.name.split("(")[0]],
+            }
+        )
+    return rows
+
+
+# --------------------------------------------------------------------- #
+# Table 3: rectangular cutoff parameters
+# --------------------------------------------------------------------- #
+
+def table3_rect_params(
+    machines: Optional[Sequence[MachineModel]] = None,
+) -> List[Dict]:
+    """Table 3: long-thin crossovers tau_m, tau_k, tau_n per machine.
+
+    Runs the Section 3.4 procedure: vary one dimension with the other two
+    fixed large (2000, or 1500 on the T3D); bisect (even sizes) for the
+    point where one Strassen level beats DGEMM.
+    """
+    machines = list(machines) if machines is not None else list(MACHINES.values())
+    rows = []
+    for mach in machines:
+        base = mach.name.split("(")[0]
+        fixed = FIXED_DIM[base]
+
+        def cross(which: str) -> int:
+            # linear scan over even sizes: the win predicate is jittery
+            # near the boundary (halved dims alternate even/odd, paying
+            # peel fix-ups on odd halves), so bisection is unsafe — the
+            # paper's empirical procedure scans as well
+            def wins(x: int) -> bool:
+                dims = {
+                    "m": (x, fixed, fixed),
+                    "k": (fixed, x, fixed),
+                    "n": (fixed, fixed, x),
+                }[which]
+                return sim_dgemm(mach, *dims) > _one_level_time(mach, *dims)
+
+            for x in range(4, 802, 2):
+                if wins(x):
+                    return x
+            raise RuntimeError(f"no {which} crossover found below 800")
+
+        tm, tk, tn = cross("m"), cross("k"), cross("n")
+        pm, pk, pn = PAPER_RECT_PARAMS[base]
+        rows.append(
+            {
+                "machine": mach.name,
+                "tau_m": tm, "tau_k": tk, "tau_n": tn,
+                "sum": tm + tk + tn,
+                "paper": (pm, pk, pn),
+                "paper_sum": pm + pk + pn,
+            }
+        )
+    return rows
+
+
+# --------------------------------------------------------------------- #
+# Table 4: cutoff criteria comparison
+# --------------------------------------------------------------------- #
+
+def _ratio_stats(ratios: Sequence[float]) -> Dict:
+    r = np.sort(np.asarray(ratios, dtype=float))
+    return {
+        "n": len(r),
+        "min": float(r[0]),
+        "max": float(r[-1]),
+        "q1": float(np.percentile(r, 25)),
+        "median": float(np.percentile(r, 50)),
+        "q3": float(np.percentile(r, 75)),
+        "mean": float(np.mean(r)),
+    }
+
+
+def table4_criteria(
+    mach: MachineModel = RS6000,
+    *,
+    sample: int = 100,
+    sample_higham: int = 200,
+    sample_two_large: int = 50,
+    seed: int = 1996,
+) -> List[Dict]:
+    """Table 4: DGEFMM time with criterion (15) over other criteria.
+
+    Three comparisons per machine, on problems where the two criteria
+    disagree at the top level (alpha = 1, beta = 0 as in the paper):
+    (15)/(11), (15)/(12), and (15)/(12) with two dimensions large.
+    The paper used samples of 100 / 1000 / 100; defaults here are smaller
+    for interactivity — pass the paper's numbers for the faithful run.
+    """
+    base = mach.name.split("(")[0]
+    tau = PAPER_SQUARE_CUTOFF[base]
+    hybrid = paper_hybrid_cutoff(base)
+    simple = SimpleCutoff(tau)
+    higham = HighamCutoff(tau)
+    lo, hi = dimension_bounds(tau, PAPER_RECT_PARAMS[base], base)
+    large = 1350 if base == "T3D" else 1800
+
+    def ratios_for(crit_other, probs) -> List[float]:
+        out = []
+        for (m, k, n) in probs:
+            t15 = sim_dgefmm(mach, m, k, n, cutoff=hybrid)
+            t_o = sim_dgefmm(mach, m, k, n, cutoff=crit_other)
+            out.append(t15 / t_o)
+        return out
+
+    rows = []
+    probs = disagreement_problems(hybrid, simple, lo, hi, sample, seed)
+    rows.append(
+        {"machine": mach.name, "comparison": "(15)/(11)",
+         **_ratio_stats(ratios_for(simple, probs))}
+    )
+    probs = disagreement_problems(hybrid, higham, lo, hi, sample_higham, seed + 1)
+    rows.append(
+        {"machine": mach.name, "comparison": "(15)/(12)",
+         **_ratio_stats(ratios_for(higham, probs))}
+    )
+    probs = two_dims_large_problems(
+        hybrid, higham, lo, hi, large, sample_two_large, seed + 2
+    )
+    rows.append(
+        {"machine": mach.name, "comparison": "(15)/(12) two large",
+         **_ratio_stats(ratios_for(higham, probs))}
+    )
+    return rows
+
+
+# --------------------------------------------------------------------- #
+# Table 5: recursion-depth scaling
+# --------------------------------------------------------------------- #
+
+#: paper Table 5 measurements (machine -> [(m, dgemm_s, dgefmm_s), ...])
+PAPER_TABLE5 = {
+    "RS6000": [(200, 0.150, 0.150), (400, 1.14, 1.05),
+               (800, 9.06, 7.59), (1600, 72.2, 54.1)],
+    "C90": [(130, 0.0060, 0.0055), (260, 0.0431, 0.0410),
+            (520, 0.332, 0.312), (1040, 2.54, 2.10), (2080, 20.1, 13.3)],
+    "T3D": [(326, 0.694, 0.669), (652, 5.40, 4.91), (1304, 42.6, 33.3)],
+}
+
+
+def table5_recursions(
+    machines: Optional[Sequence[MachineModel]] = None,
+    alpha: float = 1.0 / 3.0,
+    beta: float = 1.0 / 4.0,
+) -> List[Dict]:
+    """Table 5: DGEMM vs DGEFMM at m = tau+1, 2(tau+1), 4(tau+1), ...
+
+    alpha = 1/3, beta = 1/4 as in the paper (exercising the general-case
+    STRASSEN2 path).  Rows include the paper's measured seconds.
+    """
+    machines = list(machines) if machines is not None else list(MACHINES.values())
+    rows = []
+    for mach in machines:
+        base = mach.name.split("(")[0]
+        hybrid = paper_hybrid_cutoff(base)
+        for depth_i, (m, paper_g, paper_f) in enumerate(PAPER_TABLE5[base], 1):
+            tg = sim_dgemm(mach, m, m, m)
+            tf = sim_dgefmm(mach, m, m, m, alpha, beta, cutoff=hybrid)
+            rows.append(
+                {
+                    "machine": mach.name, "recursions": depth_i, "m": m,
+                    "dgemm_s": tg, "dgefmm_s": tf, "ratio": tf / tg,
+                    "paper_dgemm_s": paper_g, "paper_dgefmm_s": paper_f,
+                    "paper_ratio": paper_f / paper_g,
+                }
+            )
+    return rows
+
+
+# --------------------------------------------------------------------- #
+# Figures 3-5: square-sweep ratios against the other codes
+# --------------------------------------------------------------------- #
+
+def _square_sweep_ratio(
+    mach_ours: MachineModel,
+    mach_theirs: MachineModel,
+    time_theirs,
+    lo: int,
+    hi: int,
+    step: int,
+    alpha: float,
+    beta: float,
+    cutoff_ours=None,
+) -> Dict:
+    pts = []
+    for m in range(lo, hi + 1, step):
+        t_ours = sim_dgefmm(mach_ours, m, m, m, alpha, beta, cutoff=cutoff_ours)
+        t_them = time_theirs(mach_theirs, m, m, m, alpha, beta)
+        pts.append((m, t_ours / t_them))
+    return {"points": pts, "average": float(np.mean([r for _, r in pts]))}
+
+
+def fig3_vs_essl(
+    mach: MachineModel = RS6000,
+    lo: int = 200,
+    hi: int = 2200,
+    step: int = 25,
+    gain: Optional[float] = None,
+) -> Dict:
+    """Figure 3: DGEFMM / IBM ESSL DGEMMS on the RS/6000.
+
+    The vendor routine runs on the tuned machine (kernel advantage);
+    reports both the beta = 0 sweep (the figure; paper average 1.052)
+    and the general-case average (paper 1.028).
+    """
+    g = gain if gain is not None else VENDOR_GAIN["RS6000"]
+    tuned = mach.tuned(g)
+    hybrid = paper_hybrid_cutoff(mach.name)
+    b0 = _square_sweep_ratio(mach, tuned, sim_essl, lo, hi, step, 1.0, 0.0,
+                             cutoff_ours=hybrid)
+    gen = _square_sweep_ratio(mach, tuned, sim_essl, lo, hi, step * 4,
+                              0.5, 0.25, cutoff_ours=hybrid)
+    return {
+        "machine": mach.name, "gain": g,
+        "beta0": b0, "general": gen,
+        "paper": {"beta0_avg": 1.052, "general_avg": 1.028},
+    }
+
+
+def fig4_vs_cray(
+    mach: MachineModel = C90,
+    lo: int = 50,
+    hi: int = 2000,
+    step: int = 25,
+    gain: Optional[float] = None,
+) -> Dict:
+    """Figure 4: DGEFMM / CRAY SGEMMS on the C90 (paper avg 1.066/1.052)."""
+    g = gain if gain is not None else VENDOR_GAIN["C90"]
+    tuned = mach.tuned(g)
+    hybrid = paper_hybrid_cutoff(mach.name)
+    b0 = _square_sweep_ratio(mach, tuned, sim_cray, lo, hi, step, 1.0, 0.0,
+                             cutoff_ours=hybrid)
+    gen = _square_sweep_ratio(mach, tuned, sim_cray, lo, hi, step * 4,
+                              0.5, 0.25, cutoff_ours=hybrid)
+    return {
+        "machine": mach.name, "gain": g,
+        "beta0": b0, "general": gen,
+        "paper": {"beta0_avg": 1.066, "general_avg": 1.052},
+    }
+
+
+def fig5_vs_dgemmw(
+    mach: MachineModel = RS6000,
+    lo: int = 200,
+    hi: int = 2200,
+    step: int = 25,
+) -> Dict:
+    """Figure 5: DGEFMM / DGEMMW, square sweep on the RS/6000.
+
+    DGEMMW runs on the *same* (untuned) machine — it is portable C like
+    DGEFMM; the differences are structural (padding vs peeling, cutoff
+    criterion, general-case buffer).  Paper averages: 0.991 general,
+    1.0089 at beta = 0.
+    """
+    hybrid = paper_hybrid_cutoff(mach.name)
+    gen = _square_sweep_ratio(mach, mach, sim_dgemmw, lo, hi, step,
+                              0.5, 0.25, cutoff_ours=hybrid)
+    b0 = _square_sweep_ratio(mach, mach, sim_dgemmw, lo, hi, step * 4,
+                             1.0, 0.0, cutoff_ours=hybrid)
+    return {
+        "machine": mach.name, "general": gen, "beta0": b0,
+        "paper": {"general_avg": 0.991, "beta0_avg": 1.0089},
+    }
+
+
+def fig6_rect_vs_dgemmw(
+    mach: MachineModel = RS6000,
+    *,
+    count: int = 100,
+    seed: int = 1996,
+) -> Dict:
+    """Figure 6: DGEFMM / DGEMMW on random rectangular problems.
+
+    Dimensions uniform in [tau_d, 2050] per dimension (the paper's
+    ranges); x-axis log10(2mnk).  Paper averages: 0.974 general, 0.999
+    at beta = 0.
+    """
+    base = mach.name.split("(")[0]
+    tm, tk, tn = PAPER_RECT_PARAMS[base]
+    probs = sample_problems((tm, tk, tn), 2050, count, seed)
+    hybrid = paper_hybrid_cutoff(base)
+
+    def series(alpha: float, beta: float):
+        pts = []
+        for (m, k, n) in probs:
+            t_ours = sim_dgefmm(mach, m, k, n, alpha, beta, cutoff=hybrid)
+            t_them = sim_dgemmw(mach, m, k, n, alpha, beta)
+            pts.append((math.log10(2.0 * m * n * k), t_ours / t_them))
+        return {"points": pts,
+                "average": float(np.mean([r for _, r in pts]))}
+
+    return {
+        "machine": mach.name,
+        "general": series(0.5, 0.25),
+        "beta0": series(1.0, 0.0),
+        "paper": {"general_avg": 0.974, "beta0_avg": 0.999},
+    }
+
+
+# --------------------------------------------------------------------- #
+# Table 1: memory requirements
+# --------------------------------------------------------------------- #
+
+#: paper Table 1 (coefficients of m^2), by implementation and case;
+#: the Bailey row is the paper Section 3.2's quoted (mk+kn+mn)/3 for
+#: reference [3]'s scheme (not a Table 1 row in the paper itself)
+PAPER_TABLE1 = {
+    "Bailey [3]": (1.0, None),
+    "CRAY SGEMMS": (7 / 3, 7 / 3),
+    "IBM ESSL DGEMMS": (1.40, None),
+    "DGEMMW": (2 / 3, 5 / 3),
+    "STRASSEN1": (2 / 3, 2.0),
+    "STRASSEN2": (1.0, 1.0),
+    "DGEFMM": (2 / 3, 1.0),
+}
+
+
+def table1_memory(m: int = 1024, tau: int = 64) -> List[Dict]:
+    """Table 1: measured peak workspace / m^2 for every implementation.
+
+    Every code is dry-run on an order-m problem with a common cutoff and
+    its workspace high-water mark measured — the coefficients are
+    *observed*, not asserted.  Paper (documented) values included for
+    comparison; the vendor codes' internals are reconstructions, so their
+    measured coefficients legitimately differ (see DESIGN.md).
+    """
+    crit = SimpleCutoff(tau)
+
+    def peak(fn, beta: float) -> float:
+        ctx = ExecutionContext(dry=True)
+        ws = Workspace(dry=True)
+        a, b, c = Phantom(m, m), Phantom(m, m), Phantom(m, m)
+        fn(a, b, c, 1.0, beta, ctx=ctx, workspace=ws)
+        return ws.peak_elements / m**2
+
+    def dgefmm_scheme(scheme):
+        def fn(a, b, c, al, be, ctx, workspace):
+            dgefmm(a, b, c, al, be, scheme=scheme, cutoff=crit,
+                   ctx=ctx, workspace=workspace)
+        return fn
+
+    def f_dgemmw(a, b, c, al, be, ctx, workspace):
+        dgemmw(a, b, c, al, be, cutoff=crit, ctx=ctx, workspace=workspace)
+
+    def f_essl(a, b, c, al, be, ctx, workspace):
+        essl_dgemms_general(a, b, c, al, be, cutoff=crit,
+                            ctx=ctx, workspace=workspace)
+
+    def f_cray(a, b, c, al, be, ctx, workspace):
+        cray_sgemms(a, b, c, al, be, cutoff=crit, ctx=ctx,
+                    workspace=workspace)
+
+    def f_bailey(a, b, c, al, be, ctx, workspace):
+        bailey_strassen(a, b, c, al, be, cutoff=crit, ctx=ctx,
+                        workspace=workspace)
+
+    impls = [
+        ("Bailey [3]", f_bailey),
+        ("CRAY SGEMMS", f_cray),
+        ("IBM ESSL DGEMMS", f_essl),
+        ("DGEMMW", f_dgemmw),
+        ("STRASSEN1", dgefmm_scheme("strassen1")),
+        ("STRASSEN2", dgefmm_scheme("strassen2")),
+        ("DGEFMM", dgefmm_scheme("auto")),
+    ]
+    rows = []
+    for name, fn in impls:
+        pb0, pbn = PAPER_TABLE1[name]
+        rows.append(
+            {
+                "implementation": name,
+                "m": m,
+                "beta0": peak(fn, 0.0),
+                "general": peak(fn, 1.0),
+                "paper_beta0": pb0,
+                "paper_general": pbn,
+            }
+        )
+    return rows
+
+
+# --------------------------------------------------------------------- #
+# Table 6: eigensolver application (wall clock)
+# --------------------------------------------------------------------- #
+
+def table6_eigensolver(
+    n: int = 256,
+    *,
+    seed: int = 1996,
+    cutoff=None,
+    base_size: int = 32,
+) -> Dict:
+    """Table 6: ISDA eigensolver with DGEMM vs DGEFMM (wall clock).
+
+    The paper ran a 1000x1000 random symmetric matrix on the RS/6000 and
+    saw total time 1168 -> 974 s and MM time 1030 -> 812 s (~20 % MM
+    saving).  Here the order is configurable (the substrate kernels are
+    numpy-based, so the paper's order is expensive but possible); the
+    reproduction claim is the *structure*: swapping the gemm callable
+    alone yields a measurable MM-time saving, with "other" time
+    unchanged.
+    """
+    a = random_symmetric(n, seed)
+    results = {}
+    for kind in ("dgemm", "dgefmm"):
+        kernel_ctx = ExecutionContext()
+        gemm = GemmCounter(make_gemm(kind, cutoff=cutoff, ctx=kernel_ctx))
+        w, v, stats = isda_eigh(a, gemm, base_size=base_size)
+        resid = float(np.linalg.norm(a @ v - v * w))
+        results[kind] = {
+            "total_s": stats.total_seconds,
+            "mm_s": stats.gemm_seconds,
+            "mm_calls": stats.gemm_calls,
+            "mul_flops": kernel_ctx.mul_flops,
+            "residual": resid,
+            "splits": stats.splits,
+        }
+    results["n"] = n
+    results["mm_ratio"] = results["dgefmm"]["mm_s"] / results["dgemm"]["mm_s"]
+    results["mul_flop_ratio"] = (
+        results["dgefmm"]["mul_flops"] / results["dgemm"]["mul_flops"]
+    )
+    results["paper"] = {
+        "n": 1000,
+        "dgemm": {"total_s": 1168.0, "mm_s": 1030.0},
+        "dgefmm": {"total_s": 974.0, "mm_s": 812.0},
+        "mm_ratio": 812.0 / 1030.0,
+    }
+    return results
+
+
+# --------------------------------------------------------------------- #
+# Section 2: operation-count analysis headline numbers
+# --------------------------------------------------------------------- #
+
+def section2_opcounts() -> Dict:
+    """The Section 2 analysis numbers the paper derives in closed form."""
+    from repro.core import opcount
+
+    # The paper quotes "improvement of (4) over (5)" as 1 - W/S, i.e. the
+    # fraction of Strassen-original ops that Winograd saves.
+    def improvement(m0: int) -> float:
+        return 1.0 - 1.0 / opcount.winograd_vs_strassen_limit(m0)
+
+    return {
+        "one_level_ratio_limit": 7.0 / 8.0,
+        "one_level_ratio_at_512": opcount.one_level_ratio(512),
+        "theoretical_square_cutoff": opcount.theoretical_square_cutoff(),
+        # paper: "obtaining a 38.2% improvement using cutoffs" = 1 - 1/ratio
+        "cutoff_ratio_256": opcount.cutoff_improvement_square(256),
+        "cutoff_improvement_256": 1.0
+        - 1.0 / opcount.cutoff_improvement_square(256),
+        "winograd_improvement_full": improvement(1),
+        "winograd_improvement_m7": improvement(7),
+        "winograd_improvement_m12": improvement(12),
+        "paper": {
+            "theoretical_square_cutoff": 12,
+            "cutoff_improvement_256": 0.382,
+            "winograd_improvement_full": 0.143,
+            "winograd_improvement_m7": 0.0526,
+            "winograd_improvement_m12": 0.0345,
+        },
+    }

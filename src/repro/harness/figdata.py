@@ -1,0 +1,109 @@
+"""Export figure series as CSV for external plotting.
+
+The paper's figures are scatter/line plots; the experiment functions
+return their underlying series, and this module writes them in a plain
+CSV layout (one file per figure) so any plotting tool can regenerate the
+visuals.  No plotting library is required (or used) anywhere in the
+package.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Dict, Iterable, List, Sequence, Tuple, Union
+
+from repro.harness import experiments as E
+
+__all__ = ["write_series", "export_all_figures", "FIGURES"]
+
+
+def write_series(
+    path: Union[str, Path],
+    header: Sequence[str],
+    rows: Iterable[Tuple],
+) -> Path:
+    """Write one CSV series; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(header)
+        for row in rows:
+            writer.writerow(row)
+    return path
+
+
+def _fig2(outdir: Path, fast: bool) -> List[Path]:
+    d = E.fig2_square_cutoff()
+    return [
+        write_series(
+            outdir / "fig2_square_cutoff.csv",
+            ["m", "ratio_dgemm_over_dgefmm_1level"],
+            d["points"],
+        )
+    ]
+
+
+def _fig3(outdir: Path, fast: bool) -> List[Path]:
+    d = E.fig3_vs_essl(step=50 if fast else 25)
+    return [
+        write_series(
+            outdir / "fig3_dgefmm_over_essl.csv",
+            ["m", "time_ratio_beta0"],
+            d["beta0"]["points"],
+        )
+    ]
+
+
+def _fig4(outdir: Path, fast: bool) -> List[Path]:
+    d = E.fig4_vs_cray(step=50 if fast else 25)
+    return [
+        write_series(
+            outdir / "fig4_dgefmm_over_cray.csv",
+            ["m", "time_ratio_beta0"],
+            d["beta0"]["points"],
+        )
+    ]
+
+
+def _fig5(outdir: Path, fast: bool) -> List[Path]:
+    d = E.fig5_vs_dgemmw(step=50 if fast else 25)
+    return [
+        write_series(
+            outdir / "fig5_dgefmm_over_dgemmw.csv",
+            ["m", "time_ratio_general"],
+            d["general"]["points"],
+        )
+    ]
+
+
+def _fig6(outdir: Path, fast: bool) -> List[Path]:
+    d = E.fig6_rect_vs_dgemmw(count=60 if fast else 200)
+    return [
+        write_series(
+            outdir / "fig6_rectangular.csv",
+            ["log10_2mnk", "time_ratio_general"],
+            d["general"]["points"],
+        )
+    ]
+
+
+FIGURES: Dict[str, object] = {
+    "fig2": _fig2,
+    "fig3": _fig3,
+    "fig4": _fig4,
+    "fig5": _fig5,
+    "fig6": _fig6,
+}
+
+
+def export_all_figures(
+    outdir: Union[str, Path], *, fast: bool = True
+) -> List[Path]:
+    """Write every figure's CSV into ``outdir``; returns the paths."""
+    outdir = Path(outdir)
+    paths: List[Path] = []
+    for fn in FIGURES.values():
+        paths.extend(fn(outdir, fast))
+    return paths

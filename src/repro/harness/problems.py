@@ -1,0 +1,131 @@
+"""Random problem generators for the Section 4.2 experiments.
+
+The paper's Table 4 compares cutoff criteria on randomly generated
+problems *on which the criteria disagree at the top level* (identical
+decisions imply identical timing, so disagreement sets are sufficient);
+Figure 6 uses unconstrained random rectangular problems.  Dimension
+ranges follow the paper exactly:
+
+- lower bounds: min(tau/3, tau_m) for m, min(tau/3, tau_k) for k,
+  min(tau/3, tau_n) for n;
+- upper bound 2050 (RS/6000, C90) or 1550 (T3D);
+- "two dims large" means at least 1800 (RS/6000, C90) or 1350 (T3D).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+import numpy as np
+
+from repro.core.cutoff import CutoffCriterion
+
+__all__ = [
+    "dimension_bounds",
+    "sample_problems",
+    "disagreement_problems",
+    "two_dims_large_problems",
+]
+
+Problem = Tuple[int, int, int]
+
+
+def dimension_bounds(
+    tau: int, rect: Tuple[int, int, int], machine_name: str
+) -> Tuple[Tuple[int, int, int], int]:
+    """(per-dimension lower bounds, upper bound) per the paper's recipe."""
+    tm, tk, tn = rect
+    lo = (min(tau // 3, tm), min(tau // 3, tk), min(tau // 3, tn))
+    hi = 1550 if machine_name == "T3D" else 2050
+    return lo, hi
+
+
+def sample_problems(
+    lo: Tuple[int, int, int],
+    hi: int,
+    count: int,
+    seed: int,
+) -> List[Problem]:
+    """``count`` problems with dims uniform in [lo_d, hi]."""
+    rng = np.random.default_rng(seed)
+    out = []
+    for _ in range(count):
+        m = int(rng.integers(lo[0], hi + 1))
+        k = int(rng.integers(lo[1], hi + 1))
+        n = int(rng.integers(lo[2], hi + 1))
+        out.append((m, k, n))
+    return out
+
+
+def _disagree(
+    a: CutoffCriterion, b: CutoffCriterion, p: Problem
+) -> bool:
+    m, k, n = p
+    return a.stop(m, k, n) != b.stop(m, k, n)
+
+
+def disagreement_problems(
+    crit_a: CutoffCriterion,
+    crit_b: CutoffCriterion,
+    lo: Tuple[int, int, int],
+    hi: int,
+    count: int,
+    seed: int,
+    *,
+    min_dims: Tuple[int, int, int] = (0, 0, 0),
+    max_tries: int = 2_000_000,
+) -> List[Problem]:
+    """``count`` random problems where the two criteria decide opposite
+    ways at the top level (the paper's Table 4 sampling procedure)."""
+    rng = np.random.default_rng(seed)
+    out: List[Problem] = []
+    tries = 0
+    while len(out) < count and tries < max_tries:
+        tries += 1
+        m = int(rng.integers(max(lo[0], min_dims[0]), hi + 1))
+        k = int(rng.integers(max(lo[1], min_dims[1]), hi + 1))
+        n = int(rng.integers(max(lo[2], min_dims[2]), hi + 1))
+        if _disagree(crit_a, crit_b, (m, k, n)):
+            out.append((m, k, n))
+    if len(out) < count:
+        raise RuntimeError(
+            f"found only {len(out)}/{count} disagreement problems "
+            f"in {max_tries} tries"
+        )
+    return out
+
+
+def two_dims_large_problems(
+    crit_a: CutoffCriterion,
+    crit_b: CutoffCriterion,
+    lo: Tuple[int, int, int],
+    hi: int,
+    large: int,
+    count: int,
+    seed: int,
+    *,
+    max_tries: int = 2_000_000,
+) -> List[Problem]:
+    """Disagreement problems with at least two dimensions >= ``large``."""
+    rng = np.random.default_rng(seed)
+    out: List[Problem] = []
+    tries = 0
+    while len(out) < count and tries < max_tries:
+        tries += 1
+        dims = [
+            int(rng.integers(lo[0], hi + 1)),
+            int(rng.integers(lo[1], hi + 1)),
+            int(rng.integers(lo[2], hi + 1)),
+        ]
+        # force two randomly chosen dims into the large range
+        which = rng.permutation(3)[:2]
+        for w in which:
+            dims[w] = int(rng.integers(large, hi + 1))
+        p = (dims[0], dims[1], dims[2])
+        if _disagree(crit_a, crit_b, p):
+            out.append(p)
+    if len(out) < count:
+        raise RuntimeError(
+            f"found only {len(out)}/{count} two-large disagreement problems"
+        )
+    return out

@@ -1,0 +1,331 @@
+"""Paper-style rendering of every experiment, and a CLI to run them all.
+
+``python -m repro.harness.report`` regenerates each table and figure
+(figures as data series summaries) and prints paper-vs-measured.  Use
+``--fast`` (default) or ``--full`` for the paper's sample sizes, and
+``--only tableN|figN`` to select one exhibit.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict, List
+
+from repro.harness import experiments as E
+from repro.utils.tables import format_table
+
+__all__ = ["render", "main", "EXHIBITS"]
+
+
+def _r_fig2(full: bool) -> str:
+    d = E.fig2_square_cutoff()
+    p = d["paper"]
+    lines = [
+        "Figure 2: experimentally determined square cutoff, RS/6000 "
+        "(alpha=1, beta=0)",
+        f"  first win m={d['first_win']} (paper {p['first_win']}), "
+        f"always wins m>={d['always_win']} (paper {p['always_win']}), "
+        f"recommended tau={d['recommended']} (paper chose {p['chosen']})",
+        "  ratio DGEMM/DGEFMM(1 level), every 10th point:",
+    ]
+    pts = d["points"][::10]
+    lines.append(
+        "  " + "  ".join(f"{m}:{r:.3f}" for m, r in pts)
+    )
+    return "\n".join(lines)
+
+
+def _r_table2(full: bool) -> str:
+    rows = E.table2_square_cutoffs()
+    return format_table(
+        ["machine", "measured tau", "first win", "always win", "paper tau"],
+        [
+            (r["machine"], r["measured_tau"], r["first_win"],
+             r["always_win"], r["paper_tau"])
+            for r in rows
+        ],
+        title="Table 2: empirical square cutoffs",
+    )
+
+
+def _r_table3(full: bool) -> str:
+    rows = E.table3_rect_params()
+    return format_table(
+        ["machine", "tau_m", "tau_k", "tau_n", "sum", "paper", "paper sum"],
+        [
+            (r["machine"], r["tau_m"], r["tau_k"], r["tau_n"], r["sum"],
+             str(r["paper"]), r["paper_sum"])
+            for r in rows
+        ],
+        title="Table 3: rectangular cutoff parameters (alpha=1, beta=0)",
+    )
+
+
+def _r_table4(full: bool) -> str:
+    out: List[str] = ["Table 4: comparison of cutoff criteria "
+                      "(ratios of DGEFMM time, (15) vs others)"]
+    kw = (
+        dict(sample=100, sample_higham=1000, sample_two_large=100)
+        if full
+        else dict(sample=60, sample_higham=120, sample_two_large=40)
+    )
+    from repro.machines.presets import MACHINES
+
+    rows = []
+    for mach in MACHINES.values():
+        rows.extend(E.table4_criteria(mach, **kw))
+    out.append(
+        format_table(
+            ["machine", "comparison", "n", "range", "quartiles", "average"],
+            [
+                (
+                    r["machine"], r["comparison"], r["n"],
+                    f"{r['min']:.4f}-{r['max']:.4f}",
+                    f"{r['q1']:.4f};{r['median']:.4f};{r['q3']:.4f}",
+                    f"{r['mean']:.4f}",
+                )
+                for r in rows
+            ],
+        )
+    )
+    out.append(
+        "  paper RS/6000: (15)/(11) avg 0.9529, (15)/(12) avg 1.0017, "
+        "two-large avg 0.9888"
+    )
+    return "\n".join(out)
+
+
+def _r_table5(full: bool) -> str:
+    rows = E.table5_recursions()
+    return format_table(
+        ["machine", "recs", "m", "DGEMM s", "DGEFMM s", "ratio",
+         "paper DGEMM", "paper DGEFMM", "paper ratio"],
+        [
+            (r["machine"], r["recursions"], r["m"],
+             f"{r['dgemm_s']:.4g}", f"{r['dgefmm_s']:.4g}",
+             f"{r['ratio']:.3f}",
+             f"{r['paper_dgemm_s']:.4g}", f"{r['paper_dgefmm_s']:.4g}",
+             f"{r['paper_ratio']:.3f}")
+            for r in rows
+        ],
+        title="Table 5: times for different recursion counts "
+              "(alpha=1/3, beta=1/4)",
+    )
+
+
+def _series(d: Dict, label: str, paper_key: str) -> str:
+    return (
+        f"  {label}: average {d['average']:.4f} "
+        f"(paper {paper_key})"
+    )
+
+
+def _r_fig3(full: bool) -> str:
+    step = 25 if full else 50
+    d = E.fig3_vs_essl(step=step)
+    return "\n".join(
+        [
+            "Figure 3: DGEFMM / IBM ESSL DGEMMS, RS/6000 "
+            f"(vendor gain {d['gain']})",
+            _series(d["beta0"], "beta=0 sweep",
+                    f"{d['paper']['beta0_avg']}"),
+            _series(d["general"], "general alpha,beta",
+                    f"{d['paper']['general_avg']}"),
+        ]
+    )
+
+
+def _r_fig4(full: bool) -> str:
+    step = 25 if full else 50
+    d = E.fig4_vs_cray(step=step)
+    return "\n".join(
+        [
+            "Figure 4: DGEFMM / CRAY SGEMMS, C90 "
+            f"(vendor gain {d['gain']})",
+            _series(d["beta0"], "beta=0 sweep", f"{d['paper']['beta0_avg']}"),
+            _series(d["general"], "general alpha,beta",
+                    f"{d['paper']['general_avg']}"),
+        ]
+    )
+
+
+def _r_fig5(full: bool) -> str:
+    step = 25 if full else 50
+    d = E.fig5_vs_dgemmw(step=step)
+    return "\n".join(
+        [
+            "Figure 5: DGEFMM / DGEMMW, square, RS/6000",
+            _series(d["general"], "general alpha,beta",
+                    f"{d['paper']['general_avg']}"),
+            _series(d["beta0"], "beta=0", f"{d['paper']['beta0_avg']}"),
+        ]
+    )
+
+
+def _r_fig6(full: bool) -> str:
+    count = 200 if full else 60
+    d = E.fig6_rect_vs_dgemmw(count=count)
+    return "\n".join(
+        [
+            "Figure 6: DGEFMM / DGEMMW, random rectangular, RS/6000",
+            _series(d["general"], "general alpha,beta",
+                    f"{d['paper']['general_avg']}"),
+            _series(d["beta0"], "beta=0", f"{d['paper']['beta0_avg']}"),
+        ]
+    )
+
+
+def _r_table1(full: bool) -> str:
+    rows = E.table1_memory(m=2048 if full else 1024)
+
+    def fmt(x):
+        return "n/a" if x is None else f"{x:.3f}"
+
+    return format_table(
+        ["implementation", "beta=0 (m^2)", "general (m^2)",
+         "paper beta=0", "paper general"],
+        [
+            (r["implementation"], f"{r['beta0']:.3f}", f"{r['general']:.3f}",
+             fmt(r["paper_beta0"]), fmt(r["paper_general"]))
+            for r in rows
+        ],
+        title=f"Table 1: measured temporary memory, order {rows[0]['m']} "
+              "(vendor rows are reconstructions; see DESIGN.md)",
+    )
+
+
+def _r_table6(full: bool) -> str:
+    n = 384 if full else 192
+    d = E.table6_eigensolver(n=n)
+    rows = [
+        ("Total time (s)", f"{d['dgemm']['total_s']:.2f}",
+         f"{d['dgefmm']['total_s']:.2f}"),
+        ("MM time (s)", f"{d['dgemm']['mm_s']:.2f}",
+         f"{d['dgefmm']['mm_s']:.2f}"),
+        ("MM calls", d["dgemm"]["mm_calls"], d["dgefmm"]["mm_calls"]),
+        ("residual", f"{d['dgemm']['residual']:.2e}",
+         f"{d['dgefmm']['residual']:.2e}"),
+    ]
+    p = d["paper"]
+    return "\n".join(
+        [
+            format_table(
+                [f"eigensolver n={d['n']}", "using DGEMM", "using DGEFMM"],
+                rows,
+                title="Table 6: ISDA eigensolver timings (wall clock, "
+                      "this host)",
+            ),
+            f"  MM-time ratio {d['mm_ratio']:.3f} "
+            f"(paper, n=1000 RS/6000: {p['mm_ratio']:.3f})",
+        ]
+    )
+
+
+def _r_section2(full: bool) -> str:
+    d = E.section2_opcounts()
+    p = d["paper"]
+    return "\n".join(
+        [
+            "Section 2 operation-count analysis:",
+            f"  theoretical square cutoff: {d['theoretical_square_cutoff']} "
+            f"(paper {p['theoretical_square_cutoff']})",
+            f"  cutoff improvement at order 256: "
+            f"{d['cutoff_improvement_256']:.3f} "
+            f"(paper {p['cutoff_improvement_256']})",
+            f"  Winograd vs Strassen improvement (full recursion): "
+            f"{d['winograd_improvement_full']:.3f} "
+            f"(paper {p['winograd_improvement_full']})",
+            f"  ... at m0=7: {d['winograd_improvement_m7']:.4f} "
+            f"(paper {p['winograd_improvement_m7']}), "
+            f"m0=12: {d['winograd_improvement_m12']:.4f} "
+            f"(paper {p['winograd_improvement_m12']})",
+        ]
+    )
+
+
+def _r_extensions(full: bool) -> str:
+    """Extension exhibits: model ladder and stability, summarized."""
+    from repro.core.cutoff import DepthCutoff
+    from repro.core.dgefmm import dgefmm as _dgefmm
+    from repro.core.stability import (
+        UNIT_ROUNDOFF,
+        measure_error,
+        winograd_growth,
+    )
+    from repro.models import (
+        MemoryTrafficModel,
+        OperationCountModel,
+        WeightedOpsModel,
+        predicted_square_crossover,
+    )
+
+    lines = ["Extensions: the [14] model ladder "
+             "(empirical taus: 199 / 129 / 325)"]
+    for name, model in [
+        ("operation count", OperationCountModel()),
+        ("weighted ops (g=5)", WeightedOpsModel(add_weight=5.0)),
+        ("traffic (Z=32Kw)", MemoryTrafficModel(cache_words=32768,
+                                                word_cost=4.0)),
+    ]:
+        lines.append(
+            f"  {name:22s} predicted tau = "
+            f"{predicted_square_crossover(model)}"
+        )
+    lines.append("Stability (order 256): measured error vs Higham bound")
+    for d in (0, 2, 4):
+        def mult(a, b, c, _d=d):
+            _dgefmm(a, b, c, cutoff=DepthCutoff(_d))
+        err, denom = measure_error(mult, 256, seed=d)
+        bound = winograd_growth(d, 256 >> d) * UNIT_ROUNDOFF * denom
+        lines.append(
+            f"  depth {d}: error {err:.2e}  bound {bound:.2e}  "
+            f"(ratio {err / bound:.1e})"
+        )
+    return "\n".join(lines)
+
+
+EXHIBITS: Dict[str, Callable[[bool], str]] = {
+    "section2": _r_section2,
+    "table1": _r_table1,
+    "fig2": _r_fig2,
+    "table2": _r_table2,
+    "table3": _r_table3,
+    "table4": _r_table4,
+    "table5": _r_table5,
+    "fig3": _r_fig3,
+    "fig4": _r_fig4,
+    "fig5": _r_fig5,
+    "fig6": _r_fig6,
+    "table6": _r_table6,
+    "extensions": _r_extensions,
+}
+
+
+def render(only: str = "", full: bool = False) -> str:
+    """Render the selected exhibit (or all of them) to a string."""
+    keys = [only] if only else list(EXHIBITS)
+    chunks = []
+    for k in keys:
+        if k not in EXHIBITS:
+            raise KeyError(f"unknown exhibit {k!r}; choose from {list(EXHIBITS)}")
+        t0 = time.perf_counter()
+        body = EXHIBITS[k](full)
+        dt = time.perf_counter() - t0
+        chunks.append(f"{body}\n  [{k}: {dt:.1f}s]\n")
+    return "\n".join(chunks)
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--only", default="", help="one exhibit, e.g. table4")
+    ap.add_argument("--full", action="store_true",
+                    help="paper-scale sample sizes (slower)")
+    args = ap.parse_args(argv)
+    sys.stdout.write(render(args.only, args.full))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

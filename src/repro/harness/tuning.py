@@ -1,0 +1,86 @@
+"""Closing the Section 3.4 loop: measure cutoffs, build the criterion.
+
+The paper's workflow is measure (Figure 2 / Table 3) -> parameterize
+(eq. 15) -> evaluate (Table 4).  The experiment functions implement the
+measuring; this module packages their outputs into a ready-to-use
+:class:`~repro.core.cutoff.HybridCutoff`, so a user (or a test) can run
+the *entire* loop against any machine model — including one produced by
+:func:`repro.machines.calibrate.calibrate_host` for the running host —
+and verify the resulting criterion performs like the paper's published
+parameters do.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.cutoff import HybridCutoff
+from repro.machines.model import MachineModel
+
+__all__ = ["tune_hybrid_cutoff"]
+
+
+def tune_hybrid_cutoff(
+    mach: MachineModel,
+    *,
+    fixed: int = 2000,
+    scan_margin: int = 110,
+) -> Dict:
+    """Measure tau and (tau_m, tau_k, tau_n) on ``mach``; build eq. (15).
+
+    Runs the same experiments as Table 2/3 (dry-run crossover searches
+    against the machine model through the real DGEFMM recursion) and
+    returns ``{"criterion": HybridCutoff, "tau": ..., "rect": (...),
+    "band": (first, always)}``.
+
+    ``scan_margin`` widens the square scan around a coarse initial guess
+    (found by doubling search), keeping the sweep short without knowing
+    the machine's cutoff in advance.
+    """
+    from repro.harness.experiments import _one_level_time
+    from repro.harness.simtime import sim_dgemm
+    from repro.machines.calibrate import (
+        measured_rect_crossover,
+        measured_square_crossover,
+    )
+
+    def t_gemm_sq(m: int) -> float:
+        return sim_dgemm(mach, m, m, m)
+
+    def t_one_sq(m: int) -> float:
+        return _one_level_time(mach, m, m, m)
+
+    # coarse bracket by doubling (even sizes)
+    guess = 16
+    while guess < 1 << 16 and t_gemm_sq(guess) <= t_one_sq(guess):
+        guess *= 2
+    lo = max(8, guess // 2 - scan_margin)
+    hi = guess + scan_margin
+    first, always, tau = measured_square_crossover(
+        t_gemm_sq, t_one_sq, lo, hi
+    )
+
+    def cross(which: str) -> int:
+        def tg(x: int) -> float:
+            dims = {"m": (x, fixed, fixed), "k": (fixed, x, fixed),
+                    "n": (fixed, fixed, x)}[which]
+            return sim_dgemm(mach, *dims)
+
+        def t1(x: int) -> float:
+            dims = {"m": (x, fixed, fixed), "k": (fixed, x, fixed),
+                    "n": (fixed, fixed, x)}[which]
+            return _one_level_time(mach, *dims)
+
+        # linear scan (the boundary is jittery; see table3's note)
+        for x in range(4, hi + 1, 2):
+            if tg(x) > t1(x):
+                return x
+        raise RuntimeError(f"no {which} crossover below {hi}")
+
+    tm, tk, tn = cross("m"), cross("k"), cross("n")
+    return {
+        "criterion": HybridCutoff(tau=tau, tau_m=tm, tau_k=tk, tau_n=tn),
+        "tau": tau,
+        "rect": (tm, tk, tn),
+        "band": (first, always),
+    }

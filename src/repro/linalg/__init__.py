@@ -1,0 +1,26 @@
+"""Dense linear algebra built on the pluggable GEMM.
+
+The paper's motivation chain — BLAS 3 underlies LAPACK, so a faster GEMM
+accelerates "a wide variety of numerical algorithms" — and its reference
+[3] (Bailey, Lee & Simon, *Using Strassen's Algorithm to Accelerate the
+Solution of Linear Systems*) both point at one canonical consumer: dense
+LU factorization, whose blocked form spends almost all its time in the
+trailing-matrix GEMM update.
+
+:mod:`repro.linalg.lu` implements right-looking blocked LU with partial
+pivoting where the update is an injected multiply-accumulate callable,
+so DGEMM and DGEFMM swap exactly as in the eigensolver study.
+"""
+
+from repro.linalg.inverse import strassen_inverse
+from repro.linalg.lu import getrf, lu_reconstruct, lu_solve, solve
+from repro.linalg.lu_recursive import getrf_recursive
+
+__all__ = [
+    "getrf",
+    "getrf_recursive",
+    "lu_solve",
+    "solve",
+    "lu_reconstruct",
+    "strassen_inverse",
+]

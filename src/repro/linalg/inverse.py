@@ -1,0 +1,96 @@
+"""Recursive matrix inversion by fast multiplication (Strassen 1969).
+
+Strassen's paper [19] is titled *Gaussian elimination is not optimal*:
+its point was that O(m^lg7) multiplication yields O(m^lg7) inversion via
+the 2x2 block formula.  With
+
+    A = [[A11, A12],     S = A22 - A21 A11^-1 A12   (Schur complement)
+         [A21, A22]]
+
+the inverse is
+
+    A^-1 = [[A11^-1 + W S^-1 V,  -W S^-1],
+            [-S^-1 V,             S^-1  ]],
+    where V = A21 A11^-1 and W = A11^-1 A12,
+
+requiring two recursive half-size inversions and six multiplications —
+all routed through DGEFMM here, so the whole inversion inherits the
+Strassen exponent.
+
+No pivoting is performed: the recursion requires every leading principal
+block to be well-conditioned, which holds for symmetric positive
+definite and diagonally dominant matrices (the classical setting; use
+:mod:`repro.linalg.lu` for general systems).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.blas.level3 import dgemm as _blas_dgemm
+from repro.errors import DimensionError
+
+__all__ = ["strassen_inverse"]
+
+GemmFn = Callable[[np.ndarray, np.ndarray, np.ndarray, float, float], None]
+
+
+def _default_gemm(a, b, c, alpha=1.0, beta=0.0) -> None:
+    _blas_dgemm(a, b, c, alpha, beta)
+
+
+def strassen_inverse(
+    a: np.ndarray,
+    gemm: Optional[GemmFn] = None,
+    *,
+    base: int = 32,
+) -> np.ndarray:
+    """Invert ``a`` by Strassen's recursive block formula.
+
+    ``gemm(A, B, C, alpha, beta)`` performs the six block products per
+    level (default: the substrate DGEMM; pass a DGEFMM wrapper for the
+    fast exponent).  ``base`` is the order at which recursion bottoms
+    out into a direct (LU-based, pivoted) inverse.
+
+    Raises :class:`~repro.errors.DimensionError` for non-square input
+    and ``numpy.linalg.LinAlgError`` if a leading block is singular.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    if a.ndim != 2 or a.shape[0] != a.shape[1]:
+        raise DimensionError(
+            f"strassen_inverse: need a square matrix, got {a.shape}"
+        )
+    if base < 1:
+        raise DimensionError(f"strassen_inverse: base={base} must be >= 1")
+    g = gemm if gemm is not None else _default_gemm
+    return _inv(np.asfortranarray(a), g, base)
+
+
+def _inv(a: np.ndarray, gemm: GemmFn, base: int) -> np.ndarray:
+    n = a.shape[0]
+    if n <= base or n < 2:
+        # small dense base case (pivoted, stable)
+        return np.asfortranarray(np.linalg.inv(a))
+    h = n // 2
+    a11, a12 = a[:h, :h], a[:h, h:]
+    a21, a22 = a[h:, :h], a[h:, h:]
+
+    r1 = _inv(a11, gemm, base)                       # A11^-1
+    v = np.empty((n - h, h), order="F")
+    gemm(a21, r1, v, 1.0, 0.0)                       # V = A21 A11^-1
+    w = np.empty((h, n - h), order="F")
+    gemm(r1, a12, w, 1.0, 0.0)                       # W = A11^-1 A12
+    s = np.array(a22, order="F", copy=True)
+    gemm(v, a12, s, -1.0, 1.0)                       # S = A22 - V A12
+    r2 = _inv(s, gemm, base)                         # S^-1
+
+    out = np.empty((n, n), order="F")
+    # lower-right and the coupled blocks
+    out[h:, h:] = r2
+    gemm(r2, v, out[h:, :h], -1.0, 0.0)              # -S^-1 V
+    gemm(w, r2, out[:h, h:], -1.0, 0.0)              # -W S^-1
+    out[:h, :h] = r1
+    gemm(w, out[h:, :h], out[:h, :h], -1.0, 1.0)     # A11^-1 + W S^-1 V
+    return out

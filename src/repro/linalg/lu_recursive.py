@@ -1,0 +1,98 @@
+"""Recursive (divide-and-conquer) LU — the Strassen-friendly shape.
+
+Panel-blocked LU (:mod:`repro.linalg.lu`) issues rank-``nb`` updates:
+GEMMs with inner dimension k = nb, too thin for Strassen to bite (the
+criterion-(11) lesson of Section 2, live in an application).  Toledo's
+recursive formulation fixes the shape: split the columns in half,
+
+1. factor the left half recursively,
+2. apply its row swaps to the right half,
+3. ``U12 <- L11^-1 A12``  (unit-lower triangular solve),
+4. ``A22 <- A22 - L21 @ U12``  — a GEMM with inner dimension n/2,
+5. factor the updated bottom-right recursively and apply its swaps back
+   to the left half.
+
+The update products are now large and square-ish, exactly where DGEFMM
+recurses — the tests verify the recursive form both matches the blocked
+factorization bit-for-bit (same pivots, same factors) and routes
+measurably more multiply work through Strassen under the same cutoff.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import DimensionError
+from repro.linalg.lu import (
+    GemmFn,
+    _default_gemm,
+    _getrf_unblocked,
+    _trsm_lower_unit,
+)
+
+__all__ = ["getrf_recursive"]
+
+
+def getrf_recursive(
+    a: np.ndarray,
+    gemm: Optional[GemmFn] = None,
+    *,
+    base: int = 32,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Recursive LU with partial pivoting: ``P A = L U``.
+
+    Same contract as :func:`repro.linalg.lu.getrf` (and produces the
+    same factors and pivots); ``base`` is the column count at which the
+    recursion bottoms out into the unblocked panel code.
+    """
+    g = gemm if gemm is not None else _default_gemm
+    lu = np.array(a, dtype=np.float64, order="F", copy=True)
+    m, n = lu.shape
+    if base < 1:
+        raise DimensionError(f"getrf_recursive: base={base} must be >= 1")
+    piv = np.arange(min(m, n))
+    _rec(lu, piv, 0, g, base)
+    return lu, piv
+
+
+def _swap_rows(block: np.ndarray, piv: np.ndarray, lo: int, hi: int,
+               offset: int) -> None:
+    """Apply pivots piv[lo:hi] (absolute row indices, relative to the
+    submatrix that starts at absolute row ``offset``) to ``block``."""
+    for j in range(lo, hi):
+        p = piv[j] - offset
+        jj = j - offset
+        if p != jj:
+            block[[jj, p], :] = block[[p, jj], :]
+
+
+def _rec(a: np.ndarray, piv: np.ndarray, offset: int, gemm: GemmFn,
+         base: int) -> None:
+    """Factor ``a`` in place; pivot rows recorded at piv[offset:...]
+    as absolute indices (offset + local)."""
+    m, n = a.shape
+    r = min(m, n)
+    if r == 0:
+        return
+    if n <= base:
+        _getrf_unblocked(a, piv, offset)
+        return
+    n1 = min(r, n) // 2
+    a1 = a[:, :n1]
+    a2 = a[:, n1:]
+
+    # 1. left half
+    _rec(a1, piv, offset, gemm, base)
+    # 2. its swaps onto the right half
+    _swap_rows(a2, piv, offset, offset + n1, offset)
+    # 3. block row of U
+    _trsm_lower_unit(a[:n1, :n1], a2[:n1, :])
+    # 4. the big update (inner dimension n1)
+    if m > n1:
+        gemm(a[n1:, :n1], a2[:n1, :], a2[n1:, :], -1.0, 1.0)
+        # 5. bottom-right recursively; then its swaps back onto the left
+        _rec(a[n1:, n1:], piv, offset + n1, gemm, base)
+        _swap_rows(a[n1:, :n1], piv, offset + n1, offset + min(m, n),
+                   offset + n1)

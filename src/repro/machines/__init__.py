@@ -1,0 +1,17 @@
+"""Machine cost models: the paper's three testbeds, simulated.
+
+The paper's timing-shaped results (cutoff crossovers, criteria
+comparisons, recursion tables, code-vs-code ratios) were measured on an
+IBM RS/6000, a CRAY YMP C90 and a CRAY T3D processor.  This subpackage
+replaces that hardware with per-machine analytic cost models
+(:class:`~repro.machines.model.MachineModel`) whose parameters are
+*calibrated* (:mod:`repro.machines.calibrate`) so that the empirical
+crossover experiments of Section 4.2, run through the real DGEFMM code in
+dry-run mode, land on the paper's Table 2/3 cutoffs.  The calibrated
+presets live in :mod:`repro.machines.presets`.
+"""
+
+from repro.machines.model import MachineModel
+from repro.machines.presets import C90, RS6000, T3D, MACHINES
+
+__all__ = ["MachineModel", "RS6000", "C90", "T3D", "MACHINES"]

@@ -1,0 +1,64 @@
+"""A cutoff criterion computed directly from a machine model.
+
+The paper's future work proposes using its performance models "to
+further refine our criteria for stopping recursions".  This module is
+that refinement: instead of a parameterized surface fit through four
+measured crossovers (eq. 15), :class:`ModelCutoff` asks the machine's
+cost model directly, for the exact (m, k, n) at hand, whether one more
+Strassen level is predicted to pay — the pointwise-optimal one-step
+lookahead decision under the model.
+
+Because the decision is exact under the model where eq. (15) is an
+approximation, ModelCutoff never loses to the hybrid criterion in
+simulated time (a property the test suite asserts), at the cost of
+needing a full cost model rather than four numbers.  On real hardware it
+is only as good as the model — which is the trade-off the paper's
+parameterized criterion was designed around.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.cutoff import CutoffCriterion
+from repro.machines.calibrate import one_level_time
+from repro.machines.model import MachineModel
+
+__all__ = ["ModelCutoff"]
+
+
+@dataclass(frozen=True)
+class ModelCutoff(CutoffCriterion):
+    """Stop iff the machine model predicts DGEMM beats one more level.
+
+    ``margin`` biases the decision: stop unless recursion is predicted
+    to win by more than ``margin`` (fraction of the DGEMM time) — a
+    hedge against model error near the boundary, default 0.
+    """
+
+    machine: MachineModel
+    margin: float = 0.0
+    #: memoized decisions — the same block sizes recur thousands of
+    #: times inside one product's recursion tree
+    _cache: dict = field(default_factory=dict, hash=False, compare=False,
+                         repr=False)
+
+    def stop(self, m: int, k: int, n: int) -> bool:
+        key = (m, k, n)
+        hit = self._cache.get(key)
+        if hit is not None:
+            return hit
+        t_std = self.machine.t_gemm(m, k, n)
+        # predicted cost of one level exactly as the driver executes it:
+        # peel the odd dims, run the level on the even core, fix up
+        mp, kp, np_ = m & ~1, k & ~1, n & ~1
+        t_one = one_level_time(self.machine, mp, kp, np_)
+        if kp < k and mp and np_:
+            t_one += self.machine.t_ger(mp, np_)
+        if np_ < n and mp:
+            t_one += self.machine.t_gemv(mp, k)
+        if mp < m:
+            t_one += self.machine.t_gemv(n, k)
+        decision = t_one >= t_std * (1.0 - self.margin)
+        self._cache[key] = decision
+        return decision

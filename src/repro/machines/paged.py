@@ -1,0 +1,71 @@
+"""Paged (virtual-memory) machine model — the paper's future-work item.
+
+The paper limits itself "to sizes of matrices where the entire problem
+fits into the machine's memory without using virtual memory" and lists
+extending the implementation/models to virtual memory as future work.
+This model supplies the missing piece at the modeling level: a machine
+whose kernels slow down once their *working set* exceeds physical
+memory, with the slowdown proportional to the overflow fraction (a
+first-order paging model: every overflowing word is a page-fault-rate
+liability).
+
+The qualitatively interesting consequence, which the tests pin down: the
+working set of a Strassen level is the operands *plus temporaries*, so
+near the memory boundary Strassen starts paging before plain DGEMM does
+— recursion can lose exactly where the problem stops fitting, and a
+memory-lean schedule (DGEFMM's 2m²/3) keeps recursion profitable longer
+than a memory-hungry one would.  This is the paper's memory frugality
+argument, extended across the RAM boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machines.model import MachineModel
+
+__all__ = ["PagedMachineModel"]
+
+
+@dataclass(frozen=True)
+class PagedMachineModel(MachineModel):
+    """Machine model with a physical-memory working-set penalty.
+
+    Parameters (beyond :class:`MachineModel`):
+
+    memory_words:
+        Physical memory capacity in matrix elements.
+    fault_cost:
+        Extra model-flops charged per word by which a kernel's working
+        set overflows memory (page-fault amortization).
+    workspace_words:
+        Temporary storage co-resident with the kernels (set by the
+        caller to the Strassen workspace size; 0 for plain DGEMM runs).
+        Included in every kernel's working set, because the recursion's
+        temporaries stay live across the base-case calls.
+    """
+
+    memory_words: float = float("inf")
+    fault_cost: float = 16.0
+    workspace_words: float = 0.0
+
+    # ------------------------------------------------------------------ #
+    def _overflow(self, working_set: float) -> float:
+        return max(0.0, working_set + self.workspace_words
+                   - self.memory_words)
+
+    def t_gemm(self, m: int, k: int, n: int) -> float:
+        base = MachineModel.t_gemm(self, m, k, n)
+        over = self._overflow(float(m) * k + float(k) * n + float(m) * n)
+        return base + self.fault_cost * over / self.rate
+
+    def t_add(self, m: int, n: int) -> float:
+        base = MachineModel.t_add(self, m, n)
+        over = self._overflow(3.0 * m * n)
+        return base + self.fault_cost * over / self.rate
+
+    def with_workspace(self, words: float) -> "PagedMachineModel":
+        """Copy of this machine with ``words`` of co-resident workspace."""
+        from dataclasses import replace
+
+        return replace(self, workspace_words=float(words))

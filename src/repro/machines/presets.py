@@ -1,0 +1,95 @@
+"""Calibrated machine models for the paper's three testbeds.
+
+Constants produced by :func:`repro.machines.calibrate.fit_overheads` with
+the paper's Table 2/3 crossovers as targets and the rate anchored so the
+square DGEMM at the smallest one-recursion order matches Table 5's
+measured seconds:
+
+==========  ====  =====================  =============  ==============
+machine     tau   (tau_m, tau_k, tau_n)  fixed dims     anchor
+==========  ====  =====================  =============  ==============
+RS/6000     199   (75, 125, 95)          2000           DGEMM(200) = 0.150 s
+CRAY C90    129   (80, 45, 20)           2000           DGEMM(130) = 0.0060 s
+CRAY T3D    325   (125, 75, 109)         1500           DGEMM(326) = 0.694 s
+==========  ====  =====================  =============  ==============
+
+The add-cost factor ``g`` reflects each machine's character (the C90's
+vector pipes make additions nearly multiply-speed, hence the small g;
+the scalar RS/6000 and T3D pay more per bandwidth-bound element), chosen
+inside the feasibility region of the fit.  ``VENDOR_GAIN`` is the tuned-
+kernel advantage attributed to the vendor Strassen libraries, set so the
+Figure 3/4 average ratios land near the paper's 1.05-1.07.
+
+Tests re-run the fit and assert these constants still reproduce the
+Table 2/3 crossovers via the real (dry-run) DGEFMM recursion.
+"""
+
+from __future__ import annotations
+
+from repro.machines.model import MachineModel
+
+__all__ = [
+    "RS6000",
+    "C90",
+    "T3D",
+    "MACHINES",
+    "FIXED_DIM",
+    "PAPER_SQUARE_CUTOFF",
+    "PAPER_RECT_PARAMS",
+    "VENDOR_GAIN",
+]
+
+RS6000 = MachineModel(
+    name="RS6000",
+    rate=1.163556e8,
+    a_m=3.214753,
+    a_k=9.847365,
+    a_n=9.763025,
+    h=13.508191,
+    g=5.0,
+    g2=0.6,
+    odd_penalty=0.006,
+)
+
+C90 = MachineModel(
+    name="C90",
+    rate=8.281000e8,
+    a_m=22.165475,
+    a_k=7.534862,
+    a_n=2.479027,
+    h=1.820637,
+    g=1.5,
+    g2=0.6,
+    odd_penalty=0.006,
+)
+
+T3D = MachineModel(
+    name="T3D",
+    rate=1.118399e8,
+    a_m=39.650338,
+    a_k=14.658313,
+    a_n=34.735627,
+    h=-10.710944,
+    g=5.0,
+    g2=0.6,
+    odd_penalty=0.006,
+)
+
+MACHINES = {"RS6000": RS6000, "C90": C90, "T3D": T3D}
+
+#: large fixed dimension used in each machine's Table 3 experiments
+FIXED_DIM = {"RS6000": 2000, "C90": 2000, "T3D": 1500}
+
+#: paper Table 2
+PAPER_SQUARE_CUTOFF = {"RS6000": 199, "C90": 129, "T3D": 325}
+
+#: paper Table 3
+PAPER_RECT_PARAMS = {
+    "RS6000": (75, 125, 95),
+    "C90": (80, 45, 20),
+    "T3D": (125, 75, 109),
+}
+
+#: tuned-kernel advantage of the vendor Strassen routines (Figures 3/4),
+#: set so the beta = 0 sweep averages land on the paper's 1.052 / 1.066
+VENDOR_GAIN = {"RS6000": 0.93, "C90": 0.92}

@@ -1,0 +1,44 @@
+"""Performance-model hierarchy (the paper's companion report [14]).
+
+The paper leans on its companion technical report (Huss-Lederman et al.,
+CCS-TR-96-147) for "other models, some of which also take into account
+memory access patterns, possible data reuse, and differences in speed
+between different arithmetic operations", and uses their central lesson
+in Section 3.4: *operation count is not an accurate enough predictor of
+performance to be used to tune actual code*.
+
+This subpackage rebuilds that model ladder:
+
+- :class:`~repro.models.opcount_model.OperationCountModel` — pure
+  operation counts (Section 2's model; predicts the famous cutoff 12);
+- :class:`~repro.models.weighted.WeightedOpsModel` — distinguishes the
+  speed of multiply-accumulate flops inside DGEMM from bandwidth-bound
+  addition flops (first correction; pushes the predicted cutoff up);
+- :class:`~repro.models.traffic.MemoryTrafficModel` — counts memory
+  traffic of the blocked kernels under a finite cache, added to the
+  arithmetic (second correction; predicts cutoffs of the observed
+  hundred-ish magnitude).
+
+:mod:`repro.models.predict` evaluates Strassen-vs-DGEMM under any model
+and locates the predicted crossover, so the ladder's predictions can be
+compared against the calibrated machines' empirical cutoffs — the
+quantitative form of the paper's Section 3.4 argument.
+"""
+
+from repro.models.base import CostModel
+from repro.models.opcount_model import OperationCountModel
+from repro.models.predict import (
+    predicted_square_crossover,
+    strassen_cost,
+)
+from repro.models.traffic import MemoryTrafficModel
+from repro.models.weighted import WeightedOpsModel
+
+__all__ = [
+    "CostModel",
+    "OperationCountModel",
+    "WeightedOpsModel",
+    "MemoryTrafficModel",
+    "strassen_cost",
+    "predicted_square_crossover",
+]

@@ -1,0 +1,43 @@
+"""Cost-model interface shared by the [14]-style model ladder.
+
+A :class:`CostModel` assigns abstract cost (any consistent unit) to the
+primitive operations Strassen's recursion is built from.  The prediction
+machinery (:mod:`repro.models.predict`) is generic over this interface,
+so adding a model means implementing four methods.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+__all__ = ["CostModel"]
+
+
+class CostModel(ABC):
+    """Abstract cost of the four primitive operations.
+
+    Units are arbitrary but must be consistent across methods; only cost
+    *comparisons* (crossovers, ratios) are ever interpreted.
+    """
+
+    #: short name used in reports
+    name: str = "abstract"
+
+    @abstractmethod
+    def mult_cost(self, m: int, k: int, n: int) -> float:
+        """Cost of one standard-algorithm multiply, (m x k) by (k x n)."""
+
+    @abstractmethod
+    def add_cost(self, m: int, n: int) -> float:
+        """Cost of one (m x n) matrix addition/subtraction."""
+
+    def ger_cost(self, m: int, n: int) -> float:
+        """Cost of a rank-one update (default: 2mn arithmetic units)."""
+        return 2.0 * m * n
+
+    def gemv_cost(self, m: int, n: int) -> float:
+        """Cost of a matrix-vector product (default: 2mn units)."""
+        return 2.0 * m * n
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{type(self).__name__}()"

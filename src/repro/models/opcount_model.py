@@ -1,0 +1,26 @@
+"""Operation-count cost model (the paper's Section 2 baseline)."""
+
+from __future__ import annotations
+
+from repro.core.opcount import add_ops, standard_ops
+from repro.models.base import CostModel
+
+__all__ = ["OperationCountModel"]
+
+
+class OperationCountModel(CostModel):
+    """Every arithmetic operation costs 1: ``M(m,k,n) = 2mkn - mn``,
+    ``G(m,n) = mn``.
+
+    Under this model the square crossover solves eq. (7) — stop at 12 —
+    which Section 3.4 shows is an order of magnitude below real machine
+    crossovers: the baseline rung of the model ladder.
+    """
+
+    name = "opcount"
+
+    def mult_cost(self, m: int, k: int, n: int) -> float:
+        return standard_ops(m, k, n)
+
+    def add_cost(self, m: int, n: int) -> float:
+        return add_ops(m, n)

@@ -1,0 +1,122 @@
+"""Prediction machinery generic over the cost-model ladder.
+
+Evaluates the cost of DGEFMM's actual execution structure (Winograd
+schedule shapes, dynamic peeling fix-ups) under any
+:class:`~repro.models.base.CostModel`, and locates predicted crossovers.
+These predictions are what Section 3.4 compares against measurements to
+argue for empirically tuned cutoffs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.cutoff import CutoffCriterion, DepthCutoff
+from repro.core.peeling import peel_split
+from repro.models.base import CostModel
+
+__all__ = [
+    "dgemm_cost",
+    "strassen_cost",
+    "one_level_cost",
+    "predicted_square_crossover",
+    "predicted_rect_crossover",
+]
+
+#: G-operation shape counts of the beta = 0 schedule DGEFMM executes
+#: (4 A-shaped, 4 B-shaped, 10 C-shaped; see core.strassen1)
+_A_ADDS, _B_ADDS, _C_ADDS = 4, 4, 10
+
+
+def dgemm_cost(model: CostModel, m: int, k: int, n: int) -> float:
+    """Model cost of the standard algorithm."""
+    return model.mult_cost(m, k, n)
+
+
+def strassen_cost(
+    model: CostModel,
+    m: int,
+    k: int,
+    n: int,
+    criterion: Optional[CutoffCriterion] = None,
+) -> float:
+    """Model cost of DGEFMM's recursion (peeling included).
+
+    Mirrors the driver: cutoff test, peel odd dims, one Winograd level,
+    DGER/DGEMV fix-ups — the structure whose real charges the machine
+    simulations accumulate, evaluated under an abstract model instead.
+    """
+    crit = criterion if criterion is not None else DepthCutoff(64)
+    stateful = isinstance(crit, DepthCutoff)
+
+    def w(m_: int, k_: int, n_: int) -> float:
+        if m_ == 0 or n_ == 0:
+            return 0.0
+        if k_ == 0:
+            return model.add_cost(m_, n_)
+        if crit.stop(m_, k_, n_) or min(m_, k_, n_) < 2:
+            return model.mult_cost(m_, k_, n_)
+        mp, kp, np_ = peel_split(m_, k_, n_)
+        hm, hk, hn = mp // 2, kp // 2, np_ // 2
+        if stateful:
+            crit.descend()
+        try:
+            cost = 7.0 * w(hm, hk, hn)
+        finally:
+            if stateful:
+                crit.ascend()
+        cost += _A_ADDS * model.add_cost(hm, hk)
+        cost += _B_ADDS * model.add_cost(hk, hn)
+        cost += _C_ADDS * model.add_cost(hm, hn)
+        if kp < k_ and mp and np_:
+            cost += model.ger_cost(mp, np_)
+        if np_ < n_ and mp:
+            cost += model.gemv_cost(mp, k_)
+        if mp < m_:
+            cost += model.gemv_cost(n_, k_)
+        return cost
+
+    return w(m, k, n)
+
+
+def one_level_cost(model: CostModel, m: int, k: int, n: int) -> float:
+    """Model cost of exactly one Strassen level (the crossover probe)."""
+    return strassen_cost(model, m, k, n, DepthCutoff(1))
+
+
+def predicted_square_crossover(
+    model: CostModel, lo: int = 4, hi: int = 4096
+) -> int:
+    """Smallest even square order where one level beats DGEMM.
+
+    Returns ``hi`` if no crossover is found in range (a model that never
+    favours recursion).
+    """
+    lo += lo % 2
+    for m in range(lo, hi + 1, 2):
+        if one_level_cost(model, m, m, m) < dgemm_cost(model, m, m, m):
+            return m
+    return hi
+
+
+def predicted_rect_crossover(
+    model: CostModel,
+    which: str,
+    fixed: int = 2000,
+    lo: int = 4,
+    hi: int = 2000,
+) -> int:
+    """Smallest even size of one dimension (others fixed) where one
+    Strassen level wins — the Table 3 experiment under a model."""
+    maps = {
+        "m": lambda x: (x, fixed, fixed),
+        "k": lambda x: (fixed, x, fixed),
+        "n": lambda x: (fixed, fixed, x),
+    }
+    dims = maps[which]
+    lo += lo % 2
+    for x in range(lo, hi + 1, 2):
+        d = dims(x)
+        if one_level_cost(model, *d) < dgemm_cost(model, *d):
+            return x
+    return hi

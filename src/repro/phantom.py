@@ -1,0 +1,150 @@
+"""Shape-only stand-ins for matrices, used by the dry-run execution mode.
+
+The paper's timing experiments (Figures 2-6, Tables 2-5) sweep hundreds of
+problems with dimensions up to 2050.  The quantities being studied —
+crossover points, cutoff-criterion decisions, recursion depth, workspace
+high-water marks, modeled execution time — depend only on the *dimensions*
+flowing through the algorithm, never on matrix element values.
+
+A :class:`Phantom` is an array-like object carrying only a shape.  When the
+:class:`~repro.context.ExecutionContext` is in dry mode, every algorithm in
+this package (DGEFMM, both STRASSEN schedules, peeling, padding, all
+comparators) runs its *real* control flow over Phantoms: the same slices are
+taken, the same temporaries are drawn from the workspace, the same kernels
+are invoked and charge the same modeled costs — only the floating-point
+work is skipped.  This keeps the simulated experiments and the numerical
+code on literally the same code path, so they cannot drift apart.
+
+Phantoms deliberately implement only the operations the algorithms need
+(shape inspection, 2-D slicing, transpose); anything else raises, which
+catches accidental numeric work on a phantom during development.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Tuple, Union
+
+import numpy as np
+
+__all__ = ["Phantom", "is_phantom", "shape_of", "like"]
+
+
+def _slice_extent(s: Union[slice, int], n: int) -> Union[int, None]:
+    """Extent of dim of size ``n`` under index ``s``; None = dim dropped.
+
+    Integer indices drop the dimension (as numpy does), which is how the
+    peeling fix-up obtains row/column vectors from phantom matrices.
+    """
+    if isinstance(s, slice):
+        start, stop, step = s.indices(n)
+        if step <= 0:
+            raise IndexError("Phantom slicing requires a positive step")
+        return max(0, (stop - start + step - 1) // step)
+    if isinstance(s, (int, np.integer)):
+        idx = int(s)
+        if idx < -n or idx >= n:
+            raise IndexError(f"phantom index {idx} out of range for dim {n}")
+        return None
+    raise IndexError(f"unsupported phantom index {s!r}")
+
+
+class Phantom:
+    """An array of a given shape with no data.
+
+    Supports ``.shape``, ``.ndim``, ``.size``, ``.dtype``, ``.T``, and
+    basic 1-D/2-D slicing — the exact surface the Strassen drivers use on
+    their operands.
+    """
+
+    __slots__ = ("shape",)
+
+    #: dtype every phantom reports; dry-run charging is dtype-agnostic but
+    #: workspace accounting multiplies by the element size of float64.
+    dtype = np.dtype(np.float64)
+
+    def __init__(self, *shape: int) -> None:
+        if len(shape) == 1 and isinstance(shape[0], tuple):
+            shape = shape[0]
+        if not all(isinstance(d, (int, np.integer)) and d >= 0 for d in shape):
+            raise ValueError(f"invalid phantom shape {shape!r}")
+        self.shape: Tuple[int, ...] = tuple(int(d) for d in shape)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def ndim(self) -> int:
+        return len(self.shape)
+
+    @property
+    def size(self) -> int:
+        n = 1
+        for d in self.shape:
+            n *= d
+        return n
+
+    @property
+    def T(self) -> "Phantom":
+        return Phantom(*self.shape[::-1])
+
+    # ------------------------------------------------------------------ #
+    def __getitem__(self, key: Any) -> "Phantom":
+        if not isinstance(key, tuple):
+            key = (key,)
+        if len(key) > self.ndim:
+            raise IndexError(
+                f"too many indices for phantom of ndim {self.ndim}"
+            )
+        extents = [_slice_extent(k, n) for k, n in zip(key, self.shape)]
+        new_shape = [e for e in extents if e is not None] + list(
+            self.shape[len(key):]
+        )
+        return Phantom(*new_shape)
+
+    def reshape(self, *shape: int) -> "Phantom":
+        if len(shape) == 1 and isinstance(shape[0], tuple):
+            shape = shape[0]
+        shape = tuple(int(d) for d in shape)
+        n = 1
+        for d in shape:
+            n *= d
+        if n != self.size:
+            raise ValueError(
+                f"cannot reshape phantom of size {self.size} into {shape}"
+            )
+        return Phantom(*shape)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Phantom{self.shape}"
+
+    # Any arithmetic on a phantom is a bug in dry-run discipline: all
+    # numeric work must flow through the instrumented BLAS kernels.
+    def _refuse(self, *_a: Any, **_k: Any):  # pragma: no cover - guard
+        raise TypeError(
+            "numeric operation attempted on a Phantom; dry-run code must "
+            "route all arithmetic through repro.blas kernels"
+        )
+
+    __add__ = __radd__ = __sub__ = __rsub__ = _refuse
+    __mul__ = __rmul__ = __matmul__ = __rmatmul__ = _refuse
+    __truediv__ = __rtruediv__ = __neg__ = _refuse
+
+
+def is_phantom(x: Any) -> bool:
+    """True if ``x`` is a :class:`Phantom` (dry-run stand-in)."""
+    return isinstance(x, Phantom)
+
+
+def shape_of(x: Any) -> Tuple[int, ...]:
+    """Shape of a numpy array or Phantom."""
+    return tuple(x.shape)
+
+
+def like(x: Any, *shape: int) -> Any:
+    """Allocate an uninitialised array 'in the same world' as ``x``.
+
+    Returns a Phantom when ``x`` is a Phantom, otherwise an empty
+    Fortran-ordered float64 array.  Used by code that needs a scratch
+    value outside the workspace allocator (rare; prefer the workspace).
+    """
+    if is_phantom(x):
+        return Phantom(*shape)
+    return np.empty(shape, dtype=np.float64, order="F")

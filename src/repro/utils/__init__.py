@@ -1,0 +1,13 @@
+"""Shared utilities: matrix generation, timing, table formatting."""
+
+from repro.utils.matrixgen import random_matrix, random_spectrum, random_symmetric
+from repro.utils.tables import format_table
+from repro.utils.timing import time_call
+
+__all__ = [
+    "random_matrix",
+    "random_symmetric",
+    "random_spectrum",
+    "format_table",
+    "time_call",
+]

@@ -1,0 +1,45 @@
+"""Minimal ASCII table formatting for paper-style experiment output."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+__all__ = ["format_table"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    title: str = "",
+    floatfmt: str = "{:.4g}",
+) -> str:
+    """Render a fixed-width table with a header rule.
+
+    Floats are formatted with ``floatfmt``; everything else with str().
+    """
+    def cell(x: object) -> str:
+        if isinstance(x, float):
+            return floatfmt.format(x)
+        return str(x)
+
+    srows: List[List[str]] = [[cell(x) for x in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in srows:
+        for i, c in enumerate(row):
+            if i < len(widths):
+                widths[i] = max(widths[i], len(c))
+            else:
+                widths.append(len(c))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(c.rjust(w) for c, w in zip(cells, widths))
+
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(headers))
+    out.append("  ".join("-" * w for w in widths))
+    for row in srows:
+        out.append(line(row))
+    return "\n".join(out)

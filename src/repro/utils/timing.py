@@ -1,0 +1,30 @@
+"""Wall-clock timing helpers for host benchmarks."""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Tuple
+
+__all__ = ["time_call"]
+
+
+def time_call(
+    fn: Callable[[], object],
+    *,
+    repeats: int = 3,
+    warmup: int = 1,
+) -> Tuple[float, float]:
+    """Median and minimum wall seconds of ``fn()`` over ``repeats`` runs.
+
+    A small fixed warmup amortizes allocator and cache effects, as the
+    optimization guides prescribe (measure, don't guess).
+    """
+    for _ in range(warmup):
+        fn()
+    times = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - t0)
+    times.sort()
+    return times[len(times) // 2], times[0]

@@ -1,0 +1,77 @@
+"""Recursion-trace rendering: see what the cutoff criterion decided.
+
+A traced :class:`~repro.context.ExecutionContext` records one
+:class:`~repro.context.RecursionEvent` per node of the Strassen
+recursion.  This module turns that flat event list into a readable tree
+and summary statistics — the tool you want when a cutoff behaves
+unexpectedly on some shape.
+
+Example output for a 200 x 200 x 200 multiply with a tau = 96 cutoff::
+
+    recurse 200x200x200 [s1b0]
+      base 100x100x100  x7
+
+(sibling base cases are coalesced with a multiplicity suffix).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Sequence
+
+from repro.context import RecursionEvent
+
+__all__ = ["render_trace", "trace_summary"]
+
+
+def render_trace(events: Sequence[RecursionEvent]) -> str:
+    """Render a recursion event list as an indented tree.
+
+    Consecutive identical siblings (same action, dims, depth) are
+    coalesced into one line with an ``xN`` multiplicity.
+    """
+    lines: List[str] = []
+    pending = None  # (key, count)
+
+    def flush() -> None:
+        nonlocal pending
+        if pending is None:
+            return
+        (action, m, k, n, depth, scheme), count = pending
+        indent = "  " * depth
+        tag = f" [{scheme}]" if scheme else ""
+        mult = f"  x{count}" if count > 1 else ""
+        lines.append(f"{indent}{action} {m}x{k}x{n}{tag}{mult}")
+        pending = None
+
+    for e in events:
+        key = (e.action, e.m, e.k, e.n, e.depth, e.scheme)
+        if pending is not None and pending[0] == key:
+            pending = (key, pending[1] + 1)
+        else:
+            flush()
+            pending = (key, 1)
+    flush()
+    return "\n".join(lines)
+
+
+def trace_summary(events: Sequence[RecursionEvent]) -> Dict:
+    """Aggregate statistics of a recursion trace.
+
+    Returns recursion-node/base-case/peel/pad counts, the maximum depth,
+    and the multiset of base-case shapes (as a Counter) — the quantities
+    one checks against the cutoff's intent.
+    """
+    actions = Counter(e.action for e in events)
+    depths = [e.depth for e in events] or [0]
+    base_shapes = Counter(
+        (e.m, e.k, e.n) for e in events if e.action == "base"
+    )
+    return {
+        "recurse": actions.get("recurse", 0),
+        "base": actions.get("base", 0),
+        "peel": actions.get("peel", 0),
+        "pad": actions.get("pad", 0),
+        "max_depth": max(depths),
+        "base_shapes": base_shapes,
+    }

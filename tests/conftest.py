@@ -1,0 +1,43 @@
+"""Shared fixtures and reference implementations for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+def reference_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Textbook O(mkn) triple loop — the ground truth every multiply
+    routine is checked against (independent of numpy's BLAS and of our
+    einsum kernels).  Keep operands small."""
+    m, k = a.shape
+    k2, n = b.shape
+    assert k == k2
+    out = np.zeros((m, n))
+    for i in range(m):
+        for j in range(n):
+            s = 0.0
+            for l in range(k):
+                s += a[i, l] * b[l, j]
+            out[i, j] = s
+    return out
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(20250704)
+
+
+def fmat(rng: np.random.Generator, m: int, n: int) -> np.ndarray:
+    """Fortran-ordered random matrix."""
+    return np.asfortranarray(rng.standard_normal((m, n)))
+
+
+@pytest.fixture
+def mats(rng):
+    """Factory: (A, B, C) of given op-dims, Fortran-ordered, seeded."""
+
+    def make(m: int, k: int, n: int):
+        return fmat(rng, m, k), fmat(rng, k, n), fmat(rng, m, n)
+
+    return make

@@ -1,0 +1,135 @@
+"""Matrix add/sub/axpby/copy kernels — the G(m, n) currency."""
+
+import numpy as np
+import pytest
+
+from repro.blas import accum, axpby, madd, mcopy, msub, mzero
+from repro.context import ExecutionContext
+from repro.errors import ArgumentError, DimensionError
+from repro.machines.model import MachineModel
+from repro.phantom import Phantom
+
+
+@pytest.fixture
+def xy(rng):
+    x = np.asfortranarray(rng.standard_normal((6, 9)))
+    y = np.asfortranarray(rng.standard_normal((6, 9)))
+    return x, y
+
+
+class TestMadd:
+    def test_basic(self, xy):
+        x, y = xy
+        out = np.empty_like(x)
+        madd(x, y, out)
+        np.testing.assert_allclose(out, x + y)
+
+    def test_scaled(self, xy):
+        x, y = xy
+        out = np.empty_like(x)
+        madd(x, y, out, alpha=-2.5)
+        np.testing.assert_allclose(out, -2.5 * (x + y))
+
+    def test_shape_mismatch(self, xy):
+        x, _ = xy
+        with pytest.raises(DimensionError):
+            madd(x, np.zeros((6, 8)), np.empty_like(x))
+
+
+class TestMsub:
+    def test_basic(self, xy):
+        x, y = xy
+        out = np.empty_like(x)
+        msub(x, y, out)
+        np.testing.assert_allclose(out, x - y)
+
+    def test_inplace_out_aliases_y(self, xy):
+        """The schedules rely on msub(B22, R, out=R)."""
+        x, y = xy
+        expect = x - y
+        msub(x, y, y)
+        np.testing.assert_allclose(y, expect)
+
+    def test_inplace_out_aliases_x(self, xy):
+        x, y = xy
+        expect = x - y
+        msub(x, y, x)
+        np.testing.assert_allclose(x, expect)
+
+
+class TestAccum:
+    def test_basic(self, xy):
+        x, y = xy
+        expect = y + x
+        accum(x, y)
+        np.testing.assert_allclose(y, expect)
+
+    def test_self_accum_rejected(self, xy):
+        x, _ = xy
+        with pytest.raises(ArgumentError):
+            accum(x, x)
+
+
+class TestAxpby:
+    @pytest.mark.parametrize("alpha,beta", [(1.0, 0.0), (2.0, 0.0),
+                                            (1.0, 1.0), (0.5, -1.5),
+                                            (0.0, 2.0), (-1.0, 1.0)])
+    def test_general(self, xy, alpha, beta):
+        x, y = xy
+        expect = alpha * x + beta * y
+        axpby(alpha, x, beta, y)
+        np.testing.assert_allclose(y, expect)
+
+    def test_beta_zero_overwrites_garbage(self, rng):
+        x = np.asfortranarray(rng.standard_normal((3, 3)))
+        y = np.full((3, 3), np.nan, order="F")
+        axpby(2.0, x, 0.0, y)
+        np.testing.assert_allclose(y, 2.0 * x)
+
+    def test_scale_only_full_alias(self, xy):
+        """axpby(0, C, beta, C) is the driver's C <- beta*C path."""
+        x, _ = xy
+        expect = 0.25 * x
+        axpby(0.0, x, 0.25, x)
+        np.testing.assert_allclose(x, expect)
+
+    def test_zero_both(self, xy):
+        x, _ = xy
+        axpby(0.0, x, 0.0, x)
+        assert np.all(x == 0.0)
+
+
+class TestCopyZero:
+    def test_mcopy(self, xy):
+        x, y = xy
+        mcopy(x, y)
+        np.testing.assert_array_equal(x, y)
+
+    def test_mzero(self, xy):
+        x, _ = xy
+        mzero(x)
+        assert np.all(x == 0.0)
+
+
+class TestInstrumentation:
+    def test_g_charge(self):
+        ctx = ExecutionContext()
+        madd(Phantom(4, 5), Phantom(4, 5), Phantom(4, 5), ctx=ExecutionContext(dry=True))
+        ctx2 = ExecutionContext(dry=True)
+        msub(Phantom(4, 5), Phantom(4, 5), Phantom(4, 5), ctx=ctx2)
+        assert ctx2.add_flops == 20  # G(m, n) = mn
+
+    def test_model_time_used(self):
+        mach = MachineModel(name="toy", rate=100.0, a_m=0, a_k=0, a_n=0,
+                            h=0, g=2.0)
+        ctx = ExecutionContext(mach, dry=True)
+        accum(Phantom(4, 5), Phantom(4, 5), ctx=ctx)
+        assert ctx.elapsed == pytest.approx(2.0 * 20 / 100.0)
+
+    def test_copy_charged_separately(self):
+        mach = MachineModel(name="toy", rate=100.0, a_m=0, a_k=0, a_n=0,
+                            h=0, g=3.0)
+        ctx = ExecutionContext(mach, dry=True)
+        mcopy(Phantom(2, 2), Phantom(2, 2), ctx=ctx)
+        assert ctx.elapsed == pytest.approx(mach.t_copy(2, 2))
+        assert ctx.kernel_calls["mcopy"] == 1

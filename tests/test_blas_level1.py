@@ -1,0 +1,108 @@
+"""Level 1 BLAS kernels against numpy references."""
+
+import numpy as np
+import pytest
+
+from repro.blas import daxpy, dcopy, ddot, dnrm2, dscal, dswap
+from repro.context import ExecutionContext
+from repro.errors import DimensionError
+from repro.phantom import Phantom
+
+
+@pytest.fixture
+def vecs(rng):
+    x = rng.standard_normal(17)
+    y = rng.standard_normal(17)
+    return x, y
+
+
+class TestDaxpy:
+    def test_basic(self, vecs):
+        x, y = vecs
+        expect = 2.5 * x + y
+        daxpy(2.5, x, y)
+        np.testing.assert_allclose(y, expect)
+
+    def test_alpha_one_fast_path(self, vecs):
+        x, y = vecs
+        expect = x + y
+        daxpy(1.0, x, y)
+        np.testing.assert_allclose(y, expect)
+
+    def test_alpha_zero_noop(self, vecs):
+        x, y = vecs
+        expect = y.copy()
+        daxpy(0.0, x, y)
+        np.testing.assert_allclose(y, expect)
+
+    def test_length_mismatch(self, vecs):
+        x, _ = vecs
+        with pytest.raises(DimensionError):
+            daxpy(1.0, x, np.zeros(5))
+
+    def test_charges(self, vecs):
+        x, y = vecs
+        ctx = ExecutionContext()
+        daxpy(1.0, x, y, ctx=ctx)
+        assert ctx.mul_flops == 17 and ctx.add_flops == 17
+
+
+class TestDscal:
+    def test_scale(self, vecs):
+        x, _ = vecs
+        expect = -3.0 * x
+        dscal(-3.0, x)
+        np.testing.assert_allclose(x, expect)
+
+    def test_zero_exact(self, vecs):
+        x, _ = vecs
+        x[0] = np.inf  # 0 * inf must not produce NaN: exact zeroing path
+        dscal(0.0, x)
+        assert np.all(x == 0.0)
+
+
+class TestDcopyDswap:
+    def test_copy(self, vecs):
+        x, y = vecs
+        dcopy(x, y)
+        np.testing.assert_array_equal(x, y)
+
+    def test_swap(self, vecs):
+        x, y = vecs
+        x0, y0 = x.copy(), y.copy()
+        dswap(x, y)
+        np.testing.assert_array_equal(x, y0)
+        np.testing.assert_array_equal(y, x0)
+
+
+class TestDdot:
+    def test_value(self, vecs):
+        x, y = vecs
+        assert ddot(x, y) == pytest.approx(float(x @ y))
+
+    def test_empty(self):
+        assert ddot(np.zeros(0), np.zeros(0)) == 0.0
+
+    def test_dry_returns_zero(self):
+        ctx = ExecutionContext(dry=True)
+        assert ddot(Phantom(8), Phantom(8), ctx=ctx) == 0.0
+        assert ctx.kernel_calls["ddot"] == 1
+
+
+class TestDnrm2:
+    def test_value(self, vecs):
+        x, _ = vecs
+        assert dnrm2(x) == pytest.approx(float(np.linalg.norm(x)))
+
+    def test_overflow_safe(self):
+        x = np.array([1e200, 1e200])
+        assert dnrm2(x) == pytest.approx(np.sqrt(2.0) * 1e200)
+
+    def test_zero_vector(self):
+        assert dnrm2(np.zeros(4)) == 0.0
+
+    def test_matrix_rejected(self):
+        from repro.errors import ArgumentError
+
+        with pytest.raises(ArgumentError):
+            dnrm2(np.zeros((2, 2)))

@@ -1,0 +1,81 @@
+"""Validation helpers (xerbla-style argument checking)."""
+
+import numpy as np
+import pytest
+
+from repro.blas.validate import (
+    opshape,
+    require_matrix,
+    require_shape,
+    require_vector,
+    require_writable,
+)
+from repro.errors import ArgumentError, DimensionError
+from repro.phantom import Phantom
+
+
+class TestRequireMatrix:
+    def test_accepts_numpy_and_phantom(self):
+        assert require_matrix("r", "x", np.zeros((2, 3))) == (2, 3)
+        assert require_matrix("r", "x", Phantom(4, 5)) == (4, 5)
+
+    def test_rejects_vector(self):
+        with pytest.raises(ArgumentError) as e:
+            require_matrix("myroutine", "a", np.zeros(4))
+        assert "myroutine" in str(e.value)
+        assert "'a'" in str(e.value)
+
+    def test_rejects_scalar(self):
+        with pytest.raises(ArgumentError):
+            require_matrix("r", "x", 3.0)
+
+    def test_rejects_3d(self):
+        with pytest.raises(ArgumentError):
+            require_matrix("r", "x", np.zeros((2, 2, 2)))
+
+
+class TestRequireVector:
+    def test_length(self):
+        assert require_vector("r", "x", np.zeros(7)) == 7
+        assert require_vector("r", "x", Phantom(9)) == 9
+
+    def test_rejects_matrix(self):
+        with pytest.raises(ArgumentError):
+            require_vector("r", "x", np.zeros((2, 2)))
+
+
+class TestRequireShape:
+    def test_match(self):
+        require_shape("r", "x", np.zeros((2, 3)), (2, 3))
+
+    def test_mismatch_message(self):
+        with pytest.raises(DimensionError) as e:
+            require_shape("dgemm", "c", np.zeros((2, 3)), (3, 3))
+        assert "dgemm" in str(e.value) and "(3, 3)" in str(e.value)
+
+
+class TestRequireWritable:
+    def test_phantom_trivially_writable(self):
+        require_writable("r", "x", Phantom(2, 2))
+
+    def test_readonly_rejected(self):
+        x = np.zeros((2, 2))
+        x.flags.writeable = False
+        with pytest.raises(ArgumentError):
+            require_writable("r", "x", x)
+
+    def test_view_of_readonly_rejected(self):
+        x = np.zeros((4, 4))
+        x.flags.writeable = False
+        with pytest.raises(ArgumentError):
+            require_writable("r", "x", x[:2, :2])
+
+
+class TestOpshape:
+    def test_plain_and_transposed(self):
+        a = np.zeros((3, 5))
+        assert opshape(a, False) == (3, 5)
+        assert opshape(a, True) == (5, 3)
+
+    def test_phantom(self):
+        assert opshape(Phantom(3, 5), True) == (5, 3)

@@ -1,0 +1,73 @@
+"""The ``python -m repro`` command-line interface."""
+
+import csv
+import subprocess
+import sys
+
+import pytest
+
+from repro.__main__ import main
+from repro.harness.figdata import FIGURES, export_all_figures, write_series
+
+
+class TestMain:
+    def test_selftest(self, capsys):
+        assert main(["selftest"]) == 0
+        out = capsys.readouterr().out
+        assert "dgefmm: ok" in out
+        assert "isda_eigh: ok" in out
+
+    def test_memory(self, capsys):
+        assert main(["memory", "--order", "512"]) == 0
+        out = capsys.readouterr().out
+        assert "DGEFMM" in out and "0.65" in out  # ~2/3 at order 512
+
+    def test_report_single(self, capsys):
+        assert main(["report", "--only", "section2"]) == 0
+        out = capsys.readouterr().out
+        assert "theoretical square cutoff: 12" in out
+
+    def test_figures(self, tmp_path, capsys):
+        assert main(["figures", "--outdir", str(tmp_path)]) == 0
+        written = list(tmp_path.glob("*.csv"))
+        assert len(written) == len(FIGURES)
+
+    def test_subprocess_entry(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "selftest"],
+            capture_output=True, text=True, timeout=300,
+        )
+        assert proc.returncode == 0, proc.stderr
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+
+class TestFigData:
+    def test_write_series_roundtrip(self, tmp_path):
+        p = write_series(tmp_path / "x.csv", ["a", "b"],
+                         [(1, 2.5), (3, 4.5)])
+        with p.open() as fh:
+            rows = list(csv.reader(fh))
+        assert rows[0] == ["a", "b"]
+        assert rows[1] == ["1", "2.5"]
+
+    def test_export_all(self, tmp_path):
+        paths = export_all_figures(tmp_path, fast=True)
+        assert len(paths) == 5
+        for p in paths:
+            with p.open() as fh:
+                rows = list(csv.reader(fh))
+            assert len(rows) > 5          # header + data
+            assert len(rows[0]) == 2      # x, y
+
+    def test_fig2_series_content(self, tmp_path):
+        paths = export_all_figures(tmp_path, fast=True)
+        fig2 = next(p for p in paths if "fig2" in p.name)
+        with fig2.open() as fh:
+            rows = list(csv.reader(fh))[1:]
+        ms = [int(r[0]) for r in rows]
+        ratios = [float(r[1]) for r in rows]
+        assert ms == sorted(ms)
+        assert any(r > 1 for r in ratios) and any(r < 1 for r in ratios)

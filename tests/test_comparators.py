@@ -1,0 +1,238 @@
+"""Comparator codes: DGEMMW, ESSL DGEMMS, CRAY SGEMMS, Strassen-original."""
+
+import numpy as np
+import pytest
+
+from repro.comparators import (
+    cray_sgemms,
+    dgemmw,
+    essl_dgemms,
+    essl_dgemms_general,
+    strassen_original,
+)
+from repro.context import ExecutionContext
+from repro.core.cutoff import AlwaysRecurse, SimpleCutoff
+from repro.core.workspace import Workspace
+from repro.errors import DimensionError
+from repro.phantom import Phantom
+
+CUT = SimpleCutoff(8)
+SHAPES = [(16, 16, 16), (17, 19, 23), (33, 9, 65), (2, 2, 2), (5, 3, 4),
+          (40, 40, 1), (1, 7, 5)]
+
+
+class TestStrassenOriginal:
+    @pytest.mark.parametrize("m,k,n", [(16, 16, 16), (8, 12, 4),
+                                       (32, 16, 64)])
+    @pytest.mark.parametrize("alpha", [1.0, -2.0])
+    def test_product(self, mats, m, k, n, alpha):
+        a, b, c = mats(m, k, n)
+        strassen_original(a, b, c, alpha, cutoff=CUT)
+        np.testing.assert_allclose(c, alpha * (a @ b), atol=1e-10)
+
+    def test_odd_recursion_point_rejected(self, mats):
+        a, b, c = mats(18, 18, 18)  # 18 -> 9 odd at depth 1
+        with pytest.raises(DimensionError):
+            strassen_original(a, b, c, cutoff=AlwaysRecurse())
+
+    def test_seven_multiplies_per_level(self, mats):
+        a, b, c = mats(16, 16, 16)
+        ctx = ExecutionContext()
+        strassen_original(a, b, c, cutoff=SimpleCutoff(4), ctx=ctx)
+        assert ctx.kernel_calls["dgemm"] == 49
+
+    def test_eighteen_adds_per_level(self, mats):
+        a, b, c = mats(16, 16, 16)
+        ctx = ExecutionContext()
+        strassen_original(a, b, c, cutoff=SimpleCutoff(9), ctx=ctx)
+        adds = sum(ctx.kernel_calls[k]
+                   for k in ("madd", "msub", "accum", "axpby"))
+        assert adds == 18  # one level of the original construction
+
+
+class TestDgemmw:
+    @pytest.mark.parametrize("m,k,n", SHAPES)
+    @pytest.mark.parametrize("alpha,beta", [(1.0, 0.0), (0.5, -2.0),
+                                            (1.0, 1.0)])
+    def test_correct(self, mats, m, k, n, alpha, beta):
+        a, b, c = mats(m, k, n)
+        expect = alpha * (a @ b) + beta * c
+        dgemmw(a, b, c, alpha, beta, cutoff=CUT)
+        np.testing.assert_allclose(c, expect, atol=1e-10)
+
+    @pytest.mark.parametrize("ta,tb", [(True, False), (False, True),
+                                       (True, True)])
+    def test_transposes(self, rng, ta, tb):
+        m, k, n = 21, 34, 27
+        a = np.asfortranarray(rng.standard_normal((k, m) if ta else (m, k)))
+        b = np.asfortranarray(rng.standard_normal((n, k) if tb else (k, n)))
+        c = np.asfortranarray(rng.standard_normal((m, n)))
+        opa, opb = (a.T if ta else a), (b.T if tb else b)
+        expect = 0.5 * (opa @ opb) + 0.25 * c
+        dgemmw(a, b, c, 0.5, 0.25, ta, tb, cutoff=CUT)
+        np.testing.assert_allclose(c, expect, atol=1e-10)
+
+    def test_uses_dynamic_padding_not_peeling(self):
+        ctx = ExecutionContext(dry=True, trace=True)
+        dgemmw(Phantom(65, 65), Phantom(65, 65), Phantom(65, 65),
+               cutoff=SimpleCutoff(16), ctx=ctx)
+        assert any(e.action == "pad" for e in ctx.events)
+        assert ctx.kernel_calls.get("dger", 0) == 0   # no peel fix-ups
+        assert ctx.kernel_calls.get("dgemv", 0) == 0
+
+    def test_general_case_uses_product_buffer(self):
+        """mn + (mk + kn)/3-ish footprint, versus DGEFMM's (sum)/3."""
+        m = 512
+        ctx = ExecutionContext(dry=True)
+        ws = Workspace(dry=True)
+        dgemmw(Phantom(m, m), Phantom(m, m), Phantom(m, m), 1.0, 1.0,
+               cutoff=SimpleCutoff(16), ctx=ctx, workspace=ws)
+        coeff = ws.peak_elements / m**2
+        assert coeff == pytest.approx(5 / 3, abs=0.02)
+
+    def test_beta0_memory_matches_dgefmm(self):
+        m = 512
+        ws = Workspace(dry=True)
+        dgemmw(Phantom(m, m), Phantom(m, m), Phantom(m, m), 1.0, 0.0,
+               cutoff=SimpleCutoff(16), ctx=ExecutionContext(dry=True),
+               workspace=ws)
+        assert ws.peak_elements / m**2 == pytest.approx(2 / 3, abs=0.01)
+
+
+class TestEssl:
+    @pytest.mark.parametrize("m,k,n", SHAPES)
+    def test_multiply_only(self, mats, m, k, n):
+        a, b, c = mats(m, k, n)
+        essl_dgemms(a, b, c, cutoff=CUT)
+        np.testing.assert_allclose(c, a @ b, atol=1e-10)
+
+    def test_ignores_c_contents(self, mats):
+        a, b, c = mats(12, 12, 12)
+        c[:] = np.nan
+        essl_dgemms(a, b, c, cutoff=CUT)
+        np.testing.assert_allclose(c, a @ b, atol=1e-10)
+
+    @pytest.mark.parametrize("alpha,beta", [(0.5, 1.5), (2.0, 0.0),
+                                            (1.0, 1.0)])
+    def test_general_wrapper(self, mats, alpha, beta):
+        a, b, c = mats(14, 18, 10)
+        expect = alpha * (a @ b) + beta * c
+        essl_dgemms_general(a, b, c, alpha, beta, cutoff=CUT)
+        np.testing.assert_allclose(c, expect, atol=1e-10)
+
+    def test_general_wrapper_buffer_cost(self):
+        """The paper's extra caller loop: general case costs an extra
+        m*n buffer over the multiply-only call."""
+        m = 256
+        def peak(alpha, beta):
+            ws = Workspace(dry=True)
+            essl_dgemms_general(
+                Phantom(m, m), Phantom(m, m), Phantom(m, m), alpha, beta,
+                cutoff=SimpleCutoff(16), ctx=ExecutionContext(dry=True),
+                workspace=ws)
+            return ws.peak_elements
+        assert peak(0.5, 1.0) - peak(1.0, 0.0) == pytest.approx(m * m)
+
+    def test_transpose(self, rng):
+        a = np.asfortranarray(rng.standard_normal((13, 9)))
+        b = np.asfortranarray(rng.standard_normal((13, 11)))
+        c = np.zeros((9, 11), order="F")
+        essl_dgemms(a, b, c, transa=True, cutoff=CUT)
+        np.testing.assert_allclose(c, a.T @ b, atol=1e-10)
+
+
+class TestCray:
+    @pytest.mark.parametrize("m,k,n", SHAPES)
+    @pytest.mark.parametrize("alpha,beta", [(1.0, 0.0), (0.5, -2.0)])
+    def test_correct(self, mats, m, k, n, alpha, beta):
+        a, b, c = mats(m, k, n)
+        expect = alpha * (a @ b) + beta * c
+        cray_sgemms(a, b, c, alpha, beta, cutoff=CUT)
+        np.testing.assert_allclose(c, expect, atol=1e-10)
+
+    def test_memory_much_larger_than_dgefmm(self):
+        """The Table 1 story: the straightforward original-Strassen
+        scheme needs several m^2, versus DGEFMM's 2/3."""
+        m = 512
+        ws = Workspace(dry=True)
+        cray_sgemms(Phantom(m, m), Phantom(m, m), Phantom(m, m), 1.0, 0.0,
+                    cutoff=SimpleCutoff(16), ctx=ExecutionContext(dry=True),
+                    workspace=ws)
+        coeff = ws.peak_elements / m**2
+        assert 2.5 < coeff < 3.2
+
+    def test_uses_original_recursion(self, mats):
+        """7 multiplies but 18 adds per level (not Winograd's 15)."""
+        a, b, c = mats(16, 16, 16)
+        ctx = ExecutionContext()
+        cray_sgemms(a, b, c, 1.0, 0.0, cutoff=SimpleCutoff(9), ctx=ctx)
+        assert ctx.kernel_calls["dgemm"] == 7
+        adds = sum(ctx.kernel_calls[k]
+                   for k in ("madd", "msub", "accum", "axpby"))
+        assert adds == 18
+
+
+class TestBailey:
+    """Bailey's (mk+kn+mn)/3 scheme for Strassen's original algorithm."""
+
+    @pytest.mark.parametrize("m,k,n", SHAPES)
+    @pytest.mark.parametrize("alpha,beta", [(1.0, 0.0), (0.5, -2.0),
+                                            (1.0, 1.0)])
+    def test_correct(self, mats, m, k, n, alpha, beta):
+        from repro.comparators import bailey_strassen
+
+        a, b, c = mats(m, k, n)
+        expect = alpha * (a @ b) + beta * c
+        bailey_strassen(a, b, c, alpha, beta, cutoff=CUT)
+        np.testing.assert_allclose(c, expect, atol=1e-10)
+
+    def test_memory_is_one_m_squared(self):
+        """The documented (mk + kn + mn)/3 — measured exactly."""
+        from repro.comparators import bailey_strassen
+
+        m = 1024
+        ws = Workspace(dry=True)
+        bailey_strassen(Phantom(m, m), Phantom(m, m), Phantom(m, m),
+                        1.0, 0.0, cutoff=SimpleCutoff(16),
+                        ctx=ExecutionContext(dry=True), workspace=ws)
+        assert ws.peak_elements / m**2 == pytest.approx(1.0, abs=0.01)
+
+    def test_far_leaner_than_straightforward_original(self):
+        """Bailey 1.0 m^2 vs the straightforward CRAY-style ~3 m^2 for
+        the same algorithm — the memory design space the paper maps."""
+        from repro.comparators import bailey_strassen, cray_sgemms
+
+        m = 512
+
+        def peak(fn):
+            ws = Workspace(dry=True)
+            fn(Phantom(m, m), Phantom(m, m), Phantom(m, m), 1.0, 0.0,
+               cutoff=SimpleCutoff(16), ctx=ExecutionContext(dry=True),
+               workspace=ws)
+            return ws.peak_elements
+
+        assert peak(bailey_strassen) < 0.4 * peak(cray_sgemms)
+
+    def test_seven_multiplies_and_original_adds(self, mats):
+        from repro.comparators import bailey_strassen
+
+        a, b, c = mats(16, 16, 16)
+        ctx = ExecutionContext()
+        bailey_strassen(a, b, c, 1.0, 0.0, cutoff=SimpleCutoff(9), ctx=ctx)
+        assert ctx.kernel_calls["dgemm"] == 7
+        adds = sum(ctx.kernel_calls[k]
+                   for k in ("madd", "msub", "accum", "axpby"))
+        copies = ctx.kernel_calls["mcopy"]
+        # 10 input adds + 8 combination ops, plus 2 copies (the price of
+        # the single product temporary)
+        assert adds == 18
+        assert copies == 2
+
+    def test_transposes(self, rng):
+        from repro.comparators import bailey_strassen
+
+        a = np.asfortranarray(rng.standard_normal((18, 22)))
+        b = np.asfortranarray(rng.standard_normal((26, 18)))
+        c = np.zeros((22, 26), order="F")
+        bailey_strassen(a, b, c, transa=True, transb=True, cutoff=CUT)
+        np.testing.assert_allclose(c, a.T @ b.T, atol=1e-10)

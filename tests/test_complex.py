@@ -1,0 +1,88 @@
+"""Complex-matrix support (zgefmm) — the DGEMMW feature-parity extension."""
+
+import numpy as np
+import pytest
+
+from repro.comparators import cray_sgemms, dgemmw, essl_dgemms_general
+from repro.core.cutoff import SimpleCutoff
+from repro.core.dgefmm import dgefmm, zgefmm
+from repro.core.workspace import Workspace
+from repro.context import ExecutionContext
+
+CUT = SimpleCutoff(6)
+
+
+def zmats(rng, m, k, n):
+    def z(p, q):
+        return np.asfortranarray(
+            rng.standard_normal((p, q)) + 1j * rng.standard_normal((p, q))
+        )
+    return z(m, k), z(k, n), z(m, n)
+
+
+class TestZgefmm:
+    @pytest.mark.parametrize("m,k,n", [(16, 16, 16), (17, 19, 23),
+                                       (33, 9, 11), (2, 2, 2), (5, 3, 4)])
+    @pytest.mark.parametrize("alpha,beta", [
+        (1.0, 0.0), (0.5 + 0.5j, -1.0 + 2.0j), (1.0j, 1.0),
+    ])
+    def test_matches_numpy(self, rng, m, k, n, alpha, beta):
+        a, b, c = zmats(rng, m, k, n)
+        expect = alpha * (a @ b) + beta * c
+        zgefmm(a, b, c, alpha, beta, cutoff=CUT)
+        np.testing.assert_allclose(c, expect, atol=1e-10)
+
+    @pytest.mark.parametrize("scheme", ["strassen1", "strassen2",
+                                        "strassen1_general"])
+    def test_all_schemes_complex(self, rng, scheme):
+        a, b, c = zmats(rng, 24, 20, 28)
+        expect = (0.5 + 1j) * (a @ b) + 2j * c
+        zgefmm(a, b, c, 0.5 + 1j, 2j, scheme=scheme, cutoff=CUT)
+        np.testing.assert_allclose(c, expect, atol=1e-10)
+
+    def test_transpose_is_plain_transpose(self, rng):
+        """op(X) = X^T (not conjugate transpose), as documented."""
+        a, b, c = zmats(rng, 10, 12, 14)
+        at = np.asfortranarray(a.T)
+        expect = a @ b
+        zgefmm(at, b, c, transa=True, cutoff=CUT)
+        np.testing.assert_allclose(c, expect, atol=1e-11)
+
+    def test_workspace_charged_at_complex_width(self, rng):
+        """complex128 temporaries cost 16 bytes/element."""
+        a, b, c = zmats(rng, 32, 32, 32)
+        ws = Workspace()
+        zgefmm(a, b, c, cutoff=SimpleCutoff(8), workspace=ws)
+        m = 32
+        # beta = 0 coefficient 2/3 m^2 elements, but in 16-byte elements
+        coeff_bytes = ws.peak_bytes / (m * m * 16)
+        assert coeff_bytes == pytest.approx(2 / 3, abs=0.15)
+
+    def test_zgefmm_is_dgefmm_for_real_input(self, rng):
+        a = np.asfortranarray(rng.standard_normal((20, 20)))
+        b = np.asfortranarray(rng.standard_normal((20, 20)))
+        c1 = np.zeros((20, 20), order="F")
+        c2 = np.zeros((20, 20), order="F")
+        zgefmm(a, b, c1, cutoff=CUT)
+        dgefmm(a, b, c2, cutoff=CUT)
+        np.testing.assert_array_equal(c1, c2)
+
+
+class TestComplexComparators:
+    def test_dgemmw_complex(self, rng):
+        a, b, c = zmats(rng, 15, 17, 19)
+        expect = (1 + 1j) * (a @ b) + 0.5 * c
+        dgemmw(a, b, c, 1 + 1j, 0.5, cutoff=CUT)
+        np.testing.assert_allclose(c, expect, atol=1e-10)
+
+    def test_cray_complex(self, rng):
+        a, b, c = zmats(rng, 16, 16, 16)
+        expect = a @ b
+        cray_sgemms(a, b, c, 1.0, 0.0, cutoff=CUT)
+        np.testing.assert_allclose(c, expect, atol=1e-10)
+
+    def test_essl_complex(self, rng):
+        a, b, c = zmats(rng, 14, 10, 18)
+        expect = 2j * (a @ b) + (1 - 1j) * c
+        essl_dgemms_general(a, b, c, 2j, 1 - 1j, cutoff=CUT)
+        np.testing.assert_allclose(c, expect, atol=1e-10)

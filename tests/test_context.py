@@ -1,0 +1,83 @@
+"""ExecutionContext accounting, clock, and tracing."""
+
+import pytest
+
+from repro.context import ExecutionContext, RecursionEvent, ensure_context
+from repro.machines.model import MachineModel
+
+
+def make_machine(**kw):
+    defaults = dict(name="toy", rate=1e6, a_m=0.0, a_k=0.0, a_n=0.0, h=0.0)
+    defaults.update(kw)
+    return MachineModel(**defaults)
+
+
+class TestCharging:
+    def test_flop_accumulation(self):
+        ctx = ExecutionContext()
+        ctx.charge("k1", muls=10, adds=5)
+        ctx.charge("k1", muls=1, adds=2)
+        assert ctx.mul_flops == 11
+        assert ctx.add_flops == 7
+        assert ctx.flops == 18
+        assert ctx.kernel_calls["k1"] == 2
+
+    def test_no_machine_no_elapsed(self):
+        ctx = ExecutionContext()
+        ctx.charge("k", muls=1, seconds=5.0)
+        assert ctx.elapsed == 0.0
+
+    def test_machine_accumulates_elapsed(self):
+        ctx = ExecutionContext(make_machine())
+        ctx.charge("k", muls=1, seconds=0.25)
+        ctx.charge("k", muls=1, seconds=0.5)
+        assert ctx.elapsed == pytest.approx(0.75)
+
+    def test_seconds_none_tolerated(self):
+        ctx = ExecutionContext(make_machine())
+        ctx.charge("k", muls=1, seconds=None)
+        assert ctx.elapsed == 0.0
+
+    def test_reset(self):
+        ctx = ExecutionContext(make_machine())
+        ctx.charge("k", muls=9, seconds=1.0)
+        ctx.stats["x"] = 1
+        ctx.reset()
+        assert ctx.flops == 0 and ctx.elapsed == 0 and not ctx.stats
+        assert not ctx.kernel_calls
+
+
+class TestModelTime:
+    def test_dispatch(self):
+        mach = make_machine(g=2.0)
+        ctx = ExecutionContext(mach)
+        assert ctx.model_time("t_add", 10, 10) == pytest.approx(
+            mach.t_add(10, 10)
+        )
+
+    def test_none_without_machine(self):
+        assert ExecutionContext().model_time("t_add", 10, 10) is None
+
+
+class TestTrace:
+    def test_events_recorded_when_tracing(self):
+        ctx = ExecutionContext(trace=True)
+        ev = RecursionEvent("base", 4, 4, 4, 0)
+        ctx.record(ev)
+        assert ctx.events == [ev]
+
+    def test_events_skipped_without_tracing(self):
+        ctx = ExecutionContext()
+        ctx.record(RecursionEvent("base", 4, 4, 4, 0))
+        assert ctx.events == []
+
+
+class TestEnsure:
+    def test_passthrough(self):
+        ctx = ExecutionContext()
+        assert ensure_context(ctx) is ctx
+
+    def test_fresh_default(self):
+        ctx = ensure_context(None)
+        assert isinstance(ctx, ExecutionContext)
+        assert not ctx.dry

@@ -1,0 +1,151 @@
+"""ISDA: polynomial iteration, driver, and the DGEMM/DGEFMM swap."""
+
+import numpy as np
+import pytest
+
+from repro.core.cutoff import SimpleCutoff
+from repro.eigensolver import GemmCounter, isda_eigh, make_gemm
+from repro.eigensolver.polynomial import beta_iteration, scale_to_unit
+from repro.errors import ConvergenceError, DimensionError
+from repro.utils.matrixgen import random_spectrum, random_symmetric
+
+
+def dgemm_fn(a, b, c, alpha=1.0, beta=0.0):
+    from repro.blas.level3 import dgemm
+
+    dgemm(a, b, c, alpha, beta)
+
+
+class TestScaleToUnit:
+    def test_spectrum_mapped(self):
+        a = random_spectrum([-3.0, 0.0, 1.0, 4.0], seed=1)
+        b = scale_to_unit(a, split=0.5, lo=-3.0, hi=4.0)
+        w = np.linalg.eigvalsh(b)
+        assert np.all(w >= -1e-12) and np.all(w <= 1.0 + 1e-12)
+
+    def test_split_maps_to_half(self):
+        a = np.diag([2.0])
+        b = scale_to_unit(a, split=2.0, lo=0.0, hi=4.0)
+        assert b[0, 0] == pytest.approx(0.5)
+
+    def test_split_outside_bounds(self):
+        with pytest.raises(ValueError):
+            scale_to_unit(np.eye(2), split=5.0, lo=0.0, hi=4.0)
+
+    def test_degenerate_bounds(self):
+        with pytest.raises(ValueError):
+            scale_to_unit(np.eye(2), split=1.0, lo=1.0, hi=1.0)
+
+
+class TestBetaIteration:
+    def test_converges_to_projector(self):
+        a = random_spectrum([0.1, 0.2, 0.8, 0.9], seed=2)
+        p, iters = beta_iteration(np.asfortranarray(a), dgemm_fn)
+        np.testing.assert_allclose(p @ p, p, atol=1e-10)
+        assert int(round(np.trace(p))) == 2
+        assert iters > 0
+
+    def test_eigenvalues_driven_to_01(self):
+        a = random_spectrum([0.05, 0.3, 0.7, 0.95, 0.99], seed=3)
+        p, _ = beta_iteration(np.asfortranarray(a), dgemm_fn)
+        w = np.sort(np.linalg.eigvalsh(p))
+        np.testing.assert_allclose(w, [0, 0, 1, 1, 1], atol=1e-8)
+
+    def test_already_projector_converges_immediately(self):
+        a = np.diag([0.0, 1.0, 1.0])
+        p, iters = beta_iteration(np.asfortranarray(a), dgemm_fn)
+        assert iters == 0
+
+    def test_eigenvalue_at_half_fails(self):
+        a = np.asfortranarray(np.diag([0.1, 0.5, 0.9]))
+        with pytest.raises(ConvergenceError):
+            beta_iteration(a, dgemm_fn, max_iter=30)
+
+    def test_gemm_call_count(self):
+        """Two GEMMs per iteration, plus the final convergence check."""
+        a = random_spectrum([0.1, 0.9, 0.9, 0.1], seed=4)
+        counter = GemmCounter(dgemm_fn)
+        _, iters = beta_iteration(np.asfortranarray(a), counter)
+        assert counter.calls == 2 * iters + 1
+
+
+class TestIsda:
+    @pytest.mark.parametrize("n", [1, 2, 5, 33, 48, 80])
+    def test_random_matrices(self, n):
+        a = random_symmetric(n, seed=n)
+        w, v, stats = isda_eigh(a)
+        np.testing.assert_allclose(w, np.linalg.eigvalsh(a), atol=1e-8)
+        assert np.linalg.norm(a @ v - v * w) < 1e-8 * max(
+            1.0, np.linalg.norm(a))
+        np.testing.assert_allclose(v.T @ v, np.eye(n), atol=1e-9)
+
+    def test_eigenvalues_ascending(self):
+        a = random_symmetric(50, seed=77)
+        w, _, _ = isda_eigh(a)
+        assert np.all(np.diff(w) >= 0)
+
+    def test_identity_cluster_shortcut(self):
+        w, v, stats = isda_eigh(3.5 * np.eye(64))
+        np.testing.assert_allclose(w, np.full(64, 3.5))
+        assert stats.splits == 0
+
+    def test_two_cluster_spectrum(self):
+        a = random_spectrum([1.0] * 30 + [9.0] * 34, seed=6)
+        w, v, stats = isda_eigh(a)
+        np.testing.assert_allclose(
+            w, [1.0] * 30 + [9.0] * 34, atol=1e-8)
+        assert np.linalg.norm(a @ v - v * w) < 1e-7
+
+    def test_graded_spectrum(self):
+        vals = [10.0 ** (-i) for i in range(40)]
+        a = random_spectrum(vals, seed=8)
+        w, v, _ = isda_eigh(a)
+        np.testing.assert_allclose(w, np.sort(vals), atol=1e-10)
+
+    def test_negative_and_positive(self):
+        a = random_spectrum(np.linspace(-5, 5, 60), seed=9)
+        w, _, stats = isda_eigh(a)
+        np.testing.assert_allclose(w, np.linspace(-5, 5, 60), atol=1e-8)
+        assert stats.splits >= 1
+
+    def test_splits_actually_divide(self):
+        a = random_symmetric(70, seed=10)
+        _, _, stats = isda_eigh(a, base_size=16)
+        assert stats.splits >= 2
+        assert stats.base_solves >= 2
+        assert stats.max_depth >= 1
+
+    def test_asymmetric_rejected(self):
+        with pytest.raises(DimensionError):
+            isda_eigh(np.triu(np.ones((4, 4))))
+
+    def test_nonsquare_rejected(self):
+        with pytest.raises(DimensionError):
+            isda_eigh(np.zeros((3, 4)))
+
+
+class TestGemmSwap:
+    """Section 4.4: renaming DGEMM -> DGEFMM changes nothing numerically
+    and routes all multiplication work through Strassen."""
+
+    def test_same_results(self):
+        a = random_symmetric(60, seed=11)
+        w1, v1, _ = isda_eigh(a, make_gemm("dgemm"))
+        w2, v2, _ = isda_eigh(a, make_gemm("dgefmm",
+                                           cutoff=SimpleCutoff(8)))
+        np.testing.assert_allclose(w1, w2, atol=1e-8)
+        # eigenvectors may differ by sign/rotation in clusters; check
+        # they diagonalize to the same spectrum
+        np.testing.assert_allclose(
+            np.linalg.norm(a @ v2 - v2 * w2), 0.0, atol=1e-7)
+
+    def test_counter_measures_calls(self):
+        a = random_symmetric(40, seed=12)
+        counter = GemmCounter(make_gemm("dgemm"))
+        _, _, stats = isda_eigh(a, counter)
+        assert stats.gemm_calls == counter.calls > 0
+        assert stats.gemm_seconds == counter.seconds > 0
+
+    def test_make_gemm_unknown(self):
+        with pytest.raises(ValueError):
+            make_gemm("magma")

@@ -1,0 +1,90 @@
+"""Cyclic Jacobi base-case eigensolver."""
+
+import numpy as np
+import pytest
+
+from repro.eigensolver.jacobi import jacobi_eigh
+from repro.errors import DimensionError
+from repro.utils.matrixgen import random_spectrum, random_symmetric
+
+
+class TestBasic:
+    @pytest.mark.parametrize("n", [1, 2, 3, 5, 8, 16, 25])
+    def test_matches_numpy(self, n):
+        a = random_symmetric(n, seed=n)
+        w, v = jacobi_eigh(a)
+        np.testing.assert_allclose(w, np.linalg.eigvalsh(a), atol=1e-10)
+
+    @pytest.mark.parametrize("n", [3, 10, 20])
+    def test_decomposition_residual(self, n):
+        a = random_symmetric(n, seed=100 + n)
+        w, v = jacobi_eigh(a)
+        assert np.linalg.norm(a @ v - v * w) < 1e-10 * max(
+            1.0, np.linalg.norm(a))
+
+    @pytest.mark.parametrize("n", [2, 7, 15])
+    def test_orthonormal_vectors(self, n):
+        a = random_symmetric(n, seed=200 + n)
+        _, v = jacobi_eigh(a)
+        np.testing.assert_allclose(v.T @ v, np.eye(n), atol=1e-12)
+
+    def test_eigenvalues_sorted(self):
+        a = random_symmetric(12, seed=5)
+        w, _ = jacobi_eigh(a)
+        assert np.all(np.diff(w) >= 0)
+
+    def test_empty(self):
+        w, v = jacobi_eigh(np.empty((0, 0)))
+        assert w.shape == (0,) and v.shape == (0, 0)
+
+    def test_input_not_modified(self):
+        a = random_symmetric(8, seed=9)
+        a0 = a.copy()
+        jacobi_eigh(a)
+        np.testing.assert_array_equal(a, a0)
+
+
+class TestHardSpectra:
+    def test_diagonal_input(self):
+        d = np.diag([3.0, -1.0, 5.0, 0.0])
+        w, v = jacobi_eigh(d)
+        np.testing.assert_allclose(w, [-1.0, 0.0, 3.0, 5.0])
+
+    def test_identity(self):
+        w, v = jacobi_eigh(np.eye(6))
+        np.testing.assert_allclose(w, np.ones(6))
+
+    def test_repeated_eigenvalues(self):
+        a = random_spectrum([2.0] * 5 + [7.0] * 5, seed=3)
+        w, v = jacobi_eigh(a)
+        np.testing.assert_allclose(np.sort(w), [2.0] * 5 + [7.0] * 5,
+                                   atol=1e-10)
+        assert np.linalg.norm(a @ v - v * w) < 1e-9
+
+    def test_wide_dynamic_range(self):
+        """Huge diagonal gaps overflow naive theta^2 computations.
+
+        Accuracy is normwise (eps * ||A|| ~ 1e-8 here): the test matrix
+        itself only carries the small eigenvalue to that accuracy.
+        """
+        a = random_spectrum([1e-8, 1.0, 1e8], seed=1)
+        w, _ = jacobi_eigh(a)
+        np.testing.assert_allclose(
+            w, np.linalg.eigvalsh(a), rtol=1e-10, atol=1e-7)
+
+    def test_tiny_offdiagonal(self):
+        a = np.diag([1.0, 2.0, 3.0])
+        a[0, 1] = a[1, 0] = 1e-200
+        w, _ = jacobi_eigh(a)
+        np.testing.assert_allclose(w, [1.0, 2.0, 3.0])
+
+
+class TestValidation:
+    def test_nonsquare_rejected(self):
+        with pytest.raises(DimensionError):
+            jacobi_eigh(np.zeros((2, 3)))
+
+    def test_asymmetric_rejected(self):
+        a = np.array([[1.0, 2.0], [0.0, 1.0]])
+        with pytest.raises(DimensionError):
+            jacobi_eigh(a)

@@ -1,0 +1,91 @@
+"""Householder QR with column pivoting (rank-revealing)."""
+
+import numpy as np
+import pytest
+
+from repro.eigensolver.qr import projector_bases, qr_column_pivot
+from repro.errors import DimensionError
+from repro.utils.matrixgen import random_matrix
+
+
+class TestFactorization:
+    @pytest.mark.parametrize("m,n", [(5, 5), (8, 4), (4, 8), (1, 1),
+                                     (10, 10)])
+    def test_reconstruction(self, m, n):
+        a = random_matrix(m, n, seed=m * 100 + n)
+        q, r, piv = qr_column_pivot(a)
+        np.testing.assert_allclose(q @ r, a[:, piv], atol=1e-12)
+
+    @pytest.mark.parametrize("m,n", [(6, 6), (9, 3)])
+    def test_q_orthogonal(self, m, n):
+        a = random_matrix(m, n, seed=7)
+        q, _, _ = qr_column_pivot(a)
+        np.testing.assert_allclose(q.T @ q, np.eye(m), atol=1e-12)
+
+    def test_r_upper_triangular(self):
+        a = random_matrix(7, 7, seed=3)
+        _, r, _ = qr_column_pivot(a)
+        np.testing.assert_array_equal(np.tril(r, -1), np.zeros_like(r))
+
+    def test_diagonal_nonincreasing(self):
+        a = random_matrix(10, 10, seed=11)
+        _, r, _ = qr_column_pivot(a)
+        d = np.abs(np.diag(r))
+        assert np.all(d[:-1] >= d[1:] - 1e-12)
+
+    def test_pivot_is_permutation(self):
+        a = random_matrix(6, 9, seed=2)
+        _, _, piv = qr_column_pivot(a)
+        assert sorted(piv.tolist()) == list(range(9))
+
+    def test_zero_matrix(self):
+        q, r, piv = qr_column_pivot(np.zeros((4, 4)))
+        np.testing.assert_allclose(q, np.eye(4))
+        np.testing.assert_array_equal(r, np.zeros((4, 4)))
+
+    def test_input_not_modified(self):
+        a = random_matrix(5, 5, seed=1)
+        a0 = a.copy()
+        qr_column_pivot(a)
+        np.testing.assert_array_equal(a, a0)
+
+    def test_vector_rejected(self):
+        with pytest.raises(DimensionError):
+            qr_column_pivot(np.zeros(4))
+
+
+class TestRankRevealing:
+    @pytest.mark.parametrize("rank", [1, 3, 5])
+    def test_low_rank_detected(self, rank):
+        rng = np.random.default_rng(rank)
+        x = rng.standard_normal((12, rank))
+        a = x @ x.T  # symmetric PSD of the given rank
+        _, r, _ = qr_column_pivot(a)
+        d = np.abs(np.diag(r))
+        assert np.all(d[:rank] > 1e-8)
+        assert np.all(d[rank:] < 1e-10)
+
+
+class TestProjectorBases:
+    def make_projector(self, n, rank, seed=0):
+        rng = np.random.default_rng(seed)
+        q, _ = np.linalg.qr(rng.standard_normal((n, n)))
+        v1 = q[:, :rank]
+        return v1 @ v1.T, q
+
+    @pytest.mark.parametrize("n,rank", [(8, 3), (10, 10), (6, 0), (9, 5)])
+    def test_bases_span(self, n, rank):
+        p, _ = self.make_projector(n, rank, seed=n + rank)
+        v1, v2 = projector_bases(p, rank)
+        assert v1.shape == (n, rank) and v2.shape == (n, n - rank)
+        # P V1 = V1 (range), P V2 = 0 (null space)
+        np.testing.assert_allclose(p @ v1, v1, atol=1e-10)
+        np.testing.assert_allclose(p @ v2, np.zeros_like(v2), atol=1e-10)
+        # joint orthonormality
+        v = np.concatenate([v1, v2], axis=1)
+        np.testing.assert_allclose(v.T @ v, np.eye(n), atol=1e-12)
+
+    def test_bad_rank(self):
+        p, _ = self.make_projector(5, 2)
+        with pytest.raises(DimensionError):
+            projector_bases(p, 6)

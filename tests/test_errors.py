@@ -1,0 +1,60 @@
+"""Error taxonomy: the right exception type at every failure point."""
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    ArgumentError,
+    ConvergenceError,
+    DimensionError,
+    ReproError,
+    WorkspaceError,
+)
+
+
+class TestHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc in (ArgumentError, DimensionError, WorkspaceError,
+                    ConvergenceError):
+            assert issubclass(exc, ReproError)
+
+    def test_argument_error_is_value_error(self):
+        assert issubclass(ArgumentError, ValueError)
+        assert issubclass(DimensionError, ValueError)
+
+    def test_workspace_error_is_runtime_error(self):
+        assert issubclass(WorkspaceError, RuntimeError)
+
+    def test_argument_error_message_names_routine(self):
+        e = ArgumentError("dgemm", "nb", "must be positive")
+        assert "dgemm" in str(e) and "nb" in str(e)
+        assert e.routine == "dgemm" and e.argument == "nb"
+
+
+class TestCatchability:
+    """A caller can catch everything with one except clause."""
+
+    def test_blas_errors_catchable(self):
+        from repro.blas import dgemm
+
+        with pytest.raises(ReproError):
+            dgemm(np.zeros((2, 3)), np.zeros((4, 2)), np.zeros((2, 2)))
+
+    def test_driver_errors_catchable(self):
+        from repro.core.dgefmm import dgefmm
+
+        with pytest.raises(ReproError):
+            dgefmm(np.zeros((2, 2)), np.zeros((2, 2)), np.zeros((2, 2)),
+                   scheme="nope")
+
+    def test_workspace_errors_catchable(self):
+        from repro.core.workspace import Workspace
+
+        with pytest.raises(ReproError):
+            Workspace().alloc(1, 1)
+
+    def test_eigensolver_errors_catchable(self):
+        from repro.eigensolver import isda_eigh
+
+        with pytest.raises(ReproError):
+            isda_eigh(np.zeros((2, 3)))

@@ -1,0 +1,67 @@
+"""Smoke tests: every example script runs end-to-end at a small size."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert proc.returncode == 0, (
+        f"{name} failed:\nstdout:\n{proc.stdout}\nstderr:\n{proc.stderr}"
+    )
+    return proc.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py", "200")
+        assert "DGEFMM" in out
+        assert "workspace peak" in out
+        assert "max relative difference" in out
+
+    def test_eigensolver(self):
+        out = run_example("eigensolver_isda.py", "64")
+        assert "MM-time ratio" in out
+        assert "residual" in out
+
+    def test_memory_footprint(self):
+        out = run_example("memory_footprint.py", "1024")
+        assert "DGEFMM (auto dispatch)" in out
+        assert "0.66" in out  # the 2/3 coefficient
+
+    def test_cutoff_tuning(self):
+        out = run_example("cutoff_tuning.py", "--host-max", "192")
+        assert "simulated RS/6000" in out
+        assert "recommended" in out
+
+    def test_linear_solver(self):
+        out = run_example("linear_solver.py", "320")
+        assert "DGEFMM" in out
+        assert "x - x_true" in out
+
+    def test_examples_inventory(self):
+        """At least the five documented examples exist and are scripts."""
+        names = {p.name for p in EXAMPLES.glob("*.py")}
+        for required in (
+            "quickstart.py",
+            "eigensolver_isda.py",
+            "cutoff_tuning.py",
+            "memory_footprint.py",
+            "linear_solver.py",
+        ):
+            assert required in names
+
+    def test_simulated_machines(self):
+        out = run_example("simulated_machines.py")
+        assert "square win band" in out
+        assert "recursion trace" in out

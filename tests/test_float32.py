@@ -1,0 +1,53 @@
+"""Single-precision operation (the CRAY results were 64-bit 'single';
+modern float32 exercises the dtype-generic paths and the coarser
+roundoff)."""
+
+import numpy as np
+import pytest
+
+from repro.core.cutoff import SimpleCutoff
+from repro.core.dgefmm import dgefmm
+from repro.core.workspace import Workspace
+
+
+def f32(rng, m, n):
+    return np.asfortranarray(
+        rng.standard_normal((m, n)).astype(np.float32))
+
+
+class TestFloat32:
+    @pytest.mark.parametrize("m,k,n", [(32, 32, 32), (33, 47, 29)])
+    def test_correct_at_single_tolerance(self, rng, m, k, n):
+        a, b = f32(rng, m, k), f32(rng, k, n)
+        c = np.zeros((m, n), dtype=np.float32, order="F")
+        dgefmm(a, b, c, cutoff=SimpleCutoff(8))
+        ref = a.astype(np.float64) @ b.astype(np.float64)
+        err = np.max(np.abs(c - ref)) / np.max(np.abs(ref))
+        assert err < 1e-4  # single-precision scale
+
+    def test_result_stays_float32(self, rng):
+        a, b = f32(rng, 16, 16), f32(rng, 16, 16)
+        c = np.zeros((16, 16), dtype=np.float32, order="F")
+        dgefmm(a, b, c, cutoff=SimpleCutoff(4))
+        assert c.dtype == np.float32
+
+    def test_workspace_charged_at_four_bytes(self, rng):
+        m = 64
+        a, b = f32(rng, m, m), f32(rng, m, m)
+        c = np.zeros((m, m), dtype=np.float32, order="F")
+        ws = Workspace()
+        dgefmm(a, b, c, cutoff=SimpleCutoff(16), workspace=ws)
+        coeff = ws.peak_bytes / (m * m * 4)  # in float32 elements
+        assert coeff == pytest.approx(2 / 3, abs=0.1)
+
+    def test_half_the_bytes_of_double(self, rng):
+        m = 64
+        ws32, ws64 = Workspace(), Workspace()
+        a, b = f32(rng, m, m), f32(rng, m, m)
+        c = np.zeros((m, m), dtype=np.float32, order="F")
+        dgefmm(a, b, c, cutoff=SimpleCutoff(16), workspace=ws32)
+        a64 = a.astype(np.float64)
+        b64 = b.astype(np.float64)
+        c64 = np.zeros((m, m), order="F")
+        dgefmm(a64, b64, c64, cutoff=SimpleCutoff(16), workspace=ws64)
+        assert ws32.peak_bytes * 2 == ws64.peak_bytes

@@ -1,0 +1,221 @@
+"""Harness: problem generators, simulated timing, and every experiment's
+shape claims (paper-vs-measured)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.cutoff import HighamCutoff, NeverRecurse, SimpleCutoff
+from repro.harness import experiments as E
+from repro.harness.problems import (
+    dimension_bounds,
+    disagreement_problems,
+    sample_problems,
+    two_dims_large_problems,
+)
+from repro.harness.simtime import (
+    paper_hybrid_cutoff,
+    paper_simple_cutoff,
+    sim_dgefmm,
+    sim_dgemm,
+    sim_dgemmw,
+)
+from repro.machines.presets import C90, RS6000, T3D
+
+
+class TestProblems:
+    def test_bounds_recipe(self):
+        lo, hi = dimension_bounds(199, (75, 125, 95), "RS6000")
+        assert lo == (66, 66, 66)  # tau/3 = 66 < all rect params
+        assert hi == 2050
+        _, hi_t3d = dimension_bounds(325, (125, 75, 109), "T3D")
+        assert hi_t3d == 1550
+
+    def test_sample_within_bounds(self):
+        probs = sample_problems((10, 20, 30), 100, 50, seed=1)
+        assert len(probs) == 50
+        for m, k, n in probs:
+            assert 10 <= m <= 100 and 20 <= k <= 100 and 30 <= n <= 100
+
+    def test_sampling_deterministic(self):
+        a = sample_problems((5, 5, 5), 50, 10, seed=7)
+        b = sample_problems((5, 5, 5), 50, 10, seed=7)
+        assert a == b
+
+    def test_disagreement_property(self):
+        h = paper_hybrid_cutoff("RS6000")
+        s = SimpleCutoff(199)
+        probs = disagreement_problems(h, s, (66, 66, 66), 2050, 20, seed=2)
+        assert len(probs) == 20
+        for p in probs:
+            assert h.stop(*p) != s.stop(*p)
+
+    def test_two_large_property(self):
+        h = paper_hybrid_cutoff("RS6000")
+        g = HighamCutoff(199)
+        probs = two_dims_large_problems(
+            h, g, (66, 66, 66), 2050, 1800, 10, seed=3)
+        for m, k, n in probs:
+            assert sum(d >= 1800 for d in (m, k, n)) >= 2
+            assert h.stop(m, k, n) != g.stop(m, k, n)
+
+    def test_impossible_disagreement_raises(self):
+        s = SimpleCutoff(100)
+        with pytest.raises(RuntimeError):
+            disagreement_problems(s, s, (10, 10, 10), 50, 5, seed=1,
+                                  max_tries=1000)
+
+
+class TestSimtime:
+    def test_never_recurse_equals_dgemm(self):
+        t1 = sim_dgemm(RS6000, 300, 300, 300)
+        t2 = sim_dgefmm(RS6000, 300, 300, 300, cutoff=NeverRecurse())
+        assert t2 == pytest.approx(t1)
+
+    def test_strassen_wins_above_cutoff(self):
+        t_std = sim_dgemm(RS6000, 1024, 1024, 1024)
+        t_str = sim_dgefmm(RS6000, 1024, 1024, 1024)
+        assert t_str < t_std
+
+    def test_dgemm_wins_below_cutoff(self):
+        assert sim_dgemm(RS6000, 64, 64, 64) <= sim_dgefmm(
+            RS6000, 64, 64, 64, cutoff=paper_hybrid_cutoff("RS6000"))
+
+    def test_simulated_time_deterministic(self):
+        a = sim_dgemmw(RS6000, 777, 333, 555, 0.5, 0.5)
+        b = sim_dgemmw(RS6000, 777, 333, 555, 0.5, 0.5)
+        assert a == b
+
+    def test_machines_differ(self):
+        assert sim_dgemm(RS6000, 500, 500, 500) != sim_dgemm(
+            C90, 500, 500, 500)
+
+
+class TestFig2Table2:
+    def test_fig2_band_matches_paper(self):
+        d = E.fig2_square_cutoff(RS6000)
+        assert abs(d["recommended"] - 199) <= 5
+        assert d["first_win"] < 199 < d["always_win"]
+        # saw-tooth: the ratio series is non-monotone
+        ratios = [r for _, r in d["points"]]
+        diffs = np.diff(ratios)
+        assert np.any(diffs > 0) and np.any(diffs < 0)
+
+    def test_table2_all_machines(self):
+        rows = E.table2_square_cutoffs()
+        assert len(rows) == 3
+        for r in rows:
+            assert abs(r["measured_tau"] - r["paper_tau"]) <= 6
+
+
+class TestTable3:
+    def test_rect_params_close_to_paper(self):
+        rows = E.table3_rect_params()
+        for r in rows:
+            pm, pk, pn = r["paper"]
+            assert abs(r["tau_m"] - pm) <= 8
+            assert abs(r["tau_k"] - pk) <= 8
+            assert abs(r["tau_n"] - pn) <= 8
+
+    def test_asymmetry_reproduced(self):
+        """tau sum differs from square tau: +~100 on RS/6000 (paper)."""
+        rows = {r["machine"]: r for r in E.table3_rect_params()}
+        assert rows["RS6000"]["sum"] - 199 > 60
+        assert rows["T3D"]["sum"] - 325 < 0  # T3D sum is *below* tau
+
+
+class TestTable4:
+    def test_new_criterion_wins_vs_simple(self):
+        rows = E.table4_criteria(RS6000, sample=40, sample_higham=40,
+                                 sample_two_large=20)
+        by = {r["comparison"]: r for r in rows}
+        # (15)/(11): clear win (paper avg 0.9529)
+        assert by["(15)/(11)"]["mean"] < 0.98
+        assert by["(15)/(11)"]["median"] < 0.98
+        # (15)/(12): near parity (paper avg 1.0017)
+        assert 0.95 < by["(15)/(12)"]["mean"] < 1.05
+        # two dims large: improvement (paper avg 0.9888)
+        assert by["(15)/(12) two large"]["mean"] < 1.01
+
+    def test_stats_fields(self):
+        rows = E.table4_criteria(C90, sample=10, sample_higham=10,
+                                 sample_two_large=5)
+        for r in rows:
+            assert r["min"] <= r["q1"] <= r["median"] <= r["q3"] <= r["max"]
+
+
+class TestTable5:
+    def test_matches_paper_shape(self):
+        rows = E.table5_recursions()
+        for r in rows:
+            # within 15% of the paper's measured ratio everywhere
+            assert r["ratio"] == pytest.approx(r["paper_ratio"], abs=0.11)
+        # final sizes fall in the paper's 0.66-0.78 window (plus slack)
+        for mach in ("RS6000", "C90", "T3D"):
+            last = [r for r in rows if r["machine"] == mach][-1]
+            assert 0.63 < last["ratio"] < 0.88
+
+    def test_sevenfold_scaling(self):
+        """DGEFMM time grows ~7x per doubling (paper: within 10 %)."""
+        rows = [r for r in E.table5_recursions() if r["machine"] == "RS6000"]
+        for prev, cur in zip(rows, rows[1:]):
+            factor = cur["dgefmm_s"] / prev["dgefmm_s"]
+            assert 6.3 < factor < 7.7
+
+
+class TestFigures:
+    def test_fig3_vendor_comparison(self):
+        d = E.fig3_vs_essl(step=200)
+        assert 1.0 < d["beta0"]["average"] < 1.10   # paper 1.052
+        assert d["general"]["average"] < d["beta0"]["average"] + 0.02
+
+    def test_fig4_cray_comparison(self):
+        d = E.fig4_vs_cray(step=200)
+        assert 1.0 < d["beta0"]["average"] < 1.12   # paper 1.066
+        assert d["general"]["average"] < d["beta0"]["average"]
+
+    def test_fig5_dgemmw_parity(self):
+        d = E.fig5_vs_dgemmw(step=200)
+        assert 0.90 < d["general"]["average"] < 1.02  # paper 0.991
+        assert 0.93 < d["beta0"]["average"] < 1.05    # paper 1.0089
+
+    def test_fig6_rectangular_win(self):
+        d = E.fig6_rect_vs_dgemmw(count=30)
+        assert d["general"]["average"] < 1.0          # paper 0.974
+        xs = [x for x, _ in d["general"]["points"]]
+        assert min(xs) > 6.0 and max(xs) < 10.5       # log10(2mnk) range
+
+
+class TestTable1:
+    def test_memory_table(self):
+        rows = {r["implementation"]: r for r in E.table1_memory(m=512)}
+        assert rows["DGEFMM"]["beta0"] == pytest.approx(2 / 3, abs=0.02)
+        assert rows["DGEFMM"]["general"] == pytest.approx(1.0, abs=0.02)
+        assert rows["STRASSEN2"]["beta0"] == pytest.approx(1.0, abs=0.02)
+        assert rows["STRASSEN1"]["general"] == pytest.approx(2.0, abs=0.05)
+        assert rows["DGEMMW"]["general"] == pytest.approx(5 / 3, abs=0.03)
+        # the memory ordering story: DGEFMM smallest, CRAY largest
+        assert (rows["DGEFMM"]["general"]
+                < rows["DGEMMW"]["general"]
+                < rows["CRAY SGEMMS"]["general"])
+
+
+class TestSection2:
+    def test_headlines(self):
+        d = E.section2_opcounts()
+        assert d["theoretical_square_cutoff"] == 12
+        assert d["cutoff_improvement_256"] == pytest.approx(0.382, abs=0.002)
+        assert d["winograd_improvement_full"] == pytest.approx(
+            0.143, abs=0.001)
+
+
+class TestTable6:
+    def test_eigensolver_swap(self):
+        d = E.table6_eigensolver(n=96, base_size=24)
+        for kind in ("dgemm", "dgefmm"):
+            assert d[kind]["residual"] < 1e-7
+            assert d[kind]["mm_calls"] > 0
+            assert d[kind]["mm_s"] <= d[kind]["total_s"]
+        # both solvers did the same algebraic work
+        assert d["dgemm"]["splits"] == d["dgefmm"]["splits"]

@@ -1,0 +1,113 @@
+"""End-to-end integration: the public API, the report CLI, and the
+replace-DGEMM story across module boundaries."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro import SimpleCutoff, dgefmm, dgemm, isda_eigh
+from repro.context import ExecutionContext
+from repro.core.workspace import Workspace
+from repro.harness.report import EXHIBITS, render
+from repro.utils.matrixgen import random_symmetric
+from repro.utils.tables import format_table
+
+
+class TestPublicApi:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_quickstart_docstring_flow(self, rng):
+        a = np.asfortranarray(rng.standard_normal((120, 120)))
+        b = np.asfortranarray(rng.standard_normal((120, 120)))
+        c = np.zeros((120, 120), order="F")
+        out = dgefmm(a, b, c, cutoff=SimpleCutoff(32))
+        assert out is c
+        np.testing.assert_allclose(c, a @ b, atol=1e-9)
+
+    def test_c_order_inputs_work_end_to_end(self, rng):
+        """Users will pass default (C-order) numpy arrays."""
+        a = rng.standard_normal((70, 50))
+        b = rng.standard_normal((50, 90))
+        c = np.zeros((70, 90))
+        dgefmm(a, b, c, cutoff=SimpleCutoff(16))
+        np.testing.assert_allclose(c, a @ b, atol=1e-9)
+
+
+class TestReplaceDgemmStory:
+    """Paper Section 4.4: the swap is a rename, results are identical,
+    multiply work goes down."""
+
+    def test_identical_application_results(self):
+        a = random_symmetric(48, seed=42)
+        w_ref, _, _ = isda_eigh(a)
+        np.testing.assert_allclose(
+            w_ref, np.linalg.eigvalsh(a), atol=1e-8)
+
+    def test_strassen_reduces_multiplies(self, rng):
+        m = 128
+        a = np.asfortranarray(rng.standard_normal((m, m)))
+        b = np.asfortranarray(rng.standard_normal((m, m)))
+        c = np.zeros((m, m), order="F")
+        ctx1 = ExecutionContext()
+        dgemm(a, b, c, ctx=ctx1)
+        ctx2 = ExecutionContext()
+        dgefmm(a, b, c, cutoff=SimpleCutoff(16), ctx=ctx2)
+        assert ctx2.mul_flops < ctx1.mul_flops
+        # 3 recursion levels: (7/8)^3 of the multiplies
+        assert ctx2.mul_flops == pytest.approx(
+            (7 / 8) ** 3 * ctx1.mul_flops, rel=1e-12)
+
+
+class TestReportCli:
+    def test_every_exhibit_renders(self):
+        # cheap exhibits render fully; this catches format regressions
+        for key in ("section2", "table2", "table3", "table5"):
+            out = render(only=key)
+            assert key in out or "Table" in out or "Section" in out
+            assert "paper" in out.lower()
+
+    def test_unknown_exhibit(self):
+        with pytest.raises(KeyError):
+            render(only="table99")
+
+    def test_exhibit_registry_complete(self):
+        expected = {"section2", "table1", "fig2", "table2", "table3",
+                    "table4", "table5", "fig3", "fig4", "fig5", "fig6",
+                    "table6", "extensions"}
+        assert set(EXHIBITS) == expected
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        out = format_table(["a", "bb"], [[1, 2.5], ["xyz", 3.0]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert "a" in lines[0] and "bb" in lines[0]
+        assert "-" in lines[1]
+
+    def test_title(self):
+        out = format_table(["x"], [[1]], title="T")
+        assert out.splitlines()[0] == "T"
+
+
+class TestSharedContextAcrossModules:
+    def test_one_context_collects_everything(self, rng):
+        """A single context can instrument a whole application run."""
+        ctx = ExecutionContext()
+        ws = Workspace()
+        a = np.asfortranarray(rng.standard_normal((33, 44)))
+        b = np.asfortranarray(rng.standard_normal((44, 55)))
+        c = np.zeros((33, 55), order="F")
+        dgefmm(a, b, c, cutoff=SimpleCutoff(8), ctx=ctx, workspace=ws)
+        from repro.comparators import dgemmw
+
+        c2 = np.zeros((33, 55), order="F")
+        dgemmw(a, b, c2, cutoff=SimpleCutoff(8), ctx=ctx, workspace=ws)
+        assert ctx.kernel_calls["dgemm"] > 10
+        assert ws.live_bytes == 0
+        np.testing.assert_allclose(c, c2, atol=1e-10)

@@ -1,0 +1,168 @@
+"""Fast symmetric rank-k update (Higham [11] extension)."""
+
+import numpy as np
+import pytest
+
+from repro.blas.level3_fast import dsyrk_fast
+from repro.context import ExecutionContext
+from repro.core.cutoff import SimpleCutoff
+from repro.errors import DimensionError
+from repro.utils.matrixgen import random_matrix
+
+
+def tril_of(x):
+    return np.tril(x)
+
+
+class TestDsyrkFast:
+    @pytest.mark.parametrize("n,k", [(8, 8), (33, 17), (64, 10),
+                                     (50, 80), (1, 5), (2, 2)])
+    @pytest.mark.parametrize("alpha,beta", [(1.0, 0.0), (0.5, -2.0),
+                                            (1.0, 1.0)])
+    def test_lower_triangle(self, n, k, alpha, beta):
+        a = random_matrix(n, k, seed=n * 10 + k)
+        c = random_matrix(n, n, seed=99)
+        expect = alpha * (a @ a.T) + beta * c
+        got = c.copy(order="F")
+        dsyrk_fast(a, got, alpha, beta, cutoff=SimpleCutoff(8), block=8)
+        np.testing.assert_allclose(tril_of(got), tril_of(expect), atol=1e-9)
+
+    def test_upper_triangle_untouched(self):
+        a = random_matrix(20, 6, seed=1)
+        c = random_matrix(20, 20, seed=2)
+        before = np.triu(c, 1).copy()
+        dsyrk_fast(a, c, 2.0, 0.5, block=4, cutoff=SimpleCutoff(4))
+        np.testing.assert_array_equal(np.triu(c, 1), before)
+
+    @pytest.mark.parametrize("n,k", [(24, 10), (17, 33)])
+    def test_trans_form(self, n, k):
+        a = random_matrix(k, n, seed=5)  # A^T A form
+        c = np.zeros((n, n), order="F")
+        dsyrk_fast(a, c, trans=True, cutoff=SimpleCutoff(8), block=8)
+        np.testing.assert_allclose(
+            tril_of(c), tril_of(a.T @ a), atol=1e-10)
+
+    def test_symmetry_of_result(self):
+        """Mirroring the computed lower triangle gives A A^T exactly."""
+        a = random_matrix(40, 12, seed=3)
+        c = np.zeros((40, 40), order="F")
+        dsyrk_fast(a, c, block=8, cutoff=SimpleCutoff(8))
+        full = np.tril(c) + np.tril(c, -1).T
+        np.testing.assert_allclose(full, a @ a.T, atol=1e-10)
+
+    def test_strassen_reduces_offdiagonal_multiplies(self):
+        """The off-diagonal blocks route through DGEFMM: fewer scalar
+        multiplies than the all-standard update."""
+        n, k = 256, 256
+        a = random_matrix(n, k, seed=4)
+
+        def count(cutoff):
+            ctx = ExecutionContext()
+            c = np.zeros((n, n), order="F")
+            dsyrk_fast(a, c, block=64, cutoff=cutoff, ctx=ctx)
+            return ctx.mul_flops
+
+        from repro.core.cutoff import NeverRecurse
+
+        assert count(SimpleCutoff(16)) < count(NeverRecurse())
+
+    def test_cheaper_than_full_gemm(self):
+        """Symmetry saves work: fewer multiplies than a full n*n GEMM."""
+        n, k = 128, 128
+        a = random_matrix(n, k, seed=6)
+        ctx = ExecutionContext()
+        c = np.zeros((n, n), order="F")
+        dsyrk_fast(a, c, block=32, cutoff=SimpleCutoff(16), ctx=ctx)
+        assert ctx.mul_flops < 0.8 * n * n * k
+
+    def test_shape_validation(self):
+        with pytest.raises(DimensionError):
+            dsyrk_fast(np.zeros((4, 3)), np.zeros((5, 5)))
+        with pytest.raises(DimensionError):
+            dsyrk_fast(np.zeros((4, 3)), np.zeros((4, 4), order="F"),
+                       block=0)
+
+
+class TestDsyr2kFast:
+    @pytest.mark.parametrize("n,k", [(8, 8), (33, 17), (50, 80), (2, 2)])
+    @pytest.mark.parametrize("alpha,beta", [(1.0, 0.0), (0.5, 2.0)])
+    def test_lower_triangle(self, n, k, alpha, beta):
+        from repro.blas.level3_fast import dsyr2k_fast
+
+        a = random_matrix(n, k, seed=n + k)
+        b = random_matrix(n, k, seed=n * k + 1)
+        c = random_matrix(n, n, seed=17)
+        expect = alpha * (a @ b.T + b @ a.T) + beta * c
+        got = c.copy(order="F")
+        dsyr2k_fast(a, b, got, alpha, beta, cutoff=SimpleCutoff(8), block=8)
+        np.testing.assert_allclose(tril_of(got), tril_of(expect), atol=1e-9)
+        np.testing.assert_array_equal(np.triu(got, 1), np.triu(c, 1))
+
+    def test_result_symmetric_when_mirrored(self):
+        from repro.blas.level3_fast import dsyr2k_fast
+
+        a = random_matrix(40, 12, seed=3)
+        b = random_matrix(40, 12, seed=4)
+        c = np.zeros((40, 40), order="F")
+        dsyr2k_fast(a, b, c, block=8, cutoff=SimpleCutoff(8))
+        full = np.tril(c) + np.tril(c, -1).T
+        np.testing.assert_allclose(full, a @ b.T + b @ a.T, atol=1e-10)
+
+    def test_shape_mismatch(self):
+        from repro.blas.level3_fast import dsyr2k_fast
+
+        with pytest.raises(DimensionError):
+            dsyr2k_fast(np.zeros((4, 3)), np.zeros((4, 2)),
+                        np.zeros((4, 4), order="F"))
+
+
+class TestDtrmmFast:
+    @pytest.mark.parametrize("n,nrhs", [(8, 3), (33, 17), (64, 64), (2, 1)])
+    @pytest.mark.parametrize("alpha", [1.0, -0.5])
+    def test_product(self, n, nrhs, alpha):
+        from repro.blas.level3_fast import dtrmm_fast
+
+        rng = np.random.default_rng(n + nrhs)
+        t = np.asfortranarray(np.tril(rng.standard_normal((n, n)))
+                              + n * np.eye(n))
+        b = random_matrix(n, nrhs, seed=5)
+        expect = alpha * (t @ b)
+        got = b.copy(order="F")
+        dtrmm_fast(t, got, alpha, cutoff=SimpleCutoff(8), block=8)
+        np.testing.assert_allclose(got, expect, atol=1e-9)
+
+    def test_upper_triangle_of_t_ignored(self):
+        from repro.blas.level3_fast import dtrmm_fast
+
+        rng = np.random.default_rng(0)
+        n = 24
+        t = np.asfortranarray(np.tril(rng.standard_normal((n, n)))
+                              + n * np.eye(n))
+        b = random_matrix(n, 7, seed=6)
+        expect = t @ b
+        t_dirty = np.asfortranarray(t + np.triu(np.full((n, n), 1e9), 1))
+        got = b.copy(order="F")
+        dtrmm_fast(t_dirty, got, cutoff=SimpleCutoff(8), block=8)
+        np.testing.assert_allclose(got, expect, atol=1e-9)
+
+    def test_block_sizes_agree(self):
+        from repro.blas.level3_fast import dtrmm_fast
+
+        rng = np.random.default_rng(1)
+        n = 50
+        t = np.asfortranarray(np.tril(rng.standard_normal((n, n)))
+                              + np.eye(n))
+        b = random_matrix(n, 9, seed=7)
+        g1 = b.copy(order="F")
+        g2 = b.copy(order="F")
+        dtrmm_fast(t, g1, block=4, cutoff=SimpleCutoff(4))
+        dtrmm_fast(t, g2, block=200, cutoff=SimpleCutoff(4))
+        np.testing.assert_allclose(g1, g2, atol=1e-11)
+
+    def test_validation(self):
+        from repro.blas.level3_fast import dtrmm_fast
+
+        with pytest.raises(DimensionError):
+            dtrmm_fast(np.zeros((3, 4)), np.zeros((3, 2), order="F"))
+        with pytest.raises(DimensionError):
+            dtrmm_fast(np.zeros((3, 3)), np.zeros((4, 2), order="F"))

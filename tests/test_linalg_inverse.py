@@ -1,0 +1,93 @@
+"""Strassen's recursive inversion ("Gaussian elimination is not optimal")."""
+
+import numpy as np
+import pytest
+
+from repro.core.cutoff import SimpleCutoff
+from repro.core.dgefmm import dgefmm
+from repro.errors import DimensionError
+from repro.linalg.inverse import strassen_inverse
+from repro.utils.matrixgen import random_matrix, random_spectrum
+
+
+def spd(n, seed=0):
+    """Well-conditioned symmetric positive definite test matrix."""
+    a = random_matrix(n, n, seed=seed)
+    return np.asfortranarray(a @ a.T + n * np.eye(n))
+
+
+def dgefmm_gemm(a, b, c, alpha=1.0, beta=0.0):
+    dgefmm(a, b, c, alpha, beta, cutoff=SimpleCutoff(16))
+
+
+class TestInverse:
+    @pytest.mark.parametrize("n", [1, 2, 3, 8, 33, 64, 100, 129])
+    def test_identity_residual(self, n):
+        a = spd(n, seed=n)
+        inv = strassen_inverse(a, base=16)
+        np.testing.assert_allclose(a @ inv, np.eye(n), atol=1e-8)
+        np.testing.assert_allclose(inv @ a, np.eye(n), atol=1e-8)
+
+    def test_matches_numpy(self):
+        a = spd(80, seed=5)
+        np.testing.assert_allclose(
+            strassen_inverse(a, base=8), np.linalg.inv(a), atol=1e-8)
+
+    def test_diagonally_dominant_nonsymmetric(self):
+        n = 60
+        a = random_matrix(n, n, seed=7) + n * np.eye(n)
+        inv = strassen_inverse(a, base=8)
+        np.testing.assert_allclose(a @ inv, np.eye(n), atol=1e-9)
+
+    def test_diagonal(self):
+        d = np.diag([2.0, 4.0, 8.0, 16.0])
+        np.testing.assert_allclose(
+            strassen_inverse(d, base=1), np.diag([0.5, 0.25, 0.125, 0.0625]),
+            atol=1e-14)
+
+    @pytest.mark.parametrize("base", [1, 4, 16, 200])
+    def test_base_sizes_agree(self, base):
+        a = spd(48, seed=2)
+        np.testing.assert_allclose(
+            strassen_inverse(a, base=base),
+            np.linalg.inv(a),
+            atol=1e-9,
+        )
+
+    def test_strassen_gemm_agrees(self):
+        a = spd(96, seed=3)
+        inv1 = strassen_inverse(a, base=16)
+        inv2 = strassen_inverse(a, dgefmm_gemm, base=16)
+        np.testing.assert_allclose(inv1, inv2, atol=1e-8)
+
+    def test_singular_leading_block_raises(self):
+        # A11 = 0 block: the unpivoted recursion must fail loudly
+        a = np.array([[0.0, 1.0], [1.0, 0.0]], order="F")
+        with pytest.raises(np.linalg.LinAlgError):
+            strassen_inverse(a, base=1)
+
+    def test_nonsquare_rejected(self):
+        with pytest.raises(DimensionError):
+            strassen_inverse(np.zeros((3, 4)))
+
+    def test_input_not_modified(self):
+        a = spd(20, seed=9)
+        a0 = a.copy()
+        strassen_inverse(a, base=4)
+        np.testing.assert_array_equal(a, a0)
+
+    def test_gemm_carries_most_multiplies(self):
+        """Six products per level: the multiplication exponent governs."""
+        from repro.context import ExecutionContext
+        from repro.blas.level3 import dgemm as raw
+
+        ctx = ExecutionContext()
+
+        def counting(a, b, c, alpha=1.0, beta=0.0):
+            raw(a, b, c, alpha, beta, ctx=ctx)
+
+        n = 128
+        a = spd(n, seed=11)
+        strassen_inverse(a, counting, base=16)
+        # block products account for the bulk of an n^3-scale budget
+        assert ctx.mul_flops > 0.3 * n**3

@@ -1,0 +1,213 @@
+"""Machine cost models and their calibration to the paper's cutoffs."""
+
+import pytest
+
+from repro.blas.level3 import dgemm
+from repro.context import ExecutionContext
+from repro.core.cutoff import DepthCutoff
+from repro.core.dgefmm import dgefmm
+from repro.machines.calibrate import (
+    anchor_rate,
+    fit_overheads,
+    measured_rect_crossover,
+    measured_square_crossover,
+    model_rect_crossover,
+    model_square_crossover,
+    one_level_time,
+)
+from repro.machines.model import MachineModel
+from repro.machines.presets import (
+    C90,
+    FIXED_DIM,
+    MACHINES,
+    PAPER_RECT_PARAMS,
+    PAPER_SQUARE_CUTOFF,
+    RS6000,
+    T3D,
+)
+from repro.phantom import Phantom
+
+
+def toy(**kw):
+    d = dict(name="toy", rate=1e6, a_m=0, a_k=0, a_n=0, h=0)
+    d.update(kw)
+    return MachineModel(**d)
+
+
+class TestModel:
+    def test_gemm_leading_term(self):
+        m = toy(rate=2.0)
+        assert m.t_gemm(1, 1, 1) == pytest.approx(1.0)  # 2 flops / rate 2
+
+    def test_overhead_terms(self):
+        m = toy(a_m=1, a_k=10, a_n=100, rate=1.0)
+        base = 2 * 2 * 3 * 4
+        assert m.t_gemm(2, 3, 4) == pytest.approx(
+            base + 1 * 3 * 4 + 10 * 2 * 4 + 100 * 2 * 3 + 0)
+
+    def test_thin_shape_term(self):
+        m = toy(h=6, rate=1.0)
+        assert m.t_gemm(2, 8, 8) == pytest.approx(2 * 128 + 6 * 128 / 2)
+
+    def test_zero_dims(self):
+        assert toy().t_gemm(0, 5, 5) == 0.0
+        assert toy().t_gemm(5, 0, 5) == 0.0
+
+    def test_odd_penalty(self):
+        m = toy(odd_penalty=0.01, rate=1.0)
+        even = m.t_gemm(4, 4, 4)
+        assert m.t_gemm(4, 4, 4) == pytest.approx(2 * 64)
+        modd = toy(odd_penalty=0.01, rate=1.0).t_gemm(5, 5, 5)
+        assert modd == pytest.approx(2 * 125 * 1.03)
+        assert even == pytest.approx(2 * 64)
+
+    def test_add_and_copy(self):
+        m = toy(g=4.0, rate=2.0)
+        assert m.t_add(3, 5) == pytest.approx(4 * 15 / 2)
+        assert m.t_copy(3, 5) == pytest.approx(4 * 15 / 2)
+
+    def test_level2(self):
+        m = toy(g2=3.0, rate=1.0)
+        assert m.t_ger(4, 5) == pytest.approx(3 * 40)
+        assert m.t_gemv(4, 5) == pytest.approx(3 * 40)
+
+    def test_tuned_gain_multiplies_gemm_only(self):
+        m = toy(rate=1.0, g=5.0)
+        t = m.tuned(0.9)
+        assert t.t_gemm(4, 4, 4) == pytest.approx(0.9 * m.t_gemm(4, 4, 4))
+        assert t.t_add(4, 4) == m.t_add(4, 4)
+        assert t.tuned(0.5).tuned_gain == pytest.approx(0.45)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            RS6000.rate = 1.0  # type: ignore[misc]
+
+
+class TestCalibration:
+    def test_presets_hit_square_targets(self):
+        """The continuous model crossover must sit on Table 2's tau."""
+        for name, mach in MACHINES.items():
+            tau = model_square_crossover(mach)
+            assert tau == pytest.approx(PAPER_SQUARE_CUTOFF[name], abs=1.0)
+
+    def test_presets_hit_rect_targets(self):
+        for name, mach in MACHINES.items():
+            fixed = FIXED_DIM[name]
+            tm, tk, tn = PAPER_RECT_PARAMS[name]
+            assert model_rect_crossover(mach, "m", fixed) == pytest.approx(
+                tm, abs=1.0)
+            assert model_rect_crossover(mach, "k", fixed) == pytest.approx(
+                tk, abs=1.0)
+            assert model_rect_crossover(mach, "n", fixed) == pytest.approx(
+                tn, abs=1.0)
+
+    def test_fit_reproduces_targets(self):
+        mach = fit_overheads("test", 150, 60, 90, 70, fixed=2000.0, g=4.0)
+        assert model_square_crossover(mach) == pytest.approx(150, abs=0.5)
+        assert model_rect_crossover(mach, "k", 2000) == pytest.approx(
+            90, abs=0.5)
+
+    def test_anchor_rate(self):
+        mach = anchor_rate(RS6000, 200, 0.3)
+        assert mach.t_gemm(200, 200, 200) == pytest.approx(0.3)
+
+    def test_one_level_time_matches_dry_run(self):
+        """The calibration's analytic one-level cost must equal what the
+        real DGEFMM recursion charges on even inputs."""
+        mach = RS6000
+        m = 256
+        ctx = ExecutionContext(mach, dry=True)
+        dgefmm(Phantom(m, m), Phantom(m, m), Phantom(m, m),
+               cutoff=DepthCutoff(1), ctx=ctx)
+        assert ctx.elapsed == pytest.approx(
+            one_level_time(mach, m, m, m), rel=1e-12)
+
+
+class TestEmpiricalCrossover:
+    """The dry-run Section 3.4 measurement lands near Table 2/3."""
+
+    @pytest.mark.parametrize("name", ["RS6000", "C90", "T3D"])
+    def test_square(self, name):
+        mach = MACHINES[name]
+
+        def t_dgemm(m):
+            ctx = ExecutionContext(mach, dry=True)
+            dgemm(Phantom(m, m), Phantom(m, m), Phantom(m, m), ctx=ctx)
+            return ctx.elapsed
+
+        def t_one(m):
+            ctx = ExecutionContext(mach, dry=True)
+            dgefmm(Phantom(m, m), Phantom(m, m), Phantom(m, m),
+                   cutoff=DepthCutoff(1), ctx=ctx)
+            return ctx.elapsed
+
+        lo = max(16, PAPER_SQUARE_CUTOFF[name] - 90)
+        hi = PAPER_SQUARE_CUTOFF[name] + 120
+        first, always, rec = measured_square_crossover(t_dgemm, t_one, lo, hi)
+        assert abs(rec - PAPER_SQUARE_CUTOFF[name]) <= 5
+        assert first < rec < always
+
+    def test_rect_rs6000(self):
+        mach = RS6000
+        fixed = 2000
+
+        def t_dgemm(x):
+            ctx = ExecutionContext(mach, dry=True)
+            dgemm(Phantom(x, fixed), Phantom(fixed, fixed),
+                  Phantom(x, fixed), ctx=ctx)
+            return ctx.elapsed
+
+        def t_one(x):
+            ctx = ExecutionContext(mach, dry=True)
+            dgefmm(Phantom(x, fixed), Phantom(fixed, fixed),
+                   Phantom(x, fixed), cutoff=DepthCutoff(1), ctx=ctx)
+            return ctx.elapsed
+
+        got = measured_rect_crossover(t_dgemm, t_one, 10, 400)
+        assert abs(got - 75) <= 8
+
+    def test_no_crossover_raises(self):
+        with pytest.raises(ValueError):
+            measured_rect_crossover(lambda x: 1.0, lambda x: 2.0, 10, 100)
+
+
+class TestCalibrateHost:
+    """calibrate_host round-trip: calibrating against a known machine's
+    timings recovers that machine's crossovers."""
+
+    @staticmethod
+    def timers(mach):
+        def tg(m, k, n):
+            ctx = ExecutionContext(mach, dry=True)
+            dgemm(Phantom(m, k), Phantom(k, n), Phantom(m, n), ctx=ctx)
+            return ctx.elapsed
+
+        def t1(m, k, n):
+            ctx = ExecutionContext(mach, dry=True)
+            dgefmm(Phantom(m, k), Phantom(k, n), Phantom(m, n),
+                   cutoff=DepthCutoff(1), ctx=ctx)
+            return ctx.elapsed
+
+        return tg, t1
+
+    def test_roundtrip_rs6000(self):
+        from repro.machines.calibrate import calibrate_host
+
+        tg, t1 = self.timers(RS6000)
+        mach = calibrate_host(scan_lo=120, scan_hi=400, fixed=2000,
+                              g=5.0, time_gemm=tg, time_one_level=t1)
+        assert abs(model_square_crossover(mach) - 199) <= 8
+        assert abs(model_rect_crossover(mach, "m", 2000) - 75) <= 8
+        assert abs(model_rect_crossover(mach, "k", 2000) - 125) <= 10
+        assert abs(model_rect_crossover(mach, "n", 2000) - 95) <= 8
+
+    def test_roundtrip_absolute_seconds(self):
+        from repro.machines.calibrate import calibrate_host
+
+        tg, t1 = self.timers(C90)
+        mach = calibrate_host(scan_lo=80, scan_hi=300, fixed=2000,
+                              g=1.5, time_gemm=tg, time_one_level=t1)
+        # anchored: same absolute DGEMM time at a probe size
+        for m in (256, 512):
+            assert mach.t_gemm(m, m, m) == pytest.approx(
+                C90.t_gemm(m, m, m), rel=0.08)

@@ -1,0 +1,134 @@
+"""Operation-count model (paper Section 2): recurrences, closed forms,
+and every headline number the paper derives from them."""
+
+import pytest
+
+from repro.core.cutoff import (
+    AlwaysRecurse,
+    DepthCutoff,
+    NeverRecurse,
+    TheoreticalCutoff,
+)
+from repro.core.opcount import (
+    add_ops,
+    cutoff_improvement_square,
+    one_level_ratio,
+    standard_ops,
+    strassen_ops,
+    strassen_square_ops,
+    theoretical_square_cutoff,
+    winograd_depth_ops,
+    winograd_square_ops,
+    winograd_vs_strassen_limit,
+)
+
+
+class TestBasics:
+    def test_standard_ops(self):
+        assert standard_ops(4, 5, 6) == 2 * 4 * 5 * 6 - 4 * 6
+
+    def test_add_ops(self):
+        assert add_ops(7, 9) == 63
+
+    def test_one_level_ratio_formula(self):
+        m = 100
+        expect = (7 * m**3 + 11 * m**2) / (8 * m**3 - 4 * m**2)
+        assert one_level_ratio(m) == pytest.approx(expect)
+
+    def test_one_level_ratio_limit_seven_eighths(self):
+        """Paper eq. (1): ratio -> 7/8 (a 12.5 % saving) as m grows."""
+        assert one_level_ratio(2**14) == pytest.approx(7 / 8, abs=1e-3)
+
+    def test_one_level_ratio_odd_rejected(self):
+        with pytest.raises(ValueError):
+            one_level_ratio(7)
+
+
+class TestClosedForms:
+    @pytest.mark.parametrize("d,m0", [(0, 5), (1, 8), (3, 4), (5, 8), (8, 1)])
+    def test_square_form_matches_recurrence(self, d, m0):
+        """eq. (4) equals the eq. (2) recurrence with a depth-d cutoff."""
+        m = (2**d) * m0
+        rec = strassen_ops(m, m, m, DepthCutoff(d))
+        assert rec == pytest.approx(winograd_square_ops(d, m0), rel=1e-12)
+
+    @pytest.mark.parametrize("d,m0,k0,n0", [(1, 3, 4, 5), (2, 2, 6, 4),
+                                            (4, 1, 2, 3)])
+    def test_rect_form_matches_recurrence(self, d, m0, k0, n0):
+        rec = strassen_ops(
+            (2**d) * m0, (2**d) * k0, (2**d) * n0, DepthCutoff(d)
+        )
+        assert rec == pytest.approx(
+            winograd_depth_ops(d, m0, k0, n0), rel=1e-12
+        )
+
+    @pytest.mark.parametrize("d,m0", [(1, 8), (4, 3), (6, 2)])
+    def test_strassen_original_form(self, d, m0):
+        rec = strassen_ops(
+            (2**d) * m0, (2**d) * m0, (2**d) * m0,
+            DepthCutoff(d), adds_per_level=18,
+        )
+        assert rec == pytest.approx(strassen_square_ops(d, m0), rel=1e-12)
+
+    def test_winograd_beats_original_for_all_depths(self):
+        """eq.(4) < eq.(5): difference is m0^2 (7^d - 4^d) (paper)."""
+        for d in range(1, 8):
+            for m0 in (1, 4, 9):
+                diff = strassen_square_ops(d, m0) - winograd_square_ops(d, m0)
+                assert diff == pytest.approx(m0**2 * (7.0**d - 4.0**d))
+
+    def test_depth_zero_is_standard(self):
+        assert winograd_square_ops(0, 37) == standard_ops(37, 37, 37)
+
+    def test_negative_depth_rejected(self):
+        with pytest.raises(ValueError):
+            winograd_square_ops(-1, 4)
+
+
+class TestRecurrence:
+    def test_never_recurse_is_standard(self):
+        assert strassen_ops(64, 64, 64, NeverRecurse()) == standard_ops(
+            64, 64, 64)
+
+    def test_odd_dims_force_base(self):
+        # the Section 2 model stops at odd dims (no peeling modeled)
+        assert strassen_ops(63, 64, 64, AlwaysRecurse()) == standard_ops(
+            63, 64, 64)
+
+    def test_theoretical_cutoff_beats_standard_above_12(self):
+        for m in (16, 32, 64, 128, 256):
+            assert strassen_ops(m, m, m) < standard_ops(m, m, m)
+
+    def test_one_level_saves_at_paper_rect_example(self):
+        """(6, 14, 86): eq. (7) says one recursion helps; verify in ops."""
+        one = strassen_ops(6, 14, 86, DepthCutoff(1))
+        assert one < standard_ops(6, 14, 86)
+
+    def test_bad_adds_per_level(self):
+        with pytest.raises(ValueError):
+            strassen_ops(8, 8, 8, adds_per_level=16)
+
+
+class TestPaperHeadlines:
+    def test_theoretical_square_cutoff_is_12(self):
+        assert theoretical_square_cutoff() == 12
+
+    def test_cutoff_improvement_at_256(self):
+        """Ratio of full recursion to cutoff-12 ops at order 256; the
+        paper quotes the 38.2 % improvement = 1 - 1/ratio."""
+        ratio = cutoff_improvement_square(256)
+        assert 1.0 - 1.0 / ratio == pytest.approx(0.382, abs=0.002)
+
+    def test_winograd_improvement_percentages(self):
+        """14.3 % at full recursion; 5.26 %..3.45 % for m0 in 7..12."""
+        assert 1 - 1 / winograd_vs_strassen_limit(1) == pytest.approx(
+            0.143, abs=0.001)
+        assert 1 - 1 / winograd_vs_strassen_limit(7) == pytest.approx(
+            0.0526, abs=0.0002)
+        assert 1 - 1 / winograd_vs_strassen_limit(12) == pytest.approx(
+            0.0345, abs=0.0002)
+
+    def test_explicit_256_depths(self):
+        """The paper compares d=8, m0=1 against d=5, m0=8 explicitly."""
+        ratio = winograd_square_ops(8, 1) / winograd_square_ops(5, 8)
+        assert ratio == pytest.approx(cutoff_improvement_square(256))

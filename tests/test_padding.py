@@ -1,0 +1,123 @@
+"""Static and dynamic padding (paper Section 2, used by comparators)."""
+
+import numpy as np
+import pytest
+
+from repro.blas.level3 import dgemm
+from repro.context import ExecutionContext
+from repro.core.padding import (
+    dynamic_pad_operands,
+    pad_into,
+    round_up_multiple,
+    run_statically_padded,
+    static_pad_shape,
+)
+from repro.core.workspace import Workspace
+from repro.errors import DimensionError
+
+
+class TestRounding:
+    @pytest.mark.parametrize("x,q,expect", [(5, 2, 6), (8, 2, 8), (5, 8, 8),
+                                            (17, 16, 32), (1, 1, 1)])
+    def test_round_up(self, x, q, expect):
+        assert round_up_multiple(x, q) == expect
+
+    def test_bad_q(self):
+        with pytest.raises(ValueError):
+            round_up_multiple(4, 0)
+
+    @pytest.mark.parametrize("dims,depth,expect", [
+        ((5, 7, 9), 1, (6, 8, 10)),
+        ((5, 7, 9), 2, (8, 8, 12)),
+        ((5, 7, 9), 3, (8, 8, 16)),
+        ((16, 16, 16), 4, (16, 16, 16)),
+        ((100, 100, 100), 0, (100, 100, 100)),
+    ])
+    def test_static_shape(self, dims, depth, expect):
+        assert static_pad_shape(*dims, depth) == expect
+
+
+class TestPadInto:
+    def test_pads_with_zeros(self, rng):
+        x = np.asfortranarray(rng.standard_normal((3, 4)))
+        ws = Workspace()
+        ctx = ExecutionContext()
+        with ws.frame():
+            p = pad_into(x, ws.alloc(5, 6), ctx=ctx)
+            np.testing.assert_array_equal(p[:3, :4], x)
+            assert np.all(p[3:, :4] == 0.0)
+            assert np.all(p[:, 4:] == 0.0)
+
+    def test_target_too_small(self, rng):
+        x = np.zeros((3, 4))
+        ws = Workspace()
+        with ws.frame():
+            with pytest.raises(DimensionError):
+                pad_into(x, ws.alloc(2, 4), ctx=ExecutionContext())
+
+    def test_exact_size_no_zero_charge(self, rng):
+        x = np.asfortranarray(rng.standard_normal((3, 4)))
+        ws = Workspace()
+        ctx = ExecutionContext()
+        with ws.frame():
+            pad_into(x, ws.alloc(3, 4), ctx=ctx)
+        assert ctx.kernel_calls["mzero"] == 0
+        assert ctx.kernel_calls["mcopy"] == 1
+
+
+class TestDynamicPad:
+    def test_pads_only_odd(self, rng):
+        a = np.asfortranarray(rng.standard_normal((5, 4)))
+        b = np.asfortranarray(rng.standard_normal((4, 7)))
+        ws = Workspace()
+        ctx = ExecutionContext()
+        with ws.frame():
+            pa, pb, (pm, pk, pn) = dynamic_pad_operands(a, b, ws, ctx=ctx)
+            assert (pm, pk, pn) == (6, 4, 8)
+            assert pa.shape == (6, 4) and pa is not a   # m odd: padded
+            assert pb.shape == (4, 8) and pb is not b   # n odd: padded
+            np.testing.assert_array_equal(pa[:5, :], a)
+            np.testing.assert_array_equal(pb[:, :7], b)
+
+    def test_even_passthrough(self, rng):
+        a = np.asfortranarray(rng.standard_normal((4, 4)))
+        b = np.asfortranarray(rng.standard_normal((4, 8)))
+        ws = Workspace()
+        with ws.frame():
+            pa, pb, dims = dynamic_pad_operands(
+                a, b, ws, ctx=ExecutionContext())
+            assert pa is a and pb is b
+            assert dims == (4, 4, 8)
+            assert ws.live_bytes == 0
+
+
+class TestStaticallyPadded:
+    @pytest.mark.parametrize("m,k,n,depth", [(5, 7, 9, 2), (6, 6, 6, 1),
+                                             (13, 5, 21, 3), (8, 8, 8, 2)])
+    @pytest.mark.parametrize("alpha,beta", [(1.0, 0.0), (0.5, 1.5)])
+    def test_product(self, mats, m, k, n, depth, alpha, beta):
+        a, b, c = mats(m, k, n)
+        expect = alpha * (a @ b) + beta * c
+        ctx = ExecutionContext()
+        ws = Workspace()
+
+        def multiply_even(aa, bb, cc, al, be):
+            dgemm(aa, bb, cc, al, be, ctx=ctx)
+
+        run_statically_padded(a, b, c, alpha, beta, depth, multiply_even,
+                              ws, ctx=ctx)
+        np.testing.assert_allclose(c, expect, atol=1e-11)
+
+    def test_no_pad_direct_path(self, mats):
+        """Already-aligned dims must not allocate padded buffers."""
+        a, b, c = mats(8, 8, 8)
+        ws = Workspace()
+        ctx = ExecutionContext()
+
+        def multiply_even(aa, bb, cc, al, be):
+            assert aa is a and bb is b and cc is c
+            dgemm(aa, bb, cc, al, be, ctx=ctx)
+
+        run_statically_padded(a, b, c, 1.0, 0.0, 3, multiply_even, ws,
+                              ctx=ctx)
+        assert ws.peak_bytes == 0

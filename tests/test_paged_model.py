@@ -1,0 +1,97 @@
+"""Paged machine model: the virtual-memory future-work extension."""
+
+import pytest
+
+from repro.core.cutoff import DepthCutoff
+from repro.harness.simtime import sim_dgemm, sim_dgefmm
+from repro.machines.paged import PagedMachineModel
+from repro.machines.presets import RS6000
+
+
+def paged(memory_words, workspace_words=0.0, fault_cost=16.0):
+    return PagedMachineModel(
+        name="pagedRS", rate=RS6000.rate,
+        a_m=RS6000.a_m, a_k=RS6000.a_k, a_n=RS6000.a_n, h=RS6000.h,
+        g=RS6000.g, g2=RS6000.g2, odd_penalty=RS6000.odd_penalty,
+        memory_words=memory_words, fault_cost=fault_cost,
+        workspace_words=workspace_words,
+    )
+
+
+class TestModel:
+    def test_in_core_identical_to_base(self):
+        m = paged(memory_words=float("inf"))
+        for dims in [(100, 100, 100), (500, 300, 700)]:
+            assert m.t_gemm(*dims) == pytest.approx(RS6000.t_gemm(*dims))
+            assert m.t_add(dims[0], dims[1]) == pytest.approx(
+                RS6000.t_add(dims[0], dims[1]))
+
+    def test_overflow_charged(self):
+        mem = 3 * 100 * 100  # exactly fits a square-100 gemm
+        m = paged(memory_words=mem)
+        assert m.t_gemm(100, 100, 100) == pytest.approx(
+            RS6000.t_gemm(100, 100, 100))
+        over = m.t_gemm(101, 101, 101)
+        base = RS6000.t_gemm(101, 101, 101)
+        expect_extra = 16.0 * (3 * 101 * 101 - mem) / RS6000.rate
+        assert over == pytest.approx(base + expect_extra)
+
+    def test_workspace_counts_against_memory(self):
+        mem = 3 * 100 * 100
+        lean = paged(memory_words=mem, workspace_words=0)
+        heavy = lean.with_workspace(2 * 100 * 100)
+        assert heavy.t_gemm(100, 100, 100) > lean.t_gemm(100, 100, 100)
+
+    def test_add_overflow(self):
+        m = paged(memory_words=100)
+        assert m.t_add(10, 10) > RS6000.t_add(10, 10)
+
+
+class TestStrassenAcrossTheMemoryBoundary:
+    def test_recursion_pays_while_in_core(self):
+        """Far below the memory limit the paged machine behaves like the
+        base RS/6000: one Strassen level wins above the cutoff."""
+        m = paged(memory_words=1e12)
+        order = 512
+        assert sim_dgefmm(m, order, order, order,
+                          cutoff=DepthCutoff(1)) < sim_dgemm(
+            m, order, order, order)
+
+    def test_recursion_acts_as_blocking_out_of_core(self):
+        """When the problem slightly exceeds memory, the monolithic
+        DGEMM's working set pages but one Strassen level's half-size
+        base kernels (plus DGEFMM's lean workspace) still fit: recursion
+        helps *more* across the boundary — recursion is blocking."""
+        order = 512
+        problem = 3 * order * order
+        mem = problem * 0.95  # the problem no longer fits whole
+        plain = paged(memory_words=mem, workspace_words=0)
+        lean_ws = (2 / 3) * order * order
+        with_ws = paged(memory_words=mem, workspace_words=lean_ws)
+        t_dgemm = sim_dgemm(plain, order, order, order)
+        t_strassen = sim_dgefmm(with_ws, order, order, order,
+                                cutoff=DepthCutoff(1))
+        # in-core ratio is ~0.95; out-of-core the gap widens
+        in_core_ratio = (
+            sim_dgefmm(paged(1e12, lean_ws), order, order, order,
+                       cutoff=DepthCutoff(1))
+            / sim_dgemm(paged(1e12), order, order, order)
+        )
+        assert t_strassen / t_dgemm < in_core_ratio
+
+    def test_leaner_schedule_pages_less(self):
+        """With tight memory, a memory-hungry schedule's co-resident
+        workspace (the textbook 13m^2/3) drives its base kernels into
+        paging while DGEFMM's 2m^2/3 still fits — the Table 1 frugality
+        argument extended across the RAM boundary."""
+        order = 512
+        mem = 400_000.0  # fits the half-size kernels + lean workspace
+        lean = paged(memory_words=mem,
+                     workspace_words=(2 / 3) * order * order)
+        hungry = paged(memory_words=mem,
+                       workspace_words=(13 / 3) * order * order)
+        t_lean = sim_dgefmm(lean, order, order, order,
+                            cutoff=DepthCutoff(1))
+        t_hungry = sim_dgefmm(hungry, order, order, order,
+                              cutoff=DepthCutoff(1))
+        assert t_lean < 0.8 * t_hungry

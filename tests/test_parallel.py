@@ -1,0 +1,108 @@
+"""Task-parallel DGEFMM (pdgefmm)."""
+
+import numpy as np
+import pytest
+
+from repro.context import ExecutionContext
+from repro.core.cutoff import NeverRecurse, SimpleCutoff
+from repro.core.dgefmm import dgefmm
+from repro.core.parallel import pdgefmm
+from repro.core.workspace import Workspace
+from repro.errors import DimensionError
+from repro.phantom import Phantom
+
+CUT = SimpleCutoff(8)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("m,k,n", [(32, 32, 32), (63, 65, 67),
+                                       (33, 9, 65), (5, 3, 4), (2, 2, 2),
+                                       (40, 40, 1)])
+    @pytest.mark.parametrize("alpha,beta", [(1.0, 0.0), (0.5, -2.0),
+                                            (1.0, 1.0)])
+    def test_matches_numpy(self, rng, m, k, n, alpha, beta):
+        a = np.asfortranarray(rng.standard_normal((m, k)))
+        b = np.asfortranarray(rng.standard_normal((k, n)))
+        c = np.asfortranarray(rng.standard_normal((m, n)))
+        expect = alpha * (a @ b) + beta * c
+        pdgefmm(a, b, c, alpha, beta, cutoff=CUT)
+        np.testing.assert_allclose(c, expect, atol=1e-9)
+
+    @pytest.mark.parametrize("workers", [1, 2, 7])
+    def test_worker_counts_agree(self, rng, workers):
+        a = np.asfortranarray(rng.standard_normal((48, 48)))
+        b = np.asfortranarray(rng.standard_normal((48, 48)))
+        c = np.zeros((48, 48), order="F")
+        pdgefmm(a, b, c, workers=workers, cutoff=CUT)
+        np.testing.assert_allclose(c, a @ b, atol=1e-10)
+
+    def test_matches_serial_dgefmm(self, rng):
+        a = np.asfortranarray(rng.standard_normal((60, 44)))
+        b = np.asfortranarray(rng.standard_normal((44, 52)))
+        c1 = np.asfortranarray(rng.standard_normal((60, 52)))
+        c2 = c1.copy(order="F")
+        dgefmm(a, b, c1, 0.5, 1.5, cutoff=CUT)
+        pdgefmm(a, b, c2, 0.5, 1.5, cutoff=CUT)
+        np.testing.assert_allclose(c1, c2, atol=1e-10)
+
+    def test_transposes(self, rng):
+        a = np.asfortranarray(rng.standard_normal((30, 20)))
+        b = np.asfortranarray(rng.standard_normal((40, 30)))
+        c = np.zeros((20, 40), order="F")
+        pdgefmm(a, b, c, transa=True, transb=True, cutoff=CUT)
+        np.testing.assert_allclose(c, a.T @ b.T, atol=1e-10)
+
+    def test_complex(self, rng):
+        a = np.asfortranarray(rng.standard_normal((24, 24))
+                              + 1j * rng.standard_normal((24, 24)))
+        b = np.asfortranarray(rng.standard_normal((24, 24))
+                              + 1j * rng.standard_normal((24, 24)))
+        c = np.zeros((24, 24), dtype=complex, order="F")
+        pdgefmm(a, b, c, cutoff=CUT)
+        np.testing.assert_allclose(c, a @ b, atol=1e-10)
+
+
+class TestStructure:
+    def test_falls_back_to_serial_below_cutoff(self, rng):
+        a = np.asfortranarray(rng.standard_normal((10, 10)))
+        b = np.asfortranarray(rng.standard_normal((10, 10)))
+        c = np.zeros((10, 10), order="F")
+        ctx = ExecutionContext()
+        pdgefmm(a, b, c, cutoff=NeverRecurse(), ctx=ctx)
+        assert ctx.kernel_calls["dgemm"] == 1  # plain base multiply
+
+    def test_instrumentation_merged_from_workers(self, rng):
+        a = np.asfortranarray(rng.standard_normal((64, 64)))
+        b = np.asfortranarray(rng.standard_normal((64, 64)))
+        c = np.zeros((64, 64), order="F")
+        ctx_p = ExecutionContext()
+        pdgefmm(a, b, c, cutoff=SimpleCutoff(16), ctx=ctx_p)
+        ctx_s = ExecutionContext()
+        dgefmm(a, b, c, cutoff=SimpleCutoff(16), ctx=ctx_s)
+        # same multiply count as serial (identical algebra)
+        assert ctx_p.mul_flops == ctx_s.mul_flops
+
+    def test_memory_trade_visible(self, rng):
+        """The parallel level holds all S/T/P blocks: more workspace
+        than the serial schedules (the documented trade)."""
+        m = 64
+        a = np.asfortranarray(rng.standard_normal((m, m)))
+        b = np.asfortranarray(rng.standard_normal((m, m)))
+        c = np.zeros((m, m), order="F")
+        ws_p = Workspace()
+        pdgefmm(a, b, c, cutoff=SimpleCutoff(16), workspace=ws_p)
+        ws_s = Workspace()
+        dgefmm(a, b, c, cutoff=SimpleCutoff(16), workspace=ws_s)
+        assert ws_p.peak_bytes > ws_s.peak_bytes
+        # first-level footprint ~ mk + kn + 7mn/4 elements
+        assert ws_p.peak_elements >= (2 + 7 / 4) * (m / 2) ** 2 * 4 * 0.9
+
+    def test_dry_mode_rejected(self):
+        ctx = ExecutionContext(dry=True)
+        with pytest.raises(DimensionError):
+            pdgefmm(Phantom(8, 8), Phantom(8, 8), Phantom(8, 8), ctx=ctx)
+
+    def test_bad_workers(self, rng):
+        a = np.zeros((4, 4), order="F")
+        with pytest.raises(DimensionError):
+            pdgefmm(a, a, a.copy(order="F"), workers=0)

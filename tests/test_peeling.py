@@ -1,0 +1,162 @@
+"""Dynamic peeling: split arithmetic and the DGER/DGEMV fix-ups (eq. 9)."""
+
+import numpy as np
+import pytest
+
+from repro.blas.level3 import dgemm
+from repro.context import ExecutionContext
+from repro.core.peeling import apply_fixups, fixup_ops, peel_split
+
+
+class TestPeelSplit:
+    @pytest.mark.parametrize("dims,expect", [
+        ((5, 7, 9), (4, 6, 8)),
+        ((4, 6, 8), (4, 6, 8)),
+        ((5, 6, 8), (4, 6, 8)),
+        ((4, 7, 8), (4, 6, 8)),
+        ((4, 6, 9), (4, 6, 8)),
+        ((1, 1, 1), (0, 0, 0)),
+    ])
+    def test_split(self, dims, expect):
+        assert peel_split(*dims) == expect
+
+
+def run_peeled(a, b, c, alpha, beta):
+    """Reference flow: core product on the even part + fix-ups."""
+    m, k = a.shape
+    n = b.shape[1]
+    mp, kp, np_ = peel_split(m, k, n)
+    ctx = ExecutionContext()
+    # core multiply with beta applied on the even block
+    dgemm(a[:mp, :kp], b[:kp, :np_], c[:mp, :np_], alpha, beta, ctx=ctx)
+    apply_fixups(a, b, c, alpha, beta, ctx=ctx)
+    return ctx
+
+
+class TestFixups:
+    @pytest.mark.parametrize("m,k,n", [
+        (5, 4, 4),   # m odd only
+        (4, 5, 4),   # k odd only
+        (4, 4, 5),   # n odd only
+        (5, 5, 4),   # m, k odd
+        (5, 4, 5),   # m, n odd
+        (4, 5, 5),   # k, n odd
+        (5, 5, 5),   # all odd (eq. 9 in full)
+        (1, 1, 1),   # pure fix-up, no core
+        (1, 6, 7),
+        (7, 1, 6),
+        (7, 6, 1),
+        (3, 9, 11),
+    ])
+    @pytest.mark.parametrize("alpha,beta", [(1.0, 0.0), (0.5, -1.5),
+                                            (1.0, 1.0)])
+    def test_equals_full_product(self, mats, m, k, n, alpha, beta):
+        a, b, c = mats(m, k, n)
+        expect = alpha * (a @ b) + beta * c
+        run_peeled(a, b, c, alpha, beta)
+        np.testing.assert_allclose(c, expect, atol=1e-11)
+
+    def test_kernels_used(self, mats):
+        """All-odd fix-up = exactly one DGER + two DGEMVs (Section 3.3)."""
+        a, b, c = mats(5, 5, 5)
+        ctx = run_peeled(a, b, c, 1.0, 0.0)
+        assert ctx.kernel_calls["dger"] == 1
+        assert ctx.kernel_calls["dgemv"] == 2
+
+    def test_k_odd_only_is_one_dger(self, mats):
+        a, b, c = mats(4, 5, 4)
+        ctx = run_peeled(a, b, c, 1.0, 0.0)
+        assert ctx.kernel_calls["dger"] == 1
+        assert ctx.kernel_calls["dgemv"] == 0
+
+    def test_even_dims_no_fixup(self, mats):
+        a, b, c = mats(4, 4, 4)
+        ctx = run_peeled(a, b, c, 1.0, 0.0)
+        assert ctx.kernel_calls["dger"] == 0
+        assert ctx.kernel_calls["dgemv"] == 0
+
+    def test_beta_applied_to_peeled_row_and_column(self, mats):
+        """The fix-up DGEMVs carry the beta scaling of the strips."""
+        a, b, c = mats(5, 4, 5)
+        c0 = c.copy()
+        run_peeled(a, b, c, 0.0, 2.0)  # alpha = 0: pure scaling
+        np.testing.assert_allclose(c, 2.0 * c0, atol=1e-12)
+
+
+class TestFixupOps:
+    def test_all_even_is_zero(self):
+        assert fixup_ops(4, 6, 8) == 0.0
+
+    def test_all_odd(self):
+        m, k, n = 5, 7, 9
+        expect = 2 * 4 * 8 + 2 * 4 * 7 + 2 * 9 * 7
+        assert fixup_ops(m, k, n) == expect
+
+    def test_single_odd_terms(self):
+        assert fixup_ops(4, 5, 4) == 2 * 4 * 4       # DGER only
+        assert fixup_ops(4, 4, 5) == 2 * 4 * 4       # column DGEMV
+        assert fixup_ops(5, 4, 4) == 2 * 4 * 4       # row DGEMV
+
+
+class TestHeadPeeling:
+    """Alternate peeling technique (paper future work): strip the first
+    row/column instead of the last."""
+
+    @pytest.mark.parametrize("m,k,n", [
+        (5, 4, 4), (4, 5, 4), (4, 4, 5), (5, 5, 5), (1, 1, 1),
+        (3, 9, 11), (7, 1, 6),
+    ])
+    @pytest.mark.parametrize("alpha,beta", [(1.0, 0.0), (0.5, -1.5)])
+    def test_head_equals_full_product(self, mats, m, k, n, alpha, beta):
+        from repro.core.peeling import apply_fixups_head, core_views
+
+        a, b, c = mats(m, k, n)
+        expect = alpha * (a @ b) + beta * c
+        ctx = ExecutionContext()
+        ca, cb, cc = core_views(a, b, c, "head")
+        dgemm(ca, cb, cc, alpha, beta, ctx=ctx)
+        apply_fixups_head(a, b, c, alpha, beta, ctx=ctx)
+        np.testing.assert_allclose(c, expect, atol=1e-11)
+
+    def test_head_and_tail_same_kernel_costs(self, mats):
+        """Symmetric by construction: identical charge profile."""
+        from repro.core.dgefmm import dgefmm
+        from repro.core.cutoff import SimpleCutoff
+
+        costs = {}
+        for side in ("tail", "head"):
+            a, b, c = mats(65, 65, 65)
+            ctx = ExecutionContext()
+            dgefmm(a, b, c, cutoff=SimpleCutoff(16), peel=side, ctx=ctx)
+            costs[side] = (ctx.flops, dict(ctx.kernel_calls))
+        assert costs["tail"] == costs["head"]
+
+    def test_head_matches_tail_numerically(self, mats):
+        from repro.core.dgefmm import dgefmm
+        from repro.core.cutoff import SimpleCutoff
+
+        a, b, c1 = mats(33, 47, 29)
+        c2 = c1.copy(order="F")
+        dgefmm(a, b, c1, 0.5, 1.5, cutoff=SimpleCutoff(8), peel="tail")
+        dgefmm(a, b, c2, 0.5, 1.5, cutoff=SimpleCutoff(8), peel="head")
+        np.testing.assert_allclose(c1, c2, atol=1e-10)
+
+    def test_bad_side_rejected(self, mats):
+        from repro.core.dgefmm import dgefmm
+        from repro.errors import ArgumentError
+
+        a, b, c = mats(4, 4, 4)
+        with pytest.raises(ArgumentError):
+            dgefmm(a, b, c, peel="middle")
+
+    def test_core_views_shapes(self, mats):
+        from repro.core.peeling import core_views
+
+        a, b, c = mats(5, 7, 9)
+        for side in ("tail", "head"):
+            ca, cb, cc = core_views(a, b, c, side)
+            assert ca.shape == (4, 6)
+            assert cb.shape == (6, 8)
+            assert cc.shape == (4, 8)
+        with pytest.raises(ValueError):
+            core_views(a, b, c, "diagonal")

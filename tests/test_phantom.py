@@ -1,0 +1,111 @@
+"""Phantom array semantics (shape-only stand-ins for dry runs)."""
+
+import numpy as np
+import pytest
+
+from repro.phantom import Phantom, is_phantom, like, shape_of
+
+
+class TestConstruction:
+    def test_basic_shape(self):
+        p = Phantom(3, 4)
+        assert p.shape == (3, 4)
+        assert p.ndim == 2
+        assert p.size == 12
+
+    def test_tuple_shape(self):
+        assert Phantom((5, 6)).shape == (5, 6)
+
+    def test_zero_dims_allowed(self):
+        assert Phantom(0, 7).size == 0
+
+    def test_negative_dim_rejected(self):
+        with pytest.raises(ValueError):
+            Phantom(-1, 3)
+
+    def test_dtype_is_float64(self):
+        assert Phantom(2, 2).dtype == np.float64
+
+    def test_1d(self):
+        p = Phantom(9)
+        assert p.shape == (9,)
+        assert p.ndim == 1
+
+
+class TestSlicing:
+    def test_2d_slice(self):
+        p = Phantom(10, 8)
+        assert p[2:7, 1:4].shape == (5, 3)
+
+    def test_open_slices(self):
+        p = Phantom(10, 8)
+        assert p[:, :4].shape == (10, 4)
+        assert p[5:, :].shape == (5, 8)
+
+    def test_slice_matches_numpy(self):
+        a = np.zeros((11, 7))
+        p = Phantom(11, 7)
+        for sl in [
+            (slice(0, 5), slice(2, None)),
+            (slice(None), slice(None, 3)),
+            (slice(4, 4), slice(None)),
+            (slice(None, None, 2), slice(1, 7, 3)),
+        ]:
+            assert p[sl].shape == a[sl].shape
+
+    def test_int_index_drops_dim(self):
+        p = Phantom(10, 8)
+        assert p[3, :].shape == (8,)
+        assert p[:, 7].shape == (10,)
+
+    def test_negative_int_index(self):
+        assert Phantom(10, 8)[-1, :].shape == (8,)
+
+    def test_int_out_of_range(self):
+        with pytest.raises(IndexError):
+            Phantom(4, 4)[4, :]
+
+    def test_too_many_indices(self):
+        with pytest.raises(IndexError):
+            Phantom(4, 4)[1:2, 1:2, 1:2]
+
+    def test_negative_step_rejected(self):
+        with pytest.raises(IndexError):
+            Phantom(4, 4)[::-1, :]
+
+
+class TestOps:
+    def test_transpose(self):
+        assert Phantom(3, 5).T.shape == (5, 3)
+
+    def test_reshape(self):
+        assert Phantom(4, 6).reshape(8, 3).shape == (8, 3)
+
+    def test_reshape_bad_size(self):
+        with pytest.raises(ValueError):
+            Phantom(4, 6).reshape(5, 5)
+
+    @pytest.mark.parametrize("op", ["__add__", "__mul__", "__matmul__",
+                                    "__sub__", "__truediv__"])
+    def test_arithmetic_refused(self, op):
+        p = Phantom(2, 2)
+        with pytest.raises(TypeError):
+            getattr(p, op)(p)
+
+
+class TestHelpers:
+    def test_is_phantom(self):
+        assert is_phantom(Phantom(1, 1))
+        assert not is_phantom(np.zeros((1, 1)))
+
+    def test_shape_of(self):
+        assert shape_of(Phantom(2, 3)) == (2, 3)
+        assert shape_of(np.zeros((4, 5))) == (4, 5)
+
+    def test_like_phantom(self):
+        assert is_phantom(like(Phantom(1, 1), 6, 7))
+
+    def test_like_numpy_is_fortran(self):
+        out = like(np.zeros((1, 1)), 6, 7)
+        assert out.shape == (6, 7)
+        assert out.flags.f_contiguous

@@ -1,0 +1,148 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+These complement the example-based suites: hypothesis searches the shape/
+scalar/transpose space for violations of the DGEMM contract, of the
+peeling/padding equivalences, and of the accounting invariants.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.blas.addsub import axpby
+from repro.blas.level3 import dgemm
+from repro.comparators import cray_sgemms, dgemmw
+from repro.context import ExecutionContext
+from repro.core.cutoff import DepthCutoff, SimpleCutoff
+from repro.core.dgefmm import dgefmm
+from repro.core.opcount import standard_ops, strassen_ops
+from repro.core.workspace import Workspace
+from repro.phantom import Phantom
+
+dims = st.integers(min_value=1, max_value=48)
+scalars = st.sampled_from([0.0, 1.0, -1.0, 0.5, -2.0, 1.0 / 3.0])
+schemes = st.sampled_from(["auto", "strassen1", "strassen2",
+                           "strassen1_general", "textbook"])
+
+
+def make_abc(m, k, n, seed, ta=False, tb=False):
+    rng = np.random.default_rng(seed)
+    a = np.asfortranarray(rng.uniform(-1, 1, ((k, m) if ta else (m, k))))
+    b = np.asfortranarray(rng.uniform(-1, 1, ((n, k) if tb else (k, n))))
+    c = np.asfortranarray(rng.uniform(-1, 1, (m, n)))
+    return a, b, c
+
+
+class TestDgefmmContract:
+    @given(m=dims, k=dims, n=dims, alpha=scalars, beta=scalars,
+           scheme=schemes, seed=st.integers(0, 2**31))
+    @settings(max_examples=120, deadline=None)
+    def test_matches_numpy(self, m, k, n, alpha, beta, scheme, seed):
+        a, b, c = make_abc(m, k, n, seed)
+        expect = alpha * (a @ b) + beta * c
+        dgefmm(a, b, c, alpha, beta, scheme=scheme, cutoff=SimpleCutoff(6))
+        np.testing.assert_allclose(c, expect, atol=1e-9)
+
+    @given(m=dims, k=dims, n=dims, ta=st.booleans(), tb=st.booleans(),
+           seed=st.integers(0, 2**31))
+    @settings(max_examples=60, deadline=None)
+    def test_transpose_flags(self, m, k, n, ta, tb, seed):
+        a, b, c = make_abc(m, k, n, seed, ta, tb)
+        opa = a.T if ta else a
+        opb = b.T if tb else b
+        expect = opa @ opb
+        dgefmm(a, b, c, 1.0, 0.0, ta, tb, cutoff=SimpleCutoff(6))
+        np.testing.assert_allclose(c, expect, atol=1e-9)
+
+    @given(m=dims, k=dims, n=dims, seed=st.integers(0, 2**31))
+    @settings(max_examples=40, deadline=None)
+    def test_agrees_with_dgemm_bitwise_structure(self, m, k, n, seed):
+        """DGEFMM and DGEMM compute the same function to fp tolerance for
+        arbitrary shapes (the drop-in replacement claim)."""
+        a, b, c1 = make_abc(m, k, n, seed)
+        c2 = c1.copy(order="F")
+        dgefmm(a, b, c1, 0.5, 0.5, cutoff=SimpleCutoff(6))
+        dgemm(a, b, c2, 0.5, 0.5)
+        np.testing.assert_allclose(c1, c2, atol=1e-9)
+
+
+class TestComparatorsAgree:
+    @given(m=dims, k=dims, n=dims, alpha=scalars, beta=scalars,
+           seed=st.integers(0, 2**31))
+    @settings(max_examples=60, deadline=None)
+    def test_dgemmw_equals_dgefmm(self, m, k, n, alpha, beta, seed):
+        """Padding-based and peeling-based codes compute the same GEMM."""
+        a, b, c1 = make_abc(m, k, n, seed)
+        c2 = c1.copy(order="F")
+        dgefmm(a, b, c1, alpha, beta, cutoff=SimpleCutoff(6))
+        dgemmw(a, b, c2, alpha, beta, cutoff=SimpleCutoff(6))
+        np.testing.assert_allclose(c1, c2, atol=1e-9)
+
+    @given(m=dims, k=dims, n=dims, seed=st.integers(0, 2**31))
+    @settings(max_examples=40, deadline=None)
+    def test_cray_equals_dgefmm(self, m, k, n, seed):
+        a, b, c1 = make_abc(m, k, n, seed)
+        c2 = c1.copy(order="F")
+        dgefmm(a, b, c1, 1.0, 0.0, cutoff=SimpleCutoff(6))
+        cray_sgemms(a, b, c2, 1.0, 0.0, cutoff=SimpleCutoff(6))
+        np.testing.assert_allclose(c1, c2, atol=1e-9)
+
+
+class TestAccountingInvariants:
+    @given(m=dims, k=dims, n=dims, beta=scalars,
+           depth=st.integers(0, 3))
+    @settings(max_examples=60, deadline=None)
+    def test_workspace_always_balances(self, m, k, n, beta, depth):
+        """Live bytes return to zero after any call (no leaks), and the
+        peak never exceeds the paper's (mk+kn+mn)/3 + slack bound for the
+        auto scheme."""
+        ws = Workspace(dry=True)
+        ctx = ExecutionContext(dry=True)
+        dgefmm(Phantom(m, k), Phantom(k, n), Phantom(m, n), 1.0, beta,
+               cutoff=DepthCutoff(depth), ctx=ctx, workspace=ws)
+        assert ws.live_bytes == 0
+        bound = (m * k + k * n + m * n) / 3 + (m + k + n) * 3 + 16
+        assert ws.peak_elements <= bound
+
+    @given(m=dims, k=dims, n=dims, depth=st.integers(0, 3))
+    @settings(max_examples=60, deadline=None)
+    def test_flop_accounting_consistency(self, m, k, n, depth):
+        """Charged multiply flops never exceed the standard algorithm's
+        (Strassen strictly reduces multiplies) and total base-multiply
+        charges follow the 7^d structure on even problems."""
+        ctx = ExecutionContext(dry=True)
+        dgefmm(Phantom(m, k), Phantom(k, n), Phantom(m, n), 1.0, 0.0,
+               cutoff=DepthCutoff(depth), ctx=ctx)
+        assert ctx.mul_flops <= m * k * n + 1e-9
+
+    @given(m=st.integers(1, 40), k=st.integers(1, 40), n=st.integers(1, 40))
+    @settings(max_examples=80, deadline=None)
+    def test_opcount_recursion_never_worse_than_chosen(self, m, k, n):
+        """The theoretical criterion (7) only recurses when it pays."""
+        assert strassen_ops(m, k, n) <= standard_ops(m, k, n) + 1e-9
+
+
+class TestAxpbyAlgebra:
+    @given(alpha=scalars, beta=scalars, seed=st.integers(0, 2**31))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_formula(self, alpha, beta, seed):
+        rng = np.random.default_rng(seed)
+        x = np.asfortranarray(rng.uniform(-1, 1, (5, 7)))
+        y = np.asfortranarray(rng.uniform(-1, 1, (5, 7)))
+        expect = alpha * x + beta * y
+        axpby(alpha, x, beta, y)
+        np.testing.assert_allclose(y, expect, atol=1e-14)
+
+
+class TestPhantomSliceModel:
+    @given(
+        m=st.integers(1, 30), n=st.integers(1, 30),
+        i0=st.integers(0, 30), i1=st.integers(0, 30),
+        j0=st.integers(0, 30), j1=st.integers(0, 30),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_matches_numpy_slicing(self, m, n, i0, i1, j0, j1):
+        a = np.zeros((m, n))
+        p = Phantom(m, n)
+        assert p[i0:i1, j0:j1].shape == a[i0:i1, j0:j1].shape

@@ -1,0 +1,91 @@
+"""Closed-form recursion analytics vs instrumented execution."""
+
+import numpy as np
+import pytest
+
+from repro.context import ExecutionContext
+from repro.core.cutoff import (
+    AlwaysRecurse,
+    DepthCutoff,
+    NeverRecurse,
+    SimpleCutoff,
+)
+from repro.core.dgefmm import dgefmm
+from repro.core.recursion import (
+    base_multiplies,
+    multiply_fraction,
+    recursion_profile,
+)
+from repro.phantom import Phantom
+from repro.utils.trace import trace_summary
+
+
+def run_traced(m, k, n, cutoff):
+    ctx = ExecutionContext(dry=True, trace=True)
+    dgefmm(Phantom(m, k), Phantom(k, n), Phantom(m, n),
+           cutoff=cutoff, ctx=ctx)
+    return ctx
+
+
+class TestAgainstExecution:
+    @pytest.mark.parametrize("m,k,n,tau", [
+        (256, 256, 256, 64),
+        (200, 120, 300, 48),
+        (255, 129, 511, 64),     # odd sizes: peeling at several levels
+        (64, 64, 64, 100),       # immediate base
+        (100, 7, 300, 16),
+    ])
+    def test_profile_matches_trace(self, m, k, n, tau):
+        crit = SimpleCutoff(tau)
+        prof = recursion_profile(m, k, n, crit)
+        ctx = run_traced(m, k, n, SimpleCutoff(tau))
+        s = trace_summary(ctx.events)
+        assert prof["base"] == s["base"]
+        assert prof["recurse"] == s["recurse"]
+        assert prof["peel"] == s["peel"]
+        assert prof["base"] == ctx.kernel_calls["dgemm"]
+
+    def test_base_shapes_match(self):
+        crit = SimpleCutoff(64)
+        prof = recursion_profile(256, 256, 256, crit)
+        ctx = run_traced(256, 256, 256, SimpleCutoff(64))
+        s = trace_summary(ctx.events)
+        assert prof["base_shapes"] == dict(s["base_shapes"])
+
+    def test_even_mul_flops_match_context(self):
+        """No peeling: the predicted base multiplies are the charged
+        multiply flops exactly."""
+        crit = SimpleCutoff(32)
+        prof = recursion_profile(128, 128, 128, crit)
+        ctx = run_traced(128, 128, 128, SimpleCutoff(32))
+        assert prof["mul_flops"] == ctx.mul_flops
+
+
+class TestClosedForms:
+    def test_seven_power_structure(self):
+        for d in range(4):
+            crit = DepthCutoff(d)
+            assert base_multiplies(256, 256, 256, crit) == 7**d
+
+    def test_multiply_fraction_seven_eighths_per_level(self):
+        for d in range(4):
+            frac = multiply_fraction(256, 256, 256, DepthCutoff(d))
+            assert frac == pytest.approx((7 / 8) ** d)
+
+    def test_never_recurse(self):
+        prof = recursion_profile(100, 100, 100, NeverRecurse())
+        assert prof == {
+            "recurse": 0, "base": 1, "peel": 0, "max_depth": 0,
+            "mul_flops": 1e6, "base_shapes": {(100, 100, 100): 1},
+        }
+
+    def test_full_recursion_bottoms_out(self):
+        prof = recursion_profile(16, 16, 16, AlwaysRecurse())
+        # 16 -> 8 -> 4 -> 2 -> 1 (stops at dims < 2): depth 4
+        assert prof["max_depth"] == 4
+        assert prof["base"] == 7**4
+        assert set(prof["base_shapes"]) == {(1, 1, 1)}
+
+    def test_degenerate_dims(self):
+        assert recursion_profile(0, 5, 5)["base"] == 0
+        assert multiply_fraction(0, 5, 5) == 1.0

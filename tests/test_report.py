@@ -1,0 +1,73 @@
+"""Report rendering: every exhibit produces well-formed output."""
+
+import pytest
+
+from repro.harness.report import EXHIBITS, render
+
+
+class TestLightExhibits:
+    """Cheap exhibits, rendered fully and checked for content."""
+
+    def test_section2(self):
+        out = render(only="section2")
+        assert "theoretical square cutoff: 12 (paper 12)" in out
+        assert "0.382" in out
+
+    def test_table1(self):
+        out = render(only="table1")
+        assert "DGEFMM" in out and "STRASSEN2" in out
+        assert "0.66" in out or "0.667" in out
+
+    def test_fig2(self):
+        out = render(only="fig2")
+        assert "first win" in out and "recommended tau=" in out
+        # the inline series must include ratio points
+        assert ":" in out
+
+    def test_table2(self):
+        out = render(only="table2")
+        for name in ("RS6000", "C90", "T3D"):
+            assert name in out
+
+    def test_table3(self):
+        out = render(only="table3")
+        assert "tau_m" in out
+        assert "(75, 125, 95)" in out
+
+    def test_table5(self):
+        out = render(only="table5")
+        assert "1/3" in out or "recs" in out
+        assert "paper ratio" in out
+
+    def test_timing_footer(self):
+        out = render(only="section2")
+        assert "[section2:" in out
+
+
+class TestHeavyExhibits:
+    """Simulation-sweep exhibits (a few seconds each at fast settings)."""
+
+    def test_table4(self):
+        out = render(only="table4")
+        assert "(15)/(11)" in out
+        assert "quartiles" in out
+
+    def test_fig6(self):
+        out = render(only="fig6")
+        assert "rectangular" in out
+        assert "average" in out
+
+    def test_table6(self):
+        out = render(only="table6")
+        assert "MM time" in out
+        assert "MM-time ratio" in out
+
+
+class TestRenderAll:
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            render(only="table7")
+
+    def test_exhibit_functions_callable(self):
+        for key, fn in EXHIBITS.items():
+            assert callable(fn), key

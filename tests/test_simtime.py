@@ -1,0 +1,81 @@
+"""Simulated-timing wrappers (harness.simtime)."""
+
+import pytest
+
+from repro.core.cutoff import HybridCutoff, NeverRecurse, SimpleCutoff
+from repro.harness.simtime import (
+    paper_hybrid_cutoff,
+    paper_simple_cutoff,
+    sim_cray,
+    sim_dgefmm,
+    sim_dgemm,
+    sim_dgemmw,
+    sim_essl,
+)
+from repro.machines.presets import C90, RS6000, T3D, VENDOR_GAIN
+
+
+class TestCutoffBuilders:
+    def test_hybrid_params_from_tables(self):
+        c = paper_hybrid_cutoff("RS6000")
+        assert c == HybridCutoff(199, 75, 125, 95)
+        c = paper_hybrid_cutoff("T3D")
+        assert c == HybridCutoff(325, 125, 75, 109)
+
+    def test_simple_from_table2(self):
+        assert paper_simple_cutoff("C90") == SimpleCutoff(129)
+
+    def test_unknown_machine(self):
+        with pytest.raises(KeyError):
+            paper_hybrid_cutoff("VAX")
+
+
+class TestSimWrappers:
+    def test_all_positive(self):
+        for fn in (sim_dgemm,):
+            assert fn(RS6000, 100, 100, 100) > 0
+        for fn in (sim_dgefmm, sim_dgemmw, sim_essl, sim_cray):
+            assert fn(RS6000, 100, 100, 100) > 0
+
+    def test_dgemm_scales_cubically(self):
+        t1 = sim_dgemm(RS6000, 200, 200, 200)
+        t2 = sim_dgemm(RS6000, 400, 400, 400)
+        assert 7.0 < t2 / t1 < 9.0  # ~8x plus overhead terms
+
+    def test_machine_ordering_by_rate(self):
+        """The C90 is far faster than the other two in absolute terms."""
+        for m in (256, 512):
+            assert sim_dgemm(C90, m, m, m) < sim_dgemm(RS6000, m, m, m)
+            assert sim_dgemm(C90, m, m, m) < sim_dgemm(T3D, m, m, m)
+
+    def test_tuned_machine_accepted_by_vendor_sims(self):
+        tuned = RS6000.tuned(VENDOR_GAIN["RS6000"])
+        t = sim_essl(tuned, 512, 512, 512)
+        assert t < sim_essl(RS6000, 512, 512, 512)
+
+    def test_vendor_default_cutoff_resolves_through_tuned_name(self):
+        """`RS6000(gain=0.93)` must still map onto RS6000's cutoffs."""
+        tuned = RS6000.tuned(0.93)
+        # would raise KeyError if the name mangling leaked through
+        assert sim_cray(tuned, 300, 300, 300) > 0
+
+    def test_dgefmm_cutoff_override(self):
+        m = 1024
+        t_rec = sim_dgefmm(RS6000, m, m, m)
+        t_none = sim_dgefmm(RS6000, m, m, m, cutoff=NeverRecurse())
+        assert t_rec < t_none
+
+    def test_general_case_costs_more_for_buffer_codes(self):
+        """ESSL/DGEMMW pay an extra pass when beta != 0."""
+        m = 768
+        assert sim_essl(RS6000, m, m, m, 0.5, 0.5) > sim_essl(
+            RS6000, m, m, m, 1.0, 0.0)
+        assert sim_dgemmw(RS6000, m, m, m, 0.5, 0.5) > sim_dgemmw(
+            RS6000, m, m, m, 1.0, 0.0)
+
+    def test_dgefmm_general_case_nearly_free(self):
+        """STRASSEN2 handles beta != 0 without a product buffer."""
+        m = 768
+        t0 = sim_dgefmm(RS6000, m, m, m, 1.0, 0.0)
+        t1 = sim_dgefmm(RS6000, m, m, m, 0.5, 0.5)
+        assert t1 / t0 < 1.02

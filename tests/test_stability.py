@@ -1,0 +1,103 @@
+"""Stability bounds and empirical error growth (Brent/Higham, Section 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.cutoff import DepthCutoff, SimpleCutoff
+from repro.core.dgefmm import dgefmm
+from repro.core.stability import (
+    UNIT_ROUNDOFF,
+    measure_error,
+    normwise_bound,
+    standard_growth,
+    strassen_growth,
+    winograd_growth,
+)
+
+
+class TestGrowthFactors:
+    def test_depth_zero_reduces_to_quadratic(self):
+        # f(0, m0) = m0^2 + 5 m0 - 5 (Strassen), m0^2 + 6 m0 - 6 (Winograd)
+        assert strassen_growth(0, 8) == 8**2 + 5 * 8 - 5
+        assert winograd_growth(0, 8) == 8**2 + 6 * 8 - 6
+
+    def test_monotone_in_depth(self):
+        for d in range(5):
+            assert strassen_growth(d + 1, 8) > strassen_growth(d, 8)
+            assert winograd_growth(d + 1, 8) > winograd_growth(d, 8)
+
+    def test_winograd_grows_faster_than_strassen(self):
+        """The variant's longer chains: base 18 vs 12 per level."""
+        assert winograd_growth(4, 8) > strassen_growth(4, 8)
+
+    def test_earlier_cutoff_smaller_growth(self):
+        """Fixed total order: larger base blocks = fewer levels = better
+        stability (the quiet second benefit of cutoffs)."""
+        # order 1024 = 2^7 * 8 = 2^5 * 32
+        assert winograd_growth(5, 32) < winograd_growth(7, 8)
+
+    def test_polynomial_not_exponential_in_m(self):
+        """Growth for full recursion on order m is O(m^lg 18) ~ m^4.17 —
+        polynomial, the core of the 'stable enough' verdict."""
+        f1 = winograd_growth(10, 1)
+        f2 = winograd_growth(11, 1)   # doubled order
+        assert f2 / f1 < 2**4.2
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            strassen_growth(-1, 8)
+        with pytest.raises(ValueError):
+            winograd_growth(2, 0)
+
+    def test_standard_growth(self):
+        assert standard_growth(100) == 100.0
+
+
+class TestEmpiricalError:
+    @pytest.mark.parametrize("depth", [0, 1, 2, 3])
+    def test_error_within_normwise_bound(self, depth):
+        m = 128
+
+        def mult(a, b, c):
+            dgefmm(a, b, c, cutoff=DepthCutoff(depth))
+
+        err, denom = measure_error(mult, m, seed=depth)
+        m0 = m >> depth
+        bound = winograd_growth(depth, m0) * UNIT_ROUNDOFF * denom
+        assert err <= bound
+
+    def test_error_grows_gently_with_depth(self):
+        """Measured error rises with recursion depth but stays tiny —
+        the practical upshot of the stability analyses."""
+        m = 128
+        errs = []
+        for depth in range(4):
+            def mult(a, b, c, d=depth):
+                dgefmm(a, b, c, cutoff=DepthCutoff(d))
+            err, denom = measure_error(mult, m, seed=7)
+            errs.append(err / (UNIT_ROUNDOFF * denom))
+        # deepest recursion within ~64x of the standard algorithm's error
+        assert errs[3] / max(errs[0], 1.0) < 64
+        # and absolutely tiny: < 1e-11 on unit-scaled data
+        assert errs[3] * UNIT_ROUNDOFF < 1e-11
+
+    def test_bound_helper(self, rng):
+        a = np.asfortranarray(rng.uniform(-1, 1, (64, 64)))
+        b = np.asfortranarray(rng.uniform(-1, 1, (64, 64)))
+        bd = normwise_bound(a, b, 2, 16)
+        assert bd == pytest.approx(
+            winograd_growth(2, 16) * UNIT_ROUNDOFF
+            * np.max(np.abs(a)) * np.max(np.abs(b))
+        )
+
+    def test_strassen_original_also_bounded(self):
+        from repro.comparators import cray_sgemms
+
+        m, depth = 128, 2
+
+        def mult(a, b, c):
+            cray_sgemms(a, b, c, cutoff=SimpleCutoff(m >> depth))
+
+        err, denom = measure_error(mult, m, seed=3)
+        bound = strassen_growth(depth, m >> depth) * UNIT_ROUNDOFF * denom
+        assert err <= bound

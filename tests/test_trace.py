@@ -1,0 +1,72 @@
+"""Recursion-trace rendering and summary."""
+
+import numpy as np
+
+from repro.context import ExecutionContext, RecursionEvent
+from repro.core.cutoff import SimpleCutoff
+from repro.core.dgefmm import dgefmm
+from repro.utils.trace import render_trace, trace_summary
+
+
+def traced_multiply(m, cutoff_tau=128):
+    rng = np.random.default_rng(0)
+    a = np.asfortranarray(rng.standard_normal((m, m)))
+    b = np.asfortranarray(rng.standard_normal((m, m)))
+    c = np.zeros((m, m), order="F")
+    ctx = ExecutionContext(trace=True)
+    dgefmm(a, b, c, cutoff=SimpleCutoff(cutoff_tau), ctx=ctx)
+    return ctx.events
+
+
+class TestRenderTrace:
+    def test_coalesces_siblings(self):
+        events = traced_multiply(200)
+        out = render_trace(events)
+        assert "recurse 200x200x200 [s1b0]" in out
+        assert "base 100x100x100  x7" in out
+        assert len(out.splitlines()) == 2
+
+    def test_indentation_by_depth(self):
+        events = traced_multiply(400)  # two levels with tau=96
+        out = render_trace(events)
+        lines = out.splitlines()
+        assert lines[0].startswith("recurse 400")
+        assert any(line.startswith("  recurse 200") for line in lines)
+        assert any(line.startswith("    base 100") for line in lines)
+
+    def test_empty(self):
+        assert render_trace([]) == ""
+
+    def test_peel_events_shown(self):
+        events = traced_multiply(201)
+        out = render_trace(events)
+        assert "peel 201x201x201" in out
+
+
+class TestTraceSummary:
+    def test_counts(self):
+        events = traced_multiply(400)
+        s = trace_summary(events)
+        assert s["recurse"] == 1 + 7     # top + 7 children
+        assert s["base"] == 49
+        assert s["max_depth"] == 2       # base events sit at depth 2
+        assert s["base_shapes"][(100, 100, 100)] == 49
+
+    def test_peel_counted(self):
+        events = traced_multiply(201)
+        s = trace_summary(events)
+        assert s["peel"] >= 1
+
+    def test_empty(self):
+        s = trace_summary([])
+        assert s["recurse"] == 0 and s["max_depth"] == 0
+
+    def test_manual_events(self):
+        evs = [
+            RecursionEvent("recurse", 8, 8, 8, 0, "s2"),
+            RecursionEvent("base", 4, 4, 4, 1),
+            RecursionEvent("base", 4, 4, 4, 1),
+        ]
+        out = render_trace(evs)
+        assert "[s2]" in out
+        assert "x2" in out

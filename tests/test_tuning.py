@@ -1,0 +1,44 @@
+"""The closed Section 3.4 loop: measure -> criterion -> evaluate."""
+
+import pytest
+
+from repro.harness.simtime import paper_hybrid_cutoff, sim_dgefmm
+from repro.harness.tuning import tune_hybrid_cutoff
+from repro.machines.presets import C90, RS6000, T3D
+
+
+class TestTuneHybrid:
+    @pytest.mark.parametrize("mach,fixed,paper", [
+        (RS6000, 2000, (199, (75, 125, 95))),
+        (C90, 2000, (129, (80, 45, 20))),
+        (T3D, 1500, (325, (125, 75, 109))),
+    ])
+    def test_recovers_paper_parameters(self, mach, fixed, paper):
+        tau_p, rect_p = paper
+        d = tune_hybrid_cutoff(mach, fixed=fixed)
+        assert abs(d["tau"] - tau_p) <= 6
+        for got, want in zip(d["rect"], rect_p):
+            assert abs(got - want) <= 8
+        first, always = d["band"]
+        assert first < d["tau"] < always
+
+    def test_tuned_criterion_performs_like_papers(self):
+        """DGEFMM timed with the freshly tuned criterion matches DGEFMM
+        with the paper's published parameters to within 2% across a
+        shape sweep — the loop closes."""
+        mach = RS6000
+        tuned = tune_hybrid_cutoff(mach)["criterion"]
+        paper = paper_hybrid_cutoff("RS6000")
+        shapes = [(512, 512, 512), (1024, 1024, 1024), (160, 1957, 957),
+                  (90, 1500, 1500), (2000, 100, 2000), (333, 777, 555)]
+        for dims in shapes:
+            t_tuned = sim_dgefmm(mach, *dims, cutoff=tuned)
+            t_paper = sim_dgefmm(mach, *dims, cutoff=paper)
+            assert t_tuned == pytest.approx(t_paper, rel=0.02)
+
+    def test_criterion_type(self):
+        from repro.core.cutoff import HybridCutoff
+
+        d = tune_hybrid_cutoff(C90)
+        assert isinstance(d["criterion"], HybridCutoff)
+        assert d["criterion"].tau == d["tau"]

@@ -1,0 +1,67 @@
+"""Utility modules: matrix generators, timing, table formatting."""
+
+import numpy as np
+import pytest
+
+from repro.utils.matrixgen import random_matrix, random_spectrum, random_symmetric
+from repro.utils.tables import format_table
+from repro.utils.timing import time_call
+
+
+class TestMatrixGen:
+    def test_random_matrix_properties(self):
+        a = random_matrix(7, 9, seed=1)
+        assert a.shape == (7, 9)
+        assert a.flags.f_contiguous
+        assert np.all(np.abs(a) <= 1.0)
+
+    def test_deterministic(self):
+        np.testing.assert_array_equal(
+            random_matrix(5, 5, seed=3), random_matrix(5, 5, seed=3))
+        assert not np.array_equal(
+            random_matrix(5, 5, seed=3), random_matrix(5, 5, seed=4))
+
+    def test_symmetric(self):
+        a = random_symmetric(12, seed=2)
+        np.testing.assert_array_equal(a, a.T)
+
+    def test_spectrum_exact(self):
+        vals = [1.0, 2.0, 5.0, -3.0]
+        a = random_spectrum(vals, seed=5)
+        np.testing.assert_allclose(
+            np.linalg.eigvalsh(a), sorted(vals), atol=1e-12)
+
+    def test_spectrum_jitter(self):
+        a = random_spectrum([1.0] * 6, seed=6, jitter=0.1)
+        w = np.linalg.eigvalsh(a)
+        assert np.all(np.abs(w - 1.0) <= 0.1 + 1e-12)
+        assert np.std(w) > 0
+
+
+class TestTimeCall:
+    def test_counts_calls(self):
+        calls = []
+        med, best = time_call(lambda: calls.append(1), repeats=3, warmup=2)
+        assert len(calls) == 5
+        assert best <= med
+        assert best >= 0.0
+
+
+class TestFormatTable:
+    def test_column_alignment(self):
+        out = format_table(["col", "x"], [["a", 1], ["long-cell", 22]])
+        lines = out.splitlines()
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1  # all lines equal width
+
+    def test_float_formatting(self):
+        out = format_table(["v"], [[0.123456789]])
+        assert "0.1235" in out
+
+    def test_empty_rows(self):
+        out = format_table(["a", "b"], [])
+        assert len(out.splitlines()) == 2
+
+    def test_wide_value_expands_column(self):
+        out = format_table(["a"], [["xxxxxxxxxxxx"]])
+        assert "xxxxxxxxxxxx" in out.splitlines()[2]

@@ -1,0 +1,111 @@
+"""The Winograd/Strassen stage equations (Section 2), verified in full."""
+
+import numpy as np
+import pytest
+
+from repro.core.winograd import (
+    STRASSEN_ADDS,
+    STRASSEN_MULTIPLIES,
+    WINOGRAD_ADDS,
+    WINOGRAD_MULTIPLIES,
+    join_blocks,
+    split_blocks,
+    strassen_original_multiply,
+    strassen_original_stages,
+    winograd_multiply,
+    winograd_stages,
+)
+
+
+@pytest.fixture
+def ab(rng):
+    a = rng.standard_normal((8, 6))
+    b = rng.standard_normal((6, 10))
+    return a, b
+
+
+class TestBlocks:
+    def test_split_views(self, rng):
+        x = rng.standard_normal((6, 4))
+        x11, x12, x21, x22 = split_blocks(x)
+        assert x11.shape == (3, 2)
+        x11[0, 0] = 99.0
+        assert x[0, 0] == 99.0  # view, not copy
+
+    def test_split_odd_rejected(self):
+        with pytest.raises(ValueError):
+            split_blocks(np.zeros((3, 4)))
+
+    def test_join_inverts_split(self, rng):
+        x = rng.standard_normal((8, 8))
+        np.testing.assert_array_equal(join_blocks(*split_blocks(x)), x)
+
+
+class TestWinogradStages:
+    def test_final_product(self, ab):
+        a, b = ab
+        np.testing.assert_allclose(winograd_multiply(a, b), a @ b, atol=1e-12)
+
+    def test_every_stage_equation(self, ab):
+        """Pin every S, T, P, U to its defining formula."""
+        a, b = ab
+        st = winograd_stages(a, b)
+        a11, a12, a21, a22 = split_blocks(a)
+        b11, b12, b21, b22 = split_blocks(b)
+        np.testing.assert_allclose(st["S1"], a21 + a22)
+        np.testing.assert_allclose(st["S2"], st["S1"] - a11)
+        np.testing.assert_allclose(st["S3"], a11 - a21)
+        np.testing.assert_allclose(st["S4"], a12 - st["S2"])
+        np.testing.assert_allclose(st["T1"], b12 - b11)
+        np.testing.assert_allclose(st["T2"], b22 - st["T1"])
+        np.testing.assert_allclose(st["T3"], b22 - b12)
+        np.testing.assert_allclose(st["T4"], st["T2"] - b21)
+        np.testing.assert_allclose(st["P1"], a11 @ b11)
+        np.testing.assert_allclose(st["P2"], a12 @ b21)
+        np.testing.assert_allclose(st["P3"], st["S4"] @ b22)
+        np.testing.assert_allclose(st["P4"], a22 @ st["T4"])
+        np.testing.assert_allclose(st["P5"], st["S1"] @ st["T1"])
+        np.testing.assert_allclose(st["P6"], st["S2"] @ st["T2"])
+        np.testing.assert_allclose(st["P7"], st["S3"] @ st["T3"])
+        np.testing.assert_allclose(st["U1"], st["P1"] + st["P2"])
+
+    def test_quadrants_match_direct_product(self, ab):
+        a, b = ab
+        st = winograd_stages(a, b)
+        c = a @ b
+        h, w = c.shape[0] // 2, c.shape[1] // 2
+        np.testing.assert_allclose(st["C11"], c[:h, :w], atol=1e-12)
+        np.testing.assert_allclose(st["C12"], c[:h, w:], atol=1e-12)
+        np.testing.assert_allclose(st["C21"], c[h:, :w], atol=1e-12)
+        np.testing.assert_allclose(st["C22"], c[h:, w:], atol=1e-12)
+
+    def test_operation_constants(self):
+        """The paper's block-operation counts (optimality: [13, 18])."""
+        assert WINOGRAD_MULTIPLIES == 7
+        assert WINOGRAD_ADDS == 15
+        assert STRASSEN_MULTIPLIES == 7
+        assert STRASSEN_ADDS == 18
+
+
+class TestStrassenOriginal:
+    def test_final_product(self, ab):
+        a, b = ab
+        np.testing.assert_allclose(
+            strassen_original_multiply(a, b), a @ b, atol=1e-12
+        )
+
+    def test_m_products(self, ab):
+        a, b = ab
+        st = strassen_original_stages(a, b)
+        a11, a12, a21, a22 = split_blocks(a)
+        b11, b12, b21, b22 = split_blocks(b)
+        np.testing.assert_allclose(st["M1"], (a11 + a22) @ (b11 + b22))
+        np.testing.assert_allclose(st["M6"], (a21 - a11) @ (b11 + b12))
+        np.testing.assert_allclose(st["M7"], (a12 - a22) @ (b21 + b22))
+
+    def test_rectangular_blocks(self, rng):
+        a = rng.standard_normal((4, 12))
+        b = rng.standard_normal((12, 2))
+        np.testing.assert_allclose(
+            strassen_original_multiply(a, b), a @ b, atol=1e-12
+        )

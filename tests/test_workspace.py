@@ -1,0 +1,82 @@
+"""Workspace allocator: stack discipline and peak accounting."""
+
+import numpy as np
+import pytest
+
+from repro.core.workspace import Workspace
+from repro.errors import WorkspaceError
+from repro.phantom import Phantom
+
+
+class TestAllocation:
+    def test_alloc_returns_fortran_array(self):
+        ws = Workspace()
+        with ws.frame():
+            a = ws.alloc(3, 4)
+            assert a.shape == (3, 4)
+            assert a.flags.f_contiguous
+            assert a.dtype == np.float64
+
+    def test_dry_alloc_returns_phantom(self):
+        ws = Workspace(dry=True)
+        with ws.frame():
+            a = ws.alloc(3, 4)
+            assert isinstance(a, Phantom)
+            assert a.shape == (3, 4)
+
+    def test_alloc_outside_frame_fails(self):
+        with pytest.raises(WorkspaceError):
+            Workspace().alloc(2, 2)
+
+    def test_negative_shape_fails(self):
+        ws = Workspace()
+        with ws.frame():
+            with pytest.raises(WorkspaceError):
+                ws.alloc(-1, 2)
+
+
+class TestAccounting:
+    def test_live_and_peak(self):
+        ws = Workspace(dry=True)
+        with ws.frame():
+            ws.alloc(10, 10)           # 800 B
+            assert ws.live_bytes == 800
+            with ws.frame():
+                ws.alloc(5, 5)         # +200 B
+                assert ws.live_bytes == 1000
+            assert ws.live_bytes == 800
+        assert ws.live_bytes == 0
+        assert ws.peak_bytes == 1000
+        assert ws.peak_elements == 125
+
+    def test_peak_is_max_over_siblings(self):
+        ws = Workspace(dry=True)
+        with ws.frame():
+            with ws.frame():
+                ws.alloc(10, 10)
+            with ws.frame():
+                ws.alloc(5, 5)
+        assert ws.peak_bytes == 800
+
+    def test_depth(self):
+        ws = Workspace(dry=True)
+        assert ws.depth == 0
+        with ws.frame():
+            assert ws.depth == 1
+            with ws.frame():
+                assert ws.depth == 2
+
+    def test_zero_size_alloc(self):
+        ws = Workspace(dry=True)
+        with ws.frame():
+            ws.alloc(0, 100)
+            assert ws.live_bytes == 0
+
+
+class TestDiscipline:
+    def test_frame_imbalance_detected(self):
+        ws = Workspace(dry=True)
+        with pytest.raises(WorkspaceError):
+            with ws.frame():
+                # simulate a leaked frame: push without matching pop
+                ws._frames.append(0)
