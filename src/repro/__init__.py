@@ -40,7 +40,12 @@ from repro.core.cutoff import (
 )
 from repro.core.complex3m import zgefmm_3m
 from repro.core.dgefmm import dgefmm, zgefmm
-from repro.core.parallel import pdgefmm
+from repro.core.parallel import parallel_arena_count, pdgefmm
+from repro.core.pool import (
+    PooledWorkspace,
+    WorkspacePool,
+    workspace_bound_bytes,
+)
 from repro.core.workspace import Workspace
 from repro.eigensolver import isda_eigh
 from repro.linalg import getrf, lu_solve, solve
@@ -59,6 +64,10 @@ __all__ = [
     "solve",
     "ExecutionContext",
     "Workspace",
+    "PooledWorkspace",
+    "WorkspacePool",
+    "workspace_bound_bytes",
+    "parallel_arena_count",
     "TheoreticalCutoff",
     "SimpleCutoff",
     "HighamCutoff",

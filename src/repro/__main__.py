@@ -5,6 +5,7 @@ Commands
 report    regenerate the paper's tables/figures (see harness.report)
 figures   export figure series as CSV files
 memory    print the Table 1 memory coefficients for a given order
+parallel  repeated-call throughput: serial vs pooled parallel DGEFMM
 selftest  quick end-to-end verification of the installation
 """
 
@@ -49,6 +50,79 @@ def _cmd_memory(args) -> int:
     return 0
 
 
+def _cmd_parallel(args) -> int:
+    """Throughput of repeated GEMMs: serial vs multi-level parallel/pooled."""
+    import time
+
+    import numpy as np
+
+    from repro.core.cutoff import SimpleCutoff
+    from repro.core.dgefmm import dgefmm
+    from repro.core.parallel import parallel_arena_count, pdgefmm
+    from repro.core.pool import WorkspacePool, workspace_bound_bytes
+    from repro.core.workspace import Workspace
+
+    m = args.order
+    rng = np.random.default_rng(0)
+    a = np.asfortranarray(rng.standard_normal((m, m)))
+    b = np.asfortranarray(rng.standard_normal((m, m)))
+    c = np.zeros((m, m), order="F")
+    crit = SimpleCutoff(args.cutoff)
+
+    pool = None
+    if args.pool:
+        pool = WorkspacePool(
+            workspace_bound_bytes(m, m, m, "parallel"),
+            prewarm=parallel_arena_count(args.workers, args.depth),
+        )
+
+    def measure(fn, label, new_bytes=None):
+        fn()  # warm-up call (grows pooled arenas, faults pages)
+        base = new_bytes() if new_bytes is not None else 0
+        times = []
+        for _ in range(args.repeat):
+            t0 = time.perf_counter()
+            fn()
+            times.append(time.perf_counter() - t0)
+        if new_bytes is not None:
+            per_call = (new_bytes() - base) / max(args.repeat, 1)
+            alloc = f"{per_call:,.0f} fresh B/call after warm-up"
+        else:
+            alloc = "fresh B/call untracked (no pool)"
+        best = min(times)
+        print(
+            f"{label:<28} best {best:.4f} s "
+            f"({2.0 * m**3 / best / 1e9:.2f} GFLOP/s eq), {alloc}"
+        )
+        return best
+
+    serial_alloc = [0]
+
+    def serial():
+        ws = Workspace()
+        dgefmm(a, b, c, cutoff=crit, workspace=ws)
+        serial_alloc[0] += ws.new_buffer_bytes
+
+    def parallel():
+        pdgefmm(a, b, c, cutoff=crit, workers=args.workers,
+                max_parallel_depth=args.depth, pool=pool)
+
+    print(
+        f"order {m}, cutoff {args.cutoff}, workers {args.workers}, "
+        f"max_parallel_depth {args.depth}, pool "
+        f"{'on' if pool is not None else 'off'}, {args.repeat} calls"
+    )
+    t_s = measure(serial, "serial dgefmm", lambda: serial_alloc[0])
+    t_p = measure(parallel, "pdgefmm",
+                  (lambda: pool.new_buffer_bytes) if pool is not None
+                  else None)
+    print(f"speedup {t_s / t_p:.2f}x")
+    if pool is not None:
+        print(f"pool: {pool.arenas_created} arenas, "
+              f"{pool.new_buffer_bytes:,} B total fresh allocation")
+    return 0
+
+
 def _cmd_selftest(args) -> int:
     import numpy as np
 
@@ -86,6 +160,24 @@ def main(argv=None) -> int:
     p = sub.add_parser("memory", help="Table 1 coefficients")
     p.add_argument("--order", type=int, default=2048)
     p.set_defaults(fn=_cmd_memory)
+
+    p = sub.add_parser(
+        "parallel",
+        help="repeated-call throughput: serial vs pooled parallel DGEFMM",
+    )
+    p.add_argument("--order", type=int, default=1024,
+                   help="square problem size m (default 1024)")
+    p.add_argument("--workers", type=int, default=7,
+                   help="total thread budget across parallel levels")
+    p.add_argument("--depth", type=int, default=1,
+                   help="max_parallel_depth: parallel recursion levels")
+    p.add_argument("--repeat", type=int, default=3,
+                   help="timed calls after the warm-up call")
+    p.add_argument("--cutoff", type=int, default=128,
+                   help="SimpleCutoff tau for both codes")
+    p.add_argument("--no-pool", dest="pool", action="store_false",
+                   help="disable the workspace pool (fresh arenas)")
+    p.set_defaults(fn=_cmd_parallel, pool=True)
 
     p = sub.add_parser("selftest", help="quick installation check")
     p.set_defaults(fn=_cmd_selftest)

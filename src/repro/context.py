@@ -129,6 +129,26 @@ class ExecutionContext:
         if self.trace:
             self.events.append(event)
 
+    def merge_child(self, child: "ExecutionContext") -> None:
+        """Fold a worker's counters into this context — exactly.
+
+        The parallel driver gives every worker thread a *private* child
+        context (no locking on the hot path) and merges them back in job
+        order once the workers have joined, so the merged op counts,
+        kernel tallies and trace are identical to a serial execution of
+        the same schedule, independent of thread interleaving.
+        ``elapsed`` accumulates *summed* worker time: a work measure,
+        not a wall-clock prediction.  ``stats`` entries are driver-owned
+        (e.g. the parallel driver aggregates workspace peaks itself) and
+        are deliberately not merged here.
+        """
+        self.flops += child.flops
+        self.mul_flops += child.mul_flops
+        self.add_flops += child.add_flops
+        self.elapsed += child.elapsed
+        self.kernel_calls.update(child.kernel_calls)
+        self.events.extend(child.events)
+
     # ------------------------------------------------------------------ #
     def model_time(self, method: str, *dims: int) -> Optional[float]:
         """Predicted seconds for a kernel on the attached machine.

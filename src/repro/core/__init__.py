@@ -7,6 +7,8 @@
 - :mod:`repro.core.padding` — static/dynamic padding (for comparison),
 - :mod:`repro.core.cutoff` — every cutoff criterion of Sections 2/3.4,
 - :mod:`repro.core.workspace` — temporary storage with peak tracking (3.2),
+- :mod:`repro.core.pool` — reusable workspace arenas for repeated calls,
+- :mod:`repro.core.parallel` — the multi-level task-parallel driver,
 - :mod:`repro.core.opcount` — the operation-count model of Section 2,
 - :mod:`repro.core.winograd` — the Winograd stage equations, as an oracle.
 """
@@ -20,11 +22,14 @@ from repro.core.cutoff import (
     TheoreticalCutoff,
 )
 from repro.core.dgefmm import dgefmm
+from repro.core.pool import PooledWorkspace, WorkspacePool
 from repro.core.workspace import Workspace
 
 __all__ = [
     "dgefmm",
     "Workspace",
+    "PooledWorkspace",
+    "WorkspacePool",
     "CutoffCriterion",
     "TheoreticalCutoff",
     "SimpleCutoff",

@@ -83,6 +83,7 @@ def dgefmm(
     peel: str = "tail",
     ctx: Optional[ExecutionContext] = None,
     workspace: Optional[Workspace] = None,
+    pool: Optional["WorkspacePool"] = None,
     nb: int = DEFAULT_TILE,
     backend: str = "substrate",
 ) -> Any:
@@ -117,6 +118,12 @@ def dgefmm(
     workspace:
         Workspace to draw temporaries from (default: a fresh one).  The
         peak is reported in ``ctx.stats["workspace_peak_bytes"]``.
+    pool:
+        A :class:`~repro.core.pool.WorkspacePool` to check a reusable
+        arena out of for this call (ignored when ``workspace`` is given,
+        and in dry mode, where phantom temporaries cost nothing).
+        Repeated same-shape calls through a pool amortize temporary
+        allocation to zero after the first, warm-up call.
     nb:
         Tile edge for the base-case standard-algorithm kernel.
     backend:
@@ -148,16 +155,30 @@ def dgefmm(
         )
 
     crit = cutoff if cutoff is not None else DEFAULT_CUTOFF
-    ws = workspace if workspace is not None else Workspace(dry=ctx.dry)
+    pooled = False
+    if workspace is not None:
+        ws = workspace
+    elif pool is not None and not ctx.dry:
+        ws = pool.checkout()
+        pooled = True
+    else:
+        ws = Workspace(dry=ctx.dry)
     opa = a.T if transa else a
     opb = b.T if transb else b
 
-    _rec(opa, opb, c, alpha, beta, 0, crit, scheme, peel, ctx, ws, nb,
-         backend)
+    try:
+        _rec(opa, opb, c, alpha, beta, 0, crit, scheme, peel, ctx, ws, nb,
+             backend)
+    except BaseException:
+        if pooled:
+            pool.release(ws)
+        raise
 
     ctx.stats["workspace_peak_bytes"] = max(
         ctx.stats.get("workspace_peak_bytes", 0), ws.peak_bytes
     )
+    if pooled:
+        pool.checkin(ws)
     return c
 
 

@@ -2,40 +2,116 @@
 
 Strassen's construction is naturally task-parallel: after stages (1) and
 (2) produce the S/T block sums, the seven products of stage (3) touch
-disjoint outputs and read-only inputs.  :func:`pdgefmm` runs one such
-level with the products dispatched to a thread pool (each product is a
-full serial :func:`~repro.core.dgefmm.dgefmm` recursion; numpy's einsum
-kernels release the GIL, so threads genuinely overlap), then combines
-stage (4) serially.
+disjoint outputs and read-only inputs.  :func:`pdgefmm` dispatches those
+products to a thread pool (each product recurses; numpy's einsum kernels
+release the GIL, so threads genuinely overlap), then combines stage (4)
+serially.
+
+**Multi-level parallelism.**  The engine recurses parallel levels under a
+bounded *worker budget* instead of hard-stopping at one level: a call
+with ``workers=w`` runs its seven products on ``t = min(w, 7)`` threads
+and hands each product the remaining budget ``max(1, w // t)``.  Down to
+``max_parallel_depth`` every product is itself a parallel level, run on
+as many threads as its inherited budget affords (a sub-budget of 1 runs
+it sequentially); below the parallel region each product is an ordinary
+serial :func:`~repro.core.dgefmm.dgefmm` recursion.  So ``workers=7``
+gives the classic one-level fan-out, ``workers=14,
+max_parallel_depth=2`` runs 7 x 2 threads across two levels, and
+``workers=49`` saturates two full levels.  Because the recursion's
+*structure* depends only on the depth knob and the cutoff — never on
+the budget — op counts and workspace accounting are identical for every
+``workers`` value at a fixed depth.
+
+**Workspace pooling.**  Every parallel level and every worker needs its
+own arena (concurrent recursions cannot share one stack allocator).
+Without a pool each is a fresh :class:`~repro.core.workspace.Workspace`
+(allocating every temporary anew); with a
+:class:`~repro.core.pool.WorkspacePool` the arenas are checked out,
+reused buffer-for-buffer, and checked back in — repeated same-shape
+calls amortize temporary allocation to zero
+(:func:`~repro.core.pool.workspace_bound_bytes` sizes the arenas from
+the paper's Table 1 bounds; :func:`parallel_arena_count` bounds how many
+a given budget can hold at once).
 
 The parallel level deliberately abandons the memory frugality of the
 serial schedules: all four S, all four T and all seven P blocks are live
 at once (mk + kn + 7mn/4 extra in the general case), the classical
 memory-for-parallelism trade the paper's serial design avoided.  The
-workspace accounting makes that cost visible, as everywhere else.
+workspace accounting makes that cost visible, as everywhere else:
+``ctx.stats["workspace_peak_bytes"]`` charges the *deterministic upper
+bound* — the level's own peak plus the sum of all its products' peaks,
+as if all workers hit their peaks simultaneously — so the figure is
+exact and thread-schedule-independent.
 
 Instrumentation: worker threads charge private contexts which are merged
-into the caller's context afterwards, so op counts remain exact;
-``elapsed`` (model time) accumulates *summed* worker time, i.e. it stays
-a work measure, not a wall-clock prediction.
+into the caller's context afterwards
+(:meth:`~repro.context.ExecutionContext.merge_child`), so op counts
+remain exact at every depth; ``elapsed`` (model time) accumulates
+*summed* worker time, i.e. it stays a work measure, not a wall-clock
+prediction.
 """
 
 from __future__ import annotations
 
 from concurrent.futures import ThreadPoolExecutor
-from typing import Any, Optional
+from contextlib import contextmanager
+from typing import Any, Iterator, List, Optional
 
 from repro.blas.addsub import accum, axpby, madd, msub
-from repro.blas.level3 import DEFAULT_TILE, dgemm
+from repro.blas.level3 import DEFAULT_TILE
 from repro.blas.validate import opshape, require_matrix, require_writable
 from repro.context import ExecutionContext, ensure_context
-from repro.core.cutoff import CutoffCriterion
+from repro.core.cutoff import CutoffCriterion, DepthCutoff
 from repro.core.dgefmm import DEFAULT_CUTOFF, dgefmm
 from repro.core.peeling import apply_fixups, peel_split
+from repro.core.pool import WorkspacePool, _checkout_or_local
 from repro.core.workspace import Workspace
-from repro.errors import DimensionError
+from repro.errors import ArgumentError, DimensionError
 
-__all__ = ["pdgefmm"]
+__all__ = ["pdgefmm", "parallel_arena_count"]
+
+
+def _split_budget(budget: int) -> tuple:
+    """(threads at this level, budget inherited by each product)."""
+    t = min(budget, 7)
+    return t, max(1, budget // t)
+
+
+def parallel_arena_count(workers: int, max_parallel_depth: int = 1) -> int:
+    """Most arenas a ``pdgefmm`` call can hold checked out at once.
+
+    Use as the ``prewarm`` count of a :class:`~repro.core.pool.WorkspacePool`
+    so even the first fully-parallel call constructs no arenas mid-flight.
+    """
+    if workers < 1:
+        raise DimensionError(
+            f"parallel_arena_count: workers={workers} must be >= 1"
+        )
+    if max_parallel_depth < 1:
+        raise DimensionError(
+            f"parallel_arena_count: max_parallel_depth={max_parallel_depth}"
+            " must be >= 1"
+        )
+
+    def held(budget: int, level: int) -> int:
+        t, sub = _split_budget(budget)
+        if level < max_parallel_depth:
+            per_job = held(sub, level + 1)
+        else:
+            per_job = 1
+        return 1 + t * per_job
+
+    return held(workers, 1)
+
+
+@contextmanager
+def _job_arena(pool: Optional[WorkspacePool]) -> Iterator[Workspace]:
+    """A private arena for one worker: pooled if possible, else fresh."""
+    if pool is None:
+        yield Workspace()
+    else:
+        with pool.arena() as ws:
+            yield ws
 
 
 def pdgefmm(
@@ -48,18 +124,25 @@ def pdgefmm(
     transb: bool = False,
     *,
     workers: int = 7,
+    max_parallel_depth: int = 1,
     cutoff: Optional[CutoffCriterion] = None,
     ctx: Optional[ExecutionContext] = None,
     workspace: Optional[Workspace] = None,
+    pool: Optional[WorkspacePool] = None,
     nb: int = DEFAULT_TILE,
 ) -> Any:
     """Parallel Strassen GEMM: ``C <- alpha*op(A)*op(B) + beta*C``.
 
-    One Winograd level with its seven products run on up to ``workers``
-    threads; below that level each product is an ordinary serial DGEFMM
-    (with the given cutoff).  Falls back to serial DGEFMM whenever the
-    cutoff declines the top-level recursion.  Not supported in dry mode
-    (simulated time has no thread model).
+    Up to ``max_parallel_depth`` Winograd levels run their seven products
+    concurrently under a total budget of ``workers`` threads (split
+    level-by-level, see the module docstring); below the parallel region
+    each product is an ordinary serial DGEFMM with the given cutoff.
+    Falls back to serial DGEFMM whenever the cutoff declines the
+    top-level recursion.  ``pool`` supplies reusable per-worker workspace
+    arenas; ``workspace`` (if given) is used for the top level's S/T/P
+    blocks exactly as before.  Not supported in dry mode (simulated time
+    has no thread model), and stateful :class:`DepthCutoff` criteria are
+    rejected — they cannot be shared across concurrent recursions.
     """
     ctx = ensure_context(ctx)
     if ctx.dry:
@@ -70,6 +153,17 @@ def pdgefmm(
     require_writable("pdgefmm", "c", c)
     if workers < 1:
         raise DimensionError(f"pdgefmm: workers={workers} must be >= 1")
+    if max_parallel_depth < 1:
+        raise DimensionError(
+            f"pdgefmm: max_parallel_depth={max_parallel_depth} must be >= 1"
+        )
+    crit = cutoff if cutoff is not None else DEFAULT_CUTOFF
+    if isinstance(crit, DepthCutoff):
+        raise ArgumentError(
+            "pdgefmm", "cutoff",
+            "is a stateful DepthCutoff, which is not safe under "
+            "concurrent recursion; use a frozen criterion",
+        )
     m, k = opshape(a, transa)
     kb, n = opshape(b, transb)
     if kb != k:
@@ -78,8 +172,6 @@ def pdgefmm(
         raise DimensionError(
             f"pdgefmm: C has shape {tuple(c.shape)}, expected {(m, n)}"
         )
-    crit = cutoff if cutoff is not None else DEFAULT_CUTOFF
-    ws = workspace if workspace is not None else Workspace()
     opa = a.T if transa else a
     opb = b.T if transb else b
 
@@ -91,20 +183,72 @@ def pdgefmm(
         or crit.stop(m, k, n)
         or min(m, k, n) < 2
     ):
+        # serial fallback: pool-aware workspace acquisition via dgefmm
+        if workspace is not None:
+            return dgefmm(a, b, c, alpha, beta, transa, transb,
+                          cutoff=crit, ctx=ctx, workspace=workspace, nb=nb)
         return dgefmm(a, b, c, alpha, beta, transa, transb,
-                      cutoff=crit, ctx=ctx, workspace=ws, nb=nb)
+                      cutoff=crit, ctx=ctx, pool=pool, nb=nb)
 
-    mp, kp, np_ = peel_split(m, k, n)
-    _parallel_level(
-        opa[:mp, :kp], opb[:kp, :np_], c[:mp, :np_], alpha, beta,
-        workers, crit, ctx, ws, nb,
-    )
-    if (mp, kp, np_) != (m, k, n):
-        apply_fixups(opa, opb, c, alpha, beta, ctx=ctx)
+    charge = _prun(opa, opb, c, alpha, beta, workers, 1, max_parallel_depth,
+                   crit, ctx, pool, nb, workspace=workspace)
     ctx.stats["workspace_peak_bytes"] = max(
-        ctx.stats.get("workspace_peak_bytes", 0), ws.peak_bytes
+        ctx.stats.get("workspace_peak_bytes", 0), charge
     )
     return c
+
+
+def _prun(
+    a: Any,
+    b: Any,
+    c: Any,
+    alpha: float,
+    beta: float,
+    budget: int,
+    level: int,
+    max_depth: int,
+    crit: CutoffCriterion,
+    ctx: ExecutionContext,
+    pool: Optional[WorkspacePool],
+    nb: int,
+    workspace: Optional[Workspace] = None,
+) -> int:
+    """One node of the parallel recursion; returns its peak-bytes charge.
+
+    ``a``/``b`` are transpose-resolved views.  The node either runs a
+    parallel level (peeling odd dimensions around it, like the serial
+    driver) or — when the cutoff declines or dimensions are degenerate —
+    a serial DGEFMM in a private arena.
+    """
+    m, k = a.shape
+    n = b.shape[1]
+    if m == 0 or n == 0:
+        return 0
+    if k == 0 or alpha == 0.0 or crit.stop(m, k, n) or min(m, k, n) < 2:
+        with _job_arena(pool) as ws:
+            dgefmm(a, b, c, alpha, beta, cutoff=crit, ctx=ctx,
+                   workspace=ws, nb=nb)
+            return ws.peak_bytes
+
+    ws = workspace
+    pooled = False
+    if ws is None:
+        ws, pooled = _checkout_or_local(pool)
+    try:
+        mp, kp, np_ = peel_split(m, k, n)
+        charge = _parallel_level(
+            a[:mp, :kp], b[:kp, :np_], c[:mp, :np_], alpha, beta,
+            budget, level, max_depth, crit, ctx, ws, pool, nb,
+        )
+        if (mp, kp, np_) != (m, k, n):
+            apply_fixups(a, b, c, alpha, beta, ctx=ctx)
+    except BaseException:
+        if pooled:
+            pool.release(ws)
+        raise
+    if pooled:
+        pool.checkin(ws)
+    return charge
 
 
 def _parallel_level(
@@ -113,12 +257,17 @@ def _parallel_level(
     c: Any,
     alpha: float,
     beta: float,
-    workers: int,
+    budget: int,
+    level: int,
+    max_depth: int,
     crit: CutoffCriterion,
     ctx: ExecutionContext,
     ws: Workspace,
+    pool: Optional[WorkspacePool],
     nb: int,
-) -> None:
+) -> int:
+    """One parallel Winograd level (even dims); returns the peak charge:
+    this level's own arena peak plus the sum of its products' charges."""
     m, k = a.shape
     n = b.shape[1]
     hm, hk, hn = m // 2, k // 2, n // 2
@@ -127,6 +276,14 @@ def _parallel_level(
     a11, a12, a21, a22 = a[:hm, :hk], a[:hm, hk:], a[hm:, :hk], a[hm:, hk:]
     b11, b12, b21, b22 = b[:hk, :hn], b[:hk, hn:], b[hk:, :hn], b[hk:, hn:]
     c11, c12, c21, c22 = c[:hm, :hn], c[:hm, hn:], c[hm:, :hn], c[hm:, hn:]
+
+    threads, sub_budget = _split_budget(budget)
+    # the *structure* of the recursion depends only on max_parallel_depth
+    # (and the cutoff); the budget governs execution — how many threads
+    # each level gets.  A sub-budget of 1 runs the deeper parallel level
+    # sequentially, so instrumentation and workspace accounting are
+    # identical for every workers value at a fixed depth.
+    go_deeper = level < max_depth
 
     with ws.frame():
         # stages (1)/(2): all eight sums materialized (read-only inputs
@@ -147,29 +304,37 @@ def _parallel_level(
             (s1, t1, p5), (s2, t2, p6), (s3, t3, p7),
         ]
 
-        worker_ctxs = [ExecutionContext() for _ in jobs]
+        worker_ctxs = [
+            ExecutionContext(ctx.machine, trace=ctx.trace) for _ in jobs
+        ]
+        peaks: List[int] = [0] * len(jobs)
 
         def run(idx: int) -> None:
             aa, bb, cc = jobs[idx]
-            # each worker gets a private workspace and context; the
-            # serial recursion below is the ordinary DGEFMM
-            dgefmm(aa, bb, cc, 1.0, 0.0, cutoff=crit,
-                   ctx=worker_ctxs[idx], workspace=Workspace(), nb=nb)
+            wctx = worker_ctxs[idx]
+            if go_deeper:
+                # another parallel level with the split budget
+                peaks[idx] = _prun(aa, bb, cc, 1.0, 0.0, sub_budget,
+                                   level + 1, max_depth, crit, wctx,
+                                   pool, nb)
+            else:
+                # serial recursion in a private (pooled) arena
+                with _job_arena(pool) as wws:
+                    dgefmm(aa, bb, cc, 1.0, 0.0, cutoff=crit,
+                           ctx=wctx, workspace=wws, nb=nb)
+                    peaks[idx] = wws.peak_bytes
 
-        if workers == 1:
+        if threads == 1:
             for i in range(len(jobs)):
                 run(i)
         else:
-            with ThreadPoolExecutor(max_workers=min(workers, 7)) as pool:
-                list(pool.map(run, range(len(jobs))))
+            with ThreadPoolExecutor(max_workers=threads) as tpool:
+                list(tpool.map(run, range(len(jobs))))
 
-        # merge worker instrumentation (work, not wall time)
+        # merge worker instrumentation (work, not wall time); job order,
+        # so the merged counters are thread-schedule-independent
         for wctx in worker_ctxs:
-            ctx.mul_flops += wctx.mul_flops
-            ctx.add_flops += wctx.add_flops
-            ctx.flops += wctx.flops
-            ctx.elapsed += wctx.elapsed
-            ctx.kernel_calls.update(wctx.kernel_calls)
+            ctx.merge_child(wctx)
 
         # stage (4), serial: U-tree over the materialized products
         accum(p1, p6, ctx=ctx)                 # p6 = U2
@@ -183,3 +348,5 @@ def _parallel_level(
         accum(p6, p5, ctx=ctx)                 # p5 = U4
         accum(p3, p5, ctx=ctx)                 # p5 = U5
         axpby(alpha, p5, beta, c12, ctx=ctx)   # C12 done
+
+    return ws.peak_bytes + sum(peaks)

@@ -32,6 +32,13 @@ three extra O(m^2/4) additions are negligible against the O(m^3) product
 work and are visible only in the op-count instrumentation, where tests
 pin them down explicitly.
 
+Both variants draw every temporary from the workspace passed in, never
+from the heap directly — so when the driver hands them a pooled arena
+(:class:`~repro.core.pool.PooledWorkspace`), the frame discipline below
+replays the same bump-allocator layout on every call and repeated GEMMs
+allocate nothing new.  The schedules are agnostic to which workspace
+implementation they run on.
+
 All products recurse through the driver callback, so cutoffs and dynamic
 peeling apply below this level.  In the beta = 0 variant the products are
 themselves beta = 0 multiplies; the paper's Table 1 figure for the

@@ -22,6 +22,12 @@ C21 accumulates ``-alpha*P4`` via its first touch and ``+alpha*U3`` later.
 Recursive multiplications (7 of them: steps 3, 8, 10, 11, 14, 16, 19) go
 back through the driver callback, so cutoff testing and dynamic peeling
 apply at every level.
+
+The three temporaries come from the workspace object, never the heap:
+under a pooled arena (:mod:`repro.core.pool`) the R1/R2/R3 slots of
+every recursion level land at identical bump-allocator offsets call
+after call, which is what lets repeated same-shape multiplies run with
+zero fresh allocations.
 """
 
 from __future__ import annotations

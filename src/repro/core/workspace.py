@@ -47,6 +47,13 @@ class Workspace:
         self._peak_bytes = 0
         # each frame is the number of bytes it holds; index = depth
         self._frames: List[int] = []
+        # fresh-buffer accounting: bytes/count of *new* numpy buffers this
+        # workspace has requested from the allocator.  For a plain
+        # Workspace every alloc() is a new buffer; a pooled arena
+        # (repro.core.pool) reuses one backing buffer, so these counters
+        # are how the amortization claim is *measured*.
+        self.new_buffer_bytes = 0
+        self.new_buffer_count = 0
 
     # ------------------------------------------------------------------ #
     @property
@@ -109,6 +116,16 @@ class Workspace:
             self._peak_bytes = self._live_bytes
         if self.dry:
             return Phantom(m, n)
+        return self._make(m, n, dtype, nbytes)
+
+    def _make(self, m: int, n: int, dtype, nbytes: int) -> Any:
+        """Produce the backing array for one :meth:`alloc` request.
+
+        Subclasses (the pooled arena) override this to carve the request
+        out of a reusable buffer instead of asking numpy for fresh pages.
+        """
+        self.new_buffer_bytes += nbytes
+        self.new_buffer_count += 1
         return np.empty((m, n), dtype=dtype, order="F")
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

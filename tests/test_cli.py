@@ -43,6 +43,20 @@ class TestMain:
         with pytest.raises(SystemExit):
             main(["frobnicate"])
 
+    def test_parallel(self, capsys):
+        assert main(["parallel", "--order", "96", "--workers", "7",
+                     "--depth", "2", "--repeat", "2", "--cutoff", "32"]) == 0
+        out = capsys.readouterr().out
+        assert "serial" in out and "speedup" in out
+        # warm pool: fresh allocation per call reported as zero
+        assert "0 fresh B/call after warm-up" in out
+
+    def test_parallel_no_pool(self, capsys):
+        assert main(["parallel", "--order", "64", "--repeat", "1",
+                     "--cutoff", "32", "--no-pool"]) == 0
+        out = capsys.readouterr().out
+        assert "untracked (no pool)" in out
+
 
 class TestFigData:
     def test_write_series_roundtrip(self, tmp_path):

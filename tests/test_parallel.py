@@ -1,14 +1,15 @@
-"""Task-parallel DGEFMM (pdgefmm)."""
+"""Task-parallel DGEFMM (pdgefmm): correctness, structure, exactness."""
 
 import numpy as np
 import pytest
 
 from repro.context import ExecutionContext
-from repro.core.cutoff import NeverRecurse, SimpleCutoff
+from repro.core.cutoff import DepthCutoff, NeverRecurse, SimpleCutoff
 from repro.core.dgefmm import dgefmm
-from repro.core.parallel import pdgefmm
+from repro.core.parallel import parallel_arena_count, pdgefmm
+from repro.core.pool import WorkspacePool
 from repro.core.workspace import Workspace
-from repro.errors import DimensionError
+from repro.errors import ArgumentError, DimensionError
 from repro.phantom import Phantom
 
 CUT = SimpleCutoff(8)
@@ -106,3 +107,135 @@ class TestStructure:
         a = np.zeros((4, 4), order="F")
         with pytest.raises(DimensionError):
             pdgefmm(a, a, a.copy(order="F"), workers=0)
+
+    def test_bad_depth(self):
+        a = np.zeros((4, 4), order="F")
+        with pytest.raises(DimensionError):
+            pdgefmm(a, a, a.copy(order="F"), max_parallel_depth=0)
+
+    def test_stateful_cutoff_rejected(self):
+        a = np.zeros((16, 16), order="F")
+        with pytest.raises(ArgumentError):
+            pdgefmm(a, a, a.copy(order="F"), cutoff=DepthCutoff(2))
+
+
+class TestMultiLevel:
+    """The multi-level engine: deeper parallel recursion, budget split."""
+
+    @pytest.mark.parametrize("depth", [2, 3])
+    @pytest.mark.parametrize("workers", [1, 7, 14, 49])
+    def test_correctness_at_depth(self, rng, depth, workers):
+        m = 72
+        a = np.asfortranarray(rng.standard_normal((m, m)))
+        b = np.asfortranarray(rng.standard_normal((m, m)))
+        c = np.asfortranarray(rng.standard_normal((m, m)))
+        expect = 0.5 * (a @ b) + 1.5 * c
+        pdgefmm(a, b, c, 0.5, 1.5, cutoff=CUT, workers=workers,
+                max_parallel_depth=depth)
+        np.testing.assert_allclose(c, expect, atol=1e-9)
+
+    def test_deeper_than_cutoff_is_harmless(self, rng):
+        """A depth the cutoff never reaches degenerates gracefully."""
+        a = np.asfortranarray(rng.standard_normal((20, 20)))
+        b = np.asfortranarray(rng.standard_normal((20, 20)))
+        c = np.zeros((20, 20), order="F")
+        pdgefmm(a, b, c, cutoff=SimpleCutoff(16), workers=7,
+                max_parallel_depth=4)
+        np.testing.assert_allclose(c, a @ b, atol=1e-10)
+
+    def test_arena_count_helper(self):
+        assert parallel_arena_count(7, 1) == 8          # 1 + 7 leaves
+        assert parallel_arena_count(14, 2) == 22        # 1 + 7*(1 + 2)
+        assert parallel_arena_count(1, 1) == 2
+        assert parallel_arena_count(49, 2) == 57        # 1 + 7*(1 + 7)
+
+    def test_arena_count_validates(self):
+        with pytest.raises(DimensionError):
+            parallel_arena_count(0, 1)
+        with pytest.raises(DimensionError):
+            parallel_arena_count(7, 0)
+
+
+class TestInstrumentationExactness:
+    """Op counts and workspace accounting must be exact — identical to a
+    serial execution of the same schedule — no matter how many threads
+    actually ran (the merge is per-job, in job order)."""
+
+    @pytest.mark.parametrize("depth", [1, 2])
+    def test_opcounts_identical_to_serial_dgefmm(self, rng, depth):
+        m = 96
+        a = np.asfortranarray(rng.standard_normal((m, m)))
+        b = np.asfortranarray(rng.standard_normal((m, m)))
+        crit = SimpleCutoff(16)
+        ctx_s = ExecutionContext()
+        dgefmm(a, b, np.zeros((m, m), order="F"), cutoff=crit, ctx=ctx_s)
+        ctx_p = ExecutionContext()
+        pdgefmm(a, b, np.zeros((m, m), order="F"), cutoff=crit,
+                ctx=ctx_p, workers=14, max_parallel_depth=depth)
+        # same multiplies and same base-case recursion structure: the
+        # parallel levels replace serial levels one-for-one
+        assert ctx_p.mul_flops == ctx_s.mul_flops
+        assert ctx_p.kernel_calls["dgemm"] == ctx_s.kernel_calls["dgemm"]
+
+    @pytest.mark.parametrize("depth", [1, 2])
+    def test_counters_independent_of_workers(self, rng, depth):
+        """Identical instrumentation for every worker budget at a fixed
+        depth: the budget steers execution, never the recursion."""
+        m = 96
+        a = np.asfortranarray(rng.standard_normal((m, m)))
+        b = np.asfortranarray(rng.standard_normal((m, m)))
+        crit = SimpleCutoff(16)
+        seen = set()
+        for workers in (1, 7, 14):
+            ctx = ExecutionContext()
+            pdgefmm(a, b, np.zeros((m, m), order="F"), cutoff=crit,
+                    ctx=ctx, workers=workers, max_parallel_depth=depth)
+            seen.add((
+                ctx.mul_flops, ctx.add_flops, ctx.flops,
+                tuple(sorted(ctx.kernel_calls.items())),
+                ctx.stats["workspace_peak_bytes"],
+            ))
+        assert len(seen) == 1
+
+    @pytest.mark.parametrize("depth", [1, 2])
+    def test_peak_accounting_deterministic_and_pool_invariant(self, rng,
+                                                              depth):
+        """The reported workspace peak is the deterministic bound (level
+        arenas + all worker peaks) whether arenas are pooled or fresh."""
+        m = 96
+        a = np.asfortranarray(rng.standard_normal((m, m)))
+        b = np.asfortranarray(rng.standard_normal((m, m)))
+        crit = SimpleCutoff(16)
+        peaks = set()
+        for pool in (None, WorkspacePool()):
+            for _ in range(2):  # warm and cold pool must agree too
+                ctx = ExecutionContext()
+                pdgefmm(a, b, np.zeros((m, m), order="F"), cutoff=crit,
+                        ctx=ctx, workers=7, max_parallel_depth=depth,
+                        pool=pool)
+                peaks.add(ctx.stats["workspace_peak_bytes"])
+        assert len(peaks) == 1
+        # depth 2 holds strictly more concurrent blocks than depth 1
+        if depth == 2:
+            ctx1 = ExecutionContext()
+            pdgefmm(a, b, np.zeros((m, m), order="F"), cutoff=crit,
+                    ctx=ctx1, workers=7, max_parallel_depth=1)
+            assert peaks.pop() > ctx1.stats["workspace_peak_bytes"]
+
+    def test_elapsed_is_summed_worker_time(self, rng):
+        """With a machine model attached, pdgefmm's elapsed equals the
+        serial work measure — summed across workers, not wall clock."""
+        from repro.machines import RS6000
+
+        m = 64
+        a = np.asfortranarray(rng.standard_normal((m, m)))
+        b = np.asfortranarray(rng.standard_normal((m, m)))
+        crit = SimpleCutoff(16)
+        ctx1 = ExecutionContext(RS6000)
+        pdgefmm(a, b, np.zeros((m, m), order="F"), cutoff=crit,
+                ctx=ctx1, workers=1, max_parallel_depth=2)
+        ctx7 = ExecutionContext(RS6000)
+        pdgefmm(a, b, np.zeros((m, m), order="F"), cutoff=crit,
+                ctx=ctx7, workers=14, max_parallel_depth=2)
+        assert ctx1.elapsed > 0
+        assert ctx7.elapsed == pytest.approx(ctx1.elapsed, rel=1e-12)

@@ -1,0 +1,323 @@
+"""WorkspacePool / PooledWorkspace: reuse, thread safety, invariants."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.cutoff import SimpleCutoff
+from repro.core.dgefmm import dgefmm
+from repro.core.parallel import parallel_arena_count, pdgefmm
+from repro.core.pool import (
+    PooledWorkspace,
+    WorkspacePool,
+    workspace_bound_bytes,
+)
+from repro.errors import WorkspaceError
+
+CUT = SimpleCutoff(16)
+
+
+class TestPooledWorkspace:
+    def test_alloc_carves_from_backing_buffer(self):
+        ws = PooledWorkspace(1 << 16)
+        with ws.frame():
+            a = ws.alloc(16, 16)
+            b = ws.alloc(8, 8)
+            assert a.flags.f_contiguous and a.dtype == np.float64
+            assert np.shares_memory(a, ws._buffer)
+            assert np.shares_memory(b, ws._buffer)
+            assert not np.shares_memory(a, b)
+        assert ws.new_buffer_count == 1  # only the backing buffer itself
+
+    def test_same_offsets_replay_across_calls(self):
+        """Stack discipline => the bump allocator hands back the *same*
+        memory for the same call sequence — the buffer-identity reuse
+        that makes repeated GEMMs allocation-free."""
+        ws = PooledWorkspace(1 << 16)
+
+        def one_call():
+            with ws.frame():
+                x = ws.alloc(10, 10)
+                with ws.frame():
+                    y = ws.alloc(5, 5)
+                    return x.ctypes.data, y.ctypes.data
+
+        assert one_call() == one_call()
+
+    def test_alignment(self):
+        ws = PooledWorkspace(1 << 16)
+        with ws.frame():
+            for shape in [(3, 5), (7, 1), (16, 16)]:
+                arr = ws.alloc(*shape)
+                assert arr.ctypes.data % 64 == 0
+
+    def test_undersized_arena_overflows_then_regrows(self):
+        ws = PooledWorkspace(64)
+        with ws.frame():
+            big = ws.alloc(32, 32)  # 8 KiB does not fit 64 B
+            big[:] = 1.0
+            assert not np.shares_memory(big, ws._buffer)
+        assert ws.overflow_count == 1
+        ws.regrow()
+        assert ws.capacity_bytes >= 32 * 32 * 8
+        with ws.frame():
+            assert np.shares_memory(ws.alloc(32, 32), ws._buffer)
+
+    def test_overflow_keeps_layout_requirement_exact(self):
+        """The virtual cursor keeps advancing on overflow, so one regrow
+        covers the whole call's layout, not just the first temporary."""
+        ws = PooledWorkspace(0)
+        with ws.frame():
+            ws.alloc(16, 16)
+            ws.alloc(16, 16)
+        ws.regrow()
+        grown = ws.new_buffer_bytes
+        with ws.frame():
+            a = ws.alloc(16, 16)
+            b = ws.alloc(16, 16)
+            assert np.shares_memory(a, ws._buffer)
+            assert np.shares_memory(b, ws._buffer)
+        assert ws.new_buffer_bytes == grown
+
+    def test_regrow_with_open_frames_rejected(self):
+        ws = PooledWorkspace(0)
+        with ws.frame():
+            ws.alloc(4, 4)
+            with pytest.raises(WorkspaceError):
+                ws.regrow()
+
+    def test_complex_dtype(self):
+        ws = PooledWorkspace(1 << 16)
+        with ws.frame():
+            z = ws.alloc(4, 4, np.complex128)
+            assert z.dtype == np.complex128
+            assert np.shares_memory(z, ws._buffer)
+            assert ws.live_bytes == 4 * 4 * 16
+
+    def test_frame_discipline_inherited(self):
+        """The stack-discipline WorkspaceError invariant fires inside
+        pooled arenas exactly as in a plain Workspace."""
+        ws = PooledWorkspace(1 << 12)
+        with pytest.raises(WorkspaceError):
+            with ws.frame():
+                ws._frames.append(0)  # simulate a leaked frame
+
+    def test_exception_mid_frame_unwinds_cleanly(self):
+        ws = PooledWorkspace(1 << 12)
+        with pytest.raises(RuntimeError, match="boom"):
+            with ws.frame():
+                ws.alloc(4, 4)
+                with ws.frame():
+                    ws.alloc(2, 2)
+                    raise RuntimeError("boom")
+        assert ws.depth == 0
+        assert ws.live_bytes == 0
+        # and the arena is immediately reusable at the same offsets
+        with ws.frame():
+            assert np.shares_memory(ws.alloc(4, 4), ws._buffer)
+
+
+class TestPool:
+    def test_checkout_checkin_reuses_same_arena(self):
+        pool = WorkspacePool(1 << 12)
+        ws1 = pool.checkout()
+        pool.checkin(ws1)
+        ws2 = pool.checkout()
+        assert ws2 is ws1  # same buffer identity across calls
+        pool.checkin(ws2)
+        assert pool.arenas_created == 1
+
+    def test_concurrent_checkouts_get_distinct_arenas(self):
+        pool = WorkspacePool(1 << 12)
+        ws1, ws2 = pool.checkout(), pool.checkout()
+        assert ws1 is not ws2
+        assert pool.outstanding == 2
+        pool.checkin(ws1)
+        pool.checkin(ws2)
+        assert pool.outstanding == 0 and pool.idle == 2
+
+    def test_prewarm(self):
+        pool = WorkspacePool(1 << 12, prewarm=5)
+        assert pool.arenas_created == 5 and pool.idle == 5
+        held = [pool.checkout() for _ in range(5)]
+        assert pool.arenas_created == 5  # no construction mid-flight
+        for ws in held:
+            pool.checkin(ws)
+
+    def test_checkin_with_open_frame_rejected(self):
+        pool = WorkspacePool(1 << 12)
+        ws = pool.checkout()
+        cm = ws.frame()
+        cm.__enter__()
+        with pytest.raises(WorkspaceError):
+            pool.checkin(ws)
+        # the arena is not in the free list: nobody can scribble on it
+        assert pool.idle == 0
+
+    def test_arena_contextmanager_quarantines_leaked_frames(self):
+        pool = WorkspacePool(1 << 12)
+        with pytest.raises(RuntimeError, match="mid-frame"):
+            with pool.arena() as ws:
+                cm = ws.frame()
+                cm.__enter__()  # leaked on purpose
+                raise RuntimeError("mid-frame")
+        assert pool.outstanding == 0
+        assert pool.idle == 0  # leaked arena dropped, not re-pooled
+        # the pool still works: next checkout builds a fresh arena
+        with pool.arena() as ws2:
+            assert ws2.depth == 0
+        assert pool.idle == 1
+
+    def test_arena_contextmanager_repools_after_clean_exception(self):
+        pool = WorkspacePool(1 << 12)
+        with pytest.raises(RuntimeError):
+            with pool.arena() as ws:
+                with ws.frame():
+                    ws.alloc(4, 4)
+                    raise RuntimeError("unwinds cleanly")
+        assert pool.outstanding == 0 and pool.idle == 1
+
+    def test_per_call_peak_resets_at_checkout(self):
+        pool = WorkspacePool(1 << 16)
+        with pool.arena() as ws:
+            with ws.frame():
+                ws.alloc(32, 32)
+            big_peak = ws.peak_bytes
+        with pool.arena() as ws:
+            with ws.frame():
+                ws.alloc(2, 2)
+            assert ws.peak_bytes == 2 * 2 * 8 < big_peak
+
+    def test_thread_safety_under_concurrent_checkouts(self):
+        pool = WorkspacePool(1 << 14)
+        nthreads, iters = 8, 50
+        in_use = set()
+        in_use_lock = threading.Lock()
+        errors = []
+
+        def worker():
+            try:
+                for _ in range(iters):
+                    ws = pool.checkout()
+                    with in_use_lock:
+                        assert id(ws) not in in_use, "arena shared!"
+                        in_use.add(id(ws))
+                    with ws.frame():
+                        arr = ws.alloc(16, 16)
+                        arr[:] = 1.0
+                    with in_use_lock:
+                        in_use.remove(id(ws))
+                    pool.checkin(ws)
+            except BaseException as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(nthreads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert pool.outstanding == 0
+        assert pool.arenas_created <= nthreads
+
+
+class TestBounds:
+    def test_table1_bounds(self):
+        m = 512
+        # square Table 1 coefficients: strassen2 m^2, strassen1 2m^2/3,
+        # strassen1_general 2m^2
+        s2 = workspace_bound_bytes(m, m, m, "strassen2")
+        s1 = workspace_bound_bytes(m, m, m, "strassen1")
+        s1g = workspace_bound_bytes(m, m, m, "strassen1_general")
+        par = workspace_bound_bytes(m, m, m, "parallel")
+        assert s2 == pytest.approx(m * m * 8, rel=0.05)
+        assert s1 == pytest.approx(2 / 3 * m * m * 8, rel=0.05)
+        assert s1g == pytest.approx(2 * m * m * 8, rel=0.05)
+        assert par == pytest.approx((2 + 7 / 4) * m * m * 8, rel=0.05)
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(WorkspaceError):
+            workspace_bound_bytes(8, 8, 8, "nope")
+
+    def test_hinted_arena_never_regrows_for_serial_dgefmm(self, rng):
+        m = 96
+        a = np.asfortranarray(rng.standard_normal((m, m)))
+        b = np.asfortranarray(rng.standard_normal((m, m)))
+        c = np.zeros((m, m), order="F")
+        pool = WorkspacePool(workspace_bound_bytes(m, m, m, "strassen2"))
+        dgefmm(a, b, c, cutoff=CUT, pool=pool)
+        arena = pool._all[0]
+        assert arena.overflow_count == 0
+        assert arena.new_buffer_count == 1  # just the hinted buffer
+
+    def test_arena_count_matches_bound(self, rng):
+        m = 64
+        a = np.asfortranarray(rng.standard_normal((m, m)))
+        b = np.asfortranarray(rng.standard_normal((m, m)))
+        for workers, depth in [(7, 1), (14, 2), (4, 2)]:
+            pool = WorkspacePool(1 << 16)
+            c = np.zeros((m, m), order="F")
+            pdgefmm(a, b, c, cutoff=CUT, workers=workers,
+                    max_parallel_depth=depth, pool=pool)
+            assert pool.outstanding == 0
+            assert pool.arenas_created <= parallel_arena_count(workers, depth)
+
+
+class TestAmortization:
+    def test_serial_dgefmm_zero_alloc_after_warmup(self, rng):
+        """The acceptance-criterion test: repeated pooled calls perform
+        zero new arena allocations after warm-up."""
+        m = 96
+        a = np.asfortranarray(rng.standard_normal((m, m)))
+        b = np.asfortranarray(rng.standard_normal((m, m)))
+        c = np.zeros((m, m), order="F")
+        pool = WorkspacePool()  # no hint: worst case, learns on call 1
+        dgefmm(a, b, c, cutoff=CUT, pool=pool)
+        warm_bytes = pool.new_buffer_bytes
+        warm_count = pool.new_buffer_count
+        for _ in range(5):
+            dgefmm(a, b, c, cutoff=CUT, pool=pool)
+        assert pool.new_buffer_bytes == warm_bytes
+        assert pool.new_buffer_count == warm_count
+        np.testing.assert_allclose(c, a @ b, atol=1e-9)
+
+    @pytest.mark.parametrize("workers,depth", [(1, 1), (1, 2), (7, 1),
+                                               (14, 2)])
+    def test_pdgefmm_zero_alloc_after_warmup(self, rng, workers, depth):
+        m = 96
+        a = np.asfortranarray(rng.standard_normal((m, m)))
+        b = np.asfortranarray(rng.standard_normal((m, m)))
+        pool = WorkspacePool(
+            workspace_bound_bytes(m, m, m, "parallel"),
+            prewarm=parallel_arena_count(workers, depth),
+        )
+
+        def call():
+            c = np.zeros((m, m), order="F")
+            pdgefmm(a, b, c, cutoff=CUT, workers=workers,
+                    max_parallel_depth=depth, pool=pool)
+            return c
+
+        call()
+        call()  # two warm-up calls: let arena->role assignment settle
+        warm_bytes = pool.new_buffer_bytes
+        arenas = pool.arenas_created
+        for _ in range(4):
+            c = call()
+        assert pool.new_buffer_bytes == warm_bytes
+        assert pool.arenas_created == arenas
+        np.testing.assert_allclose(c, a @ b, atol=1e-9)
+
+    def test_unpooled_calls_allocate_every_time(self, rng):
+        """The 'before' side of the amortization claim."""
+        m = 64
+        a = np.asfortranarray(rng.standard_normal((m, m)))
+        b = np.asfortranarray(rng.standard_normal((m, m)))
+        c = np.zeros((m, m), order="F")
+        from repro.core.workspace import Workspace
+
+        ws1, ws2 = Workspace(), Workspace()
+        dgefmm(a, b, c, cutoff=CUT, workspace=ws1)
+        dgefmm(a, b, c, cutoff=CUT, workspace=ws2)
+        assert ws1.new_buffer_bytes == ws2.new_buffer_bytes > 0
