@@ -8,9 +8,31 @@ reproduction log recorded in EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import json
+import os
 import sys
 
 
 def emit(title: str, body: str) -> None:
     """Print an exhibit so it lands in the benchmark session output."""
     sys.stdout.write(f"\n===== {title} =====\n{body}\n")
+
+
+def emit_json(bench: str, params: dict, rows: list, **extra) -> str:
+    """Write one ``BENCH_<name>.json`` trajectory document.
+
+    The document uses the same schema as the ``--json`` mode of the
+    ``python -m repro`` commands — ``{"bench", "schema", "params",
+    "rows"}`` plus any extra keys — so CLI captures and benchmark runs
+    can be collected and diffed with one set of tooling.  The output
+    directory defaults to the current directory and can be redirected
+    with the ``BENCH_JSON_DIR`` environment variable.
+    """
+    doc = {"bench": bench, "schema": 1, "params": params, "rows": rows}
+    doc.update(extra)
+    outdir = os.environ.get("BENCH_JSON_DIR", ".")
+    path = os.path.join(outdir, f"BENCH_{bench}.json")
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path

@@ -49,6 +49,13 @@ from repro.core.pool import (
 from repro.core.workspace import Workspace
 from repro.eigensolver import isda_eigh
 from repro.linalg import getrf, lu_solve, solve
+from repro.plan import (
+    ExecutionPlan,
+    PlanCache,
+    PlanSignature,
+    compile_plan,
+    execute_plan,
+)
 
 __version__ = "1.0.0"
 
@@ -68,6 +75,11 @@ __all__ = [
     "WorkspacePool",
     "workspace_bound_bytes",
     "parallel_arena_count",
+    "PlanCache",
+    "PlanSignature",
+    "ExecutionPlan",
+    "compile_plan",
+    "execute_plan",
     "TheoreticalCutoff",
     "SimpleCutoff",
     "HighamCutoff",

@@ -6,13 +6,28 @@ report    regenerate the paper's tables/figures (see harness.report)
 figures   export figure series as CSV files
 memory    print the Table 1 memory coefficients for a given order
 parallel  repeated-call throughput: serial vs pooled parallel DGEFMM
+plan      compile/explain/replay execution plans (``--selftest`` verifies)
 selftest  quick end-to-end verification of the installation
+
+``memory``, ``parallel``, and ``plan`` accept ``--json`` and then print a
+single JSON document with the benchmark schema ``{"bench", "schema",
+"params", "rows"}`` — the same shape ``benchmarks/conftest.py`` writes as
+``BENCH_*.json`` — so CLI runs can be captured as bench trajectories.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+
+
+def _print_bench_json(bench: str, params: dict, rows: list, **extra) -> None:
+    """Emit one benchmark-schema JSON document on stdout."""
+    import json
+
+    doc = {"bench": bench, "schema": 1, "params": params, "rows": rows}
+    doc.update(extra)
+    print(json.dumps(doc, indent=2, sort_keys=True))
 
 
 def _cmd_report(args) -> int:
@@ -36,6 +51,9 @@ def _cmd_memory(args) -> int:
     from repro.utils.tables import format_table
 
     rows = table1_memory(m=args.order)
+    if args.json:
+        _print_bench_json("memory", {"order": args.order}, rows)
+        return 0
     print(
         format_table(
             ["implementation", "beta=0 (m^2)", "general (m^2)"],
@@ -76,6 +94,8 @@ def _cmd_parallel(args) -> int:
             prewarm=parallel_arena_count(args.workers, args.depth),
         )
 
+    rows = []
+
     def measure(fn, label, new_bytes=None):
         fn()  # warm-up call (grows pooled arenas, faults pages)
         base = new_bytes() if new_bytes is not None else 0
@@ -84,16 +104,24 @@ def _cmd_parallel(args) -> int:
             t0 = time.perf_counter()
             fn()
             times.append(time.perf_counter() - t0)
+        per_call = None
         if new_bytes is not None:
             per_call = (new_bytes() - base) / max(args.repeat, 1)
             alloc = f"{per_call:,.0f} fresh B/call after warm-up"
         else:
             alloc = "fresh B/call untracked (no pool)"
         best = min(times)
-        print(
-            f"{label:<28} best {best:.4f} s "
-            f"({2.0 * m**3 / best / 1e9:.2f} GFLOP/s eq), {alloc}"
-        )
+        rows.append({
+            "label": label,
+            "best_s": best,
+            "gflops_eq": 2.0 * m**3 / best / 1e9,
+            "fresh_bytes_per_call": per_call,
+        })
+        if not args.json:
+            print(
+                f"{label:<28} best {best:.4f} s "
+                f"({2.0 * m**3 / best / 1e9:.2f} GFLOP/s eq), {alloc}"
+            )
         return best
 
     serial_alloc = [0]
@@ -107,19 +135,235 @@ def _cmd_parallel(args) -> int:
         pdgefmm(a, b, c, cutoff=crit, workers=args.workers,
                 max_parallel_depth=args.depth, pool=pool)
 
-    print(
-        f"order {m}, cutoff {args.cutoff}, workers {args.workers}, "
-        f"max_parallel_depth {args.depth}, pool "
-        f"{'on' if pool is not None else 'off'}, {args.repeat} calls"
-    )
+    if not args.json:
+        print(
+            f"order {m}, cutoff {args.cutoff}, workers {args.workers}, "
+            f"max_parallel_depth {args.depth}, pool "
+            f"{'on' if pool is not None else 'off'}, {args.repeat} calls"
+        )
     t_s = measure(serial, "serial dgefmm", lambda: serial_alloc[0])
     t_p = measure(parallel, "pdgefmm",
                   (lambda: pool.new_buffer_bytes) if pool is not None
                   else None)
+    if args.json:
+        _print_bench_json(
+            "parallel",
+            {"order": m, "cutoff": args.cutoff, "workers": args.workers,
+             "depth": args.depth, "repeat": args.repeat,
+             "pool": pool is not None},
+            rows,
+            summary={
+                "speedup": t_s / t_p,
+                "pool_arenas": (pool.arenas_created
+                                if pool is not None else None),
+                "pool_new_buffer_bytes": (pool.new_buffer_bytes
+                                          if pool is not None else None),
+            },
+        )
+        return 0
     print(f"speedup {t_s / t_p:.2f}x")
     if pool is not None:
         print(f"pool: {pool.arenas_created} arenas, "
               f"{pool.new_buffer_bytes:,} B total fresh allocation")
+    return 0
+
+
+def _plan_signature(args):
+    from repro.blas.level3 import DEFAULT_TILE
+    from repro.core.cutoff import SimpleCutoff
+    from repro.plan.compiler import PlanSignature
+
+    m = args.m if args.m is not None else args.order
+    k = args.k if args.k is not None else args.order
+    n = args.n if args.n is not None else args.order
+    if args.parallel:
+        # pdgefmm pins scheme/peel; depth is part of the signature
+        return PlanSignature(
+            "parallel", m, k, n, False, False, False, args.beta == 0.0,
+            args.dtype, "auto", "tail", SimpleCutoff(args.cutoff),
+            DEFAULT_TILE, "substrate", args.depth,
+        )
+    return PlanSignature(
+        "serial", m, k, n, False, False, False, args.beta == 0.0,
+        args.dtype, args.scheme, args.peel, SimpleCutoff(args.cutoff),
+        DEFAULT_TILE, "substrate", 0,
+    )
+
+
+def _sig_params(sig) -> dict:
+    d = {f: getattr(sig, f) for f in sig.__dataclass_fields__}
+    d["cutoff"] = repr(sig.cutoff)
+    return d
+
+
+def _counts_json(counts: dict) -> dict:
+    out = dict(counts)
+    out["kernel_calls"] = dict(counts["kernel_calls"])
+    out["base_shapes"] = {
+        "x".join(map(str, shape)): count
+        for shape, count in counts["base_shapes"].items()
+    }
+    return out
+
+
+def _plan_cache_stats(args) -> int:
+    import numpy as np
+
+    from repro.core.cutoff import SimpleCutoff
+    from repro.core.dgefmm import dgefmm
+    from repro.plan import PlanCache
+
+    m = args.m if args.m is not None else args.order
+    k = args.k if args.k is not None else args.order
+    n = args.n if args.n is not None else args.order
+    shapes = sorted({
+        (m, k, n),
+        (max(1, m // 2 + 1), max(1, k // 2 + 1), max(1, n // 2 + 1)),
+        (m, max(1, k // 2), n),
+    })
+    cache = PlanCache(max_plans=args.max_plans)
+    crit = SimpleCutoff(args.cutoff)
+    rng = np.random.default_rng(0)
+    for _ in range(max(args.repeat, 1)):
+        for mm, kk, nn in shapes:
+            a = np.asfortranarray(rng.standard_normal((mm, kk)))
+            b = np.asfortranarray(rng.standard_normal((kk, nn)))
+            c = np.zeros((mm, nn), order="F")
+            dgefmm(a, b, c, cutoff=crit, scheme=args.scheme,
+                   peel=args.peel, plan_cache=cache)
+    stats = cache.stats()
+    if args.json:
+        _print_bench_json(
+            "plan_cache",
+            {"shapes": ["x".join(map(str, s)) for s in shapes],
+             "repeat": args.repeat, "cutoff": args.cutoff,
+             "scheme": args.scheme, "peel": args.peel,
+             "max_plans": args.max_plans},
+            [stats],
+        )
+        return 0
+    print(f"workload: {len(shapes)} shapes x {max(args.repeat, 1)} repeats,"
+          f" cutoff {args.cutoff}")
+    print(f"plan cache: {stats['plans']} plans, {stats['bytes']:,} B, "
+          f"{stats['hits']} hits, {stats['misses']} misses, "
+          f"{stats['evictions']} evictions")
+    return 0
+
+
+def _plan_selftest(json_out: bool = False) -> int:
+    """Compile + execute + cache-stats on a small grid (CI quick lane)."""
+    import numpy as np
+
+    from repro.blas.level3 import DEFAULT_TILE
+    from repro.context import ExecutionContext
+    from repro.core.cutoff import SimpleCutoff
+    from repro.core.dgefmm import dgefmm
+    from repro.core.recursion import recursion_profile
+    from repro.plan import PlanCache
+    from repro.plan.compiler import PlanSignature
+
+    crit = SimpleCutoff(8)
+    cache = PlanCache()
+    rng = np.random.default_rng(0)
+    cases = [(16, 16, 16), (17, 13, 19), (24, 10, 31), (29, 29, 29)]
+    rows = []
+    ok = True
+    for mm, kk, nn in cases:
+        a = np.asfortranarray(rng.standard_normal((mm, kk)))
+        b = np.asfortranarray(rng.standard_normal((kk, nn)))
+        c0 = np.asfortranarray(rng.standard_normal((mm, nn)))
+        for alpha, beta in ((1.0, 0.0), (1.5, 0.5)):
+            c_rec, c_pln = c0.copy(order="F"), c0.copy(order="F")
+            ctx_r, ctx_p = ExecutionContext(), ExecutionContext()
+            dgefmm(a, b, c_rec, alpha, beta, cutoff=crit, ctx=ctx_r)
+            dgefmm(a, b, c_pln, alpha, beta, cutoff=crit, ctx=ctx_p,
+                   plan_cache=cache)
+            sig = PlanSignature("serial", mm, kk, nn, False, False,
+                                False, beta == 0.0, "float64", "auto",
+                                "tail", crit, DEFAULT_TILE, "substrate")
+            plan = cache.get(sig)
+            prof = recursion_profile(mm, kk, nn, crit)
+            bit = bool(np.array_equal(c_rec, c_pln))
+            kc = ctx_r.kernel_calls == ctx_p.kernel_calls
+            pr = plan is not None and all(
+                plan.counts[key] == prof[key]
+                for key in ("recurse", "base", "peel", "max_depth",
+                            "mul_flops", "base_shapes")
+            )
+            ok = ok and bit and kc and pr
+            rows.append({"m": mm, "k": kk, "n": nn, "alpha": alpha,
+                         "beta": beta, "bit_identical": bit,
+                         "kernel_counts_match": kc, "profile_match": pr})
+            if not json_out:
+                print(f"plan {mm}x{kk}x{nn} alpha={alpha} beta={beta}: "
+                      f"bit-identical {'ok' if bit else 'FAILED'}, "
+                      f"kernel counts {'ok' if kc else 'FAILED'}, "
+                      f"profile {'ok' if pr else 'FAILED'}")
+    # warm replay: every signature is cached now, so only hits accrue
+    before = cache.stats()
+    for mm, kk, nn in cases:
+        a = np.asfortranarray(rng.standard_normal((mm, kk)))
+        b = np.asfortranarray(rng.standard_normal((kk, nn)))
+        c = np.zeros((mm, nn), order="F")
+        dgefmm(a, b, c, cutoff=crit, plan_cache=cache)
+    after = cache.stats()
+    warm = (after["misses"] == before["misses"]
+            and after["hits"] == before["hits"] + len(cases))
+    ok = ok and warm
+    if json_out:
+        _print_bench_json("plan_selftest", {"cutoff": 8}, rows,
+                          cache=after, warm_replay_all_hits=warm, ok=ok)
+    else:
+        print(f"warm replay: {'all hits' if warm else 'UNEXPECTED MISSES'}"
+              f" ({after['hits']} hits, {after['misses']} misses, "
+              f"{after['plans']} plans)")
+        print(f"plan selftest: {'ok' if ok else 'FAILED'}")
+    return 0 if ok else 1
+
+
+def _cmd_plan(args) -> int:
+    if args.selftest:
+        return _plan_selftest(json_out=args.json)
+    if args.action == "cache-stats":
+        return _plan_cache_stats(args)
+
+    from repro.plan import compile_plan
+
+    sig = _plan_signature(args)
+    plan = compile_plan(sig)
+    if args.action == "explain":
+        lines = plan.describe(max_ops=args.max_ops)
+        if args.json:
+            _print_bench_json("plan_explain", _sig_params(sig), [],
+                              lines=lines)
+        else:
+            print("\n".join(lines))
+        return 0
+    counts = _counts_json(plan.total_counts())
+    row = {
+        "n_ops": plan.n_ops,
+        "regions": len(plan.regions),
+        "branches": len(plan.branches),
+        "arena_bytes": plan.arena_bytes,
+        "peak_bytes": plan.peak_bytes,
+        "charge_bytes": plan.charge_bytes,
+        "plan_nbytes": plan.nbytes,
+        "counts": counts,
+    }
+    if args.json:
+        _print_bench_json("plan_compile", _sig_params(sig), [row])
+        return 0
+    print(f"signature: {sig}")
+    print(f"ops {plan.n_ops}, regions {len(plan.regions)}, "
+          f"branches {len(plan.branches)}")
+    print(f"arena {plan.arena_bytes:,} B, workspace peak "
+          f"{plan.peak_bytes:,} B, pool charge {plan.charge_bytes:,} B, "
+          f"plan size ~{plan.nbytes:,} B")
+    print(f"recursion: {counts['recurse']} recurse, {counts['base']} base, "
+          f"{counts['peel']} peel, max depth {counts['max_depth']}")
+    print(f"mul flops {int(counts['mul_flops']):,}; kernel calls: "
+          + ", ".join(f"{name} {num}" for name, num
+                      in sorted(counts["kernel_calls"].items())))
     return 0
 
 
@@ -159,6 +403,8 @@ def main(argv=None) -> int:
 
     p = sub.add_parser("memory", help="Table 1 coefficients")
     p.add_argument("--order", type=int, default=2048)
+    p.add_argument("--json", action="store_true",
+                   help="emit the benchmark-schema JSON document")
     p.set_defaults(fn=_cmd_memory)
 
     p = sub.add_parser(
@@ -177,7 +423,47 @@ def main(argv=None) -> int:
                    help="SimpleCutoff tau for both codes")
     p.add_argument("--no-pool", dest="pool", action="store_false",
                    help="disable the workspace pool (fresh arenas)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the benchmark-schema JSON document")
     p.set_defaults(fn=_cmd_parallel, pool=True)
+
+    p = sub.add_parser(
+        "plan",
+        help="compile, explain, or exercise cached execution plans",
+    )
+    p.add_argument("action", nargs="?", default="compile",
+                   choices=["compile", "explain", "cache-stats"],
+                   help="what to do with the plan (default: compile)")
+    p.add_argument("--order", type=int, default=96,
+                   help="square problem size when --m/--k/--n not given")
+    p.add_argument("--m", type=int, default=None)
+    p.add_argument("--k", type=int, default=None)
+    p.add_argument("--n", type=int, default=None)
+    p.add_argument("--scheme", default="auto",
+                   choices=["auto", "strassen1", "strassen1_general",
+                            "strassen2", "textbook"])
+    p.add_argument("--peel", default="tail", choices=["tail", "head"])
+    p.add_argument("--cutoff", type=int, default=32,
+                   help="SimpleCutoff tau for the compiled signature")
+    p.add_argument("--dtype", default="float64",
+                   choices=["float64", "float32", "complex128"])
+    p.add_argument("--beta", type=float, default=0.0,
+                   help="beta scalar class for the signature (0 or not)")
+    p.add_argument("--parallel", action="store_true",
+                   help="compile a pdgefmm-style parallel plan")
+    p.add_argument("--depth", type=int, default=1,
+                   help="max_parallel_depth for --parallel plans")
+    p.add_argument("--max-ops", dest="max_ops", type=int, default=60,
+                   help="op lines shown by the explain action")
+    p.add_argument("--max-plans", dest="max_plans", type=int, default=64,
+                   help="PlanCache bound for the cache-stats action")
+    p.add_argument("--repeat", type=int, default=3,
+                   help="workload repeats for the cache-stats action")
+    p.add_argument("--selftest", action="store_true",
+                   help="compile + execute + cache-stats on a small grid")
+    p.add_argument("--json", action="store_true",
+                   help="emit the benchmark-schema JSON document")
+    p.set_defaults(fn=_cmd_plan)
 
     p = sub.add_parser("selftest", help="quick installation check")
     p.set_defaults(fn=_cmd_selftest)

@@ -24,7 +24,7 @@ schedules rely on ``msub(x, y, out=y)`` style in-place chains), but
 
 from __future__ import annotations
 
-from typing import Any, Optional
+from typing import Any, Callable, NamedTuple, Optional
 
 import numpy as np
 
@@ -32,7 +32,16 @@ from repro.context import ExecutionContext, ensure_context
 from repro.blas.validate import require_matrix, require_shape, require_writable
 from repro.errors import ArgumentError
 
-__all__ = ["madd", "msub", "accum", "axpby", "mcopy", "mzero"]
+__all__ = [
+    "madd",
+    "msub",
+    "accum",
+    "axpby",
+    "mcopy",
+    "mzero",
+    "BlockKernels",
+    "NUMERIC_KERNELS",
+]
 
 
 def _charge_add(ctx: ExecutionContext, name: str, m: int, n: int) -> None:
@@ -138,6 +147,29 @@ def axpby(
         elif alpha != 0.0:
             y += alpha * x
     return y
+
+
+class BlockKernels(NamedTuple):
+    """The four block-addition entry points as an injectable namespace.
+
+    The Strassen schedules (:mod:`repro.core.strassen1`,
+    :mod:`repro.core.strassen2`, :mod:`repro.core.textbook`, and the
+    parallel level's stage helpers) take a ``kernels`` argument of this
+    shape.  The default, :data:`NUMERIC_KERNELS`, performs the numerics;
+    the plan compiler (:mod:`repro.plan.compiler`) substitutes a
+    *recording* set that emits typed plan ops instead, so one schedule
+    definition serves both live execution and plan compilation without
+    the two ever drifting apart.
+    """
+
+    madd: Callable[..., Any]
+    msub: Callable[..., Any]
+    accum: Callable[..., Any]
+    axpby: Callable[..., Any]
+
+
+#: the real (numeric) kernel set — the default everywhere
+NUMERIC_KERNELS = BlockKernels(madd, msub, accum, axpby)
 
 
 def mcopy(

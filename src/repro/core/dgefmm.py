@@ -86,6 +86,7 @@ def dgefmm(
     pool: Optional["WorkspacePool"] = None,
     nb: int = DEFAULT_TILE,
     backend: str = "substrate",
+    plan_cache: Optional["PlanCache"] = None,
 ) -> Any:
     """Strassen-based GEMM: ``C <- alpha*op(A)*op(B) + beta*C`` in place.
 
@@ -131,6 +132,15 @@ def dgefmm(
         ``"substrate"`` (default, the package's own standard-algorithm
         kernel) or ``"vendor"`` (numpy's BLAS matmul) for modern-host
         practicality experiments.
+    plan_cache:
+        A :class:`~repro.plan.cache.PlanCache`.  When given (and not in
+        dry mode, and no explicit ``workspace`` is supplied), the call
+        compiles — or fetches — an execution plan for this problem
+        signature and replays it instead of walking the recursion:
+        repeated shapes skip all per-call planning, and with ``pool``
+        also all allocation.  Results are bit-identical to the
+        recursive path; cache counters land in
+        ``ctx.stats["plan_cache"]``.
     """
     ctx = ensure_context(ctx)
     require_matrix("dgefmm", "a", a)
@@ -155,6 +165,28 @@ def dgefmm(
         )
 
     crit = cutoff if cutoff is not None else DEFAULT_CUTOFF
+
+    if plan_cache is not None and not ctx.dry and workspace is None:
+        # plan path: compile once per signature, replay bit-identically.
+        # Imported lazily — repro.plan imports this module for the
+        # scheme dispatch it compiles through.
+        from repro.plan.compiler import PlanSignature
+        from repro.plan.executor import execute_plan
+
+        dt = getattr(c, "dtype", None) or "float64"
+        sig = PlanSignature(
+            "serial", m, k, n, bool(transa), bool(transb),
+            alpha == 0.0, beta == 0.0, str(dt), scheme, peel, crit,
+            nb, backend,
+        )
+        plan = plan_cache.get_or_compile(sig)
+        execute_plan(
+            plan, a.T if transa else a, b.T if transb else b, c,
+            alpha, beta, ctx=ctx, pool=pool,
+        )
+        ctx.stats["plan_cache"] = plan_cache.stats()
+        return c
+
     pooled = False
     if workspace is not None:
         ws = workspace

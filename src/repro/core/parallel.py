@@ -57,7 +57,7 @@ from concurrent.futures import ThreadPoolExecutor
 from contextlib import contextmanager
 from typing import Any, Iterator, List, Optional
 
-from repro.blas.addsub import accum, axpby, madd, msub
+from repro.blas.addsub import NUMERIC_KERNELS, BlockKernels
 from repro.blas.level3 import DEFAULT_TILE
 from repro.blas.validate import opshape, require_matrix, require_writable
 from repro.context import ExecutionContext, ensure_context
@@ -104,6 +104,83 @@ def parallel_arena_count(workers: int, max_parallel_depth: int = 1) -> int:
     return held(workers, 1)
 
 
+def _quadrants(x: Any) -> tuple:
+    """The four half-size blocks of an even-dimensioned matrix."""
+    m, n = x.shape
+    hm, hn = m // 2, n // 2
+    return x[:hm, :hn], x[:hm, hn:], x[hm:, :hn], x[hm:, hn:]
+
+
+def _stage_sums(
+    a: Any,
+    b: Any,
+    ws: Workspace,
+    dt: Any,
+    ctx: Optional[ExecutionContext],
+    em: BlockKernels = NUMERIC_KERNELS,
+) -> tuple:
+    """Stages (1)/(2) of the parallel level: materialize all four S and
+    four T block sums plus the seven product blocks.
+
+    Returns ``((s1..s4), (t1..t4), (p1..p7))`` — every block drawn from
+    ``ws`` in a fixed order so pooled (and plan-compiled) layouts replay
+    identically.  Shared by the live parallel driver and the plan
+    compiler (which passes recording ``em`` kernels and a recording
+    workspace).
+    """
+    a11, a12, a21, a22 = _quadrants(a)
+    b11, b12, b21, b22 = _quadrants(b)
+    hm, hk = a11.shape
+    hn = b11.shape[1]
+    s1 = em.madd(a21, a22, ws.alloc(hm, hk, dt), ctx=ctx)
+    s2 = em.msub(s1, a11, ws.alloc(hm, hk, dt), ctx=ctx)
+    s3 = em.msub(a11, a21, ws.alloc(hm, hk, dt), ctx=ctx)
+    s4 = em.msub(a12, s2, ws.alloc(hm, hk, dt), ctx=ctx)
+    t1 = em.msub(b12, b11, ws.alloc(hk, hn, dt), ctx=ctx)
+    t2 = em.msub(b22, t1, ws.alloc(hk, hn, dt), ctx=ctx)
+    t3 = em.msub(b22, b12, ws.alloc(hk, hn, dt), ctx=ctx)
+    t4 = em.msub(t2, b21, ws.alloc(hk, hn, dt), ctx=ctx)
+    ps = tuple(ws.alloc(hm, hn, dt) for _ in range(7))
+    return (s1, s2, s3, s4), (t1, t2, t3, t4), ps
+
+
+def _job_operands(a: Any, b: Any, s: tuple, t: tuple, ps: tuple) -> tuple:
+    """The seven independent products of stage (3) as (a, b, out) triples."""
+    a11, a12, a21, a22 = _quadrants(a)
+    b11, b12, b21, b22 = _quadrants(b)
+    s1, s2, s3, s4 = s
+    t1, t2, t3, t4 = t
+    p1, p2, p3, p4, p5, p6, p7 = ps
+    return (
+        (a11, b11, p1), (a12, b21, p2), (s4, b22, p3), (a22, t4, p4),
+        (s1, t1, p5), (s2, t2, p6), (s3, t3, p7),
+    )
+
+
+def _stage_combine(
+    ps: tuple,
+    c: Any,
+    alpha: Any,
+    beta: Any,
+    ctx: Optional[ExecutionContext],
+    em: BlockKernels = NUMERIC_KERNELS,
+) -> None:
+    """Stage (4), serial: the U-tree over the materialized products."""
+    c11, c12, c21, c22 = _quadrants(c)
+    p1, p2, p3, p4, p5, p6, p7 = ps
+    em.accum(p1, p6, ctx=ctx)                 # p6 = U2
+    em.accum(p1, p2, ctx=ctx)                 # p2 = U1
+    em.axpby(alpha, p2, beta, c11, ctx=ctx)   # C11 done
+    em.accum(p6, p7, ctx=ctx)                 # p7 = U3
+    em.axpby(alpha, p7, beta, c21, ctx=ctx)
+    em.axpby(-alpha, p4, 1.0, c21, ctx=ctx)   # C21 done
+    em.axpby(alpha, p7, beta, c22, ctx=ctx)
+    em.axpby(alpha, p5, 1.0, c22, ctx=ctx)    # C22 done
+    em.accum(p6, p5, ctx=ctx)                 # p5 = U4
+    em.accum(p3, p5, ctx=ctx)                 # p5 = U5
+    em.axpby(alpha, p5, beta, c12, ctx=ctx)   # C12 done
+
+
 @contextmanager
 def _job_arena(pool: Optional[WorkspacePool]) -> Iterator[Workspace]:
     """A private arena for one worker: pooled if possible, else fresh."""
@@ -130,6 +207,7 @@ def pdgefmm(
     workspace: Optional[Workspace] = None,
     pool: Optional[WorkspacePool] = None,
     nb: int = DEFAULT_TILE,
+    plan_cache: Optional["PlanCache"] = None,
 ) -> Any:
     """Parallel Strassen GEMM: ``C <- alpha*op(A)*op(B) + beta*C``.
 
@@ -140,9 +218,15 @@ def pdgefmm(
     Falls back to serial DGEFMM whenever the cutoff declines the
     top-level recursion.  ``pool`` supplies reusable per-worker workspace
     arenas; ``workspace`` (if given) is used for the top level's S/T/P
-    blocks exactly as before.  Not supported in dry mode (simulated time
-    has no thread model), and stateful :class:`DepthCutoff` criteria are
-    rejected — they cannot be shared across concurrent recursions.
+    blocks exactly as before.  ``plan_cache`` (a
+    :class:`~repro.plan.cache.PlanCache`) switches to compiled-plan
+    replay: the parallel structure — which depends only on
+    ``max_parallel_depth`` and the cutoff, never on ``workers`` — is
+    compiled once per signature and replayed under the same worker-
+    budget model, bit-identically.  Not supported in dry mode (simulated
+    time has no thread model), and stateful :class:`DepthCutoff`
+    criteria are rejected — they cannot be shared across concurrent
+    recursions.
     """
     ctx = ensure_context(ctx)
     if ctx.dry:
@@ -174,6 +258,24 @@ def pdgefmm(
         )
     opa = a.T if transa else a
     opb = b.T if transb else b
+
+    if plan_cache is not None and workspace is None:
+        # compiled-plan replay (lazy import: repro.plan compiles through
+        # this module's stage helpers)
+        from repro.plan.compiler import PlanSignature
+        from repro.plan.executor import execute_plan
+
+        dt = getattr(c, "dtype", None) or "float64"
+        sig = PlanSignature(
+            "parallel", m, k, n, bool(transa), bool(transb),
+            alpha == 0.0, beta == 0.0, str(dt), "auto", "tail", crit,
+            nb, "substrate", max_parallel_depth,
+        )
+        plan = plan_cache.get_or_compile(sig)
+        execute_plan(plan, opa, opb, c, alpha, beta, ctx=ctx, pool=pool,
+                     workers=workers)
+        ctx.stats["plan_cache"] = plan_cache.stats()
+        return c
 
     if m == 0 or n == 0:
         return c
@@ -268,15 +370,7 @@ def _parallel_level(
 ) -> int:
     """One parallel Winograd level (even dims); returns the peak charge:
     this level's own arena peak plus the sum of its products' charges."""
-    m, k = a.shape
-    n = b.shape[1]
-    hm, hk, hn = m // 2, k // 2, n // 2
     dt = getattr(c, "dtype", None) or "float64"
-
-    a11, a12, a21, a22 = a[:hm, :hk], a[:hm, hk:], a[hm:, :hk], a[hm:, hk:]
-    b11, b12, b21, b22 = b[:hk, :hn], b[:hk, hn:], b[hk:, :hn], b[hk:, hn:]
-    c11, c12, c21, c22 = c[:hm, :hn], c[:hm, hn:], c[hm:, :hn], c[hm:, hn:]
-
     threads, sub_budget = _split_budget(budget)
     # the *structure* of the recursion depends only on max_parallel_depth
     # (and the cutoff); the budget governs execution — how many threads
@@ -288,21 +382,8 @@ def _parallel_level(
     with ws.frame():
         # stages (1)/(2): all eight sums materialized (read-only inputs
         # for the concurrent products)
-        s1 = madd(a21, a22, ws.alloc(hm, hk, dt), ctx=ctx)
-        s2 = msub(s1, a11, ws.alloc(hm, hk, dt), ctx=ctx)
-        s3 = msub(a11, a21, ws.alloc(hm, hk, dt), ctx=ctx)
-        s4 = msub(a12, s2, ws.alloc(hm, hk, dt), ctx=ctx)
-        t1 = msub(b12, b11, ws.alloc(hk, hn, dt), ctx=ctx)
-        t2 = msub(b22, t1, ws.alloc(hk, hn, dt), ctx=ctx)
-        t3 = msub(b22, b12, ws.alloc(hk, hn, dt), ctx=ctx)
-        t4 = msub(t2, b21, ws.alloc(hk, hn, dt), ctx=ctx)
-
-        ps = [ws.alloc(hm, hn, dt) for _ in range(7)]
-        p1, p2, p3, p4, p5, p6, p7 = ps
-        jobs = [
-            (a11, b11, p1), (a12, b21, p2), (s4, b22, p3), (a22, t4, p4),
-            (s1, t1, p5), (s2, t2, p6), (s3, t3, p7),
-        ]
+        s, t, ps = _stage_sums(a, b, ws, dt, ctx)
+        jobs = _job_operands(a, b, s, t, ps)
 
         worker_ctxs = [
             ExecutionContext(ctx.machine, trace=ctx.trace) for _ in jobs
@@ -336,17 +417,6 @@ def _parallel_level(
         for wctx in worker_ctxs:
             ctx.merge_child(wctx)
 
-        # stage (4), serial: U-tree over the materialized products
-        accum(p1, p6, ctx=ctx)                 # p6 = U2
-        accum(p1, p2, ctx=ctx)                 # p2 = U1
-        axpby(alpha, p2, beta, c11, ctx=ctx)   # C11 done
-        accum(p6, p7, ctx=ctx)                 # p7 = U3
-        axpby(alpha, p7, beta, c21, ctx=ctx)
-        axpby(-alpha, p4, 1.0, c21, ctx=ctx)   # C21 done
-        axpby(alpha, p7, beta, c22, ctx=ctx)
-        axpby(alpha, p5, 1.0, c22, ctx=ctx)    # C22 done
-        accum(p6, p5, ctx=ctx)                 # p5 = U4
-        accum(p3, p5, ctx=ctx)                 # p5 = U5
-        axpby(alpha, p5, beta, c12, ctx=ctx)   # C12 done
+        _stage_combine(ps, c, alpha, beta, ctx)
 
     return ws.peak_bytes + sum(peaks)

@@ -178,6 +178,30 @@ class PooledWorkspace(Workspace):
             )
         self._peak_bytes = self._live_bytes  # == 0 at depth 0
 
+    def reserve(self, nbytes: int) -> np.ndarray:
+        """Ensure the backing buffer holds at least ``nbytes``; return it.
+
+        The plan executor (:mod:`repro.plan.executor`) sizes an arena
+        once from a compiled plan's precomputed layout, then binds all
+        temporary views against the returned buffer.  Only legal while
+        no frames are open (a regrow moves the base and would dangle
+        any live frame views).  The request is recorded in ``_required``
+        so a later :meth:`regrow` never shrinks below it.
+        """
+        if self._frames:
+            raise WorkspaceError(
+                f"reserve with {len(self._frames)} frame(s) still open"
+            )
+        if nbytes < 0:
+            raise WorkspaceError(f"invalid reserve request {nbytes}")
+        if nbytes > self._required:
+            self._required = int(nbytes)
+        if self._required > self._buffer.nbytes:
+            self._buffer = _aligned_buffer(self._required)
+            self.new_buffer_bytes += int(self._buffer.nbytes)
+            self.new_buffer_count += 1
+        return self._buffer
+
     def regrow(self) -> None:
         """Provision the buffer for the largest requirement seen so far.
 

@@ -49,9 +49,9 @@ forced (see :mod:`repro.core.dgefmm`).
 
 from __future__ import annotations
 
-from typing import Any, Callable
+from typing import Any, Callable, Optional
 
-from repro.blas.addsub import accum, axpby, madd, msub
+from repro.blas.addsub import NUMERIC_KERNELS, BlockKernels
 from repro.context import ExecutionContext
 from repro.core.workspace import Workspace
 
@@ -69,6 +69,7 @@ def strassen1_beta0_level(
     ctx: ExecutionContext,
     ws: Workspace,
     recurse: RecurseFn,
+    kernels: Optional[BlockKernels] = None,
 ) -> None:
     """One STRASSEN1 level for ``C <- alpha*A*B`` (beta = 0), even dims.
 
@@ -76,6 +77,7 @@ def strassen1_beta0_level(
     they host four of the seven products; R1/R2 host the S/T chains and
     the two products that cannot live in C.
     """
+    em = kernels if kernels is not None else NUMERIC_KERNELS
     m, k = a.shape
     n = b.shape[1]
     hm, hk, hn = m // 2, k // 2, n // 2
@@ -91,31 +93,31 @@ def strassen1_beta0_level(
         rs = r1[:, :hk]   # S-chain view (m/2 x k/2)
         rp = r1[:, :hn]   # product view (m/2 x n/2), live only when S dead
 
-        madd(a21, a22, rs, alpha, ctx=ctx)        # rs = alpha*S1
-        msub(b12, b11, r2, ctx=ctx)               # r2 = T1
+        em.madd(a21, a22, rs, alpha, ctx=ctx)        # rs = alpha*S1
+        em.msub(b12, b11, r2, ctx=ctx)               # r2 = T1
         recurse(rs, r2, c22, 1.0, 0.0)            # C22 = alpha*P5
-        axpby(-alpha, a11, 1.0, rs, ctx=ctx)      # rs = alpha*S2
-        msub(b22, r2, r2, ctx=ctx)                # r2 = T2
+        em.axpby(-alpha, a11, 1.0, rs, ctx=ctx)      # rs = alpha*S2
+        em.msub(b22, r2, r2, ctx=ctx)                # r2 = T2
         recurse(rs, r2, c21, 1.0, 0.0)            # C21 = alpha*P6
-        axpby(alpha, a12, -1.0, rs, ctx=ctx)      # rs = alpha*S4
-        msub(r2, b21, r2, ctx=ctx)                # r2 = T4
+        em.axpby(alpha, a12, -1.0, rs, ctx=ctx)      # rs = alpha*S4
+        em.msub(r2, b21, r2, ctx=ctx)                # r2 = T4
         recurse(rs, b22, c12, 1.0, 0.0)           # C12 = alpha*P3
-        accum(c22, c12, ctx=ctx)                  # C12 = a*(P3+P5)
-        accum(c21, c12, ctx=ctx)                  # C12 = a*(P3+P5+P6)
-        accum(c21, c22, ctx=ctx)                  # C22 = a*(P5+P6)
+        em.accum(c22, c12, ctx=ctx)                  # C12 = a*(P3+P5)
+        em.accum(c21, c12, ctx=ctx)                  # C12 = a*(P3+P5+P6)
+        em.accum(c21, c22, ctx=ctx)                  # C22 = a*(P5+P6)
         recurse(a22, r2, rp, alpha, 0.0)          # rp = alpha*P4
-        axpby(-1.0, rp, 1.0, c21, ctx=ctx)        # C21 = a*(P6-P4)
-        msub(a11, a21, rs, alpha, ctx=ctx)        # rs = alpha*S3
-        msub(b22, b12, r2, ctx=ctx)               # r2 = T3
+        em.axpby(-1.0, rp, 1.0, c21, ctx=ctx)        # C21 = a*(P6-P4)
+        em.msub(a11, a21, rs, alpha, ctx=ctx)        # rs = alpha*S3
+        em.msub(b22, b12, r2, ctx=ctx)               # r2 = T3
         recurse(rs, r2, c11, 1.0, 0.0)            # C11 = alpha*P7 (temp use)
-        accum(c11, c21, ctx=ctx)                  # C21 = a*(P6+P7-P4)
-        accum(c11, c22, ctx=ctx)                  # C22 = a*(P5+P6+P7)
+        em.accum(c11, c21, ctx=ctx)                  # C21 = a*(P6+P7-P4)
+        em.accum(c11, c22, ctx=ctx)                  # C22 = a*(P5+P6+P7)
         recurse(a11, b11, c11, alpha, 0.0)        # C11 = alpha*P1
-        accum(c11, c12, ctx=ctx)                  # C12 = a*U5  (done)
-        accum(c11, c21, ctx=ctx)                  # C21 = a*U6  (done)
-        accum(c11, c22, ctx=ctx)                  # C22 = a*U7  (done)
+        em.accum(c11, c12, ctx=ctx)                  # C12 = a*U5  (done)
+        em.accum(c11, c21, ctx=ctx)                  # C21 = a*U6  (done)
+        em.accum(c11, c22, ctx=ctx)                  # C22 = a*U7  (done)
         recurse(a12, b21, rp, alpha, 0.0)         # rp = alpha*P2
-        accum(rp, c11, ctx=ctx)                   # C11 = a*U1  (done)
+        em.accum(rp, c11, ctx=ctx)                   # C11 = a*U1  (done)
 
 
 def strassen1_general_level(
@@ -128,6 +130,7 @@ def strassen1_general_level(
     ctx: ExecutionContext,
     ws: Workspace,
     recurse: RecurseFn,
+    kernels: Optional[BlockKernels] = None,
 ) -> None:
     """One STRASSEN1 level for general ``C <- alpha*A*B + beta*C``.
 
@@ -135,6 +138,7 @@ def strassen1_general_level(
     all seven products go to temporaries (six allocations: R1 doubles as
     the S-chain and the P1 slot once the S-chain is dead).
     """
+    em = kernels if kernels is not None else NUMERIC_KERNELS
     m, k = a.shape
     n = b.shape[1]
     hm, hk, hn = m // 2, k // 2, n // 2
@@ -154,29 +158,29 @@ def strassen1_general_level(
         rs = r1[:, :hk]   # S-chain view
         rp = r1[:, :hn]   # P1 slot, once the S-chain is dead
 
-        madd(a21, a22, rs, ctx=ctx)               # rs = S1
-        msub(b12, b11, r2, ctx=ctx)               # r2 = T1
+        em.madd(a21, a22, rs, ctx=ctx)               # rs = S1
+        em.msub(b12, b11, r2, ctx=ctx)               # r2 = T1
         recurse(rs, r2, r3, 1.0, 0.0)             # r3 = P5
-        axpby(-1.0, a11, 1.0, rs, ctx=ctx)        # rs = S2
-        msub(b22, r2, r2, ctx=ctx)                # r2 = T2
+        em.axpby(-1.0, a11, 1.0, rs, ctx=ctx)        # rs = S2
+        em.msub(b22, r2, r2, ctx=ctx)                # r2 = T2
         recurse(rs, r2, r4, 1.0, 0.0)             # r4 = P6
-        axpby(1.0, a12, -1.0, rs, ctx=ctx)        # rs = S4
-        msub(r2, b21, r2, ctx=ctx)                # r2 = T4
+        em.axpby(1.0, a12, -1.0, rs, ctx=ctx)        # rs = S4
+        em.msub(r2, b21, r2, ctx=ctx)                # r2 = T4
         recurse(rs, b22, r5, 1.0, 0.0)            # r5 = P3
         recurse(a22, r2, r6, 1.0, 0.0)            # r6 = P4
-        axpby(-alpha, r6, beta, c21, ctx=ctx)     # C21 = b*C21 - a*P4
-        msub(a11, a21, rs, ctx=ctx)               # rs = S3
-        msub(b22, b12, r2, ctx=ctx)               # r2 = T3
+        em.axpby(-alpha, r6, beta, c21, ctx=ctx)     # C21 = b*C21 - a*P4
+        em.msub(a11, a21, rs, ctx=ctx)               # rs = S3
+        em.msub(b22, b12, r2, ctx=ctx)               # r2 = T3
         recurse(rs, r2, r6, 1.0, 0.0)             # r6 = P7
         recurse(a11, b11, rp, 1.0, 0.0)           # rp = P1 (S-chain dead)
-        accum(rp, r4, ctx=ctx)                    # r4 = U2 = P1 + P6
-        accum(r4, r6, ctx=ctx)                    # r6 = U3 = U2 + P7
-        axpby(alpha, r6, 1.0, c21, ctx=ctx)       # C21 += a*U3   (done)
-        axpby(alpha, r6, beta, c22, ctx=ctx)      # C22 = b*C22 + a*U3
-        axpby(alpha, r3, 1.0, c22, ctx=ctx)       # C22 += a*P5   (done)
-        accum(r3, r5, ctx=ctx)                    # r5 = P3 + P5
-        accum(r4, r5, ctx=ctx)                    # r5 = U5 = U2 + P5 + P3
-        axpby(alpha, r5, beta, c12, ctx=ctx)      # C12 = b*C12 + a*U5 (done)
+        em.accum(rp, r4, ctx=ctx)                    # r4 = U2 = P1 + P6
+        em.accum(r4, r6, ctx=ctx)                    # r6 = U3 = U2 + P7
+        em.axpby(alpha, r6, 1.0, c21, ctx=ctx)       # C21 += a*U3   (done)
+        em.axpby(alpha, r6, beta, c22, ctx=ctx)      # C22 = b*C22 + a*U3
+        em.axpby(alpha, r3, 1.0, c22, ctx=ctx)       # C22 += a*P5   (done)
+        em.accum(r3, r5, ctx=ctx)                    # r5 = P3 + P5
+        em.accum(r4, r5, ctx=ctx)                    # r5 = U5 = U2 + P5 + P3
+        em.axpby(alpha, r5, beta, c12, ctx=ctx)      # C12 = b*C12 + a*U5 (done)
         recurse(a12, b21, r3, 1.0, 0.0)           # r3 = P2 (P5 dead)
-        accum(r3, rp, ctx=ctx)                    # rp = U1 = P1 + P2
-        axpby(alpha, rp, beta, c11, ctx=ctx)      # C11 = b*C11 + a*U1 (done)
+        em.accum(r3, rp, ctx=ctx)                    # rp = U1 = P1 + P2
+        em.axpby(alpha, rp, beta, c11, ctx=ctx)      # C11 = b*C11 + a*U1 (done)

@@ -32,9 +32,9 @@ zero fresh allocations.
 
 from __future__ import annotations
 
-from typing import Any, Callable
+from typing import Any, Callable, Optional
 
-from repro.blas.addsub import accum, axpby, madd, msub
+from repro.blas.addsub import NUMERIC_KERNELS, BlockKernels
 from repro.context import ExecutionContext
 from repro.core.workspace import Workspace
 
@@ -54,11 +54,15 @@ def strassen2_level(
     ctx: ExecutionContext,
     ws: Workspace,
     recurse: RecurseFn,
+    kernels: Optional[BlockKernels] = None,
 ) -> None:
     """One level of the STRASSEN2 schedule: ``C <- alpha*A*B + beta*C``.
 
     All of m, k, n must be even (the driver peels odd dimensions first).
+    ``kernels`` selects the block-addition kernel set (default: the
+    numeric kernels; the plan compiler passes a recording set).
     """
+    em = kernels if kernels is not None else NUMERIC_KERNELS
     m, k = a.shape
     n = b.shape[1]
     hm, hk, hn = m // 2, k // 2, n // 2
@@ -74,24 +78,24 @@ def strassen2_level(
         r3 = ws.alloc(hm, hn, dt)
 
         # -- paper Figure 1, steps 1-21 --------------------------------- #
-        madd(a21, a22, r1, alpha, ctx=ctx)        # 1  R1 = alpha*S1
-        msub(b12, b11, r2, ctx=ctx)               # 2  R2 = T1
+        em.madd(a21, a22, r1, alpha, ctx=ctx)     # 1  R1 = alpha*S1
+        em.msub(b12, b11, r2, ctx=ctx)            # 2  R2 = T1
         recurse(r1, r2, r3, 1.0, 0.0)             # 3  R3 = alpha*P5
-        axpby(1.0, r3, beta, c22, ctx=ctx)        # 4  C22 = beta*C22 + a*P5
-        axpby(1.0, r3, beta, c12, ctx=ctx)        # 5  C12 = beta*C12 + a*P5
-        axpby(-alpha, a11, 1.0, r1, ctx=ctx)      # 6  R1 = alpha*S2
-        msub(b22, r2, r2, ctx=ctx)                # 7  R2 = T2
+        em.axpby(1.0, r3, beta, c22, ctx=ctx)     # 4  C22 = beta*C22 + a*P5
+        em.axpby(1.0, r3, beta, c12, ctx=ctx)     # 5  C12 = beta*C12 + a*P5
+        em.axpby(-alpha, a11, 1.0, r1, ctx=ctx)   # 6  R1 = alpha*S2
+        em.msub(b22, r2, r2, ctx=ctx)             # 7  R2 = T2
         recurse(a11, b11, r3, alpha, 0.0)         # 8  R3 = alpha*P1
-        axpby(1.0, r3, beta, c11, ctx=ctx)        # 9  C11 = beta*C11 + a*P1
+        em.axpby(1.0, r3, beta, c11, ctx=ctx)     # 9  C11 = beta*C11 + a*P1
         recurse(r1, r2, r3, 1.0, 1.0)             # 10 R3 += a*P6 (= a*U2)
         recurse(a12, b21, c11, alpha, 1.0)        # 11 C11 += alpha*P2
-        axpby(alpha, a12, -1.0, r1, ctx=ctx)      # 12 R1 = alpha*S4
-        axpby(alpha, b21, -alpha, r2, ctx=ctx)    # 13 R2 = -alpha*T4
+        em.axpby(alpha, a12, -1.0, r1, ctx=ctx)   # 12 R1 = alpha*S4
+        em.axpby(alpha, b21, -alpha, r2, ctx=ctx)  # 13 R2 = -alpha*T4
         recurse(r1, b22, c12, 1.0, 1.0)           # 14 C12 += alpha*P3
-        accum(r3, c12, ctx=ctx)                   # 15 C12 += alpha*U2
+        em.accum(r3, c12, ctx=ctx)                # 15 C12 += alpha*U2
         recurse(a22, r2, c21, 1.0, beta)          # 16 C21 = b*C21 - a*P4
-        msub(a11, a21, r1, alpha, ctx=ctx)        # 17 R1 = alpha*S3
-        msub(b22, b12, r2, ctx=ctx)               # 18 R2 = T3
+        em.msub(a11, a21, r1, alpha, ctx=ctx)     # 17 R1 = alpha*S3
+        em.msub(b22, b12, r2, ctx=ctx)            # 18 R2 = T3
         recurse(r1, r2, r3, 1.0, 1.0)             # 19 R3 += a*P7 (= a*U3)
-        accum(r3, c21, ctx=ctx)                   # 20 C21 += alpha*U3
-        accum(r3, c22, ctx=ctx)                   # 21 C22 += alpha*U3
+        em.accum(r3, c21, ctx=ctx)                # 20 C21 += alpha*U3
+        em.accum(r3, c22, ctx=ctx)                # 21 C22 += alpha*U3

@@ -19,9 +19,9 @@ identical driver (cutoffs, peeling, instrumentation).
 
 from __future__ import annotations
 
-from typing import Any, Callable
+from typing import Any, Callable, Optional
 
-from repro.blas.addsub import accum, axpby, madd, msub
+from repro.blas.addsub import NUMERIC_KERNELS, BlockKernels
 from repro.context import ExecutionContext
 from repro.core.workspace import Workspace
 
@@ -40,11 +40,13 @@ def textbook_level(
     ctx: ExecutionContext,
     ws: Workspace,
     recurse: RecurseFn,
+    kernels: Optional[BlockKernels] = None,
 ) -> None:
     """One Winograd level with the minimal-addition (15-add) schedule.
 
     All of m, k, n must be even.  ``C <- alpha*A*B + beta*C``.
     """
+    em = kernels if kernels is not None else NUMERIC_KERNELS
     m, k = a.shape
     n = b.shape[1]
     hm, hk, hn = m // 2, k // 2, n // 2
@@ -66,12 +68,12 @@ def textbook_level(
 
         # stages (1)/(2): 8 additions (S3/T3 reuse the S1/T1 buffers
         # after P5 is computed)
-        madd(a21, a22, s1, ctx=ctx)            # S1
-        msub(s1, a11, s2, ctx=ctx)             # S2
-        msub(a12, s2, s4, ctx=ctx)             # S4
-        msub(b12, b11, t1, ctx=ctx)            # T1
-        msub(b22, t1, t2, ctx=ctx)             # T2
-        msub(t2, b21, t4, ctx=ctx)             # T4
+        em.madd(a21, a22, s1, ctx=ctx)            # S1
+        em.msub(s1, a11, s2, ctx=ctx)             # S2
+        em.msub(a12, s2, s4, ctx=ctx)             # S4
+        em.msub(b12, b11, t1, ctx=ctx)            # T1
+        em.msub(b22, t1, t2, ctx=ctx)             # T2
+        em.msub(t2, b21, t4, ctx=ctx)             # T4
 
         # stage (3): 7 recursive products
         recurse(a11, b11, p1, 1.0, 0.0)
@@ -80,22 +82,22 @@ def textbook_level(
         recurse(a22, t4, p4, 1.0, 0.0)
         recurse(s1, t1, p5, 1.0, 0.0)
         recurse(s2, t2, p6, 1.0, 0.0)
-        msub(a11, a21, s1, ctx=ctx)            # S3 (reuses S1's buffer)
-        msub(b22, b12, t1, ctx=ctx)            # T3 (reuses T1's buffer)
+        em.msub(a11, a21, s1, ctx=ctx)            # S3 (reuses S1's buffer)
+        em.msub(b22, b12, t1, ctx=ctx)            # T3 (reuses T1's buffer)
         recurse(s1, t1, p7, 1.0, 0.0)
 
         # stage (4): the U-tree (its 7 additions are the steps marked U;
         # the four axpby merges are the beta-scaled writes into C, which
         # the C-reuse schedules get for free by computing products in
         # place — the measured reason "15 adds" does not mean fastest)
-        accum(p1, p6, ctx=ctx)                 # U2 = P1 + P6
-        accum(p1, p2, ctx=ctx)                 # U1 = P1 + P2
-        accum(p6, p7, ctx=ctx)                 # U3 = U2 + P7
-        axpby(alpha, p2, beta, c11, ctx=ctx)   # C11 <- b C11 + a U1
-        axpby(alpha, p7, beta, c21, ctx=ctx)
-        axpby(-alpha, p4, 1.0, c21, ctx=ctx)   # U6 fold: C21 gets U3 - P4
-        axpby(alpha, p7, beta, c22, ctx=ctx)
-        axpby(alpha, p5, 1.0, c22, ctx=ctx)    # U7 fold: C22 gets U3 + P5
-        accum(p6, p5, ctx=ctx)                 # U4 = U2 + P5
-        accum(p5, p3, ctx=ctx)                 # U5 = U4 + P3
-        axpby(alpha, p3, beta, c12, ctx=ctx)   # C12 <- b C12 + a U5
+        em.accum(p1, p6, ctx=ctx)                 # U2 = P1 + P6
+        em.accum(p1, p2, ctx=ctx)                 # U1 = P1 + P2
+        em.accum(p6, p7, ctx=ctx)                 # U3 = U2 + P7
+        em.axpby(alpha, p2, beta, c11, ctx=ctx)   # C11 <- b C11 + a U1
+        em.axpby(alpha, p7, beta, c21, ctx=ctx)
+        em.axpby(-alpha, p4, 1.0, c21, ctx=ctx)   # U6 fold: C21 gets U3 - P4
+        em.axpby(alpha, p7, beta, c22, ctx=ctx)
+        em.axpby(alpha, p5, 1.0, c22, ctx=ctx)    # U7 fold: C22 gets U3 + P5
+        em.accum(p6, p5, ctx=ctx)                 # U4 = U2 + P5
+        em.accum(p5, p3, ctx=ctx)                 # U5 = U4 + P3
+        em.axpby(alpha, p3, beta, c12, ctx=ctx)   # C12 <- b C12 + a U5

@@ -101,9 +101,9 @@ class Workspace:
         array contents are uninitialised, as with BLAS work arrays.
         ``dtype`` defaults to float64 (the DGEFMM case); the complex
         extension allocates complex128 temporaries, charged at their
-        true byte size.  Dry-mode phantoms always account as float64 —
-        the paper's memory coefficients are stated in elements, and the
-        dry experiments use real dtypes only through this default.
+        true byte size.  Dry-mode phantoms carry the requested dtype
+        too, so dry complex sweeps account 16-byte elements exactly
+        like the numeric path.
         """
         if not self._frames:
             raise WorkspaceError("alloc outside any workspace frame")
@@ -115,7 +115,7 @@ class Workspace:
         if self._live_bytes > self._peak_bytes:
             self._peak_bytes = self._live_bytes
         if self.dry:
-            return Phantom(m, n)
+            return Phantom(m, n, dtype=dtype)
         return self._make(m, n, dtype, nbytes)
 
     def _make(self, m: int, n: int, dtype, nbytes: int) -> Any:

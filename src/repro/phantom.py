@@ -56,18 +56,20 @@ class Phantom:
     their operands.
     """
 
-    __slots__ = ("shape",)
+    __slots__ = ("shape", "dtype")
 
-    #: dtype every phantom reports; dry-run charging is dtype-agnostic but
-    #: workspace accounting multiplies by the element size of float64.
-    dtype = np.dtype(np.float64)
-
-    def __init__(self, *shape: int) -> None:
+    def __init__(self, *shape: int, dtype: Any = np.float64) -> None:
         if len(shape) == 1 and isinstance(shape[0], tuple):
             shape = shape[0]
         if not all(isinstance(d, (int, np.integer)) and d >= 0 for d in shape):
             raise ValueError(f"invalid phantom shape {shape!r}")
         self.shape: Tuple[int, ...] = tuple(int(d) for d in shape)
+        #: dtype the phantom reports.  Defaults to float64 (the paper's
+        #: DGEFMM case); complex dry runs construct complex128 phantoms so
+        #: workspace accounting charges the true 16-byte element width —
+        #: the dtype propagates through slicing/transpose/reshape and into
+        #: every temporary the schedules draw from a dry workspace.
+        self.dtype = np.dtype(dtype)
 
     # ------------------------------------------------------------------ #
     @property
@@ -83,7 +85,7 @@ class Phantom:
 
     @property
     def T(self) -> "Phantom":
-        return Phantom(*self.shape[::-1])
+        return Phantom(*self.shape[::-1], dtype=self.dtype)
 
     # ------------------------------------------------------------------ #
     def __getitem__(self, key: Any) -> "Phantom":
@@ -97,7 +99,7 @@ class Phantom:
         new_shape = [e for e in extents if e is not None] + list(
             self.shape[len(key):]
         )
-        return Phantom(*new_shape)
+        return Phantom(*new_shape, dtype=self.dtype)
 
     def reshape(self, *shape: int) -> "Phantom":
         if len(shape) == 1 and isinstance(shape[0], tuple):
@@ -110,7 +112,7 @@ class Phantom:
             raise ValueError(
                 f"cannot reshape phantom of size {self.size} into {shape}"
             )
-        return Phantom(*shape)
+        return Phantom(*shape, dtype=self.dtype)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"Phantom{self.shape}"
@@ -142,9 +144,10 @@ def like(x: Any, *shape: int) -> Any:
     """Allocate an uninitialised array 'in the same world' as ``x``.
 
     Returns a Phantom when ``x`` is a Phantom, otherwise an empty
-    Fortran-ordered float64 array.  Used by code that needs a scratch
-    value outside the workspace allocator (rare; prefer the workspace).
+    Fortran-ordered array.  Either way the result inherits ``x``'s dtype.
+    Used by code that needs a scratch value outside the workspace
+    allocator (rare; prefer the workspace).
     """
     if is_phantom(x):
-        return Phantom(*shape)
-    return np.empty(shape, dtype=np.float64, order="F")
+        return Phantom(*shape, dtype=x.dtype)
+    return np.empty(shape, dtype=x.dtype, order="F")

@@ -1,0 +1,27 @@
+"""Execution-plan compilation, caching, and replay for DGEFMM.
+
+The recursion that :func:`repro.core.dgefmm.dgefmm` walks — cutoff
+tests (paper eq. 15), dynamic peeling, scheme dispatch, workspace
+frames — is a pure function of the problem *signature* (dimensions,
+scalar zero-classes, dtype, scheme, cutoff).  This package compiles
+that walk once per signature into a flat, immutable
+:class:`~repro.plan.compiler.ExecutionPlan`, caches plans in a
+thread-safe LRU :class:`~repro.plan.cache.PlanCache`, and replays them
+with :func:`~repro.plan.executor.execute_plan` at zero per-call
+planning or allocation cost (pool-backed arenas, precomputed byte
+offsets).  ``dgefmm(..., plan_cache=...)`` and ``pdgefmm(...,
+plan_cache=...)`` wire the path in transparently; results are
+bit-identical to the recursive drivers.
+"""
+
+from repro.plan.cache import PlanCache
+from repro.plan.compiler import ExecutionPlan, PlanSignature, compile_plan
+from repro.plan.executor import execute_plan
+
+__all__ = [
+    "PlanCache",
+    "PlanSignature",
+    "ExecutionPlan",
+    "compile_plan",
+    "execute_plan",
+]

@@ -1,0 +1,679 @@
+"""PlanCompiler: walk the DGEFMM recursion once, emit a flat plan.
+
+The compiler runs the *real* driver logic — the cutoff test at every
+level (paper eq. 15 by default), dynamic peeling, the scheme dispatch,
+and the actual STRASSEN1/STRASSEN2/textbook schedule functions — exactly
+once per problem signature, recording what the recursion *would do* as a
+flat tuple of typed ops (:mod:`repro.plan.ops`).
+
+Three substitutions make one execution of the control flow double as
+compilation, with zero duplicated schedule code:
+
+- **recording kernels** — a :class:`~repro.blas.addsub.BlockKernels` set
+  whose members append MADD/MSUB/ACCUM/AXPBY ops instead of computing;
+- **regions** — :class:`~repro.plan.ops.Region` operands that track the
+  windowing the schedules perform on the call operands and temporaries;
+- **a recording workspace** — mirrors the pooled arena's bump-allocator
+  arithmetic (:class:`~repro.core.pool.PooledWorkspace`: 64-byte-aligned
+  cursor, frame rewind) so every temporary gets the byte offset the live
+  pooled execution would give it, and mirrors the plain workspace's
+  live/peak accounting so the plan can report the same
+  ``workspace_peak_bytes`` figure the recursive driver measures.
+
+Scalars are compiled per *class*: the signature records whether alpha
+and beta are zero; nonzero scalars flow through compilation as
+:class:`~repro.plan.ops.SymScalar` placeholders resolved per call, so
+one plan serves every nonzero value bit-identically.
+
+Parallel plans mirror :func:`repro.core.parallel.pdgefmm`: a node's
+stage-(1)/(2) sums are its prologue, the seven independent products
+become *branches* (each a self-contained sub-plan over the branch's
+operand windows), and the stage-(4) U-tree plus any peeling fix-up form
+the epilogue.  The worker *budget* is an execution-time knob — exactly
+as in the live driver, where the recursion's structure depends only on
+``max_parallel_depth`` and the cutoff.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.blas.addsub import BlockKernels
+from repro.blas.level3 import gemm_flops
+from repro.context import RecursionEvent
+from repro.core.cutoff import CutoffCriterion, DepthCutoff
+from repro.core.dgefmm import _pick_level
+from repro.core.parallel import _job_operands, _stage_combine, _stage_sums
+from repro.core.peeling import peel_split
+from repro.core.pool import _align_up
+from repro.core.strassen1 import (
+    strassen1_beta0_level,
+    strassen1_general_level,
+)
+from repro.core.strassen2 import strassen2_level
+from repro.core.textbook import textbook_level
+from repro.errors import ArgumentError
+from repro.plan.ops import (
+    OP_ACCUM,
+    OP_AXPBY,
+    OP_EVENT,
+    OP_FIXUP,
+    OP_GEMM,
+    OP_MADD,
+    OP_MSUB,
+    ROOT_A,
+    ROOT_B,
+    ROOT_C,
+    ROOT_TEMP,
+    Region,
+    SymScalar,
+    encode_scalar,
+    scalar_repr,
+)
+
+__all__ = ["PlanSignature", "ExecutionPlan", "compile_plan"]
+
+
+@dataclass(frozen=True)
+class PlanSignature:
+    """The cache key: everything the plan's structure depends on.
+
+    ``kind`` is ``"serial"`` (the :func:`~repro.core.dgefmm.dgefmm`
+    path) or ``"parallel"`` (:func:`~repro.core.parallel.pdgefmm`;
+    ``max_parallel_depth`` then matters, the worker budget never does —
+    it only sets how many threads replay the branches).  Scalars enter
+    as zero/nonzero *classes*; cutoff criteria are the (hashable frozen
+    dataclass) objects themselves.
+    """
+
+    kind: str
+    m: int
+    k: int
+    n: int
+    transa: bool
+    transb: bool
+    alpha_zero: bool
+    beta_zero: bool
+    dtype: str
+    scheme: str
+    peel: str
+    cutoff: CutoffCriterion
+    nb: int
+    backend: str
+    max_parallel_depth: int = 0
+
+
+class ExecutionPlan:
+    """An immutable, flat, replayable DGEFMM program.
+
+    ``ops`` is the serial body (a parallel node's prologue); ``branches``
+    holds the node's independent products as ``(a_idx, b_idx, c_idx,
+    child_plan)`` with indices into this plan's region table;
+    ``epilogue`` combines the products and applies peeling fix-ups.  A
+    serial plan has empty branches/epilogue.  ``ops_quiet`` /
+    ``epilogue_quiet`` are the same programs with trace-replay EVENT ops
+    stripped, chosen when the executing context is not tracing.
+    """
+
+    __slots__ = (
+        "signature", "m", "k", "n", "dtype", "nb", "backend",
+        "regions", "ops", "ops_quiet", "branches", "epilogue",
+        "epilogue_quiet", "arena_bytes", "peak_bytes", "charge_bytes",
+        "counts", "nbytes", "_temp_cache",
+    )
+
+    def __init__(
+        self,
+        signature: Optional[PlanSignature],
+        m: int,
+        k: int,
+        n: int,
+        dtype: Any,
+        nb: int,
+        backend: str,
+        regions: Tuple[tuple, ...],
+        ops: Tuple[tuple, ...],
+        branches: Tuple[tuple, ...],
+        epilogue: Tuple[tuple, ...],
+        arena_bytes: int,
+        peak_bytes: int,
+        charge_bytes: int,
+        counts: dict,
+    ) -> None:
+        self.signature = signature
+        self.m, self.k, self.n = m, k, n
+        self.dtype = np.dtype(dtype)
+        self.nb = nb
+        self.backend = backend
+        self.regions = regions
+        self.ops = ops
+        self.ops_quiet = tuple(op for op in ops if op[0] != OP_EVENT)
+        self.branches = branches
+        self.epilogue = epilogue
+        self.epilogue_quiet = tuple(
+            op for op in epilogue if op[0] != OP_EVENT
+        )
+        self.arena_bytes = int(arena_bytes)
+        self.peak_bytes = int(peak_bytes)
+        self.charge_bytes = int(charge_bytes)
+        self.counts = counts
+        self.nbytes = (
+            256
+            + 64 * len(regions)
+            + 96 * (len(ops) + len(epilogue))
+            + sum(child.nbytes for *_ids, child in branches)
+        )
+        #: per-arena-buffer cache of bound temporary views (warm calls
+        #: skip re-carving the arena); keyed by the buffer's id with the
+        #: buffer itself stored so entries can never alias a new buffer
+        self._temp_cache: dict = {}
+
+    # ------------------------------------------------------------------ #
+    @property
+    def n_ops(self) -> int:
+        """Total executable ops (events excluded), branches included."""
+        return (
+            len(self.ops_quiet)
+            + len(self.epilogue_quiet)
+            + sum(child.n_ops for *_ids, child in self.branches)
+        )
+
+    def total_counts(self) -> dict:
+        """Aggregate op/flop tallies over this plan and all branches."""
+        total = {
+            "recurse": self.counts["recurse"],
+            "base": self.counts["base"],
+            "peel": self.counts["peel"],
+            "max_depth": self.counts["max_depth"],
+            "mul_flops": self.counts["mul_flops"],
+            "mul_flops_total": self.counts["mul_flops_total"],
+            "add_flops_total": self.counts["add_flops_total"],
+            "base_shapes": dict(self.counts["base_shapes"]),
+            "kernel_calls": Counter(self.counts["kernel_calls"]),
+        }
+        for *_ids, child in self.branches:
+            sub = child.total_counts()
+            for key in ("recurse", "base", "peel", "mul_flops",
+                        "mul_flops_total", "add_flops_total"):
+                total[key] += sub[key]
+            total["max_depth"] = max(total["max_depth"], sub["max_depth"])
+            for shape, cnt in sub["base_shapes"].items():
+                total["base_shapes"][shape] = (
+                    total["base_shapes"].get(shape, 0) + cnt
+                )
+            total["kernel_calls"].update(sub["kernel_calls"])
+        return total
+
+    def describe(self, max_ops: Optional[int] = None) -> List[str]:
+        """Human-readable op listing for ``python -m repro plan explain``."""
+
+        def reg(idx: int) -> str:
+            kind, off, fr, fc, r0, c0, rows, cols = self.regions[idx]
+            root = ("A", "B", "C", f"T@{off}")[kind]
+            return f"{root}[{r0}:{r0 + rows},{c0}:{c0 + cols}]"
+
+        lines: List[str] = []
+        for op in self.ops + (("--branches--",) if self.branches else ()):
+            if op == ("--branches--",):
+                for i, (ai, bi, ci, child) in enumerate(self.branches):
+                    lines.append(
+                        f"branch {i}: {reg(ai)} x {reg(bi)} -> {reg(ci)} "
+                        f"({child.n_ops} ops, "
+                        f"{'parallel' if child.branches else 'serial'})"
+                    )
+                continue
+            lines.append(_op_repr(op, reg))
+        for op in self.epilogue:
+            lines.append(_op_repr(op, reg))
+        if max_ops is not None and len(lines) > max_ops:
+            lines = lines[:max_ops] + [
+                f"... ({len(lines) - max_ops} more ops)"
+            ]
+        return lines
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        kind = "parallel" if self.branches else "serial"
+        return (
+            f"ExecutionPlan({kind}, {self.m}x{self.k}x{self.n}, "
+            f"{self.n_ops} ops, arena={self.arena_bytes}B)"
+        )
+
+
+def _op_repr(op: tuple, reg) -> str:
+    code = op[0]
+    if code == OP_MADD:
+        return (f"madd  {reg(op[3])} <- {scalar_repr(op[4])}*"
+                f"({reg(op[1])} + {reg(op[2])})")
+    if code == OP_MSUB:
+        return (f"msub  {reg(op[3])} <- {scalar_repr(op[4])}*"
+                f"({reg(op[1])} - {reg(op[2])})")
+    if code == OP_ACCUM:
+        return f"accum {reg(op[2])} += {reg(op[1])}"
+    if code == OP_AXPBY:
+        return (f"axpby {reg(op[4])} <- {scalar_repr(op[1])}*{reg(op[2])} "
+                f"+ {scalar_repr(op[3])}*{reg(op[4])}")
+    if code == OP_GEMM:
+        return (f"gemm  {reg(op[3])} <- {scalar_repr(op[4])}*"
+                f"{reg(op[1])}@{reg(op[2])} + {scalar_repr(op[5])}*"
+                f"{reg(op[3])}")
+    if code == OP_FIXUP:
+        return (f"fixup {reg(op[3])} ({op[6]} peel, alpha="
+                f"{scalar_repr(op[4])}, beta={scalar_repr(op[5])})")
+    ev = op[1]
+    return f"event {ev.action} ({ev.m},{ev.k},{ev.n}) depth={ev.depth}"
+
+
+# ---------------------------------------------------------------------- #
+class _RecordingWorkspace:
+    """Mirror of the pooled arena's bump arithmetic + raw accounting.
+
+    ``alloc`` hands back temporary :class:`Region` objects carrying the
+    byte offset a :class:`~repro.core.pool.PooledWorkspace` would assign
+    (aligned cursor, frame rewind), while tracking the plain
+    :class:`~repro.core.workspace.Workspace` live/peak byte figures so
+    the plan reports the same ``workspace_peak_bytes`` as the recursive
+    driver.
+    """
+
+    def __init__(self) -> None:
+        self._cursor = 0
+        self._cursor_stack: List[int] = []
+        self._frames: List[int] = []
+        self._live = 0
+        self.peak = 0
+        self.required = 0
+
+    @contextmanager
+    def frame(self) -> Iterator["_RecordingWorkspace"]:
+        self._cursor_stack.append(self._cursor)
+        self._frames.append(0)
+        try:
+            yield self
+        finally:
+            freed = self._frames.pop()
+            self._live -= freed
+            self._cursor = self._cursor_stack.pop()
+
+    def alloc(self, m: int, n: int, dtype: Any = np.float64) -> Region:
+        dt = np.dtype(dtype)
+        nbytes = m * n * dt.itemsize
+        self._frames[-1] += nbytes
+        self._live += nbytes
+        if self._live > self.peak:
+            self.peak = self._live
+        start = _align_up(self._cursor)
+        end = start + nbytes
+        self._cursor = end
+        if end > self.required:
+            self.required = end
+        return Region(ROOT_TEMP, start, m, n, 0, 0, m, n, dt)
+
+
+class _Recorder:
+    """Op sink: interning region table, op lists, and predicted tallies."""
+
+    def __init__(self, dtype: Any) -> None:
+        self.dtype = np.dtype(dtype)
+        self.ws = _RecordingWorkspace()
+        self.ops: List[tuple] = []
+        self.epilogue: List[tuple] = []
+        self._sink = self.ops
+        self._intern: dict = {}
+        self.region_descs: List[tuple] = []
+        self.kernel_calls: Counter = Counter()
+        self.mul_flops_total = 0.0
+        self.add_flops_total = 0.0
+        self.counts = {
+            "recurse": 0, "base": 0, "peel": 0, "max_depth": 0,
+            "mul_flops": 0.0, "base_shapes": {},
+        }
+        self.kernels = BlockKernels(
+            self._madd, self._msub, self._accum, self._axpby
+        )
+
+    def begin_epilogue(self) -> None:
+        self._sink = self.epilogue
+
+    def reg(self, r: Region) -> int:
+        desc = r.descriptor()
+        idx = self._intern.get(desc)
+        if idx is None:
+            idx = len(self.region_descs)
+            self._intern[desc] = idx
+            self.region_descs.append(desc)
+        return idx
+
+    # -- recording BlockKernels --------------------------------------- #
+    def _charge_add(self, name: str, r: Region) -> None:
+        self.kernel_calls[name] += 1
+        self.add_flops_total += float(r.shape[0]) * r.shape[1]
+
+    def _madd(self, x, y, out, alpha=1.0, *, ctx=None):
+        self._charge_add("madd", out)
+        self._sink.append(
+            (OP_MADD, self.reg(x), self.reg(y), self.reg(out),
+             encode_scalar(alpha))
+        )
+        return out
+
+    def _msub(self, x, y, out, alpha=1.0, *, ctx=None):
+        self._charge_add("msub", out)
+        self._sink.append(
+            (OP_MSUB, self.reg(x), self.reg(y), self.reg(out),
+             encode_scalar(alpha))
+        )
+        return out
+
+    def _accum(self, x, out, *, ctx=None):
+        self._charge_add("accum", out)
+        self._sink.append((OP_ACCUM, self.reg(x), self.reg(out)))
+        return out
+
+    def _axpby(self, alpha, x, beta, y, *, ctx=None):
+        self._charge_add("axpby", y)
+        self._sink.append(
+            (OP_AXPBY, encode_scalar(alpha), self.reg(x),
+             encode_scalar(beta), self.reg(y))
+        )
+        return y
+
+    # -- driver-level ops --------------------------------------------- #
+    def emit_event(self, action, m, k, n, depth, scheme="") -> None:
+        self._sink.append(
+            (OP_EVENT, RecursionEvent(action, m, k, n, depth, scheme))
+        )
+
+    def emit_gemm(self, a: Region, b: Region, c: Region,
+                  alpha, beta) -> None:
+        m, k = a.shape
+        n = b.shape[1]
+        muls, adds = gemm_flops(m, k, n)
+        self.kernel_calls["dgemm"] += 1
+        self.mul_flops_total += muls
+        self.add_flops_total += adds
+        self.counts["mul_flops"] += float(m) * k * n
+        key = (m, k, n)
+        shapes = self.counts["base_shapes"]
+        shapes[key] = shapes.get(key, 0) + 1
+        self._sink.append(
+            (OP_GEMM, self.reg(a), self.reg(b), self.reg(c),
+             encode_scalar(alpha), encode_scalar(beta))
+        )
+
+    def emit_fixup(self, a: Region, b: Region, c: Region,
+                   alpha, beta, side: str) -> None:
+        m, k = a.shape
+        n = b.shape[1]
+        # predicted kernel tallies follow apply_fixups/apply_fixups_head
+        # exactly: which of the three BLAS-2 calls fire depends only on
+        # which dimensions are odd
+        mo, ko, no = m & 1, k & 1, n & 1
+        mp, kp, np_ = m - mo, k - ko, n - no
+        if ko and mp and np_:
+            self.kernel_calls["dger"] += 1
+            self.mul_flops_total += float(mp) * np_
+            self.add_flops_total += float(mp) * np_
+        if no and mp:
+            self.kernel_calls["dgemv"] += 1
+            self.mul_flops_total += float(mp) * k
+            self.add_flops_total += max(0.0, float(mp) * k - mp)
+        if mo:
+            self.kernel_calls["dgemv"] += 1
+            self.mul_flops_total += float(n) * k
+            self.add_flops_total += max(0.0, float(n) * k - n)
+        self._sink.append(
+            (OP_FIXUP, self.reg(a), self.reg(b), self.reg(c),
+             encode_scalar(alpha), encode_scalar(beta), side)
+        )
+
+    # ------------------------------------------------------------------ #
+    def build(
+        self,
+        signature: Optional[PlanSignature],
+        m: int,
+        k: int,
+        n: int,
+        nb: int,
+        backend: str,
+        branches: Tuple[tuple, ...] = (),
+    ) -> ExecutionPlan:
+        charge = self.ws.peak + sum(
+            child.charge_bytes for *_ids, child in branches
+        )
+        counts = dict(self.counts)
+        counts["kernel_calls"] = Counter(self.kernel_calls)
+        counts["mul_flops_total"] = self.mul_flops_total
+        counts["add_flops_total"] = self.add_flops_total
+        return ExecutionPlan(
+            signature, m, k, n, self.dtype, nb, backend,
+            tuple(self.region_descs), tuple(self.ops), branches,
+            tuple(self.epilogue), self.ws.required, self.ws.peak,
+            charge, counts,
+        )
+
+
+# ---------------------------------------------------------------------- #
+_LEVEL_FNS = {
+    "s1b0": strassen1_beta0_level,
+    "s1g": strassen1_general_level,
+    "s2": strassen2_level,
+    "tb": textbook_level,
+}
+
+
+def _roots(m: int, k: int, n: int, dtype: Any) -> tuple:
+    return (
+        Region(ROOT_A, 0, m, k, 0, 0, m, k, dtype),
+        Region(ROOT_B, 0, k, n, 0, 0, k, n, dtype),
+        Region(ROOT_C, 0, m, n, 0, 0, m, n, dtype),
+    )
+
+
+def _core_regions(a: Region, b: Region, c: Region, side: str) -> tuple:
+    """Even-core windows — same arithmetic as peeling.core_views."""
+    m, k = a.shape
+    n = b.shape[1]
+    mo, ko, no = m & 1, k & 1, n & 1
+    if side == "tail":
+        return (
+            a[: m - mo, : k - ko], b[: k - ko, : n - no],
+            c[: m - mo, : n - no],
+        )
+    return a[mo:, ko:], b[ko:, no:], c[mo:, no:]
+
+
+class _SerialCompiler:
+    """Replays :func:`repro.core.dgefmm._rec` into a recorder."""
+
+    def __init__(
+        self,
+        crit: CutoffCriterion,
+        peel: str,
+        dtype: Any,
+    ) -> None:
+        self.crit = crit
+        self.peel = peel
+        self.rec = _Recorder(dtype)
+
+    def run(self, a: Region, b: Region, c: Region,
+            alpha: Any, beta: Any, depth: int, scheme: str) -> None:
+        rec, crit = self.rec, self.crit
+        m, k = a.shape
+        n = b.shape[1]
+        if m == 0 or n == 0:
+            return
+        if k == 0 or alpha == 0.0:
+            if c.shape[0] and c.shape[1]:
+                rec.kernels.axpby(0.0, c, beta, c)
+            return
+        rec.counts["max_depth"] = max(rec.counts["max_depth"], depth)
+        if crit.stop(m, k, n) or min(m, k, n) < 2:
+            rec.counts["base"] += 1
+            rec.emit_event("base", m, k, n, depth)
+            rec.emit_gemm(a, b, c, alpha, beta)
+            return
+
+        mp, kp, np_ = peel_split(m, k, n)
+        peeled = (mp, kp, np_) != (m, k, n)
+        if peeled:
+            rec.counts["peel"] += 1
+            rec.emit_event("peel", m, k, n, depth)
+        level, child_scheme = _pick_level(scheme, beta)
+        rec.counts["recurse"] += 1
+        rec.emit_event("recurse", mp, kp, np_, depth, scheme=level)
+
+        if peeled:
+            core_a, core_b, core_c = _core_regions(a, b, c, self.peel)
+        else:
+            core_a, core_b, core_c = a, b, c
+
+        def recurse(aa, bb, cc, al, be):
+            self.run(aa, bb, cc, al, be, depth + 1, child_scheme)
+
+        stateful = isinstance(crit, DepthCutoff)
+        if stateful:
+            crit.descend()
+        try:
+            fn = _LEVEL_FNS[level]
+            if level == "s1b0":
+                fn(core_a, core_b, core_c, alpha, ctx=None, ws=rec.ws,
+                   recurse=recurse, kernels=rec.kernels)
+            else:
+                fn(core_a, core_b, core_c, alpha, beta, ctx=None,
+                   ws=rec.ws, recurse=recurse, kernels=rec.kernels)
+        finally:
+            if stateful:
+                crit.ascend()
+
+        if peeled:
+            rec.emit_fixup(a, b, c, alpha, beta, self.peel)
+
+
+def _compile_serial(
+    m: int,
+    k: int,
+    n: int,
+    alpha: Any,
+    beta: Any,
+    crit: CutoffCriterion,
+    scheme: str,
+    peel: str,
+    dtype: Any,
+    nb: int,
+    backend: str,
+    signature: Optional[PlanSignature] = None,
+) -> ExecutionPlan:
+    sc = _SerialCompiler(crit, peel, dtype)
+    a, b, c = _roots(m, k, n, dtype)
+    sc.run(a, b, c, alpha, beta, 0, scheme)
+    return sc.rec.build(signature, m, k, n, nb, backend)
+
+
+# ---------------------------------------------------------------------- #
+def _compile_pnode(
+    m: int,
+    k: int,
+    n: int,
+    alpha: Any,
+    beta: Any,
+    level: int,
+    crit: CutoffCriterion,
+    max_depth: int,
+    dtype: Any,
+    nb: int,
+    backend: str,
+    signature: Optional[PlanSignature] = None,
+) -> ExecutionPlan:
+    """Mirror of parallel._prun for a node the cutoff lets recurse."""
+    rec = _Recorder(dtype)
+    a, b, c = _roots(m, k, n, dtype)
+    mp, kp, np_ = peel_split(m, k, n)
+    peeled = (mp, kp, np_) != (m, k, n)
+    if peeled:
+        core_a, core_b, core_c = _core_regions(a, b, c, "tail")
+    else:
+        core_a, core_b, core_c = a, b, c
+
+    branches: List[tuple] = []
+    with rec.ws.frame():
+        s, t, ps = _stage_sums(
+            core_a, core_b, rec.ws, np.dtype(dtype), None, rec.kernels
+        )
+        jobs = _job_operands(core_a, core_b, s, t, ps)
+        for aa, bb, cc in jobs:
+            jm, jk = aa.shape
+            jn = bb.shape[1]
+            if level < max_depth:
+                child = _prun_mirror(
+                    jm, jk, jn, 1.0, 0.0, level + 1, crit, max_depth,
+                    dtype, nb, backend,
+                )
+            else:
+                child = _compile_serial(
+                    jm, jk, jn, 1.0, 0.0, crit, "auto", "tail", dtype,
+                    nb, backend,
+                )
+            branches.append((rec.reg(aa), rec.reg(bb), rec.reg(cc), child))
+        rec.begin_epilogue()
+        _stage_combine(ps, core_c, alpha, beta, None, rec.kernels)
+        if peeled:
+            rec.emit_fixup(a, b, c, alpha, beta, "tail")
+
+    return rec.build(signature, m, k, n, nb, backend, tuple(branches))
+
+
+def _prun_mirror(
+    m: int,
+    k: int,
+    n: int,
+    alpha: Any,
+    beta: Any,
+    level: int,
+    crit: CutoffCriterion,
+    max_depth: int,
+    dtype: Any,
+    nb: int,
+    backend: str,
+    signature: Optional[PlanSignature] = None,
+) -> ExecutionPlan:
+    """Mirror of parallel._prun's dispatch: parallel level or serial."""
+    if (
+        m == 0 or n == 0 or k == 0 or alpha == 0.0
+        or crit.stop(m, k, n) or min(m, k, n) < 2
+    ):
+        return _compile_serial(
+            m, k, n, alpha, beta, crit, "auto", "tail", dtype, nb,
+            backend, signature,
+        )
+    return _compile_pnode(
+        m, k, n, alpha, beta, level, crit, max_depth, dtype, nb,
+        backend, signature,
+    )
+
+
+# ---------------------------------------------------------------------- #
+def compile_plan(signature: PlanSignature) -> ExecutionPlan:
+    """Compile one :class:`PlanSignature` into an :class:`ExecutionPlan`."""
+    if signature.kind not in ("serial", "parallel"):
+        raise ArgumentError(
+            "compile_plan", "kind",
+            f"must be 'serial' or 'parallel', got {signature.kind!r}",
+        )
+    alpha: Any = 0.0 if signature.alpha_zero else SymScalar("a")
+    beta: Any = 0.0 if signature.beta_zero else SymScalar("b")
+    if signature.kind == "serial":
+        return _compile_serial(
+            signature.m, signature.k, signature.n, alpha, beta,
+            signature.cutoff, signature.scheme, signature.peel,
+            signature.dtype, signature.nb, signature.backend, signature,
+        )
+    return _prun_mirror(
+        signature.m, signature.k, signature.n, alpha, beta, 1,
+        signature.cutoff, signature.max_parallel_depth, signature.dtype,
+        signature.nb, signature.backend, signature,
+    )

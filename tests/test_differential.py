@@ -17,9 +17,10 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.cutoff import SimpleCutoff
-from repro.core.dgefmm import dgefmm
+from repro.core.dgefmm import dgefmm, zgefmm
 from repro.core.parallel import pdgefmm
 from repro.core.pool import WorkspacePool
+from repro.plan import PlanCache
 
 #: small tau so even modest dims recurse (and peel) several levels
 CUT = SimpleCutoff(8)
@@ -152,6 +153,96 @@ class TestParallelDifferential:
         pdgefmm(a, b, c, cutoff=SimpleCutoff(4), workers=7,
                 max_parallel_depth=2)
         np.testing.assert_allclose(c, a @ b, atol=1e-10)
+
+
+class TestPlannedDifferential:
+    """The plan-executor path replays the recursion bit-for-bit.
+
+    Unlike the numpy comparisons above (allclose within a scaled
+    tolerance), planned-vs-recursive is asserted with ``array_equal``:
+    a compiled plan performs the *same* kernel calls on the *same*
+    operand views in the *same* order, so every result bit must match.
+    """
+
+    @given(
+        m=dims, k=dims, n=dims,
+        alpha=scalars, beta=scalars,
+        transa=st.booleans(), transb=st.booleans(),
+        layout_a=layouts, layout_b=layouts, layout_c=layouts,
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_planned_bit_identical_to_recursive(
+            self, m, k, n, alpha, beta, transa, transb,
+            layout_a, layout_b, layout_c, seed):
+        rng = np.random.default_rng(seed)
+        a, b, c, opa, opb = _case(
+            rng, m, k, n, transa, transb, layout_a, layout_b, layout_c
+        )
+        c_plan = np.asfortranarray(c.copy())
+        c_rec = np.asfortranarray(c)
+        dgefmm(a, b, c_rec, alpha, beta, transa, transb, cutoff=CUT)
+        dgefmm(a, b, c_plan, alpha, beta, transa, transb, cutoff=CUT,
+               plan_cache=PlanCache())
+        assert np.array_equal(c_rec, c_plan)
+
+    @given(
+        m=dims, k=dims, n=dims,
+        alpha=scalars, beta=scalars,
+        workers=st.integers(min_value=1, max_value=14),
+        depth=st.integers(min_value=1, max_value=2),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_planned_parallel_bit_identical(self, m, k, n, alpha, beta,
+                                            workers, depth, seed):
+        """pdgefmm with a plan cache == pdgefmm without, bit for bit
+        (job merge order is deterministic in both drivers)."""
+        rng = np.random.default_rng(seed)
+        a = np.asfortranarray(rng.standard_normal((m, k)))
+        b = np.asfortranarray(rng.standard_normal((k, n)))
+        c1 = np.asfortranarray(rng.standard_normal((m, n)))
+        c2 = c1.copy(order="F")
+        pdgefmm(a, b, c1, alpha, beta, cutoff=CUT, workers=workers,
+                max_parallel_depth=depth)
+        pdgefmm(a, b, c2, alpha, beta, cutoff=CUT, workers=workers,
+                max_parallel_depth=depth, plan_cache=PlanCache())
+        assert np.array_equal(c1, c2)
+
+    @given(
+        m=dims, k=dims, n=dims,
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_zgefmm_planned_bit_identical(self, m, k, n, seed):
+        """Complex plans: same machinery, complex128 regions/arenas."""
+        rng = np.random.default_rng(seed)
+
+        def zrand(r, s):
+            return np.asfortranarray(
+                rng.standard_normal((r, s))
+                + 1j * rng.standard_normal((r, s))
+            )
+
+        a, b, c1 = zrand(m, k), zrand(k, n), zrand(m, n)
+        c2 = c1.copy(order="F")
+        alpha, beta = 1.5 - 0.5j, 0.25j
+        zgefmm(a, b, c1, alpha, beta, cutoff=CUT)
+        zgefmm(a, b, c2, alpha, beta, cutoff=CUT, plan_cache=PlanCache())
+        assert np.array_equal(c1, c2)
+
+    def test_zgefmm_planned_matches_numpy(self, rng):
+        m, k, n = 45, 37, 51
+        a = np.asfortranarray(rng.standard_normal((m, k))
+                              + 1j * rng.standard_normal((m, k)))
+        b = np.asfortranarray(rng.standard_normal((k, n))
+                              + 1j * rng.standard_normal((k, n)))
+        c = np.asfortranarray(rng.standard_normal((m, n))
+                              + 1j * rng.standard_normal((m, n)))
+        alpha, beta = 1.5 - 0.5j, 0.25j
+        expect = alpha * (a @ b) + beta * c
+        zgefmm(a, b, c, alpha, beta, cutoff=CUT, plan_cache=PlanCache())
+        np.testing.assert_allclose(c, expect, atol=1e-10)
 
 
 @pytest.fixture(scope="module")

@@ -1,0 +1,416 @@
+"""The plan subsystem: compiler, executor, cache, and CLI.
+
+The load-bearing property is the three-way exactness cross-check: for a
+grid of signatures (even, odd, prime, and degenerate dimensions), the
+op/kernel tallies a compiled plan *predicts* must equal both what
+:func:`recursion_profile` predicts analytically and what a live
+instrumented recursive call actually *does* — and replaying the plan
+must reproduce the recursive result bit for bit with the same kernel
+counts.  Everything else (LRU behaviour, pooled replay, validation
+errors) is mechanism around that invariant.
+"""
+
+import numpy as np
+import pytest
+
+from repro.blas.level3 import DEFAULT_TILE
+from repro.context import ExecutionContext
+from repro.core.cutoff import DepthCutoff, HybridCutoff, SimpleCutoff
+from repro.core.dgefmm import dgefmm, zgefmm
+from repro.core.parallel import pdgefmm
+from repro.core.pool import WorkspacePool, workspace_bound_bytes
+from repro.core.recursion import recursion_profile
+from repro.errors import ArgumentError
+from repro.plan import (
+    PlanCache,
+    PlanSignature,
+    compile_plan,
+    execute_plan,
+)
+
+#: grid of op-shapes: powers of two, odd, prime, thin, and degenerate
+GRID = [
+    (16, 16, 16),
+    (32, 32, 32),
+    (17, 13, 19),      # primes: peeling at every level
+    (24, 10, 31),
+    (29, 29, 29),
+    (33, 5, 120),      # thin k
+    (1, 7, 9),
+    (8, 0, 8),         # k == 0: pure C <- beta*C
+    (0, 4, 4),         # empty output
+]
+
+CUT = SimpleCutoff(8)
+
+
+def _sig(m, k, n, beta=0.0, scheme="auto", peel="tail", cutoff=CUT,
+         dtype="float64", kind="serial", depth=0):
+    return PlanSignature(kind, m, k, n, False, False, False, beta == 0.0,
+                         dtype, scheme, peel, cutoff, DEFAULT_TILE,
+                         "substrate", depth)
+
+
+class TestExactnessCrossCheck:
+    """plan.counts == recursion_profile == live ExecutionContext."""
+
+    @pytest.mark.parametrize("m,k,n", GRID)
+    @pytest.mark.parametrize("beta", [0.0, 0.5])
+    def test_three_way_counts(self, rng, m, k, n, beta):
+        plan = compile_plan(_sig(m, k, n, beta))
+        prof = recursion_profile(m, k, n, CUT)
+        for key in ("recurse", "base", "peel", "max_depth", "mul_flops",
+                    "base_shapes"):
+            assert plan.counts[key] == prof[key], key
+
+        a = np.asfortranarray(rng.standard_normal((m, k)))
+        b = np.asfortranarray(rng.standard_normal((k, n)))
+        c_rec = np.asfortranarray(rng.standard_normal((m, n)))
+        c_pln = c_rec.copy(order="F")
+        ctx_r = ExecutionContext(trace=True)
+        ctx_p = ExecutionContext(trace=True)
+        dgefmm(a, b, c_rec, 1.0, beta, cutoff=CUT, ctx=ctx_r)
+        execute_plan(plan, a, b, c_pln, 1.0, beta, ctx=ctx_p)
+
+        assert np.array_equal(c_rec, c_pln)
+        # what the plan predicted is what the replay did ...
+        assert ctx_p.kernel_calls == plan.counts["kernel_calls"]
+        # ... which is exactly what the recursion did
+        assert ctx_p.kernel_calls == ctx_r.kernel_calls
+        assert ctx_p.mul_flops == ctx_r.mul_flops
+        assert ctx_p.add_flops == ctx_r.add_flops
+        # the event stream replays too (action, dims, depth, scheme)
+        assert (
+            [(e.action, e.m, e.k, e.n, e.depth, e.scheme)
+             for e in ctx_p.events]
+            == [(e.action, e.m, e.k, e.n, e.depth, e.scheme)
+                for e in ctx_r.events]
+        )
+        assert (ctx_p.stats["workspace_peak_bytes"]
+                == ctx_r.stats["workspace_peak_bytes"])
+
+    @pytest.mark.parametrize("scheme", ["auto", "strassen1",
+                                        "strassen1_general", "strassen2",
+                                        "textbook"])
+    @pytest.mark.parametrize("peel", ["tail", "head"])
+    def test_schemes_and_peel_sides(self, rng, scheme, peel):
+        m, k, n = 37, 29, 41
+        a = np.asfortranarray(rng.standard_normal((m, k)))
+        b = np.asfortranarray(rng.standard_normal((k, n)))
+        c_rec = np.asfortranarray(rng.standard_normal((m, n)))
+        c_pln = c_rec.copy(order="F")
+        ctx_r, ctx_p = ExecutionContext(), ExecutionContext()
+        dgefmm(a, b, c_rec, 1.5, 0.5, cutoff=CUT, scheme=scheme,
+               peel=peel, ctx=ctx_r)
+        plan = compile_plan(_sig(m, k, n, 0.5, scheme, peel))
+        execute_plan(plan, a, b, c_pln, 1.5, 0.5, ctx=ctx_p)
+        assert np.array_equal(c_rec, c_pln)
+        assert ctx_p.kernel_calls == ctx_r.kernel_calls
+
+    @pytest.mark.parametrize("cutoff", [
+        SimpleCutoff(4),
+        HybridCutoff(tau=16, tau_m=12, tau_k=12, tau_n=12),
+        DepthCutoff(2),
+    ])
+    def test_cutoff_criteria(self, rng, cutoff):
+        m, k, n = 45, 51, 39
+        plan = compile_plan(_sig(m, k, n, cutoff=cutoff))
+        prof = recursion_profile(m, k, n, cutoff)
+        assert plan.counts["base"] == prof["base"]
+        a = np.asfortranarray(rng.standard_normal((m, k)))
+        b = np.asfortranarray(rng.standard_normal((k, n)))
+        c_rec = np.zeros((m, n), order="F")
+        c_pln = np.zeros((m, n), order="F")
+        dgefmm(a, b, c_rec, cutoff=cutoff)
+        execute_plan(plan, a, b, c_pln, 1.0, 0.0,
+                     ctx=ExecutionContext())
+        assert np.array_equal(c_rec, c_pln)
+
+    def test_alpha_zero_class(self, rng):
+        """alpha == 0 compiles to the degenerate C <- beta*C plan."""
+        m, k, n = 24, 24, 24
+        sig = PlanSignature("serial", m, k, n, False, False, True, False,
+                            "float64", "auto", "tail", CUT, DEFAULT_TILE,
+                            "substrate")
+        plan = compile_plan(sig)
+        assert plan.counts["base"] == 0
+        c_rec = np.asfortranarray(rng.standard_normal((m, n)))
+        c_pln = c_rec.copy(order="F")
+        a = np.asfortranarray(rng.standard_normal((m, k)))
+        b = np.asfortranarray(rng.standard_normal((k, n)))
+        dgefmm(a, b, c_rec, 0.0, 0.75, cutoff=CUT)
+        execute_plan(plan, a, b, c_pln, 0.0, 0.75,
+                     ctx=ExecutionContext())
+        assert np.array_equal(c_rec, c_pln)
+
+
+class TestParallelPlans:
+    @pytest.mark.parametrize("workers,depth", [(1, 1), (7, 1), (14, 2)])
+    def test_parallel_plan_matches_pdgefmm(self, rng, workers, depth):
+        m = k = n = 96
+        crit = SimpleCutoff(16)
+        a = np.asfortranarray(rng.standard_normal((m, k)))
+        b = np.asfortranarray(rng.standard_normal((k, n)))
+        c1 = np.asfortranarray(rng.standard_normal((m, n)))
+        c2 = c1.copy(order="F")
+        ctx1, ctx2 = ExecutionContext(), ExecutionContext()
+        pdgefmm(a, b, c1, 1.25, 0.5, cutoff=crit, workers=workers,
+                max_parallel_depth=depth, ctx=ctx1)
+        pdgefmm(a, b, c2, 1.25, 0.5, cutoff=crit, workers=workers,
+                max_parallel_depth=depth, ctx=ctx2,
+                plan_cache=PlanCache())
+        assert np.array_equal(c1, c2)
+        assert ctx1.kernel_calls == ctx2.kernel_calls
+        assert (ctx1.stats["workspace_peak_bytes"]
+                == ctx2.stats["workspace_peak_bytes"])
+
+    def test_parallel_plan_structure(self):
+        plan = compile_plan(_sig(128, 128, 128, cutoff=SimpleCutoff(32),
+                                 kind="parallel", depth=1))
+        assert len(plan.branches) == 7
+        for _ai, _bi, _ci, child in plan.branches:
+            assert not child.branches  # depth 1: children are serial
+        # pool charge covers the parent's stage arena plus all children
+        assert plan.charge_bytes > plan.peak_bytes
+        assert plan.charge_bytes == plan.peak_bytes + sum(
+            child.charge_bytes for _a, _b, _c, child in plan.branches
+        )
+
+
+class TestPooledReplay:
+    def test_warm_pool_zero_allocations(self, rng):
+        m = k = n = 64
+        crit = SimpleCutoff(16)
+        pool = WorkspacePool(workspace_bound_bytes(m, k, n, "strassen1"))
+        cache = PlanCache()
+        a = np.asfortranarray(rng.standard_normal((m, k)))
+        b = np.asfortranarray(rng.standard_normal((k, n)))
+        c = np.zeros((m, n), order="F")
+        dgefmm(a, b, c, cutoff=crit, pool=pool, plan_cache=cache)
+        warm = pool.new_buffer_bytes
+        for _ in range(5):
+            dgefmm(a, b, c, cutoff=crit, pool=pool, plan_cache=cache)
+        assert pool.new_buffer_bytes == warm
+        stats = cache.stats()
+        assert stats == {**stats, "hits": 5, "misses": 1, "plans": 1}
+        np.testing.assert_allclose(c, a @ b, atol=1e-10)
+
+    def test_arena_reserved_to_plan_bytes(self, rng):
+        """A pool hinted smaller than the plan's arena regrows once."""
+        m, k, n = 48, 48, 48
+        pool = WorkspacePool(1024)  # deliberately tiny hint
+        cache = PlanCache()
+        a = np.asfortranarray(rng.standard_normal((m, k)))
+        b = np.asfortranarray(rng.standard_normal((k, n)))
+        c = np.zeros((m, n), order="F")
+        dgefmm(a, b, c, cutoff=SimpleCutoff(8), pool=pool,
+               plan_cache=cache)
+        warm = pool.new_buffer_bytes
+        dgefmm(a, b, c, cutoff=SimpleCutoff(8), pool=pool,
+               plan_cache=cache)
+        assert pool.new_buffer_bytes == warm
+        np.testing.assert_allclose(c, a @ b, atol=1e-10)
+
+
+class TestPlanCache:
+    def test_lru_eviction_by_count(self):
+        cache = PlanCache(max_plans=2)
+        s1, s2, s3 = (_sig(8, 8, 8), _sig(10, 10, 10), _sig(12, 12, 12))
+        cache.get_or_compile(s1)
+        cache.get_or_compile(s2)
+        cache.get_or_compile(s1)       # s1 most recent
+        cache.get_or_compile(s3)       # evicts s2
+        assert cache.get(s2) is None
+        assert cache.get(s1) is not None
+        assert cache.evictions == 1
+        assert len(cache) == 2
+
+    def test_eviction_by_bytes_keeps_newest(self):
+        cache = PlanCache(max_plans=64, max_bytes=1)
+        cache.get_or_compile(_sig(16, 16, 16))
+        cache.get_or_compile(_sig(18, 18, 18))
+        # over-bytes sheds history but never the entry just inserted
+        assert len(cache) == 1
+        assert cache.get(_sig(18, 18, 18)) is not None
+
+    def test_clear_and_stats(self):
+        cache = PlanCache()
+        cache.get_or_compile(_sig(8, 8, 8))
+        cache.clear()
+        assert len(cache) == 0
+        s = cache.stats()
+        assert s["plans"] == 0 and s["bytes"] == 0 and s["misses"] == 1
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ArgumentError):
+            PlanCache(max_plans=0)
+        with pytest.raises(ArgumentError):
+            PlanCache(max_bytes=0)
+
+    def test_stats_surfaced_through_context(self, rng):
+        cache = PlanCache()
+        ctx = ExecutionContext()
+        a = np.asfortranarray(rng.standard_normal((16, 16)))
+        b = np.asfortranarray(rng.standard_normal((16, 16)))
+        c = np.zeros((16, 16), order="F")
+        dgefmm(a, b, c, cutoff=CUT, ctx=ctx, plan_cache=cache)
+        assert ctx.stats["plan_cache"]["misses"] == 1
+
+    def test_thread_safety_compiles_once(self, rng):
+        import threading
+
+        cache = PlanCache()
+        sig = _sig(32, 32, 32)
+        plans = []
+
+        def worker():
+            plans.append(cache.get_or_compile(sig))
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert cache.misses == 1 and cache.hits == 7
+        assert all(p is plans[0] for p in plans)
+
+
+class TestExecutorValidation:
+    def test_shape_mismatch_rejected(self, rng):
+        plan = compile_plan(_sig(16, 16, 16))
+        a = np.asfortranarray(rng.standard_normal((16, 16)))
+        c = np.zeros((16, 16), order="F")
+        bad = np.asfortranarray(rng.standard_normal((8, 16)))
+        with pytest.raises(ArgumentError):
+            execute_plan(plan, bad, a, c, 1.0, 0.0,
+                         ctx=ExecutionContext())
+
+    def test_output_shape_mismatch_rejected(self, rng):
+        """Wrong C must be rejected upfront, not fail mid-replay."""
+        plan = compile_plan(_sig(16, 16, 16))
+        a = np.asfortranarray(rng.standard_normal((16, 16)))
+        for bad in ((8, 8), (16, 8)):
+            with pytest.raises(ArgumentError):
+                execute_plan(plan, a, a, np.zeros(bad, order="F"),
+                             1.0, 0.0, ctx=ExecutionContext())
+
+    def test_scalar_class_mismatch_rejected(self, rng):
+        plan = compile_plan(_sig(16, 16, 16, beta=0.0))  # beta-zero plan
+        a = np.asfortranarray(rng.standard_normal((16, 16)))
+        b = np.asfortranarray(rng.standard_normal((16, 16)))
+        c = np.zeros((16, 16), order="F")
+        with pytest.raises(ArgumentError):
+            execute_plan(plan, a, b, c, 1.0, 0.5,
+                         ctx=ExecutionContext())
+
+    def test_nonzero_scalar_values_are_free(self, rng):
+        """Any nonzero alpha/beta replays on the same general plan."""
+        plan = compile_plan(_sig(20, 20, 20, beta=0.5))
+        a = np.asfortranarray(rng.standard_normal((20, 20)))
+        b = np.asfortranarray(rng.standard_normal((20, 20)))
+        for alpha, beta in [(2.0, 1.0), (-0.5, 3.25), (1e-3, -1.0)]:
+            c_rec = np.asfortranarray(rng.standard_normal((20, 20)))
+            c_pln = c_rec.copy(order="F")
+            dgefmm(a, b, c_rec, alpha, beta, cutoff=CUT)
+            execute_plan(plan, a, b, c_pln, alpha, beta,
+                         ctx=ExecutionContext())
+            assert np.array_equal(c_rec, c_pln)
+
+
+class TestPlanIntrospection:
+    def test_describe_lists_ops(self):
+        plan = compile_plan(_sig(12, 12, 12))
+        lines = plan.describe(max_ops=8)
+        assert any("gemm" in ln for ln in lines)
+        assert len(lines) <= 9  # 8 ops + the "... more" marker
+
+    def test_complex_plan_sizes_arena_for_16_byte_elements(self):
+        pf = compile_plan(_sig(32, 32, 32, dtype="float64"))
+        pz = compile_plan(_sig(32, 32, 32, dtype="complex128"))
+        assert pz.arena_bytes >= 2 * pf.arena_bytes - 128
+        assert pz.counts["base"] == pf.counts["base"]
+
+    def test_zgefmm_plan_cache_roundtrip(self, rng):
+        m, k, n = 21, 27, 25
+        a = np.asfortranarray(rng.standard_normal((m, k))
+                              + 1j * rng.standard_normal((m, k)))
+        b = np.asfortranarray(rng.standard_normal((k, n))
+                              + 1j * rng.standard_normal((k, n)))
+        c1 = np.asfortranarray(rng.standard_normal((m, n))
+                               + 1j * rng.standard_normal((m, n)))
+        c2 = c1.copy(order="F")
+        zgefmm(a, b, c1, 1 - 1j, 0.5j, cutoff=CUT)
+        zgefmm(a, b, c2, 1 - 1j, 0.5j, cutoff=CUT,
+               plan_cache=PlanCache())
+        assert np.array_equal(c1, c2)
+
+
+class TestPlanCLI:
+    def test_plan_compile(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["plan", "compile", "--order", "48",
+                     "--cutoff", "12"]) == 0
+        out = capsys.readouterr().out
+        assert "signature:" in out and "kernel calls" in out
+
+    def test_plan_compile_json(self, capsys):
+        import json
+
+        from repro.__main__ import main
+
+        assert main(["plan", "compile", "--order", "48", "--cutoff", "12",
+                     "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["bench"] == "plan_compile" and doc["schema"] == 1
+        assert doc["rows"][0]["counts"]["base"] > 0
+
+    def test_plan_explain(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["plan", "explain", "--order", "16", "--cutoff", "8",
+                     "--max-ops", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "gemm" in out
+
+    def test_plan_cache_stats_json(self, capsys):
+        import json
+
+        from repro.__main__ import main
+
+        assert main(["plan", "cache-stats", "--order", "32",
+                     "--cutoff", "8", "--repeat", "2", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["bench"] == "plan_cache"
+        assert doc["rows"][0]["misses"] == len(doc["params"]["shapes"])
+        assert doc["rows"][0]["hits"] > 0
+
+    def test_plan_selftest(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["plan", "--selftest"]) == 0
+        out = capsys.readouterr().out
+        assert "plan selftest: ok" in out
+
+    def test_memory_json(self, capsys):
+        import json
+
+        from repro.__main__ import main
+
+        assert main(["memory", "--order", "256", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["bench"] == "memory" and doc["schema"] == 1
+        assert any(r["implementation"] == "DGEFMM" for r in doc["rows"])
+
+    def test_parallel_json(self, capsys):
+        import json
+
+        from repro.__main__ import main
+
+        assert main(["parallel", "--order", "64", "--repeat", "1",
+                     "--cutoff", "32", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["bench"] == "parallel" and doc["schema"] == 1
+        assert {r["label"] for r in doc["rows"]} == {"serial dgefmm",
+                                                     "pdgefmm"}
+        assert doc["summary"]["speedup"] > 0

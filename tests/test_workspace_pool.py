@@ -321,3 +321,90 @@ class TestAmortization:
         dgefmm(a, b, c, cutoff=CUT, workspace=ws1)
         dgefmm(a, b, c, cutoff=CUT, workspace=ws2)
         assert ws1.new_buffer_bytes == ws2.new_buffer_bytes > 0
+
+
+class TestComplexDtypeRegression:
+    """complex128 arenas: the dtype must reach sizing, not just views.
+
+    Regression cover for a real failure: a pool hinted with the default
+    float64 bound served ``zgefmm`` calls whose 16-byte temporaries
+    overflowed the arena mid-call on every frame, defeating pooling
+    entirely; and dry-mode phantoms reported float64 itemsize for
+    complex sweeps, undercounting workspace by 2x.
+    """
+
+    def test_complex_hint_serves_zgefmm_without_overflow(self, rng):
+        from repro.core.dgefmm import zgefmm
+
+        m = 48
+        a = np.asfortranarray(rng.standard_normal((m, m))
+                              + 1j * rng.standard_normal((m, m)))
+        b = np.asfortranarray(rng.standard_normal((m, m))
+                              + 1j * rng.standard_normal((m, m)))
+        c = np.zeros((m, m), order="F", dtype=np.complex128)
+        pool = WorkspacePool(
+            workspace_bound_bytes(m, m, m, "strassen1", np.complex128)
+        )
+        zgefmm(a, b, c, cutoff=CUT, pool=pool)
+        assert pool._all and all(w.overflow_count == 0 for w in pool._all)
+        warm = pool.new_buffer_bytes
+        zgefmm(a, b, c, cutoff=CUT, pool=pool)
+        assert pool.new_buffer_bytes == warm
+        np.testing.assert_allclose(c, a @ b, atol=1e-10)
+
+    def test_float_hint_would_undersize_complex(self):
+        """The bug's arithmetic: the float64 bound is half the true
+        complex need, so sizing must be dtype-aware."""
+        f = workspace_bound_bytes(96, 96, 96, "strassen1", np.float64)
+        z = workspace_bound_bytes(96, 96, 96, "strassen1", np.complex128)
+        assert z > 1.9 * f
+
+    def test_dry_phantom_accounts_complex_itemsize(self):
+        from repro.context import ExecutionContext
+        from repro.core.workspace import Workspace
+        from repro.phantom import Phantom
+
+        peaks = {}
+        for dt in (np.float64, np.complex128):
+            ws = Workspace(dry=True)
+            ctx = ExecutionContext(dry=True)
+            dgefmm(Phantom(64, 64, dtype=dt), Phantom(64, 64, dtype=dt),
+                   Phantom(64, 64, dtype=dt), cutoff=CUT, ctx=ctx,
+                   workspace=ws)
+            peaks[dt] = ws.peak_bytes
+        assert peaks[np.complex128] == 2 * peaks[np.float64] > 0
+
+    def test_phantom_views_inherit_dtype(self):
+        from repro.phantom import Phantom
+
+        p = Phantom(10, 8, dtype=np.complex128)
+        assert p.dtype == np.dtype(np.complex128)
+        assert p.T.dtype == np.dtype(np.complex128)
+        assert p[2:6, 1:5].dtype == np.dtype(np.complex128)
+        assert p.reshape(8, 10).dtype == np.dtype(np.complex128)
+
+
+class TestReserve:
+    def test_reserve_grows_once_then_serves(self):
+        ws = PooledWorkspace(0)
+        buf = ws.reserve(1 << 14)
+        assert buf.nbytes >= 1 << 14
+        grown = ws.new_buffer_bytes
+        assert ws.reserve(1 << 12) is buf      # smaller: no regrow
+        assert ws.new_buffer_bytes == grown
+        with ws.frame():
+            v = ws.alloc(16, 16)
+            assert np.shares_memory(v, buf)
+        assert ws.overflow_count == 0
+
+    def test_reserve_with_open_frame_rejected(self):
+        ws = PooledWorkspace(1 << 12)
+        with ws.frame():
+            ws.alloc(2, 2)
+            with pytest.raises(WorkspaceError):
+                ws.reserve(1 << 16)
+
+    def test_reserve_negative_rejected(self):
+        ws = PooledWorkspace(0)
+        with pytest.raises(WorkspaceError):
+            ws.reserve(-1)
