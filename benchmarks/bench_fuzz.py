@@ -1,0 +1,53 @@
+"""Fuzz-campaign bench: conformance throughput of the differential oracle.
+
+Not a performance claim from the paper — a harness-health trajectory:
+how many differential cases per second the oracle sustains, what the
+edge-class coverage of a seeded campaign looks like, and (the part that
+must never regress) that a seeded campaign reports **zero divergences**
+across every execution path.  Tracking cases/s keeps the CI fuzz lane's
+budget honest as the oracle grows more paths.
+"""
+
+import time
+
+from benchmarks.conftest import emit, emit_json
+from repro.fuzz import run_fuzz
+
+
+def test_fuzz_campaign_throughput(benchmark):
+    """120 seeded cases through all paths; report rate and coverage."""
+    cases, seed = 120, 0
+    reports = []
+
+    def campaign():
+        t0 = time.perf_counter()
+        reports.append((run_fuzz(cases=cases, seed=seed),
+                        time.perf_counter() - t0))
+
+    benchmark.pedantic(campaign, rounds=1, iterations=1)
+    report, elapsed = reports[-1]
+
+    assert report.ok, report.failures[:3]
+    assert report.cases == cases
+
+    rate = cases / elapsed
+    rows = [{
+        "cases": report.cases,
+        "divergent": report.divergent,
+        "seconds": elapsed,
+        "cases_per_s": rate,
+        "coverage": dict(sorted(report.coverage.items())),
+    }]
+    emit_json("fuzz_campaign", {"cases": cases, "seed": seed, "max_dim": 32},
+              rows)
+    emit(
+        f"Differential fuzz campaign, {cases} cases, seed {seed}",
+        f"{cases} cases in {elapsed:.2f} s ({rate:.1f} cases/s), "
+        f"{report.divergent} divergent\n"
+        f"coverage: zero-dim {report.coverage.get('zero-dim', 0)}, "
+        f"alias {report.coverage.get('alias:a', 0)}+"
+        f"{report.coverage.get('alias:b', 0)}, "
+        f"nan-c {report.coverage.get('nan-c', 0)}, "
+        f"alpha-zero {report.coverage.get('alpha-zero', 0)}, "
+        f"beta-zero {report.coverage.get('beta-zero', 0)}",
+    )

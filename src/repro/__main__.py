@@ -7,6 +7,7 @@ figures   export figure series as CSV files
 memory    print the Table 1 memory coefficients for a given order
 parallel  repeated-call throughput: serial vs pooled parallel DGEFMM
 plan      compile/explain/replay execution plans (``--selftest`` verifies)
+fuzz      differential fuzzing campaign over every execution path
 selftest  quick end-to-end verification of the installation
 
 ``memory``, ``parallel``, and ``plan`` accept ``--json`` and then print a
@@ -367,6 +368,48 @@ def _cmd_plan(args) -> int:
     return 0
 
 
+def _cmd_fuzz(args) -> int:
+    """Differential fuzzing campaign (see :mod:`repro.fuzz`)."""
+    from repro.fuzz.runner import load_replay, run_fuzz
+
+    replay = load_replay(args.replay) if args.replay else None
+
+    def progress(done: int, total: int, divergent: int) -> None:
+        if not args.json and done % 100 == 0:
+            print(f"  {done}/{total} cases, {divergent} divergent")
+
+    report = run_fuzz(
+        cases=args.cases,
+        seed=args.seed,
+        max_dim=args.max_dim,
+        replay=replay,
+        failures_path=args.failures,
+        progress=progress,
+    )
+    if args.json:
+        _print_bench_json(
+            "fuzz",
+            {"cases": args.cases, "seed": args.seed,
+             "max_dim": args.max_dim, "replay": args.replay or None},
+            [report.to_dict()],
+        )
+        return 0 if report.ok else 1
+    src = f"replay file {args.replay}" if args.replay else f"seed {args.seed}"
+    print(f"fuzz: {report.cases} cases ({src}), "
+          f"{report.divergent} divergent")
+    for key, num in sorted(report.coverage.items()):
+        print(f"  coverage {key:<24} {num}")
+    for rec in report.failures:
+        print(f"  FAIL case={rec['case']}")
+        for f in rec["failures"]:
+            print(f"    [{f['path']}] {f['kind']}: {f['detail']}")
+    if report.failures and args.failures:
+        print(f"failing cases appended to {args.failures} "
+              f"(re-run with --replay {args.failures})")
+    print(f"fuzz: {'ok' if report.ok else 'FAILED'}")
+    return 0 if report.ok else 1
+
+
 def _cmd_selftest(args) -> int:
     import numpy as np
 
@@ -464,6 +507,25 @@ def main(argv=None) -> int:
     p.add_argument("--json", action="store_true",
                    help="emit the benchmark-schema JSON document")
     p.set_defaults(fn=_cmd_plan)
+
+    p = sub.add_parser(
+        "fuzz",
+        help="differential fuzzing across serial/parallel/plan paths",
+    )
+    p.add_argument("--cases", type=int, default=200,
+                   help="number of randomized cases to draw (default 200)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="campaign RNG seed (same seed -> same cases)")
+    p.add_argument("--max-dim", dest="max_dim", type=int, default=32,
+                   help="upper bound for each of m/k/n (default 32)")
+    p.add_argument("--replay", default="",
+                   help="JSON-lines file of cases to re-run instead of "
+                        "drawing (as written by --failures)")
+    p.add_argument("--failures", default="",
+                   help="append divergent cases to this JSON-lines file")
+    p.add_argument("--json", action="store_true",
+                   help="emit the benchmark-schema JSON document")
+    p.set_defaults(fn=_cmd_fuzz)
 
     p = sub.add_parser("selftest", help="quick installation check")
     p.set_defaults(fn=_cmd_selftest)

@@ -126,6 +126,13 @@ def axpby(
     With ``beta=0`` this is a scaled copy (``y <- alpha*x``), used by
     STRASSEN2's scaling steps; with ``alpha=1, beta=beta`` it realizes the
     ``C <- beta*C + P`` updates.
+
+    BLAS conformance: ``beta == 0`` means ``y``'s prior content is
+    *ignored*, not multiplied — the output is overwritten, so NaN/Inf
+    garbage already in ``y`` never propagates.  In particular
+    ``alpha == 0, beta == 0`` writes exact zeros rather than computing
+    ``0*y`` (whose ``0*NaN = NaN`` would leak the garbage through the
+    degenerate ``C <- beta*C`` paths of the drivers).
     """
     ctx = ensure_context(ctx)
     m, n = require_matrix("axpby", "x", x)
@@ -135,7 +142,9 @@ def axpby(
     if ctx.dry or not (m and n):
         return y
     if beta == 0.0:
-        if alpha == 1.0:
+        if alpha == 0.0:
+            y[...] = 0.0
+        elif alpha == 1.0:
             y[...] = x
         else:
             np.multiply(x, alpha, out=y)

@@ -105,6 +105,20 @@ def dgemm(
     This routine never recurses and never applies Strassen's construction;
     it is the baseline DGEMM of all experiments and the base case of every
     Strassen variant in :mod:`repro.core` and :mod:`repro.comparators`.
+
+    Conformance (the reference DGEMM contract):
+
+    - ``m == 0`` or ``n == 0``: no-op (C is empty);
+    - ``k == 0`` or ``alpha == 0``: no product is formed — ``C`` is
+      scaled by ``beta``, and ``beta == 0`` *overwrites* with zeros (it
+      never computes ``0*C``, so NaN/Inf garbage in ``C`` is discarded);
+    - ``beta == 0`` in the general path assigns the product into ``C``
+      without reading ``C``'s prior content;
+    - operands may be non-contiguous or negative-stride views; and the
+      product is materialized before ``C`` is written, so this base-case
+      kernel is overlap-safe by construction (the recursive drivers
+      guard overlap themselves — see
+      :func:`repro.blas.validate.copy_on_overlap`).
     """
     ctx = ensure_context(ctx)
     if backend not in BACKENDS:

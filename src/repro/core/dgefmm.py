@@ -35,7 +35,12 @@ from typing import Any, Optional
 
 from repro.blas.addsub import axpby
 from repro.blas.level3 import DEFAULT_TILE, dgemm
-from repro.blas.validate import opshape, require_matrix, require_writable
+from repro.blas.validate import (
+    copy_on_overlap,
+    opshape,
+    require_matrix,
+    require_writable,
+)
 from repro.context import (
     ExecutionContext,
     RecursionEvent,
@@ -93,11 +98,21 @@ def dgefmm(
     Parameters
     ----------
     a, b, c:
-        numpy arrays (any strides; Fortran order is fastest) or Phantoms
-        in dry mode.  ``op(A)`` is m-by-k, ``op(B)`` k-by-n, ``C`` m-by-n;
-        ``C`` is mutated and returned.
+        numpy arrays (any strides — C/Fortran order, non-contiguous and
+        negative-stride views all accepted; Fortran order is fastest) or
+        Phantoms in dry mode.  ``op(A)`` is m-by-k, ``op(B)`` k-by-n,
+        ``C`` m-by-n; ``C`` is mutated and returned.  ``C`` *may* share
+        memory with ``A`` or ``B`` (e.g. ``dgefmm(A, B, C=A)``): the
+        overlap guard detects this and falls back to a private copy of
+        the overlapping input, so the result equals the non-overlapping
+        call's exactly (see :func:`repro.blas.validate.copy_on_overlap`).
     alpha, beta:
-        DGEMM scalars.  ``beta == 0`` means C's input content is ignored.
+        DGEMM scalars.  ``beta == 0`` means C's input content is ignored
+        — C is *overwritten*, never read, so pre-existing NaN/Inf in C
+        does not propagate.  ``alpha == 0`` (or ``k == 0``) skips the
+        product entirely and only scales C by beta; an empty C
+        (``m == 0`` or ``n == 0``) returns immediately.  None of the
+        degenerate cases recurse or touch workspace.
     transa, transb:
         Apply the operation to ``A^T`` / ``B^T`` (views; nothing copied).
     cutoff:
@@ -163,6 +178,25 @@ def dgefmm(
         raise DimensionError(
             f"dgefmm: C has shape {tuple(c.shape)}, expected {(m, n)}"
         )
+
+    # BLAS degenerate semantics, decided before any workspace or plan
+    # machinery spins up: an empty C is a no-op; k == 0 or alpha == 0
+    # forms no product and only scales C by beta (overwriting when
+    # beta == 0, so NaN/Inf garbage in C never propagates).
+    if m == 0 or n == 0:
+        ctx.stats.setdefault("workspace_peak_bytes", 0)
+        return c
+    if k == 0 or alpha == 0.0:
+        _scale_only(c, beta, ctx)
+        ctx.stats.setdefault("workspace_peak_bytes", 0)
+        return c
+
+    # Overlap guard: the schedules write C's quadrants mid-recursion
+    # while A/B are still live, so an output that shares memory with an
+    # input would be silently corrupted.  Any (conservatively detected)
+    # overlapping input is replaced by a private copy first — the
+    # documented copy-on-overlap fallback.
+    a, b = copy_on_overlap(c, a, b, ctx=ctx)
 
     crit = cutoff if cutoff is not None else DEFAULT_CUTOFF
 

@@ -59,10 +59,15 @@ from typing import Any, Iterator, List, Optional
 
 from repro.blas.addsub import NUMERIC_KERNELS, BlockKernels
 from repro.blas.level3 import DEFAULT_TILE
-from repro.blas.validate import opshape, require_matrix, require_writable
+from repro.blas.validate import (
+    copy_on_overlap,
+    opshape,
+    require_matrix,
+    require_writable,
+)
 from repro.context import ExecutionContext, ensure_context
 from repro.core.cutoff import CutoffCriterion, DepthCutoff
-from repro.core.dgefmm import DEFAULT_CUTOFF, dgefmm
+from repro.core.dgefmm import DEFAULT_CUTOFF, _scale_only, dgefmm
 from repro.core.peeling import apply_fixups, peel_split
 from repro.core.pool import WorkspacePool, _checkout_or_local
 from repro.core.workspace import Workspace
@@ -227,6 +232,14 @@ def pdgefmm(
     time has no thread model), and stateful :class:`DepthCutoff`
     criteria are rejected — they cannot be shared across concurrent
     recursions.
+
+    DGEMM conformance matches the serial driver: empty C returns
+    immediately; ``k == 0`` or ``alpha == 0`` only scales C by beta
+    (overwriting when ``beta == 0``, so NaN/Inf garbage in C is
+    discarded); non-contiguous and negative-stride operand views are
+    accepted; and an output overlapping an input triggers the
+    copy-on-overlap fallback
+    (:func:`repro.blas.validate.copy_on_overlap`).
     """
     ctx = ensure_context(ctx)
     if ctx.dry:
@@ -256,6 +269,22 @@ def pdgefmm(
         raise DimensionError(
             f"pdgefmm: C has shape {tuple(c.shape)}, expected {(m, n)}"
         )
+
+    # BLAS degenerate semantics before any plan/pool machinery: empty C
+    # is a no-op; k == 0 or alpha == 0 forms no product, only scales C
+    # by beta (overwriting when beta == 0 — NaN-safe).
+    if m == 0 or n == 0:
+        ctx.stats.setdefault("workspace_peak_bytes", 0)
+        return c
+    if k == 0 or alpha == 0.0:
+        _scale_only(c, beta, ctx)
+        ctx.stats.setdefault("workspace_peak_bytes", 0)
+        return c
+
+    # Overlap guard: identical to the serial driver's (the parallel
+    # level additionally shares its operand views across worker threads,
+    # so an aliased output would corrupt concurrently).
+    a, b = copy_on_overlap(c, a, b, ctx=ctx)
     opa = a.T if transa else a
     opb = b.T if transb else b
 
@@ -277,14 +306,7 @@ def pdgefmm(
         ctx.stats["plan_cache"] = plan_cache.stats()
         return c
 
-    if m == 0 or n == 0:
-        return c
-    if (
-        k == 0
-        or alpha == 0.0
-        or crit.stop(m, k, n)
-        or min(m, k, n) < 2
-    ):
+    if crit.stop(m, k, n) or min(m, k, n) < 2:
         # serial fallback: pool-aware workspace acquisition via dgefmm
         if workspace is not None:
             return dgefmm(a, b, c, alpha, beta, transa, transb,

@@ -1,0 +1,163 @@
+"""The differential oracle: one case, every execution path, cross-checked.
+
+For a :class:`~repro.fuzz.cases.FuzzCase` the oracle runs up to four
+result-producing paths:
+
+- ``serial``   — the recursive driver (:func:`repro.core.dgefmm.dgefmm`);
+- ``plan``     — the same call through a :class:`~repro.plan.cache.PlanCache`
+  (compiled-plan replay);
+- ``parallel`` — :func:`repro.core.parallel.pdgefmm` under the case's
+  worker budget and parallel depth (only when the case's scheme/peel
+  knobs match what pdgefmm pins);
+- ``parallel-plan`` — pdgefmm through a plan cache.
+
+Checks, in decreasing strictness:
+
+1. ``serial`` vs ``plan`` and ``parallel`` vs ``parallel-plan`` must be
+   **bit-identical** (a plan replays the same kernels on the same views
+   in the same order — any drift is a bug, not roundoff);
+2. every path must match the numpy reference
+   ``alpha*op(A)@op(B) + beta*C`` — computed in float64/complex128 with
+   the BLAS overwrite semantics (``beta == 0`` never reads C) — within a
+   dtype-scaled tolerance;
+3. any exception a path raises is itself a divergence (degenerate and
+   aliased cases must execute, not crash).
+
+Each path materializes its own operands from the case seed, so aliased
+and NaN-poisoned outputs replay identically per path.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.core.cutoff import SimpleCutoff
+from repro.core.dgefmm import dgefmm
+from repro.core.parallel import pdgefmm
+from repro.fuzz.cases import FuzzCase, materialize
+
+__all__ = ["run_case", "reference_result", "tolerance_for"]
+
+#: absolute tolerance per element dtype, as a multiple of the result
+#: scale.  Strassen's construction loses a few digits versus the
+#: standard algorithm (the paper's Section 4.3 stability discussion);
+#: genuine schedule bugs produce O(1) relative errors, far above these.
+_TOLS = {"float64": 1e-9, "float32": 1e-3, "complex128": 1e-9}
+
+
+def tolerance_for(case: FuzzCase, expect: np.ndarray) -> float:
+    """Scaled absolute tolerance for comparisons against the reference."""
+    scale = 1.0
+    if expect.size:
+        scale = max(scale, float(np.max(np.abs(expect))))
+    return _TOLS[case.dtype] * scale
+
+
+def reference_result(case: FuzzCase, a, b, c0) -> np.ndarray:
+    """``alpha*op(A)@op(B) + beta*C`` in float64/complex128, with the
+    conformant overwrite semantics: ``beta == 0`` never reads ``c0``
+    (so a NaN-poisoned C yields a finite reference), and ``alpha == 0``
+    (or ``k == 0``) skips the product."""
+    ref_dt = np.complex128 if case.dtype == "complex128" else np.float64
+    alpha, beta = case.scalars()
+    opa = (a.T if case.transa else a).astype(ref_dt)
+    opb = (b.T if case.transb else b).astype(ref_dt)
+    expect = np.zeros((case.m, case.n), dtype=ref_dt)
+    if alpha != 0 and case.k > 0:
+        expect += alpha * (opa @ opb)
+    if beta != 0:
+        expect += beta * c0.astype(ref_dt)
+    return expect
+
+
+def _run_path(case: FuzzCase, path: str, plan_cache, pool):
+    """Execute one path on freshly materialized operands; returns C."""
+    a, b, c, _c0 = materialize(case)
+    alpha, beta = case.scalars()
+    crit = SimpleCutoff(case.tau)
+    if path in ("serial", "plan"):
+        dgefmm(
+            a, b, c, alpha, beta, case.transa, case.transb,
+            cutoff=crit, scheme=case.scheme, peel=case.peel,
+            plan_cache=plan_cache if path == "plan" else None,
+        )
+    else:
+        pdgefmm(
+            a, b, c, alpha, beta, case.transa, case.transb,
+            cutoff=crit, workers=case.workers,
+            max_parallel_depth=case.depth,
+            pool=pool if case.pool else None,
+            plan_cache=plan_cache if path == "parallel-plan" else None,
+        )
+    return c
+
+
+def run_case(
+    case: FuzzCase,
+    plan_cache: Optional[Any] = None,
+    pool: Optional[Any] = None,
+) -> List[Dict[str, Any]]:
+    """Run every applicable path for ``case``; return divergence records.
+
+    An empty list means the case conforms.  Each record carries the
+    ``path``, a ``kind`` (``"exception"``, ``"reference-mismatch"``, or
+    ``"bit-divergence"``), and a human-readable ``detail``.
+    """
+    if plan_cache is None:
+        from repro.plan import PlanCache
+
+        plan_cache = PlanCache()
+    if pool is None and case.pool:
+        from repro.core.pool import WorkspacePool
+
+        pool = WorkspacePool()
+
+    a, b, _c, c0 = materialize(case)
+    expect = reference_result(case, a, b, c0)
+    atol = tolerance_for(case, expect)
+
+    paths = ["serial", "plan"]
+    if case.parallel_applicable:
+        paths += ["parallel", "parallel-plan"]
+
+    failures: List[Dict[str, Any]] = []
+    results: Dict[str, np.ndarray] = {}
+    for path in paths:
+        try:
+            results[path] = _run_path(case, path, plan_cache, pool)
+        except Exception as exc:  # noqa: BLE001 — every crash is a finding
+            failures.append({
+                "path": path, "kind": "exception",
+                "detail": f"{type(exc).__name__}: {exc}",
+            })
+
+    for path, got in results.items():
+        if got.shape != expect.shape:
+            failures.append({
+                "path": path, "kind": "reference-mismatch",
+                "detail": f"shape {got.shape} != {expect.shape}",
+            })
+            continue
+        err = np.abs(got.astype(expect.dtype) - expect)
+        max_err = float(np.max(err)) if err.size else 0.0
+        if not np.isfinite(got).all() or max_err > atol:
+            failures.append({
+                "path": path, "kind": "reference-mismatch",
+                "detail": f"max |err| {max_err:.3e} > atol {atol:.3e}"
+                          + ("" if np.isfinite(got).all()
+                             else " (non-finite entries)"),
+            })
+
+    for lhs, rhs in (("serial", "plan"), ("parallel", "parallel-plan")):
+        if lhs in results and rhs in results and not np.array_equal(
+            results[lhs], results[rhs]
+        ):
+            diff = np.abs(results[lhs] - results[rhs])
+            failures.append({
+                "path": rhs, "kind": "bit-divergence",
+                "detail": f"{rhs} differs from {lhs}, max |diff| "
+                          f"{float(np.max(diff)):.3e}",
+            })
+    return failures

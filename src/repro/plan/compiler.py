@@ -89,6 +89,27 @@ class PlanSignature:
     it only sets how many threads replay the branches).  Scalars enter
     as zero/nonzero *classes*; cutoff criteria are the (hashable frozen
     dataclass) objects themselves.
+
+    Completeness audit — every knob that can change what a replay
+    computes MUST be a field here, or a stale plan would be served for a
+    different problem.  The full set of behavior-affecting knobs and
+    where each lands:
+
+    - problem: ``m``/``k``/``n`` (op shapes), ``transa``/``transb``,
+      ``dtype`` (temporary allocation widths and region binding);
+    - scalars: ``alpha_zero``/``beta_zero`` (scheme dispatch and the
+      compiled scalar classes; nonzero values resolve per call);
+    - dispatch: ``scheme``, ``peel``, ``cutoff`` (recursion shape),
+      ``max_parallel_depth`` (parallel fan-out structure);
+    - base case: ``nb`` (tile edge), ``backend`` (kernel choice).
+
+    Deliberately excluded because they cannot change the result or the
+    plan's structure: ``workers`` (execution-time thread budget),
+    ``pool``/``workspace`` (where temporaries live, not what is
+    computed), ``ctx`` (instrumentation sink), and operand memory
+    layout/strides (plans bind root windows per call; the kernels accept
+    any strides).  ``tests/test_plan.py`` pins this audit: mutating any
+    listed knob must miss the cache.
     """
 
     kind: str

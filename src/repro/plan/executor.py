@@ -36,6 +36,7 @@ from typing import Any, List, Optional
 
 from repro.blas.addsub import accum, axpby, madd, msub
 from repro.blas.level3 import dgemm
+from repro.blas.validate import copy_on_overlap
 from repro.context import ExecutionContext
 from repro.core.parallel import _split_budget
 from repro.core.peeling import apply_fixups, apply_fixups_head
@@ -217,7 +218,14 @@ def execute_plan(
     the plan was compiled for.  ``workers`` is the parallel replay
     budget (ignored by serial plans), split level-by-level exactly like
     the live parallel driver.
+
+    Like the drivers, the executor applies the copy-on-overlap fallback
+    when ``c`` may share memory with ``a`` or ``b`` — replayed ops write
+    into C's windows mid-plan, exactly like the recursion they mirror
+    (the driver wrappers have usually resolved overlap already, in which
+    case this re-check is one cheap bounds comparison per operand).
     """
+    a, b = copy_on_overlap(c, a, b, ctx=ctx)
     sig = plan.signature
     if sig is not None:
         if tuple(a.shape) != (sig.m, sig.k) or b.shape[1] != sig.n:

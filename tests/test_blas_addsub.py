@@ -98,6 +98,22 @@ class TestAxpby:
         axpby(0.0, x, 0.0, x)
         assert np.all(x == 0.0)
 
+    def test_zero_both_nan_poisoned(self):
+        """Regression for the 0*NaN bug: alpha == beta == 0 must zero the
+        output even when it (and the aliased input) is all-NaN — the old
+        ``np.multiply(x, 0.0, out=y)`` produced NaN here."""
+        c = np.full((4, 5), np.nan, order="F")
+        axpby(0.0, c, 0.0, c)
+        assert np.all(c == 0.0)
+
+    def test_beta_zero_nan_x_distinct(self):
+        x = np.asfortranarray(np.ones((3, 3)))
+        y = np.full((3, 3), np.nan, order="F")
+        axpby(0.0, x, 0.0, y)
+        assert np.all(y == 0.0)
+        axpby(1.0, x, 0.0, y)
+        np.testing.assert_array_equal(y, x)
+
 
 class TestCopyZero:
     def test_mcopy(self, xy):

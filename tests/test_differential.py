@@ -27,9 +27,10 @@ CUT = SimpleCutoff(8)
 
 PRIMES = [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47]
 
-dims = st.integers(min_value=1, max_value=48)
+#: min 0 — the degenerate-GEMM contract is part of every sweep
+dims = st.integers(min_value=0, max_value=48)
 scalars = st.sampled_from([0.0, 1.0, -1.0, 0.5, -2.0, 3.25])
-layouts = st.sampled_from(["F", "C", "strided"])
+layouts = st.sampled_from(["F", "C", "strided", "revrows", "revcols"])
 
 
 def _materialize(rng, m, n, layout):
@@ -38,6 +39,12 @@ def _materialize(rng, m, n, layout):
         return np.asfortranarray(rng.standard_normal((m, n)))
     if layout == "C":
         return np.ascontiguousarray(rng.standard_normal((m, n)))
+    if layout == "revrows":
+        # negative row stride over a Fortran backing
+        return np.asfortranarray(rng.standard_normal((m, n)))[::-1, :]
+    if layout == "revcols":
+        # negative column stride over a C backing
+        return np.ascontiguousarray(rng.standard_normal((m, n)))[:, ::-1]
     # non-contiguous view: every second row/column of a larger array
     backing = rng.standard_normal((2 * m, 2 * n))
     view = backing[::2, ::2]
@@ -63,7 +70,9 @@ def _check(routine, rng, m, k, n, alpha, beta, transa, transb,
     )
     expect = alpha * (opa @ opb) + beta * c
     routine(a, b, c, alpha, beta, transa, transb, cutoff=CUT, **kwargs)
-    scale = max(1.0, float(np.max(np.abs(expect))))
+    scale = 1.0
+    if expect.size:
+        scale = max(scale, float(np.max(np.abs(expect))))
     np.testing.assert_allclose(c, expect, atol=1e-10 * scale)
 
 
@@ -142,7 +151,9 @@ class TestParallelDifferential:
         dgefmm(a, b, c1, alpha, beta, cutoff=CUT)
         pdgefmm(a, b, c2, alpha, beta, cutoff=CUT, workers=4,
                 max_parallel_depth=2, pool=pooled_pool)
-        scale = max(1.0, float(np.max(np.abs(c1))))
+        scale = 1.0
+        if c1.size:
+            scale = max(scale, float(np.max(np.abs(c1))))
         np.testing.assert_allclose(c2, c1, atol=1e-10 * scale)
 
     @pytest.mark.parametrize("m", [7, 13, 31, 47])
@@ -230,6 +241,43 @@ class TestPlannedDifferential:
         zgefmm(a, b, c1, alpha, beta, cutoff=CUT)
         zgefmm(a, b, c2, alpha, beta, cutoff=CUT, plan_cache=PlanCache())
         assert np.array_equal(c1, c2)
+
+    @pytest.mark.parametrize("layout_a,layout_b,layout_c", [
+        ("revrows", "revcols", "F"),
+        ("C", "revrows", "strided"),
+        ("revcols", "F", "revrows"),
+    ])
+    def test_planned_negative_stride_transposed(self, rng, layout_a,
+                                                layout_b, layout_c):
+        """Transposed + negative-stride/mixed-order operands replay
+        bit-identically through serial plans and parallel plans."""
+        m, k, n = 27, 21, 33
+        a = _materialize(rng, k, m, layout_a)          # A^T storage
+        b = _materialize(rng, n, k, layout_b)          # B^T storage
+        c = _materialize(rng, m, n, layout_c)
+        expect = 1.5 * (a.T @ b.T) + 0.5 * np.asarray(c)
+        outs = {}
+        cache = PlanCache()
+        for name, fn in (
+            ("serial", lambda cc: dgefmm(
+                a, b, cc, 1.5, 0.5, True, True, cutoff=CUT)),
+            ("plan", lambda cc: dgefmm(
+                a, b, cc, 1.5, 0.5, True, True, cutoff=CUT,
+                plan_cache=cache)),
+            ("parallel", lambda cc: pdgefmm(
+                a, b, cc, 1.5, 0.5, True, True, cutoff=CUT, workers=3)),
+            ("parallel-plan", lambda cc: pdgefmm(
+                a, b, cc, 1.5, 0.5, True, True, cutoff=CUT, workers=3,
+                plan_cache=cache)),
+        ):
+            cc = c.copy(order="K")
+            fn(cc)
+            outs[name] = cc
+            scale = max(1.0, float(np.max(np.abs(expect))))
+            np.testing.assert_allclose(cc, expect, atol=1e-10 * scale,
+                                       err_msg=name)
+        assert np.array_equal(outs["serial"], outs["plan"])
+        assert np.array_equal(outs["parallel"], outs["parallel-plan"])
 
     def test_zgefmm_planned_matches_numpy(self, rng):
         m, k, n = 45, 37, 51

@@ -414,3 +414,66 @@ class TestPlanCLI:
         assert {r["label"] for r in doc["rows"]} == {"serial dgefmm",
                                                      "pdgefmm"}
         assert doc["summary"]["speedup"] > 0
+
+
+class TestSignatureCompleteness:
+    """Every behavior-affecting knob must be part of the cache key.
+
+    This is the pin for the PlanSignature completeness audit (see the
+    dataclass docstring in repro/plan/compiler.py): drive the *driver*
+    (not the cache directly) through one shared PlanCache, mutating one
+    knob at a time on a square problem — where a transpose flips nothing
+    about operand shapes — and require every mutation to MISS.  A hit
+    here would mean replaying a plan compiled for different semantics.
+    """
+
+    DIM = 12
+
+    def _drive(self, cache, rng, *, dtype="float64", beta=0.5, **kw):
+        d = np.dtype(dtype)
+        x = rng.standard_normal((self.DIM, self.DIM))
+        if d.kind == "c":
+            x = x + 1j * rng.standard_normal((self.DIM, self.DIM))
+        a = np.asfortranarray(x.astype(d))
+        b = np.asfortranarray(x.T.copy().astype(d))
+        c = np.asfortranarray(x.copy().astype(d))
+        kw.setdefault("cutoff", SimpleCutoff(4))
+        dgefmm(a, b, c, 1.0, beta, plan_cache=cache, **kw)
+
+    def test_each_knob_mutation_misses(self, rng):
+        cache = PlanCache()
+        self._drive(cache, rng)            # base signature
+        assert (cache.misses, cache.hits) == (1, 0)
+        variants = [
+            ("transa", dict(transa=True)),
+            ("transb", dict(transb=True)),
+            ("scheme", dict(scheme="strassen2")),
+            ("peel", dict(peel="head")),
+            ("nb", dict(nb=DEFAULT_TILE // 2)),
+            ("dtype", dict(dtype="float32")),
+            ("dtype-complex", dict(dtype="complex128")),
+            ("cutoff", dict(cutoff=SimpleCutoff(6))),
+            ("backend", dict(backend="vendor")),
+            ("beta-class", dict(beta=0.0)),
+        ]
+        for idx, (name, kw) in enumerate(variants, start=2):
+            self._drive(cache, rng, **kw)
+            assert cache.misses == idx, f"{name} mutation hit the cache"
+        assert cache.hits == 0
+        self._drive(cache, rng)            # base again: must hit now
+        assert cache.hits == 1 and cache.misses == len(variants) + 1
+
+    def test_parallel_depth_in_key(self, rng):
+        cache = PlanCache()
+        a = np.asfortranarray(rng.standard_normal((24, 24)))
+        b = np.asfortranarray(rng.standard_normal((24, 24)))
+        for depth in (1, 2):
+            c = np.zeros((24, 24), order="F")
+            pdgefmm(a, b, c, cutoff=SimpleCutoff(4), workers=2,
+                    max_parallel_depth=depth, plan_cache=cache)
+        assert cache.misses == 2 and cache.hits == 0
+        # workers is deliberately NOT in the key: budget-only replay
+        c = np.zeros((24, 24), order="F")
+        pdgefmm(a, b, c, cutoff=SimpleCutoff(4), workers=5,
+                max_parallel_depth=2, plan_cache=cache)
+        assert cache.hits == 1 and cache.misses == 2
