@@ -27,6 +27,12 @@ def emit_json(bench: str, params: dict, rows: list, **extra) -> str:
     can be collected and diffed with one set of tooling.  The output
     directory defaults to the current directory and can be redirected
     with the ``BENCH_JSON_DIR`` environment variable.
+
+    Serving documents (``BENCH_serve*.json``, ``python -m repro serve
+    --json``) embed the :meth:`repro.serve.GemmService.stats` snapshot
+    in their rows: ``{"counters", "histograms"`` (count/sum/min/max/
+    mean/p50/p95/p99 each), ``"plan_cache", "pool", "queue", "work"}``
+    — schema documented in docs/api.md, "Serving".
     """
     doc = {"bench": bench, "schema": 1, "params": params, "rows": rows}
     doc.update(extra)

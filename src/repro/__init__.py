@@ -14,6 +14,8 @@ The package provides:
   reconstructions;
 - :mod:`repro.machines` — calibrated RS/6000, C90, T3D cost models and
   the dry-run simulation machinery;
+- :mod:`repro.serve` — in-process batched GEMM serving (admission
+  control, signature-keyed micro-batching, live metrics);
 - :mod:`repro.eigensolver` — the ISDA application of Section 4.4;
 - :mod:`repro.harness` — one function per paper table/figure
   (``python -m repro.harness.report`` regenerates them all).
@@ -56,6 +58,7 @@ from repro.plan import (
     compile_plan,
     execute_plan,
 )
+from repro.serve import GemmService
 
 __version__ = "1.0.0"
 
@@ -80,6 +83,7 @@ __all__ = [
     "ExecutionPlan",
     "compile_plan",
     "execute_plan",
+    "GemmService",
     "TheoreticalCutoff",
     "SimpleCutoff",
     "HighamCutoff",

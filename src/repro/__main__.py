@@ -8,12 +8,16 @@ memory    print the Table 1 memory coefficients for a given order
 parallel  repeated-call throughput: serial vs pooled parallel DGEFMM
 plan      compile/explain/replay execution plans (``--selftest`` verifies)
 fuzz      differential fuzzing campaign over every execution path
+serve     batched GEMM service under open-loop load, verified live
 selftest  quick end-to-end verification of the installation
 
-``memory``, ``parallel``, and ``plan`` accept ``--json`` and then print a
-single JSON document with the benchmark schema ``{"bench", "schema",
-"params", "rows"}`` — the same shape ``benchmarks/conftest.py`` writes as
-``BENCH_*.json`` — so CLI runs can be captured as bench trajectories.
+Every command accepts ``--json`` and then prints a single JSON document
+with the benchmark schema ``{"bench", "schema", "params", "rows"}`` —
+the same shape ``benchmarks/conftest.py`` writes as ``BENCH_*.json`` —
+so CLI runs can be captured as bench trajectories.  Commands exit 0 on
+success, 1 when their own checks fail (fuzz divergence, selftest
+failure, serve divergence/error), and 70 (EX_SOFTWARE) when an
+unexpected internal error escapes a command.
 """
 
 from __future__ import annotations
@@ -34,7 +38,14 @@ def _print_bench_json(bench: str, params: dict, rows: list, **extra) -> None:
 def _cmd_report(args) -> int:
     from repro.harness.report import render
 
-    sys.stdout.write(render(args.only, args.full))
+    text = render(args.only, args.full)
+    if args.json:
+        _print_bench_json(
+            "report", {"only": args.only or None, "full": args.full},
+            [], lines=text.splitlines(),
+        )
+        return 0
+    sys.stdout.write(text)
     return 0
 
 
@@ -42,6 +53,12 @@ def _cmd_figures(args) -> int:
     from repro.harness.figdata import export_all_figures
 
     paths = export_all_figures(args.outdir, fast=not args.full)
+    if args.json:
+        _print_bench_json(
+            "figures", {"outdir": args.outdir, "full": args.full},
+            [{"path": str(p)} for p in paths],
+        )
+        return 0
     for p in paths:
         print(p)
     return 0
@@ -410,6 +427,64 @@ def _cmd_fuzz(args) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_serve(args) -> int:
+    """Run the GEMM service under open-loop load with live verification."""
+    from repro.serve import run_load
+
+    report = run_load(
+        duration=args.duration,
+        rate=args.rate,
+        workers=args.workers,
+        policy=args.policy,
+        capacity=args.capacity,
+        max_batch=args.max_batch,
+        n_shapes=args.shapes,
+        seed=args.seed,
+        max_dim=args.max_dim,
+        request_timeout=args.timeout,
+        verify=not args.no_verify,
+    )
+    ok = report["errors"] == 0 and report["divergent"] == 0
+    if args.json:
+        _print_bench_json(
+            "serve",
+            {"duration": args.duration, "rate": args.rate,
+             "workers": args.workers, "policy": args.policy,
+             "capacity": args.capacity, "max_batch": args.max_batch,
+             "shapes": args.shapes, "seed": args.seed,
+             "max_dim": args.max_dim, "verify": not args.no_verify},
+            [report], ok=ok,
+        )
+        return 0 if ok else 1
+    svc = report["service"]
+    print(f"serve: {args.duration:.1f} s at {args.rate:.0f} req/s offered, "
+          f"{args.workers} workers, policy {args.policy!r}, "
+          f"max_batch {args.max_batch}")
+    print(f"  attempts {report['attempts']}, "
+          f"completed {report['completed']} "
+          f"({report['achieved_rate']:.0f}/s), "
+          f"rejected {report['rejected']}, shed {report['shed']}, "
+          f"timeouts {report['timeouts']}, errors {report['errors']}")
+    lat = svc["histograms"]["latency_ms"]
+    bat = svc["histograms"]["batch_size"]
+    if lat["count"]:
+        print(f"  latency ms: p50 {lat['p50']:.2f}, p95 {lat['p95']:.2f}, "
+              f"p99 {lat['p99']:.2f}, max {lat['max']:.2f}")
+    if bat["count"]:
+        print(f"  batches {svc['counters']['batches']}, "
+              f"mean size {bat['mean']:.2f}, max size {bat['max']:.0f}")
+    pc = svc["plan_cache"]
+    print(f"  plan cache: {pc['plans']} plans, hit rate "
+          f"{pc['hit_rate']:.2f}; pool arenas {svc['pool']['created']}")
+    if not args.no_verify:
+        print(f"  verified: {report['divergent']} divergences "
+              f"across {report['completed']} responses")
+        for line in report["failures"]:
+            print(f"  FAIL {line}")
+    print(f"serve: {'ok' if ok else 'FAILED'}")
+    return 0 if ok else 1
+
+
 def _cmd_selftest(args) -> int:
     import numpy as np
 
@@ -425,6 +500,14 @@ def _cmd_selftest(args) -> int:
     s = random_symmetric(48, seed=1)
     w, v, _ = isda_eigh(s)
     ok_eig = bool(np.allclose(w, np.linalg.eigvalsh(s), atol=1e-8))
+    if args.json:
+        _print_bench_json(
+            "selftest", {},
+            [{"check": "dgefmm", "ok": ok_mm},
+             {"check": "isda_eigh", "ok": ok_eig}],
+            ok=ok_mm and ok_eig,
+        )
+        return 0 if (ok_mm and ok_eig) else 1
     print(f"dgefmm: {'ok' if ok_mm else 'FAILED'}")
     print(f"isda_eigh: {'ok' if ok_eig else 'FAILED'}")
     return 0 if (ok_mm and ok_eig) else 1
@@ -437,11 +520,15 @@ def main(argv=None) -> int:
     p = sub.add_parser("report", help="regenerate paper exhibits")
     p.add_argument("--only", default="", help="one exhibit, e.g. table4")
     p.add_argument("--full", action="store_true")
+    p.add_argument("--json", action="store_true",
+                   help="emit the benchmark-schema JSON document")
     p.set_defaults(fn=_cmd_report)
 
     p = sub.add_parser("figures", help="export figure CSVs")
     p.add_argument("--outdir", default="figures")
     p.add_argument("--full", action="store_true")
+    p.add_argument("--json", action="store_true",
+                   help="emit the benchmark-schema JSON document")
     p.set_defaults(fn=_cmd_figures)
 
     p = sub.add_parser("memory", help="Table 1 coefficients")
@@ -527,11 +614,50 @@ def main(argv=None) -> int:
                    help="emit the benchmark-schema JSON document")
     p.set_defaults(fn=_cmd_fuzz)
 
+    p = sub.add_parser(
+        "serve",
+        help="batched GEMM service under open-loop load, verified live",
+    )
+    p.add_argument("--duration", type=float, default=3.0,
+                   help="seconds of open-loop load (default 3)")
+    p.add_argument("--rate", type=float, default=200.0,
+                   help="offered arrival rate, requests/s (default 200)")
+    p.add_argument("--workers", type=int, default=2,
+                   help="service worker threads (default 2)")
+    p.add_argument("--policy", default="reject",
+                   choices=["reject", "block", "shed-oldest"],
+                   help="admission policy at queue capacity")
+    p.add_argument("--capacity", type=int, default=256,
+                   help="admission queue bound (default 256)")
+    p.add_argument("--max-batch", dest="max_batch", type=int, default=32,
+                   help="micro-batch size ceiling (default 32)")
+    p.add_argument("--shapes", type=int, default=8,
+                   help="distinct shapes in the repeating mix (default 8)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="shape-mix RNG seed (same seed -> same mix)")
+    p.add_argument("--max-dim", dest="max_dim", type=int, default=48,
+                   help="upper bound for each of m/k/n (default 48)")
+    p.add_argument("--timeout", type=float, default=None,
+                   help="per-request deadline in seconds (default: none)")
+    p.add_argument("--no-verify", dest="no_verify", action="store_true",
+                   help="skip bit-identity verification against dgefmm")
+    p.add_argument("--json", action="store_true",
+                   help="emit the benchmark-schema JSON document")
+    p.set_defaults(fn=_cmd_serve)
+
     p = sub.add_parser("selftest", help="quick installation check")
+    p.add_argument("--json", action="store_true",
+                   help="emit the benchmark-schema JSON document")
     p.set_defaults(fn=_cmd_selftest)
 
     args = ap.parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except Exception as exc:  # noqa: BLE001 — CLI boundary
+        # Internal failure (bug, bad environment): distinct exit code so
+        # CI lanes and scripts can tell it from a failed check (exit 1).
+        print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 70
 
 
 if __name__ == "__main__":

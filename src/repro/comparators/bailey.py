@@ -108,9 +108,7 @@ def bailey_strassen(
             )
             axpby(1.0, t, beta, c, ctx=ctx)
 
-    ctx.stats["workspace_peak_bytes"] = max(
-        ctx.stats.get("workspace_peak_bytes", 0), ws.peak_bytes
-    )
+    ctx.stats_max("workspace_peak_bytes", ws.peak_bytes)
     return c
 
 

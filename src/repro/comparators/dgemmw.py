@@ -80,9 +80,7 @@ def dgemmw(
         return c
     if k == 0 or alpha == 0.0:
         axpby(0.0, c, beta, c, ctx=ctx)
-        ctx.stats["workspace_peak_bytes"] = max(
-            ctx.stats.get("workspace_peak_bytes", 0), ws.peak_bytes
-        )
+        ctx.stats_max("workspace_peak_bytes", ws.peak_bytes)
         return c
 
     if beta == 0.0:
@@ -94,9 +92,7 @@ def dgemmw(
             _rec(opa, opb, t, alpha, 0, crit, ctx, ws)
             axpby(1.0, t, beta, c, ctx=ctx)
 
-    ctx.stats["workspace_peak_bytes"] = max(
-        ctx.stats.get("workspace_peak_bytes", 0), ws.peak_bytes
-    )
+    ctx.stats_max("workspace_peak_bytes", ws.peak_bytes)
     return c
 
 

@@ -101,9 +101,7 @@ def essl_dgemms(
     run_statically_padded(
         opa, opb, c, 1.0, 0.0, depth, multiply_even, ws, ctx=ctx
     )
-    ctx.stats["workspace_peak_bytes"] = max(
-        ctx.stats.get("workspace_peak_bytes", 0), ws.peak_bytes
-    )
+    ctx.stats_max("workspace_peak_bytes", ws.peak_bytes)
     return c
 
 
@@ -164,7 +162,5 @@ def essl_dgemms_general(
         t = ws.alloc(m, n, getattr(c, "dtype", None) or "float64")
         essl_dgemms(a, b, t, transa, transb, cutoff=cutoff, ctx=ctx, workspace=ws)
         axpby(alpha, t, beta, c, ctx=ctx)
-    ctx.stats["workspace_peak_bytes"] = max(
-        ctx.stats.get("workspace_peak_bytes", 0), ws.peak_bytes
-    )
+    ctx.stats_max("workspace_peak_bytes", ws.peak_bytes)
     return c

@@ -20,11 +20,20 @@ optional :class:`ExecutionContext`.  The context serves three roles:
    the identical control flow.
 
 The context is deliberately cheap: plain attribute bumps, no locking —
-one context per top-level call or experiment.
+one context per top-level call or experiment.  When one context *must*
+be shared by concurrent top-level calls (the serving engine's shared
+instrumentation, or user code hammering ``pdgefmm`` from threads),
+construct it with ``threadsafe=True``: every counter update —
+:meth:`~ExecutionContext.charge`, :meth:`~ExecutionContext.merge_child`,
+:meth:`~ExecutionContext.record` and the :meth:`~ExecutionContext.
+stats_max`/:meth:`~ExecutionContext.stats_set` helpers — then runs under
+one reentrant lock, so tallies stay exact instead of losing
+read-modify-write races.  The default stays lock-free.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import Counter
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
@@ -66,6 +75,11 @@ class ExecutionContext:
         When True, Strassen drivers append :class:`RecursionEvent` records
         to :attr:`events` — used by tests and by the recursion-depth
         experiments (Table 5).
+    threadsafe:
+        When True, all counter mutations take a private reentrant lock,
+        so the context can be shared by concurrent top-level calls with
+        exact tallies.  Leave False (the default) for the usual
+        one-context-per-call pattern — the hot path then pays no lock.
     """
 
     def __init__(
@@ -74,6 +88,7 @@ class ExecutionContext:
         *,
         dry: bool = False,
         trace: bool = False,
+        threadsafe: bool = False,
     ) -> None:
         if dry and machine is None:
             # Dry runs are allowed without a machine (pure op counting),
@@ -82,7 +97,13 @@ class ExecutionContext:
         self.machine = machine
         self.dry = bool(dry)
         self.trace = bool(trace)
+        self._lock = threading.RLock() if threadsafe else None
         self.reset()
+
+    @property
+    def threadsafe(self) -> bool:
+        """True when counter updates are serialized through a lock."""
+        return self._lock is not None
 
     # ------------------------------------------------------------------ #
     def reset(self) -> None:
@@ -117,6 +138,19 @@ class ExecutionContext:
         ``seconds`` is the machine-model time (ignored when no machine is
         attached — callers pass it unconditionally for simplicity).
         """
+        if self._lock is not None:
+            with self._lock:
+                self._charge(kernel, muls, adds, seconds)
+        else:
+            self._charge(kernel, muls, adds, seconds)
+
+    def _charge(
+        self,
+        kernel: str,
+        muls: float,
+        adds: float,
+        seconds: Optional[float],
+    ) -> None:
         self.kernel_calls[kernel] += 1
         self.mul_flops += muls
         self.add_flops += adds
@@ -127,7 +161,11 @@ class ExecutionContext:
     def record(self, event: RecursionEvent) -> None:
         """Append a recursion-trace event (no-op unless tracing)."""
         if self.trace:
-            self.events.append(event)
+            if self._lock is not None:
+                with self._lock:
+                    self.events.append(event)
+            else:
+                self.events.append(event)
 
     def merge_child(self, child: "ExecutionContext") -> None:
         """Fold a worker's counters into this context — exactly.
@@ -142,12 +180,47 @@ class ExecutionContext:
         (e.g. the parallel driver aggregates workspace peaks itself) and
         are deliberately not merged here.
         """
+        if self._lock is not None:
+            with self._lock:
+                self._merge_child(child)
+        else:
+            self._merge_child(child)
+
+    def _merge_child(self, child: "ExecutionContext") -> None:
         self.flops += child.flops
         self.mul_flops += child.mul_flops
         self.add_flops += child.add_flops
         self.elapsed += child.elapsed
         self.kernel_calls.update(child.kernel_calls)
         self.events.extend(child.events)
+
+    # ------------------------------------------------------------------ #
+    def stats_max(self, key: str, value: Any) -> None:
+        """``stats[key] = max(stats.get(key, value), value)`` — atomically.
+
+        Drivers report high-water marks (workspace peaks) through this
+        helper instead of open-coded read-modify-write, so a context
+        shared by concurrent top-level calls (``threadsafe=True``) never
+        loses an update.
+        """
+        if self._lock is not None:
+            with self._lock:
+                self.stats[key] = max(self.stats.get(key, value), value)
+        else:
+            self.stats[key] = max(self.stats.get(key, value), value)
+
+    def stats_set(self, key: str, value: Any) -> None:
+        """``stats[key] = value`` under the context lock (when present).
+
+        For last-writer-wins snapshot entries (e.g. plan-cache counter
+        snapshots), where the value itself is computed atomically by its
+        owner and only the dictionary store needs serializing.
+        """
+        if self._lock is not None:
+            with self._lock:
+                self.stats[key] = value
+        else:
+            self.stats[key] = value
 
     # ------------------------------------------------------------------ #
     def model_time(self, method: str, *dims: int) -> Optional[float]:

@@ -184,11 +184,11 @@ def dgefmm(
     # forms no product and only scales C by beta (overwriting when
     # beta == 0, so NaN/Inf garbage in C never propagates).
     if m == 0 or n == 0:
-        ctx.stats.setdefault("workspace_peak_bytes", 0)
+        ctx.stats_max("workspace_peak_bytes", 0)
         return c
     if k == 0 or alpha == 0.0:
         _scale_only(c, beta, ctx)
-        ctx.stats.setdefault("workspace_peak_bytes", 0)
+        ctx.stats_max("workspace_peak_bytes", 0)
         return c
 
     # Overlap guard: the schedules write C's quadrants mid-recursion
@@ -218,7 +218,7 @@ def dgefmm(
             plan, a.T if transa else a, b.T if transb else b, c,
             alpha, beta, ctx=ctx, pool=pool,
         )
-        ctx.stats["plan_cache"] = plan_cache.stats()
+        ctx.stats_set("plan_cache", plan_cache.stats())
         return c
 
     pooled = False
@@ -240,9 +240,7 @@ def dgefmm(
             pool.release(ws)
         raise
 
-    ctx.stats["workspace_peak_bytes"] = max(
-        ctx.stats.get("workspace_peak_bytes", 0), ws.peak_bytes
-    )
+    ctx.stats_max("workspace_peak_bytes", ws.peak_bytes)
     if pooled:
         pool.checkin(ws)
     return c

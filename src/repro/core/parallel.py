@@ -274,11 +274,11 @@ def pdgefmm(
     # is a no-op; k == 0 or alpha == 0 forms no product, only scales C
     # by beta (overwriting when beta == 0 — NaN-safe).
     if m == 0 or n == 0:
-        ctx.stats.setdefault("workspace_peak_bytes", 0)
+        ctx.stats_max("workspace_peak_bytes", 0)
         return c
     if k == 0 or alpha == 0.0:
         _scale_only(c, beta, ctx)
-        ctx.stats.setdefault("workspace_peak_bytes", 0)
+        ctx.stats_max("workspace_peak_bytes", 0)
         return c
 
     # Overlap guard: identical to the serial driver's (the parallel
@@ -303,7 +303,7 @@ def pdgefmm(
         plan = plan_cache.get_or_compile(sig)
         execute_plan(plan, opa, opb, c, alpha, beta, ctx=ctx, pool=pool,
                      workers=workers)
-        ctx.stats["plan_cache"] = plan_cache.stats()
+        ctx.stats_set("plan_cache", plan_cache.stats())
         return c
 
     if crit.stop(m, k, n) or min(m, k, n) < 2:
@@ -316,9 +316,7 @@ def pdgefmm(
 
     charge = _prun(opa, opb, c, alpha, beta, workers, 1, max_parallel_depth,
                    crit, ctx, pool, nb, workspace=workspace)
-    ctx.stats["workspace_peak_bytes"] = max(
-        ctx.stats.get("workspace_peak_bytes", 0), charge
-    )
+    ctx.stats_max("workspace_peak_bytes", charge)
     return c
 
 

@@ -251,6 +251,7 @@ class WorkspacePool:
         self._lock = threading.Lock()
         self._free: List[PooledWorkspace] = []
         self._all: List[PooledWorkspace] = []
+        self._created = 0
         self._outstanding = 0
         for _ in range(prewarm):
             self._free.append(self._new_arena())
@@ -259,12 +260,13 @@ class WorkspacePool:
     def _new_arena(self) -> PooledWorkspace:
         ws = PooledWorkspace(self.size_hint_bytes)
         self._all.append(ws)
+        self._created += 1
         return ws
 
     @property
     def arenas_created(self) -> int:
-        """Total arenas ever constructed by this pool."""
-        return len(self._all)
+        """Total arenas ever constructed by this pool (survives shrink)."""
+        return self._created
 
     @property
     def outstanding(self) -> int:
@@ -291,6 +293,51 @@ class WorkspacePool:
         """Fresh buffer requests across all arenas, ever."""
         with self._lock:
             return sum(ws.new_buffer_count for ws in self._all)
+
+    def stats(self) -> dict:
+        """Consistent counters snapshot (one lock acquisition).
+
+        The long-running-service view of the pool: arena population,
+        how many are in flight, resident buffer bytes, and the lifetime
+        allocation record that backs the amortization claim.
+        """
+        with self._lock:
+            return {
+                "arenas": len(self._all),
+                "created": self._created,
+                "idle": len(self._free),
+                "outstanding": self._outstanding,
+                "capacity_bytes": sum(
+                    ws.capacity_bytes for ws in self._all
+                ),
+                "new_buffer_bytes": sum(
+                    ws.new_buffer_bytes for ws in self._all
+                ),
+                "new_buffer_count": sum(
+                    ws.new_buffer_count for ws in self._all
+                ),
+            }
+
+    def shrink(self, keep_idle: int = 0) -> int:
+        """Drop idle arenas beyond ``keep_idle``; returns bytes released.
+
+        Memory-pressure hook for long-running services: a traffic burst
+        can grow the free list well past steady-state needs, and the
+        arenas (with their grown buffers) would otherwise stay resident
+        forever.  Outstanding arenas are untouched.  Dropped arenas
+        leave the stats population, so their ``new_buffer_*`` history
+        leaves with them — callers tracking the amortization claim
+        should snapshot :meth:`stats` before shrinking.
+        """
+        if keep_idle < 0:
+            raise WorkspaceError(f"invalid keep_idle {keep_idle}")
+        with self._lock:
+            released = 0
+            while len(self._free) > keep_idle:
+                ws = self._free.pop(0)
+                self._all.remove(ws)
+                released += ws.capacity_bytes
+            return released
 
     # ------------------------------------------------------------------ #
     def checkout(self) -> PooledWorkspace:

@@ -13,6 +13,10 @@ __all__ = [
     "DimensionError",
     "WorkspaceError",
     "ConvergenceError",
+    "ServiceError",
+    "ServiceOverloaded",
+    "ServiceTimeout",
+    "ServiceClosed",
 ]
 
 
@@ -43,3 +47,22 @@ class WorkspaceError(ReproError, RuntimeError):
 
 class ConvergenceError(ReproError, RuntimeError):
     """An iterative kernel (eigensolver polynomial iteration) failed to converge."""
+
+
+class ServiceError(ReproError, RuntimeError):
+    """Base class for GEMM serving-engine failures (:mod:`repro.serve`)."""
+
+
+class ServiceOverloaded(ServiceError):
+    """Admission control refused a request: the queue is at capacity and
+    the policy is ``"reject"``, a ``"block"`` submitter timed out waiting
+    for space, or the request was shed to make room for a newer one."""
+
+
+class ServiceTimeout(ServiceError):
+    """A request's deadline expired before (or while) it was served, or a
+    caller's ``result(timeout=...)`` wait elapsed."""
+
+
+class ServiceClosed(ServiceError):
+    """The service is shut down and no longer accepts submissions."""

@@ -60,6 +60,7 @@ class PlanCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.cleared = 0
 
     # ------------------------------------------------------------------ #
     def get_or_compile(self, signature: PlanSignature) -> ExecutionPlan:
@@ -88,6 +89,23 @@ class PlanCache:
             self._plans.move_to_end(signature)
             return plan
 
+    def peek(self, signature: PlanSignature) -> Optional[ExecutionPlan]:
+        """Look up without compiling, counting, or LRU-touching.
+
+        For introspection (the serving engine's batch former, tests)
+        that must not skew the hit/miss accounting or the eviction
+        order.
+        """
+        with self._lock:
+            return self._plans.get(signature)
+
+    @property
+    def hit_rate(self) -> float:
+        """``hits / (hits + misses)`` so far (0.0 before any lookup)."""
+        with self._lock:
+            total = self.hits + self.misses
+            return self.hits / total if total else 0.0
+
     def _evict(self) -> None:
         # over-count: drop LRU entries; over-bytes: likewise, but never
         # evict the entry just inserted (len > 1 guard)
@@ -106,18 +124,28 @@ class PlanCache:
     def clear(self) -> None:
         """Drop every cached plan (counters are retained)."""
         with self._lock:
+            self.cleared += len(self._plans)
             self._plans.clear()
             self._bytes = 0
 
     def stats(self) -> dict:
-        """Counters snapshot, suitable for ``ctx.stats["plan_cache"]``."""
+        """Counters snapshot, suitable for ``ctx.stats["plan_cache"]``.
+
+        Taken under the cache lock, so the snapshot is *consistent*:
+        ``misses - evictions - plans`` equals the number of entries
+        dropped by :meth:`clear` (zero when clear was never called), no
+        matter how many threads are churning the cache concurrently.
+        """
         with self._lock:
+            total = self.hits + self.misses
             return {
                 "plans": len(self._plans),
                 "bytes": self._bytes,
                 "hits": self.hits,
                 "misses": self.misses,
                 "evictions": self.evictions,
+                "cleared": self.cleared,
+                "hit_rate": self.hits / total if total else 0.0,
                 "max_plans": self.max_plans,
                 "max_bytes": self.max_bytes,
             }

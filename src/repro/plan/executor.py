@@ -145,12 +145,22 @@ def _run_ops(ops, v, st, ctx, nb, backend) -> None:
             ctx.record(op[1])
 
 
-def _exec(plan, va, vb, vc, st, ctx, pool, workers) -> None:
-    """Execute one plan node (serial body or parallel level)."""
+def _exec(plan, va, vb, vc, st, ctx, pool, workers, arena=None) -> None:
+    """Execute one plan node (serial body or parallel level).
+
+    ``arena`` is a caller-held :class:`~repro.core.pool.PooledWorkspace`
+    to draw this node's buffer from instead of checking one out of the
+    pool — the micro-batching hook: the serving engine reserves one
+    arena per *batch* and replays the plan across every request in it.
+    Only the top node uses it; parallel branches still draw from
+    ``pool``.
+    """
     pooled = False
     ws = None
     if plan.arena_bytes or plan.branches:
-        if pool is not None:
+        if arena is not None:
+            buf = arena.reserve(plan.arena_bytes)
+        elif pool is not None:
             ws = pool.checkout()
             buf = ws.reserve(plan.arena_bytes)
             pooled = True
@@ -209,6 +219,7 @@ def execute_plan(
     ctx: ExecutionContext,
     pool: Optional[WorkspacePool] = None,
     workers: int = 1,
+    workspace: Optional[Any] = None,
 ) -> Any:
     """Replay ``plan`` against op-resolved operands; returns ``c``.
 
@@ -217,7 +228,14 @@ def execute_plan(
     this).  ``alpha``/``beta`` must belong to the zero/nonzero classes
     the plan was compiled for.  ``workers`` is the parallel replay
     budget (ignored by serial plans), split level-by-level exactly like
-    the live parallel driver.
+    the live parallel driver.  ``workspace`` (a quiescent
+    :class:`~repro.core.pool.PooledWorkspace` the caller holds checked
+    out) supplies the top node's arena directly, bypassing pool
+    checkout — the serving engine's micro-batching hook: one arena is
+    reserved per batch of same-signature requests and every replay
+    binds against its buffer (the temp-view cache hits on all but the
+    first).  Parallel branches still draw per-worker arenas from
+    ``pool``.
 
     Like the drivers, the executor applies the copy-on-overlap fallback
     when ``c`` may share memory with ``a`` or ``b`` — replayed ops write
@@ -246,8 +264,6 @@ def execute_plan(
                 "scalar zero-class differs from the plan signature",
             )
     st = (alpha, -alpha, beta, -beta)
-    _exec(plan, a, b, c, st, ctx, pool, workers)
-    ctx.stats["workspace_peak_bytes"] = max(
-        ctx.stats.get("workspace_peak_bytes", 0), plan.charge_bytes
-    )
+    _exec(plan, a, b, c, st, ctx, pool, workers, arena=workspace)
+    ctx.stats_max("workspace_peak_bytes", plan.charge_bytes)
     return c

@@ -1,0 +1,203 @@
+"""Self-contained load generator and correctness monitor for GemmService.
+
+``python -m repro serve`` runs this: an **open-loop** arrival process
+(requests land at a fixed rate whether or not earlier ones finished —
+the honest way to probe a service's saturation behaviour, unlike
+closed-loop clients whose back-pressure hides overload) over a
+repeating mix of shapes drawn from the fuzz case distribution
+(:mod:`repro.fuzz.cases`), so the traffic exercises the same transpose/
+scalar/dtype/layout classes the differential oracle does.
+
+Every completed response is verified **bit-identical** against a direct
+:func:`~repro.core.dgefmm.dgefmm` call on the same operands (computed
+once per mix entry — requests repeat the mix, so one reference serves
+all its repeats).  A nonzero ``divergent`` count in the report is a
+correctness failure, not a statistic.
+
+The mix repeats deliberately: production GEMM traffic is dominated by
+recurring shapes, and the repeat is what the plan cache and workspace
+pool amortize against — the report's ``plan_cache.hit_rate`` shows it.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.cutoff import SimpleCutoff
+from repro.core.dgefmm import dgefmm
+from repro.errors import ServiceOverloaded, ServiceTimeout
+from repro.fuzz.cases import FuzzCase, draw_case, materialize
+from repro.serve.service import GemmService
+
+__all__ = ["build_mix", "run_load"]
+
+
+def build_mix(
+    n_shapes: int = 8,
+    seed: int = 0,
+    max_dim: int = 48,
+) -> List[FuzzCase]:
+    """A deterministic mix of ``n_shapes`` serveable fuzz cases.
+
+    Draws from the edge-heavy fuzz distribution, skipping aliased
+    cases (the service snapshots C, so aliasing degenerates to the
+    plain case) — everything else, including degenerate dimensions,
+    zero scalars, mixed dtypes and hostile layouts, stays in the mix.
+    """
+    rng = np.random.default_rng(seed)
+    mix: List[FuzzCase] = []
+    while len(mix) < n_shapes:
+        case = draw_case(rng, max_dim=max_dim)
+        if case.alias != "none":
+            continue
+        mix.append(case)
+    return mix
+
+
+def _reference(case: FuzzCase, a, b, c) -> np.ndarray:
+    """Direct dgefmm on operands materialized exactly like the service.
+
+    The service starts ``beta == 0`` outputs from Fortran-ordered zeros
+    and ``beta != 0`` outputs from a plain copy of the caller's C; the
+    reference does the same, so bit-identity is the plan-replay
+    guarantee and nothing else.
+    """
+    alpha, beta = case.scalars()
+    if beta != 0.0:
+        out = np.array(c, copy=True)
+    else:
+        dt = np.result_type(a, b)
+        out = np.zeros((case.m, case.n), dtype=dt, order="F")
+    dgefmm(a, b, out, alpha, beta, case.transa, case.transb,
+           cutoff=SimpleCutoff(case.tau), scheme=case.scheme,
+           peel=case.peel)
+    return out
+
+
+def run_load(
+    duration: float = 3.0,
+    rate: float = 200.0,
+    *,
+    workers: int = 2,
+    policy: str = "reject",
+    capacity: int = 256,
+    max_batch: int = 32,
+    n_shapes: int = 8,
+    seed: int = 0,
+    max_dim: int = 48,
+    request_timeout: Optional[float] = None,
+    verify: bool = True,
+    service: Optional[GemmService] = None,
+) -> Dict[str, Any]:
+    """Drive a GemmService at ``rate`` req/s for ``duration`` seconds.
+
+    Returns a JSON-serializable report: attempt/outcome counts, the
+    divergence tally (when ``verify``), achieved rate, and the
+    service's full metrics snapshot.  ``service`` lets callers inject a
+    preconfigured instance; otherwise one is built from the knobs and
+    closed before returning.
+    """
+    mix = build_mix(n_shapes=n_shapes, seed=seed, max_dim=max_dim)
+    operands: List[Tuple[Any, Any, Any]] = []
+    expected: List[Optional[np.ndarray]] = []
+    for case in mix:
+        a, b, c, c0 = materialize(case)
+        operands.append((a, b, c))
+        expected.append(_reference(case, a, b, c) if verify else None)
+
+    own_service = service is None
+    svc = service if service is not None else GemmService(
+        workers=workers, capacity=capacity, policy=policy,
+        max_batch=max_batch,
+    )
+    inflight: List[Tuple[int, Any]] = []   # (mix index, future)
+    attempts = rejected = 0
+    interval = 1.0 / rate if rate > 0 else 0.0
+    t_start = time.monotonic()
+    t_end = t_start + duration
+    try:
+        i = 0
+        while True:
+            next_arrival = t_start + i * interval
+            now = time.monotonic()
+            if next_arrival >= t_end:
+                break
+            if next_arrival > now:
+                time.sleep(next_arrival - now)
+                if time.monotonic() >= t_end:
+                    break
+            idx = i % len(mix)
+            case = mix[idx]
+            a, b, c = operands[idx]
+            alpha, beta = case.scalars()
+            attempts += 1
+            try:
+                fut = svc.submit(
+                    a, b, c if beta != 0.0 else None, alpha, beta,
+                    case.transa, case.transb,
+                    timeout=request_timeout,
+                    block_timeout=request_timeout,
+                    cutoff=SimpleCutoff(case.tau),
+                    scheme=case.scheme, peel=case.peel,
+                )
+                inflight.append((idx, fut))
+            except ServiceOverloaded:
+                rejected += 1
+            i += 1
+
+        # drain: wait for every accepted request to resolve
+        completed = shed = timeouts = errors = divergent = 0
+        failures: List[str] = []
+        for idx, fut in inflight:
+            try:
+                got = fut.result(timeout=60.0)
+            except ServiceOverloaded:
+                shed += 1
+                continue
+            except ServiceTimeout:
+                timeouts += 1
+                continue
+            except Exception as exc:  # noqa: BLE001 — report, don't mask
+                errors += 1
+                if len(failures) < 10:
+                    failures.append(f"{type(exc).__name__}: {exc}")
+                continue
+            completed += 1
+            if verify and not np.array_equal(got, expected[idx]):
+                divergent += 1
+                if len(failures) < 10:
+                    case = mix[idx]
+                    failures.append(
+                        f"divergence on {case.m}x{case.k}x{case.n} "
+                        f"dtype={case.dtype}"
+                    )
+        elapsed = time.monotonic() - t_start
+    finally:
+        if own_service:
+            svc.close()
+
+    stats = svc.stats()
+    return {
+        "duration_s": elapsed,
+        "offered_rate": rate,
+        "achieved_rate": completed / elapsed if elapsed > 0 else 0.0,
+        "attempts": attempts,
+        "completed": completed,
+        "rejected": rejected,
+        "shed": shed,
+        "timeouts": timeouts,
+        "errors": errors,
+        "divergent": divergent,
+        "verified": bool(verify),
+        "failures": failures,
+        "mix": [
+            {"m": c.m, "k": c.k, "n": c.n, "dtype": c.dtype,
+             "scheme": c.scheme, "tau": c.tau,
+             "beta_zero": c.scalars()[1] == 0.0}
+            for c in mix
+        ],
+        "service": stats,
+    }

@@ -1,0 +1,174 @@
+"""Live serving metrics: thread-safe counters and latency histograms.
+
+The serving engine (:mod:`repro.serve.service`) is judged the way a
+production GEMM tier would be — queue depth, batch sizes, wait versus
+compute time, rejection and timeout counts, tail latency — so the
+metrics layer is a first-class part of the subsystem, not an
+afterthought.  A :class:`MetricsRegistry` holds named :class:`Counter`
+and :class:`Histogram` instruments; :meth:`MetricsRegistry.snapshot`
+returns one plain-JSON-serializable dict (the schema documented in
+``docs/api.md`` and emitted by ``python -m repro serve --json``).
+
+Every instrument takes its own lock per update: contention is one
+uncontended CPython lock acquire on the request path, and the snapshot
+is consistent per-instrument.  Histograms record exact ``count``,
+``sum``, ``min`` and ``max``, and estimate quantiles from a bounded
+sample ring (deterministic overwrite, oldest-first) so a long-running
+service cannot grow memory without bound.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional
+
+__all__ = ["Counter", "Histogram", "MetricsRegistry"]
+
+
+class Counter:
+    """A monotonically increasing counter."""
+
+    __slots__ = ("name", "_lock", "_value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def inc(self, n: int = 1) -> None:
+        with self._lock:
+            self._value += n
+
+    @property
+    def value(self) -> int:
+        with self._lock:
+            return self._value
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Counter({self.name}={self.value})"
+
+
+class Histogram:
+    """Observations with exact moments and ring-sampled quantiles.
+
+    ``max_samples`` bounds memory: once more observations than that have
+    arrived, new values overwrite the ring deterministically
+    (``count % max_samples``), keeping a uniform-in-time window without
+    randomness.  Quantiles are computed from the ring at snapshot time
+    (nearest-rank on the sorted sample); count/sum/min/max stay exact
+    over the full history.
+    """
+
+    __slots__ = ("name", "_lock", "_count", "_sum", "_min", "_max",
+                 "_ring", "_max_samples")
+
+    def __init__(self, name: str, max_samples: int = 65536) -> None:
+        if max_samples < 1:
+            raise ValueError(f"max_samples must be >= 1, got {max_samples}")
+        self.name = name
+        self._lock = threading.Lock()
+        self._count = 0
+        self._sum = 0.0
+        self._min: Optional[float] = None
+        self._max: Optional[float] = None
+        self._ring: List[float] = []
+        self._max_samples = int(max_samples)
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            if len(self._ring) < self._max_samples:
+                self._ring.append(value)
+            else:
+                self._ring[self._count % self._max_samples] = value
+            self._count += 1
+            self._sum += value
+            if self._min is None or value < self._min:
+                self._min = value
+            if self._max is None or value > self._max:
+                self._max = value
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Nearest-rank quantile estimate from the sample ring."""
+        with self._lock:
+            return self._quantiles([q])[0]
+
+    def _quantiles(self, qs) -> List[Optional[float]]:
+        # caller holds the lock
+        if not self._ring:
+            return [None for _ in qs]
+        ordered = sorted(self._ring)
+        n = len(ordered)
+        return [ordered[min(int(q * n), n - 1)] for q in qs]
+
+    def snapshot(self) -> Dict[str, Optional[float]]:
+        with self._lock:
+            p50, p95, p99 = self._quantiles((0.50, 0.95, 0.99))
+            return {
+                "count": self._count,
+                "sum": self._sum,
+                "min": self._min,
+                "max": self._max,
+                "mean": self._sum / self._count if self._count else None,
+                "p50": p50,
+                "p95": p95,
+                "p99": p99,
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        s = self.snapshot()
+        return f"Histogram({self.name}: n={s['count']}, p50={s['p50']})"
+
+
+class MetricsRegistry:
+    """Named instruments with get-or-create semantics.
+
+    One registry per :class:`~repro.serve.service.GemmService` (or share
+    one across services to aggregate).  ``counter``/``histogram`` are
+    idempotent by name, so independent call sites can reference the same
+    instrument without coordination; asking for a name already
+    registered as the *other* kind raises ``ValueError``.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            if name in self._histograms:
+                raise ValueError(f"{name!r} is already a histogram")
+            inst = self._counters.get(name)
+            if inst is None:
+                inst = self._counters[name] = Counter(name)
+            return inst
+
+    def histogram(self, name: str, max_samples: int = 65536) -> Histogram:
+        with self._lock:
+            if name in self._counters:
+                raise ValueError(f"{name!r} is already a counter")
+            inst = self._histograms.get(name)
+            if inst is None:
+                inst = self._histograms[name] = Histogram(name, max_samples)
+            return inst
+
+    def snapshot(self) -> Dict[str, Dict]:
+        """One JSON-serializable document of every instrument's state."""
+        with self._lock:
+            counters = dict(self._counters)
+            histograms = dict(self._histograms)
+        return {
+            "counters": {
+                name: counters[name].value for name in sorted(counters)
+            },
+            "histograms": {
+                name: histograms[name].snapshot()
+                for name in sorted(histograms)
+            },
+        }

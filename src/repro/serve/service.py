@@ -1,0 +1,395 @@
+"""GemmService: the in-process batched GEMM serving engine.
+
+This is where PRs 1–3's machinery starts earning its keep across
+*streams* of requests, the regime the ROADMAP's heavy-traffic north
+star describes: a :class:`~repro.plan.cache.PlanCache` amortizes plan
+compilation across every request that shares a signature, a
+:class:`~repro.core.pool.WorkspacePool` amortizes workspace to zero
+fresh allocation, and the micro-batching scheduler amortizes *per-call*
+overhead — signature construction, cache lookup, arena checkout,
+worker wakeup — across whole batches of same-signature requests
+(cf. the BLIS Strassen work's point that practical Strassen speedups
+live in amortizing packing and workspace across invocations).
+
+Life of a request::
+
+    submit() -> validate -> AdmissionQueue (policy: reject/block/shed)
+             -> worker takes an oldest-first same-signature batch
+             -> one PlanCache fetch + one pooled arena for the batch
+             -> execute_plan per request (bit-identical to dgefmm)
+             -> future resolves; metrics record wait/compute/latency
+
+Results are **bit-identical** to a direct :func:`~repro.core.dgefmm.
+dgefmm` call on the same operands: the service executes through the
+compiled-plan path, whose bit-identity to the recursive driver is
+pinned by the plan test suite and re-checked continuously by the fuzz
+oracle — and end-to-end by ``tests/test_serve.py`` across every
+admission policy.
+
+Instrumentation uses per-worker accumulation + merge (each worker
+charges a private :class:`~repro.context.ExecutionContext`; totals are
+merged under a lock into a ``threadsafe=True`` aggregate on demand), so
+the hot path stays lock-free while shared tallies stay exact.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.context import ExecutionContext
+from repro.core.cutoff import CutoffCriterion
+from repro.core.dgefmm import DEFAULT_CUTOFF, dgefmm
+from repro.core.pool import WorkspacePool
+from repro.errors import (
+    ArgumentError,
+    ServiceClosed,
+    ServiceOverloaded,
+    ServiceTimeout,
+)
+from repro.plan.cache import PlanCache
+from repro.plan.executor import execute_plan
+from repro.serve.metrics import MetricsRegistry
+from repro.serve.queue import POLICIES, AdmissionQueue
+from repro.serve.request import GemmFuture, GemmRequest
+
+__all__ = ["GemmService"]
+
+
+class GemmService:
+    """Asynchronous, micro-batching, in-process GEMM server.
+
+    Parameters
+    ----------
+    workers:
+        Worker threads draining the queue.  Each executes whole batches;
+        within a request execution is serial (the service parallelizes
+        *across* requests, respecting one global thread budget instead
+        of oversubscribing per-call parallelism on top of it).
+    capacity, policy:
+        Admission queue bound and overflow policy (see
+        :mod:`repro.serve.queue`): ``"reject"``, ``"block"``, or
+        ``"shed-oldest"``.
+    max_batch:
+        Most requests replayed per plan fetch/arena reservation.
+    cutoff:
+        Default cutoff criterion for submitted requests (must be a
+        frozen, hashable criterion — it is part of the plan signature).
+    plan_cache, pool, metrics:
+        Bring-your-own shared instances (e.g. one cache across several
+        services), or None for private ones.
+
+    Use as a context manager, or call :meth:`close` — workers are
+    daemonic, but an orderly close drains or fails queued work and
+    makes final metrics deterministic.
+    """
+
+    def __init__(
+        self,
+        *,
+        workers: int = 2,
+        capacity: int = 256,
+        policy: str = "reject",
+        max_batch: int = 32,
+        cutoff: Optional[CutoffCriterion] = None,
+        plan_cache: Optional[PlanCache] = None,
+        pool: Optional[WorkspacePool] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if workers < 1:
+            raise ArgumentError(
+                "GemmService", "workers", f"must be >= 1, got {workers}"
+            )
+        if max_batch < 1:
+            raise ArgumentError(
+                "GemmService", "max_batch",
+                f"must be >= 1, got {max_batch}",
+            )
+        self.cutoff = cutoff if cutoff is not None else DEFAULT_CUTOFF
+        self.plan_cache = plan_cache if plan_cache is not None else PlanCache()
+        self.pool = pool if pool is not None else WorkspacePool()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.max_batch = int(max_batch)
+        self._queue = AdmissionQueue(capacity, policy)
+        self._closed = False
+        self._close_lock = threading.Lock()
+
+        m = self.metrics
+        self._m_submitted = m.counter("requests_submitted")
+        self._m_completed = m.counter("requests_completed")
+        self._m_rejected = m.counter("requests_rejected")
+        self._m_shed = m.counter("requests_shed")
+        self._m_timeout = m.counter("requests_timeout")
+        self._m_failed = m.counter("requests_failed")
+        self._m_batches = m.counter("batches")
+        self._h_queue_depth = m.histogram("queue_depth")
+        self._h_batch = m.histogram("batch_size")
+        self._h_wait = m.histogram("wait_ms")
+        self._h_compute = m.histogram("compute_ms")
+        self._h_latency = m.histogram("latency_ms")
+
+        # per-worker accumulation + merge: private contexts on the hot
+        # path, merged into a fresh aggregate whenever a reader asks
+        self._worker_ctxs: List[ExecutionContext] = []
+        self._threads: List[threading.Thread] = []
+        for i in range(workers):
+            wctx = ExecutionContext()
+            self._worker_ctxs.append(wctx)
+            t = threading.Thread(
+                target=self._worker_loop, args=(wctx,),
+                name=f"gemm-serve-{i}", daemon=True,
+            )
+            self._threads.append(t)
+            t.start()
+
+    # ------------------------------------------------------------------ #
+    # submission
+    # ------------------------------------------------------------------ #
+    def submit(
+        self,
+        a: Any,
+        b: Any,
+        c: Optional[Any] = None,
+        alpha: float = 1.0,
+        beta: float = 0.0,
+        transa: bool = False,
+        transb: bool = False,
+        *,
+        timeout: Optional[float] = None,
+        block_timeout: Optional[float] = None,
+        cutoff: Optional[CutoffCriterion] = None,
+        scheme: str = "auto",
+        peel: str = "tail",
+    ) -> GemmFuture:
+        """Queue ``C <- alpha*op(A)*op(B) + beta*C``; returns a future.
+
+        ``c`` supplies the initial C content when ``beta != 0`` (it is
+        snapshotted, never written — the future resolves to a *new*
+        array).  ``timeout`` is the request's service deadline in
+        seconds: if it has not finished executing by then it fails with
+        :class:`~repro.errors.ServiceTimeout`.  ``block_timeout`` bounds
+        the submitter's wait under the ``"block"`` policy.  Operands
+        ``a``/``b`` are held by reference and must not be mutated until
+        the future resolves.
+
+        Raises :class:`~repro.errors.ServiceOverloaded` (full queue,
+        ``"reject"`` policy or ``"block"`` timeout),
+        :class:`~repro.errors.ServiceClosed`, or a validation error
+        for malformed operands — admission failures are synchronous,
+        execution failures arrive through the future.
+        """
+        if self._closed:
+            raise ServiceClosed("service is closed")
+        deadline = (
+            None if timeout is None else time.monotonic() + timeout
+        )
+        req = GemmRequest(
+            a, b, c, alpha, beta, transa, transb,
+            cutoff=cutoff if cutoff is not None else self.cutoff,
+            scheme=scheme, peel=peel, deadline=deadline,
+        )
+        self._h_queue_depth.observe(self._queue.depth)
+        try:
+            shed = self._queue.put(req, timeout=block_timeout)
+        except ServiceOverloaded:
+            self._m_rejected.inc()
+            raise
+        self._m_submitted.inc()
+        if shed is not None:
+            self._m_shed.inc()
+            shed.future._set_exception(ServiceOverloaded(
+                "shed by a newer request (shed-oldest policy)"
+            ))
+        return req.future
+
+    def call(
+        self,
+        a: Any,
+        b: Any,
+        c: Optional[Any] = None,
+        alpha: float = 1.0,
+        beta: float = 0.0,
+        transa: bool = False,
+        transb: bool = False,
+        **kwargs: Any,
+    ) -> np.ndarray:
+        """Synchronous convenience: submit and wait for the result."""
+        timeout = kwargs.get("timeout")
+        fut = self.submit(a, b, c, alpha, beta, transa, transb, **kwargs)
+        return fut.result(timeout)
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+    def _worker_loop(self, wctx: ExecutionContext) -> None:
+        while True:
+            batch = self._queue.take_batch(self.max_batch)
+            if batch is None:
+                return
+            if not batch:
+                continue
+            self._execute_batch(batch, wctx)
+
+    def _execute_batch(
+        self, batch: List[GemmRequest], wctx: ExecutionContext
+    ) -> None:
+        t_start = time.monotonic()
+        live: List[GemmRequest] = []
+        for req in batch:
+            if req.expired(t_start):
+                self._m_timeout.inc()
+                req.future._set_exception(ServiceTimeout(
+                    "deadline expired before execution"
+                ))
+            else:
+                live.append(req)
+        if not live:
+            return
+        self._m_batches.inc()
+        self._h_batch.observe(len(live))
+
+        plan = None
+        arena = None
+        pooled = False
+        sig = live[0].signature
+        try:
+            if sig is not None:
+                # the whole point of batching: ONE cache fetch and ONE
+                # arena reservation cover every request in the batch
+                plan = self.plan_cache.get_or_compile(sig)
+                arena = self.pool.checkout()
+                pooled = True
+                if plan.arena_bytes:
+                    arena.reserve(plan.arena_bytes)
+        except BaseException as exc:  # compile/reserve failed: fail batch
+            if pooled:
+                self.pool.release(arena)
+            for req in live:
+                self._m_failed.inc()
+                req.future._set_exception(exc)
+            return
+
+        try:
+            for req in live:
+                t0 = time.monotonic()
+                try:
+                    out = self._execute_one(req, plan, arena, wctx)
+                except BaseException as exc:  # noqa: BLE001 — per-request
+                    self._m_failed.inc()
+                    req.future._set_exception(exc)
+                    continue
+                t1 = time.monotonic()
+                fut = req.future
+                fut.wait_s = t_start - req.t_submit
+                fut.compute_s = t1 - t0
+                fut.batch_size = len(live)
+                self._h_wait.observe(fut.wait_s * 1e3)
+                self._h_compute.observe(fut.compute_s * 1e3)
+                self._h_latency.observe((t1 - req.t_submit) * 1e3)
+                self._m_completed.inc()
+                fut._set_result(out)
+        finally:
+            if pooled:
+                self.pool.release(arena)
+
+    def _execute_one(
+        self,
+        req: GemmRequest,
+        plan: Optional[Any],
+        arena: Optional[Any],
+        wctx: ExecutionContext,
+    ) -> np.ndarray:
+        if req.beta != 0.0:
+            out = np.array(req.c0, copy=True)
+        else:
+            out = np.zeros((req.m, req.n), dtype=req.dtype, order="F")
+        if plan is None:
+            # degenerate problem: the driver's conformant early-outs
+            dgefmm(req.a, req.b, out, req.alpha, req.beta,
+                   req.transa, req.transb, cutoff=req.cutoff,
+                   scheme=req.scheme, peel=req.peel, ctx=wctx)
+        else:
+            opa = req.a.T if req.transa else req.a
+            opb = req.b.T if req.transb else req.b
+            execute_plan(plan, opa, opb, out, req.alpha, req.beta,
+                         ctx=wctx, workspace=arena)
+        return out
+
+    # ------------------------------------------------------------------ #
+    # lifecycle & introspection
+    # ------------------------------------------------------------------ #
+    def close(self, drain: bool = True, timeout: float = 30.0) -> None:
+        """Shut down: stop admissions, then drain or fail queued work.
+
+        ``drain=True`` lets workers finish everything queued;
+        ``drain=False`` fails queued requests with
+        :class:`~repro.errors.ServiceClosed` immediately.  Idempotent.
+        """
+        with self._close_lock:
+            if self._closed:
+                return
+            self._closed = True
+        if not drain:
+            for req in self._queue.drain():
+                req.future._set_exception(
+                    ServiceClosed("service closed before execution")
+                )
+        self._queue.close()
+        deadline = time.monotonic() + timeout
+        for t in self._threads:
+            t.join(max(0.0, deadline - time.monotonic()))
+
+    def __enter__(self) -> "GemmService":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests currently queued (not yet picked up by a worker)."""
+        return self._queue.depth
+
+    def context(self) -> ExecutionContext:
+        """Aggregate instrumentation: per-worker counters, merged.
+
+        The per-worker-accumulation-plus-merge pattern: worker hot
+        paths charge private contexts with no locking, and a *fresh*
+        threadsafe aggregate is built on the reader's clock each call
+        (so repeated reads never double-count).  While traffic is in
+        flight the aggregate can lag by the charges of the instant it
+        was taken; after :meth:`close` it is exact.
+        """
+        agg = ExecutionContext(threadsafe=True)
+        for wctx in self._worker_ctxs:
+            agg.merge_child(wctx)
+        return agg
+
+    def stats(self) -> Dict[str, Any]:
+        """One JSON-serializable snapshot of the whole serving stack."""
+        snap = self.metrics.snapshot()
+        snap["plan_cache"] = self.plan_cache.stats()
+        snap["pool"] = self.pool.stats()
+        snap["queue"] = {
+            "depth": self._queue.depth,
+            "capacity": self._queue.capacity,
+            "policy": self._queue.policy,
+        }
+        ctx = self.context()
+        snap["work"] = {
+            "flops": ctx.flops,
+            "mul_flops": ctx.mul_flops,
+            "add_flops": ctx.add_flops,
+            "kernel_calls": dict(ctx.kernel_calls),
+        }
+        return snap
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"GemmService(workers={len(self._threads)}, "
+            f"policy={self._queue.policy!r}, depth={self._queue.depth}, "
+            f"max_batch={self.max_batch}, closed={self._closed})"
+        )

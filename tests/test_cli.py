@@ -1,6 +1,7 @@
 """The ``python -m repro`` command-line interface."""
 
 import csv
+import json
 import subprocess
 import sys
 
@@ -56,6 +57,67 @@ class TestMain:
                      "--cutoff", "32", "--no-pool"]) == 0
         out = capsys.readouterr().out
         assert "untracked (no pool)" in out
+
+
+class TestJsonUniformity:
+    """Every subcommand accepts --json and emits the benchmark schema."""
+
+    ALL_COMMANDS = ("report", "figures", "memory", "parallel", "plan",
+                    "fuzz", "serve", "selftest")
+
+    @pytest.mark.parametrize("command", ALL_COMMANDS)
+    def test_every_command_advertises_json(self, command, capsys):
+        with pytest.raises(SystemExit):
+            main([command, "--help"])
+        assert "--json" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("argv", [
+        ["memory", "--order", "256", "--json"],
+        ["report", "--only", "section2", "--json"],
+        ["plan", "--order", "48", "--json"],
+        ["fuzz", "--cases", "10", "--max-dim", "12", "--json"],
+        ["selftest", "--json"],
+    ])
+    def test_json_documents_share_the_bench_schema(self, argv, capsys):
+        assert main(argv) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema"] == 1
+        assert doc["bench"].startswith(argv[0])  # plan -> "plan_compile"
+        assert isinstance(doc["params"], dict)
+        assert isinstance(doc["rows"], list)
+
+    def test_figures_json(self, tmp_path, capsys):
+        assert main(["figures", "--outdir", str(tmp_path), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["bench"] == "figures"
+        assert all("path" in row for row in doc["rows"])
+
+    def test_internal_error_exits_70(self, monkeypatch, capsys):
+        import repro.harness.report as report_mod
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("synthetic internal failure")
+
+        monkeypatch.setattr(report_mod, "render", boom)
+        assert main(["report"]) == 70
+        err = capsys.readouterr().err
+        assert "RuntimeError" in err and "synthetic" in err
+
+    def test_check_failure_exits_1_not_70(self, monkeypatch, capsys):
+        # a *failed check* (serve divergence) is exit 1, not 70: the two
+        # must stay distinguishable for CI lanes
+        import repro.serve
+
+        fake = {"attempts": 5, "completed": 5, "rejected": 0, "shed": 0,
+                "timeouts": 0, "errors": 0, "divergent": 1,
+                "achieved_rate": 5.0, "duration_s": 1.0,
+                "offered_rate": 5.0, "verified": True,
+                "failures": ["divergence on 4x4x4 dtype=float64"],
+                "mix": [], "service": {}}
+        monkeypatch.setattr(repro.serve, "run_load", lambda **kw: fake)
+        assert main(["serve", "--duration", "1", "--json"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["ok"] is False
 
 
 class TestFigData:
