@@ -21,11 +21,14 @@ import time
 import numpy as np
 
 from benchmarks.conftest import emit
+from repro.core.config import GemmConfig
 from repro.core.cutoff import SimpleCutoff
 from repro.core.dgefmm import dgefmm
 from repro.core.parallel import parallel_arena_count, pdgefmm
 from repro.core.pool import WorkspacePool, workspace_bound_bytes
 from repro.core.workspace import Workspace
+from repro.plan import PlanCache
+from repro.plan.compiler import compile_plan, signature_for
 
 
 def _best(fn, n=3):
@@ -137,3 +140,59 @@ def test_pooled_throughput(benchmark):
         # with real cores to overlap on, warm depth-2 pooled parallel
         # must beat serial wall-clock (the acceptance target)
         assert t_pooled < t_serial
+
+
+#: pre-refactor parallel-mirror compile time (seconds) at m=192,
+#: tau=24, depth 1, recorded immediately before the traversal-core
+#: refactor; the 3x slack catches structural blowups, not host jitter.
+_PRE_REFACTOR_COMPILE_PARALLEL_S = 6.08e-3
+_GUARD_SLACK = 3.0
+
+
+def test_parallel_refactor_guard(benchmark):
+    """Parallel plan compile + warm replay vs pre-refactor behaviour.
+
+    The traversal refactor rewrote ``_prun``/``_prun_mirror`` as
+    consumers of the shared decide() kernel; this guard asserts the
+    parallel mirror's compile time stayed within 3x of the pre-refactor
+    measurement, and that a warm cached replay through ``pdgefmm`` is
+    no slower than re-deciding the recursion on every call (the whole
+    point of caching the traversal's output).
+    """
+    m = 192
+    crit = SimpleCutoff(24)
+    rng = np.random.default_rng(3)
+    a = np.asfortranarray(rng.standard_normal((m, m)))
+    b = np.asfortranarray(rng.standard_normal((m, m)))
+    c = np.zeros((m, m), order="F")
+
+    sig = signature_for("parallel", m, m, m, False, False, False, True,
+                        "float64", GemmConfig(cutoff=crit), 1)
+    t_compile = _best(lambda: compile_plan(sig), 3)
+
+    pool = WorkspacePool(workspace_bound_bytes(m, m, m, "parallel"))
+    cache = PlanCache()
+
+    def replay():
+        pdgefmm(a, b, c, cutoff=crit, pool=pool, plan_cache=cache)
+
+    def recursed():
+        pdgefmm(a, b, c, cutoff=crit, pool=pool)
+
+    replay()  # compile + warm the arenas
+    t_replay = _best(replay, 5)
+    t_recursed = benchmark.pedantic(lambda: _best(recursed, 5),
+                                    rounds=1, iterations=1)
+
+    emit(
+        "Parallel traversal-refactor guard, m=192, tau=24, depth 1",
+        f"parallel compile {t_compile * 1e3:.2f} ms (pre-refactor "
+        f"{_PRE_REFACTOR_COMPILE_PARALLEL_S * 1e3:.2f} ms, "
+        f"{t_compile / _PRE_REFACTOR_COMPILE_PARALLEL_S:.2f}x)\n"
+        f"warm replay {t_replay * 1e3:.2f} ms/call, re-deciding "
+        f"{t_recursed * 1e3:.2f} ms/call",
+    )
+    assert t_compile <= _GUARD_SLACK * _PRE_REFACTOR_COMPILE_PARALLEL_S
+    # warm replay must not be slower than walking the decision tree
+    # fresh each call (1.2x tolerance for thread-pool noise)
+    assert t_replay <= 1.2 * t_recursed, (t_replay, t_recursed)

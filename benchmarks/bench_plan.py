@@ -20,11 +20,12 @@ import numpy as np
 from benchmarks.conftest import emit, emit_json
 from repro.blas.level3 import DEFAULT_TILE
 from repro.context import ExecutionContext
+from repro.core.config import GemmConfig
 from repro.core.cutoff import SimpleCutoff
 from repro.core.dgefmm import dgefmm
 from repro.core.pool import WorkspacePool, workspace_bound_bytes
 from repro.plan import PlanCache
-from repro.plan.compiler import PlanSignature
+from repro.plan.compiler import PlanSignature, compile_plan, signature_for
 from repro.plan.executor import _aligned_buffer, _resolve, _run_ops
 
 
@@ -171,3 +172,81 @@ def test_plan_cache_amortization(benchmark):
     assert stats["misses"] == len(shapes)
     assert stats["evictions"] == 0
     assert t_warm < t_cold
+
+
+#: pre-refactor reference times (seconds) for the traversal-core
+#: rewrite, measured on this bench's fixed workload (m=k=n=192,
+#: tau=24) immediately before the single-decide refactor landed.  The
+#: guard allows a generous 3x over them: it exists to catch an
+#: accidental complexity-class or per-node-cost blowup in the shared
+#: decide() kernel, not to pin CI-host jitter.
+_PRE_REFACTOR_S = {
+    "compile_serial": 4.77e-3,
+    "compile_parallel": 6.08e-3,
+    "replay_warm": 10.38e-3,
+    "recursive": 11.57e-3,
+}
+_GUARD_SLACK = 3.0
+
+
+def test_traversal_refactor_guard(benchmark):
+    """Compile time and warm-replay overhead vs pre-refactor numbers.
+
+    The single-traversal-core refactor routed every walker through one
+    decide() kernel; this guard re-runs the plan bench's workload and
+    asserts none of compile (serial + parallel mirror), warm replay, or
+    the eager recursive walk regressed past 3x the numbers recorded
+    before the refactor.
+    """
+    m = k = n = 192
+    crit = SimpleCutoff(24)
+    cfg = GemmConfig(cutoff=crit)
+    sig_s = signature_for("serial", m, k, n, False, False, False, True,
+                          "float64", cfg)
+    sig_p = signature_for("parallel", m, k, n, False, False, False,
+                          True, "float64", cfg, 1)
+
+    rng = np.random.default_rng(2)
+    a = np.asfortranarray(rng.standard_normal((m, k)))
+    b = np.asfortranarray(rng.standard_normal((k, n)))
+    c = np.zeros((m, n), order="F")
+    pool = WorkspacePool(workspace_bound_bytes(m, k, n, "strassen1"))
+    cache = PlanCache()
+
+    def replay():
+        dgefmm(a, b, c, cutoff=crit, pool=pool, plan_cache=cache)
+
+    def recursive():
+        dgefmm(a, b, c, cutoff=crit, pool=pool)
+
+    replay()  # warm the cache and the pooled arena
+    measured = {
+        "compile_serial": _best(lambda: compile_plan(sig_s), 3),
+        "compile_parallel": _best(lambda: compile_plan(sig_p), 3),
+        "replay_warm": _best(replay),
+        "recursive": benchmark.pedantic(lambda: _best(recursive),
+                                        rounds=1, iterations=1),
+    }
+
+    lines = []
+    for key, t in measured.items():
+        ref = _PRE_REFACTOR_S[key]
+        lines.append(f"{key:<16} {t * 1e3:7.2f} ms "
+                     f"(pre-refactor {ref * 1e3:.2f} ms, "
+                     f"{t / ref:.2f}x)")
+    emit("Traversal-core refactor regression guard, m=192, tau=24",
+         "\n".join(lines))
+    emit_json(
+        "traversal_refactor_guard",
+        {"m": m, "k": k, "n": n, "cutoff": crit.tau,
+         "slack": _GUARD_SLACK},
+        [{"path": key, "best_s": t,
+          "pre_refactor_s": _PRE_REFACTOR_S[key]}
+         for key, t in measured.items()],
+    )
+    for key, t in measured.items():
+        ref = _PRE_REFACTOR_S[key]
+        assert t <= _GUARD_SLACK * ref, (
+            f"{key} regressed: {t * 1e3:.2f} ms vs pre-refactor "
+            f"{ref * 1e3:.2f} ms (allowed {_GUARD_SLACK}x)"
+        )

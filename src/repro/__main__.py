@@ -187,24 +187,25 @@ def _cmd_parallel(args) -> int:
 
 
 def _plan_signature(args):
-    from repro.blas.level3 import DEFAULT_TILE
+    from repro.core.config import GemmConfig
     from repro.core.cutoff import SimpleCutoff
-    from repro.plan.compiler import PlanSignature
+    from repro.plan.compiler import signature_for
 
     m = args.m if args.m is not None else args.order
     k = args.k if args.k is not None else args.order
     n = args.n if args.n is not None else args.order
+    cfg = GemmConfig(scheme=args.scheme, peel=args.peel,
+                     cutoff=SimpleCutoff(args.cutoff))
     if args.parallel:
-        # pdgefmm pins scheme/peel; depth is part of the signature
-        return PlanSignature(
+        # parallel signatures carry the full knob set too; depth is
+        # part of the signature, the worker budget never is
+        return signature_for(
             "parallel", m, k, n, False, False, False, args.beta == 0.0,
-            args.dtype, "auto", "tail", SimpleCutoff(args.cutoff),
-            DEFAULT_TILE, "substrate", args.depth,
+            args.dtype, cfg, args.depth,
         )
-    return PlanSignature(
+    return signature_for(
         "serial", m, k, n, False, False, False, args.beta == 0.0,
-        args.dtype, args.scheme, args.peel, SimpleCutoff(args.cutoff),
-        DEFAULT_TILE, "substrate", 0,
+        args.dtype, cfg,
     )
 
 

@@ -1,5 +1,8 @@
 """The paper's primary contribution: DGEFMM and its building blocks.
 
+- :mod:`repro.core.traversal` — the one recurse-vs-base decision kernel
+  every walker (drivers, plan compiler, analytics) consumes,
+- :mod:`repro.core.config` — the frozen :class:`GemmConfig` knob bundle,
 - :mod:`repro.core.dgefmm` — the public DGEMM-compatible driver,
 - :mod:`repro.core.strassen1` / :mod:`repro.core.strassen2` — the two
   computation schedules of Section 3.2,
@@ -13,6 +16,7 @@
 - :mod:`repro.core.winograd` — the Winograd stage equations, as an oracle.
 """
 
+from repro.core.config import GemmConfig
 from repro.core.cutoff import (
     CutoffCriterion,
     HighamCutoff,
@@ -27,6 +31,7 @@ from repro.core.workspace import Workspace
 
 __all__ = [
     "dgefmm",
+    "GemmConfig",
     "Workspace",
     "PooledWorkspace",
     "WorkspacePool",

@@ -1,0 +1,95 @@
+"""GemmConfig: the frozen knob bundle every DGEFMM entry point shares.
+
+One multiplication's behaviour is shaped by five knobs — cutoff
+criterion, scheme, peeling side, base-case tile edge, and base-case
+kernel backend.  Before this module each entry point (``dgefmm``,
+``pdgefmm``, ``GemmService.submit``, the fuzz oracle, the CLI) validated
+its own copies of those knobs and hand-listed them into
+:class:`~repro.plan.compiler.PlanSignature`; drift between the copies
+was guarded only by convention (and a test).  :class:`GemmConfig` is the
+single validation point: construct it once per call, and every layer —
+drivers, traversal, plan compiler, serving engine — reads the same
+frozen object.
+
+The field order is load-bearing: :class:`~repro.plan.compiler.
+PlanSignature` is *derived structurally* from ``fields(GemmConfig)``
+(problem fields first, then the config fields in declaration order), so
+adding a knob here automatically adds it to the plan-cache key.
+Signature completeness is a property of the type, not an audit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.blas.level3 import BACKENDS, DEFAULT_TILE
+from repro.core.cutoff import CutoffCriterion, HybridCutoff
+from repro.errors import ArgumentError
+
+__all__ = ["GemmConfig", "DEFAULT_CUTOFF", "SCHEMES", "PEELS"]
+
+#: Default cutoff for hosts where no calibration has been run.  The tau
+#: values are deliberately conservative for a numpy-kernel substrate; the
+#: calibration example (examples/cutoff_tuning.py) shows how to measure
+#: machine-specific parameters the way Section 4.2 does.
+DEFAULT_CUTOFF = HybridCutoff(tau=128, tau_m=96, tau_k=96, tau_n=96)
+
+#: Recognised values of the ``scheme`` argument.
+SCHEMES = ("auto", "strassen1", "strassen1_general", "strassen2", "textbook")
+
+#: Recognised values of the ``peel`` argument.
+PEELS = ("tail", "head")
+
+
+@dataclass(frozen=True)
+class GemmConfig:
+    """Validated, hashable bundle of the DGEFMM behaviour knobs.
+
+    ``scheme``
+        ``"auto"`` (the paper's DGEFMM dispatch: STRASSEN1 when beta = 0,
+        STRASSEN2 otherwise), or a forced schedule for study.
+    ``peel``
+        Odd-dimension peeling side, ``"tail"`` (the paper's) or
+        ``"head"``.
+    ``cutoff``
+        A :class:`~repro.core.cutoff.CutoffCriterion` deciding
+        recurse-vs-base at every level.
+    ``nb``
+        Tile edge for the base-case standard-algorithm kernel.
+    ``backend``
+        Base-case kernel backend (:data:`repro.blas.level3.BACKENDS`).
+
+    Declaration order matters — see the module docstring.
+    """
+
+    scheme: str = "auto"
+    peel: str = "tail"
+    cutoff: CutoffCriterion = DEFAULT_CUTOFF
+    nb: int = DEFAULT_TILE
+    backend: str = "substrate"
+
+    def __post_init__(self) -> None:
+        if self.scheme not in SCHEMES:
+            raise ArgumentError(
+                "GemmConfig", "scheme",
+                f"must be one of {SCHEMES}, got {self.scheme!r}",
+            )
+        if self.peel not in PEELS:
+            raise ArgumentError(
+                "GemmConfig", "peel",
+                f"must be one of {PEELS}, got {self.peel!r}",
+            )
+        if not isinstance(self.cutoff, CutoffCriterion):
+            raise ArgumentError(
+                "GemmConfig", "cutoff",
+                f"must be a CutoffCriterion, got {type(self.cutoff).__name__}",
+            )
+        if self.nb < 1:
+            raise ArgumentError(
+                "GemmConfig", "nb", f"must be >= 1, got {self.nb}"
+            )
+        if self.backend not in BACKENDS:
+            raise ArgumentError(
+                "GemmConfig", "backend",
+                f"must be one of {BACKENDS}, got {self.backend!r}",
+            )

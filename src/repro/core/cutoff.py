@@ -1,9 +1,13 @@
 """Cutoff criteria: when to stop the Strassen recursion (Sections 2, 3.4).
 
-A *cutoff criterion* decides, for a product of dimensions (m, k, n),
-whether another level of Strassen's construction pays off.  Each criterion
-here implements ``stop(m, k, n) -> bool``: True means "use the standard
-algorithm for this product"; False means "apply one more Strassen level".
+A *cutoff criterion* decides, for a product of dimensions (m, k, n) at a
+given recursion depth, whether another level of Strassen's construction
+pays off.  Each criterion here implements ``stop(m, k, n, depth=0) ->
+bool``: True means "use the standard algorithm for this product"; False
+means "apply one more Strassen level".  ``depth`` is the number of
+recursion levels already taken above this node — the traversal core
+passes it at every call, so criteria that depend on it (like
+:class:`DepthCutoff`) need no mutable state.
 
 The paper's progression of criteria, all implemented:
 
@@ -25,12 +29,14 @@ The paper's progression of criteria, all implemented:
   plane condition governs mixed regimes, but recursion is always allowed
   when all dims exceed tau and always stopped when all dims are <= tau.
 
-Every criterion is a frozen dataclass — hashable, printable, and cheap to
-evaluate inside the recursion.
+Every criterion is a frozen dataclass — hashable, printable, cheap to
+evaluate inside the recursion, and safe to share across concurrent
+multiplications.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 __all__ = [
@@ -51,13 +57,18 @@ __all__ = [
 class CutoffCriterion:
     """Base class: subclasses decide when to stop recursing."""
 
-    def stop(self, m: int, k: int, n: int) -> bool:
-        """True = multiply (m,k,n) with the standard algorithm."""
+    def stop(self, m: int, k: int, n: int, depth: int = 0) -> bool:
+        """True = multiply (m,k,n) with the standard algorithm.
+
+        ``depth`` is the number of recursion levels already applied
+        above this product (0 at the driver's entry).  Dimension-based
+        criteria ignore it.
+        """
         raise NotImplementedError
 
-    def recurse(self, m: int, k: int, n: int) -> bool:
+    def recurse(self, m: int, k: int, n: int, depth: int = 0) -> bool:
         """Convenience negation of :meth:`stop`."""
-        return not self.stop(m, k, n)
+        return not self.stop(m, k, n, depth)
 
 
 @dataclass(frozen=True)
@@ -69,7 +80,7 @@ class TheoreticalCutoff(CutoffCriterion):
     algorithm alone).  Square solution: stop iff m <= 12.
     """
 
-    def stop(self, m: int, k: int, n: int) -> bool:
+    def stop(self, m: int, k: int, n: int, depth: int = 0) -> bool:
         return m * k * n <= 4 * (m * k + k * n + m * n)
 
 
@@ -83,7 +94,7 @@ class SquareCutoff(CutoffCriterion):
 
     tau: int
 
-    def stop(self, m: int, k: int, n: int) -> bool:
+    def stop(self, m: int, k: int, n: int, depth: int = 0) -> bool:
         return m <= self.tau
 
 
@@ -93,7 +104,7 @@ class SimpleCutoff(CutoffCriterion):
 
     tau: int
 
-    def stop(self, m: int, k: int, n: int) -> bool:
+    def stop(self, m: int, k: int, n: int, depth: int = 0) -> bool:
         return m <= self.tau or k <= self.tau or n <= self.tau
 
 
@@ -107,7 +118,7 @@ class HighamCutoff(CutoffCriterion):
 
     tau: int
 
-    def stop(self, m: int, k: int, n: int) -> bool:
+    def stop(self, m: int, k: int, n: int, depth: int = 0) -> bool:
         return 3 * m * k * n <= self.tau * (n * k + m * n + m * k)
 
 
@@ -124,7 +135,7 @@ class PlaneCutoff(CutoffCriterion):
     tau_k: int
     tau_n: int
 
-    def stop(self, m: int, k: int, n: int) -> bool:
+    def stop(self, m: int, k: int, n: int, depth: int = 0) -> bool:
         return (
             m * k * n
             <= self.tau_m * n * k + self.tau_k * m * n + self.tau_n * m * k
@@ -156,7 +167,7 @@ class HybridCutoff(CutoffCriterion):
         """The embedded eq. (13) condition."""
         return PlaneCutoff(self.tau_m, self.tau_k, self.tau_n)
 
-    def stop(self, m: int, k: int, n: int) -> bool:
+    def stop(self, m: int, k: int, n: int, depth: int = 0) -> bool:
         small_m = m <= self.tau
         small_k = k <= self.tau
         small_n = n <= self.tau
@@ -175,7 +186,7 @@ class AlwaysRecurse(CutoffCriterion):
     the driver still stops when a dimension drops below 2.
     """
 
-    def stop(self, m: int, k: int, n: int) -> bool:
+    def stop(self, m: int, k: int, n: int, depth: int = 0) -> bool:
         return False
 
 
@@ -183,34 +194,45 @@ class AlwaysRecurse(CutoffCriterion):
 class NeverRecurse(CutoffCriterion):
     """Always use the standard algorithm — turns DGEFMM into DGEMM."""
 
-    def stop(self, m: int, k: int, n: int) -> bool:
+    def stop(self, m: int, k: int, n: int, depth: int = 0) -> bool:
         return True
 
 
+@dataclass(frozen=True)
 class DepthCutoff(CutoffCriterion):
-    """Stop after exactly ``depth`` recursion levels (stateful helper).
+    """Stop after exactly ``depth`` recursion levels.
 
     The Table 5 experiment ("smallest matrix order that does a given
     number of recursions") and the closed-form op-count checks both need
-    depth-controlled recursion.  This criterion is *stateful* — the driver
-    notifies it via :meth:`descend`/:meth:`ascend` — so unlike the frozen
-    criteria it must not be shared across concurrent multiplications.
+    depth-controlled recursion.  Since the traversal passes the current
+    depth to :meth:`stop`, this criterion is as frozen and shareable as
+    every other — including across the concurrent recursions of
+    :func:`~repro.core.parallel.pdgefmm`.  (It was once stateful, with
+    the driver calling ``descend``/``ascend`` around each level; those
+    methods remain as deprecated no-ops for one release.)
     """
 
-    def __init__(self, depth: int) -> None:
-        if depth < 0:
-            raise ValueError(f"depth must be >= 0, got {depth}")
-        self.depth = depth
-        self._level = 0
+    depth: int
 
-    def stop(self, m: int, k: int, n: int) -> bool:
-        return self._level >= self.depth
+    def __post_init__(self) -> None:
+        if self.depth < 0:
+            raise ValueError(f"depth must be >= 0, got {self.depth}")
+
+    def stop(self, m: int, k: int, n: int, depth: int = 0) -> bool:
+        return depth >= self.depth
 
     def descend(self) -> None:
-        self._level += 1
+        """Deprecated no-op (depth is now an argument of :meth:`stop`)."""
+        warnings.warn(
+            "DepthCutoff.descend() is deprecated and does nothing; "
+            "depth is passed to stop() directly",
+            DeprecationWarning, stacklevel=2,
+        )
 
     def ascend(self) -> None:
-        self._level -= 1
-
-    def __repr__(self) -> str:  # pragma: no cover - debug aid
-        return f"DepthCutoff(depth={self.depth})"
+        """Deprecated no-op (depth is now an argument of :meth:`stop`)."""
+        warnings.warn(
+            "DepthCutoff.ascend() is deprecated and does nothing; "
+            "depth is passed to stop() directly",
+            DeprecationWarning, stacklevel=2,
+        )

@@ -15,6 +15,10 @@ algorithm whenever the cutoff criterion says a recursion level pays off:
    ``beta`` uses STRASSEN2's three-temporary multiply-accumulate schedule
    (``(mk + kn + mn)/3``) — the Table 1 "DGEFMM" row.
 
+All three choices are made per node by the shared traversal core
+(:func:`repro.core.traversal.decide`); this driver is one of its
+consumers — it binds the returned nodes to real kernels and workspace.
+
 Example
 -------
 >>> import numpy as np
@@ -46,12 +50,12 @@ from repro.context import (
     RecursionEvent,
     ensure_context,
 )
-from repro.core.cutoff import CutoffCriterion, DepthCutoff, HybridCutoff
+from repro.core.config import DEFAULT_CUTOFF, SCHEMES, GemmConfig
+from repro.core.cutoff import CutoffCriterion
 from repro.core.peeling import (
     apply_fixups,
     apply_fixups_head,
     core_views,
-    peel_split,
 )
 from repro.core.strassen1 import (
     strassen1_beta0_level,
@@ -59,19 +63,21 @@ from repro.core.strassen1 import (
 )
 from repro.core.strassen2 import strassen2_level
 from repro.core.textbook import textbook_level
+from repro.core.traversal import Base, decide
 from repro.core.workspace import Workspace
-from repro.errors import ArgumentError, DimensionError
+from repro.errors import DimensionError
 
-__all__ = ["dgefmm", "zgefmm", "DEFAULT_CUTOFF", "SCHEMES"]
+__all__ = ["dgefmm", "zgefmm", "DEFAULT_CUTOFF", "SCHEMES", "LEVEL_FNS"]
 
-#: Default cutoff for hosts where no calibration has been run.  The tau
-#: values are deliberately conservative for a numpy-kernel substrate; the
-#: calibration example (examples/cutoff_tuning.py) shows how to measure
-#: machine-specific parameters the way Section 4.2 does.
-DEFAULT_CUTOFF = HybridCutoff(tau=128, tau_m=96, tau_k=96, tau_n=96)
-
-#: Recognised values of the ``scheme`` argument.
-SCHEMES = ("auto", "strassen1", "strassen1_general", "strassen2", "textbook")
+#: Schedule functions by traversal level code.  The plan compiler
+#: replays these same functions with recording kernels, so the mapping
+#: is defined once, here, next to the driver that executes them live.
+LEVEL_FNS = {
+    "s1b0": strassen1_beta0_level,
+    "s1g": strassen1_general_level,
+    "s2": strassen2_level,
+    "tb": textbook_level,
+}
 
 
 def dgefmm(
@@ -156,20 +162,21 @@ def dgefmm(
         also all allocation.  Results are bit-identical to the
         recursive path; cache counters land in
         ``ctx.stats["plan_cache"]``.
+
+    The scheme/peel/cutoff/nb/backend knobs are validated once, as a
+    :class:`~repro.core.config.GemmConfig`; the same frozen config
+    drives the traversal, the plan signature, and the serving engine.
     """
     ctx = ensure_context(ctx)
     require_matrix("dgefmm", "a", a)
     require_matrix("dgefmm", "b", b)
     require_matrix("dgefmm", "c", c)
     require_writable("dgefmm", "c", c)
-    if scheme not in SCHEMES:
-        raise ArgumentError(
-            "dgefmm", "scheme", f"must be one of {SCHEMES}, got {scheme!r}"
-        )
-    if peel not in ("tail", "head"):
-        raise ArgumentError(
-            "dgefmm", "peel", f"must be 'tail' or 'head', got {peel!r}"
-        )
+    cfg = GemmConfig(
+        scheme=scheme, peel=peel,
+        cutoff=cutoff if cutoff is not None else DEFAULT_CUTOFF,
+        nb=nb, backend=backend,
+    )
     m, k = opshape(a, transa)
     kb, n = opshape(b, transb)
     if kb != k:
@@ -198,20 +205,17 @@ def dgefmm(
     # documented copy-on-overlap fallback.
     a, b = copy_on_overlap(c, a, b, ctx=ctx)
 
-    crit = cutoff if cutoff is not None else DEFAULT_CUTOFF
-
     if plan_cache is not None and not ctx.dry and workspace is None:
         # plan path: compile once per signature, replay bit-identically.
         # Imported lazily — repro.plan imports this module for the
         # scheme dispatch it compiles through.
-        from repro.plan.compiler import PlanSignature
+        from repro.plan.compiler import signature_for
         from repro.plan.executor import execute_plan
 
         dt = getattr(c, "dtype", None) or "float64"
-        sig = PlanSignature(
+        sig = signature_for(
             "serial", m, k, n, bool(transa), bool(transb),
-            alpha == 0.0, beta == 0.0, str(dt), scheme, peel, crit,
-            nb, backend,
+            alpha == 0.0, beta == 0.0, str(dt), cfg,
         )
         plan = plan_cache.get_or_compile(sig)
         execute_plan(
@@ -233,8 +237,7 @@ def dgefmm(
     opb = b.T if transb else b
 
     try:
-        _rec(opa, opb, c, alpha, beta, 0, crit, scheme, peel, ctx, ws, nb,
-             backend)
+        _rec(opa, opb, c, alpha, beta, 0, cfg, cfg.scheme, ctx, ws)
     except BaseException:
         if pooled:
             pool.release(ws)
@@ -278,30 +281,6 @@ def _scale_only(c: Any, beta: float, ctx: ExecutionContext) -> None:
         axpby(0.0, c, beta, c, ctx=ctx)
 
 
-def _pick_level(scheme: str, beta: float):
-    """Resolve (level function, child scheme) for this node.
-
-    The child scheme matters for ``"strassen1"``: the paper's Table 1
-    figure for the general case assumes the seven (beta = 0) products are
-    "computed recursively using the same algorithm", i.e. the general
-    six-temporary schedule — so the general variant pins its children to
-    ``"strassen1_general"`` rather than letting them drop back to the
-    cheaper beta = 0 variant.
-    """
-    if scheme == "auto":
-        return ("s1b0" if beta == 0.0 else "s2"), "auto"
-    if scheme == "strassen2":
-        return "s2", "strassen2"
-    if scheme == "strassen1":
-        if beta == 0.0:
-            return "s1b0", "strassen1"
-        return "s1g", "strassen1_general"
-    if scheme == "textbook":
-        return "tb", "textbook"
-    # strassen1_general
-    return "s1g", "strassen1_general"
-
-
 def _rec(
     a: Any,
     b: Any,
@@ -309,15 +288,18 @@ def _rec(
     alpha: float,
     beta: float,
     depth: int,
-    crit: CutoffCriterion,
+    cfg: GemmConfig,
     scheme: str,
-    peel: str,
     ctx: ExecutionContext,
     ws: Workspace,
-    nb: int,
-    backend: str = "substrate",
 ) -> None:
-    """Recursive body: cutoff test, peel, schedule, fix-ups."""
+    """Recursive body: bind one traversal node to kernels and workspace.
+
+    ``scheme`` is the node's scheme (it changes down the tree per the
+    traversal's ``child_scheme``); everything else rides in ``cfg``.
+    ``depth`` may start above 0 — the parallel driver continues serial
+    subtrees below its parallel region at the subtree's true depth.
+    """
     m, k = a.shape
     n = b.shape[1]
     if m == 0 or n == 0:
@@ -325,56 +307,38 @@ def _rec(
     if k == 0 or alpha == 0.0:
         _scale_only(c, beta, ctx)
         return
-    if crit.stop(m, k, n) or min(m, k, n) < 2:
+    node = decide(m, k, n, depth, scheme, beta == 0.0, cfg.cutoff)
+    if isinstance(node, Base):
         ctx.record(RecursionEvent("base", m, k, n, depth))
-        dgemm(a, b, c, alpha, beta, ctx=ctx, nb=nb, backend=backend)
+        dgemm(a, b, c, alpha, beta, ctx=ctx, nb=cfg.nb, backend=cfg.backend)
         return
 
-    mp, kp, np_ = peel_split(m, k, n)
-    peeled = (mp, kp, np_) != (m, k, n)
-    if peeled:
+    if node.peeled:
         ctx.record(RecursionEvent("peel", m, k, n, depth))
-    level, child_scheme = _pick_level(scheme, beta)
-    ctx.record(RecursionEvent("recurse", mp, kp, np_, depth, scheme=level))
+    ctx.record(RecursionEvent(
+        "recurse", node.mp, node.kp, node.np_, depth, scheme=node.level
+    ))
 
-    if peeled:
-        core_a, core_b, core_c = core_views(a, b, c, peel)
+    if node.peeled:
+        core_a, core_b, core_c = core_views(a, b, c, cfg.peel)
     else:
         core_a, core_b, core_c = a, b, c
 
     def recurse(aa: Any, bb: Any, cc: Any, al: float, be: float) -> None:
-        _rec(aa, bb, cc, al, be, depth + 1, crit, child_scheme, peel,
-             ctx, ws, nb, backend)
+        _rec(aa, bb, cc, al, be, depth + 1, cfg, node.child_scheme, ctx, ws)
 
-    stateful = isinstance(crit, DepthCutoff)
-    if stateful:
-        crit.descend()
-    try:
-        if level == "s1b0":
-            strassen1_beta0_level(
-                core_a, core_b, core_c, alpha, ctx=ctx, ws=ws, recurse=recurse
-            )
-        elif level == "s1g":
-            strassen1_general_level(
-                core_a, core_b, core_c, alpha, beta,
-                ctx=ctx, ws=ws, recurse=recurse,
-            )
-        elif level == "tb":
-            textbook_level(
-                core_a, core_b, core_c, alpha, beta,
-                ctx=ctx, ws=ws, recurse=recurse,
-            )
-        else:
-            strassen2_level(
-                core_a, core_b, core_c, alpha, beta,
-                ctx=ctx, ws=ws, recurse=recurse,
-            )
-    finally:
-        if stateful:
-            crit.ascend()
+    if node.level == "s1b0":
+        strassen1_beta0_level(
+            core_a, core_b, core_c, alpha, ctx=ctx, ws=ws, recurse=recurse
+        )
+    else:
+        LEVEL_FNS[node.level](
+            core_a, core_b, core_c, alpha, beta,
+            ctx=ctx, ws=ws, recurse=recurse,
+        )
 
-    if peeled:
-        if peel == "tail":
+    if node.peeled:
+        if cfg.peel == "tail":
             apply_fixups(a, b, c, alpha, beta, ctx=ctx)
         else:
             apply_fixups_head(a, b, c, alpha, beta, ctx=ctx)

@@ -132,13 +132,9 @@ def strassen_ops(
             f"got {adds_per_level}"
         )
 
-    from repro.core.cutoff import DepthCutoff
-
-    stateful = isinstance(crit, DepthCutoff)
-
-    def w(m_: int, k_: int, n_: int) -> float:
+    def w(m_: int, k_: int, n_: int, depth: int) -> float:
         if (
-            crit.stop(m_, k_, n_)
+            crit.stop(m_, k_, n_, depth)
             or m_ % 2
             or k_ % 2
             or n_ % 2
@@ -146,21 +142,14 @@ def strassen_ops(
         ):
             return standard_ops(m_, k_, n_)
         h_m, h_k, h_n = m_ // 2, k_ // 2, n_ // 2
-        if stateful:
-            crit.descend()
-        try:
-            sub = 7.0 * w(h_m, h_k, h_n)
-        finally:
-            if stateful:
-                crit.ascend()
         return (
-            sub
+            7.0 * w(h_m, h_k, h_n, depth + 1)
             + a_adds * add_ops(h_m, h_k)
             + b_adds * add_ops(h_k, h_n)
             + c_adds * add_ops(h_m, h_n)
         )
 
-    return w(m, k, n)
+    return w(m, k, n, 0)
 
 
 def theoretical_square_cutoff() -> int:

@@ -7,6 +7,17 @@ products to a thread pool (each product recurses; numpy's einsum kernels
 release the GIL, so threads genuinely overlap), then combines stage (4)
 serially.
 
+Recurse-vs-base (and peel) decisions come from the shared traversal core
+(:func:`repro.core.traversal.decide`) — the same kernel the serial
+driver, the plan compiler and the analytics consume — so the parallel
+recursion's *structure* is identical to the serial driver's for the same
+:class:`~repro.core.config.GemmConfig`.  The parallel level always
+materializes the seven Winograd products (one fixed schedule regardless
+of which serial schedule — two-temporary, six-temporary, or
+multiply-accumulate — would have run the node); the ``textbook`` scheme
+uses a different combine tree and therefore runs serially so its bits
+match the serial driver exactly.
+
 **Multi-level parallelism.**  The engine recurses parallel levels under a
 bounded *worker budget* instead of hard-stopping at one level: a call
 with ``workers=w`` runs its seven products on ``t = min(w, 7)`` threads
@@ -14,8 +25,10 @@ and hands each product the remaining budget ``max(1, w // t)``.  Down to
 ``max_parallel_depth`` every product is itself a parallel level, run on
 as many threads as its inherited budget affords (a sub-budget of 1 runs
 it sequentially); below the parallel region each product is an ordinary
-serial :func:`~repro.core.dgefmm.dgefmm` recursion.  So ``workers=7``
-gives the classic one-level fan-out, ``workers=14,
+serial DGEFMM recursion *continuing at its true depth* — so
+depth-sensitive criteria like :class:`~repro.core.cutoff.DepthCutoff`
+see one consistent depth whether a level ran parallel or serial.  So
+``workers=7`` gives the classic one-level fan-out, ``workers=14,
 max_parallel_depth=2`` runs 7 x 2 threads across two levels, and
 ``workers=49`` saturates two full levels.  Because the recursion's
 *structure* depends only on the depth knob and the cutoff — never on
@@ -66,12 +79,14 @@ from repro.blas.validate import (
     require_writable,
 )
 from repro.context import ExecutionContext, ensure_context
-from repro.core.cutoff import CutoffCriterion, DepthCutoff
-from repro.core.dgefmm import DEFAULT_CUTOFF, _scale_only, dgefmm
-from repro.core.peeling import apply_fixups, peel_split
+from repro.core.config import DEFAULT_CUTOFF, GemmConfig
+from repro.core.cutoff import CutoffCriterion
+from repro.core.dgefmm import _rec, _scale_only, dgefmm
+from repro.core.peeling import apply_fixups, apply_fixups_head, core_views
 from repro.core.pool import WorkspacePool, _checkout_or_local
+from repro.core.traversal import Base, decide
 from repro.core.workspace import Workspace
-from repro.errors import ArgumentError, DimensionError
+from repro.errors import DimensionError
 
 __all__ = ["pdgefmm", "parallel_arena_count"]
 
@@ -208,10 +223,13 @@ def pdgefmm(
     workers: int = 7,
     max_parallel_depth: int = 1,
     cutoff: Optional[CutoffCriterion] = None,
+    scheme: str = "auto",
+    peel: str = "tail",
     ctx: Optional[ExecutionContext] = None,
     workspace: Optional[Workspace] = None,
     pool: Optional[WorkspacePool] = None,
     nb: int = DEFAULT_TILE,
+    backend: str = "substrate",
     plan_cache: Optional["PlanCache"] = None,
 ) -> Any:
     """Parallel Strassen GEMM: ``C <- alpha*op(A)*op(B) + beta*C``.
@@ -219,19 +237,28 @@ def pdgefmm(
     Up to ``max_parallel_depth`` Winograd levels run their seven products
     concurrently under a total budget of ``workers`` threads (split
     level-by-level, see the module docstring); below the parallel region
-    each product is an ordinary serial DGEFMM with the given cutoff.
-    Falls back to serial DGEFMM whenever the cutoff declines the
-    top-level recursion.  ``pool`` supplies reusable per-worker workspace
-    arenas; ``workspace`` (if given) is used for the top level's S/T/P
-    blocks exactly as before.  ``plan_cache`` (a
-    :class:`~repro.plan.cache.PlanCache`) switches to compiled-plan
-    replay: the parallel structure — which depends only on
-    ``max_parallel_depth`` and the cutoff, never on ``workers`` — is
-    compiled once per signature and replayed under the same worker-
-    budget model, bit-identically.  Not supported in dry mode (simulated
-    time has no thread model), and stateful :class:`DepthCutoff`
-    criteria are rejected — they cannot be shared across concurrent
-    recursions.
+    each product is an ordinary serial DGEFMM recursion continuing at
+    its true depth with the same frozen
+    :class:`~repro.core.config.GemmConfig`.  The driver accepts the full
+    serial knob set — ``cutoff``, ``scheme``, ``peel``, ``nb``,
+    ``backend`` — and produces bit-identical results to
+    :func:`~repro.core.dgefmm.dgefmm` with the same knobs.  The
+    ``textbook`` scheme (whose 15-add combine tree the fixed parallel
+    schedule cannot reproduce) and any call whose top-level decision is
+    a base case fall back to the serial driver.  Depth-sensitive cutoff
+    criteria (e.g. :class:`~repro.core.cutoff.DepthCutoff`) are fully
+    supported: the traversal passes the current depth to ``stop`` at
+    every node, so the criterion stays frozen and shareable across the
+    concurrent recursions.
+
+    ``pool`` supplies reusable per-worker workspace arenas; ``workspace``
+    (if given) is used for the top level's S/T/P blocks exactly as
+    before.  ``plan_cache`` (a :class:`~repro.plan.cache.PlanCache`)
+    switches to compiled-plan replay: the parallel structure — which
+    depends only on ``max_parallel_depth`` and the config, never on
+    ``workers`` — is compiled once per signature and replayed under the
+    same worker-budget model, bit-identically.  Not supported in dry
+    mode (simulated time has no thread model).
 
     DGEMM conformance matches the serial driver: empty C returns
     immediately; ``k == 0`` or ``alpha == 0`` only scales C by beta
@@ -254,13 +281,11 @@ def pdgefmm(
         raise DimensionError(
             f"pdgefmm: max_parallel_depth={max_parallel_depth} must be >= 1"
         )
-    crit = cutoff if cutoff is not None else DEFAULT_CUTOFF
-    if isinstance(crit, DepthCutoff):
-        raise ArgumentError(
-            "pdgefmm", "cutoff",
-            "is a stateful DepthCutoff, which is not safe under "
-            "concurrent recursion; use a frozen criterion",
-        )
+    cfg = GemmConfig(
+        scheme=scheme, peel=peel,
+        cutoff=cutoff if cutoff is not None else DEFAULT_CUTOFF,
+        nb=nb, backend=backend,
+    )
     m, k = opshape(a, transa)
     kb, n = opshape(b, transb)
     if kb != k:
@@ -291,14 +316,13 @@ def pdgefmm(
     if plan_cache is not None and workspace is None:
         # compiled-plan replay (lazy import: repro.plan compiles through
         # this module's stage helpers)
-        from repro.plan.compiler import PlanSignature
+        from repro.plan.compiler import signature_for
         from repro.plan.executor import execute_plan
 
         dt = getattr(c, "dtype", None) or "float64"
-        sig = PlanSignature(
+        sig = signature_for(
             "parallel", m, k, n, bool(transa), bool(transb),
-            alpha == 0.0, beta == 0.0, str(dt), "auto", "tail", crit,
-            nb, "substrate", max_parallel_depth,
+            alpha == 0.0, beta == 0.0, str(dt), cfg, max_parallel_depth,
         )
         plan = plan_cache.get_or_compile(sig)
         execute_plan(plan, opa, opb, c, alpha, beta, ctx=ctx, pool=pool,
@@ -306,16 +330,24 @@ def pdgefmm(
         ctx.stats_set("plan_cache", plan_cache.stats())
         return c
 
-    if crit.stop(m, k, n) or min(m, k, n) < 2:
-        # serial fallback: pool-aware workspace acquisition via dgefmm
+    node = decide(m, k, n, 0, cfg.scheme, beta == 0.0, cfg.cutoff)
+    if isinstance(node, Base) or node.level == "tb":
+        # Serial fallback: the cutoff declined the top-level recursion,
+        # or the scheme's level (textbook) combines products in an order
+        # the fixed parallel schedule cannot mirror bit-for-bit.
+        # Pool-aware workspace acquisition
+        # happens inside dgefmm.
         if workspace is not None:
             return dgefmm(a, b, c, alpha, beta, transa, transb,
-                          cutoff=crit, ctx=ctx, workspace=workspace, nb=nb)
+                          cutoff=cfg.cutoff, scheme=cfg.scheme,
+                          peel=cfg.peel, ctx=ctx, workspace=workspace,
+                          nb=cfg.nb, backend=cfg.backend)
         return dgefmm(a, b, c, alpha, beta, transa, transb,
-                      cutoff=crit, ctx=ctx, pool=pool, nb=nb)
+                      cutoff=cfg.cutoff, scheme=cfg.scheme, peel=cfg.peel,
+                      ctx=ctx, pool=pool, nb=cfg.nb, backend=cfg.backend)
 
     charge = _prun(opa, opb, c, alpha, beta, workers, 1, max_parallel_depth,
-                   crit, ctx, pool, nb, workspace=workspace)
+                   0, cfg, cfg.scheme, ctx, pool, workspace=workspace)
     ctx.stats_max("workspace_peak_bytes", charge)
     return c
 
@@ -329,27 +361,33 @@ def _prun(
     budget: int,
     level: int,
     max_depth: int,
-    crit: CutoffCriterion,
+    depth: int,
+    cfg: GemmConfig,
+    scheme: str,
     ctx: ExecutionContext,
     pool: Optional[WorkspacePool],
-    nb: int,
     workspace: Optional[Workspace] = None,
 ) -> int:
     """One node of the parallel recursion; returns its peak-bytes charge.
 
-    ``a``/``b`` are transpose-resolved views.  The node either runs a
-    parallel level (peeling odd dimensions around it, like the serial
-    driver) or — when the cutoff declines or dimensions are degenerate —
-    a serial DGEFMM in a private arena.
+    ``a``/``b`` are transpose-resolved views; ``depth`` is the node's
+    recursion depth (parallel levels consume depth exactly like serial
+    levels).  The node either runs a parallel level (peeling odd
+    dimensions around it per the traversal's decision) or — when the
+    traversal stops, or resolves a level the parallel schedule cannot
+    host — a serial recursion in a private arena.
     """
     m, k = a.shape
     n = b.shape[1]
     if m == 0 or n == 0:
         return 0
-    if k == 0 or alpha == 0.0 or crit.stop(m, k, n) or min(m, k, n) < 2:
+    if k == 0 or alpha == 0.0:
+        _scale_only(c, beta, ctx)
+        return 0
+    node = decide(m, k, n, depth, scheme, beta == 0.0, cfg.cutoff)
+    if isinstance(node, Base) or node.level == "tb":
         with _job_arena(pool) as ws:
-            dgefmm(a, b, c, alpha, beta, cutoff=crit, ctx=ctx,
-                   workspace=ws, nb=nb)
+            _rec(a, b, c, alpha, beta, depth, cfg, scheme, ctx, ws)
             return ws.peak_bytes
 
     ws = workspace
@@ -357,13 +395,18 @@ def _prun(
     if ws is None:
         ws, pooled = _checkout_or_local(pool)
     try:
-        mp, kp, np_ = peel_split(m, k, n)
-        charge = _parallel_level(
-            a[:mp, :kp], b[:kp, :np_], c[:mp, :np_], alpha, beta,
-            budget, level, max_depth, crit, ctx, ws, pool, nb,
+        core_a, core_b, core_c = (
+            core_views(a, b, c, cfg.peel) if node.peeled else (a, b, c)
         )
-        if (mp, kp, np_) != (m, k, n):
-            apply_fixups(a, b, c, alpha, beta, ctx=ctx)
+        charge = _parallel_level(
+            core_a, core_b, core_c, alpha, beta, budget, level, max_depth,
+            depth, cfg, node.child_scheme, ctx, ws, pool,
+        )
+        if node.peeled:
+            if cfg.peel == "tail":
+                apply_fixups(a, b, c, alpha, beta, ctx=ctx)
+            else:
+                apply_fixups_head(a, b, c, alpha, beta, ctx=ctx)
     except BaseException:
         if pooled:
             pool.release(ws)
@@ -382,18 +425,19 @@ def _parallel_level(
     budget: int,
     level: int,
     max_depth: int,
-    crit: CutoffCriterion,
+    depth: int,
+    cfg: GemmConfig,
+    child_scheme: str,
     ctx: ExecutionContext,
     ws: Workspace,
     pool: Optional[WorkspacePool],
-    nb: int,
 ) -> int:
     """One parallel Winograd level (even dims); returns the peak charge:
     this level's own arena peak plus the sum of its products' charges."""
     dt = getattr(c, "dtype", None) or "float64"
     threads, sub_budget = _split_budget(budget)
     # the *structure* of the recursion depends only on max_parallel_depth
-    # (and the cutoff); the budget governs execution — how many threads
+    # (and the config); the budget governs execution — how many threads
     # each level gets.  A sub-budget of 1 runs the deeper parallel level
     # sequentially, so instrumentation and workspace accounting are
     # identical for every workers value at a fixed depth.
@@ -416,13 +460,14 @@ def _parallel_level(
             if go_deeper:
                 # another parallel level with the split budget
                 peaks[idx] = _prun(aa, bb, cc, 1.0, 0.0, sub_budget,
-                                   level + 1, max_depth, crit, wctx,
-                                   pool, nb)
+                                   level + 1, max_depth, depth + 1, cfg,
+                                   child_scheme, wctx, pool)
             else:
-                # serial recursion in a private (pooled) arena
+                # serial recursion in a private (pooled) arena,
+                # continuing at this subtree's true depth
                 with _job_arena(pool) as wws:
-                    dgefmm(aa, bb, cc, 1.0, 0.0, cutoff=crit,
-                           ctx=wctx, workspace=wws, nb=nb)
+                    _rec(aa, bb, cc, 1.0, 0.0, depth + 1, cfg,
+                         child_scheme, wctx, wws)
                     peaks[idx] = wws.peak_bytes
 
         if threads == 1:

@@ -15,31 +15,26 @@ The three steps are exactly the paper's combined fix-up: one BLAS rank-one
 update plus two matrix-vector products — no special cases inside the
 Strassen schedules and no extra temporary memory.
 
-This module provides the dimension split and the fix-up executor; the
-driver in :mod:`repro.core.dgefmm` calls them around every recursion level
-that encounters odd dimensions (peeling is *dynamic*: it happens at each
-level where it is needed, not once up front).
+This module provides the fix-up executors and the even-core operand
+views; the *decision* that a node peels (and the even-core dimension
+arithmetic) lives in :mod:`repro.core.traversal`, whose nodes the
+drivers consume.  Peeling is *dynamic*: it happens at each level where
+it is needed, not once up front.
 """
 
 from __future__ import annotations
 
-from typing import Any, Optional, Tuple
+from typing import Any, Optional
 
 from repro.blas.level2 import dgemv, dger
 from repro.context import ExecutionContext
 
 __all__ = [
-    "peel_split",
     "apply_fixups",
     "apply_fixups_head",
     "core_views",
     "fixup_ops",
 ]
-
-
-def peel_split(m: int, k: int, n: int) -> Tuple[int, int, int]:
-    """Even-core dimensions: each odd dimension loses one index."""
-    return m - (m & 1), k - (k & 1), n - (n & 1)
 
 
 def core_views(a: Any, b: Any, c: Any, side: str = "tail"):
@@ -88,7 +83,7 @@ def apply_fixups(
     """
     m, k = a.shape
     n = b.shape[1]
-    mp, kp, np_ = peel_split(m, k, n)
+    mp, kp, np_ = m - (m & 1), k - (k & 1), n - (n & 1)
     if kp < k and mp and np_:
         # C11 += alpha * a12 * b21^T   (rank-one, paper's first fix-up)
         dger(a[:mp, kp], b[kp, :np_], c[:mp, :np_], alpha=alpha, ctx=ctx)
@@ -141,7 +136,7 @@ def fixup_ops(m: int, k: int, n: int) -> float:
     only the terms for the dimensions that are actually odd.  Used by the
     op-count model extension and tests.
     """
-    mp, kp, np_ = peel_split(m, k, n)
+    mp, kp, np_ = m - (m & 1), k - (k & 1), n - (n & 1)
     ops = 0.0
     if kp < k:
         ops += 2.0 * mp * np_

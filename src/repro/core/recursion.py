@@ -3,19 +3,19 @@
 For planning and for testing, it is useful to predict — without running
 anything — what a cutoff criterion will make the DGEFMM recursion do:
 how deep it goes, how many base-case multiplies it issues, how much
-multiply work remains.  These helpers compute those quantities by
-walking the same decision function the driver uses (cutoff + the
-"dims < 2" guard + peeling arithmetic), so the test suite can assert
-they match the instrumented counts of real executions exactly.
+multiply work remains.  These helpers walk the same
+:func:`repro.core.traversal.decide` kernel the drivers and the plan
+compiler consume, so the test suite can assert they match the
+instrumented counts of real executions exactly — node for node.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional
 
-from repro.core.cutoff import CutoffCriterion, DepthCutoff
-from repro.core.dgefmm import DEFAULT_CUTOFF
-from repro.core.peeling import peel_split
+from repro.core.config import DEFAULT_CUTOFF
+from repro.core.cutoff import CutoffCriterion
+from repro.core.traversal import Base, decide
 
 __all__ = [
     "recursion_profile",
@@ -29,6 +29,7 @@ def recursion_profile(
     k: int,
     n: int,
     criterion: Optional[CutoffCriterion] = None,
+    scheme: str = "auto",
 ) -> Dict:
     """Predicted recursion structure for one DGEFMM call.
 
@@ -36,10 +37,12 @@ def recursion_profile(
     "peel": #peeled nodes, "max_depth": deepest base level,
     "mul_flops": scalar multiplies of all base cases (the Strassen
     currency; fix-up multiplies excluded), "base_shapes": {shape:
-    count}}``.
+    count}}``.  ``scheme`` matters only for ``"textbook"``, whose levels
+    spawn eight products instead of seven; the Winograd schedules share
+    one recursion structure.  (The structure is beta-independent, so the
+    profile holds for every scalar class.)
     """
     crit = criterion if criterion is not None else DEFAULT_CUTOFF
-    stateful = isinstance(crit, DepthCutoff)
     prof = {
         "recurse": 0,
         "base": 0,
@@ -49,30 +52,25 @@ def recursion_profile(
         "base_shapes": {},
     }
 
-    def walk(m_: int, k_: int, n_: int, depth: int) -> None:
+    def walk(m_: int, k_: int, n_: int, depth: int, sch: str) -> None:
         if m_ == 0 or n_ == 0 or k_ == 0:
             return
         prof["max_depth"] = max(prof["max_depth"], depth)
-        if crit.stop(m_, k_, n_) or min(m_, k_, n_) < 2:
+        node = decide(m_, k_, n_, depth, sch, True, crit)
+        if isinstance(node, Base):
             prof["base"] += 1
             prof["mul_flops"] += float(m_) * k_ * n_
             key = (m_, k_, n_)
             prof["base_shapes"][key] = prof["base_shapes"].get(key, 0) + 1
             return
-        mp, kp, np_ = peel_split(m_, k_, n_)
-        if (mp, kp, np_) != (m_, k_, n_):
+        if node.peeled:
             prof["peel"] += 1
         prof["recurse"] += 1
-        if stateful:
-            crit.descend()
-        try:
-            for _ in range(7):
-                walk(mp // 2, kp // 2, np_ // 2, depth + 1)
-        finally:
-            if stateful:
-                crit.ascend()
+        hm, hk, hn = node.child_dims
+        for _ in range(node.children):
+            walk(hm, hk, hn, depth + 1, node.child_scheme)
 
-    walk(m, k, n, 0)
+    walk(m, k, n, 0, scheme)
     return prof
 
 

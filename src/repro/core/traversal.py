@@ -1,0 +1,162 @@
+"""The traversal core: DGEFMM's one recurse-vs-base decision kernel.
+
+The paper's DGEFMM is a single algorithm — cutoff test (eq. 15),
+dynamic peeling of odd dimensions (Section 3.3), and
+STRASSEN1/STRASSEN2 scheme dispatch (Section 3.2) — but the repository
+grew five walkers of that recursion: the eager serial driver, the
+task-parallel driver, the plan compiler (serial and parallel mirrors),
+the closed-form recursion analytics, and the cost-model predictor.
+This module is the *only* place the per-node decision lives; every
+walker consumes :func:`decide` and interprets the returned node in its
+own way (execute kernels, record plan ops, tally counts, or sum model
+costs).
+
+:func:`decide` is stateless: given ``(m, k, n, depth)``, the scheme,
+the beta scalar class, and a cutoff criterion it returns one typed node
+
+- :class:`Base` — multiply with the standard algorithm;
+- :class:`Recurse` — apply one scheme level on the (already even)
+  dimensions, carrying the level code and the children's scheme;
+- :class:`Peel` — a :class:`Recurse` whose node has odd dimensions:
+  strip one row/column per odd dimension, run the level on the even
+  ``(mp, kp, np_)`` core, then apply the DGER/DGEMV fix-ups.
+
+Callers handle the degenerate GEMM cases (empty output, ``k == 0``,
+``alpha == 0``) *before* consulting the kernel — those are BLAS
+conformance semantics (scale or no-op), not traversal decisions, and
+each walker treats them differently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple, Union
+
+from repro.core.cutoff import CutoffCriterion
+
+__all__ = [
+    "Base",
+    "Recurse",
+    "Peel",
+    "DecisionNode",
+    "peel_split",
+    "pick_level",
+    "decide",
+    "LEVELS",
+]
+
+#: level codes -> number of recursive half-size products the schedule
+#: spawns; every schedule here is a 7-product Winograd variant (the
+#: "textbook" 15-add schedule trades memory, not products)
+LEVELS = {"s1b0": 7, "s1g": 7, "s2": 7, "tb": 7}
+
+
+def peel_split(m: int, k: int, n: int) -> Tuple[int, int, int]:
+    """Even-core dimensions: each odd dimension loses one index."""
+    return m - (m & 1), k - (k & 1), n - (n & 1)
+
+
+def pick_level(scheme: str, beta_zero: bool) -> Tuple[str, str]:
+    """Resolve ``(level code, child scheme)`` for one recursion node.
+
+    The child scheme matters for ``"strassen1"``: the paper's Table 1
+    figure for the general case assumes the seven (beta = 0) products
+    are "computed recursively using the same algorithm", i.e. the
+    general six-temporary schedule — so the general variant pins its
+    children to ``"strassen1_general"`` rather than letting them drop
+    back to the cheaper beta = 0 variant.
+    """
+    if scheme == "auto":
+        return ("s1b0" if beta_zero else "s2"), "auto"
+    if scheme == "strassen2":
+        return "s2", "strassen2"
+    if scheme == "strassen1":
+        if beta_zero:
+            return "s1b0", "strassen1"
+        return "s1g", "strassen1_general"
+    if scheme == "textbook":
+        return "tb", "textbook"
+    if scheme == "strassen1_general":
+        return "s1g", "strassen1_general"
+    raise ValueError(f"unknown scheme {scheme!r}")
+
+
+@dataclass(frozen=True)
+class Base:
+    """Stop here: one standard-algorithm multiply of (m, k, n)."""
+
+    m: int
+    k: int
+    n: int
+    depth: int
+
+
+@dataclass(frozen=True)
+class Recurse:
+    """Apply one scheme level; dimensions are already even.
+
+    ``mp``/``kp``/``np_`` are the even core dimensions the level runs
+    on (equal to ``m``/``k``/``n`` unless this is a :class:`Peel`);
+    ``level`` is the schedule code (``"s1b0"``, ``"s1g"``, ``"s2"``,
+    ``"tb"``); ``child_scheme`` is the scheme the recursive products
+    carry; ``children`` is how many half-size products the level
+    spawns, each of dimensions ``(mp//2, kp//2, np_//2)``.
+    """
+
+    m: int
+    k: int
+    n: int
+    depth: int
+    mp: int
+    kp: int
+    np_: int
+    level: str
+    child_scheme: str
+
+    @property
+    def peeled(self) -> bool:
+        """True when odd dimensions were stripped (i.e. a :class:`Peel`)."""
+        return (self.mp, self.kp, self.np_) != (self.m, self.k, self.n)
+
+    @property
+    def children(self) -> int:
+        """Recursive products this level spawns (7, or 8 for textbook)."""
+        return LEVELS[self.level]
+
+    @property
+    def child_dims(self) -> Tuple[int, int, int]:
+        """Dimensions of each recursive product."""
+        return self.mp // 2, self.kp // 2, self.np_ // 2
+
+
+@dataclass(frozen=True)
+class Peel(Recurse):
+    """A :class:`Recurse` with odd dimensions: core + DGER/DGEMV fix-ups."""
+
+
+DecisionNode = Union[Base, Recurse]
+
+
+def decide(
+    m: int,
+    k: int,
+    n: int,
+    depth: int,
+    scheme: str,
+    beta_zero: bool,
+    crit: CutoffCriterion,
+) -> DecisionNode:
+    """The per-node decision every DGEFMM walker consumes.
+
+    Dimensions must be >= 1 (callers resolve the degenerate GEMM
+    classes first).  Recursion stops — :class:`Base` — when the cutoff
+    criterion says so at this depth or when any dimension is below 2;
+    otherwise the node is a :class:`Recurse` (or :class:`Peel` when a
+    dimension is odd) carrying the resolved level and child scheme.
+    """
+    if crit.stop(m, k, n, depth) or min(m, k, n) < 2:
+        return Base(m, k, n, depth)
+    mp, kp, np_ = peel_split(m, k, n)
+    level, child_scheme = pick_level(scheme, beta_zero)
+    cls = Peel if (mp, kp, np_) != (m, k, n) else Recurse
+    return cls(m, k, n, depth, mp, kp, np_, level, child_scheme)

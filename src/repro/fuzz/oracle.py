@@ -7,8 +7,9 @@ result-producing paths:
 - ``plan``     — the same call through a :class:`~repro.plan.cache.PlanCache`
   (compiled-plan replay);
 - ``parallel`` — :func:`repro.core.parallel.pdgefmm` under the case's
-  worker budget and parallel depth (only when the case's scheme/peel
-  knobs match what pdgefmm pins);
+  worker budget, parallel depth, and the full scheme/peel knob set
+  (the parallel driver has scheme/peel/backend parity with the serial
+  one);
 - ``parallel-plan`` — pdgefmm through a plan cache.
 
 Checks, in decreasing strictness:
@@ -86,8 +87,8 @@ def _run_path(case: FuzzCase, path: str, plan_cache, pool):
     else:
         pdgefmm(
             a, b, c, alpha, beta, case.transa, case.transb,
-            cutoff=crit, workers=case.workers,
-            max_parallel_depth=case.depth,
+            cutoff=crit, scheme=case.scheme, peel=case.peel,
+            workers=case.workers, max_parallel_depth=case.depth,
             pool=pool if case.pool else None,
             plan_cache=plan_cache if path == "parallel-plan" else None,
         )

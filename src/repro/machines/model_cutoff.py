@@ -43,7 +43,7 @@ class ModelCutoff(CutoffCriterion):
     _cache: dict = field(default_factory=dict, hash=False, compare=False,
                          repr=False)
 
-    def stop(self, m: int, k: int, n: int) -> bool:
+    def stop(self, m: int, k: int, n: int, depth: int = 0) -> bool:
         key = (m, k, n)
         hit = self._cache.get(key)
         if hit is not None:

@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.core.cutoff import CutoffCriterion, DepthCutoff
-from repro.core.peeling import peel_split
+from repro.core.traversal import Base, decide
 from repro.models.base import CostModel
 
 __all__ = [
@@ -42,41 +42,36 @@ def strassen_cost(
 ) -> float:
     """Model cost of DGEFMM's recursion (peeling included).
 
-    Mirrors the driver: cutoff test, peel odd dims, one Winograd level,
-    DGER/DGEMV fix-ups — the structure whose real charges the machine
-    simulations accumulate, evaluated under an abstract model instead.
+    Consumes the shared traversal kernel (:func:`repro.core.traversal.
+    decide`) like every driver: cutoff test, peel odd dims, one Winograd
+    level, DGER/DGEMV fix-ups — the structure whose real charges the
+    machine simulations accumulate, evaluated under an abstract model
+    instead.
     """
     crit = criterion if criterion is not None else DepthCutoff(64)
-    stateful = isinstance(crit, DepthCutoff)
 
-    def w(m_: int, k_: int, n_: int) -> float:
+    def w(m_: int, k_: int, n_: int, depth: int) -> float:
         if m_ == 0 or n_ == 0:
             return 0.0
         if k_ == 0:
             return model.add_cost(m_, n_)
-        if crit.stop(m_, k_, n_) or min(m_, k_, n_) < 2:
+        node = decide(m_, k_, n_, depth, "auto", True, crit)
+        if isinstance(node, Base):
             return model.mult_cost(m_, k_, n_)
-        mp, kp, np_ = peel_split(m_, k_, n_)
-        hm, hk, hn = mp // 2, kp // 2, np_ // 2
-        if stateful:
-            crit.descend()
-        try:
-            cost = 7.0 * w(hm, hk, hn)
-        finally:
-            if stateful:
-                crit.ascend()
+        hm, hk, hn = node.child_dims
+        cost = 7.0 * w(hm, hk, hn, depth + 1)
         cost += _A_ADDS * model.add_cost(hm, hk)
         cost += _B_ADDS * model.add_cost(hk, hn)
         cost += _C_ADDS * model.add_cost(hm, hn)
-        if kp < k_ and mp and np_:
-            cost += model.ger_cost(mp, np_)
-        if np_ < n_ and mp:
-            cost += model.gemv_cost(mp, k_)
-        if mp < m_:
+        if node.kp < k_ and node.mp and node.np_:
+            cost += model.ger_cost(node.mp, node.np_)
+        if node.np_ < n_ and node.mp:
+            cost += model.gemv_cost(node.mp, k_)
+        if node.mp < m_:
             cost += model.gemv_cost(n_, k_)
         return cost
 
-    return w(m, k, n)
+    return w(m, k, n, 0)
 
 
 def one_level_cost(model: CostModel, m: int, k: int, n: int) -> float:

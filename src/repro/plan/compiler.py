@@ -1,8 +1,9 @@
 """PlanCompiler: walk the DGEFMM recursion once, emit a flat plan.
 
-The compiler runs the *real* driver logic — the cutoff test at every
-level (paper eq. 15 by default), dynamic peeling, the scheme dispatch,
-and the actual STRASSEN1/STRASSEN2/textbook schedule functions — exactly
+The compiler runs the *real* driver logic — the shared traversal core's
+recurse-vs-base decision at every level (:func:`repro.core.traversal.
+decide`: paper eq. 15 by default, dynamic peeling, scheme dispatch) and
+the actual STRASSEN1/STRASSEN2/textbook schedule functions — exactly
 once per problem signature, recording what the recursion *would do* as a
 flat tuple of typed ops (:mod:`repro.plan.ops`).
 
@@ -31,14 +32,14 @@ become *branches* (each a self-contained sub-plan over the branch's
 operand windows), and the stage-(4) U-tree plus any peeling fix-up form
 the epilogue.  The worker *budget* is an execution-time knob — exactly
 as in the live driver, where the recursion's structure depends only on
-``max_parallel_depth`` and the cutoff.
+``max_parallel_depth`` and the config.
 """
 
 from __future__ import annotations
 
 from collections import Counter
 from contextlib import contextmanager
-from dataclasses import dataclass
+from dataclasses import field, fields, make_dataclass
 from typing import Any, Iterator, List, Optional, Tuple
 
 import numpy as np
@@ -46,17 +47,11 @@ import numpy as np
 from repro.blas.addsub import BlockKernels
 from repro.blas.level3 import gemm_flops
 from repro.context import RecursionEvent
-from repro.core.cutoff import CutoffCriterion, DepthCutoff
-from repro.core.dgefmm import _pick_level
+from repro.core.config import GemmConfig
+from repro.core.dgefmm import LEVEL_FNS
 from repro.core.parallel import _job_operands, _stage_combine, _stage_sums
-from repro.core.peeling import peel_split
 from repro.core.pool import _align_up
-from repro.core.strassen1 import (
-    strassen1_beta0_level,
-    strassen1_general_level,
-)
-from repro.core.strassen2 import strassen2_level
-from repro.core.textbook import textbook_level
+from repro.core.traversal import Base, decide
 from repro.errors import ArgumentError
 from repro.plan.ops import (
     OP_ACCUM,
@@ -76,12 +71,41 @@ from repro.plan.ops import (
     scalar_repr,
 )
 
-__all__ = ["PlanSignature", "ExecutionPlan", "compile_plan"]
+__all__ = ["PlanSignature", "ExecutionPlan", "compile_plan", "signature_for"]
 
 
-@dataclass(frozen=True)
-class PlanSignature:
-    """The cache key: everything the plan's structure depends on.
+def _signature_config(self) -> GemmConfig:
+    """Rebuild the validated :class:`GemmConfig` these fields came from."""
+    return GemmConfig(
+        **{f.name: getattr(self, f.name) for f in fields(GemmConfig)}
+    )
+
+
+#: The plan-cache key, derived *structurally* from ``GemmConfig``: the
+#: problem fields come first, then every ``GemmConfig`` field in
+#: declaration order, then ``max_parallel_depth``.  Adding a knob to
+#: ``GemmConfig`` automatically adds it to the cache key — signature
+#: completeness is a property of the type, not an audit.
+PlanSignature = make_dataclass(
+    "PlanSignature",
+    [
+        ("kind", str),
+        ("m", int),
+        ("k", int),
+        ("n", int),
+        ("transa", bool),
+        ("transb", bool),
+        ("alpha_zero", bool),
+        ("beta_zero", bool),
+        ("dtype", str),
+    ]
+    + [(f.name, f.type, field(default=f.default)) for f in fields(GemmConfig)]
+    + [("max_parallel_depth", int, field(default=0))],
+    frozen=True,
+    namespace={"config": _signature_config},
+)
+PlanSignature.__module__ = __name__
+PlanSignature.__doc__ = """The cache key: everything the plan's structure depends on.
 
     ``kind`` is ``"serial"`` (the :func:`~repro.core.dgefmm.dgefmm`
     path) or ``"parallel"`` (:func:`~repro.core.parallel.pdgefmm`;
@@ -90,43 +114,49 @@ class PlanSignature:
     as zero/nonzero *classes*; cutoff criteria are the (hashable frozen
     dataclass) objects themselves.
 
-    Completeness audit — every knob that can change what a replay
-    computes MUST be a field here, or a stale plan would be served for a
-    different problem.  The full set of behavior-affecting knobs and
-    where each lands:
-
-    - problem: ``m``/``k``/``n`` (op shapes), ``transa``/``transb``,
-      ``dtype`` (temporary allocation widths and region binding);
-    - scalars: ``alpha_zero``/``beta_zero`` (scheme dispatch and the
-      compiled scalar classes; nonzero values resolve per call);
-    - dispatch: ``scheme``, ``peel``, ``cutoff`` (recursion shape),
-      ``max_parallel_depth`` (parallel fan-out structure);
-    - base case: ``nb`` (tile edge), ``backend`` (kernel choice).
+    The behaviour-knob fields (``scheme``, ``peel``, ``cutoff``, ``nb``,
+    ``backend``) are not hand-listed: they are generated from
+    ``dataclasses.fields(GemmConfig)`` at class-creation time, in
+    declaration order, between the problem fields and
+    ``max_parallel_depth``.  A knob added to ``GemmConfig`` therefore
+    cannot be forgotten here — the type system keeps the plan-cache key
+    complete.  :meth:`config` rebuilds (and re-validates) the
+    ``GemmConfig`` the knob fields encode.
 
     Deliberately excluded because they cannot change the result or the
     plan's structure: ``workers`` (execution-time thread budget),
     ``pool``/``workspace`` (where temporaries live, not what is
     computed), ``ctx`` (instrumentation sink), and operand memory
     layout/strides (plans bind root windows per call; the kernels accept
-    any strides).  ``tests/test_plan.py`` pins this audit: mutating any
-    listed knob must miss the cache.
+    any strides).  ``tests/test_plan.py`` pins this: mutating any knob
+    field must miss the cache.
     """
 
-    kind: str
-    m: int
-    k: int
-    n: int
-    transa: bool
-    transb: bool
-    alpha_zero: bool
-    beta_zero: bool
-    dtype: str
-    scheme: str
-    peel: str
-    cutoff: CutoffCriterion
-    nb: int
-    backend: str
-    max_parallel_depth: int = 0
+
+def signature_for(
+    kind: str,
+    m: int,
+    k: int,
+    n: int,
+    transa: bool,
+    transb: bool,
+    alpha_zero: bool,
+    beta_zero: bool,
+    dtype: str,
+    config: GemmConfig,
+    max_parallel_depth: int = 0,
+) -> "PlanSignature":
+    """Build a :class:`PlanSignature` from a problem and a ``GemmConfig``.
+
+    The drivers construct their cache keys through this helper so the
+    knob fields are copied from the frozen config structurally — never
+    hand-listed at a call site.
+    """
+    return PlanSignature(
+        kind, m, k, n, transa, transb, alpha_zero, beta_zero, dtype,
+        *(getattr(config, f.name) for f in fields(GemmConfig)),
+        max_parallel_depth,
+    )
 
 
 class ExecutionPlan:
@@ -150,7 +180,7 @@ class ExecutionPlan:
 
     def __init__(
         self,
-        signature: Optional[PlanSignature],
+        signature: Optional["PlanSignature"],
         m: int,
         k: int,
         n: int,
@@ -455,7 +485,7 @@ class _Recorder:
     # ------------------------------------------------------------------ #
     def build(
         self,
-        signature: Optional[PlanSignature],
+        signature: Optional["PlanSignature"],
         m: int,
         k: int,
         n: int,
@@ -479,14 +509,6 @@ class _Recorder:
 
 
 # ---------------------------------------------------------------------- #
-_LEVEL_FNS = {
-    "s1b0": strassen1_beta0_level,
-    "s1g": strassen1_general_level,
-    "s2": strassen2_level,
-    "tb": textbook_level,
-}
-
-
 def _roots(m: int, k: int, n: int, dtype: Any) -> tuple:
     return (
         Region(ROOT_A, 0, m, k, 0, 0, m, k, dtype),
@@ -509,21 +531,21 @@ def _core_regions(a: Region, b: Region, c: Region, side: str) -> tuple:
 
 
 class _SerialCompiler:
-    """Replays :func:`repro.core.dgefmm._rec` into a recorder."""
+    """Replays :func:`repro.core.dgefmm._rec` into a recorder.
 
-    def __init__(
-        self,
-        crit: CutoffCriterion,
-        peel: str,
-        dtype: Any,
-    ) -> None:
-        self.crit = crit
-        self.peel = peel
+    The per-node decisions come from the same
+    :func:`repro.core.traversal.decide` the live driver consumes; this
+    class only binds the returned nodes to recording kernels instead of
+    numeric ones.
+    """
+
+    def __init__(self, cfg: GemmConfig, dtype: Any) -> None:
+        self.cfg = cfg
         self.rec = _Recorder(dtype)
 
     def run(self, a: Region, b: Region, c: Region,
             alpha: Any, beta: Any, depth: int, scheme: str) -> None:
-        rec, crit = self.rec, self.crit
+        rec, cfg = self.rec, self.cfg
         m, k = a.shape
         n = b.shape[1]
         if m == 0 or n == 0:
@@ -533,46 +555,39 @@ class _SerialCompiler:
                 rec.kernels.axpby(0.0, c, beta, c)
             return
         rec.counts["max_depth"] = max(rec.counts["max_depth"], depth)
-        if crit.stop(m, k, n) or min(m, k, n) < 2:
+        node = decide(m, k, n, depth, scheme, beta == 0.0, cfg.cutoff)
+        if isinstance(node, Base):
             rec.counts["base"] += 1
             rec.emit_event("base", m, k, n, depth)
             rec.emit_gemm(a, b, c, alpha, beta)
             return
 
-        mp, kp, np_ = peel_split(m, k, n)
-        peeled = (mp, kp, np_) != (m, k, n)
-        if peeled:
+        if node.peeled:
             rec.counts["peel"] += 1
             rec.emit_event("peel", m, k, n, depth)
-        level, child_scheme = _pick_level(scheme, beta)
         rec.counts["recurse"] += 1
-        rec.emit_event("recurse", mp, kp, np_, depth, scheme=level)
+        rec.emit_event(
+            "recurse", node.mp, node.kp, node.np_, depth, scheme=node.level
+        )
 
-        if peeled:
-            core_a, core_b, core_c = _core_regions(a, b, c, self.peel)
+        if node.peeled:
+            core_a, core_b, core_c = _core_regions(a, b, c, cfg.peel)
         else:
             core_a, core_b, core_c = a, b, c
 
         def recurse(aa, bb, cc, al, be):
-            self.run(aa, bb, cc, al, be, depth + 1, child_scheme)
+            self.run(aa, bb, cc, al, be, depth + 1, node.child_scheme)
 
-        stateful = isinstance(crit, DepthCutoff)
-        if stateful:
-            crit.descend()
-        try:
-            fn = _LEVEL_FNS[level]
-            if level == "s1b0":
-                fn(core_a, core_b, core_c, alpha, ctx=None, ws=rec.ws,
-                   recurse=recurse, kernels=rec.kernels)
-            else:
-                fn(core_a, core_b, core_c, alpha, beta, ctx=None,
-                   ws=rec.ws, recurse=recurse, kernels=rec.kernels)
-        finally:
-            if stateful:
-                crit.ascend()
+        fn = LEVEL_FNS[node.level]
+        if node.level == "s1b0":
+            fn(core_a, core_b, core_c, alpha, ctx=None, ws=rec.ws,
+               recurse=recurse, kernels=rec.kernels)
+        else:
+            fn(core_a, core_b, core_c, alpha, beta, ctx=None,
+               ws=rec.ws, recurse=recurse, kernels=rec.kernels)
 
-        if peeled:
-            rec.emit_fixup(a, b, c, alpha, beta, self.peel)
+        if node.peeled:
+            rec.emit_fixup(a, b, c, alpha, beta, cfg.peel)
 
 
 def _compile_serial(
@@ -581,18 +596,22 @@ def _compile_serial(
     n: int,
     alpha: Any,
     beta: Any,
-    crit: CutoffCriterion,
+    cfg: GemmConfig,
     scheme: str,
-    peel: str,
     dtype: Any,
-    nb: int,
-    backend: str,
-    signature: Optional[PlanSignature] = None,
+    signature: Optional["PlanSignature"] = None,
+    depth: int = 0,
 ) -> ExecutionPlan:
-    sc = _SerialCompiler(crit, peel, dtype)
+    """Compile a serial subtree rooted at ``depth`` with node ``scheme``.
+
+    ``depth`` is 0 for whole serial plans; parallel plans compile their
+    below-the-region serial children at the subtree's true depth, so
+    depth-sensitive criteria see the same recursion as the live driver.
+    """
+    sc = _SerialCompiler(cfg, dtype)
     a, b, c = _roots(m, k, n, dtype)
-    sc.run(a, b, c, alpha, beta, 0, scheme)
-    return sc.rec.build(signature, m, k, n, nb, backend)
+    sc.run(a, b, c, alpha, beta, depth, scheme)
+    return sc.rec.build(signature, m, k, n, cfg.nb, cfg.backend)
 
 
 # ---------------------------------------------------------------------- #
@@ -603,20 +622,18 @@ def _compile_pnode(
     alpha: Any,
     beta: Any,
     level: int,
-    crit: CutoffCriterion,
+    depth: int,
+    node: Any,
+    cfg: GemmConfig,
     max_depth: int,
     dtype: Any,
-    nb: int,
-    backend: str,
-    signature: Optional[PlanSignature] = None,
+    signature: Optional["PlanSignature"] = None,
 ) -> ExecutionPlan:
-    """Mirror of parallel._prun for a node the cutoff lets recurse."""
+    """Mirror of parallel._prun for a node the traversal lets recurse."""
     rec = _Recorder(dtype)
     a, b, c = _roots(m, k, n, dtype)
-    mp, kp, np_ = peel_split(m, k, n)
-    peeled = (mp, kp, np_) != (m, k, n)
-    if peeled:
-        core_a, core_b, core_c = _core_regions(a, b, c, "tail")
+    if node.peeled:
+        core_a, core_b, core_c = _core_regions(a, b, c, cfg.peel)
     else:
         core_a, core_b, core_c = a, b, c
 
@@ -631,21 +648,22 @@ def _compile_pnode(
             jn = bb.shape[1]
             if level < max_depth:
                 child = _prun_mirror(
-                    jm, jk, jn, 1.0, 0.0, level + 1, crit, max_depth,
-                    dtype, nb, backend,
+                    jm, jk, jn, 1.0, 0.0, level + 1, depth + 1, cfg,
+                    node.child_scheme, max_depth, dtype,
                 )
             else:
                 child = _compile_serial(
-                    jm, jk, jn, 1.0, 0.0, crit, "auto", "tail", dtype,
-                    nb, backend,
+                    jm, jk, jn, 1.0, 0.0, cfg, node.child_scheme, dtype,
+                    depth=depth + 1,
                 )
             branches.append((rec.reg(aa), rec.reg(bb), rec.reg(cc), child))
         rec.begin_epilogue()
         _stage_combine(ps, core_c, alpha, beta, None, rec.kernels)
-        if peeled:
-            rec.emit_fixup(a, b, c, alpha, beta, "tail")
+        if node.peeled:
+            rec.emit_fixup(a, b, c, alpha, beta, cfg.peel)
 
-    return rec.build(signature, m, k, n, nb, backend, tuple(branches))
+    return rec.build(signature, m, k, n, cfg.nb, cfg.backend,
+                     tuple(branches))
 
 
 def _prun_mirror(
@@ -655,46 +673,47 @@ def _prun_mirror(
     alpha: Any,
     beta: Any,
     level: int,
-    crit: CutoffCriterion,
+    depth: int,
+    cfg: GemmConfig,
+    scheme: str,
     max_depth: int,
     dtype: Any,
-    nb: int,
-    backend: str,
-    signature: Optional[PlanSignature] = None,
+    signature: Optional["PlanSignature"] = None,
 ) -> ExecutionPlan:
     """Mirror of parallel._prun's dispatch: parallel level or serial."""
-    if (
-        m == 0 or n == 0 or k == 0 or alpha == 0.0
-        or crit.stop(m, k, n) or min(m, k, n) < 2
-    ):
+    if m == 0 or n == 0 or k == 0 or alpha == 0.0:
         return _compile_serial(
-            m, k, n, alpha, beta, crit, "auto", "tail", dtype, nb,
-            backend, signature,
+            m, k, n, alpha, beta, cfg, scheme, dtype, signature, depth,
+        )
+    node = decide(m, k, n, depth, scheme, beta == 0.0, cfg.cutoff)
+    if isinstance(node, Base) or node.level == "tb":
+        return _compile_serial(
+            m, k, n, alpha, beta, cfg, scheme, dtype, signature, depth,
         )
     return _compile_pnode(
-        m, k, n, alpha, beta, level, crit, max_depth, dtype, nb,
-        backend, signature,
+        m, k, n, alpha, beta, level, depth, node, cfg, max_depth, dtype,
+        signature,
     )
 
 
 # ---------------------------------------------------------------------- #
-def compile_plan(signature: PlanSignature) -> ExecutionPlan:
+def compile_plan(signature: "PlanSignature") -> ExecutionPlan:
     """Compile one :class:`PlanSignature` into an :class:`ExecutionPlan`."""
     if signature.kind not in ("serial", "parallel"):
         raise ArgumentError(
             "compile_plan", "kind",
             f"must be 'serial' or 'parallel', got {signature.kind!r}",
         )
+    cfg = signature.config()
     alpha: Any = 0.0 if signature.alpha_zero else SymScalar("a")
     beta: Any = 0.0 if signature.beta_zero else SymScalar("b")
     if signature.kind == "serial":
         return _compile_serial(
             signature.m, signature.k, signature.n, alpha, beta,
-            signature.cutoff, signature.scheme, signature.peel,
-            signature.dtype, signature.nb, signature.backend, signature,
+            cfg, cfg.scheme, signature.dtype, signature,
         )
     return _prun_mirror(
-        signature.m, signature.k, signature.n, alpha, beta, 1,
-        signature.cutoff, signature.max_parallel_depth, signature.dtype,
-        signature.nb, signature.backend, signature,
+        signature.m, signature.k, signature.n, alpha, beta, 1, 0,
+        cfg, cfg.scheme, signature.max_parallel_depth, signature.dtype,
+        signature,
     )

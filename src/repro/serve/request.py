@@ -28,10 +28,10 @@ import numpy as np
 
 from repro.blas.level3 import DEFAULT_TILE
 from repro.blas.validate import opshape, require_matrix
+from repro.core.config import GemmConfig
 from repro.core.cutoff import CutoffCriterion
-from repro.core.dgefmm import SCHEMES
 from repro.errors import ArgumentError, DimensionError, ServiceTimeout
-from repro.plan.compiler import PlanSignature
+from repro.plan.compiler import signature_for
 
 __all__ = ["GemmFuture", "GemmRequest"]
 
@@ -130,16 +130,9 @@ class GemmRequest:
     ) -> None:
         require_matrix("GemmService.submit", "a", a)
         require_matrix("GemmService.submit", "b", b)
-        if scheme not in SCHEMES:
-            raise ArgumentError(
-                "GemmService.submit", "scheme",
-                f"must be one of {SCHEMES}, got {scheme!r}",
-            )
-        if peel not in ("tail", "head"):
-            raise ArgumentError(
-                "GemmService.submit", "peel",
-                f"must be 'tail' or 'head', got {peel!r}",
-            )
+        # one validation point for all five behaviour knobs
+        cfg = GemmConfig(scheme=scheme, peel=peel, cutoff=cutoff,
+                         nb=nb, backend=backend)
         m, k = opshape(a, transa)
         kb, n = opshape(b, transb)
         if kb != k:
@@ -184,10 +177,9 @@ class GemmRequest:
         if m == 0 or n == 0 or k == 0 or alpha == 0.0:
             self.signature = None
         else:
-            self.signature = PlanSignature(
+            self.signature = signature_for(
                 "serial", m, k, n, self.transa, self.transb,
-                False, beta == 0.0, str(self.dtype), scheme, peel,
-                cutoff, nb, backend,
+                False, beta == 0.0, str(self.dtype), cfg,
             )
 
     def expired(self, now: Optional[float] = None) -> bool:

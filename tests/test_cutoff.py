@@ -111,15 +111,33 @@ class TestTrivial:
 
 
 class TestDepth:
-    def test_counts_levels(self):
+    def test_depth_argument_decides(self):
         c = DepthCutoff(2)
-        assert not c.stop(0, 0, 0)
-        c.descend()
-        assert not c.stop(0, 0, 0)
-        c.descend()
-        assert c.stop(0, 0, 0)
-        c.ascend()
-        assert not c.stop(0, 0, 0)
+        assert not c.stop(0, 0, 0, depth=0)
+        assert not c.stop(0, 0, 0, depth=1)
+        assert c.stop(0, 0, 0, depth=2)
+        assert c.stop(0, 0, 0, depth=3)
+
+    def test_depth_defaults_to_zero(self):
+        assert not DepthCutoff(1).stop(64, 64, 64)
+        assert DepthCutoff(0).stop(64, 64, 64)
+
+    def test_frozen_and_hashable(self):
+        c = DepthCutoff(2)
+        assert c == DepthCutoff(2)
+        assert hash(c) == hash(DepthCutoff(2))
+        with pytest.raises(Exception):
+            c.depth = 3  # frozen dataclass
+
+    def test_descend_ascend_deprecated_noops(self):
+        c = DepthCutoff(2)
+        with pytest.warns(DeprecationWarning):
+            c.descend()
+        with pytest.warns(DeprecationWarning):
+            c.ascend()
+        # no state: the decision still depends only on the argument
+        assert not c.stop(0, 0, 0, depth=1)
+        assert c.stop(0, 0, 0, depth=2)
 
     def test_negative_depth_rejected(self):
         with pytest.raises(ValueError):

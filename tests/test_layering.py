@@ -1,0 +1,104 @@
+"""Layering lint: the import graph must stay acyclic by layer.
+
+The architecture (docs/architecture.md) stacks ``repro.blas`` under
+``repro.core`` under the plan/serve layers.  Lower layers must not
+import upper ones at module scope:
+
+- ``repro.blas`` imports neither ``repro.core``, ``repro.plan`` nor
+  ``repro.serve``;
+- ``repro.core`` never imports ``repro.plan`` or ``repro.serve``.
+
+Function-level (lazy) imports are allowed — the drivers in
+``repro.core`` resolve a plan cache lazily when the caller passes one —
+so the walk inspects *module-level* import statements only: top-level
+``import``/``from`` nodes, including those nested in module-level
+``if``/``try`` blocks, but nothing inside a function or class body.
+"""
+
+import ast
+from pathlib import Path
+
+import pytest
+
+SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+#: lower layer -> prefixes it must never import at module scope
+#: (repro.blas.level3_fast deliberately builds SYRK/TRMM on top of the
+#: core driver, so repro.core is not forbidden to blas — only the
+#: plan/serve layers are above both.)
+FORBIDDEN = {
+    "repro.blas": ("repro.plan", "repro.serve"),
+    "repro.core": ("repro.plan", "repro.serve"),
+}
+
+
+def _module_name(path: Path) -> str:
+    rel = path.relative_to(SRC.parent)
+    parts = list(rel.with_suffix("").parts)
+    if parts[-1] == "__init__":
+        parts.pop()
+    return ".".join(parts)
+
+
+def _module_level_imports(tree: ast.Module):
+    """Imported module names reachable without entering any function or
+    class body (module-level if/try blocks still count)."""
+    stack = list(tree.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                yield alias.name
+        elif isinstance(node, ast.ImportFrom):
+            if node.module and node.level == 0:
+                yield node.module
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                               ast.ClassDef)):
+            continue
+        elif hasattr(node, "body"):
+            for field in ("body", "orelse", "finalbody", "handlers"):
+                for child in getattr(node, field, []):
+                    stack.append(child)
+
+
+def _violations(layer: str, forbidden) -> list:
+    out = []
+    pkg_dir = SRC.parent / Path(*layer.split("."))
+    for path in sorted(pkg_dir.rglob("*.py")):
+        tree = ast.parse(path.read_text(), filename=str(path))
+        for name in _module_level_imports(tree):
+            if any(name == f or name.startswith(f + ".")
+                   for f in forbidden):
+                out.append((_module_name(path), name))
+    return out
+
+
+@pytest.mark.parametrize("layer", sorted(FORBIDDEN))
+def test_layer_imports(layer):
+    bad = _violations(layer, FORBIDDEN[layer])
+    assert not bad, (
+        f"{layer} must not import upper layers at module scope: {bad}"
+    )
+
+
+def test_lazy_plan_imports_exist_below_function_scope():
+    """Sanity check on the lint itself: the serial/parallel drivers DO
+    import repro.plan lazily inside functions — the module-scope walk
+    must not flag them, and a full-tree walk must find them (proving
+    the lint is looking at the right granularity, not at nothing)."""
+    flagged = _violations("repro.core", ("repro.plan",))
+    assert flagged == []
+
+    deep = set()
+    for name in ("dgefmm", "parallel"):
+        path = SRC / "core" / f"{name}.py"
+        tree = ast.parse(path.read_text(), filename=str(path))
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.module:
+                deep.add(node.module)
+    assert any(m.startswith("repro.plan") for m in deep)
+
+
+def test_every_layer_directory_exists():
+    for layer in ("blas", "core", "plan", "serve"):
+        assert (SRC / layer).is_dir(), f"src/repro/{layer} missing"

@@ -113,10 +113,168 @@ class TestStructure:
         with pytest.raises(DimensionError):
             pdgefmm(a, a, a.copy(order="F"), max_parallel_depth=0)
 
-    def test_stateful_cutoff_rejected(self):
+    def test_bad_scheme_rejected(self):
         a = np.zeros((16, 16), order="F")
         with pytest.raises(ArgumentError):
-            pdgefmm(a, a, a.copy(order="F"), cutoff=DepthCutoff(2))
+            pdgefmm(a, a, a.copy(order="F"), scheme="nope")
+
+    def test_bad_peel_rejected(self):
+        a = np.zeros((16, 16), order="F")
+        with pytest.raises(ArgumentError):
+            pdgefmm(a, a, a.copy(order="F"), peel="middle")
+
+
+class TestDepthCutoff:
+    """DepthCutoff is frozen now (depth rides the traversal, not the
+    criterion), so the parallel driver accepts it — with exactly the
+    serial driver's recursion structure."""
+
+    @pytest.mark.parametrize("limit,expected", [(1, 7), (2, 49), (3, 343)])
+    def test_exact_kernel_counts(self, rng, limit, expected):
+        m = 64
+        a = np.asfortranarray(rng.standard_normal((m, m)))
+        b = np.asfortranarray(rng.standard_normal((m, m)))
+        ctx = ExecutionContext()
+        pdgefmm(a, b, np.zeros((m, m), order="F"),
+                cutoff=DepthCutoff(limit), ctx=ctx, workers=7)
+        assert ctx.kernel_calls["dgemm"] == expected
+
+    @pytest.mark.parametrize("pdepth", [1, 2])
+    def test_counts_match_serial(self, rng, pdepth):
+        """Serial subtrees below the parallel region continue at their
+        true depth, so DepthCutoff sees one consistent recursion."""
+        m = 96
+        a = np.asfortranarray(rng.standard_normal((m, m)))
+        b = np.asfortranarray(rng.standard_normal((m, m)))
+        crit = DepthCutoff(3)
+        ctx_s = ExecutionContext()
+        dgefmm(a, b, np.zeros((m, m), order="F"), cutoff=crit, ctx=ctx_s)
+        ctx_p = ExecutionContext()
+        pdgefmm(a, b, np.zeros((m, m), order="F"), cutoff=crit,
+                ctx=ctx_p, workers=14, max_parallel_depth=pdepth)
+        assert ctx_p.kernel_calls["dgemm"] == ctx_s.kernel_calls["dgemm"]
+        assert ctx_p.mul_flops == ctx_s.mul_flops
+
+    def test_shared_across_concurrent_calls(self, rng):
+        """One frozen DepthCutoff instance shared by concurrent pdgefmm
+        calls stays correct — the old stateful version could not."""
+        from concurrent.futures import ThreadPoolExecutor
+
+        crit = DepthCutoff(2)
+        m = 48
+        a = np.asfortranarray(rng.standard_normal((m, m)))
+        b = np.asfortranarray(rng.standard_normal((m, m)))
+        expect = a @ b
+
+        def one(_):
+            c = np.zeros((m, m), order="F")
+            ctx = ExecutionContext()
+            pdgefmm(a, b, c, cutoff=crit, ctx=ctx, workers=7)
+            return c, ctx.kernel_calls["dgemm"]
+
+        with ThreadPoolExecutor(max_workers=8) as tp:
+            outs = list(tp.map(one, range(16)))
+        for c, kernels in outs:
+            assert kernels == 49
+            np.testing.assert_allclose(c, expect, atol=1e-10)
+
+
+class TestSchemeParity:
+    """pdgefmm accepts the full serial knob set and its results are
+    bit-identical to the serial driver's structure-compatible paths."""
+
+    @pytest.mark.parametrize("scheme", ["auto", "strassen1",
+                                        "strassen1_general", "strassen2",
+                                        "textbook"])
+    @pytest.mark.parametrize("peel", ["tail", "head"])
+    def test_matches_numpy_all_knobs(self, rng, scheme, peel):
+        m, k, n = 45, 37, 53
+        a = np.asfortranarray(rng.standard_normal((m, k)))
+        b = np.asfortranarray(rng.standard_normal((k, n)))
+        c = np.asfortranarray(rng.standard_normal((m, n)))
+        expect = 0.5 * (a @ b) + 1.5 * c
+        pdgefmm(a, b, c, 0.5, 1.5, cutoff=CUT, scheme=scheme, peel=peel)
+        np.testing.assert_allclose(c, expect, atol=1e-9)
+
+    def test_textbook_falls_back_to_serial_bit_identically(self, rng):
+        m = 40
+        a = np.asfortranarray(rng.standard_normal((m, m)))
+        b = np.asfortranarray(rng.standard_normal((m, m)))
+        c_s = np.zeros((m, m), order="F")
+        c_p = np.zeros((m, m), order="F")
+        dgefmm(a, b, c_s, cutoff=CUT, scheme="textbook")
+        pdgefmm(a, b, c_p, cutoff=CUT, scheme="textbook")
+        assert np.array_equal(c_s, c_p)
+
+    @pytest.mark.parametrize("scheme", ["auto", "strassen1", "strassen2"])
+    def test_kernel_counts_invariant_under_hammer(self, rng, scheme):
+        """8-thread hammer: identical results and counters for every
+        budget, for every scheme (the structure never sees the budget)."""
+        m = 72
+        a = np.asfortranarray(rng.standard_normal((m, m)))
+        b = np.asfortranarray(rng.standard_normal((m, m)))
+        seen = set()
+        outs = []
+        for workers in (1, 8):
+            c = np.asfortranarray(rng.standard_normal((m, m)) * 0 + 1.0)
+            ctx = ExecutionContext()
+            pdgefmm(a, b, c, 0.5, 1.5, cutoff=CUT, scheme=scheme,
+                    ctx=ctx, workers=workers)
+            seen.add((ctx.mul_flops, ctx.add_flops,
+                      tuple(sorted(ctx.kernel_calls.items()))))
+            outs.append(c)
+        assert len(seen) == 1
+        assert np.array_equal(outs[0], outs[1])
+
+    @pytest.mark.parametrize("scheme,peel", [("auto", "tail"),
+                                             ("strassen1", "head"),
+                                             ("strassen2", "tail"),
+                                             ("textbook", "tail")])
+    def test_bit_determinism_under_hammer(self, rng, scheme, peel):
+        """8 concurrent calls with the same knobs produce bit-identical
+        outputs: the thread schedule never reorders the arithmetic."""
+        from concurrent.futures import ThreadPoolExecutor
+
+        m, k, n = 51, 43, 49
+        a = np.asfortranarray(rng.standard_normal((m, k)))
+        b = np.asfortranarray(rng.standard_normal((k, n)))
+        c0 = np.asfortranarray(rng.standard_normal((m, n)))
+
+        def one(_):
+            c = c0.copy(order="F")
+            pdgefmm(a, b, c, 0.5, 1.5, cutoff=CUT, scheme=scheme,
+                    peel=peel, workers=8)
+            return c
+
+        with ThreadPoolExecutor(max_workers=8) as tp:
+            outs = list(tp.map(one, range(8)))
+        for c in outs[1:]:
+            assert np.array_equal(outs[0], c)
+        # textbook has no parallel level: bit-identical to serial dgefmm
+        if scheme == "textbook":
+            c_s = c0.copy(order="F")
+            dgefmm(a, b, c_s, 0.5, 1.5, cutoff=CUT, scheme=scheme,
+                   peel=peel)
+            assert np.array_equal(outs[0], c_s)
+
+    def test_backend_kwarg_accepted(self, rng):
+        m = 48
+        a = np.asfortranarray(rng.standard_normal((m, m)))
+        b = np.asfortranarray(rng.standard_normal((m, m)))
+        c = np.zeros((m, m), order="F")
+        pdgefmm(a, b, c, cutoff=CUT, backend="vendor")
+        np.testing.assert_allclose(c, a @ b, atol=1e-10)
+
+    def test_head_peel_matches_tail_numerically(self, rng):
+        m, k, n = 33, 35, 37
+        a = np.asfortranarray(rng.standard_normal((m, k)))
+        b = np.asfortranarray(rng.standard_normal((k, n)))
+        c_t = np.zeros((m, n), order="F")
+        c_h = np.zeros((m, n), order="F")
+        pdgefmm(a, b, c_t, cutoff=CUT, peel="tail")
+        pdgefmm(a, b, c_h, cutoff=CUT, peel="head")
+        np.testing.assert_allclose(c_t, a @ b, atol=1e-9)
+        np.testing.assert_allclose(c_h, a @ b, atol=1e-9)
 
 
 class TestMultiLevel:

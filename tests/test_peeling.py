@@ -5,7 +5,8 @@ import pytest
 
 from repro.blas.level3 import dgemm
 from repro.context import ExecutionContext
-from repro.core.peeling import apply_fixups, fixup_ops, peel_split
+from repro.core.peeling import apply_fixups, fixup_ops
+from repro.core.traversal import peel_split
 
 
 class TestPeelSplit:
