@@ -1,9 +1,15 @@
-"""Section 2 analysis: operation-count model headline numbers."""
+"""Section 2 analysis: operation-count model headline numbers,
+extended with the per-scheme executed-schedule counts of the registry
+families (the ⟨m̄,k̄,n̄;R⟩ generalization)."""
 
 import pytest
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import emit, emit_json
+from repro.core.cutoff import DepthCutoff
+from repro.core.opcount import scheme_ops, standard_ops
+from repro.core.schemes import LEVELS, SCHEME_DISPATCH, SCHEME_NAMES
 from repro.harness import experiments as E
+from repro.utils.tables import format_table
 
 
 def test_section2_opcounts(benchmark):
@@ -19,3 +25,50 @@ def test_section2_opcounts(benchmark):
     assert d["winograd_improvement_full"] == pytest.approx(0.143, abs=0.001)
     assert d["winograd_improvement_m7"] == pytest.approx(0.0526, abs=0.0005)
     assert d["winograd_improvement_m12"] == pytest.approx(0.0345, abs=0.0005)
+
+    # per-scheme executed-schedule counts at two recursion depths, on a
+    # divisor-exact order per family (2^d*q for the 2x2 schemes, 3^d*q
+    # for Laderman) — the ratio to the standard algorithm exposes each
+    # scheme's multiply saving (7/8 per 2x2 level, 23/27 per 3x3 level)
+    rows = []
+    for scheme in SCHEME_NAMES:
+        (lvl_b0, _), _ = SCHEME_DISPATCH[scheme]
+        r = LEVELS[lvl_b0]
+        base = 2 if r != 23 else 3
+        for depth in (1, 2):
+            size = base**depth * 12
+            std = standard_ops(size, size, size)
+            for beta_zero in (True, False):
+                ops = scheme_ops(size, size, size, scheme,
+                                 DepthCutoff(depth), beta_zero=beta_zero)
+                rows.append({
+                    "scheme": scheme, "r": r, "depth": depth,
+                    "order": size, "beta_zero": beta_zero,
+                    "ops": ops, "vs_standard": ops / std,
+                })
+    emit(
+        "Executed-schedule op counts per registry scheme",
+        format_table(
+            ["scheme", "R", "depth", "order", "beta=0", "ops",
+             "vs standard"],
+            [
+                (w["scheme"], str(w["r"]), str(w["depth"]),
+                 str(w["order"]), str(w["beta_zero"]),
+                 f"{w['ops']:.3e}", f"{w['vs_standard']:.4f}")
+                for w in rows
+            ],
+        ),
+    )
+    emit_json("opcount", {"depths": [1, 2], "q": 12}, rows,
+              section2={k: v for k, v in d.items() if k != "paper"})
+
+    by = {(w["scheme"], w["depth"], w["beta_zero"]): w for w in rows}
+    # every scheme's depth-2 recursion beats the standard multiply count
+    for scheme in SCHEME_NAMES:
+        assert by[(scheme, 2, True)]["vs_standard"] < 1.0, scheme
+    # Laderman saves (23/27)^d multiplies, less than 2x2's (7/8)^d
+    assert by[("laderman", 2, True)]["vs_standard"] > \
+        by[("auto", 2, True)]["vs_standard"]
+    # BDPZ pays extra additions versus the two-temporary auto schedule
+    # in exchange for its flat 2/3 m^2 workspace bound
+    assert by[("bdpz", 2, False)]["ops"] >= by[("auto", 2, False)]["ops"]

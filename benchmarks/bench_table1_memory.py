@@ -2,7 +2,7 @@
 
 import pytest
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import emit, emit_json
 from repro.harness import experiments as E
 from repro.utils.tables import format_table
 
@@ -22,6 +22,7 @@ def test_table1_memory(benchmark):
             ],
         ),
     )
+    emit_json("table1_memory", {"m": 2048, "tau": 64}, rows)
     by = {r["implementation"]: r for r in rows}
     # our codes measure exactly the paper's coefficients
     assert by["DGEFMM"]["beta0"] == pytest.approx(2 / 3, abs=0.01)
@@ -33,3 +34,9 @@ def test_table1_memory(benchmark):
     # general case is 40+% below DGEMMW and 57+% below the CRAY scheme
     assert by["DGEFMM"]["general"] <= 0.62 * by["DGEMMW"]["general"]
     assert by["DGEFMM"]["general"] <= 0.43 * by["CRAY SGEMMS"]["general"]
+    # the BDPZ schedule (arXiv:0707.2347) holds the beta = 0 bound in
+    # *both* scalar classes — strictly below every general-case row,
+    # including STRASSEN2's 1.0
+    assert by["BDPZ"]["beta0"] == pytest.approx(2 / 3, abs=0.01)
+    assert by["BDPZ"]["general"] == pytest.approx(2 / 3, abs=0.01)
+    assert by["BDPZ"]["general"] < by["STRASSEN2"]["general"]

@@ -403,12 +403,14 @@ def _cmd_fuzz(args) -> int:
         replay=replay,
         failures_path=args.failures,
         progress=progress,
+        scheme=args.scheme or None,
     )
     if args.json:
         _print_bench_json(
             "fuzz",
             {"cases": args.cases, "seed": args.seed,
-             "max_dim": args.max_dim, "replay": args.replay or None},
+             "max_dim": args.max_dim, "replay": args.replay or None,
+             "scheme": args.scheme or None},
             [report.to_dict()],
         )
         return 0 if report.ok else 1
@@ -515,6 +517,8 @@ def _cmd_selftest(args) -> int:
 
 
 def main(argv=None) -> int:
+    from repro.core.schemes import SCHEME_NAMES
+
     ap = argparse.ArgumentParser(prog="python -m repro", description=__doc__)
     sub = ap.add_subparsers(dest="command", required=True)
 
@@ -570,9 +574,7 @@ def main(argv=None) -> int:
     p.add_argument("--m", type=int, default=None)
     p.add_argument("--k", type=int, default=None)
     p.add_argument("--n", type=int, default=None)
-    p.add_argument("--scheme", default="auto",
-                   choices=["auto", "strassen1", "strassen1_general",
-                            "strassen2", "textbook"])
+    p.add_argument("--scheme", default="auto", choices=list(SCHEME_NAMES))
     p.add_argument("--peel", default="tail", choices=["tail", "head"])
     p.add_argument("--cutoff", type=int, default=32,
                    help="SimpleCutoff tau for the compiled signature")
@@ -611,6 +613,10 @@ def main(argv=None) -> int:
                         "drawing (as written by --failures)")
     p.add_argument("--failures", default="",
                    help="append divergent cases to this JSON-lines file")
+    p.add_argument("--scheme", default="",
+                   choices=[""] + list(SCHEME_NAMES),
+                   help="pin every case to one scheme (per-scheme CI "
+                        "smoke lanes); default: draw schemes per case")
     p.add_argument("--json", action="store_true",
                    help="emit the benchmark-schema JSON document")
     p.set_defaults(fn=_cmd_fuzz)

@@ -1,0 +1,103 @@
+"""BDPZ — the two-temporary accumulating Winograd schedule.
+
+Boyer, Dumas, Pernet and Zhou ("Memory efficient scheduling of
+Strassen-Winograd's matrix multiplication algorithm", arXiv:0707.2347)
+show that the accumulating product ``C <- alpha*A*B + beta*C`` admits a
+Winograd schedule using only two temporaries — one m/2 x k/2 block (X)
+and one k/2 x n/2 block (Y) — with *no* m/2 x n/2 product temporary.
+Per level that is ``(mk + kn)/4`` extra elements, so the recursion-wide
+bound is ``(mk + kn)/3`` — ``2m^2/3`` for square operands, strictly
+below STRASSEN2's ``m^2`` (paper Table 1) even though, unlike
+STRASSEN1's two-temporary variant, the schedule handles *general* beta.
+The trick: the four quadrants of C absorb the seven products in place.
+
+With ``f_ij := beta*C_ij + alpha*P1`` the recombination is rearranged
+around P1 (which every quadrant consumes): the schedule first forms
+``C_ij - C11`` differences, computes P1 into C11, broadcasts
+``f_ij``, then drips P6, P7, P4, P5, P3 and P2 into the quadrants in an
+order whose partial sums never need a scratch block.  All seven
+recursive products accumulate into live destinations (beta = 1 children
+except P1, which inherits the caller's scalar class) — the
+beta-accumulating form is exactly what BDPZ optimise for.
+
+When ``beta == 0`` the three initial difference AXPBYs vanish (C's
+prior content is dead) and the ``f_ij`` broadcasts become overwriting
+copies: 21 block additions instead of 24.  Both counts are pinned in
+:data:`repro.core.schemes.LEVEL_PROFILE` and cross-checked against
+compiled-plan traces by the conformance harness.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.blas.addsub import NUMERIC_KERNELS, BlockKernels
+from repro.context import ExecutionContext
+from repro.core.workspace import Workspace
+
+__all__ = ["bdpz_level"]
+
+RecurseFn = Callable[[Any, Any, Any, float, float], None]
+
+
+def bdpz_level(
+    a: Any,
+    b: Any,
+    c: Any,
+    alpha: float,
+    beta: float,
+    *,
+    ctx: ExecutionContext,
+    ws: Workspace,
+    recurse: RecurseFn,
+    kernels: Optional[BlockKernels] = None,
+) -> None:
+    """One BDPZ level of ``C <- alpha*A*B + beta*C``; even dims."""
+    em = kernels if kernels is not None else NUMERIC_KERNELS
+    m, k = a.shape
+    n = b.shape[1]
+    hm, hk, hn = m // 2, k // 2, n // 2
+
+    a11, a12, a21, a22 = a[:hm, :hk], a[:hm, hk:], a[hm:, :hk], a[hm:, hk:]
+    b11, b12, b21, b22 = b[:hk, :hn], b[:hk, hn:], b[hk:, :hn], b[hk:, hn:]
+    c11, c12, c21, c22 = c[:hm, :hn], c[:hm, hn:], c[hm:, :hn], c[hm:, hn:]
+
+    dt = getattr(c, "dtype", None) or "float64"
+    with ws.frame():
+        x = ws.alloc(hm, hk, dt)
+        y = ws.alloc(hk, hn, dt)
+
+        if beta != 0.0:
+            # pre-difference against C11 so the f_ij broadcasts below
+            # can reuse beta uniformly (C11 is about to be clobbered)
+            em.axpby(-1.0, c11, 1.0, c12, ctx=ctx)   # C12 - C11
+            em.axpby(-1.0, c11, 1.0, c21, ctx=ctx)   # C21 - C11
+            em.axpby(-1.0, c11, 1.0, c22, ctx=ctx)   # C22 - C11
+        recurse(a11, b11, c11, alpha, beta)       # c11 = f11 := bC11+aP1
+        em.axpby(1.0, c11, beta, c12, ctx=ctx)       # c12 = f12
+        em.axpby(1.0, c11, beta, c21, ctx=ctx)       # c21 = f21
+        em.axpby(1.0, c11, beta, c22, ctx=ctx)       # c22 = f22
+        recurse(a12, b21, c11, alpha, 1.0)        # C11 done (f11 + aP2)
+        em.madd(a21, a22, x, ctx=ctx)                # x = S1
+        em.axpby(-1.0, a11, 1.0, x, ctx=ctx)         # x = S2
+        em.msub(b12, b11, y, ctx=ctx)                # y = T1
+        em.msub(b22, y, y, ctx=ctx)                  # y = T2
+        em.axpby(-1.0, c21, 1.0, c12, ctx=ctx)       # c12 = f12 - f21
+        em.axpby(-1.0, c21, 1.0, c22, ctx=ctx)       # c22 = f22 - f21
+        recurse(x, y, c21, alpha, 1.0)            # c21 = f21 + aP6
+        em.accum(c21, c12, ctx=ctx)                  # c12 = f12 + aP6
+        em.msub(a11, a21, x, ctx=ctx)                # x = S3
+        em.msub(b22, b12, y, ctx=ctx)                # y = T3
+        recurse(x, y, c21, alpha, 1.0)            # c21 = f21 + a(P6+P7)
+        em.accum(c21, c22, ctx=ctx)                  # c22 = f22 + a(P6+P7)
+        em.accum(b11, y, ctx=ctx)                    # y = T2 (= B22-B12+B11)
+        em.msub(y, b21, y, ctx=ctx)                  # y = T4
+        recurse(a22, y, c21, -alpha, 1.0)         # C21 done (.. - aP4)
+        em.madd(a21, a22, x, ctx=ctx)                # x = S1
+        em.msub(b12, b11, y, ctx=ctx)                # y = T1
+        em.axpby(-1.0, c12, 1.0, c22, ctx=ctx)       # c22 = f22-f12 + aP7
+        recurse(x, y, c12, alpha, 1.0)            # c12 = f12 + a(P6+P5)
+        em.accum(c12, c22, ctx=ctx)                  # C22 done
+        em.msub(a11, x, x, ctx=ctx)                  # x = -S2
+        em.accum(a12, x, ctx=ctx)                    # x = S4
+        recurse(x, b22, c12, alpha, 1.0)          # C12 done (.. + aP3)

@@ -24,6 +24,7 @@ from dataclasses import dataclass
 
 from repro.blas.level3 import BACKENDS, DEFAULT_TILE
 from repro.core.cutoff import CutoffCriterion, HybridCutoff
+from repro.core.schemes import SCHEME_NAMES
 from repro.errors import ArgumentError
 
 __all__ = ["GemmConfig", "DEFAULT_CUTOFF", "SCHEMES", "PEELS"]
@@ -34,8 +35,9 @@ __all__ = ["GemmConfig", "DEFAULT_CUTOFF", "SCHEMES", "PEELS"]
 #: machine-specific parameters the way Section 4.2 does.
 DEFAULT_CUTOFF = HybridCutoff(tau=128, tau_m=96, tau_k=96, tau_n=96)
 
-#: Recognised values of the ``scheme`` argument.
-SCHEMES = ("auto", "strassen1", "strassen1_general", "strassen2", "textbook")
+#: Recognised values of the ``scheme`` argument — "auto" plus every
+#: entry of the scheme registry (:mod:`repro.core.schemes`).
+SCHEMES = SCHEME_NAMES
 
 #: Recognised values of the ``peel`` argument.
 PEELS = ("tail", "head")

@@ -57,6 +57,8 @@ from repro.core.peeling import (
     apply_fixups_head,
     core_views,
 )
+from repro.core.bdpz import bdpz_level
+from repro.core.schemes import LEVEL_SCHEME
 from repro.core.strassen1 import (
     strassen1_beta0_level,
     strassen1_general_level,
@@ -64,6 +66,7 @@ from repro.core.strassen1 import (
 from repro.core.strassen2 import strassen2_level
 from repro.core.textbook import textbook_level
 from repro.core.traversal import Base, decide
+from repro.core.uvw import make_uvw_level
 from repro.core.workspace import Workspace
 from repro.errors import DimensionError
 
@@ -72,12 +75,21 @@ __all__ = ["dgefmm", "zgefmm", "DEFAULT_CUTOFF", "SCHEMES", "LEVEL_FNS"]
 #: Schedule functions by traversal level code.  The plan compiler
 #: replays these same functions with recording kernels, so the mapping
 #: is defined once, here, next to the driver that executes them live.
+#: Hand-written schedules first; every registry level without one
+#: (e.g. "l23") gets the generic UVW interpreter built from its
+#: coefficients — a new registry scheme is executable with no driver
+#: change at all.
 LEVEL_FNS = {
     "s1b0": strassen1_beta0_level,
     "s1g": strassen1_general_level,
     "s2": strassen2_level,
     "tb": textbook_level,
+    "bdpz": bdpz_level,
 }
+for _level, _scheme_name in LEVEL_SCHEME.items():
+    if _level not in LEVEL_FNS:
+        LEVEL_FNS[_level] = make_uvw_level(_scheme_name)
+del _level, _scheme_name
 
 
 def dgefmm(
@@ -127,9 +139,13 @@ def dgefmm(
         drops below 2.
     scheme:
         ``"auto"`` (the paper's DGEFMM dispatch: STRASSEN1 when beta = 0,
-        STRASSEN2 otherwise), or force ``"strassen1"``, ``"strassen2"``,
-        or ``"strassen1_general"`` (the general schedule at every level,
-        reproducing Table 1's 2m^2 figure) for study.
+        STRASSEN2 otherwise), or force any registry scheme
+        (:data:`repro.core.schemes.SCHEME_NAMES`): ``"strassen1"``,
+        ``"strassen2"``, ``"strassen1_general"`` (the general schedule
+        at every level, reproducing Table 1's 2m^2 figure),
+        ``"textbook"``, ``"bdpz"`` (the Boyer–Dumas–Pernet–Zhou
+        two-temporary accumulating Winograd schedule), or
+        ``"laderman"`` (the ⟨3,3,3;23⟩ family member) for study.
     peel:
         Odd-dimension peeling side, ``"tail"`` (the paper's: strip the
         last row/column) or ``"head"`` (strip the first) — an alternate
@@ -320,7 +336,9 @@ def _rec(
     ))
 
     if node.peeled:
-        core_a, core_b, core_c = core_views(a, b, c, cfg.peel)
+        core_a, core_b, core_c = core_views(
+            a, b, c, cfg.peel, node.divisors
+        )
     else:
         core_a, core_b, core_c = a, b, c
 
@@ -339,6 +357,8 @@ def _rec(
 
     if node.peeled:
         if cfg.peel == "tail":
-            apply_fixups(a, b, c, alpha, beta, ctx=ctx)
+            apply_fixups(a, b, c, alpha, beta, ctx=ctx,
+                         divisors=node.divisors)
         else:
-            apply_fixups_head(a, b, c, alpha, beta, ctx=ctx)
+            apply_fixups_head(a, b, c, alpha, beta, ctx=ctx,
+                              divisors=node.divisors)

@@ -33,6 +33,7 @@ __all__ = [
     "winograd_square_ops",
     "strassen_square_ops",
     "strassen_ops",
+    "scheme_ops",
     "theoretical_square_cutoff",
     "winograd_vs_strassen_limit",
     "cutoff_improvement_square",
@@ -150,6 +151,57 @@ def strassen_ops(
         )
 
     return w(m, k, n, 0)
+
+
+def scheme_ops(
+    m: int,
+    k: int,
+    n: int,
+    scheme: str = "auto",
+    criterion: Optional[CutoffCriterion] = None,
+    *,
+    beta_zero: bool = True,
+) -> float:
+    """Exact op count of the schedule DGEFMM *executes* for ``scheme``.
+
+    Unlike :func:`strassen_ops` (the paper's eq. 2, which models the
+    textbook 15-add Winograd recombination), this walks the shared
+    traversal kernel (:func:`repro.core.traversal.decide`) and charges
+    each node with its level's *executed* block-addition profile
+    (:data:`repro.core.schemes.LEVEL_PROFILE`) — so the figure equals,
+    exactly, the ``mul + add`` flop tallies of a compiled plan or a live
+    instrumented run on divisor-exact dimensions.  Works for every
+    registry scheme (including non-2x2 families such as ⟨3,3,3;23⟩)
+    with zero per-scheme code.
+
+    ``beta_zero`` selects the scalar class of the *top* call; children's
+    classes follow each level's schedule (a profile entry of ``None``
+    inherits the caller's class).  Like :func:`strassen_ops`, peeled
+    execution is measured, not modeled: a node with non-divisible
+    dimensions is charged at the standard-algorithm cost.
+    """
+    crit = criterion if criterion is not None else TheoreticalCutoff()
+    from repro.core.schemes import LEVEL_PROFILE
+    from repro.core.traversal import Base, decide
+
+    def w(m_: int, k_: int, n_: int, depth: int,
+          sch: str, b0: bool) -> float:
+        node = decide(m_, k_, n_, depth, sch, b0, crit)
+        if isinstance(node, Base) or node.peeled:
+            return standard_ops(m_, k_, n_)
+        prof = LEVEL_PROFILE[node.level]
+        hm, hk, hn = node.child_dims
+        cost = (
+            prof.a_adds * add_ops(hm, hk)
+            + prof.b_adds * add_ops(hk, hn)
+            + prof.c_adds(b0) * add_ops(hm, hn)
+        )
+        for cls in prof.child_classes:
+            cost += w(hm, hk, hn, depth + 1, node.child_scheme,
+                      b0 if cls is None else cls)
+        return cost
+
+    return w(m, k, n, 0, scheme, beta_zero)
 
 
 def theoretical_square_cutoff() -> int:

@@ -13,10 +13,12 @@ driver, the plan compiler and the analytics consume — so the parallel
 recursion's *structure* is identical to the serial driver's for the same
 :class:`~repro.core.config.GemmConfig`.  The parallel level always
 materializes the seven Winograd products (one fixed schedule regardless
-of which serial schedule — two-temporary, six-temporary, or
-multiply-accumulate — would have run the node); the ``textbook`` scheme
-uses a different combine tree and therefore runs serially so its bits
-match the serial driver exactly.
+of which serial schedule — two-temporary, six-temporary,
+multiply-accumulate, or BDPZ — would have run the node); levels whose
+bilinear form is *not* the seven Winograd products
+(:data:`PARALLEL_LEVELS` is the allow-list — ``textbook`` and the
+⟨3,3,3;23⟩ Laderman level are outside it) run serially so their
+results match the serial driver exactly.
 
 **Multi-level parallelism.**  The engine recurses parallel levels under a
 bounded *worker budget* instead of hard-stopping at one level: a call
@@ -88,12 +90,19 @@ from repro.core.traversal import Base, decide
 from repro.core.workspace import Workspace
 from repro.errors import DimensionError
 
-__all__ = ["pdgefmm", "parallel_arena_count"]
+__all__ = ["pdgefmm", "parallel_arena_count", "PARALLEL_LEVELS"]
+
+#: Level codes the fixed parallel schedule can host: every schedule whose
+#: bilinear form is the seven Winograd products.  Other levels (textbook's
+#: eight-product combine, Laderman's 23-product ⟨3,3,3⟩) fall back to the
+#: serial driver — the plan compiler's parallel mirror consults the same
+#: set so compiled replay keeps the identical structure.
+PARALLEL_LEVELS = frozenset({"s1b0", "s1g", "s2", "bdpz"})
 
 
-def _split_budget(budget: int) -> tuple:
+def _split_budget(budget: int, r: int = 7) -> tuple:
     """(threads at this level, budget inherited by each product)."""
-    t = min(budget, 7)
+    t = min(budget, r)
     return t, max(1, budget // t)
 
 
@@ -242,10 +251,11 @@ def pdgefmm(
     :class:`~repro.core.config.GemmConfig`.  The driver accepts the full
     serial knob set — ``cutoff``, ``scheme``, ``peel``, ``nb``,
     ``backend`` — and produces bit-identical results to
-    :func:`~repro.core.dgefmm.dgefmm` with the same knobs.  The
-    ``textbook`` scheme (whose 15-add combine tree the fixed parallel
-    schedule cannot reproduce) and any call whose top-level decision is
-    a base case fall back to the serial driver.  Depth-sensitive cutoff
+    :func:`~repro.core.dgefmm.dgefmm` with the same knobs.  Schemes
+    whose level is outside :data:`PARALLEL_LEVELS` (``textbook``'s
+    15-add combine tree, ``laderman``'s 23-product ⟨3,3,3⟩ partition)
+    and any call whose top-level decision is a base case fall back to
+    the serial driver.  Depth-sensitive cutoff
     criteria (e.g. :class:`~repro.core.cutoff.DepthCutoff`) are fully
     supported: the traversal passes the current depth to ``stop`` at
     every node, so the criterion stays frozen and shareable across the
@@ -331,10 +341,10 @@ def pdgefmm(
         return c
 
     node = decide(m, k, n, 0, cfg.scheme, beta == 0.0, cfg.cutoff)
-    if isinstance(node, Base) or node.level == "tb":
+    if isinstance(node, Base) or node.level not in PARALLEL_LEVELS:
         # Serial fallback: the cutoff declined the top-level recursion,
-        # or the scheme's level (textbook) combines products in an order
-        # the fixed parallel schedule cannot mirror bit-for-bit.
+        # or the scheme's level computes products the fixed
+        # seven-product parallel schedule cannot mirror.
         # Pool-aware workspace acquisition
         # happens inside dgefmm.
         if workspace is not None:
@@ -385,7 +395,7 @@ def _prun(
         _scale_only(c, beta, ctx)
         return 0
     node = decide(m, k, n, depth, scheme, beta == 0.0, cfg.cutoff)
-    if isinstance(node, Base) or node.level == "tb":
+    if isinstance(node, Base) or node.level not in PARALLEL_LEVELS:
         with _job_arena(pool) as ws:
             _rec(a, b, c, alpha, beta, depth, cfg, scheme, ctx, ws)
             return ws.peak_bytes
@@ -396,7 +406,8 @@ def _prun(
         ws, pooled = _checkout_or_local(pool)
     try:
         core_a, core_b, core_c = (
-            core_views(a, b, c, cfg.peel) if node.peeled else (a, b, c)
+            core_views(a, b, c, cfg.peel, node.divisors)
+            if node.peeled else (a, b, c)
         )
         charge = _parallel_level(
             core_a, core_b, core_c, alpha, beta, budget, level, max_depth,
@@ -404,9 +415,11 @@ def _prun(
         )
         if node.peeled:
             if cfg.peel == "tail":
-                apply_fixups(a, b, c, alpha, beta, ctx=ctx)
+                apply_fixups(a, b, c, alpha, beta, ctx=ctx,
+                             divisors=node.divisors)
             else:
-                apply_fixups_head(a, b, c, alpha, beta, ctx=ctx)
+                apply_fixups_head(a, b, c, alpha, beta, ctx=ctx,
+                                  divisors=node.divisors)
     except BaseException:
         if pooled:
             pool.release(ws)

@@ -79,30 +79,31 @@ def workspace_bound_bytes(
     scheme: str = "strassen2",
     dtype=np.float64,
 ) -> int:
-    """Table 1 workspace bound, in bytes, for an m-by-k times k-by-n GEMM.
+    """Recursion-wide workspace bound, in bytes, for one m x k x n GEMM.
 
-    ``scheme`` is one of the serial schedules (``"strassen2"``,
-    ``"strassen1"`` i.e. the beta = 0 variant, ``"strassen1_general"``)
-    or ``"parallel"`` — one task-parallel level (all four S, four T and
+    ``scheme`` is any registry scheme name — the per-scheme element
+    bounds (the paper's Table 1 figures, plus the registered non-2x2
+    families) live in :func:`repro.core.schemes.bound_elements` — or
+    ``"parallel"``: one task-parallel level (all four S, four T and
     seven quarter-size P blocks live at once) on top of a STRASSEN2
     recursion inside each product.  The figure includes alignment slack
     for the bump allocator, so an arena hinted with it never regrows.
     """
-    mkn = max(m * k, 1), max(k * n, 1), max(m * n, 1)
-    mk, kn, mn = mkn
-    if scheme == "strassen2":
-        elems = (mk + kn + mn) / 3.0
-    elif scheme == "strassen1":
-        elems = (m * max(k, n) + kn) / 3.0
-    elif scheme == "strassen1_general":
-        elems = (4 * mn + m * max(k, n) + kn) / 3.0
-    elif scheme == "parallel":
+    if scheme == "parallel":
+        mk, kn, mn = max(m * k, 1), max(k * n, 1), max(m * n, 1)
         # one level: S blocks (4 * mk/4) + T blocks (4 * kn/4) + seven
         # P blocks (7 * mn/4); each product then runs STRASSEN2 at
         # half size inside its own arena, which is sized separately.
         elems = mk + kn + 7 * mn / 4.0
     else:
-        raise WorkspaceError(f"unknown workspace bound scheme {scheme!r}")
+        from repro.core.schemes import bound_elements
+
+        try:
+            elems = bound_elements(scheme, m, k, n)
+        except KeyError:
+            raise WorkspaceError(
+                f"unknown workspace bound scheme {scheme!r}"
+            ) from None
     itemsize = np.dtype(dtype).itemsize
     # the recursion allocates O(log) temporaries per level; 64 B of
     # alignment slack each is covered comfortably by one extra KiB plus

@@ -37,9 +37,10 @@ def recursion_profile(
     "peel": #peeled nodes, "max_depth": deepest base level,
     "mul_flops": scalar multiplies of all base cases (the Strassen
     currency; fix-up multiplies excluded), "base_shapes": {shape:
-    count}}``.  ``scheme`` matters only for ``"textbook"``, whose levels
-    spawn eight products instead of seven; the Winograd schedules share
-    one recursion structure.  (The structure is beta-independent, so the
+    count}}``.  ``scheme`` selects the registry family: each node fans
+    out into its level's product count (7 for the Winograd schedules,
+    8 for textbook, 23 for ⟨3,3,3;23⟩ Laderman) over that level's
+    partition shape.  (The structure is beta-independent, so the
     profile holds for every scalar class.)
     """
     crit = criterion if criterion is not None else DEFAULT_CUTOFF

@@ -1,0 +1,470 @@
+"""Declarative registry of bilinear matrix-multiplication schemes.
+
+A fast matrix-multiplication *scheme* is a bilinear algorithm
+⟨mbar, kbar, nbar; R⟩: partition A into an mbar x kbar grid of blocks,
+B into kbar x nbar, C into mbar x nbar, and compute the mbar*kbar*nbar
+block products of the standard algorithm with only ``R`` recursive
+multiplies.  Three coefficient matrices define the algorithm::
+
+    S_r = sum_j U[r][j] * A_j          (R linear combinations of A blocks)
+    T_r = sum_l V[r][l] * B_l          (R linear combinations of B blocks)
+    C_i = sum_r W[i][r] * S_r * T_r    (block products recombined into C)
+
+with blocks flattened row-major (``A_(i,j) -> i*kbar + j`` and so on).
+Strassen/Winograd is ⟨2,2,2;7⟩; Laderman's construction is ⟨3,3,3;23⟩.
+
+This module is *pure data* — no numpy, no BLAS — so the traversal core,
+the op-count models, and the workspace-bound arithmetic can all consume
+it without dragging in execution machinery.  Each entry is validated at
+registration by the exact integer bilinear identity
+
+    sum_r W[c(i,p)][r] * U[r][a(i',j')] * V[r][b(j'',p')]
+        == 1  iff  i' == i and p' == p and j' == j''   (else 0)
+
+over every index combination — a scheme that multiplies *any* matrix
+wrong cannot enter the registry, and the conformance harness
+(``tests/test_scheme_conformance.py``) exercises every entry end to end
+with zero per-scheme test code.
+
+Three derived vocabularies are built from the registry:
+
+- ``LEVELS`` / ``LEVEL_DIVISORS`` — per *level code* (the schedule the
+  drivers execute): recursive product count and partition divisors.
+  One scheme may own several level codes (the beta = 0 and general
+  schedules of STRASSEN1 differ), and several schemes may share one
+  UVW (all four 2x2 schedules compute the same seven Winograd
+  products).
+- ``LEVEL_PROFILE`` — the block-addition counts and per-child beta
+  classes of each level's *executed schedule*, the currency of
+  ``opcount.scheme_ops`` and ``models.predict``.  Hand schedules carry
+  hand-audited profiles; levels executed by the generic interpreter
+  (:mod:`repro.core.uvw`) derive theirs from the coefficients via
+  :func:`uvw_profile`, so the two can never drift.
+- ``SCHEME_DISPATCH`` — scheme name -> per-beta-class (level code,
+  child scheme), consumed by ``traversal.pick_level``.  ``"auto"`` is a
+  dispatch alias (the paper's DGEFMM scheme selection), not a registry
+  entry.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+__all__ = [
+    "Scheme",
+    "LevelProfile",
+    "REGISTRY",
+    "SCHEME_NAMES",
+    "LEVELS",
+    "LEVEL_DIVISORS",
+    "LEVEL_PROFILE",
+    "LEVEL_SCHEME",
+    "SCHEME_DISPATCH",
+    "get_scheme",
+    "register",
+    "validate_scheme",
+    "uvw_profile",
+    "bound_elements",
+]
+
+Matrix = Tuple[Tuple[int, ...], ...]
+
+
+@dataclass(frozen=True)
+class Scheme:
+    """One bilinear ⟨mbar, kbar, nbar; R⟩ algorithm plus its dispatch.
+
+    ``u`` is R x (mbar*kbar), ``v`` is R x (kbar*nbar), ``w`` is
+    (mbar*nbar) x R, all entries in {-1, 0, +1}.  ``levels`` names the
+    schedule executed for the (beta = 0, general) scalar classes;
+    ``children`` the scheme the recursive products of each class carry.
+    """
+
+    name: str
+    mbar: int
+    kbar: int
+    nbar: int
+    r: int
+    u: Matrix
+    v: Matrix
+    w: Matrix
+    levels: Tuple[str, str]
+    children: Tuple[str, str]
+
+
+@dataclass(frozen=True)
+class LevelProfile:
+    """Block-addition counts of one level's executed schedule.
+
+    ``a_adds``/``b_adds`` count (mp/mbar x kp/kbar)- and (kp/kbar x
+    np/nbar)-shaped additions; ``c_adds_*`` the (mp/mbar x np/nbar)-
+    shaped ones, which may differ between the beta = 0 and general
+    schedules.  ``child_classes`` gives each recursive product's beta
+    class in schedule order: True = beta 0, False = general, None =
+    inherits the caller's class.
+    """
+
+    a_adds: int
+    b_adds: int
+    c_adds_beta0: int
+    c_adds_general: int
+    child_classes: Tuple[Optional[bool], ...]
+
+    def c_adds(self, beta_zero: bool) -> int:
+        return self.c_adds_beta0 if beta_zero else self.c_adds_general
+
+
+# ---------------------------------------------------------------------- #
+# coefficient parsing: "-a11+a21+a22" style expressions keep the tables
+# reviewable against the literature; a typo fails the identity check.
+_TERM = re.compile(r"([+-])([abm])(\d+)")
+
+
+def _parse_row(expr: str, kind: str, rows: int, cols: int) -> Tuple[int, ...]:
+    terms = _TERM.findall(expr)
+    if "".join(s + k + d for s, k, d in terms) != expr:
+        raise ValueError(f"unparseable coefficient expression {expr!r}")
+    out = [0] * (rows * cols)
+    for sign, k, digits in terms:
+        if k != kind:
+            raise ValueError(f"expected {kind!r} terms in {expr!r}")
+        i, j = int(digits[0]) - 1, int(digits[1]) - 1
+        out[i * cols + j] += 1 if sign == "+" else -1
+    return tuple(out)
+
+
+def _parse_products(spec, mbar: int, kbar: int, nbar: int):
+    u, v = [], []
+    for a_expr, b_expr in spec:
+        u.append(_parse_row(a_expr, "a", mbar, kbar))
+        v.append(_parse_row(b_expr, "b", kbar, nbar))
+    return tuple(u), tuple(v)
+
+
+def _parse_combos(spec, r: int, mbar: int, nbar: int) -> Matrix:
+    w = []
+    for expr in spec:
+        terms = _TERM.findall(expr)
+        if "".join(s + k + d for s, k, d in terms) != expr:
+            raise ValueError(f"unparseable combination {expr!r}")
+        row = [0] * r
+        for sign, k, digits in terms:
+            if k != "m":
+                raise ValueError(f"expected m-terms in {expr!r}")
+            row[int(digits) - 1] += 1 if sign == "+" else -1
+        w.append(tuple(row))
+    if len(w) != mbar * nbar:
+        raise ValueError("wrong number of C combinations")
+    return tuple(w)
+
+
+# ---------------------------------------------------------------------- #
+def validate_scheme(s: Scheme) -> None:
+    """Exact integer proof that ``s`` multiplies matrices correctly.
+
+    Checks shapes, the {-1, 0, +1} coefficient range, that no product
+    or C block is vacuous, and the full bilinear identity.  Raises
+    ``ValueError`` naming the first offending index set.
+    """
+    mb, kb, nb, r = s.mbar, s.kbar, s.nbar, s.r
+    if mb < 1 or kb < 1 or nb < 1 or r < 1:
+        raise ValueError(f"{s.name}: degenerate partition/product count")
+    for label, mat, rows, cols in (
+        ("u", s.u, r, mb * kb),
+        ("v", s.v, r, kb * nb),
+        ("w", s.w, mb * nb, r),
+    ):
+        if len(mat) != rows or any(len(row) != cols for row in mat):
+            raise ValueError(f"{s.name}: {label} is not {rows}x{cols}")
+        for row in mat:
+            if any(x not in (-1, 0, 1) for x in row):
+                raise ValueError(
+                    f"{s.name}: {label} has coefficients outside "
+                    "{-1, 0, +1}"
+                )
+    for rr in range(r):
+        if not any(s.u[rr]) or not any(s.v[rr]):
+            raise ValueError(f"{s.name}: product {rr + 1} is vacuous")
+        if not any(s.w[ci][rr] for ci in range(mb * nb)):
+            raise ValueError(f"{s.name}: product {rr + 1} is unused")
+    for ci in range(mb * nb):
+        if not any(s.w[ci]):
+            raise ValueError(f"{s.name}: C block {ci} is never written")
+    for i in range(mb):
+        for p in range(nb):
+            wrow = s.w[i * nb + p]
+            for ia in range(mb):
+                for ja in range(kb):
+                    ua = ia * kb + ja
+                    for jb in range(kb):
+                        for pb in range(nb):
+                            vb = jb * nb + pb
+                            tot = sum(
+                                wrow[rr] * s.u[rr][ua] * s.v[rr][vb]
+                                for rr in range(r)
+                            )
+                            want = int(ia == i and pb == p and ja == jb)
+                            if tot != want:
+                                raise ValueError(
+                                    f"{s.name}: bilinear identity fails "
+                                    f"at C[{i},{p}] term "
+                                    f"A[{ia},{ja}]*B[{jb},{pb}]: got "
+                                    f"{tot}, want {want}"
+                                )
+
+
+def uvw_profile(u: Matrix, v: Matrix, w: Matrix) -> LevelProfile:
+    """The addition/beta-class profile of the generic UVW interpreter.
+
+    Mirrors :func:`repro.core.uvw.make_uvw_level` operation for
+    operation: a singleton +1 row is a free block view; a singleton -1
+    row is one scaling copy; an n-term row is n AXPBYs.  A product with
+    one destination recurses straight into that C block (first touch
+    carries the caller's beta, later touches accumulate); a product
+    with several destinations goes to a temporary (beta = 0 child) and
+    is merged with one AXPBY per destination.
+    """
+    def side_adds(mat: Matrix) -> int:
+        adds = 0
+        for row in mat:
+            nnz = [x for x in row if x]
+            if len(nnz) == 1:
+                adds += 0 if nnz[0] > 0 else 1
+            else:
+                adds += len(nnz)
+        return adds
+
+    r = len(u)
+    blocks = len(w)
+    touched = [False] * blocks
+    c_adds = 0
+    classes = []
+    for rr in range(r):
+        dests = [ci for ci in range(blocks) if w[ci][rr]]
+        if len(dests) == 1:
+            ci = dests[0]
+            classes.append(None if not touched[ci] else False)
+            touched[ci] = True
+        else:
+            classes.append(True)
+            c_adds += len(dests)
+            for ci in dests:
+                touched[ci] = True
+    return LevelProfile(
+        side_adds(u), side_adds(v), c_adds, c_adds, tuple(classes)
+    )
+
+
+# ---------------------------------------------------------------------- #
+# the registry and its derived tables
+REGISTRY: Dict[str, Scheme] = {}
+
+#: level code -> number of recursive products the schedule spawns
+LEVELS: Dict[str, int] = {}
+#: level code -> (mbar, kbar, nbar) partition divisors
+LEVEL_DIVISORS: Dict[str, Tuple[int, int, int]] = {}
+#: level code -> executed-schedule addition/beta-class profile
+LEVEL_PROFILE: Dict[str, LevelProfile] = {}
+#: level code -> a scheme name whose UVW defines it (generic-executor
+#: dispatch for levels without a hand-written schedule)
+LEVEL_SCHEME: Dict[str, str] = {}
+#: scheme name -> ((level, child scheme) for beta = 0, same for general);
+#: includes the "auto" dispatch alias
+SCHEME_DISPATCH: Dict[str, Tuple[Tuple[str, str], Tuple[str, str]]] = {}
+
+
+def get_scheme(name: str) -> Scheme:
+    """Registry lookup; raises ``KeyError`` for unknown names."""
+    return REGISTRY[name]
+
+
+def register(
+    scheme: Scheme,
+    profiles: Optional[Dict[str, LevelProfile]] = None,
+) -> Scheme:
+    """Validate ``scheme`` exactly and publish it plus its level tables.
+
+    ``profiles`` carries the hand-audited :class:`LevelProfile` of each
+    hand-written schedule; when omitted, every level of the scheme is
+    assumed to run on the generic UVW interpreter and its profile is
+    derived from the coefficients.
+    """
+    validate_scheme(scheme)
+    if scheme.name in REGISTRY:
+        raise ValueError(f"scheme {scheme.name!r} already registered")
+    REGISTRY[scheme.name] = scheme
+    derived = uvw_profile(scheme.u, scheme.v, scheme.w)
+    for level in scheme.levels:
+        LEVELS[level] = scheme.r
+        LEVEL_DIVISORS[level] = (scheme.mbar, scheme.kbar, scheme.nbar)
+        LEVEL_SCHEME.setdefault(level, scheme.name)
+        if profiles is not None and level in profiles:
+            LEVEL_PROFILE[level] = profiles[level]
+        else:
+            LEVEL_PROFILE.setdefault(level, derived)
+    SCHEME_DISPATCH[scheme.name] = (
+        (scheme.levels[0], scheme.children[0]),
+        (scheme.levels[1], scheme.children[1]),
+    )
+    return scheme
+
+
+# ---------------------------------------------------------------------- #
+# ⟨2,2,2;7⟩ — the seven Winograd products (paper Section 3.1).  All four
+# 2x2 schedules (STRASSEN1 beta0/general, STRASSEN2, textbook) compute
+# exactly these products and differ only in scheduling and memory.
+_WINOGRAD_PRODUCTS = (
+    ("+a11", "+b11"),                      # P1
+    ("+a12", "+b21"),                      # P2
+    ("+a11+a12-a21-a22", "+b22"),          # P3 = S4 * B22
+    ("+a22", "+b11-b12-b21+b22"),          # P4 = A22 * T4
+    ("+a21+a22", "-b11+b12"),              # P5 = S1 * T1
+    ("-a11+a21+a22", "+b11-b12+b22"),      # P6 = S2 * T2
+    ("+a11-a21", "-b12+b22"),              # P7 = S3 * T3
+)
+_WINOGRAD_COMBOS = (
+    "+m1+m2",          # C11
+    "+m1+m3+m5+m6",    # C12
+    "+m1-m4+m6+m7",    # C21
+    "+m1+m5+m6+m7",    # C22
+)
+_WU, _WV = _parse_products(_WINOGRAD_PRODUCTS, 2, 2, 2)
+_WW = _parse_combos(_WINOGRAD_COMBOS, 7, 2, 2)
+
+
+def _winograd(name: str, levels, children) -> Scheme:
+    return Scheme(name, 2, 2, 2, 7, _WU, _WV, _WW, levels, children)
+
+
+# hand-audited profiles of the executed 2x2 schedules (child classes in
+# schedule order; see the respective core modules)
+_P_S1B0 = LevelProfile(4, 4, 10, 10, (True,) * 7)
+_P_S1G = LevelProfile(4, 4, 11, 11, (True,) * 7)
+_P_S2 = LevelProfile(
+    4, 4, 6, 6, (True, True, False, False, False, None, False)
+)
+_P_TB = LevelProfile(4, 4, 11, 11, (True,) * 7)
+_P_BDPZ = LevelProfile(6, 6, 9, 12, (None,) + (False,) * 6)
+
+register(
+    _winograd("strassen1", ("s1b0", "s1g"),
+              ("strassen1", "strassen1_general")),
+    profiles={"s1b0": _P_S1B0, "s1g": _P_S1G},
+)
+register(
+    _winograd("strassen1_general", ("s1g", "s1g"),
+              ("strassen1_general", "strassen1_general")),
+    profiles={"s1g": _P_S1G},
+)
+register(
+    _winograd("strassen2", ("s2", "s2"), ("strassen2", "strassen2")),
+    profiles={"s2": _P_S2},
+)
+register(
+    _winograd("textbook", ("tb", "tb"), ("textbook", "textbook")),
+    profiles={"tb": _P_TB},
+)
+# Boyer–Dumas–Pernet–Zhou accumulating Winograd (arXiv:0707.2347): the
+# same seven products, scheduled so two temporaries (X: m/2 x k/2 and
+# Y: k/2 x n/2) suffice even for general beta — no m/2 x n/2 temporary
+# at all.  See repro.core.bdpz.
+register(
+    _winograd("bdpz", ("bdpz", "bdpz"), ("bdpz", "bdpz")),
+    profiles={"bdpz": _P_BDPZ},
+)
+
+# ---------------------------------------------------------------------- #
+# ⟨3,3,3;23⟩ — a Laderman-type 23-multiplication scheme.  Solved to
+# exact integer coefficients against the bilinear identity (which
+# re-verifies it on every import); executed by the generic UVW
+# interpreter under level code "l23".
+_LADERMAN_PRODUCTS = (
+    ("+a11+a12+a13-a21-a22-a32-a33", "+b22"),              # m1
+    ("+a11-a21", "-b12+b22"),                              # m2
+    ("+a22", "-b11+b12+b21-b22-b23-b31+b33"),              # m3
+    ("-a11+a21+a22", "+b11-b12+b22"),                      # m4
+    ("+a21+a22", "-b11+b12"),                              # m5
+    ("+a11", "+b11"),                                      # m6
+    ("-a11+a31+a32", "+b11-b13+b23"),                      # m7
+    ("-a11+a31", "+b13-b23"),                              # m8
+    ("+a31+a32", "-b11+b13"),                              # m9
+    ("+a11+a12+a13-a22-a23-a31-a32", "+b23"),              # m10
+    ("+a32", "-b11+b13+b21-b22-b23-b31+b32"),              # m11
+    ("-a13+a32+a33", "+b22+b31-b32"),                      # m12
+    ("+a13-a33", "+b22-b32"),                              # m13
+    ("+a13", "+b31"),                                      # m14
+    ("+a32+a33", "-b31+b32"),                              # m15
+    ("-a13+a22+a23", "+b23+b31-b33"),                      # m16
+    ("+a13-a23", "+b23-b33"),                              # m17
+    ("+a22+a23", "-b31+b33"),                              # m18
+    ("+a12", "+b21"),                                      # m19
+    ("+a23", "+b32"),                                      # m20
+    ("+a21", "+b13"),                                      # m21
+    ("+a31", "+b12"),                                      # m22
+    ("+a33", "+b33"),                                      # m23
+)
+_LADERMAN_COMBOS = (
+    "+m6+m14+m19",                      # C11
+    "+m1+m4+m5+m6+m12+m14+m15",         # C12
+    "+m6+m7+m9+m10+m14+m16+m18",        # C13
+    "+m2+m3+m4+m6+m14+m16+m17",         # C21
+    "+m2+m4+m5+m6+m20",                 # C22
+    "+m14+m16+m17+m18+m21",             # C23
+    "+m6+m7+m8+m11+m12+m13+m14",        # C31
+    "+m12+m13+m14+m15+m22",             # C32
+    "+m6+m7+m8+m9+m23",                 # C33
+)
+_LU, _LV = _parse_products(_LADERMAN_PRODUCTS, 3, 3, 3)
+_LW = _parse_combos(_LADERMAN_COMBOS, 23, 3, 3)
+
+register(
+    Scheme("laderman", 3, 3, 3, 23, _LU, _LV, _LW,
+           ("l23", "l23"), ("laderman", "laderman")),
+)
+
+# the paper's DGEFMM scheme selection: beta = 0 runs STRASSEN1's
+# two-temporary schedule, general beta runs STRASSEN2
+SCHEME_DISPATCH["auto"] = (("s1b0", "auto"), ("s2", "auto"))
+
+#: every scheme name GemmConfig accepts, "auto" first (the default)
+SCHEME_NAMES: Tuple[str, ...] = ("auto",) + tuple(REGISTRY)
+
+
+# ---------------------------------------------------------------------- #
+def bound_elements(scheme: str, m: int, k: int, n: int) -> float:
+    """Workspace peak bound, in elements, for one serial scheme.
+
+    The closed forms are the per-level temporary footprints summed over
+    the recursion (geometric series); Table 1 expresses them as
+    coefficients of m^2 for square problems.  Raises ``KeyError`` for
+    names without a bound.
+    """
+    mk, kn, mn = float(m) * k, float(k) * n, float(m) * n
+    if scheme == "strassen2":
+        # R1 + R2 + R3 per level: (mk + kn + mn)/4 * sum (1/4)^i
+        return (mk + kn + mn) / 3.0
+    if scheme == "strassen1":
+        # beta = 0 schedule: R1 (m/2 x max(k,n)/2) + R2 (k/2 x n/2)
+        return (float(m) * max(k, n) + kn) / 3.0
+    if scheme == "strassen1_general":
+        # six temporaries: R1 + R2 + four m/2 x n/2 products
+        return (4.0 * mn + float(m) * max(k, n) + kn) / 3.0
+    if scheme == "textbook":
+        # 3 S-temps + 3 T-temps + 7 products per level
+        return mk + kn + 7.0 * mn / 3.0
+    if scheme == "bdpz":
+        # two temporaries only: (mk + kn)/4 per level
+        return (mk + kn) / 3.0
+    if scheme == "laderman":
+        # one block each of S/T/P shape: (mk + kn + mn)/9 per level,
+        # recursion sum 9/8
+        return (mk + kn + mn) / 8.0
+    if scheme == "auto":
+        # dispatches s1b0 (beta = 0) or s2 (general); cover both
+        return max(
+            bound_elements("strassen1", m, k, n),
+            bound_elements("strassen2", m, k, n),
+        )
+    raise KeyError(scheme)

@@ -11,15 +11,23 @@ walker consumes :func:`decide` and interprets the returned node in its
 own way (execute kernels, record plan ops, tally counts, or sum model
 costs).
 
+Schemes are no longer hard-wired 2x2: the level vocabulary comes from
+the declarative registry (:mod:`repro.core.schemes`), each level
+carrying its own ⟨mbar, kbar, nbar⟩ partition divisors.  The returned
+nodes embed those divisors, so peeling (strip ``dim % divisor`` trailing
+indices, not just one) and child dimensions (``core // divisor``) fall
+out of the node without any walker knowing which family it is walking.
+
 :func:`decide` is stateless: given ``(m, k, n, depth)``, the scheme,
 the beta scalar class, and a cutoff criterion it returns one typed node
 
 - :class:`Base` — multiply with the standard algorithm;
-- :class:`Recurse` — apply one scheme level on the (already even)
-  dimensions, carrying the level code and the children's scheme;
-- :class:`Peel` — a :class:`Recurse` whose node has odd dimensions:
-  strip one row/column per odd dimension, run the level on the even
-  ``(mp, kp, np_)`` core, then apply the DGER/DGEMV fix-ups.
+- :class:`Recurse` — apply one scheme level on the (already
+  divisor-exact) dimensions, carrying the level code and the
+  children's scheme;
+- :class:`Peel` — a :class:`Recurse` whose node has non-divisible
+  dimensions: strip the remainder rows/columns, run the level on the
+  divisible ``(mp, kp, np_)`` core, then apply the DGER/DGEMV fix-ups.
 
 Callers handle the degenerate GEMM cases (empty output, ``k == 0``,
 ``alpha == 0``) *before* consulting the kernel — those are BLAS
@@ -33,6 +41,7 @@ from dataclasses import dataclass
 from typing import Tuple, Union
 
 from repro.core.cutoff import CutoffCriterion
+from repro.core.schemes import LEVEL_DIVISORS, LEVELS, SCHEME_DISPATCH
 
 __all__ = [
     "Base",
@@ -45,40 +54,34 @@ __all__ = [
     "LEVELS",
 ]
 
-#: level codes -> number of recursive half-size products the schedule
-#: spawns; every schedule here is a 7-product Winograd variant (the
-#: "textbook" 15-add schedule trades memory, not products)
-LEVELS = {"s1b0": 7, "s1g": 7, "s2": 7, "tb": 7}
 
-
-def peel_split(m: int, k: int, n: int) -> Tuple[int, int, int]:
-    """Even-core dimensions: each odd dimension loses one index."""
-    return m - (m & 1), k - (k & 1), n - (n & 1)
+def peel_split(
+    m: int, k: int, n: int, divisors: Tuple[int, int, int] = (2, 2, 2)
+) -> Tuple[int, int, int]:
+    """Divisor-exact core dimensions: each dimension loses its remainder
+    modulo the scheme's partition divisor (one index per odd dimension
+    in the classic 2x2 case)."""
+    dm, dk, dn = divisors
+    return m - m % dm, k - k % dk, n - n % dn
 
 
 def pick_level(scheme: str, beta_zero: bool) -> Tuple[str, str]:
     """Resolve ``(level code, child scheme)`` for one recursion node.
 
-    The child scheme matters for ``"strassen1"``: the paper's Table 1
-    figure for the general case assumes the seven (beta = 0) products
-    are "computed recursively using the same algorithm", i.e. the
-    general six-temporary schedule — so the general variant pins its
-    children to ``"strassen1_general"`` rather than letting them drop
-    back to the cheaper beta = 0 variant.
+    The dispatch table lives in the scheme registry
+    (:data:`repro.core.schemes.SCHEME_DISPATCH`).  The child scheme
+    matters for ``"strassen1"``: the paper's Table 1 figure for the
+    general case assumes the seven (beta = 0) products are "computed
+    recursively using the same algorithm", i.e. the general
+    six-temporary schedule — so the general variant pins its children
+    to ``"strassen1_general"`` rather than letting them drop back to
+    the cheaper beta = 0 variant.
     """
-    if scheme == "auto":
-        return ("s1b0" if beta_zero else "s2"), "auto"
-    if scheme == "strassen2":
-        return "s2", "strassen2"
-    if scheme == "strassen1":
-        if beta_zero:
-            return "s1b0", "strassen1"
-        return "s1g", "strassen1_general"
-    if scheme == "textbook":
-        return "tb", "textbook"
-    if scheme == "strassen1_general":
-        return "s1g", "strassen1_general"
-    raise ValueError(f"unknown scheme {scheme!r}")
+    try:
+        entry = SCHEME_DISPATCH[scheme]
+    except KeyError:
+        raise ValueError(f"unknown scheme {scheme!r}") from None
+    return entry[0] if beta_zero else entry[1]
 
 
 @dataclass(frozen=True)
@@ -93,14 +96,16 @@ class Base:
 
 @dataclass(frozen=True)
 class Recurse:
-    """Apply one scheme level; dimensions are already even.
+    """Apply one scheme level; dimensions are already divisor-exact.
 
-    ``mp``/``kp``/``np_`` are the even core dimensions the level runs
-    on (equal to ``m``/``k``/``n`` unless this is a :class:`Peel`);
-    ``level`` is the schedule code (``"s1b0"``, ``"s1g"``, ``"s2"``,
-    ``"tb"``); ``child_scheme`` is the scheme the recursive products
-    carry; ``children`` is how many half-size products the level
-    spawns, each of dimensions ``(mp//2, kp//2, np_//2)``.
+    ``mp``/``kp``/``np_`` are the divisor-exact core dimensions the
+    level runs on (equal to ``m``/``k``/``n`` unless this is a
+    :class:`Peel`); ``level`` is the schedule code (``"s1b0"``,
+    ``"s1g"``, ``"s2"``, ``"tb"``, ``"bdpz"``, ``"l23"``, ...);
+    ``child_scheme`` is the scheme the recursive products carry;
+    ``mbar``/``kbar``/``nbar`` the level's partition divisors;
+    ``children`` how many products the level spawns, each of dimensions
+    ``(mp//mbar, kp//kbar, np_//nbar)``.
     """
 
     m: int
@@ -112,26 +117,39 @@ class Recurse:
     np_: int
     level: str
     child_scheme: str
+    mbar: int = 2
+    kbar: int = 2
+    nbar: int = 2
 
     @property
     def peeled(self) -> bool:
-        """True when odd dimensions were stripped (i.e. a :class:`Peel`)."""
+        """True when remainder indices were stripped (a :class:`Peel`)."""
         return (self.mp, self.kp, self.np_) != (self.m, self.k, self.n)
 
     @property
+    def divisors(self) -> Tuple[int, int, int]:
+        """The level's partition divisors as one tuple."""
+        return self.mbar, self.kbar, self.nbar
+
+    @property
     def children(self) -> int:
-        """Recursive products this level spawns (7, or 8 for textbook)."""
+        """Recursive products this level spawns (R of the scheme)."""
         return LEVELS[self.level]
 
     @property
     def child_dims(self) -> Tuple[int, int, int]:
         """Dimensions of each recursive product."""
-        return self.mp // 2, self.kp // 2, self.np_ // 2
+        return (
+            self.mp // self.mbar,
+            self.kp // self.kbar,
+            self.np_ // self.nbar,
+        )
 
 
 @dataclass(frozen=True)
 class Peel(Recurse):
-    """A :class:`Recurse` with odd dimensions: core + DGER/DGEMV fix-ups."""
+    """A :class:`Recurse` with stripped dimensions: core + DGER/DGEMV
+    fix-ups."""
 
 
 DecisionNode = Union[Base, Recurse]
@@ -150,13 +168,22 @@ def decide(
 
     Dimensions must be >= 1 (callers resolve the degenerate GEMM
     classes first).  Recursion stops — :class:`Base` — when the cutoff
-    criterion says so at this depth or when any dimension is below 2;
-    otherwise the node is a :class:`Recurse` (or :class:`Peel` when a
-    dimension is odd) carrying the resolved level and child scheme.
+    criterion says so at this depth or when any dimension is below the
+    resolved level's partition divisor (a 1-wide dimension cannot host
+    a 2x2 split, nor a 2-wide one a 3x3 split); otherwise the node is a
+    :class:`Recurse` (or :class:`Peel` when a dimension has a
+    remainder) carrying the resolved level, child scheme, and
+    divisors.
     """
-    if crit.stop(m, k, n, depth) or min(m, k, n) < 2:
+    if crit.stop(m, k, n, depth):
         return Base(m, k, n, depth)
-    mp, kp, np_ = peel_split(m, k, n)
     level, child_scheme = pick_level(scheme, beta_zero)
+    mbar, kbar, nbar = LEVEL_DIVISORS[level]
+    if m < mbar or k < kbar or n < nbar:
+        return Base(m, k, n, depth)
+    mp, kp, np_ = peel_split(m, k, n, (mbar, kbar, nbar))
     cls = Peel if (mp, kp, np_) != (m, k, n) else Recurse
-    return cls(m, k, n, depth, mp, kp, np_, level, child_scheme)
+    return cls(
+        m, k, n, depth, mp, kp, np_, level, child_scheme,
+        mbar, kbar, nbar,
+    )

@@ -1,0 +1,134 @@
+"""Generic executor for registry schemes: one level from (U, V, W).
+
+The hand-written 2x2 schedules (:mod:`repro.core.strassen1`,
+:mod:`repro.core.strassen2`, :mod:`repro.core.textbook`,
+:mod:`repro.core.bdpz`) are carefully ordered to minimise temporaries;
+non-2x2 schemes enter the repository as pure coefficient data
+(:mod:`repro.core.schemes`) and are executed by the interpreter built
+here.  :func:`make_uvw_level` compiles one registry entry into a level
+function with the same signature as the hand schedules — same
+``kernels`` injection point, so the plan compiler records it with the
+identical machinery, and live and compiled execution stay bit-equal.
+
+Execution strategy per product ``r`` (mirrored exactly by
+:func:`repro.core.schemes.uvw_profile`, which the op-count model
+consumes — any drift between the two is caught by the conformance
+harness):
+
+- the A-side operand is the block itself when ``U``'s row is a single
+  +1, one scaling AXPBY into the S temporary when a single -1, and a
+  chain of AXPBYs when it mixes blocks (first one overwrites);
+  likewise the B side;
+- a product with a single destination block recurses *straight into
+  that block of C*: the first product to touch a block carries the
+  caller's beta, later ones accumulate (beta = 1);
+- a product feeding several blocks recurses into the P temporary
+  (beta = 0 child) and is merged with one AXPBY per destination,
+  again folding the caller's beta into each block's first touch.
+
+Only three temporaries exist per level — one S, one T, one P block —
+so an ⟨mbar,kbar,nbar;R⟩ level costs ``mk/(mbar*kbar) + kn/(kbar*nbar)
++ mn/(mbar*nbar)`` extra elements regardless of R.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.blas.addsub import NUMERIC_KERNELS, BlockKernels
+from repro.context import ExecutionContext
+from repro.core.schemes import get_scheme
+from repro.core.workspace import Workspace
+
+__all__ = ["make_uvw_level"]
+
+RecurseFn = Callable[[Any, Any, Any, float, float], None]
+
+
+def make_uvw_level(scheme_name: str):
+    """Build a level function executing one registry scheme's UVW."""
+    sch = get_scheme(scheme_name)
+    mb, kb, nb = sch.mbar, sch.kbar, sch.nbar
+    urows = tuple(
+        tuple((j, c) for j, c in enumerate(row) if c) for row in sch.u
+    )
+    vrows = tuple(
+        tuple((j, c) for j, c in enumerate(row) if c) for row in sch.v
+    )
+    dests = tuple(
+        tuple((ci, sch.w[ci][r]) for ci in range(mb * nb) if sch.w[ci][r])
+        for r in range(sch.r)
+    )
+
+    def uvw_level(
+        a: Any,
+        b: Any,
+        c: Any,
+        alpha: float,
+        beta: float,
+        *,
+        ctx: ExecutionContext,
+        ws: Workspace,
+        recurse: RecurseFn,
+        kernels: Optional[BlockKernels] = None,
+    ) -> None:
+        em = kernels if kernels is not None else NUMERIC_KERNELS
+        m, k = a.shape
+        n = b.shape[1]
+        cm, ck, cn = m // mb, k // kb, n // nb
+        ablk = tuple(
+            a[i * cm:(i + 1) * cm, j * ck:(j + 1) * ck]
+            for i in range(mb) for j in range(kb)
+        )
+        bblk = tuple(
+            b[i * ck:(i + 1) * ck, j * cn:(j + 1) * cn]
+            for i in range(kb) for j in range(nb)
+        )
+        cblk = tuple(
+            c[i * cm:(i + 1) * cm, j * cn:(j + 1) * cn]
+            for i in range(mb) for j in range(nb)
+        )
+        dt = getattr(c, "dtype", None) or "float64"
+        neg_alpha = -alpha
+        with ws.frame():
+            s = ws.alloc(cm, ck, dt)
+            t = ws.alloc(ck, cn, dt)
+            p = ws.alloc(cm, cn, dt)
+            touched = [False] * (mb * nb)
+            for r in range(sch.r):
+                sa = _operand(urows[r], ablk, s, em, ctx)
+                tb = _operand(vrows[r], bblk, t, em, ctx)
+                ds = dests[r]
+                if len(ds) == 1:
+                    ci, wc = ds[0]
+                    recurse(
+                        sa, tb, cblk[ci],
+                        alpha if wc > 0 else neg_alpha,
+                        1.0 if touched[ci] else beta,
+                    )
+                    touched[ci] = True
+                else:
+                    recurse(sa, tb, p, 1.0, 0.0)
+                    for ci, wc in ds:
+                        em.axpby(
+                            alpha if wc > 0 else neg_alpha, p,
+                            1.0 if touched[ci] else beta, cblk[ci],
+                            ctx=ctx,
+                        )
+                        touched[ci] = True
+
+    uvw_level.__name__ = f"uvw_{scheme_name}_level"
+    uvw_level.__qualname__ = uvw_level.__name__
+    return uvw_level
+
+
+def _operand(terms, blocks, tmp, em, ctx):
+    """Materialise one S/T linear combination (or return the block)."""
+    if len(terms) == 1 and terms[0][1] > 0:
+        return blocks[terms[0][0]]
+    first = True
+    for j, coef in terms:
+        em.axpby(float(coef), blocks[j], 0.0 if first else 1.0, tmp,
+                 ctx=ctx)
+        first = False
+    return tmp

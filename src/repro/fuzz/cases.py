@@ -22,6 +22,8 @@ from typing import Any, Dict, Tuple
 
 import numpy as np
 
+from repro.core.schemes import SCHEME_NAMES
+
 __all__ = [
     "FuzzCase",
     "draw_case",
@@ -36,8 +38,10 @@ __all__ = [
 #: operand memory layouts the materializer can produce
 LAYOUTS = ("F", "C", "strided", "revrows", "revcols")
 
-#: forceable scheme knob values (``dgefmm(scheme=...)``)
-SCHEMES = ("auto", "strassen1", "strassen1_general", "strassen2", "textbook")
+#: forceable scheme knob values (``dgefmm(scheme=...)``) — "auto" first,
+#: then every scheme-registry entry, so newly registered schemes enter
+#: the fuzz case space automatically
+SCHEMES = SCHEME_NAMES
 
 #: element types under test
 DTYPES = ("float64", "float32", "complex128")
@@ -85,8 +89,9 @@ class FuzzCase:
     @property
     def parallel_applicable(self) -> bool:
         """Every case exercises pdgefmm: the parallel driver accepts the
-        full scheme/peel knob set (textbook schemes fall back to serial
-        inside the driver, which is itself worth differential coverage).
+        full scheme/peel knob set (schemes outside its parallel level
+        vocabulary — textbook, laderman — fall back to serial inside
+        the driver, which is itself worth differential coverage).
         """
         return True
 

@@ -17,6 +17,7 @@ campaign, deliberately: cross-case cache reuse is itself under test
 
 from __future__ import annotations
 
+import dataclasses
 import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence
@@ -103,6 +104,7 @@ def run_fuzz(
     replay: Optional[Sequence[FuzzCase]] = None,
     failures_path: Optional[str] = None,
     progress: Optional[Any] = None,
+    scheme: Optional[str] = None,
 ) -> FuzzReport:
     """Run a differential campaign; returns a :class:`FuzzReport`.
 
@@ -111,7 +113,9 @@ def run_fuzz(
     ``cases`` draws from the seeded edge-heavy distribution.
     ``failures_path`` appends divergent cases as JSON lines for later
     ``--replay``.  ``progress`` is an optional callable
-    ``(index, total, divergent)`` invoked after each case.
+    ``(index, total, divergent)`` invoked after each case.  ``scheme``
+    pins every case (drawn or replayed) to one scheme — the per-scheme
+    CI smoke lanes; all other knobs keep their drawn values.
     """
     rng = np.random.default_rng(seed)
     plan_cache = PlanCache()
@@ -123,6 +127,8 @@ def run_fuzz(
         todo = list(replay)
     else:
         todo = [draw_case(rng, max_dim=max_dim) for _ in range(cases)]
+    if scheme is not None:
+        todo = [dataclasses.replace(case, scheme=scheme) for case in todo]
 
     for idx, case in enumerate(todo):
         report.cases += 1

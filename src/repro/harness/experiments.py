@@ -453,6 +453,11 @@ PAPER_TABLE1 = {
     "STRASSEN1": (2 / 3, 2.0),
     "STRASSEN2": (1.0, 1.0),
     "DGEFMM": (2 / 3, 1.0),
+    # not a paper row: the memory-efficient Winograd schedule of
+    # Boyer-Dumas-Pernet-Zhou (arXiv:0707.2347), whose two-temporary
+    # bound (mk + kn)/3 holds for *both* scalar classes — tighter than
+    # every Table 1 general-case entry
+    "BDPZ": (2 / 3, 2 / 3),
 }
 
 
@@ -503,6 +508,7 @@ def table1_memory(m: int = 1024, tau: int = 64) -> List[Dict]:
         ("STRASSEN1", dgefmm_scheme("strassen1")),
         ("STRASSEN2", dgefmm_scheme("strassen2")),
         ("DGEFMM", dgefmm_scheme("auto")),
+        ("BDPZ", dgefmm_scheme("bdpz")),
     ]
     rows = []
     for name, fn in impls:

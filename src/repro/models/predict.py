@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.core.cutoff import CutoffCriterion, DepthCutoff
+from repro.core.schemes import LEVEL_PROFILE
 from repro.core.traversal import Base, decide
 from repro.models.base import CostModel
 
@@ -22,10 +23,6 @@ __all__ = [
     "predicted_square_crossover",
     "predicted_rect_crossover",
 ]
-
-#: G-operation shape counts of the beta = 0 schedule DGEFMM executes
-#: (4 A-shaped, 4 B-shaped, 10 C-shaped; see core.strassen1)
-_A_ADDS, _B_ADDS, _C_ADDS = 4, 4, 10
 
 
 def dgemm_cost(model: CostModel, m: int, k: int, n: int) -> float:
@@ -39,39 +36,50 @@ def strassen_cost(
     k: int,
     n: int,
     criterion: Optional[CutoffCriterion] = None,
+    scheme: str = "auto",
+    beta_zero: bool = True,
 ) -> float:
     """Model cost of DGEFMM's recursion (peeling included).
 
     Consumes the shared traversal kernel (:func:`repro.core.traversal.
-    decide`) like every driver: cutoff test, peel odd dims, one Winograd
-    level, DGER/DGEMV fix-ups — the structure whose real charges the
-    machine simulations accumulate, evaluated under an abstract model
-    instead.
+    decide`) like every driver: cutoff test, peel non-divisible dims,
+    one scheme level, DGER/DGEMV fix-ups — the structure whose real
+    charges the machine simulations accumulate, evaluated under an
+    abstract model instead.  Each node is charged its level's executed
+    block-addition profile (:data:`repro.core.schemes.LEVEL_PROFILE`),
+    so any registry scheme — including non-2x2 families — can be
+    costed; the defaults reproduce the historical behaviour (the
+    ``auto``/beta = 0 two-temporary Winograd schedule).
     """
     crit = criterion if criterion is not None else DepthCutoff(64)
 
-    def w(m_: int, k_: int, n_: int, depth: int) -> float:
+    def w(m_: int, k_: int, n_: int, depth: int,
+          sch: str, b0: bool) -> float:
         if m_ == 0 or n_ == 0:
             return 0.0
         if k_ == 0:
             return model.add_cost(m_, n_)
-        node = decide(m_, k_, n_, depth, "auto", True, crit)
+        node = decide(m_, k_, n_, depth, sch, b0, crit)
         if isinstance(node, Base):
             return model.mult_cost(m_, k_, n_)
+        prof = LEVEL_PROFILE[node.level]
         hm, hk, hn = node.child_dims
-        cost = 7.0 * w(hm, hk, hn, depth + 1)
-        cost += _A_ADDS * model.add_cost(hm, hk)
-        cost += _B_ADDS * model.add_cost(hk, hn)
-        cost += _C_ADDS * model.add_cost(hm, hn)
-        if node.kp < k_ and node.mp and node.np_:
-            cost += model.ger_cost(node.mp, node.np_)
-        if node.np_ < n_ and node.mp:
-            cost += model.gemv_cost(node.mp, k_)
-        if node.mp < m_:
-            cost += model.gemv_cost(n_, k_)
+        cost = prof.a_adds * model.add_cost(hm, hk)
+        cost += prof.b_adds * model.add_cost(hk, hn)
+        cost += prof.c_adds(b0) * model.add_cost(hm, hn)
+        for cls in prof.child_classes:
+            cost += w(hm, hk, hn, depth + 1, node.child_scheme,
+                      b0 if cls is None else cls)
+        ko, no, mo = k_ - node.kp, n_ - node.np_, m_ - node.mp
+        if ko and node.mp and node.np_:
+            cost += ko * model.ger_cost(node.mp, node.np_)
+        if no and node.mp:
+            cost += no * model.gemv_cost(node.mp, k_)
+        if mo:
+            cost += mo * model.gemv_cost(n_, k_)
         return cost
 
-    return w(m, k, n, 0)
+    return w(m, k, n, 0, scheme, beta_zero)
 
 
 def one_level_cost(model: CostModel, m: int, k: int, n: int) -> float:

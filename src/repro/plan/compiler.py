@@ -49,7 +49,12 @@ from repro.blas.level3 import gemm_flops
 from repro.context import RecursionEvent
 from repro.core.config import GemmConfig
 from repro.core.dgefmm import LEVEL_FNS
-from repro.core.parallel import _job_operands, _stage_combine, _stage_sums
+from repro.core.parallel import (
+    PARALLEL_LEVELS,
+    _job_operands,
+    _stage_combine,
+    _stage_sums,
+)
 from repro.core.pool import _align_up
 from repro.core.traversal import Base, decide
 from repro.errors import ArgumentError
@@ -313,7 +318,7 @@ def _op_repr(op: tuple, reg) -> str:
                 f"{reg(op[1])}@{reg(op[2])} + {scalar_repr(op[5])}*"
                 f"{reg(op[3])}")
     if code == OP_FIXUP:
-        return (f"fixup {reg(op[3])} ({op[6]} peel, alpha="
+        return (f"fixup {reg(op[3])} ({op[6]} peel mod {op[7]}, alpha="
                 f"{scalar_repr(op[4])}, beta={scalar_repr(op[5])})")
     ev = op[1]
     return f"event {ev.action} ({ev.m},{ev.k},{ev.n}) depth={ev.depth}"
@@ -457,29 +462,31 @@ class _Recorder:
         )
 
     def emit_fixup(self, a: Region, b: Region, c: Region,
-                   alpha, beta, side: str) -> None:
+                   alpha, beta, side: str,
+                   divisors: Tuple[int, int, int] = (2, 2, 2)) -> None:
         m, k = a.shape
         n = b.shape[1]
         # predicted kernel tallies follow apply_fixups/apply_fixups_head
-        # exactly: which of the three BLAS-2 calls fire depends only on
-        # which dimensions are odd
-        mo, ko, no = m & 1, k & 1, n & 1
+        # exactly: one BLAS-2 call per peeled index, and which dimensions
+        # peel depends only on the remainders modulo the scheme divisors
+        dm, dk, dn = divisors
+        mo, ko, no = m % dm, k % dk, n % dn
         mp, kp, np_ = m - mo, k - ko, n - no
         if ko and mp and np_:
-            self.kernel_calls["dger"] += 1
-            self.mul_flops_total += float(mp) * np_
-            self.add_flops_total += float(mp) * np_
+            self.kernel_calls["dger"] += ko
+            self.mul_flops_total += ko * float(mp) * np_
+            self.add_flops_total += ko * float(mp) * np_
         if no and mp:
-            self.kernel_calls["dgemv"] += 1
-            self.mul_flops_total += float(mp) * k
-            self.add_flops_total += max(0.0, float(mp) * k - mp)
+            self.kernel_calls["dgemv"] += no
+            self.mul_flops_total += no * float(mp) * k
+            self.add_flops_total += no * max(0.0, float(mp) * k - mp)
         if mo:
-            self.kernel_calls["dgemv"] += 1
-            self.mul_flops_total += float(n) * k
-            self.add_flops_total += max(0.0, float(n) * k - n)
+            self.kernel_calls["dgemv"] += mo
+            self.mul_flops_total += mo * float(n) * k
+            self.add_flops_total += mo * max(0.0, float(n) * k - n)
         self._sink.append(
             (OP_FIXUP, self.reg(a), self.reg(b), self.reg(c),
-             encode_scalar(alpha), encode_scalar(beta), side)
+             encode_scalar(alpha), encode_scalar(beta), side, divisors)
         )
 
     # ------------------------------------------------------------------ #
@@ -517,11 +524,15 @@ def _roots(m: int, k: int, n: int, dtype: Any) -> tuple:
     )
 
 
-def _core_regions(a: Region, b: Region, c: Region, side: str) -> tuple:
-    """Even-core windows — same arithmetic as peeling.core_views."""
+def _core_regions(
+    a: Region, b: Region, c: Region, side: str,
+    divisors: Tuple[int, int, int] = (2, 2, 2),
+) -> tuple:
+    """Divisor-exact core windows — same arithmetic as peeling.core_views."""
     m, k = a.shape
     n = b.shape[1]
-    mo, ko, no = m & 1, k & 1, n & 1
+    dm, dk, dn = divisors
+    mo, ko, no = m % dm, k % dk, n % dn
     if side == "tail":
         return (
             a[: m - mo, : k - ko], b[: k - ko, : n - no],
@@ -571,7 +582,9 @@ class _SerialCompiler:
         )
 
         if node.peeled:
-            core_a, core_b, core_c = _core_regions(a, b, c, cfg.peel)
+            core_a, core_b, core_c = _core_regions(
+                a, b, c, cfg.peel, node.divisors
+            )
         else:
             core_a, core_b, core_c = a, b, c
 
@@ -587,7 +600,7 @@ class _SerialCompiler:
                ws=rec.ws, recurse=recurse, kernels=rec.kernels)
 
         if node.peeled:
-            rec.emit_fixup(a, b, c, alpha, beta, cfg.peel)
+            rec.emit_fixup(a, b, c, alpha, beta, cfg.peel, node.divisors)
 
 
 def _compile_serial(
@@ -633,7 +646,9 @@ def _compile_pnode(
     rec = _Recorder(dtype)
     a, b, c = _roots(m, k, n, dtype)
     if node.peeled:
-        core_a, core_b, core_c = _core_regions(a, b, c, cfg.peel)
+        core_a, core_b, core_c = _core_regions(
+            a, b, c, cfg.peel, node.divisors
+        )
     else:
         core_a, core_b, core_c = a, b, c
 
@@ -660,7 +675,7 @@ def _compile_pnode(
         rec.begin_epilogue()
         _stage_combine(ps, core_c, alpha, beta, None, rec.kernels)
         if node.peeled:
-            rec.emit_fixup(a, b, c, alpha, beta, cfg.peel)
+            rec.emit_fixup(a, b, c, alpha, beta, cfg.peel, node.divisors)
 
     return rec.build(signature, m, k, n, cfg.nb, cfg.backend,
                      tuple(branches))
@@ -686,7 +701,7 @@ def _prun_mirror(
             m, k, n, alpha, beta, cfg, scheme, dtype, signature, depth,
         )
     node = decide(m, k, n, depth, scheme, beta == 0.0, cfg.cutoff)
-    if isinstance(node, Base) or node.level == "tb":
+    if isinstance(node, Base) or node.level not in PARALLEL_LEVELS:
         return _compile_serial(
             m, k, n, alpha, beta, cfg, scheme, dtype, signature, depth,
         )

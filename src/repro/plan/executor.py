@@ -136,11 +136,12 @@ def _run_ops(ops, v, st, ctx, nb, backend) -> None:
                   st[be] if be.__class__ is int else be,
                   ctx=ctx, nb=nb, backend=backend)
         elif code == OP_FIXUP:
-            _, ai, bi, ci, al, be, side = op
+            _, ai, bi, ci, al, be, side, divisors = op
             fix = apply_fixups if side == "tail" else apply_fixups_head
             fix(v[ai], v[bi], v[ci],
                 st[al] if al.__class__ is int else al,
-                st[be] if be.__class__ is int else be, ctx=ctx)
+                st[be] if be.__class__ is int else be, ctx=ctx,
+                divisors=divisors)
         else:  # OP_EVENT
             ctx.record(op[1])
 
@@ -175,8 +176,8 @@ def _exec(plan, va, vb, vc, st, ctx, pool, workers, arena=None) -> None:
                  v, st, ctx, plan.nb, plan.backend)
 
         if plan.branches:
-            threads, sub_budget = _split_budget(workers)
             branches = plan.branches
+            threads, sub_budget = _split_budget(workers, len(branches))
             worker_ctxs = [
                 ExecutionContext(ctx.machine, trace=ctx.trace)
                 for _ in branches

@@ -54,7 +54,7 @@ OP_MSUB = 1    # (OP_MSUB, x, y, out, alpha)        out <- alpha*(x - y)
 OP_ACCUM = 2   # (OP_ACCUM, x, out)                 out <- out + x
 OP_AXPBY = 3   # (OP_AXPBY, alpha, x, beta, y)      y <- alpha*x + beta*y
 OP_GEMM = 4    # (OP_GEMM, a, b, c, alpha, beta)    base-case standard GEMM
-OP_FIXUP = 5   # (OP_FIXUP, a, b, c, alpha, beta, side)  dynamic-peeling fixup
+OP_FIXUP = 5   # (OP_FIXUP, a, b, c, alpha, beta, side, divisors)  peel fixup
 OP_EVENT = 6   # (OP_EVENT, RecursionEvent)         trace replay (trace only)
 
 OP_NAMES = ("madd", "msub", "accum", "axpby", "gemm", "fixup", "event")

@@ -13,6 +13,7 @@ from repro.core.opcount import (
     add_ops,
     cutoff_improvement_square,
     one_level_ratio,
+    scheme_ops,
     standard_ops,
     strassen_ops,
     strassen_square_ops,
@@ -132,3 +133,89 @@ class TestPaperHeadlines:
         """The paper compares d=8, m0=1 against d=5, m0=8 explicitly."""
         ratio = winograd_square_ops(8, 1) / winograd_square_ops(5, 8)
         assert ratio == pytest.approx(cutoff_improvement_square(256))
+
+
+class TestSchemeClosedForms:
+    """Closed-form depth-d counts for the non-2x2 registry families.
+
+    Both forms mirror the paper's eq. (3) derivation: a depth-d
+    recursion over a ⟨m̄,m̄,m̄;R⟩ scheme on order ``div^d * q`` issues
+    exactly ``R^d`` base multiplies of order q, plus the per-level
+    block-addition totals summed over ``R^i`` nodes at depth i.  The
+    expected figures here are written as explicit geometric sums and
+    cross-checked against the executed-schedule walker
+    (:func:`repro.core.opcount.scheme_ops`) and against the cost-model
+    ladder's baseline rung (``OperationCountModel``), so the model,
+    the walker, and the algebra must all agree.
+    """
+
+    @pytest.mark.parametrize("d", [0, 1, 2, 3])
+    @pytest.mark.parametrize("q", [3, 5])
+    def test_laderman_depth_form(self, d, q):
+        """⟨3,3,3;23⟩: L(3^d q) = 23^d M(q) + 9 q^2 (23^d - 9^d).
+
+        Each level charges 3*42 block additions of order s/3 (the
+        derived U/V/W profile), giving the 126/(23-9) = 9 coefficient;
+        the count is beta-independent (the generic executor's C
+        recombination does not specialize on the scalar class).
+        """
+        size = 3**d * q
+        expect = 23.0**d * standard_ops(q, q, q) + 9.0 * q * q * (
+            23.0**d - 9.0**d
+        )
+        for beta_zero in (True, False):
+            got = scheme_ops(size, size, size, "laderman", DepthCutoff(d),
+                             beta_zero=beta_zero)
+            assert got == expect
+
+    @pytest.mark.parametrize("d", [0, 1, 2, 3])
+    @pytest.mark.parametrize("q", [2, 5])
+    def test_bdpz_depth_forms(self, d, q):
+        """BDPZ (arXiv:0707.2347): the memory-efficient Winograd level.
+
+        Per node: 6 A-adds, 6 B-adds, and 9 (beta = 0) or 12 (general)
+        C-side operations.  One child per level inherits the caller's
+        scalar class, the other six run general, so a beta = 0 top call
+        keeps exactly one beta = 0 node per level: with 7^i nodes at
+        depth i the general-count recurrence n_g(i+1) = 6 n_0(i) +
+        7 n_g(i) sums to::
+
+            B_0(2^d q) = 7^d M(q) + q^2 (8 (7^d - 4^d) - (4^d - 1))
+            B_g(2^d q) = 7^d M(q) + 8 q^2 (7^d - 4^d)
+        """
+        size = 2**d * q
+        mul = 7.0**d * standard_ops(q, q, q)
+        b0 = mul + q * q * (8.0 * (7.0**d - 4.0**d) - (4.0**d - 1.0))
+        general = mul + 8.0 * q * q * (7.0**d - 4.0**d)
+        assert scheme_ops(size, size, size, "bdpz", DepthCutoff(d),
+                          beta_zero=True) == b0
+        assert scheme_ops(size, size, size, "bdpz", DepthCutoff(d),
+                          beta_zero=False) == general
+
+    @pytest.mark.parametrize("d", [1, 2, 3])
+    def test_bdpz_trades_adds_for_workspace(self, d):
+        """BDPZ spends more additions than the 15-add Winograd schedule
+        of eq. (4) — that is the price of the (mk + kn)/3 workspace
+        bound — but keeps the same 7^d multiply count."""
+        q = 4
+        size = 2**d * q
+        bdpz = scheme_ops(size, size, size, "bdpz", DepthCutoff(d))
+        assert bdpz > winograd_square_ops(d, q)
+        assert bdpz - winograd_square_ops(d, q) < 7.0**d * q * q * 4
+
+    @pytest.mark.parametrize("scheme,size", [("bdpz", 20),
+                                             ("laderman", 45)])
+    @pytest.mark.parametrize("beta_zero", [True, False])
+    def test_walker_matches_cost_model_baseline(self, scheme, size,
+                                                beta_zero):
+        """scheme_ops == strassen_cost under the unit-cost model on
+        divisor-exact dims (where no fix-up terms arise)."""
+        from repro.models.opcount_model import OperationCountModel
+        from repro.models.predict import strassen_cost
+
+        crit = DepthCutoff(2)
+        model_cost = strassen_cost(OperationCountModel(), size, size, size,
+                                   crit, scheme, beta_zero)
+        walker = scheme_ops(size, size, size, scheme, crit,
+                            beta_zero=beta_zero)
+        assert model_cost == walker

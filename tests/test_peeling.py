@@ -161,3 +161,78 @@ class TestHeadPeeling:
             assert cc.shape == (4, 8)
         with pytest.raises(ValueError):
             core_views(a, b, c, "diagonal")
+
+
+class TestMod3Peeling:
+    """Peeling generalized to non-2x2 partition shapes: remainders can be
+    0, 1, *or 2* per dimension, so the fix-ups loop per peeled index
+    (one DGER per stripped k column, one DGEMV per stripped n column or
+    m row) instead of assuming a single strip."""
+
+    _DIV3 = (3, 3, 3)
+
+    @pytest.mark.parametrize("m,k,n", [
+        (10, 9, 9),    # m ≡ 1 only
+        (9, 11, 9),    # k ≡ 2 only
+        (9, 9, 10),    # n ≡ 1 only
+        (10, 11, 12),  # mixed remainders 1/2/0
+        (11, 10, 13),  # remainders 2/1/1
+        (2, 2, 2),     # pure fix-up, no core block
+        (4, 9, 11),
+    ])
+    @pytest.mark.parametrize("alpha,beta", [(1.0, 0.0), (0.5, -1.5)])
+    @pytest.mark.parametrize("side", ["tail", "head"])
+    def test_equals_full_product(self, mats, m, k, n, alpha, beta, side):
+        from repro.core.peeling import (
+            apply_fixups,
+            apply_fixups_head,
+            core_views,
+        )
+
+        a, b, c = mats(m, k, n)
+        expect = alpha * (a @ b) + beta * c
+        ctx = ExecutionContext()
+        ca, cb, cc = core_views(a, b, c, side, self._DIV3)
+        if min(ca.shape + cb.shape) > 0:
+            dgemm(ca, cb, cc, alpha, beta, ctx=ctx)
+        if side == "tail":
+            apply_fixups(a, b, c, alpha, beta, ctx=ctx,
+                         divisors=self._DIV3)
+        else:
+            apply_fixups_head(a, b, c, alpha, beta, ctx=ctx,
+                              divisors=self._DIV3)
+        np.testing.assert_allclose(c, expect, atol=1e-11)
+
+    def test_kernel_counts_per_remainder(self, mats):
+        """Remainder r costs r DGER/DGEMV calls, not one."""
+        a, b, c = mats(10, 7, 11)   # remainders: m 1, k 1, n 2
+        ctx = ExecutionContext()
+        from repro.core.peeling import apply_fixups, core_views
+
+        ca, cb, cc = core_views(a, b, c, "tail", self._DIV3)
+        dgemm(ca, cb, cc, 1.0, 0.0, ctx=ctx)
+        apply_fixups(a, b, c, 1.0, 0.0, ctx=ctx, divisors=self._DIV3)
+        assert ctx.kernel_calls["dger"] == 1    # one peeled k column
+        assert ctx.kernel_calls["dgemv"] == 3   # two n columns + one m row
+
+    def test_fixup_ops_mod3(self):
+        ko, no, mo = 1, 2, 1
+        mp, np_, k, n = 9, 9, 7, 11
+        expect = (ko * 2 * mp * np_) + (no * 2 * mp * k) + (mo * 2 * n * k)
+        assert fixup_ops(10, 7, 11, self._DIV3) == expect
+        assert fixup_ops(9, 9, 9, self._DIV3) == 0.0
+
+    def test_laderman_end_to_end_on_mod3_shape(self, mats):
+        """The driver peels ⟨3,3,3⟩ recursion correctly on both sides."""
+        from repro.core.cutoff import SimpleCutoff
+        from repro.core.dgefmm import dgefmm
+
+        a, b, c1 = mats(28, 29, 31)
+        expect = 0.5 * (a @ b) + 1.5 * c1
+        c2 = c1.copy(order="F")
+        dgefmm(a, b, c1, 0.5, 1.5, cutoff=SimpleCutoff(8),
+               scheme="laderman", peel="tail")
+        dgefmm(a, b, c2, 0.5, 1.5, cutoff=SimpleCutoff(8),
+               scheme="laderman", peel="head")
+        np.testing.assert_allclose(c1, expect, atol=1e-10)
+        np.testing.assert_allclose(c2, expect, atol=1e-10)

@@ -30,6 +30,7 @@ from repro.core.cutoff import (
 )
 from repro.core.dgefmm import dgefmm
 from repro.core.recursion import recursion_profile
+from repro.core.schemes import SCHEME_NAMES
 from repro.core.traversal import (
     LEVELS,
     Base,
@@ -51,6 +52,16 @@ class TestPeelSplit:
         assert peel_split(5, 7, 9) == (4, 6, 8)
         assert peel_split(1, 1, 1) == (0, 0, 0)
 
+    def test_mod3_divisors(self):
+        """Non-2x2 partition shapes peel to the next lower multiple."""
+        assert peel_split(9, 6, 12, (3, 3, 3)) == (9, 6, 12)
+        assert peel_split(10, 7, 11, (3, 3, 3)) == (9, 6, 9)
+        assert peel_split(2, 2, 2, (3, 3, 3)) == (0, 0, 0)
+
+    def test_mixed_divisors(self):
+        assert peel_split(10, 9, 8, (2, 3, 2)) == (10, 9, 8)
+        assert peel_split(11, 10, 9, (2, 3, 2)) == (10, 9, 8)
+
 
 class TestPickLevel:
     @pytest.mark.parametrize("scheme,beta_zero,expect", [
@@ -64,6 +75,10 @@ class TestPickLevel:
         ("strassen1_general", False, ("s1g", "strassen1_general")),
         ("textbook", True, ("tb", "textbook")),
         ("textbook", False, ("tb", "textbook")),
+        ("bdpz", True, ("bdpz", "bdpz")),
+        ("bdpz", False, ("bdpz", "bdpz")),
+        ("laderman", True, ("l23", "laderman")),
+        ("laderman", False, ("l23", "laderman")),
     ])
     def test_dispatch_table(self, scheme, beta_zero, expect):
         assert pick_level(scheme, beta_zero) == expect
@@ -73,9 +88,10 @@ class TestPickLevel:
             pick_level("winograd", True)
 
     def test_level_child_counts(self):
-        """Every schedule — including the textbook 15-add variant — is a
-        7-product Winograd level."""
-        assert LEVELS == {"s1b0": 7, "s1g": 7, "s2": 7, "tb": 7}
+        """Product counts per level: the 2x2 schedules spawn 7 children,
+        the ⟨3,3,3;23⟩ Laderman level 23."""
+        assert LEVELS == {"s1b0": 7, "s1g": 7, "s2": 7, "tb": 7,
+                          "bdpz": 7, "l23": 23}
 
 
 class TestDecide:
@@ -107,6 +123,24 @@ class TestDecide:
         node = decide(8, 8, 8, 0, "textbook", True, AlwaysRecurse())
         assert node.level == "tb" and node.children == 7
 
+    def test_laderman_partitions_by_three(self):
+        node = decide(27, 27, 27, 0, "laderman", True, AlwaysRecurse())
+        assert isinstance(node, Recurse) and not node.peeled
+        assert node.level == "l23" and node.children == 23
+        assert node.divisors == (3, 3, 3)
+        assert node.child_dims == (9, 9, 9)
+
+    def test_laderman_peels_to_multiple_of_three(self):
+        node = decide(28, 29, 31, 0, "laderman", False, AlwaysRecurse())
+        assert isinstance(node, Peel) and node.peeled
+        assert (node.mp, node.kp, node.np_) == (27, 27, 30)
+        assert node.child_dims == (9, 9, 10)
+
+    def test_bdpz_is_a_seven_product_2x2_level(self):
+        node = decide(8, 8, 8, 0, "bdpz", False, AlwaysRecurse())
+        assert node.level == "bdpz" and node.children == 7
+        assert node.divisors == (2, 2, 2)
+
     def test_depth_reaches_criterion(self):
         crit = DepthCutoff(2)
         assert isinstance(decide(64, 64, 64, 2, "auto", True, crit), Base)
@@ -133,8 +167,7 @@ _CUTOFFS = (
     AlwaysRecurse(),
     NeverRecurse(),
 )
-_SCHEMES = ("auto", "strassen1", "strassen1_general", "strassen2",
-            "textbook")
+_SCHEMES = SCHEME_NAMES  # the full registry, non-2x2 families included
 
 
 def _event_tuples(events):
@@ -157,6 +190,9 @@ def _event_tuples(events):
 @example(m=25, k=25, n=25, ci=0, si=4, peel="head", beta=0.0)
 @example(m=40, k=3, n=40, ci=2, si=1, peel="tail", beta=1.5)
 @example(m=1, k=40, n=40, ci=8, si=0, peel="tail", beta=0.0)
+@example(m=27, k=27, n=27, ci=1, si=6, peel="tail", beta=0.0)
+@example(m=28, k=30, n=31, ci=0, si=6, peel="head", beta=1.5)
+@example(m=32, k=32, n=32, ci=6, si=5, peel="tail", beta=1.5)
 def test_decision_trace_equivalence(m, k, n, ci, si, peel, beta):
     """Eager events == compiled-plan events; both match the closed-form
     profile's node counts — for every shape/cutoff/scheme/peel/beta."""
