@@ -1,0 +1,127 @@
+"""API bench: routed multi-process serving vs one in-process service.
+
+The network front-end exists to scale past the GIL: the router shards
+requests across worker *processes*, so compute parallelism is real
+even though each worker's ``GemmService`` is thread-based.  The honest
+comparison is therefore the same saturating open-loop mix driven (a)
+through one in-process single-worker ``GemmService`` and (b) over the
+wire through a 2-shard router — identical shapes, seed, and
+verification, with ``canonical_operands`` on both sides so the
+reference and the server provably compute on the same bytes.
+
+Acceptance (ISSUE 7): routed throughput >= 1.3x in-process and every
+shard's plan-cache hit rate > 0.8.  The throughput assertion only
+holds where process parallelism is possible, so it is gated on >= 2
+usable CPUs; the measured ratio and the CPU count are recorded in
+``BENCH_api.json`` either way, so a single-CPU CI box still produces
+an auditable document without asserting an impossibility.
+"""
+
+import os
+
+from benchmarks.conftest import emit, emit_json
+from repro.api import ApiServerThread, GemmClient
+from repro.serve import run_load
+
+DURATION = 2.0
+RATE = 400.0          # saturating: completion count measures capacity
+N_SHAPES = 8
+SEED = 0
+MAX_DIM = 32
+MIN_SPEEDUP = 1.3
+MIN_HIT_RATE = 0.8
+
+
+def _usable_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def _row(mode, report):
+    return {
+        "mode": mode,
+        "attempts": report["attempts"],
+        "completed": report["completed"],
+        "errors": report["errors"],
+        "divergent": report["divergent"],
+        "throughput_rps": report["completed"] / DURATION,
+    }
+
+
+def test_routed_vs_inprocess(benchmark):
+    """Saturating mixed-shape load, in-process vs over-the-wire."""
+    inproc = run_load(
+        duration=DURATION, rate=RATE, workers=1, n_shapes=N_SHAPES,
+        seed=SEED, max_dim=MAX_DIM, capacity=1024, policy="block",
+        canonical_operands=True,
+    )
+
+    srv = ApiServerThread(workers=2, threads=1, capacity=1024,
+                          policy="block", max_batch=32)
+    srv.start()
+    try:
+        with GemmClient("127.0.0.1", srv.port) as client:
+            routed = benchmark.pedantic(
+                lambda: run_load(
+                    duration=DURATION, rate=RATE, n_shapes=N_SHAPES,
+                    seed=SEED, max_dim=MAX_DIM, service=client,
+                    canonical_operands=True,
+                ),
+                rounds=1, iterations=1,
+            )
+        final = srv.drain()
+    except BaseException:
+        srv.kill()
+        raise
+
+    # Hit rate is only meaningful for shards the hash ring actually
+    # sent traffic to; an idle shard reports 0/0.
+    hit_rates = [s["service"]["plan_cache"]["hit_rate"]
+                 for s in final["shards"]
+                 if s.get("service") and s.get("routed", 0) > 0]
+    cpus = _usable_cpus()
+    speedup = (routed["completed"] / max(1, inproc["completed"]))
+
+    rows = [_row("in_process", inproc), _row("routed_2_shards", routed)]
+    emit(
+        "API: routed 2-shard serving vs in-process service",
+        "\n".join(
+            f"{r['mode']:<16} completed {r['completed']:>4}/"
+            f"{r['attempts']} ({r['throughput_rps']:6.0f} req/s), "
+            f"errors {r['errors']}, divergent {r['divergent']}"
+            for r in rows
+        )
+        + f"\nrouted vs in-process {speedup:.2f}x on {cpus} cpu(s); "
+        f"shard hit rates {['%.2f' % h for h in hit_rates]}",
+    )
+    emit_json(
+        "api",
+        {"duration": DURATION, "rate": RATE, "n_shapes": N_SHAPES,
+         "seed": SEED, "max_dim": MAX_DIM, "workers_routed": 2,
+         "workers_inprocess": 1},
+        rows,
+        speedup_routed_vs_inprocess=speedup,
+        shard_hit_rates=hit_rates,
+        cpus=cpus,
+        speedup_asserted=cpus >= 2,
+    )
+
+    # correctness is unconditional: every completed request verified
+    for r in rows:
+        assert r["errors"] == 0 and r["divergent"] == 0, r
+    assert inproc["completed"] > 0 and routed["completed"] > 0
+
+    # sharding must pay for itself in plan-cache locality
+    assert hit_rates and all(h > MIN_HIT_RATE for h in hit_rates), (
+        f"per-shard plan-cache hit rates {hit_rates} "
+        f"(need all > {MIN_HIT_RATE})"
+    )
+
+    # throughput: only assertable where process parallelism exists
+    if cpus >= 2:
+        assert speedup >= MIN_SPEEDUP, (
+            f"routed throughput only {speedup:.2f}x in-process "
+            f"(need >= {MIN_SPEEDUP}x on {cpus} cpus)"
+        )

@@ -9,6 +9,8 @@ parallel  repeated-call throughput: serial vs pooled parallel DGEFMM
 plan      compile/explain/replay execution plans (``--selftest`` verifies)
 fuzz      differential fuzzing campaign over every execution path
 serve     batched GEMM service under open-loop load, verified live
+api       network front-end over multi-process sharded serving
+          (actions: serve, fuzz, load)
 selftest  quick end-to-end verification of the installation
 
 Every command accepts ``--json`` and then prints a single JSON document
@@ -444,6 +446,7 @@ def _cmd_serve(args) -> int:
         n_shapes=args.shapes,
         seed=args.seed,
         max_dim=args.max_dim,
+        scheme=args.scheme or None,
         request_timeout=args.timeout,
         verify=not args.no_verify,
     )
@@ -455,7 +458,8 @@ def _cmd_serve(args) -> int:
              "workers": args.workers, "policy": args.policy,
              "capacity": args.capacity, "max_batch": args.max_batch,
              "shapes": args.shapes, "seed": args.seed,
-             "max_dim": args.max_dim, "verify": not args.no_verify},
+             "max_dim": args.max_dim, "scheme": args.scheme or None,
+             "verify": not args.no_verify},
             [report], ok=ok,
         )
         return 0 if ok else 1
@@ -485,6 +489,177 @@ def _cmd_serve(args) -> int:
         for line in report["failures"]:
             print(f"  FAIL {line}")
     print(f"serve: {'ok' if ok else 'FAILED'}")
+    return 0 if ok else 1
+
+
+def _api_pool_flags(p) -> None:
+    """Worker-pool knobs shared by every ``api`` action."""
+    p.add_argument("--workers", type=int, default=2,
+                   help="worker processes / shards (default 2)")
+    p.add_argument("--threads", type=int, default=1,
+                   help="service threads per worker (default 1)")
+    p.add_argument("--capacity", type=int, default=256,
+                   help="admission bound per shard (default 256)")
+    p.add_argument("--policy", default="reject",
+                   choices=["reject", "block", "shed-oldest"],
+                   help="overload policy (gate and worker queue)")
+    p.add_argument("--max-batch", dest="max_batch", type=int, default=32,
+                   help="micro-batch ceiling per worker (default 32)")
+    p.add_argument("--arena-mb", dest="arena_mb", type=int, default=64,
+                   help="shared-memory transport per worker, MiB")
+
+
+def _api_pool_cfg(args) -> dict:
+    return {
+        "workers": args.workers,
+        "threads": args.threads,
+        "capacity": args.capacity,
+        "policy": args.policy,
+        "max_batch": args.max_batch,
+        "arena_bytes": args.arena_mb * 1024 * 1024,
+    }
+
+
+def _cmd_api_serve(args) -> int:
+    """Run the network front-end until interrupted, then drain."""
+    import time as _time
+
+    from repro.api.server import ApiServerThread
+
+    srv = ApiServerThread(
+        host=args.host, port=args.port, rate=args.rate_limit,
+        burst=args.burst, **_api_pool_cfg(args),
+    ).start()
+    print(f"api: listening on http://{args.host}:{srv.port} "
+          f"({args.workers} workers x {args.threads} threads, "
+          f"policy {args.policy!r}, "
+          f"rate limit {args.rate_limit:g}/s)")
+    print("api: POST /v1/gemm | GET /v1/ws | /healthz | /metrics "
+          "(Ctrl-C drains)")
+    try:
+        while True:
+            _time.sleep(1.0)
+    except KeyboardInterrupt:
+        pass
+    final = srv.drain(timeout=30.0)
+    fe = final["frontend"]
+    print(f"api: drained; {fe['requests_total']} requests "
+          f"({fe['ok_total']} ok), "
+          f"{sum(fe['errors'].values())} errors")
+    return 0
+
+
+def _cmd_api_fuzz(args) -> int:
+    """Differential fuzz through client, transport, router, and workers."""
+    from repro.api.wirefuzz import run_wire_fuzz
+
+    def progress(done: int, total: int, divergent: int) -> None:
+        if not args.json and done % 100 == 0:
+            print(f"  {done}/{total} cases, {divergent} divergent")
+
+    report, stats = run_wire_fuzz(
+        cases=args.cases, seed=args.seed, max_dim=args.max_dim,
+        scheme=args.scheme or None,
+        host=args.host or None, port=args.port,
+        workers=args.workers, threads=args.threads,
+        capacity=args.capacity, policy=args.policy,
+        max_batch=args.max_batch, progress=progress,
+    )
+    shards = [
+        {"shard": s.get("shard"), "routed": s.get("routed"),
+         "hit_rate": (s.get("service", {})
+                      .get("plan_cache", {}).get("hit_rate")),
+         "leases_outstanding": (s.get("arena") or {})
+         .get("leases_outstanding")}
+        for s in stats.get("shards", [])
+    ]
+    if args.json:
+        _print_bench_json(
+            "api_fuzz",
+            {"cases": args.cases, "seed": args.seed,
+             "max_dim": args.max_dim, "scheme": args.scheme or None,
+             "workers": args.workers, "threads": args.threads,
+             "policy": args.policy},
+            [report.to_dict()], shards=shards,
+        )
+        return 0 if report.ok else 1
+    print(f"api fuzz: {report.cases} cases over the wire "
+          f"(seed {args.seed}), {report.divergent} divergent")
+    for key, num in sorted(report.coverage.items()):
+        print(f"  coverage {key:<24} {num}")
+    for s in shards:
+        print(f"  shard {s['shard']}: routed {s['routed']}, "
+              f"leases outstanding {s['leases_outstanding']}")
+    for rec in report.failures:
+        print(f"  FAIL case={rec['case']}")
+        for f in rec["failures"]:
+            print(f"    {f}")
+    print(f"api fuzz: {'ok' if report.ok else 'FAILED'}")
+    return 0 if report.ok else 1
+
+
+def _cmd_api_load(args) -> int:
+    """Open-loop load through the network stack, verified bit-exact."""
+    from repro.api.client import GemmClient
+    from repro.serve.loadgen import run_load
+
+    own = None
+    host = args.host or "127.0.0.1"
+    port = args.port
+    if not args.host:
+        from repro.api.server import ApiServerThread
+
+        own = ApiServerThread(**_api_pool_cfg(args)).start()
+        port = own.port
+    client = GemmClient(host, port, client_id="api-load")
+    try:
+        report = run_load(
+            duration=args.duration, rate=args.rate,
+            n_shapes=args.shapes, seed=args.seed, max_dim=args.max_dim,
+            scheme=args.scheme or None,
+            request_timeout=args.timeout, verify=not args.no_verify,
+            service=client, canonical_operands=True,
+        )
+    finally:
+        client.close()
+        if own is not None:
+            final = own.drain(timeout=30.0)
+            report["server_final"] = final
+    ok = report["errors"] == 0 and report["divergent"] == 0
+    shards = report.get("server_final", report["service"]).get("shards", [])
+    if args.json:
+        _print_bench_json(
+            "api_load",
+            {"duration": args.duration, "rate": args.rate,
+             "shapes": args.shapes, "seed": args.seed,
+             "max_dim": args.max_dim, "scheme": args.scheme or None,
+             "workers": args.workers, "threads": args.threads,
+             "policy": args.policy, "verify": not args.no_verify},
+            [report], ok=ok,
+        )
+        return 0 if ok else 1
+    print(f"api load: {args.duration:.1f} s at {args.rate:.0f} req/s "
+          f"offered over the wire, {args.workers} workers, "
+          f"policy {args.policy!r}")
+    print(f"  attempts {report['attempts']}, "
+          f"completed {report['completed']} "
+          f"({report['achieved_rate']:.0f}/s), "
+          f"rejected {report['rejected']}, shed {report['shed']}, "
+          f"timeouts {report['timeouts']}, errors {report['errors']}")
+    for s in shards:
+        svc = s.get("service", {})
+        pc = svc.get("plan_cache", {})
+        arena = s.get("arena") or {}
+        print(f"  shard {s.get('shard')}: routed {s.get('routed')}, "
+              f"hit rate {pc.get('hit_rate', 0.0):.2f}, "
+              f"leases outstanding "
+              f"{arena.get('leases_outstanding')}")
+    if not args.no_verify:
+        print(f"  verified: {report['divergent']} divergences "
+              f"across {report['completed']} responses")
+        for line in report["failures"]:
+            print(f"  FAIL {line}")
+    print(f"api load: {'ok' if ok else 'FAILED'}")
     return 0 if ok else 1
 
 
@@ -646,11 +821,81 @@ def main(argv=None) -> int:
                    help="upper bound for each of m/k/n (default 48)")
     p.add_argument("--timeout", type=float, default=None,
                    help="per-request deadline in seconds (default: none)")
+    p.add_argument("--scheme", default="",
+                   choices=[""] + list(SCHEME_NAMES),
+                   help="pin the whole shape mix to one scheme "
+                        "(mirrors 'repro fuzz --scheme')")
     p.add_argument("--no-verify", dest="no_verify", action="store_true",
                    help="skip bit-identity verification against dgefmm")
     p.add_argument("--json", action="store_true",
                    help="emit the benchmark-schema JSON document")
     p.set_defaults(fn=_cmd_serve)
+
+    p = sub.add_parser(
+        "api",
+        help="network front-end over multi-process sharded serving",
+    )
+    api_sub = p.add_subparsers(dest="action", required=True)
+
+    q = api_sub.add_parser("serve", help="run the HTTP+WebSocket server")
+    _api_pool_flags(q)
+    q.add_argument("--host", default="127.0.0.1")
+    q.add_argument("--port", type=int, default=8771)
+    q.add_argument("--rate-limit", dest="rate_limit", type=float,
+                   default=0.0,
+                   help="per-client token-bucket rate, req/s "
+                        "(0 disables; default 0)")
+    q.add_argument("--burst", type=float, default=None,
+                   help="token-bucket burst (default 2x rate)")
+    q.set_defaults(fn=_cmd_api_serve)
+
+    q = api_sub.add_parser(
+        "fuzz", help="differential fuzz through the full network stack"
+    )
+    _api_pool_flags(q)
+    q.add_argument("--cases", type=int, default=200,
+                   help="number of randomized cases (default 200)")
+    q.add_argument("--seed", type=int, default=0,
+                   help="campaign RNG seed (same seed -> same cases)")
+    q.add_argument("--max-dim", dest="max_dim", type=int, default=32,
+                   help="upper bound for each of m/k/n (default 32)")
+    q.add_argument("--scheme", default="",
+                   choices=[""] + list(SCHEME_NAMES),
+                   help="pin every case to one scheme")
+    q.add_argument("--host", default="",
+                   help="target a live server instead of an embedded one")
+    q.add_argument("--port", type=int, default=8771)
+    q.add_argument("--json", action="store_true",
+                   help="emit the benchmark-schema JSON document")
+    q.set_defaults(fn=_cmd_api_fuzz)
+
+    q = api_sub.add_parser(
+        "load", help="open-loop load through the network front-end"
+    )
+    _api_pool_flags(q)
+    q.add_argument("--duration", type=float, default=3.0,
+                   help="seconds of open-loop load (default 3)")
+    q.add_argument("--rate", type=float, default=100.0,
+                   help="offered arrival rate, requests/s (default 100)")
+    q.add_argument("--shapes", type=int, default=8,
+                   help="distinct shapes in the repeating mix (default 8)")
+    q.add_argument("--seed", type=int, default=0,
+                   help="shape-mix RNG seed")
+    q.add_argument("--max-dim", dest="max_dim", type=int, default=48,
+                   help="upper bound for each of m/k/n (default 48)")
+    q.add_argument("--scheme", default="",
+                   choices=[""] + list(SCHEME_NAMES),
+                   help="pin the whole mix to one scheme")
+    q.add_argument("--timeout", type=float, default=None,
+                   help="per-request deadline in seconds (default: none)")
+    q.add_argument("--no-verify", dest="no_verify", action="store_true",
+                   help="skip bit-identity verification")
+    q.add_argument("--host", default="",
+                   help="target a live server instead of an embedded one")
+    q.add_argument("--port", type=int, default=8771)
+    q.add_argument("--json", action="store_true",
+                   help="emit the benchmark-schema JSON document")
+    q.set_defaults(fn=_cmd_api_load)
 
     p = sub.add_parser("selftest", help="quick installation check")
     p.add_argument("--json", action="store_true",

@@ -1,0 +1,133 @@
+"""Per-client token-bucket rate limiting for the network front-end.
+
+A classic token bucket: capacity ``burst`` tokens, refilled at ``rate``
+tokens per second, one token per request.  An empty bucket refuses the
+request immediately (:class:`~repro.errors.RateLimited` over the wire
+as HTTP 429) — admission control belongs *before* the shard queues, so
+one chatty client cannot fill a worker's admission queue and starve
+everyone sharing its shard.
+
+:class:`ClientLimits` keys buckets by client id (the ``client`` field a
+request carries, falling back to the peer address), creating them on
+first sight and expiring idle ones so a long-lived server does not
+accumulate a bucket per ephemeral port.  Time is injected (``clock``)
+so tests drive refill deterministically.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.errors import ArgumentError
+
+__all__ = ["TokenBucket", "ClientLimits"]
+
+
+class TokenBucket:
+    """``burst``-deep bucket refilled at ``rate`` tokens/second."""
+
+    __slots__ = ("rate", "burst", "_tokens", "_t_last", "_clock",
+                 "allowed", "refused")
+
+    def __init__(self, rate: float, burst: float,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if rate <= 0:
+            raise ArgumentError(
+                "TokenBucket", "rate", f"must be > 0, got {rate}"
+            )
+        if burst < 1:
+            raise ArgumentError(
+                "TokenBucket", "burst", f"must be >= 1, got {burst}"
+            )
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._tokens = float(burst)
+        self._clock = clock
+        self._t_last = clock()
+        self.allowed = 0
+        self.refused = 0
+
+    def try_acquire(self, n: float = 1.0) -> bool:
+        """Take ``n`` tokens if available; False (and no debit) if not."""
+        now = self._clock()
+        self._tokens = min(
+            self.burst, self._tokens + (now - self._t_last) * self.rate
+        )
+        self._t_last = now
+        if self._tokens >= n:
+            self._tokens -= n
+            self.allowed += 1
+            return True
+        self.refused += 1
+        return False
+
+    @property
+    def tokens(self) -> float:
+        """Current (pre-refill) token balance — introspection only."""
+        return self._tokens
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"TokenBucket(rate={self.rate}, burst={self.burst}, "
+            f"tokens={self._tokens:.2f})"
+        )
+
+
+class ClientLimits:
+    """A bucket per client id, with idle expiry.
+
+    ``rate <= 0`` disables limiting entirely (every check passes), so
+    one code path serves both configurations.  Single-threaded by
+    design: the asyncio front-end calls it from the event loop only.
+    """
+
+    def __init__(self, rate: float, burst: Optional[float] = None, *,
+                 idle_expiry: float = 300.0,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self.rate = float(rate)
+        self.burst = float(burst) if burst is not None else max(
+            1.0, 2.0 * self.rate
+        )
+        self.idle_expiry = float(idle_expiry)
+        self._clock = clock
+        self._buckets: Dict[str, Tuple[TokenBucket, float]] = {}
+        self.refused = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.rate > 0
+
+    def check(self, client_id: str) -> bool:
+        """True when ``client_id`` may proceed (debits one token)."""
+        if not self.enabled:
+            return True
+        now = self._clock()
+        entry = self._buckets.get(client_id)
+        if entry is None:
+            self._expire(now)
+            bucket = TokenBucket(self.rate, self.burst, clock=self._clock)
+            self._buckets[client_id] = (bucket, now)
+        else:
+            bucket = entry[0]
+            self._buckets[client_id] = (bucket, now)
+        ok = bucket.try_acquire()
+        if not ok:
+            self.refused += 1
+        return ok
+
+    def _expire(self, now: float) -> None:
+        dead = [
+            cid for cid, (_b, seen) in self._buckets.items()
+            if now - seen > self.idle_expiry
+        ]
+        for cid in dead:
+            del self._buckets[cid]
+
+    def stats(self) -> Dict[str, float]:
+        return {
+            "rate": self.rate,
+            "burst": self.burst,
+            "clients": len(self._buckets),
+            "refused": self.refused,
+        }

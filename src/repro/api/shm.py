@@ -1,0 +1,249 @@
+"""ShmArena: the zero-copy operand transport between router and workers.
+
+Network payloads land in the front-end process, but the matrices they
+carry are *computed* in worker processes.  Pickling ndarrays through a
+``multiprocessing`` pipe would copy every operand twice (serialize +
+deserialize) and burn the GIL-free parallelism the process pool exists
+to buy.  Instead each worker owns one ``multiprocessing.shared_memory``
+segment managed as a :class:`ShmArena`: the router leases regions,
+copies the wire bytes in once, and sends only a tiny descriptor
+(offset, shape, dtype) over the pipe; the worker maps the same region
+as a Fortran-ordered ndarray **view** — zero bytes cross the process
+boundary beyond the descriptor (cf. the contiguous-buffer operand
+packing of Huang et al.'s BLIS Strassen, applied at the transport
+layer: operands live in one flat, reusable buffer per worker).
+
+Leases are explicit and audited.  :meth:`ShmArena.lease` carves a
+region out of a first-fit free list (16-byte aligned, coalescing on
+release), and :meth:`ShmArena.stats` exposes the grant/release
+counters; a served request that forgets to release shows up as
+``leases_outstanding != 0``, which the api test-suite and the fuzz
+campaign assert against after every run — the transport cannot leak
+silently.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+from multiprocessing import shared_memory
+
+from repro.errors import ArgumentError, WorkspaceError
+
+__all__ = ["ShmArena", "ShmLease"]
+
+#: allocation granularity: every lease offset/size is a multiple of this,
+#: so any ndarray view (complex128 included) is element-aligned
+ALIGN = 16
+
+
+class ShmLease:
+    """One leased region of an arena: ``[offset, offset + nbytes)``.
+
+    A value object handed out by :meth:`ShmArena.lease`; its
+    ``(offset, nbytes)`` pair is what travels in the pipe descriptor.
+    """
+
+    __slots__ = ("offset", "nbytes", "_released")
+
+    def __init__(self, offset: int, nbytes: int) -> None:
+        self.offset = offset
+        self.nbytes = nbytes
+        self._released = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"ShmLease(offset={self.offset}, nbytes={self.nbytes})"
+
+
+class ShmArena:
+    """A shared-memory segment with first-fit lease/release accounting.
+
+    Created by the router (``create=True``) and attached by the worker
+    process it serves (:meth:`attach`).  Only the creating side
+    allocates; the attaching side just maps views at descriptor offsets
+    — so the free list needs no cross-process coordination.
+
+    The allocator is first-fit over an address-ordered free list with
+    coalescing on release: robust to out-of-order lifetimes (a slow
+    request does not block reuse of its neighbours).  Exhaustion raises
+    :class:`~repro.errors.WorkspaceError`; the router surfaces that as
+    service overload, which is exactly what a full transport is.
+    """
+
+    def __init__(self, size: int, *, name: Optional[str] = None,
+                 create: bool = True) -> None:
+        if create and size < ALIGN:
+            raise ArgumentError(
+                "ShmArena", "size", f"must be >= {ALIGN}, got {size}"
+            )
+        if create:
+            size = -(-size // ALIGN) * ALIGN
+            self._shm = shared_memory.SharedMemory(
+                name=name, create=True, size=size
+            )
+        else:
+            # CPython < 3.13 registers *attached* segments with the
+            # resource tracker too (bpo-39959).  Here that is benign:
+            # workers are spawn-children of the router, so they share
+            # the router's tracker process and the attach registration
+            # is a set no-op — unregistering would instead delete the
+            # creator's entry and make unlink() warn.  Do nothing.
+            self._shm = shared_memory.SharedMemory(name=name, create=False)
+        self.size = self._shm.size
+        self.created = bool(create)
+        self._lock = threading.Lock()
+        #: address-ordered (offset, size) holes; creator-side only
+        self._free: List[Tuple[int, int]] = [(0, self.size)]
+        self._granted = 0
+        self._released = 0
+        self._leased_bytes = 0
+        self._peak_leased = 0
+        self._failed = 0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def name(self) -> str:
+        """The segment name a worker passes to :meth:`attach`."""
+        return self._shm.name
+
+    @classmethod
+    def attach(cls, name: str) -> "ShmArena":
+        """Map an existing segment (worker side; no allocator state)."""
+        return cls(0, name=name, create=False)
+
+    # ------------------------------------------------------------------ #
+    def lease(self, nbytes: int) -> ShmLease:
+        """Reserve ``nbytes`` (rounded up to the 16-byte grain).
+
+        Zero-byte leases are legal (degenerate operands) and occupy no
+        space.  Raises :class:`~repro.errors.WorkspaceError` when no
+        hole fits — the caller translates that into backpressure.
+        """
+        if nbytes < 0:
+            raise ArgumentError(
+                "ShmArena", "nbytes", f"must be >= 0, got {nbytes}"
+            )
+        with self._lock:
+            self._granted += 1
+            if nbytes == 0:
+                return ShmLease(0, 0)
+            need = -(-nbytes // ALIGN) * ALIGN
+            for i, (off, size) in enumerate(self._free):
+                if size >= need:
+                    if size == need:
+                        del self._free[i]
+                    else:
+                        self._free[i] = (off + need, size - need)
+                    self._leased_bytes += need
+                    self._peak_leased = max(
+                        self._peak_leased, self._leased_bytes
+                    )
+                    return ShmLease(off, need)
+            self._granted -= 1
+            self._failed += 1
+            raise WorkspaceError(
+                f"ShmArena {self.name}: no hole for {need} B "
+                f"({self._leased_bytes}/{self.size} B leased)"
+            )
+
+    def release(self, lease: ShmLease) -> None:
+        """Return a lease to the free list, coalescing neighbours."""
+        with self._lock:
+            if lease._released:
+                raise WorkspaceError(
+                    f"ShmArena {self.name}: double release of {lease!r}"
+                )
+            lease._released = True
+            self._released += 1
+            if lease.nbytes == 0:
+                return
+            self._leased_bytes -= lease.nbytes
+            off, size = lease.offset, lease.nbytes
+            # insert address-ordered, then merge with both neighbours
+            lo, hi = 0, len(self._free)
+            while lo < hi:
+                mid = (lo + hi) // 2
+                if self._free[mid][0] < off:
+                    lo = mid + 1
+                else:
+                    hi = mid
+            self._free.insert(lo, (off, size))
+            if lo + 1 < len(self._free):
+                noff, nsize = self._free[lo + 1]
+                if off + size == noff:
+                    self._free[lo] = (off, size + nsize)
+                    del self._free[lo + 1]
+                    size += nsize
+            if lo > 0:
+                poff, psize = self._free[lo - 1]
+                if poff + psize == off:
+                    self._free[lo - 1] = (poff, psize + size)
+                    del self._free[lo]
+
+    # ------------------------------------------------------------------ #
+    def view(self, offset: int, shape: Tuple[int, ...],
+             dtype: str) -> np.ndarray:
+        """A Fortran-ordered ndarray view of ``shape`` at ``offset``.
+
+        Works on either side of the pipe: the router writes operands
+        through it, the worker reads them and writes results back —
+        the same physical pages, no copies.
+        """
+        dt = np.dtype(dtype)
+        return np.ndarray(shape, dtype=dt, buffer=self._shm.buf,
+                          offset=offset, order="F")
+
+    def write_bytes(self, lease: ShmLease, data) -> None:
+        """Copy raw bytes into a leased region (the one network->shm copy)."""
+        n = len(data)
+        if n > lease.nbytes:
+            raise WorkspaceError(
+                f"ShmArena {self.name}: {n} B into a {lease.nbytes} B lease"
+            )
+        if n:
+            self._shm.buf[lease.offset:lease.offset + n] = data
+
+    def read_bytes(self, offset: int, nbytes: int) -> bytes:
+        """Copy raw bytes out of the segment (the one shm->socket copy)."""
+        return bytes(self._shm.buf[offset:offset + nbytes])
+
+    # ------------------------------------------------------------------ #
+    def stats(self) -> Dict[str, int]:
+        """Lease accounting snapshot; ``leases_outstanding`` must return
+        to zero when the transport is idle — the no-leak invariant."""
+        with self._lock:
+            return {
+                "size": self.size,
+                "leased_bytes": self._leased_bytes,
+                "peak_leased_bytes": self._peak_leased,
+                "leases_granted": self._granted,
+                "leases_released": self._released,
+                "leases_outstanding": self._granted - self._released,
+                "lease_failures": self._failed,
+                "free_holes": len(self._free),
+            }
+
+    def close(self) -> None:
+        """Unmap the segment (both sides); idempotent."""
+        try:
+            self._shm.close()
+        except BufferError:  # pragma: no cover - views still alive
+            pass
+
+    def unlink(self) -> None:
+        """Destroy the segment (creator side only); idempotent."""
+        if not self.created:
+            return
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        s = self.stats()
+        return (
+            f"ShmArena({self.name}, {s['leased_bytes']}/{s['size']} B "
+            f"leased, {s['leases_outstanding']} outstanding)"
+        )

@@ -17,6 +17,8 @@ __all__ = [
     "ServiceOverloaded",
     "ServiceTimeout",
     "ServiceClosed",
+    "RateLimited",
+    "RemoteError",
 ]
 
 
@@ -66,3 +68,19 @@ class ServiceTimeout(ServiceError):
 
 class ServiceClosed(ServiceError):
     """The service is shut down and no longer accepts submissions."""
+
+
+class RateLimited(ServiceOverloaded):
+    """A network client exceeded its per-client token-bucket budget
+    (:mod:`repro.api`); the request was refused before admission."""
+
+
+class RemoteError(ServiceError):
+    """A network response reported a failure class the client cannot map
+    to a more specific local exception; carries the server-side error
+    name and detail verbatim."""
+
+    def __init__(self, error: str, detail: str) -> None:
+        self.error = error
+        self.detail = detail
+        super().__init__(f"{error}: {detail}")

@@ -21,6 +21,7 @@ pool amortize against — the report's ``plan_cache.hit_rate`` shows it.
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -39,6 +40,7 @@ def build_mix(
     n_shapes: int = 8,
     seed: int = 0,
     max_dim: int = 48,
+    scheme: Optional[str] = None,
 ) -> List[FuzzCase]:
     """A deterministic mix of ``n_shapes`` serveable fuzz cases.
 
@@ -46,6 +48,8 @@ def build_mix(
     cases (the service snapshots C, so aliasing degenerates to the
     plain case) — everything else, including degenerate dimensions,
     zero scalars, mixed dtypes and hostile layouts, stays in the mix.
+    ``scheme`` pins every case to one scheme (all other knobs keep
+    their drawn values), mirroring ``repro fuzz --scheme``.
     """
     rng = np.random.default_rng(seed)
     mix: List[FuzzCase] = []
@@ -54,6 +58,8 @@ def build_mix(
         if case.alias != "none":
             continue
         mix.append(case)
+    if scheme is not None:
+        mix = [dataclasses.replace(case, scheme=scheme) for case in mix]
     return mix
 
 
@@ -88,23 +94,40 @@ def run_load(
     n_shapes: int = 8,
     seed: int = 0,
     max_dim: int = 48,
+    scheme: Optional[str] = None,
     request_timeout: Optional[float] = None,
     verify: bool = True,
     service: Optional[GemmService] = None,
+    canonical_operands: bool = False,
 ) -> Dict[str, Any]:
     """Drive a GemmService at ``rate`` req/s for ``duration`` seconds.
 
     Returns a JSON-serializable report: attempt/outcome counts, the
     divergence tally (when ``verify``), achieved rate, and the
     service's full metrics snapshot.  ``service`` lets callers inject a
-    preconfigured instance; otherwise one is built from the knobs and
-    closed before returning.
+    preconfigured instance — anything with the ``submit``/``stats``
+    surface works, including the network
+    :class:`~repro.api.client.GemmClient`; otherwise one is built from
+    the knobs and closed before returning.  ``scheme`` pins the whole
+    mix to one scheme.
+
+    ``canonical_operands`` converts every operand to Fortran order
+    before anything touches it.  Network serving needs this: the wire
+    canonicalizes layout during serialization, and BLAS accumulation
+    order (hence the result's low bits) is layout-dependent — with the
+    flag set, reference and server provably compute on the same bytes
+    and bit-identity stays assertable end to end.
     """
-    mix = build_mix(n_shapes=n_shapes, seed=seed, max_dim=max_dim)
+    mix = build_mix(n_shapes=n_shapes, seed=seed, max_dim=max_dim,
+                    scheme=scheme)
     operands: List[Tuple[Any, Any, Any]] = []
     expected: List[Optional[np.ndarray]] = []
     for case in mix:
         a, b, c, c0 = materialize(case)
+        if canonical_operands:
+            a = np.asarray(a, order="F")
+            b = np.asarray(b, order="F")
+            c = np.asarray(c, order="F")
         operands.append((a, b, c))
         expected.append(_reference(case, a, b, c) if verify else None)
 

@@ -326,7 +326,11 @@ class GemmService:
 
         ``drain=True`` lets workers finish everything queued;
         ``drain=False`` fails queued requests with
-        :class:`~repro.errors.ServiceClosed` immediately.  Idempotent.
+        :class:`~repro.errors.ServiceClosed` immediately.  Either way
+        every accepted future resolves: whatever is still queued after
+        the workers are joined (drain budget exhausted, or a worker
+        died) fails with :class:`~repro.errors.ServiceClosed` rather
+        than hanging its caller forever.  Idempotent.
         """
         with self._close_lock:
             if self._closed:
@@ -341,6 +345,13 @@ class GemmService:
         deadline = time.monotonic() + timeout
         for t in self._threads:
             t.join(max(0.0, deadline - time.monotonic()))
+        # Nothing may be left dangling: a timed-out drain (or a dead
+        # worker) can strand accepted requests in the queue with their
+        # futures unresolved.
+        for req in self._queue.drain():
+            req.future._set_exception(
+                ServiceClosed("service closed before execution")
+            )
 
     def __enter__(self) -> "GemmService":
         return self

@@ -1,0 +1,603 @@
+"""The network front-end (:mod:`repro.api`).
+
+Unit layers first — the shm transport allocator, token buckets, the
+consistent hash ring, the dispatch gate, the wire protocol — then the
+load-bearing end-to-end property at the bottom: a real server with two
+spawned worker processes answers **bit-identically** to an in-process
+``dgefmm`` on the canonical (as-transmitted) operands, across every
+registered scheme, both transports, error taxonomy included, with
+every shm lease released and a clean drain at the end.
+"""
+
+import asyncio
+import json
+import time
+
+import numpy as np
+import pytest
+
+from repro.api.client import GemmClient, http_gemm, http_get
+from repro.api.protocol import (
+    HTTP_STATUS,
+    ProtocolError,
+    WSFrameAssembler,
+    gemm_request_header,
+    pack_message,
+    unpack_message,
+    validate_gemm,
+    ws_accept,
+    ws_encode_frame,
+)
+from repro.api.ratelimit import ClientLimits, TokenBucket
+from repro.api.router import HashRing, ShardGate, routing_signature
+from repro.api.server import ApiServerThread
+from repro.api.shm import ALIGN, ShmArena
+from repro.api.wirefuzz import run_wire_fuzz
+from repro.core.cutoff import SimpleCutoff
+from repro.core.dgefmm import dgefmm
+from repro.core.schemes import SCHEME_NAMES
+from repro.errors import (
+    ArgumentError,
+    RateLimited,
+    RemoteError,
+    ServiceClosed,
+    ServiceOverloaded,
+    ServiceTimeout,
+    WorkspaceError,
+)
+
+TAU = 8
+CUT = SimpleCutoff(TAU)
+
+
+# ---------------------------------------------------------------------- #
+class TestShmArena:
+    def test_lease_release_accounting(self):
+        arena = ShmArena(4096)
+        try:
+            l1 = arena.lease(100)
+            l2 = arena.lease(200)
+            s = arena.stats()
+            assert s["leases_outstanding"] == 2
+            assert s["leased_bytes"] == l1.nbytes + l2.nbytes
+            assert l1.nbytes % ALIGN == 0 and l1.nbytes >= 100
+            arena.release(l1)
+            arena.release(l2)
+            s = arena.stats()
+            assert s["leases_outstanding"] == 0
+            assert s["leased_bytes"] == 0
+            assert s["free_holes"] == 1       # fully coalesced
+        finally:
+            arena.close()
+            arena.unlink()
+
+    def test_coalescing_out_of_order(self):
+        arena = ShmArena(ALIGN * 8)
+        try:
+            leases = [arena.lease(ALIGN) for _ in range(8)]
+            # release evens then odds: holes must merge back into one
+            for lease in leases[::2]:
+                arena.release(lease)
+            for lease in leases[1::2]:
+                arena.release(lease)
+            assert arena.stats()["free_holes"] == 1
+            # the full span is usable again
+            big = arena.lease(ALIGN * 8)
+            arena.release(big)
+        finally:
+            arena.close()
+            arena.unlink()
+
+    def test_exhaustion_raises_workspace_error(self):
+        arena = ShmArena(ALIGN * 4)
+        try:
+            lease = arena.lease(ALIGN * 4)
+            with pytest.raises(WorkspaceError):
+                arena.lease(1)
+            assert arena.stats()["lease_failures"] == 1
+            arena.release(lease)
+        finally:
+            arena.close()
+            arena.unlink()
+
+    def test_zero_byte_lease_legal(self):
+        arena = ShmArena(ALIGN)
+        try:
+            z = arena.lease(0)
+            assert z.nbytes == 0
+            arena.release(z)
+            assert arena.stats()["leases_outstanding"] == 0
+        finally:
+            arena.close()
+            arena.unlink()
+
+    def test_double_release_refused(self):
+        arena = ShmArena(1024)
+        try:
+            lease = arena.lease(64)
+            arena.release(lease)
+            with pytest.raises(WorkspaceError):
+                arena.release(lease)
+        finally:
+            arena.close()
+            arena.unlink()
+
+    def test_cross_attach_view_roundtrip(self):
+        """Bytes written through the creator's lease are the same bytes
+        an attached arena's ndarray view sees — the zero-copy claim."""
+        arena = ShmArena(1 << 16)
+        other = None
+        try:
+            rng = np.random.default_rng(0)
+            mat = np.asfortranarray(rng.standard_normal((37, 21)))
+            lease = arena.lease(mat.nbytes)
+            arena.write_bytes(lease, mat.tobytes(order="F"))
+            other = ShmArena.attach(arena.name)
+            view = other.view(lease.offset, (37, 21), "float64")
+            assert np.array_equal(view, mat)
+            view[3, 4] = 42.0                 # write back through the view
+            got = arena.view(lease.offset, (37, 21), "float64")
+            assert got[3, 4] == 42.0
+            del view, got
+            arena.release(lease)
+        finally:
+            if other is not None:
+                other.close()
+            arena.close()
+            arena.unlink()
+
+
+# ---------------------------------------------------------------------- #
+class TestRateLimit:
+    def test_bucket_burst_and_refill(self):
+        now = [0.0]
+        bucket = TokenBucket(rate=2.0, burst=3.0, clock=lambda: now[0])
+        assert [bucket.try_acquire() for _ in range(4)] == [
+            True, True, True, False
+        ]
+        now[0] += 1.0                          # 2 tokens refill
+        assert bucket.try_acquire() and bucket.try_acquire()
+        assert not bucket.try_acquire()
+        now[0] += 100.0                        # refill clamps at burst
+        assert bucket.tokens <= bucket.burst
+        assert bucket.allowed == 5 and bucket.refused == 2
+
+    def test_limits_per_client_isolation(self):
+        now = [0.0]
+        limits = ClientLimits(rate=1.0, burst=1.0, clock=lambda: now[0])
+        assert limits.check("alice")
+        assert not limits.check("alice")       # alice's bucket is empty
+        assert limits.check("bob")             # bob has his own bucket
+        assert limits.refused == 1
+
+    def test_limits_disabled_passes_everything(self):
+        limits = ClientLimits(rate=0.0)
+        assert not limits.enabled
+        assert all(limits.check("x") for _ in range(100))
+
+    def test_idle_buckets_expire(self):
+        now = [0.0]
+        limits = ClientLimits(rate=1.0, idle_expiry=10.0,
+                              clock=lambda: now[0])
+        limits.check("old")
+        now[0] = 11.0
+        limits.check("new")                    # first sight triggers sweep
+        assert "old" not in limits._buckets
+
+
+# ---------------------------------------------------------------------- #
+class TestRouting:
+    def _g(self, **kw):
+        g = {"m": 64, "k": 32, "n": 48, "transa": False, "transb": False,
+             "alpha": 1.0, "beta": 0.0, "dtype": "float64", "tau": TAU,
+             "scheme": "strassen1", "peel": "tail"}
+        g.update(kw)
+        return g
+
+    def test_ring_deterministic_across_instances(self):
+        r1, r2 = HashRing(4), HashRing(4)
+        keys = [f"key-{i}" for i in range(200)]
+        assert [r1.lookup(k) for k in keys] == [r2.lookup(k) for k in keys]
+
+    def test_ring_spreads_load(self):
+        ring = HashRing(4)
+        hits = [0] * 4
+        for i in range(2000):
+            hits[ring.lookup(f"sig-{i}")] += 1
+        assert min(hits) > 0.5 * (2000 / 4)    # no starved shard
+
+    def test_ring_walks_past_dead_shards(self):
+        ring = HashRing(3)
+        key = "some-signature"
+        home = ring.lookup(key)
+        rerouted = ring.lookup(key, alive=lambda i: i != home)
+        assert rerouted is not None and rerouted != home
+        assert ring.lookup(key, alive=lambda i: False) is None
+
+    def test_signature_key_is_plan_signature(self):
+        key = routing_signature(self._g())
+        assert key.startswith("PlanSignature(")
+        assert routing_signature(self._g()) == key          # stable
+        assert routing_signature(self._g(scheme="bdpz")) != key
+
+    def test_degenerate_requests_key_on_coordinates(self):
+        assert routing_signature(self._g(m=0)).startswith("solo:")
+        assert routing_signature(self._g(alpha=0.0)).startswith("solo:")
+
+
+# ---------------------------------------------------------------------- #
+class TestShardGate:
+    def test_reject_at_capacity(self):
+        async def run():
+            gate = ShardGate(2, "reject")
+            await gate.acquire()
+            await gate.acquire()
+            with pytest.raises(ServiceOverloaded):
+                await gate.acquire()
+            gate.release()
+            await gate.acquire()               # slot freed, admit again
+            assert gate.stats()["rejected"] == 1
+        asyncio.run(run())
+
+    def test_block_waits_for_slot(self):
+        async def run():
+            gate = ShardGate(1, "block")
+            await gate.acquire()
+            order = []
+
+            async def waiter():
+                await gate.acquire(deadline=time.monotonic() + 5.0)
+                order.append("acquired")
+
+            task = asyncio.ensure_future(waiter())
+            await asyncio.sleep(0.01)
+            assert order == []                 # still blocked
+            gate.release()
+            await task
+            assert order == ["acquired"]
+        asyncio.run(run())
+
+    def test_block_deadline_expires(self):
+        async def run():
+            gate = ShardGate(1, "block")
+            await gate.acquire()
+            with pytest.raises(ServiceOverloaded):
+                await gate.acquire(deadline=time.monotonic() + 0.02)
+        asyncio.run(run())
+
+    def test_shed_oldest_fails_oldest_waiter(self):
+        async def run():
+            gate = ShardGate(1, "shed-oldest")
+            await gate.acquire()
+            outcomes = {}
+
+            async def waiter(name):
+                try:
+                    await gate.acquire()
+                    outcomes[name] = "acquired"
+                except ServiceOverloaded:
+                    outcomes[name] = "shed"
+
+            t1 = asyncio.ensure_future(waiter("first"))
+            await asyncio.sleep(0.01)
+            t2 = asyncio.ensure_future(waiter("second"))
+            await asyncio.sleep(0.01)          # second sheds first
+            gate.release()
+            await asyncio.gather(t1, t2)
+            assert outcomes == {"first": "shed", "second": "acquired"}
+            assert gate.stats()["shed"] == 1
+        asyncio.run(run())
+
+
+# ---------------------------------------------------------------------- #
+class TestProtocol:
+    def test_frame_roundtrip(self):
+        hdr = {"op": "gemm", "id": 7}
+        payloads = [b"abc", b"", b"xy" * 100]
+        hdr2, payloads2 = unpack_message(pack_message(hdr, payloads))
+        assert hdr2["id"] == 7 and hdr2["lens"] == [3, 0, 200]
+        assert payloads2 == payloads
+
+    @pytest.mark.parametrize("mutilate", [
+        lambda d: d[:3],                       # shorter than the prefix
+        lambda d: d[:-1],                      # truncated payload
+        lambda d: d + b"!",                    # trailing bytes
+        lambda d: b"\xff\xff\xff\xff" + d[4:],  # absurd header length
+    ])
+    def test_frame_corruption_detected(self, mutilate):
+        data = pack_message({"op": "gemm"}, [b"payload"])
+        with pytest.raises(ProtocolError):
+            unpack_message(mutilate(data))
+
+    def _valid(self, m=4, k=3, n=2, dtype="float64", **kw):
+        hdr = gemm_request_header(1, m, k, n, dtype=dtype, tau=TAU, **kw)
+        itemsize = np.dtype(dtype).itemsize
+        payloads = [bytes(m * k * itemsize), bytes(k * n * itemsize)]
+        if kw.get("has_c"):
+            payloads.append(bytes(m * n * itemsize))
+        return hdr, payloads
+
+    def test_validate_normalizes(self):
+        hdr, payloads = self._valid(beta=2.0, has_c=True)
+        g = validate_gemm(hdr, payloads)
+        assert (g["m"], g["k"], g["n"]) == (4, 3, 2)
+        assert isinstance(g["beta"], float) and g["beta"] == 2.0
+        assert g["out_bytes"] == 4 * 2 * 8
+
+    def test_validate_keeps_complex_scalars_complex(self):
+        hdr, payloads = self._valid(dtype="complex128", alpha=1 + 2j)
+        g = validate_gemm(hdr, payloads)
+        assert g["alpha"] == 1 + 2j
+
+    @pytest.mark.parametrize("corrupt", [
+        {"op": "nope"},
+        {"m": -1},
+        {"dtype": "float16"},
+        {"scheme": "winograd9000"},
+        {"peel": "sideways"},
+        {"alpha": "NaN-soup"},
+        {"timeout_ms": -5},
+    ])
+    def test_validate_refuses(self, corrupt):
+        hdr, payloads = self._valid()
+        hdr.update(corrupt)
+        with pytest.raises(ProtocolError):
+            validate_gemm(hdr, payloads)
+
+    def test_validate_cross_checks_payload_bytes(self):
+        hdr, payloads = self._valid()
+        with pytest.raises(ProtocolError):
+            validate_gemm(hdr, payloads[:1])           # missing B
+        with pytest.raises(ProtocolError):
+            validate_gemm(hdr, [payloads[0][:-8], payloads[1]])
+        hdr2, payloads2 = self._valid(beta=1.0)        # C promised...
+        with pytest.raises(ProtocolError):
+            validate_gemm(hdr2, payloads2)             # ...but absent
+
+    def test_ws_accept_rfc_vector(self):
+        # the worked example from RFC 6455 section 1.3
+        assert ws_accept("dGhlIHNhbXBsZSBub25jZQ==") == \
+            "s3pPLMBiTxaQ9kYGzzhZRbK+xOo="
+
+    @pytest.mark.parametrize("size", [0, 5, 126, 200, 70000])
+    @pytest.mark.parametrize("mask", [False, True])
+    def test_ws_frame_roundtrip(self, size, mask):
+        payload = bytes(range(256)) * (size // 256 + 1)
+        payload = payload[:size]
+        frame = ws_encode_frame(0x2, payload, mask=mask)
+        asm = WSFrameAssembler()
+        out = []
+        for i in range(0, len(frame), 7):      # hostile chunking
+            out += asm.feed(frame[i:i + 7])
+        assert out == [(0x2, payload)]
+
+    def test_ws_interleaved_frames_one_feed(self):
+        f1 = ws_encode_frame(0x2, b"one", mask=True)
+        f2 = ws_encode_frame(0x9, b"ping")
+        f3 = ws_encode_frame(0x2, b"three")
+        asm = WSFrameAssembler()
+        assert asm.feed(f1 + f2 + f3) == [
+            (0x2, b"one"), (0x9, b"ping"), (0x2, b"three")
+        ]
+
+
+# ---------------------------------------------------------------------- #
+# end to end: a real server, spawned worker processes, both transports
+# ---------------------------------------------------------------------- #
+@pytest.fixture(scope="module")
+def server():
+    srv = ApiServerThread(workers=2, threads=1, capacity=64,
+                          policy="block", max_batch=16).start()
+    yield srv
+    final = srv.drain(timeout=30.0)
+    # the module's parting assertion: clean drain, nothing leaked
+    for shard in final["shards"]:
+        assert shard["arena"]["leases_outstanding"] == 0, shard
+        assert shard["gate"]["inflight"] == 0, shard
+
+
+@pytest.fixture()
+def client(server):
+    cli = GemmClient("127.0.0.1", server.port, client_id="test-api")
+    yield cli
+    cli.close()
+
+
+def _expected(a, b, c, alpha, beta, transa, transb, scheme="auto",
+              peel="tail"):
+    """In-process reference on canonical (as-transmitted) operands."""
+    aF = np.asarray(a, order="F")
+    bF = np.asarray(b, order="F")
+    m = aF.shape[1] if transa else aF.shape[0]
+    n = bF.shape[0] if transb else bF.shape[1]
+    if complex(beta) != 0:
+        out = np.array(np.asarray(c, order="F"), copy=True)
+    else:
+        out = np.zeros((m, n), dtype=np.result_type(aF, bF), order="F")
+    dgefmm(aF, bF, out, alpha, beta, transa, transb,
+           cutoff=CUT, scheme=scheme, peel=peel)
+    return out
+
+
+class TestEndToEnd:
+    def test_bit_identity_every_scheme(self, client):
+        rng = np.random.default_rng(1)
+        a = np.asfortranarray(rng.standard_normal((24, 17)))
+        b = np.asfortranarray(rng.standard_normal((17, 19)))
+        for scheme in SCHEME_NAMES:
+            got = client.call(a, b, cutoff=CUT, scheme=scheme)
+            want = _expected(a, b, None, 1.0, 0.0, False, False, scheme)
+            assert np.array_equal(got, want), f"scheme {scheme}"
+
+    def test_bit_identity_transposes_beta_dtypes(self, client):
+        rng = np.random.default_rng(2)
+        for dtype, alpha, beta in (
+            ("float64", -1.5, 2.0),
+            ("float32", 0.5, 1.0),
+            ("complex128", 1 + 2j, -1j),
+        ):
+            a = np.asfortranarray(
+                rng.standard_normal((13, 21)).astype(dtype))
+            b = np.asfortranarray(
+                rng.standard_normal((11, 13)).astype(dtype))
+            c = np.asfortranarray(
+                rng.standard_normal((21, 11)).astype(dtype))
+            got = client.call(a, b, c, alpha, beta, True, True,
+                              cutoff=CUT, scheme="strassen1")
+            want = _expected(a, b, c, alpha, beta, True, True,
+                             "strassen1")
+            assert got.dtype == want.dtype
+            assert np.array_equal(got, want), dtype
+
+    def test_degenerate_dimensions_and_alpha_zero(self, client):
+        rng = np.random.default_rng(3)
+        # m == 0: empty result
+        got = client.call(np.zeros((0, 5)), rng.standard_normal((5, 4)))
+        assert got.shape == (0, 4)
+        # k == 0 with beta: pure beta*C scaling
+        c = np.asfortranarray(rng.standard_normal((6, 4)))
+        got = client.call(np.zeros((6, 0)), np.zeros((0, 4)), c,
+                          1.0, 2.0)
+        assert np.array_equal(got, 2.0 * c)
+        # alpha == 0 short-circuit
+        a = np.asfortranarray(rng.standard_normal((6, 5)))
+        b = np.asfortranarray(rng.standard_normal((5, 4)))
+        got = client.call(a, b, c, 0.0, 3.0)
+        assert np.array_equal(got, 3.0 * c)
+
+    def test_routing_is_deterministic_per_signature(self, client):
+        rng = np.random.default_rng(4)
+        a = np.asfortranarray(rng.standard_normal((32, 32)))
+        b = np.asfortranarray(rng.standard_normal((32, 32)))
+        futs = [client.submit(a, b, cutoff=CUT, scheme="strassen1")
+                for _ in range(6)]
+        shards = {f.result(timeout=60.0) is not None and f.shard
+                  for f in futs}
+        assert len(shards) == 1, (
+            f"one signature landed on several shards: {shards}"
+        )
+
+    def test_deadline_expiry_propagates_over_the_wire(self, client):
+        rng = np.random.default_rng(5)
+        a = np.asfortranarray(rng.standard_normal((64, 64)))
+        fut = client.submit(a, a, cutoff=CUT, scheme="strassen1",
+                            timeout=0.0)
+        with pytest.raises(ServiceTimeout):
+            fut.result(timeout=60.0)
+
+    def test_http_parity_with_websocket(self, server, client):
+        rng = np.random.default_rng(6)
+        a = np.asfortranarray(rng.standard_normal((15, 12)))
+        b = np.asfortranarray(rng.standard_normal((12, 18)))
+        ws = client.call(a, b, cutoff=CUT, scheme="strassen2")
+        http = http_gemm("127.0.0.1", server.port, a, b,
+                         tau=TAU, scheme="strassen2")
+        assert np.array_equal(ws, http)
+
+    def test_error_taxonomy_over_the_wire(self, server, client):
+        rng = np.random.default_rng(7)
+        a = rng.standard_normal((4, 5))
+        bad_b = rng.standard_normal((6, 3))    # inner dims disagree
+        with pytest.raises(ArgumentError):
+            client.submit(a, bad_b)            # caught client-side
+        # shipped to the server: a dimension lie in the header
+        hdr = gemm_request_header(9, 4, 5, 3, dtype="float64")
+        payloads = [bytes(4 * 5 * 8), bytes(99)]
+        from repro.api.client import _http_roundtrip
+
+        status, body = _http_roundtrip(
+            "127.0.0.1", server.port, "POST", "/v1/gemm",
+            pack_message(hdr, payloads),
+            ctype="application/x-repro-gemm",
+        )
+        assert status == HTTP_STATUS["BadRequest"]
+        resp, _ = unpack_message(body)
+        assert resp["error"] == "BadRequest"
+
+    def test_garbage_body_is_400_not_500(self, server):
+        from repro.api.client import _http_roundtrip
+
+        status, body = _http_roundtrip(
+            "127.0.0.1", server.port, "POST", "/v1/gemm",
+            b"this is not a framed message",
+            ctype="application/x-repro-gemm",
+        )
+        assert status == 400
+
+    def test_healthz_and_metrics_endpoints(self, server):
+        status, body = http_get("127.0.0.1", server.port, "/healthz")
+        health = json.loads(body)
+        assert status == 200 and health["status"] == "ok"
+        assert [w["alive"] for w in health["workers"]] == [True, True]
+        status, body = http_get("127.0.0.1", server.port, "/metrics")
+        snap = json.loads(body)
+        assert status == 200
+        assert {"frontend", "ratelimit", "shards"} <= set(snap)
+        assert len(snap["shards"]) == 2
+
+    def test_no_leases_outstanding_when_idle(self, client):
+        rng = np.random.default_rng(8)
+        for i in range(4):
+            a = np.asfortranarray(rng.standard_normal((20 + i, 16)))
+            b = np.asfortranarray(rng.standard_normal((16, 10 + i)))
+            client.call(a, b, cutoff=CUT)
+        snap = client.stats()
+        for shard in snap["shards"]:
+            assert shard["arena"]["leases_outstanding"] == 0, shard
+
+    def test_wire_fuzz_short_campaign(self, server):
+        report, stats = run_wire_fuzz(
+            cases=20, seed=7, host="127.0.0.1", port=server.port,
+        )
+        assert report.ok, report.failures
+        assert report.cases == 20
+
+
+class TestRateLimitEndToEnd:
+    def test_429_then_drain(self):
+        srv = ApiServerThread(workers=1, capacity=16, policy="block",
+                              rate=1.0, burst=2.0).start()
+        try:
+            cli = GemmClient("127.0.0.1", srv.port, client_id="chatty")
+            try:
+                a = np.asfortranarray(np.eye(8))
+                futs = [cli.submit(a, a, cutoff=CUT) for _ in range(6)]
+                outcomes = {"ok": 0, "limited": 0}
+                for fut in futs:
+                    try:
+                        fut.result(timeout=60.0)
+                        outcomes["ok"] += 1
+                    except RateLimited:
+                        outcomes["limited"] += 1
+                assert outcomes["ok"] == 2        # the burst
+                assert outcomes["limited"] == 4   # refused before admission
+                snap = cli.stats()
+                assert snap["frontend"]["ratelimited_total"] == 4
+                assert snap["ratelimit"]["refused"] == 4
+            finally:
+                cli.close()
+        except BaseException:
+            srv.kill()
+            raise
+        else:
+            final = srv.drain(timeout=20.0)
+            assert final["health"]["status"] == "draining"
+            assert final["frontend"]["ok_total"] == 2
+            for shard in final["shards"]:
+                assert shard["arena"]["leases_outstanding"] == 0
+
+    def test_draining_server_refuses_with_503(self):
+        srv = ApiServerThread(workers=1, capacity=8).start()
+        cli = GemmClient("127.0.0.1", srv.port)
+        try:
+            a = np.asfortranarray(np.eye(4))
+            assert cli.call(a, a, cutoff=CUT) is not None
+        finally:
+            cli.close()
+            srv.drain(timeout=20.0)
+        # post-drain: the listener is gone entirely
+        import socket as _socket
+
+        with pytest.raises(OSError):
+            _socket.create_connection(("127.0.0.1", srv.port),
+                                      timeout=1.0)

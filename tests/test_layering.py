@@ -1,12 +1,21 @@
 """Layering lint: the import graph must stay acyclic by layer.
 
 The architecture (docs/architecture.md) stacks ``repro.blas`` under
-``repro.core`` under the plan/serve layers.  Lower layers must not
-import upper ones at module scope:
+``repro.core`` under the plan/serve layers, with ``repro.api`` (the
+network front-end) on top.  Lower layers must not import upper ones at
+module scope:
 
-- ``repro.blas`` imports neither ``repro.core``, ``repro.plan`` nor
-  ``repro.serve``;
-- ``repro.core`` never imports ``repro.plan`` or ``repro.serve``.
+- ``repro.blas`` imports neither ``repro.core``, ``repro.plan``,
+  ``repro.serve`` nor ``repro.api``;
+- ``repro.core`` never imports ``repro.plan``, ``repro.serve`` or
+  ``repro.api``;
+- ``repro.plan`` never imports ``repro.serve`` or ``repro.api``;
+- ``repro.serve`` and ``repro.fuzz`` never import ``repro.api``.
+
+The compute stack is also **network-free**: only ``repro.api`` may
+touch socket/asyncio machinery — a kernel library that opens sockets
+at import time is a supply-chain bug, so the lint bans the network
+modules below the api layer.
 
 Function-level (lazy) imports are allowed — the drivers in
 ``repro.core`` resolve a plan cache lazily when the caller passes one —
@@ -27,9 +36,20 @@ SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
 #: core driver, so repro.core is not forbidden to blas — only the
 #: plan/serve layers are above both.)
 FORBIDDEN = {
-    "repro.blas": ("repro.plan", "repro.serve"),
-    "repro.core": ("repro.plan", "repro.serve"),
+    "repro.blas": ("repro.plan", "repro.serve", "repro.api"),
+    "repro.core": ("repro.plan", "repro.serve", "repro.api"),
+    "repro.plan": ("repro.serve", "repro.api"),
+    "repro.serve": ("repro.api",),
+    "repro.fuzz": ("repro.api",),
 }
+
+#: stdlib network machinery only the api layer may touch at module scope
+NETWORK_MODULES = ("socket", "asyncio", "ssl", "http", "urllib",
+                   "socketserver", "selectors")
+
+#: layers that must stay network-free (everything below repro.api)
+NETWORK_FREE_LAYERS = ("repro.blas", "repro.core", "repro.plan",
+                       "repro.serve", "repro.fuzz")
 
 
 def _module_name(path: Path) -> str:
@@ -99,6 +119,27 @@ def test_lazy_plan_imports_exist_below_function_scope():
     assert any(m.startswith("repro.plan") for m in deep)
 
 
+@pytest.mark.parametrize("layer", NETWORK_FREE_LAYERS)
+def test_compute_stack_is_network_free(layer):
+    bad = _violations(layer, NETWORK_MODULES)
+    assert not bad, (
+        f"{layer} must not touch network modules at module scope "
+        f"(only repro.api speaks the network): {bad}"
+    )
+
+
+def test_api_may_import_serving_stack():
+    """The positive direction: repro.api legitimately builds on the
+    serve/plan layers — a regression that inverts the check (or an
+    over-broad FORBIDDEN entry) would make this fail."""
+    deep = set()
+    for path in sorted((SRC / "api").rglob("*.py")):
+        tree = ast.parse(path.read_text(), filename=str(path))
+        deep.update(_module_level_imports(tree))
+    assert any(m.startswith("repro.serve") for m in deep)
+    assert any(m.startswith("repro.plan") for m in deep)
+
+
 def test_every_layer_directory_exists():
-    for layer in ("blas", "core", "plan", "serve"):
+    for layer in ("blas", "core", "plan", "serve", "api"):
         assert (SRC / layer).is_dir(), f"src/repro/{layer} missing"

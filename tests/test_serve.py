@@ -421,6 +421,43 @@ class TestGemmService:
         # whatever the worker had already grabbed completes; the rest fail
         assert "closed" in outcomes or all(o == "done" for o in outcomes)
 
+    def test_close_drain_timeout_resolves_every_future(self):
+        """The graceful-shutdown contract: when the drain budget
+        expires with work still queued, every accepted future resolves
+        *at close time* — completed, or failed with ServiceClosed.
+        Regression: a timed-out drain used to leave untaken queued
+        requests to the daemon workers' discretion, so a caller
+        blocking on one of those futures could hang indefinitely.
+
+        Distinct shapes per request, so micro-batching cannot fold the
+        queue into the first pickup: the single worker is busy with the
+        first request while the rest sit queued when close() fires.
+        """
+        rng = np.random.default_rng(12)
+        big = rng.standard_normal((600, 600))
+        svc = GemmService(workers=1, cutoff=CUT)
+        futs = [svc.submit(big, big)]
+        futs += [
+            svc.submit(rng.standard_normal((40 + i, 30)),
+                       rng.standard_normal((30, 50 + i)))
+            for i in range(5)
+        ]
+        svc.close(drain=True, timeout=0.0)   # budget exhausted instantly
+        # queued-but-untaken requests must have been failed by close()
+        # itself; only work a worker already held may still be running
+        stranded = [f for f in futs if not f.done()]
+        assert len(stranded) <= 1, (
+            "close() left queued futures unresolved"
+        )
+        outcomes = []
+        for f in futs:
+            try:
+                f.result(timeout=60.0)
+                outcomes.append("done")
+            except ServiceClosed:
+                outcomes.append("closed")
+        assert "closed" in outcomes
+
     def test_latency_split_and_work_accounting(self):
         rng = np.random.default_rng(11)
         a, b = rng.standard_normal((20, 20)), rng.standard_normal((20, 20))
