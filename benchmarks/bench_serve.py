@@ -119,6 +119,54 @@ def test_microbatch_throughput(benchmark):
     assert rows[2]["batch_size_max"] >= 8
 
 
+def test_fused_serving_throughput(benchmark):
+    """Fused vs interpreted micro-batched bursts on one hot signature.
+
+    Reuses the micro-batch burst harness with ``fuse`` on: every batch
+    replays the same cache-hot fused program.  The per-request problems
+    here are tiny (one base kernel each), so the plan is a single
+    direct product and the measured gap is mostly dispatch — reported
+    informationally; the asserted fused-replay floor lives in
+    ``bench_plan.py::test_plan_fused_replay`` where the plan is deep.
+    """
+    reqs = _requests(n=200, order=48)
+
+    def burst(fuse):
+        with GemmService(workers=1, capacity=1024, max_batch=32,
+                         cutoff=SimpleCutoff(16), fuse=fuse) as svc:
+            t0 = time.perf_counter()
+            futs = [svc.submit(a, b) for a, b in reqs]
+            for f in futs:
+                f.result(timeout=60.0)
+            return time.perf_counter() - t0, svc.stats()
+
+    t_int, _ = _best(lambda: burst(False))
+    t_fus, st = benchmark.pedantic(
+        lambda: _best(lambda: burst(True)), rounds=1, iterations=1,
+    )
+    n = len(reqs)
+    emit(
+        "Serving: fused vs interpreted batched bursts (order-48, tau=16)",
+        f"interpreted {t_int * 1e3:7.1f} ms ({n / t_int:7.0f} req/s)\n"
+        f"fused       {t_fus * 1e3:7.1f} ms ({n / t_fus:7.0f} req/s)\n"
+        f"ratio {t_int / t_fus:.2f}x",
+    )
+    emit_json(
+        "serve_fused",
+        {"n_requests": n, "order": 48, "tau": 16, "max_batch": 32,
+         "workers": 1},
+        [{"mode": "burst_interpreted", "total_s": t_int,
+          "throughput_rps": n / t_int},
+         {"mode": "burst_fused", "total_s": t_fus,
+          "throughput_rps": n / t_fus}],
+        ratio_fused_vs_interpreted=t_int / t_fus,
+    )
+    # fused serving must never lose outright; the strong floor is
+    # asserted on the deep-plan bench
+    assert t_fus <= 1.2 * t_int
+    assert st["plan_cache"]["plans"] == 1
+
+
 def test_open_loop_load(benchmark):
     """Open-loop mixed-shape load: verified, with tail-latency report."""
     report = benchmark.pedantic(
@@ -144,6 +192,42 @@ def test_open_loop_load(benchmark):
          "seed": 1, "max_dim": 32},
         [report],
     )
+    assert report["divergent"] == 0 and report["errors"] == 0
+    assert report["completed"] >= 500
+    assert svc["plan_cache"]["hit_rate"] > 0.8
+
+
+def test_open_loop_load_fused(benchmark):
+    """Open-loop load with fused plans: every reply is still verified.
+
+    Same harness as :func:`test_open_loop_load` but with ``fuse=True``,
+    so the loadgen checks each fused reply bit-for-bit against a fused
+    reference replay.  The assertion of record is ``divergent == 0``:
+    fused serving under concurrent mixed-shape load must be
+    deterministic and correct, not merely fast.
+    """
+    report = benchmark.pedantic(
+        lambda: run_load(duration=2.0, rate=300, workers=2, n_shapes=6,
+                         seed=1, max_dim=32, fuse=True),
+        rounds=1, iterations=1,
+    )
+    svc = report["service"]
+    lat = svc["histograms"]["latency_ms"]
+    emit(
+        "Serving: fused open-loop mixed-shape load (2 s at 300 req/s)",
+        f"completed {report['completed']}/{report['attempts']} "
+        f"({report['achieved_rate']:.0f} req/s), divergent "
+        f"{report['divergent']}, errors {report['errors']}\n"
+        f"latency ms: p50 {lat['p50']:.2f}, p99 {lat['p99']:.2f}\n"
+        f"plan cache hit rate {svc['plan_cache']['hit_rate']:.2f}",
+    )
+    emit_json(
+        "serve_load_fused",
+        {"duration": 2.0, "rate": 300, "workers": 2, "n_shapes": 6,
+         "seed": 1, "max_dim": 32, "fuse": True},
+        [report],
+    )
+    assert report["fuse"] is True
     assert report["divergent"] == 0 and report["errors"] == 0
     assert report["completed"] >= 500
     assert svc["plan_cache"]["hit_rate"] > 0.8

@@ -406,13 +406,14 @@ def _cmd_fuzz(args) -> int:
         failures_path=args.failures,
         progress=progress,
         scheme=args.scheme or None,
+        fuse=args.fuse,
     )
     if args.json:
         _print_bench_json(
             "fuzz",
             {"cases": args.cases, "seed": args.seed,
              "max_dim": args.max_dim, "replay": args.replay or None,
-             "scheme": args.scheme or None},
+             "scheme": args.scheme or None, "fuse": args.fuse},
             [report.to_dict()],
         )
         return 0 if report.ok else 1
@@ -447,6 +448,7 @@ def _cmd_serve(args) -> int:
         seed=args.seed,
         max_dim=args.max_dim,
         scheme=args.scheme or None,
+        fuse=args.fuse,
         request_timeout=args.timeout,
         verify=not args.no_verify,
     )
@@ -459,7 +461,7 @@ def _cmd_serve(args) -> int:
              "capacity": args.capacity, "max_batch": args.max_batch,
              "shapes": args.shapes, "seed": args.seed,
              "max_dim": args.max_dim, "scheme": args.scheme or None,
-             "verify": not args.no_verify},
+             "fuse": args.fuse, "verify": not args.no_verify},
             [report], ok=ok,
         )
         return 0 if ok else 1
@@ -792,6 +794,8 @@ def main(argv=None) -> int:
                    choices=[""] + list(SCHEME_NAMES),
                    help="pin every case to one scheme (per-scheme CI "
                         "smoke lanes); default: draw schemes per case")
+    p.add_argument("--fuse", action="store_true",
+                   help="also run the fused-execution paths per case")
     p.add_argument("--json", action="store_true",
                    help="emit the benchmark-schema JSON document")
     p.set_defaults(fn=_cmd_fuzz)
@@ -825,6 +829,8 @@ def main(argv=None) -> int:
                    choices=[""] + list(SCHEME_NAMES),
                    help="pin the whole shape mix to one scheme "
                         "(mirrors 'repro fuzz --scheme')")
+    p.add_argument("--fuse", action="store_true",
+                   help="serve (and verify) through the fused plan path")
     p.add_argument("--no-verify", dest="no_verify", action="store_true",
                    help="skip bit-identity verification against dgefmm")
     p.add_argument("--json", action="store_true",

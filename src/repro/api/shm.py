@@ -149,19 +149,29 @@ class ShmArena:
             )
 
     def release(self, lease: ShmLease) -> None:
-        """Return a lease to the free list, coalescing neighbours."""
+        """Return a lease to the free list, coalescing neighbours.
+
+        A freed block adjacent to free holes on *both* sides merges
+        with both, so interleaved lease/release traffic always
+        re-coalesces an idle arena back to one hole (no permanent
+        fragmentation).  The freed region is validated against both
+        neighbouring holes *before* the free list is mutated: a lease
+        overlapping an existing hole means corrupted accounting (a
+        forged or stale lease), and raising then — with the list
+        untouched — keeps the allocator usable for the leases that are
+        still legitimately outstanding.
+        """
         with self._lock:
             if lease._released:
                 raise WorkspaceError(
                     f"ShmArena {self.name}: double release of {lease!r}"
                 )
-            lease._released = True
-            self._released += 1
-            if lease.nbytes == 0:
-                return
-            self._leased_bytes -= lease.nbytes
             off, size = lease.offset, lease.nbytes
-            # insert address-ordered, then merge with both neighbours
+            if size == 0:
+                lease._released = True
+                self._released += 1
+                return
+            # locate the first hole at-or-after the freed block
             lo, hi = 0, len(self._free)
             while lo < hi:
                 mid = (lo + hi) // 2
@@ -169,18 +179,41 @@ class ShmArena:
                     lo = mid + 1
                 else:
                     hi = mid
-            self._free.insert(lo, (off, size))
-            if lo + 1 < len(self._free):
-                noff, nsize = self._free[lo + 1]
-                if off + size == noff:
-                    self._free[lo] = (off, size + nsize)
-                    del self._free[lo + 1]
-                    size += nsize
+            # validate against both neighbours before any mutation
+            prev_adj = next_adj = False
             if lo > 0:
                 poff, psize = self._free[lo - 1]
-                if poff + psize == off:
-                    self._free[lo - 1] = (poff, psize + size)
-                    del self._free[lo]
+                if poff + psize > off:
+                    raise WorkspaceError(
+                        f"ShmArena {self.name}: release of {lease!r} "
+                        f"overlaps free hole ({poff}, {psize})"
+                    )
+                prev_adj = poff + psize == off
+            if lo < len(self._free):
+                noff, nsize = self._free[lo]
+                if off + size > noff:
+                    raise WorkspaceError(
+                        f"ShmArena {self.name}: release of {lease!r} "
+                        f"overlaps free hole ({noff}, {nsize})"
+                    )
+                next_adj = off + size == noff
+            # merge with whichever neighbours touch the freed block
+            if prev_adj and next_adj:
+                poff, psize = self._free[lo - 1]
+                nsize = self._free[lo][1]
+                self._free[lo - 1] = (poff, psize + size + nsize)
+                del self._free[lo]
+            elif prev_adj:
+                poff, psize = self._free[lo - 1]
+                self._free[lo - 1] = (poff, psize + size)
+            elif next_adj:
+                nsize = self._free[lo][1]
+                self._free[lo] = (off, size + nsize)
+            else:
+                self._free.insert(lo, (off, size))
+            lease._released = True
+            self._released += 1
+            self._leased_bytes -= size
 
     # ------------------------------------------------------------------ #
     def view(self, offset: int, shape: Tuple[int, ...],

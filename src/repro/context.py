@@ -158,6 +158,38 @@ class ExecutionContext:
         if self.machine is not None and seconds is not None:
             self.elapsed += seconds
 
+    def charge_many(
+        self,
+        kernel: str,
+        calls: int,
+        *,
+        muls: float = 0.0,
+        adds: float = 0.0,
+    ) -> None:
+        """Record ``calls`` invocations of ``kernel`` in one update.
+
+        ``muls``/``adds`` are the *aggregate* tallies across all the
+        calls.  The fused plan replay loop (:mod:`repro.plan.fuse`)
+        charges each elementwise run and each batched product group
+        once through here; because every tally is an integer-valued
+        float well below 2**53, the aggregate sums equal the per-call
+        sums bit-for-bit.  No model time is charged — fused replay is
+        gated off when a machine model is attached.
+        """
+        if self._lock is not None:
+            with self._lock:
+                self._charge_many(kernel, calls, muls, adds)
+        else:
+            self._charge_many(kernel, calls, muls, adds)
+
+    def _charge_many(
+        self, kernel: str, calls: int, muls: float, adds: float
+    ) -> None:
+        self.kernel_calls[kernel] += calls
+        self.mul_flops += muls
+        self.add_flops += adds
+        self.flops += muls + adds
+
     def record(self, event: RecursionEvent) -> None:
         """Append a recursion-trace event (no-op unless tracing)."""
         if self.trace:

@@ -60,6 +60,15 @@ class GemmConfig:
         Tile edge for the base-case standard-algorithm kernel.
     ``backend``
         Base-case kernel backend (:data:`repro.blas.level3.BACKENDS`).
+    ``fuse``
+        Opt-in plan fusion (:mod:`repro.plan.fuse`): compiled plans
+        additionally carry a fused program — elementwise chains replayed
+        without per-op dispatch and same-shape base-case products packed
+        into one batched ``np.matmul`` call.  Only the plan path reads
+        it (``plan_cache=``); the recursive drivers ignore it.  Because
+        the batched kernel's accumulation order differs from the tiled
+        substrate kernel, ``fuse`` keys the plan signature — fused and
+        interpreted plans never collide in a cache.
 
     Declaration order matters — see the module docstring.
     """
@@ -69,6 +78,7 @@ class GemmConfig:
     cutoff: CutoffCriterion = DEFAULT_CUTOFF
     nb: int = DEFAULT_TILE
     backend: str = "substrate"
+    fuse: bool = False
 
     def __post_init__(self) -> None:
         if self.scheme not in SCHEMES:
@@ -94,4 +104,9 @@ class GemmConfig:
             raise ArgumentError(
                 "GemmConfig", "backend",
                 f"must be one of {BACKENDS}, got {self.backend!r}",
+            )
+        if not isinstance(self.fuse, bool):
+            raise ArgumentError(
+                "GemmConfig", "fuse",
+                f"must be a bool, got {type(self.fuse).__name__}",
             )

@@ -110,6 +110,7 @@ def dgefmm(
     nb: int = DEFAULT_TILE,
     backend: str = "substrate",
     plan_cache: Optional["PlanCache"] = None,
+    fuse: bool = False,
 ) -> Any:
     """Strassen-based GEMM: ``C <- alpha*op(A)*op(B) + beta*C`` in place.
 
@@ -191,7 +192,7 @@ def dgefmm(
     cfg = GemmConfig(
         scheme=scheme, peel=peel,
         cutoff=cutoff if cutoff is not None else DEFAULT_CUTOFF,
-        nb=nb, backend=backend,
+        nb=nb, backend=backend, fuse=fuse,
     )
     m, k = opshape(a, transa)
     kb, n = opshape(b, transb)

@@ -240,6 +240,7 @@ def pdgefmm(
     nb: int = DEFAULT_TILE,
     backend: str = "substrate",
     plan_cache: Optional["PlanCache"] = None,
+    fuse: bool = False,
 ) -> Any:
     """Parallel Strassen GEMM: ``C <- alpha*op(A)*op(B) + beta*C``.
 
@@ -294,7 +295,7 @@ def pdgefmm(
     cfg = GemmConfig(
         scheme=scheme, peel=peel,
         cutoff=cutoff if cutoff is not None else DEFAULT_CUTOFF,
-        nb=nb, backend=backend,
+        nb=nb, backend=backend, fuse=fuse,
     )
     m, k = opshape(a, transa)
     kb, n = opshape(b, transb)

@@ -12,11 +12,22 @@ result-producing paths:
   one);
 - ``parallel-plan`` — pdgefmm through a plan cache.
 
+With ``fuse=True`` three more paths join: ``fused`` and
+``fused-replay`` (dgefmm through a plan cache with the fusion pass on
+— the replay re-runs the same warm plan), and ``parallel-fused`` when
+the case is parallel-applicable.
+
 Checks, in decreasing strictness:
 
 1. ``serial`` vs ``plan`` and ``parallel`` vs ``parallel-plan`` must be
    **bit-identical** (a plan replays the same kernels on the same views
-   in the same order — any drift is a bug, not roundoff);
+   in the same order — any drift is a bug, not roundoff); ``fused`` vs
+   ``fused-replay`` must be bit-identical too — fused execution is
+   deterministic, it just isn't bit-identical to the *interpreted*
+   stream (the batched/direct ``np.matmul`` kernel accumulates in a
+   different order than the tiled substrate kernel), so the fused
+   paths are checked against the reference and against their own
+   replay, never bit-compared to the interpreted paths;
 2. every path must match the numpy reference
    ``alpha*op(A)@op(B) + beta*C`` — computed in float64/complex128 with
    the BLAS overwrite semantics (``beta == 0`` never reads C) — within a
@@ -78,11 +89,13 @@ def _run_path(case: FuzzCase, path: str, plan_cache, pool):
     a, b, c, _c0 = materialize(case)
     alpha, beta = case.scalars()
     crit = SimpleCutoff(case.tau)
-    if path in ("serial", "plan"):
+    if path in ("serial", "plan", "fused", "fused-replay"):
+        fused = path in ("fused", "fused-replay")
         dgefmm(
             a, b, c, alpha, beta, case.transa, case.transb,
             cutoff=crit, scheme=case.scheme, peel=case.peel,
-            plan_cache=plan_cache if path == "plan" else None,
+            plan_cache=plan_cache if path != "serial" else None,
+            fuse=fused,
         )
     else:
         pdgefmm(
@@ -90,7 +103,10 @@ def _run_path(case: FuzzCase, path: str, plan_cache, pool):
             cutoff=crit, scheme=case.scheme, peel=case.peel,
             workers=case.workers, max_parallel_depth=case.depth,
             pool=pool if case.pool else None,
-            plan_cache=plan_cache if path == "parallel-plan" else None,
+            plan_cache=(plan_cache
+                        if path in ("parallel-plan", "parallel-fused")
+                        else None),
+            fuse=path == "parallel-fused",
         )
     return c
 
@@ -99,12 +115,16 @@ def run_case(
     case: FuzzCase,
     plan_cache: Optional[Any] = None,
     pool: Optional[Any] = None,
+    fuse: bool = False,
 ) -> List[Dict[str, Any]]:
     """Run every applicable path for ``case``; return divergence records.
 
     An empty list means the case conforms.  Each record carries the
     ``path``, a ``kind`` (``"exception"``, ``"reference-mismatch"``, or
-    ``"bit-divergence"``), and a human-readable ``detail``.
+    ``"bit-divergence"``), and a human-readable ``detail``.  ``fuse``
+    adds the fused-execution paths (module docstring) — checked
+    against the reference tolerance and for replay determinism, not
+    bit-compared to the interpreted paths.
     """
     if plan_cache is None:
         from repro.plan import PlanCache
@@ -122,6 +142,10 @@ def run_case(
     paths = ["serial", "plan"]
     if case.parallel_applicable:
         paths += ["parallel", "parallel-plan"]
+    if fuse:
+        paths += ["fused", "fused-replay"]
+        if case.parallel_applicable:
+            paths.append("parallel-fused")
 
     failures: List[Dict[str, Any]] = []
     results: Dict[str, np.ndarray] = {}
@@ -151,7 +175,8 @@ def run_case(
                              else " (non-finite entries)"),
             })
 
-    for lhs, rhs in (("serial", "plan"), ("parallel", "parallel-plan")):
+    for lhs, rhs in (("serial", "plan"), ("parallel", "parallel-plan"),
+                     ("fused", "fused-replay")):
         if lhs in results and rhs in results and not np.array_equal(
             results[lhs], results[rhs]
         ):

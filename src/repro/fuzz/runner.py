@@ -105,6 +105,7 @@ def run_fuzz(
     failures_path: Optional[str] = None,
     progress: Optional[Any] = None,
     scheme: Optional[str] = None,
+    fuse: bool = False,
 ) -> FuzzReport:
     """Run a differential campaign; returns a :class:`FuzzReport`.
 
@@ -115,7 +116,9 @@ def run_fuzz(
     ``--replay``.  ``progress`` is an optional callable
     ``(index, total, divergent)`` invoked after each case.  ``scheme``
     pins every case (drawn or replayed) to one scheme — the per-scheme
-    CI smoke lanes; all other knobs keep their drawn values.
+    CI smoke lanes; all other knobs keep their drawn values.  ``fuse``
+    adds the fused-execution paths to every case (see
+    :mod:`repro.fuzz.oracle`).
     """
     rng = np.random.default_rng(seed)
     plan_cache = PlanCache()
@@ -133,7 +136,8 @@ def run_fuzz(
     for idx, case in enumerate(todo):
         report.cases += 1
         report._cover(case)
-        failures = run_case(case, plan_cache=plan_cache, pool=pool)
+        failures = run_case(case, plan_cache=plan_cache, pool=pool,
+                            fuse=fuse)
         if failures:
             report.divergent += 1
             report.failures.append(

@@ -12,11 +12,21 @@ planning or allocation cost (pool-backed arenas, precomputed byte
 offsets).  ``dgefmm(..., plan_cache=...)`` and ``pdgefmm(...,
 plan_cache=...)`` wire the path in transparently; results are
 bit-identical to the recursive drivers.
+
+With ``fuse=True`` on :class:`~repro.core.config.GemmConfig`, compiled
+plans additionally carry a :class:`~repro.plan.fuse.FusedProgram` —
+the op stream re-expressed as elementwise runs, packed batched-product
+groups, and direct base-case products (:func:`~repro.plan.fuse.
+fuse_plan`) — which the executor replays in place of the interpreted
+loop.  Fused replay is deterministic and charge-identical, but not
+bit-identical to the interpreted stream (different base-case kernel);
+``fuse`` therefore keys the plan signature.
 """
 
 from repro.plan.cache import PlanCache
 from repro.plan.compiler import ExecutionPlan, PlanSignature, compile_plan
 from repro.plan.executor import execute_plan
+from repro.plan.fuse import FusedProgram, fuse_plan
 
 __all__ = [
     "PlanCache",
@@ -24,4 +34,6 @@ __all__ = [
     "ExecutionPlan",
     "compile_plan",
     "execute_plan",
+    "FusedProgram",
+    "fuse_plan",
 ]

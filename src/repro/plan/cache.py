@@ -99,12 +99,21 @@ class PlanCache:
         with self._lock:
             return self._plans.get(signature)
 
-    @property
     def hit_rate(self) -> float:
-        """``hits / (hits + misses)`` so far (0.0 before any lookup)."""
+        """``hits / (hits + misses)`` so far (0.0 before any lookup).
+
+        Shares :meth:`_hit_rate_locked` with :meth:`stats`, so the two
+        can never disagree on the denominator: every lookup — hit or
+        miss, including lookups whose entries were later evicted or
+        dropped by :meth:`clear` — counts exactly once in both.
+        """
         with self._lock:
-            total = self.hits + self.misses
-            return self.hits / total if total else 0.0
+            return self._hit_rate_locked()
+
+    def _hit_rate_locked(self) -> float:
+        # caller holds self._lock (which is not reentrant)
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
 
     def _evict(self) -> None:
         # over-count: drop LRU entries; over-bytes: likewise, but never
@@ -137,7 +146,6 @@ class PlanCache:
         matter how many threads are churning the cache concurrently.
         """
         with self._lock:
-            total = self.hits + self.misses
             return {
                 "plans": len(self._plans),
                 "bytes": self._bytes,
@@ -145,7 +153,7 @@ class PlanCache:
                 "misses": self.misses,
                 "evictions": self.evictions,
                 "cleared": self.cleared,
-                "hit_rate": self.hits / total if total else 0.0,
+                "hit_rate": self._hit_rate_locked(),
                 "max_plans": self.max_plans,
                 "max_bytes": self.max_bytes,
             }

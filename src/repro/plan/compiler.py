@@ -58,6 +58,7 @@ from repro.core.parallel import (
 from repro.core.pool import _align_up
 from repro.core.traversal import Base, decide
 from repro.errors import ArgumentError
+from repro.plan.fuse import fuse_plan
 from repro.plan.ops import (
     OP_ACCUM,
     OP_AXPBY,
@@ -180,7 +181,7 @@ class ExecutionPlan:
         "signature", "m", "k", "n", "dtype", "nb", "backend",
         "regions", "ops", "ops_quiet", "branches", "epilogue",
         "epilogue_quiet", "arena_bytes", "peak_bytes", "charge_bytes",
-        "counts", "nbytes", "_temp_cache",
+        "counts", "nbytes", "fused", "_temp_cache",
     )
 
     def __init__(
@@ -218,6 +219,11 @@ class ExecutionPlan:
         self.peak_bytes = int(peak_bytes)
         self.charge_bytes = int(charge_bytes)
         self.counts = counts
+        #: optional :class:`~repro.plan.fuse.FusedProgram` attached by
+        #: the compiler when the signature's config has ``fuse=True``;
+        #: the executor replays it for plain numeric contexts and falls
+        #: back to the interpreted op stream otherwise
+        self.fused = None
         self.nbytes = (
             256
             + 64 * len(regions)
@@ -624,7 +630,10 @@ def _compile_serial(
     sc = _SerialCompiler(cfg, dtype)
     a, b, c = _roots(m, k, n, dtype)
     sc.run(a, b, c, alpha, beta, depth, scheme)
-    return sc.rec.build(signature, m, k, n, cfg.nb, cfg.backend)
+    plan = sc.rec.build(signature, m, k, n, cfg.nb, cfg.backend)
+    if cfg.fuse:
+        plan.fused = fuse_plan(plan)
+    return plan
 
 
 # ---------------------------------------------------------------------- #

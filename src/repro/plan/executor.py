@@ -42,6 +42,7 @@ from repro.core.parallel import _split_budget
 from repro.core.peeling import apply_fixups, apply_fixups_head
 from repro.core.pool import WorkspacePool, _aligned_buffer
 from repro.errors import ArgumentError
+from repro.plan.fuse import run_fused
 from repro.plan.ops import (
     OP_ACCUM,
     OP_AXPBY,
@@ -156,24 +157,38 @@ def _exec(plan, va, vb, vc, st, ctx, pool, workers, arena=None) -> None:
     Only the top node uses it; parallel branches still draw from
     ``pool``.
     """
+    # Fused replay needs per-op hooks absent: tracing replays EVENT ops,
+    # dry runs skip numerics per kernel, and machine models charge
+    # modeled seconds per call — all three fall back to the interpreted
+    # stream (same plan, bit-identical numerics on the fallback).
+    fused = plan.fused
+    if fused is not None and (
+        ctx.trace or ctx.dry or ctx.machine is not None
+    ):
+        fused = None
+    need = fused.arena_bytes if fused is not None else plan.arena_bytes
+
     pooled = False
     ws = None
-    if plan.arena_bytes or plan.branches:
+    if need or plan.branches:
         if arena is not None:
-            buf = arena.reserve(plan.arena_bytes)
+            buf = arena.reserve(need)
         elif pool is not None:
             ws = pool.checkout()
-            buf = ws.reserve(plan.arena_bytes)
+            buf = ws.reserve(need)
             pooled = True
         else:
-            buf = _aligned_buffer(plan.arena_bytes)
+            buf = _aligned_buffer(need)
     else:
         buf = None
 
     try:
         v = _resolve(plan, va, vb, vc, buf) if plan.regions else []
-        _run_ops(plan.ops if ctx.trace else plan.ops_quiet,
-                 v, st, ctx, plan.nb, plan.backend)
+        if fused is not None:
+            run_fused(fused, v, st, ctx, buf)
+        else:
+            _run_ops(plan.ops if ctx.trace else plan.ops_quiet,
+                     v, st, ctx, plan.nb, plan.backend)
 
         if plan.branches:
             branches = plan.branches

@@ -31,6 +31,7 @@ from repro.core.cutoff import SimpleCutoff
 from repro.core.dgefmm import dgefmm
 from repro.errors import ServiceOverloaded, ServiceTimeout
 from repro.fuzz.cases import FuzzCase, draw_case, materialize
+from repro.plan.cache import PlanCache
 from repro.serve.service import GemmService
 
 __all__ = ["build_mix", "run_load"]
@@ -63,13 +64,19 @@ def build_mix(
     return mix
 
 
-def _reference(case: FuzzCase, a, b, c) -> np.ndarray:
+def _reference(case: FuzzCase, a, b, c, *,
+               fuse: bool = False,
+               plan_cache: Optional[PlanCache] = None) -> np.ndarray:
     """Direct dgefmm on operands materialized exactly like the service.
 
     The service starts ``beta == 0`` outputs from Fortran-ordered zeros
     and ``beta != 0`` outputs from a plain copy of the caller's C; the
     reference does the same, so bit-identity is the plan-replay
-    guarantee and nothing else.
+    guarantee and nothing else.  Under ``fuse`` the reference runs
+    through the fused plan path too (fused replay is deterministic but
+    not bit-identical to the recursive driver — the batched kernel's
+    accumulation order differs), so the monitor keeps asserting exact
+    equality rather than a tolerance.
     """
     alpha, beta = case.scalars()
     if beta != 0.0:
@@ -77,9 +84,10 @@ def _reference(case: FuzzCase, a, b, c) -> np.ndarray:
     else:
         dt = np.result_type(a, b)
         out = np.zeros((case.m, case.n), dtype=dt, order="F")
+    kwargs = {"plan_cache": plan_cache, "fuse": True} if fuse else {}
     dgefmm(a, b, out, alpha, beta, case.transa, case.transb,
            cutoff=SimpleCutoff(case.tau), scheme=case.scheme,
-           peel=case.peel)
+           peel=case.peel, **kwargs)
     return out
 
 
@@ -95,6 +103,7 @@ def run_load(
     seed: int = 0,
     max_dim: int = 48,
     scheme: Optional[str] = None,
+    fuse: bool = False,
     request_timeout: Optional[float] = None,
     verify: bool = True,
     service: Optional[GemmService] = None,
@@ -109,7 +118,9 @@ def run_load(
     surface works, including the network
     :class:`~repro.api.client.GemmClient`; otherwise one is built from
     the knobs and closed before returning.  ``scheme`` pins the whole
-    mix to one scheme.
+    mix to one scheme.  ``fuse`` serves (and verifies) the mix through
+    the fused plan path; it applies to the locally-built service —
+    configure an injected ``service`` directly.
 
     ``canonical_operands`` converts every operand to Fortran order
     before anything touches it.  Network serving needs this: the wire
@@ -122,6 +133,7 @@ def run_load(
                     scheme=scheme)
     operands: List[Tuple[Any, Any, Any]] = []
     expected: List[Optional[np.ndarray]] = []
+    ref_cache = PlanCache() if (verify and fuse) else None
     for case in mix:
         a, b, c, c0 = materialize(case)
         if canonical_operands:
@@ -129,12 +141,15 @@ def run_load(
             b = np.asarray(b, order="F")
             c = np.asarray(c, order="F")
         operands.append((a, b, c))
-        expected.append(_reference(case, a, b, c) if verify else None)
+        expected.append(
+            _reference(case, a, b, c, fuse=fuse, plan_cache=ref_cache)
+            if verify else None
+        )
 
     own_service = service is None
     svc = service if service is not None else GemmService(
         workers=workers, capacity=capacity, policy=policy,
-        max_batch=max_batch,
+        max_batch=max_batch, fuse=fuse,
     )
     inflight: List[Tuple[int, Any]] = []   # (mix index, future)
     attempts = rejected = 0
@@ -215,6 +230,7 @@ def run_load(
         "errors": errors,
         "divergent": divergent,
         "verified": bool(verify),
+        "fuse": bool(fuse),
         "failures": failures,
         "mix": [
             {"m": c.m, "k": c.k, "n": c.n, "dtype": c.dtype,

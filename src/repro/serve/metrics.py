@@ -19,6 +19,7 @@ service cannot grow memory without bound.
 
 from __future__ import annotations
 
+import math
 import threading
 from typing import Dict, List, Optional
 
@@ -94,7 +95,14 @@ class Histogram:
             return self._count
 
     def quantile(self, q: float) -> Optional[float]:
-        """Nearest-rank quantile estimate from the sample ring."""
+        """Nearest-rank quantile estimate from the sample ring.
+
+        ``None`` on an empty histogram.  The rank is ``ceil(q * n)``
+        clamped to ``[1, n]``, so tiny samples behave sanely: the p99 of
+        a one- or two-sample histogram is the sample maximum (the old
+        ``int(q * n)`` truncation indexed *below* the nearest rank —
+        p99 of two samples returned the smaller one).
+        """
         with self._lock:
             return self._quantiles([q])[0]
 
@@ -104,9 +112,20 @@ class Histogram:
             return [None for _ in qs]
         ordered = sorted(self._ring)
         n = len(ordered)
-        return [ordered[min(int(q * n), n - 1)] for q in qs]
+        return [
+            ordered[min(n, max(1, math.ceil(q * n))) - 1] for q in qs
+        ]
 
     def snapshot(self) -> Dict[str, Optional[float]]:
+        """One consistent view of the histogram under a single lock hold.
+
+        ``count``/``sum``/``min``/``max``/``mean`` are exact over the
+        full observation history; the quantiles are nearest-rank over
+        the sample ring, which after wrap covers only the most recent
+        window — ``samples`` reports that window size so a consumer can
+        tell the two apart (``samples < count`` means the ring has
+        wrapped and quantiles are windowed estimates).
+        """
         with self._lock:
             p50, p95, p99 = self._quantiles((0.50, 0.95, 0.99))
             return {
@@ -115,6 +134,7 @@ class Histogram:
                 "min": self._min,
                 "max": self._max,
                 "mean": self._sum / self._count if self._count else None,
+                "samples": len(self._ring),
                 "p50": p50,
                 "p95": p95,
                 "p99": p99,

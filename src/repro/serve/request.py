@@ -108,8 +108,8 @@ class GemmRequest:
 
     __slots__ = ("a", "b", "c0", "alpha", "beta", "transa", "transb",
                  "m", "k", "n", "dtype", "cutoff", "scheme", "peel",
-                 "nb", "backend", "signature", "future", "deadline",
-                 "seq", "t_submit")
+                 "nb", "backend", "fuse", "signature", "future",
+                 "deadline", "seq", "t_submit")
 
     def __init__(
         self,
@@ -126,13 +126,14 @@ class GemmRequest:
         peel: str = "tail",
         nb: int = DEFAULT_TILE,
         backend: str = "substrate",
+        fuse: bool = False,
         deadline: Optional[float] = None,
     ) -> None:
         require_matrix("GemmService.submit", "a", a)
         require_matrix("GemmService.submit", "b", b)
         # one validation point for all five behaviour knobs
         cfg = GemmConfig(scheme=scheme, peel=peel, cutoff=cutoff,
-                         nb=nb, backend=backend)
+                         nb=nb, backend=backend, fuse=fuse)
         m, k = opshape(a, transa)
         kb, n = opshape(b, transb)
         if kb != k:
@@ -167,6 +168,7 @@ class GemmRequest:
         self.cutoff = cutoff
         self.scheme, self.peel = scheme, peel
         self.nb, self.backend = nb, backend
+        self.fuse = bool(fuse)
         self.deadline = deadline
         self.future = GemmFuture()
         self.seq = -1            # assigned at admission

@@ -78,6 +78,11 @@ class GemmService:
     cutoff:
         Default cutoff criterion for submitted requests (must be a
         frozen, hashable criterion — it is part of the plan signature).
+    fuse:
+        Default for the per-request ``fuse`` knob: serve batches
+        through the fused replay loop (:mod:`repro.plan.fuse`) instead
+        of the interpreted op stream.  Part of the plan signature, so
+        fused and interpreted traffic batch separately.
     plan_cache, pool, metrics:
         Bring-your-own shared instances (e.g. one cache across several
         services), or None for private ones.
@@ -95,6 +100,7 @@ class GemmService:
         policy: str = "reject",
         max_batch: int = 32,
         cutoff: Optional[CutoffCriterion] = None,
+        fuse: bool = False,
         plan_cache: Optional[PlanCache] = None,
         pool: Optional[WorkspacePool] = None,
         metrics: Optional[MetricsRegistry] = None,
@@ -109,6 +115,7 @@ class GemmService:
                 f"must be >= 1, got {max_batch}",
             )
         self.cutoff = cutoff if cutoff is not None else DEFAULT_CUTOFF
+        self.fuse = bool(fuse)
         self.plan_cache = plan_cache if plan_cache is not None else PlanCache()
         self.pool = pool if pool is not None else WorkspacePool()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
@@ -163,6 +170,7 @@ class GemmService:
         cutoff: Optional[CutoffCriterion] = None,
         scheme: str = "auto",
         peel: str = "tail",
+        fuse: Optional[bool] = None,
     ) -> GemmFuture:
         """Queue ``C <- alpha*op(A)*op(B) + beta*C``; returns a future.
 
@@ -189,7 +197,9 @@ class GemmService:
         req = GemmRequest(
             a, b, c, alpha, beta, transa, transb,
             cutoff=cutoff if cutoff is not None else self.cutoff,
-            scheme=scheme, peel=peel, deadline=deadline,
+            scheme=scheme, peel=peel,
+            fuse=self.fuse if fuse is None else fuse,
+            deadline=deadline,
         )
         self._h_queue_depth.observe(self._queue.depth)
         try:
@@ -262,8 +272,12 @@ class GemmService:
                 plan = self.plan_cache.get_or_compile(sig)
                 arena = self.pool.checkout()
                 pooled = True
-                if plan.arena_bytes:
-                    arena.reserve(plan.arena_bytes)
+                # fused replay binds pack scratch past the interpreted
+                # arena top, so pre-warm with the larger requirement
+                need = (plan.fused.arena_bytes if plan.fused is not None
+                        else plan.arena_bytes)
+                if need:
+                    arena.reserve(need)
         except BaseException as exc:  # compile/reserve failed: fail batch
             if pooled:
                 self.pool.release(arena)

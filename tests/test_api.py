@@ -31,7 +31,7 @@ from repro.api.protocol import (
 from repro.api.ratelimit import ClientLimits, TokenBucket
 from repro.api.router import HashRing, ShardGate, routing_signature
 from repro.api.server import ApiServerThread
-from repro.api.shm import ALIGN, ShmArena
+from repro.api.shm import ALIGN, ShmArena, ShmLease
 from repro.api.wirefuzz import run_wire_fuzz
 from repro.core.cutoff import SimpleCutoff
 from repro.core.dgefmm import dgefmm
@@ -107,6 +107,70 @@ class TestShmArena:
             assert z.nbytes == 0
             arena.release(z)
             assert arena.stats()["leases_outstanding"] == 0
+        finally:
+            arena.close()
+            arena.unlink()
+
+    def test_freed_block_merges_with_both_neighbours(self):
+        arena = ShmArena(ALIGN * 3)
+        try:
+            l1, l2, l3 = (arena.lease(ALIGN) for _ in range(3))
+            arena.release(l1)
+            arena.release(l3)
+            assert arena.stats()["free_holes"] == 2
+            # the middle block is adjacent to free holes on BOTH sides
+            arena.release(l2)
+            assert arena.stats()["free_holes"] == 1
+            big = arena.lease(ALIGN * 3)
+            arena.release(big)
+        finally:
+            arena.close()
+            arena.unlink()
+
+    def test_interleaved_lease_release_stress(self):
+        """Randomized interleaved traffic must re-coalesce to one hole
+        and leave zero outstanding leases — the no-fragmentation and
+        no-leak invariants together."""
+        import random
+
+        rng = random.Random(42)
+        arena = ShmArena(ALIGN * 256)
+        try:
+            live = []
+            for step in range(2000):
+                if live and (len(live) > 48 or rng.random() < 0.5):
+                    arena.release(live.pop(rng.randrange(len(live))))
+                else:
+                    try:
+                        live.append(arena.lease(rng.randrange(1, ALIGN * 8)))
+                    except WorkspaceError:
+                        # transient exhaustion under fragmentation is
+                        # legal; drain a little and carry on
+                        arena.release(live.pop(rng.randrange(len(live))))
+                # free-list order and disjointness hold at every step
+                holes = arena._free
+                for (o1, s1), (o2, _s2) in zip(holes, holes[1:]):
+                    assert o1 + s1 < o2   # ordered, disjoint, coalesced
+            for lease in live:
+                arena.release(lease)
+            s = arena.stats()
+            assert s["leases_outstanding"] == 0
+            assert s["leased_bytes"] == 0
+            assert s["free_holes"] == 1
+        finally:
+            arena.close()
+            arena.unlink()
+
+    def test_release_overlapping_free_hole_refused(self):
+        arena = ShmArena(ALIGN * 4)
+        try:
+            lease = arena.lease(ALIGN)
+            arena.release(lease)
+            forged = ShmLease(lease.offset, lease.nbytes)
+            before = list(arena._free)
+            with pytest.raises(WorkspaceError):
+                arena.release(forged)   # overlaps the hole just freed
+            assert arena._free == before   # validated before mutation
         finally:
             arena.close()
             arena.unlink()

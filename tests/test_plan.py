@@ -45,10 +45,10 @@ CUT = SimpleCutoff(8)
 
 
 def _sig(m, k, n, beta=0.0, scheme="auto", peel="tail", cutoff=CUT,
-         dtype="float64", kind="serial", depth=0):
+         dtype="float64", kind="serial", depth=0, fuse=False):
     return PlanSignature(kind, m, k, n, False, False, False, beta == 0.0,
                          dtype, scheme, peel, cutoff, DEFAULT_TILE,
-                         "substrate", depth)
+                         "substrate", fuse=fuse, max_parallel_depth=depth)
 
 
 class TestExactnessCrossCheck:
@@ -256,6 +256,22 @@ class TestPlanCache:
         dgefmm(a, b, c, cutoff=CUT, ctx=ctx, plan_cache=cache)
         assert ctx.stats["plan_cache"]["misses"] == 1
 
+    def test_hit_rate_agrees_with_stats(self):
+        """hit_rate() and stats()["hit_rate"] share one denominator —
+        every lookup counts, including those whose entries were later
+        evicted or cleared — and an untouched cache reports 0.0."""
+        cache = PlanCache(max_plans=1)
+        assert cache.hit_rate() == 0.0              # no lookups: not a raise
+        assert cache.stats()["hit_rate"] == 0.0
+        s1, s2 = _sig(8, 8, 8), _sig(10, 10, 10)
+        cache.get_or_compile(s1)                    # miss
+        cache.get_or_compile(s1)                    # hit
+        cache.get_or_compile(s2)                    # miss, evicts s1
+        cache.get(s1)                               # miss (evicted)
+        cache.clear()
+        cache.get(s2)                               # miss (cleared)
+        assert cache.hit_rate() == cache.stats()["hit_rate"] == 1 / 5
+
     def test_thread_safety_compiles_once(self, rng):
         import threading
 
@@ -454,6 +470,7 @@ class TestSignatureCompleteness:
             ("dtype-complex", dict(dtype="complex128")),
             ("cutoff", dict(cutoff=SimpleCutoff(6))),
             ("backend", dict(backend="vendor")),
+            ("fuse", dict(fuse=True)),
             ("beta-class", dict(beta=0.0)),
         ]
         for idx, (name, kw) in enumerate(variants, start=2):

@@ -68,9 +68,48 @@ class TestMetrics:
         for v in range(1, 101):
             h.observe(float(v))
         s = h.snapshot()
-        assert s["p50"] == 51.0   # nearest-rank on 1..100
-        assert s["p95"] == 96.0
-        assert s["p99"] == 100.0
+        # nearest rank is ceil(q*n) on 1..100: the 50th/95th/99th value
+        assert s["p50"] == 50.0
+        assert s["p95"] == 95.0
+        assert s["p99"] == 99.0
+        assert h.quantile(1.0) == 100.0
+        assert h.quantile(0.0) == 1.0   # rank clamps to 1
+
+    def test_quantile_tiny_samples_return_max_not_below(self):
+        # p99 of one or two samples is the sample max: ceil(0.99*n)
+        # lands on the last rank (the old int(q*n) truncation indexed
+        # below it and returned the smaller sample)
+        h1 = Histogram("one")
+        h1.observe(7.0)
+        assert h1.quantile(0.99) == 7.0
+        assert h1.snapshot()["p99"] == 7.0
+        h2 = Histogram("two")
+        h2.observe(1.0)
+        h2.observe(2.0)
+        assert h2.quantile(0.99) == 2.0
+        assert h2.quantile(0.5) == 1.0
+        assert h2.snapshot()["p99"] == 2.0
+
+    def test_quantile_empty_histogram_is_none(self):
+        h = Histogram("empty")
+        assert h.quantile(0.99) is None
+        s = h.snapshot()
+        assert s["p50"] is None and s["p95"] is None and s["p99"] is None
+        assert s["samples"] == 0
+
+    def test_snapshot_consistent_after_ring_wrap(self):
+        h = Histogram("wrap", max_samples=4)
+        for v in range(1, 11):
+            h.observe(float(v))
+        s = h.snapshot()
+        # exact moments cover the whole history ...
+        assert s["count"] == 10 and s["min"] == 1.0 and s["max"] == 10.0
+        # ... while quantiles cover the surviving window {7,8,9,10},
+        # with the snapshot reporting that window size explicitly
+        assert s["samples"] == 4
+        assert s["p50"] == 8.0
+        assert s["p99"] == 10.0
+        assert h.quantile(0.5) == 8.0   # same path as the snapshot
 
     def test_histogram_ring_bounds_memory_moments_stay_exact(self):
         h = Histogram("lat", max_samples=4)
