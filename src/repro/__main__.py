@@ -11,6 +11,8 @@ fuzz      differential fuzzing campaign over every execution path
 serve     batched GEMM service under open-loop load, verified live
 api       network front-end over multi-process sharded serving
           (actions: serve, fuzz, load)
+calibrate fit a MachineModel: paper presets, or this host (--host)
+tune      online autotuning loop (actions: measure, search, show, apply)
 selftest  quick end-to-end verification of the installation
 
 Every command accepts ``--json`` and then prints a single JSON document
@@ -509,6 +511,9 @@ def _api_pool_flags(p) -> None:
                    help="micro-batch ceiling per worker (default 32)")
     p.add_argument("--arena-mb", dest="arena_mb", type=int, default=64,
                    help="shared-memory transport per worker, MiB")
+    p.add_argument("--profiles", default=None,
+                   help="tuned-profile directory loaded by every worker "
+                        "(hot-swappable via POST /v1/reload)")
 
 
 def _api_pool_cfg(args) -> dict:
@@ -519,6 +524,7 @@ def _api_pool_cfg(args) -> dict:
         "policy": args.policy,
         "max_batch": args.max_batch,
         "arena_bytes": args.arena_mb * 1024 * 1024,
+        "profile_dir": args.profiles,
     }
 
 
@@ -663,6 +669,185 @@ def _cmd_api_load(args) -> int:
             print(f"  FAIL {line}")
     print(f"api load: {'ok' if ok else 'FAILED'}")
     return 0 if ok else 1
+
+
+def _cmd_calibrate(args) -> int:
+    """Fit (or recall) a MachineModel; JSON-serializable either way."""
+    from repro.machines.calibrate import (
+        calibrate_host,
+        machine_to_json,
+        model_rect_crossover,
+        model_square_crossover,
+    )
+    from repro.machines.presets import MACHINES
+
+    if args.host:
+        mach = calibrate_host(
+            scan_lo=args.scan_lo, scan_hi=args.scan_hi, fixed=args.fixed,
+        )
+        source = "host"
+    else:
+        mach = MACHINES[args.preset]
+        source = f"preset:{args.preset}"
+    doc = machine_to_json(mach)
+    rows = [{
+        "name": mach.name,
+        "square_tau": model_square_crossover(mach),
+        "tau_m": model_rect_crossover(mach, "m", float(args.fixed)),
+        "tau_k": model_rect_crossover(mach, "k", float(args.fixed)),
+        "tau_n": model_rect_crossover(mach, "n", float(args.fixed)),
+    }]
+    if args.out:
+        import json as _json
+
+        with open(args.out, "w", encoding="utf-8") as fh:
+            _json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    if args.json:
+        _print_bench_json(
+            "calibrate",
+            {"source": source, "fixed": args.fixed,
+             "scan_lo": args.scan_lo, "scan_hi": args.scan_hi},
+            rows, model=doc,
+        )
+        return 0
+    print(f"machine: {mach.name} ({source})")
+    r = rows[0]
+    print(f"  square crossover tau = {r['square_tau']:.1f}")
+    print(f"  long-thin tau_m/tau_k/tau_n = {r['tau_m']:.1f} / "
+          f"{r['tau_k']:.1f} / {r['tau_n']:.1f}  (fixed={args.fixed})")
+    if args.out:
+        print(f"  model written to {args.out}")
+    return 0
+
+
+def _cmd_tune_measure(args) -> int:
+    from repro.tune.measure import measure_crossover
+
+    rep = measure_crossover(
+        lo=args.lo, hi=args.hi, step=args.step, repeats=args.repeats,
+    )
+    if args.json:
+        _print_bench_json(
+            "tune_measure", dict(rep["scan"]),
+            [rep],
+        )
+        return 0
+    if rep["measured"] is not None:
+        m = rep["measured"]
+        print(f"measured square crossover: first win {m['first']}, "
+              f"always from {m['always']}, recommended tau {m['recommended']}")
+    else:
+        print(f"measured square crossover: none ({rep['reason']})")
+    for name, tau in rep["predicted"].items():
+        err = (rep["error"] or {}).get(name)
+        tail = (f"  (error {err['abs']} / {err['rel']:.0%})"
+                if err else "")
+        print(f"predicted ({name}): {tau}{tail}")
+    return 0
+
+
+def _cmd_tune_search(args) -> int:
+    from repro.tune.search import tune_class
+    from repro.tune.store import ProfileStore
+
+    m = args.m if args.m else args.order
+    k = args.k if args.k else args.order
+    n = args.n if args.n else args.order
+    prof = tune_class(
+        m, k, n,
+        beta_zero=not args.beta,
+        budget_s=args.budget,
+        version=args.version,
+    )
+    saved = []
+    if args.out:
+        store = ProfileStore(args.out)
+        store.put(prof, force=True)
+        saved = store.save()
+    meas = prof.measured
+    if args.json:
+        _print_bench_json(
+            "tune_search",
+            {"m": m, "k": k, "n": n, "beta_zero": not args.beta,
+             "budget_s": args.budget},
+            [prof.to_json()], saved=saved,
+        )
+        return 0
+    print(f"class {prof.key}: winner "
+          f"{prof.scheme}/{prof.peel}, {prof.cutoff!r}, nb={prof.nb}, "
+          f"fuse={prof.fuse}")
+    print(f"  tuned {meas['tuned_s'] * 1e3:.2f} ms vs default "
+          f"{meas['default_s'] * 1e3:.2f} ms "
+          f"(speedup {meas['speedup']:.2f}x) in {meas['spent_s']:.1f} s "
+          f"of {meas['budget_s']:.0f} s budget")
+    for path in saved:
+        print(f"  profile written to {path}")
+    return 0
+
+
+def _cmd_tune_show(args) -> int:
+    from repro.tune.store import ProfileStore, host_fingerprint
+
+    store = ProfileStore(args.dir)
+    report = store.load(strict=False)
+    here = host_fingerprint()["digest"]
+    rows = []
+    for prof in store.profiles():
+        rows.append(dict(
+            prof.to_json(),
+            stale=(prof.host_digest() is not None
+                   and prof.host_digest() != here),
+        ))
+    if args.json:
+        _print_bench_json(
+            "tune_show", {"dir": args.dir, "host_digest": here},
+            rows, load=report,
+        )
+        return 0
+    if not rows:
+        print(f"no profiles under {args.dir}")
+        return 0
+    for r in rows:
+        mark = " [STALE: other host]" if r["stale"] else ""
+        meas = r.get("measured", {})
+        speed = meas.get("speedup")
+        extra = f", speedup {speed:.2f}x" if speed else ""
+        print(f"{r['key']} v{r['version']}: {r['scheme']}/{r['peel']}, "
+              f"{r['cutoff']['kind']}, nb={r['nb']}, "
+              f"fuse={r['fuse']}{extra}{mark}")
+    return 0
+
+
+def _cmd_tune_apply(args) -> int:
+    from repro.tune.apply import hot_swap_check
+
+    m = args.m if args.m else args.order
+    k = args.k if args.k else args.order
+    n = args.n if args.n else args.order
+    rep = hot_swap_check(
+        args.dir, m=m, k=k, n=n,
+        requests=args.requests, workers=args.workers,
+    )
+    if args.json:
+        _print_bench_json(
+            "tune_apply",
+            {"dir": args.dir, "m": m, "k": k, "n": n,
+             "requests": args.requests},
+            rep["phases"], ok=rep["ok"], load=rep["load"],
+            resolved_key=rep["resolved_key"], swapped=rep["swapped"],
+        )
+        return 0 if rep["ok"] else 1
+    print(f"loaded {rep['load']['loaded']} profile(s) "
+          f"({rep['load']['skipped_stale']} stale, "
+          f"{rep['load']['skipped_invalid']} invalid)")
+    for ph in rep["phases"]:
+        print(f"  {ph['phase']}: {ph['exact']}/{ph['requests']} "
+              f"bit-identical to direct dgefmm")
+    print(f"profile for this class: {rep['resolved_key'] or 'none'}"
+          + (" (hot-swapped)" if rep["swapped"] else ""))
+    print(f"tune apply: {'ok' if rep['ok'] else 'FAILED'}")
+    return 0 if rep["ok"] else 1
 
 
 def _cmd_selftest(args) -> int:
@@ -902,6 +1087,88 @@ def main(argv=None) -> int:
     q.add_argument("--json", action="store_true",
                    help="emit the benchmark-schema JSON document")
     q.set_defaults(fn=_cmd_api_load)
+
+    p = sub.add_parser(
+        "calibrate",
+        help="fit a MachineModel (paper preset, or this host)",
+    )
+    p.add_argument("--preset", default="RS6000",
+                   choices=["RS6000", "C90", "T3D"],
+                   help="paper machine to recall (default RS6000)")
+    p.add_argument("--host", action="store_true",
+                   help="wall-clock calibrate THIS host "
+                        "(minutes, not seconds)")
+    p.add_argument("--scan-lo", dest="scan_lo", type=int, default=32)
+    p.add_argument("--scan-hi", dest="scan_hi", type=int, default=512)
+    p.add_argument("--fixed", type=int, default=768,
+                   help="held dimension of the long-thin experiments")
+    p.add_argument("--out", default=None,
+                   help="write the model JSON to this path")
+    p.add_argument("--json", action="store_true",
+                   help="emit the benchmark-schema JSON document")
+    p.set_defaults(fn=_cmd_calibrate)
+
+    p = sub.add_parser(
+        "tune",
+        help="online autotuning: measure, search, show, apply",
+    )
+    tune_sub = p.add_subparsers(dest="action", required=True)
+
+    q = tune_sub.add_parser(
+        "measure", help="measured vs predicted crossover on this host"
+    )
+    q.add_argument("--lo", type=int, default=64)
+    q.add_argument("--hi", type=int, default=384)
+    q.add_argument("--step", type=int, default=32)
+    q.add_argument("--repeats", type=int, default=3)
+    q.add_argument("--json", action="store_true",
+                   help="emit the benchmark-schema JSON document")
+    q.set_defaults(fn=_cmd_tune_measure)
+
+    q = tune_sub.add_parser(
+        "search", help="budgeted knob search for one signature class"
+    )
+    q.add_argument("--order", type=int, default=256,
+                   help="square problem order (default 256)")
+    q.add_argument("--m", type=int, default=0)
+    q.add_argument("--k", type=int, default=0)
+    q.add_argument("--n", type=int, default=0)
+    q.add_argument("--beta", action="store_true",
+                   help="tune the beta != 0 class (default beta == 0)")
+    q.add_argument("--budget", type=float, default=30.0,
+                   help="wall-clock search budget, seconds (default 30)")
+    q.add_argument("--version", type=int, default=1,
+                   help="profile version to stamp (default 1)")
+    q.add_argument("--out", default=None,
+                   help="profiles directory to persist the winner into")
+    q.add_argument("--json", action="store_true",
+                   help="emit the benchmark-schema JSON document")
+    q.set_defaults(fn=_cmd_tune_search)
+
+    q = tune_sub.add_parser(
+        "show", help="list the profiles in a directory"
+    )
+    q.add_argument("--dir", required=True, help="profiles directory")
+    q.add_argument("--json", action="store_true",
+                   help="emit the benchmark-schema JSON document")
+    q.set_defaults(fn=_cmd_tune_show)
+
+    q = tune_sub.add_parser(
+        "apply",
+        help="hot-swap profiles into a live service and verify "
+             "bit-exactness",
+    )
+    q.add_argument("--dir", required=True, help="profiles directory")
+    q.add_argument("--order", type=int, default=200)
+    q.add_argument("--m", type=int, default=0)
+    q.add_argument("--k", type=int, default=0)
+    q.add_argument("--n", type=int, default=0)
+    q.add_argument("--requests", type=int, default=6,
+                   help="requests per phase (default 6)")
+    q.add_argument("--workers", type=int, default=2)
+    q.add_argument("--json", action="store_true",
+                   help="emit the benchmark-schema JSON document")
+    q.set_defaults(fn=_cmd_tune_apply)
 
     p = sub.add_parser("selftest", help="quick installation check")
     p.add_argument("--json", action="store_true",

@@ -274,6 +274,7 @@ class Router:
         max_batch: int = 32,
         arena_bytes: int = DEFAULT_ARENA_BYTES,
         gate_capacity: Optional[int] = None,
+        profile_dir: Optional[str] = None,
     ) -> None:
         if workers < 1:
             raise ArgumentError(
@@ -285,7 +286,9 @@ class Router:
             "capacity": int(capacity),
             "policy": str(policy),
             "max_batch": int(max_batch),
+            "profile_dir": profile_dir,
         }
+        self.profile_dir = profile_dir
         self.policy = str(policy)
         self.arena_bytes = int(arena_bytes)
         self.gate_capacity = int(
@@ -341,7 +344,7 @@ class Router:
             fut = shard.inflight.pop(msg[1], None)
             if fut is not None and not fut.done():
                 fut.set_result(msg[2])
-        elif kind == "stats":
+        elif kind in ("stats", "reloaded"):
             fut = shard.control.pop(msg[1], None)
             if fut is not None and not fut.done():
                 fut.set_result(msg[2])
@@ -514,6 +517,39 @@ class Router:
                     base["stale"] = True
             if stats_src is not None:
                 base["service"] = stats_src
+            return base
+
+        return list(await asyncio.gather(
+            *(one(s) for s in self._shards)
+        ))
+
+    async def reload_profiles(
+        self, directory: Optional[str] = None, timeout: float = 10.0
+    ) -> List[Dict[str, Any]]:
+        """Hot-swap tuned profiles into every live worker.
+
+        Sends the ``reload`` control op (``directory`` None = each
+        worker's configured ``profile_dir``) and gathers the per-shard
+        reports.  Workers load under their store's lock while serving
+        continues — requests admitted before the swap keep their
+        resolved knobs, requests after it see the new profiles; nothing
+        is dropped.  A dead or unresponsive shard reports
+        ``{"ok": False, ...}`` instead of failing the whole reload.
+        """
+        async def one(shard: _Shard) -> Dict[str, Any]:
+            base: Dict[str, Any] = {"shard": shard.idx, "alive": shard.alive}
+            if not shard.alive:
+                base.update(ok=False, error="ShardDown")
+                return base
+            token = next(self._ids)
+            fut = self._loop.create_future()
+            shard.control[token] = fut
+            try:
+                shard.conn.send(("reload", token, directory))
+                base.update(await asyncio.wait_for(fut, timeout))
+            except (asyncio.TimeoutError, OSError, ServiceError) as exc:
+                shard.control.pop(token, None)
+                base.update(ok=False, error=type(exc).__name__)
             return base
 
         return list(await asyncio.gather(

@@ -82,12 +82,14 @@ class ApiServer:
         arena_bytes: int = DEFAULT_ARENA_BYTES,
         rate: float = 0.0,
         burst: Optional[float] = None,
+        profile_dir: Optional[str] = None,
     ) -> None:
         self.host = host
         self.port = int(port)
         self.router = Router(
             workers=workers, threads=threads, capacity=capacity,
             policy=policy, max_batch=max_batch, arena_bytes=arena_bytes,
+            profile_dir=profile_dir,
         )
         self.limits = ClientLimits(rate, burst)
         self._server: Optional[asyncio.base_events.Server] = None
@@ -270,6 +272,25 @@ class ApiServer:
             snap = await self.stats()
             self._write_http(writer, 200, json.dumps(snap).encode(),
                              "application/json")
+        elif path == "/v1/reload":
+            if method != "POST":
+                self._write_http(writer, 405, b'{"error":"use POST"}',
+                                 "application/json")
+            else:
+                try:
+                    doc = json.loads(body) if body else {}
+                except ValueError:
+                    doc = {}
+                reports = await self.router.reload_profiles(
+                    doc.get("directory")
+                )
+                ok = all(r.get("ok") for r in reports)
+                self._write_http(
+                    writer,
+                    200 if ok else 500,
+                    json.dumps({"ok": ok, "shards": reports}).encode(),
+                    "application/json",
+                )
         elif path == "/v1/gemm":
             if method != "POST":
                 self._write_http(writer, 405, b'{"error":"use POST"}',
@@ -422,6 +443,16 @@ class ApiServerThread:
 
     def stats(self, timeout: float = 10.0) -> Dict[str, Any]:
         return self._call(self.server.stats(), timeout)
+
+    def reload(
+        self,
+        directory: Optional[str] = None,
+        timeout: float = 15.0,
+    ) -> List[Dict[str, Any]]:
+        """Hot-swap tuned profiles into every worker (see Router)."""
+        return self._call(
+            self.server.router.reload_profiles(directory), timeout
+        )
 
     def drain(self, timeout: float = 30.0) -> Dict[str, Any]:
         """Graceful shutdown; joins the server thread."""

@@ -25,10 +25,14 @@ re-anchored on this process's clock, and the local admission queue
 enforces it exactly like an in-process caller's.
 
 Control ops: ``("stats", token)`` returns the service's full metrics
-snapshot; ``("drain",)`` closes the service gracefully (stop admitting,
-flush in-flight batches, join workers), flushes every queued reply, and
-answers ``("drained", stats)`` before exiting — the clean-shutdown
-contract the api CI lane asserts.
+snapshot; ``("reload", token, directory)`` hot-swaps tuned profiles
+into the worker's live :class:`~repro.tune.store.ProfileStore` (None =
+the configured ``profile_dir``) without touching in-flight requests and
+answers ``("reloaded", token, report)``; ``("drain",)`` closes the
+service gracefully (stop admitting, flush in-flight batches, join
+workers), flushes every queued reply, and answers ``("drained",
+stats)`` before exiting — the clean-shutdown contract the api CI lane
+asserts.
 """
 
 from __future__ import annotations
@@ -42,6 +46,7 @@ from typing import Any, Dict, Optional
 from repro.api.shm import ShmArena
 from repro.core.cutoff import SimpleCutoff
 from repro.serve.service import GemmService
+from repro.tune.store import ProfileStore
 
 __all__ = ["worker_main", "WORKER_DEFAULTS"]
 
@@ -51,6 +56,7 @@ WORKER_DEFAULTS = {
     "capacity": 256,
     "policy": "reject",
     "max_batch": 32,
+    "profile_dir": None,
 }
 
 _STOP = object()
@@ -81,11 +87,20 @@ def worker_main(conn, shm_name: str, cfg: Dict[str, Any]) -> None:
     knobs = dict(WORKER_DEFAULTS)
     knobs.update(cfg or {})
     arena = ShmArena.attach(shm_name)
+    # Every worker carries a live ProfileStore; it starts empty (serving
+    # defaults) unless a profile_dir was configured, and the "reload"
+    # control op swaps new profiles in at any point without touching
+    # requests already admitted.
+    profile_dir = knobs.get("profile_dir")
+    profiles = ProfileStore(profile_dir)
+    if profile_dir:
+        profiles.load()
     svc = GemmService(
         workers=int(knobs["threads"]),
         capacity=int(knobs["capacity"]),
         policy=str(knobs["policy"]),
         max_batch=int(knobs["max_batch"]),
+        profiles=profiles,
     )
     send_lock = threading.Lock()
     pending: "queue.SimpleQueue" = queue.SimpleQueue()
@@ -131,10 +146,18 @@ def worker_main(conn, shm_name: str, cfg: Dict[str, Any]) -> None:
             a, b, c = _gemm_views(arena, d)
             timeout: Optional[float] = d.get("timeout")
             cutoff = None if d.get("tau") is None else SimpleCutoff(d["tau"])
+            # Wire defaults mean "the client didn't ask": map them to
+            # None so tuned profiles can govern.  An explicit client
+            # pin survives because it differs from the default — except
+            # scheme="auto"/peel="tail" themselves, which are identical
+            # to the no-request case by the wire protocol's design (the
+            # request dict carries no was-it-explicit bit).
+            scheme = None if d["scheme"] == "auto" else d["scheme"]
+            peel = None if d["peel"] == "tail" else d["peel"]
             fut = svc.submit(
                 a, b, c, d["alpha"], d["beta"], d["transa"], d["transb"],
                 timeout=timeout, block_timeout=timeout,
-                cutoff=cutoff, scheme=d["scheme"], peel=d["peel"],
+                cutoff=cutoff, scheme=scheme, peel=peel,
             )
         except BaseException as exc:  # noqa: BLE001 — admission failures
             reply(("done", req_id, {
@@ -159,6 +182,19 @@ def worker_main(conn, shm_name: str, cfg: Dict[str, Any]) -> None:
                 stats = svc.stats()
                 stats["pid"] = __import__("os").getpid()
                 reply(("stats", msg[1], stats))
+            elif op == "reload":
+                directory = msg[2] if len(msg) > 2 else None
+                try:
+                    report = profiles.load(directory)
+                    report["ok"] = True
+                except BaseException as exc:  # noqa: BLE001 — wire taxonomy
+                    report = {
+                        "ok": False,
+                        "error": type(exc).__name__,
+                        "detail": str(exc),
+                    }
+                report["profiles"] = profiles.stats()
+                reply(("reloaded", msg[1], report))
             elif op == "drain":
                 draining = True
                 break

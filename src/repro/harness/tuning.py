@@ -12,26 +12,38 @@ parameters do.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Callable, Dict, Optional
 
 from repro.core.cutoff import HybridCutoff
 from repro.machines.model import MachineModel
 
 __all__ = ["tune_hybrid_cutoff"]
 
+#: ``f(m, k, n) -> seconds`` — the timer shape shared with
+#: :func:`repro.machines.calibrate.host_timers`.
+Timer = Callable[[int, int, int], float]
+
 
 def tune_hybrid_cutoff(
-    mach: MachineModel,
+    mach: Optional[MachineModel],
     *,
     fixed: int = 2000,
     scan_margin: int = 110,
+    time_gemm: Optional[Timer] = None,
+    time_one_level: Optional[Timer] = None,
 ) -> Dict:
-    """Measure tau and (tau_m, tau_k, tau_n) on ``mach``; build eq. (15).
+    """Measure tau and (tau_m, tau_k, tau_n); build eq. (15).
 
     Runs the same experiments as Table 2/3 (dry-run crossover searches
     against the machine model through the real DGEFMM recursion) and
     returns ``{"criterion": HybridCutoff, "tau": ..., "rect": (...),
     "band": (first, always)}``.
+
+    Timers are injectable: pass ``time_gemm`` / ``time_one_level`` (both
+    ``f(m, k, n) -> seconds``, e.g. the wall-clock pair from
+    :func:`repro.machines.calibrate.host_timers`) to tune against a live
+    host instead of a machine model, in which case ``mach`` may be
+    ``None``.  By default both are simulated on ``mach``.
 
     ``scan_margin`` widens the square scan around a coarse initial guess
     (found by doubling search), keeping the sweep short without knowing
@@ -44,11 +56,21 @@ def tune_hybrid_cutoff(
         measured_square_crossover,
     )
 
+    if time_gemm is None or time_one_level is None:
+        if mach is None:
+            raise ValueError(
+                "tune_hybrid_cutoff: need a MachineModel or both timers"
+            )
+        time_gemm = lambda m, k, n: sim_dgemm(mach, m, k, n)  # noqa: E731
+        time_one_level = lambda m, k, n: _one_level_time(  # noqa: E731
+            mach, m, k, n
+        )
+
     def t_gemm_sq(m: int) -> float:
-        return sim_dgemm(mach, m, m, m)
+        return time_gemm(m, m, m)
 
     def t_one_sq(m: int) -> float:
-        return _one_level_time(mach, m, m, m)
+        return time_one_level(m, m, m)
 
     # coarse bracket by doubling (even sizes)
     guess = 16
@@ -64,12 +86,12 @@ def tune_hybrid_cutoff(
         def tg(x: int) -> float:
             dims = {"m": (x, fixed, fixed), "k": (fixed, x, fixed),
                     "n": (fixed, fixed, x)}[which]
-            return sim_dgemm(mach, *dims)
+            return time_gemm(*dims)
 
         def t1(x: int) -> float:
             dims = {"m": (x, fixed, fixed), "k": (fixed, x, fixed),
                     "n": (fixed, fixed, x)}[which]
-            return _one_level_time(mach, *dims)
+            return time_one_level(*dims)
 
         # linear scan (the boundary is jittery; see table3's note)
         for x in range(4, hi + 1, 2):

@@ -18,12 +18,13 @@ fitted models reproduces the paper's crossovers.
 
 from __future__ import annotations
 
-from dataclasses import replace
-from typing import Tuple
+from dataclasses import fields, replace
+from typing import Any, Dict, Tuple
 
 import numpy as np
 from scipy.optimize import brentq, fsolve
 
+from repro.errors import ArgumentError
 from repro.machines.model import MachineModel
 
 __all__ = [
@@ -34,8 +35,44 @@ __all__ = [
     "anchor_rate",
     "measured_square_crossover",
     "measured_rect_crossover",
+    "host_timers",
     "calibrate_host",
+    "machine_to_json",
+    "machine_from_json",
+    "MACHINE_SCHEMA",
 ]
+
+#: on-disk schema version of a serialized MachineModel
+MACHINE_SCHEMA = 1
+
+
+def machine_to_json(mach: MachineModel) -> Dict[str, Any]:
+    """Serialize a fitted model as a plain-JSON document.
+
+    Structural over ``fields(MachineModel)`` — a new model parameter
+    joins the document automatically, the same guarantee PlanSignature
+    gives the plan cache.  Round-trips bit-exactly via
+    :func:`machine_from_json` (floats pass through ``json`` unscathed).
+    """
+    doc: Dict[str, Any] = {"schema": MACHINE_SCHEMA}
+    for f in fields(MachineModel):
+        doc[f.name] = getattr(mach, f.name)
+    return doc
+
+
+def machine_from_json(doc: Dict[str, Any]) -> MachineModel:
+    """Rebuild a :class:`MachineModel` from :func:`machine_to_json`."""
+    schema = doc.get("schema")
+    if schema != MACHINE_SCHEMA:
+        raise ArgumentError(
+            "machine_from_json", "schema",
+            f"expected {MACHINE_SCHEMA}, got {schema!r}",
+        )
+    kwargs = {}
+    for f in fields(MachineModel):
+        if f.name in doc:
+            kwargs[f.name] = doc[f.name]
+    return MachineModel(**kwargs)
 
 
 def one_level_time(mach: MachineModel, m: float, k: float, n: float) -> float:
@@ -229,6 +266,49 @@ def measured_rect_crossover(
     return hi
 
 
+def host_timers(repeats: int = 3):
+    """Wall-clock ``(time_gemm, time_one_level)`` for *this* host.
+
+    Both callables take ``(m, k, n)``, generate deterministic operands,
+    and return the median of ``repeats`` timed runs of the real kernels:
+    the standard-algorithm DGEMM and one level of the actual DGEFMM
+    recursion (``DepthCutoff(1)``).  These are the paper's Section 3.4
+    probes; :func:`calibrate_host` scans them for crossovers and the
+    tune subsystem (:mod:`repro.tune.measure`) reuses them so the
+    autotuner measures with the same instruments as offline
+    calibration.
+    """
+    import numpy as _np
+
+    from repro.blas.level3 import dgemm as _dgemm
+    from repro.core.cutoff import DepthCutoff as _DepthCutoff
+    from repro.core.dgefmm import dgefmm as _dgefmm
+    from repro.utils.timing import time_call as _time_call
+
+    def _mats(m, k, n):
+        rng = _np.random.default_rng(m * 1000003 + k * 1009 + n)
+        return (
+            _np.asfortranarray(rng.standard_normal((m, k))),
+            _np.asfortranarray(rng.standard_normal((k, n))),
+            _np.zeros((m, n), order="F"),
+        )
+
+    def time_gemm(m, k, n):
+        a, b, c = _mats(m, k, n)
+        med, _ = _time_call(lambda: _dgemm(a, b, c), repeats=repeats)
+        return med
+
+    def time_one_level(m, k, n):
+        a, b, c = _mats(m, k, n)
+        med, _ = _time_call(
+            lambda: _dgefmm(a, b, c, cutoff=_DepthCutoff(1)),
+            repeats=repeats,
+        )
+        return med
+
+    return time_gemm, time_one_level
+
+
 def calibrate_host(
     *,
     scan_lo: int = 32,
@@ -247,8 +327,8 @@ def calibrate_host(
     overhead parameters to them, and anchors the rate at the smallest
     always-winning square order.
 
-    ``time_gemm(m, k, n)`` / ``time_one_level(m, k, n)`` default to
-    wall-clock timings of the real kernels (median of 3); injectable for
+    ``time_gemm(m, k, n)`` / ``time_one_level(m, k, n)`` default to the
+    :func:`host_timers` wall-clock probes (median of 3); injectable for
     testing and for calibrating against recorded measurements.
 
     Wall-clock calibration takes a minute or two at the default bounds;
@@ -256,33 +336,7 @@ def calibrate_host(
     run implicitly.
     """
     if time_gemm is None or time_one_level is None:
-        import numpy as _np
-
-        from repro.blas.level3 import dgemm as _dgemm
-        from repro.core.cutoff import DepthCutoff as _DepthCutoff
-        from repro.core.dgefmm import dgefmm as _dgefmm
-        from repro.utils.timing import time_call as _time_call
-
-        def _mats(m, k, n):
-            rng = _np.random.default_rng(m * 1000003 + k * 1009 + n)
-            return (
-                _np.asfortranarray(rng.standard_normal((m, k))),
-                _np.asfortranarray(rng.standard_normal((k, n))),
-                _np.zeros((m, n), order="F"),
-            )
-
-        def time_gemm(m, k, n):  # noqa: F811 - documented default
-            a, b, c = _mats(m, k, n)
-            med, _ = _time_call(lambda: _dgemm(a, b, c), repeats=3)
-            return med
-
-        def time_one_level(m, k, n):  # noqa: F811
-            a, b, c = _mats(m, k, n)
-            med, _ = _time_call(
-                lambda: _dgefmm(a, b, c, cutoff=_DepthCutoff(1)),
-                repeats=3,
-            )
-            return med
+        time_gemm, time_one_level = host_timers()
 
     step = max(2, (scan_hi - scan_lo) // 64)
     step += step % 2  # even steps avoid peel noise in the scan

@@ -20,6 +20,7 @@ __all__ = [
     "dgemm_cost",
     "strassen_cost",
     "one_level_cost",
+    "config_cost",
     "predicted_square_crossover",
     "predicted_rect_crossover",
 ]
@@ -85,6 +86,35 @@ def strassen_cost(
 def one_level_cost(model: CostModel, m: int, k: int, n: int) -> float:
     """Model cost of exactly one Strassen level (the crossover probe)."""
     return strassen_cost(model, m, k, n, DepthCutoff(1))
+
+
+def config_cost(
+    model: CostModel,
+    m: int,
+    k: int,
+    n: int,
+    config,
+    beta_zero: bool = True,
+) -> float:
+    """Model cost of the recursion a :class:`~repro.core.config.
+    GemmConfig` would execute on ``(m, k, n)``.
+
+    The bridge between the cost-model ladder and the tuner's knob
+    space: the autotuner (:mod:`repro.tune.search`) ranks candidate
+    configs by predicted cost to order its measurement schedule, and
+    ``BENCH_tune.json`` tracks how far these predictions drift from
+    measured wall time — the quantitative form of the paper's Section
+    3.4 warning that op counts alone mistune real code.  Only the
+    traversal-shaping knobs (``cutoff``, ``scheme``) affect the model;
+    ``nb``/``backend``/``fuse`` change constants the ladder does not
+    see, which is precisely the error the benchmark measures.
+    """
+    return strassen_cost(
+        model, m, k, n,
+        criterion=config.cutoff,
+        scheme=config.scheme,
+        beta_zero=beta_zero,
+    )
 
 
 def predicted_square_crossover(

@@ -23,7 +23,7 @@ import math
 import threading
 from typing import Dict, List, Optional
 
-__all__ = ["Counter", "Histogram", "MetricsRegistry"]
+__all__ = ["Counter", "Histogram", "HistogramFamily", "MetricsRegistry"]
 
 
 class Counter:
@@ -145,25 +145,91 @@ class Histogram:
         return f"Histogram({self.name}: n={s['count']}, p50={s['p50']})"
 
 
+class HistogramFamily:
+    """Labeled histograms: one :class:`Histogram` per label value.
+
+    The per-signature latency breakdown needs one histogram per plan
+    signature observed in traffic — an *open-ended* label set, unlike
+    the fixed instrument names.  Unbounded label cardinality is the
+    classic way a metrics layer eats a service's memory, so the family
+    holds at most ``max_labels`` distinct traffic labels; observations
+    for any label beyond that fold into the ``"__overflow__"`` label
+    (one extra histogram at most), so memory stays bounded no matter
+    what traffic does.  Labels use smaller sample rings than the global
+    histograms — there can be many of them.
+    """
+
+    OVERFLOW = "__overflow__"
+
+    __slots__ = ("name", "_lock", "_labels", "_max_labels", "_max_samples")
+
+    def __init__(
+        self,
+        name: str,
+        max_labels: int = 256,
+        max_samples: int = 2048,
+    ) -> None:
+        if max_labels < 1:
+            raise ValueError(f"max_labels must be >= 1, got {max_labels}")
+        self.name = name
+        self._lock = threading.Lock()
+        self._labels: Dict[str, Histogram] = {}
+        self._max_labels = int(max_labels)
+        self._max_samples = int(max_samples)
+
+    def observe(self, label: str, value: float) -> None:
+        with self._lock:
+            hist = self._labels.get(label)
+            if hist is None:
+                if len(self._labels) >= self._max_labels:
+                    label = self.OVERFLOW
+                    hist = self._labels.get(label)
+                if hist is None:
+                    hist = Histogram(
+                        f"{self.name}{{{label}}}", self._max_samples
+                    )
+                    self._labels[label] = hist
+        hist.observe(value)
+
+    def labels(self) -> List[str]:
+        with self._lock:
+            return sorted(self._labels)
+
+    def get(self, label: str) -> Optional[Histogram]:
+        with self._lock:
+            return self._labels.get(label)
+
+    def snapshot(self) -> Dict[str, Dict]:
+        with self._lock:
+            labels = dict(self._labels)
+        return {
+            label: labels[label].snapshot() for label in sorted(labels)
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"HistogramFamily({self.name}: {len(self.labels())} labels)"
+
+
 class MetricsRegistry:
     """Named instruments with get-or-create semantics.
 
     One registry per :class:`~repro.serve.service.GemmService` (or share
-    one across services to aggregate).  ``counter``/``histogram`` are
-    idempotent by name, so independent call sites can reference the same
-    instrument without coordination; asking for a name already
-    registered as the *other* kind raises ``ValueError``.
+    one across services to aggregate).  ``counter``/``histogram``/
+    ``histogram_family`` are idempotent by name, so independent call
+    sites can reference the same instrument without coordination; asking
+    for a name already registered as another kind raises ``ValueError``.
     """
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._counters: Dict[str, Counter] = {}
         self._histograms: Dict[str, Histogram] = {}
+        self._families: Dict[str, HistogramFamily] = {}
 
     def counter(self, name: str) -> Counter:
         with self._lock:
-            if name in self._histograms:
-                raise ValueError(f"{name!r} is already a histogram")
+            if name in self._histograms or name in self._families:
+                raise ValueError(f"{name!r} is already another instrument")
             inst = self._counters.get(name)
             if inst is None:
                 inst = self._counters[name] = Counter(name)
@@ -171,11 +237,27 @@ class MetricsRegistry:
 
     def histogram(self, name: str, max_samples: int = 65536) -> Histogram:
         with self._lock:
-            if name in self._counters:
-                raise ValueError(f"{name!r} is already a counter")
+            if name in self._counters or name in self._families:
+                raise ValueError(f"{name!r} is already another instrument")
             inst = self._histograms.get(name)
             if inst is None:
                 inst = self._histograms[name] = Histogram(name, max_samples)
+            return inst
+
+    def histogram_family(
+        self,
+        name: str,
+        max_labels: int = 256,
+        max_samples: int = 2048,
+    ) -> HistogramFamily:
+        with self._lock:
+            if name in self._counters or name in self._histograms:
+                raise ValueError(f"{name!r} is already another instrument")
+            inst = self._families.get(name)
+            if inst is None:
+                inst = self._families[name] = HistogramFamily(
+                    name, max_labels, max_samples
+                )
             return inst
 
     def snapshot(self) -> Dict[str, Dict]:
@@ -183,6 +265,7 @@ class MetricsRegistry:
         with self._lock:
             counters = dict(self._counters)
             histograms = dict(self._histograms)
+            families = dict(self._families)
         return {
             "counters": {
                 name: counters[name].value for name in sorted(counters)
@@ -190,5 +273,9 @@ class MetricsRegistry:
             "histograms": {
                 name: histograms[name].snapshot()
                 for name in sorted(histograms)
+            },
+            "families": {
+                name: families[name].snapshot()
+                for name in sorted(families)
             },
         }

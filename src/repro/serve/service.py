@@ -40,6 +40,7 @@ from typing import Any, Dict, List, Optional
 
 import numpy as np
 
+from repro.blas.level3 import DEFAULT_TILE
 from repro.context import ExecutionContext
 from repro.core.cutoff import CutoffCriterion
 from repro.core.dgefmm import DEFAULT_CUTOFF, dgefmm
@@ -86,6 +87,19 @@ class GemmService:
     plan_cache, pool, metrics:
         Bring-your-own shared instances (e.g. one cache across several
         services), or None for private ones.
+    profiles:
+        Optional tuned-profile resolver consulted at admission — any
+        object exposing ``resolve(m, k, n, dtype=..., beta_zero=...)
+        -> profile-or-None`` where a profile carries the GemmConfig
+        knob attributes (``scheme``/``peel``/``cutoff``/``nb``/
+        ``backend``/``fuse``), plus ``stats()``.  In practice a
+        :class:`repro.tune.store.ProfileStore`; the parameter is
+        duck-typed because the serve layer sits *below* tune in the
+        layering lint and must not import it.  Resolution order per
+        knob: explicit per-request argument > profile > service
+        default.  Hot-swapping = mutating the store's contents;
+        in-flight requests carry their already-resolved knobs, so a
+        swap never disturbs them.
 
     Use as a context manager, or call :meth:`close` — workers are
     daemonic, but an orderly close drains or fails queued work and
@@ -104,6 +118,7 @@ class GemmService:
         plan_cache: Optional[PlanCache] = None,
         pool: Optional[WorkspacePool] = None,
         metrics: Optional[MetricsRegistry] = None,
+        profiles: Optional[Any] = None,
     ) -> None:
         if workers < 1:
             raise ArgumentError(
@@ -119,6 +134,7 @@ class GemmService:
         self.plan_cache = plan_cache if plan_cache is not None else PlanCache()
         self.pool = pool if pool is not None else WorkspacePool()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.profiles = profiles
         self.max_batch = int(max_batch)
         self._queue = AdmissionQueue(capacity, policy)
         self._closed = False
@@ -132,11 +148,20 @@ class GemmService:
         self._m_timeout = m.counter("requests_timeout")
         self._m_failed = m.counter("requests_failed")
         self._m_batches = m.counter("batches")
+        self._m_profile = m.counter("profile_resolved")
         self._h_queue_depth = m.histogram("queue_depth")
         self._h_batch = m.histogram("batch_size")
         self._h_wait = m.histogram("wait_ms")
         self._h_compute = m.histogram("compute_ms")
         self._h_latency = m.histogram("latency_ms")
+        self._f_sig_latency = m.histogram_family("latency_by_signature")
+
+        # per-signature traffic accounting: label -> structured meta
+        # (dims, dtype, beta class, knobs, count) for stats() and the
+        # tuner's feed; the latency distribution itself lives in the
+        # histogram family above under the same label
+        self._sig_lock = threading.Lock()
+        self._sig_meta: Dict[str, Dict[str, Any]] = {}
 
         # per-worker accumulation + merge: private contexts on the hot
         # path, merged into a fresh aggregate whenever a reader asks
@@ -168,8 +193,9 @@ class GemmService:
         timeout: Optional[float] = None,
         block_timeout: Optional[float] = None,
         cutoff: Optional[CutoffCriterion] = None,
-        scheme: str = "auto",
-        peel: str = "tail",
+        scheme: Optional[str] = None,
+        peel: Optional[str] = None,
+        nb: Optional[int] = None,
         fuse: Optional[bool] = None,
     ) -> GemmFuture:
         """Queue ``C <- alpha*op(A)*op(B) + beta*C``; returns a future.
@@ -183,6 +209,16 @@ class GemmService:
         ``a``/``b`` are held by reference and must not be mutated until
         the future resolves.
 
+        The knob arguments (``cutoff``/``scheme``/``peel``/``nb``/
+        ``fuse``) default to None, meaning *no per-request override*:
+        the effective value then comes from the tuned profile resolved
+        for this problem's signature class (when the service has a
+        ``profiles`` store and it holds a matching profile), else from
+        the service defaults.  Passing an explicit value — including
+        ``scheme="auto"`` or ``peel="tail"`` — always wins over both.
+        Resolution happens here, at admission: requests already queued
+        keep their knobs across a profile hot-swap.
+
         Raises :class:`~repro.errors.ServiceOverloaded` (full queue,
         ``"reject"`` policy or ``"block"`` timeout),
         :class:`~repro.errors.ServiceClosed`, or a validation error
@@ -194,11 +230,27 @@ class GemmService:
         deadline = (
             None if timeout is None else time.monotonic() + timeout
         )
+        prof = self._resolve_profile(a, b, c, transa, transb, beta)
+        if prof is not None:
+            self._m_profile.inc()
         req = GemmRequest(
             a, b, c, alpha, beta, transa, transb,
-            cutoff=cutoff if cutoff is not None else self.cutoff,
-            scheme=scheme, peel=peel,
-            fuse=self.fuse if fuse is None else fuse,
+            cutoff=cutoff if cutoff is not None else (
+                prof.cutoff if prof is not None else self.cutoff
+            ),
+            scheme=scheme if scheme is not None else (
+                prof.scheme if prof is not None else "auto"
+            ),
+            peel=peel if peel is not None else (
+                prof.peel if prof is not None else "tail"
+            ),
+            nb=nb if nb is not None else (
+                prof.nb if prof is not None else DEFAULT_TILE
+            ),
+            backend=prof.backend if prof is not None else "substrate",
+            fuse=fuse if fuse is not None else (
+                prof.fuse if prof is not None else self.fuse
+            ),
             deadline=deadline,
         )
         self._h_queue_depth.observe(self._queue.depth)
@@ -214,6 +266,39 @@ class GemmService:
                 "shed by a newer request (shed-oldest policy)"
             ))
         return req.future
+
+    def _resolve_profile(
+        self,
+        a: Any,
+        b: Any,
+        c: Optional[Any],
+        transa: bool,
+        transb: bool,
+        beta: float,
+    ) -> Optional[Any]:
+        """The tuned profile governing this admission, or None.
+
+        Best-effort by design: the problem dimensions are peeked from
+        the operand shapes *before* full validation (which happens in
+        ``GemmRequest``), so anything malformed simply resolves to no
+        profile and fails with the same validation error as before.
+        """
+        if self.profiles is None:
+            return None
+        try:
+            sa = a.shape
+            sb = b.shape
+            m, k = (sa[1], sa[0]) if transa else (sa[0], sa[1])
+            n = sb[0] if transb else sb[1]
+            if c is not None and beta != 0.0:
+                dtype = str(np.asarray(c).dtype)
+            else:
+                dtype = str(np.result_type(a, b))
+            return self.profiles.resolve(
+                m, k, n, dtype=dtype, beta_zero=(beta == 0.0)
+            )
+        except Exception:  # noqa: BLE001 — resolution must never admit-fail
+            return None
 
     def call(
         self,
@@ -302,12 +387,50 @@ class GemmService:
                 fut.batch_size = len(live)
                 self._h_wait.observe(fut.wait_s * 1e3)
                 self._h_compute.observe(fut.compute_s * 1e3)
-                self._h_latency.observe((t1 - req.t_submit) * 1e3)
+                latency_ms = (t1 - req.t_submit) * 1e3
+                self._h_latency.observe(latency_ms)
+                self._record_signature(req, latency_ms)
                 self._m_completed.inc()
                 fut._set_result(out)
         finally:
             if pooled:
                 self.pool.release(arena)
+
+    @staticmethod
+    def _sig_label(req: GemmRequest) -> str:
+        """Compact stable label for one plan signature's traffic."""
+        if req.signature is None:
+            return "degenerate"
+        b = "b0" if req.beta == 0.0 else "bg"
+        f = "fused" if req.fuse else "interp"
+        return (
+            f"{req.m}x{req.k}x{req.n}:{req.dtype}:{b}:{req.scheme}:{f}"
+        )
+
+    def _record_signature(self, req: GemmRequest, latency_ms: float) -> None:
+        """Charge one completion to its signature's traffic breakdown.
+
+        The histogram family bounds label cardinality itself; the meta
+        map mirrors that bound so both stay in step.
+        """
+        label = self._sig_label(req)
+        with self._sig_lock:
+            meta = self._sig_meta.get(label)
+            if meta is None:
+                if len(self._sig_meta) >= 256:
+                    label = "__overflow__"
+                    meta = self._sig_meta.get(label)
+                if meta is None:
+                    meta = self._sig_meta[label] = {
+                        "m": req.m, "k": req.k, "n": req.n,
+                        "dtype": str(req.dtype),
+                        "beta_zero": req.beta == 0.0,
+                        "scheme": req.scheme,
+                        "fuse": req.fuse,
+                        "count": 0,
+                    }
+            meta["count"] += 1
+        self._f_sig_latency.observe(label, latency_ms)
 
     def _execute_one(
         self,
@@ -410,6 +533,21 @@ class GemmService:
             "add_flops": ctx.add_flops,
             "kernel_calls": dict(ctx.kernel_calls),
         }
+        # per-signature traffic breakdown: structured meta + the latency
+        # distribution recorded under the same label — what the tuner's
+        # feed (repro.tune.feed) and capacity planners read
+        lat = self._f_sig_latency.snapshot()
+        with self._sig_lock:
+            metas = {k: dict(v) for k, v in self._sig_meta.items()}
+        snap["signatures"] = {
+            label: {**meta, "latency_ms": lat.get(label)}
+            for label, meta in sorted(metas.items())
+        }
+        if self.profiles is not None:
+            try:
+                snap["profiles"] = self.profiles.stats()
+            except Exception:  # noqa: BLE001 — stats must never fail
+                snap["profiles"] = None
         return snap
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

@@ -1,0 +1,99 @@
+"""Feed: turn live serve metrics into a tuning worklist.
+
+Closing the loop means the tuner does not guess which problems matter —
+it reads the per-signature traffic breakdown that
+``GemmService.stats()`` (and ``repro.api``'s aggregated stats) already
+publishes, ranks signature classes by their share of total spent
+latency, and hands back representative problems to
+:func:`~repro.tune.search.tune_class`.  The coupling is one plain JSON
+document in one direction: serve publishes stats, tune reads them —
+serve never imports tune (the layering lint pins this).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.tune.profile import class_key
+
+__all__ = ["observations", "select_targets"]
+
+#: labels in the signature breakdown that carry no tunable problem
+_SKIP_LABELS = ("degenerate", "__overflow__")
+
+
+def observations(stats: Dict[str, Any]) -> List[Dict[str, Any]]:
+    """Flatten a stats snapshot's ``signatures`` section.
+
+    Each entry gains its :func:`~repro.tune.profile.class_key` and a
+    ``total_ms`` (count x mean latency — the traffic-weighted cost this
+    signature charged the service), the quantity worth minimizing.
+    Entries without dims (degenerate/overflow buckets) are dropped.
+    """
+    out: List[Dict[str, Any]] = []
+    for label, entry in (stats.get("signatures") or {}).items():
+        if label in _SKIP_LABELS:
+            continue
+        m = entry.get("m")
+        k = entry.get("k")
+        n = entry.get("n")
+        if not m or not k or not n:
+            continue
+        lat = entry.get("latency_ms") or {}
+        count = int(entry.get("count", 0))
+        mean = lat.get("mean")
+        obs = {
+            "label": label,
+            "m": int(m), "k": int(k), "n": int(n),
+            "dtype": entry.get("dtype", "float64"),
+            "beta_zero": bool(entry.get("beta_zero", True)),
+            "count": count,
+            "mean_ms": mean,
+            "p99_ms": lat.get("p99"),
+            "total_ms": count * mean if mean is not None else 0.0,
+            "key": class_key(
+                int(m), int(k), int(n),
+                dtype=entry.get("dtype", "float64"),
+                beta_zero=bool(entry.get("beta_zero", True)),
+            ),
+        }
+        out.append(obs)
+    out.sort(key=lambda o: (-o["total_ms"], o["label"]))
+    return out
+
+
+def select_targets(
+    stats: Dict[str, Any],
+    top: int = 3,
+    min_count: int = 1,
+) -> List[Dict[str, Any]]:
+    """The ``top`` signature *classes* most worth tuning, by time share.
+
+    Observations are grouped by class key (several exact signatures can
+    share a bucket); each class is represented by its heaviest member's
+    dims — what :func:`~repro.tune.search.tune_class` will measure.
+    Classes with fewer than ``min_count`` total completions are noise,
+    not signal, and are skipped.
+    """
+    classes: Dict[str, Dict[str, Any]] = {}
+    for obs in observations(stats):
+        cls = classes.get(obs["key"])
+        if cls is None:
+            classes[obs["key"]] = {
+                "key": obs["key"],
+                "m": obs["m"], "k": obs["k"], "n": obs["n"],
+                "dtype": obs["dtype"],
+                "beta_zero": obs["beta_zero"],
+                "count": obs["count"],
+                "total_ms": obs["total_ms"],
+            }
+        else:
+            cls["count"] += obs["count"]
+            cls["total_ms"] += obs["total_ms"]
+            # heaviest member represents the class
+
+    ranked = sorted(
+        (c for c in classes.values() if c["count"] >= min_count),
+        key=lambda c: (-c["total_ms"], c["key"]),
+    )
+    return ranked[: max(0, top)]

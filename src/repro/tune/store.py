@@ -1,0 +1,244 @@
+"""ProfileStore: thread-safe tuned-profile registry with atomic persistence.
+
+The serving path resolves a profile on every admission, from whatever
+thread the caller submits on, while the tuner (or an operator reload)
+replaces profiles concurrently — so the store is a lock-protected map
+from :func:`~repro.tune.profile.class_key` to
+:class:`~repro.tune.profile.TunedProfile` with three invariants:
+
+- **versioned replace**: :meth:`ProfileStore.put` refuses a profile
+  whose ``version`` does not exceed the resident one, so a delayed
+  tuner worker can never clobber a newer winner;
+- **host staleness**: profiles are stamped with the measuring host's
+  :func:`host_fingerprint`; :meth:`ProfileStore.load` skips documents
+  whose digest differs from this host's (crossovers are a per-machine
+  property — the paper's Table 2 spans 199 to 325 for the same code),
+  unless ``strict=False``;
+- **atomic persistence**: :meth:`ProfileStore.save` writes each profile
+  to a temp file and ``os.replace``-es it into place, so a reader (or a
+  crashed writer) never observes a torn JSON document.
+
+Resolution (:meth:`ProfileStore.resolve`) is a single dict lookup under
+the lock — no I/O, no allocation beyond the key string — because it sits
+on the request admission path.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import platform
+import threading
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import ArgumentError
+from repro.tune.profile import TunedProfile, class_key
+
+__all__ = ["host_fingerprint", "ProfileStore"]
+
+
+def host_fingerprint() -> Dict[str, Any]:
+    """Identity of this host for profile staleness checks.
+
+    The fields are the ones that move measured crossovers: the machine
+    and CPU, the Python build executing the pure-Python control flow,
+    the numpy version supplying the kernels, and the core count. The
+    ``digest`` entry is a short blake2b over the sorted field items —
+    profiles compare digests, humans read the fields.
+    """
+    info = {
+        "platform": platform.system(),
+        "machine": platform.machine(),
+        "processor": platform.processor(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "cpus": os.cpu_count() or 1,
+    }
+    h = hashlib.blake2b(digest_size=8)
+    for key in sorted(info):
+        h.update(f"{key}={info[key]};".encode())
+    info["digest"] = h.hexdigest()
+    return info
+
+
+class ProfileStore:
+    """Thread-safe map of signature class -> winning :class:`TunedProfile`.
+
+    ``directory`` (optional) is the persistence root; :meth:`load` with
+    no argument reads it, :meth:`save` with no argument writes it.
+    Construction never touches the filesystem — a store with a
+    directory but no :meth:`load` call serves defaults, which is what a
+    fresh worker does until the first reload control message arrives.
+    """
+
+    def __init__(self, directory: Optional[str] = None) -> None:
+        self.directory = directory
+        self._lock = threading.Lock()
+        self._profiles: Dict[str, TunedProfile] = {}
+        self._host = host_fingerprint()
+        self._resolved = 0
+        self._missed = 0
+        self._skipped_stale = 0
+
+    # ------------------------------------------------------------------ #
+    # in-memory operations
+    # ------------------------------------------------------------------ #
+    def put(self, profile: TunedProfile, force: bool = False) -> bool:
+        """Install ``profile`` under its key; newer versions only.
+
+        Returns True if installed.  With ``force`` the version check is
+        skipped (used by explicit operator ``apply``).
+        """
+        with self._lock:
+            old = self._profiles.get(profile.key)
+            if old is not None and not force and profile.version <= old.version:
+                return False
+            self._profiles[profile.key] = profile
+            return True
+
+    def get(self, key: str) -> Optional[TunedProfile]:
+        with self._lock:
+            return self._profiles.get(key)
+
+    def remove(self, key: str) -> bool:
+        with self._lock:
+            return self._profiles.pop(key, None) is not None
+
+    def clear(self) -> None:
+        with self._lock:
+            self._profiles.clear()
+
+    def keys(self) -> List[str]:
+        with self._lock:
+            return sorted(self._profiles)
+
+    def profiles(self) -> List[TunedProfile]:
+        with self._lock:
+            return [self._profiles[k] for k in sorted(self._profiles)]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._profiles)
+
+    def resolve(
+        self,
+        m: int, k: int, n: int,
+        dtype: str = "float64",
+        beta_zero: bool = True,
+    ) -> Optional[TunedProfile]:
+        """The profile governing one admission, or None (use defaults).
+
+        This is the serving hot-path entry: one key derivation and one
+        dict probe under the lock.
+        """
+        key = class_key(m, k, n, dtype=dtype, beta_zero=beta_zero)
+        with self._lock:
+            prof = self._profiles.get(key)
+            if prof is None:
+                self._missed += 1
+            else:
+                self._resolved += 1
+            return prof
+
+    # ------------------------------------------------------------------ #
+    # persistence
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _filename(key: str) -> str:
+        # keys contain ':' which some filesystems dislike; keep the name
+        # readable but safe
+        return "profile_" + key.replace(":", "_").replace("/", "_") + ".json"
+
+    def save(self, directory: Optional[str] = None) -> List[str]:
+        """Persist every resident profile; returns the paths written."""
+        directory = directory or self.directory
+        if not directory:
+            raise ArgumentError(
+                "ProfileStore.save", "directory", "is required "
+                "(none given and the store has no default)",
+            )
+        os.makedirs(directory, exist_ok=True)
+        written: List[str] = []
+        for prof in self.profiles():
+            path = os.path.join(directory, self._filename(prof.key))
+            tmp = path + ".tmp"
+            with open(tmp, "w", encoding="utf-8") as fh:
+                json.dump(prof.to_json(), fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            os.replace(tmp, path)
+            written.append(path)
+        return written
+
+    def load(
+        self,
+        directory: Optional[str] = None,
+        strict: bool = True,
+    ) -> Dict[str, Any]:
+        """Install every valid profile document under ``directory``.
+
+        ``strict`` enforces the host-fingerprint staleness rule: a
+        document whose host digest differs from this host's is skipped
+        (counted in the report), because its measured crossovers
+        describe another machine.  Unreadable or invalid documents are
+        skipped and reported, never fatal — a serving process must
+        survive a half-written profiles directory.
+
+        Returns ``{"loaded", "skipped_stale", "skipped_invalid",
+        "files"}``.
+        """
+        directory = directory or self.directory
+        if not directory:
+            raise ArgumentError(
+                "ProfileStore.load", "directory", "is required "
+                "(none given and the store has no default)",
+            )
+        loaded = 0
+        stale = 0
+        invalid = 0
+        files = 0
+        if os.path.isdir(directory):
+            for name in sorted(os.listdir(directory)):
+                if not name.endswith(".json") or name.endswith(".tmp"):
+                    continue
+                files += 1
+                path = os.path.join(directory, name)
+                try:
+                    with open(path, "r", encoding="utf-8") as fh:
+                        doc = json.load(fh)
+                    prof = TunedProfile.from_json(doc)
+                except (OSError, ValueError, KeyError, TypeError):
+                    invalid += 1
+                    continue
+                digest = prof.host_digest()
+                if strict and digest and digest != self._host["digest"]:
+                    stale += 1
+                    with self._lock:
+                        self._skipped_stale += 1
+                    continue
+                if self.put(prof):
+                    loaded += 1
+        return {
+            "loaded": loaded,
+            "skipped_stale": stale,
+            "skipped_invalid": invalid,
+            "files": files,
+        }
+
+    # ------------------------------------------------------------------ #
+    def host(self) -> Dict[str, Any]:
+        return dict(self._host)
+
+    def stats(self) -> Dict[str, Any]:
+        """Counters and resident keys, for ``GemmService.stats()``."""
+        with self._lock:
+            return {
+                "profiles": len(self._profiles),
+                "keys": sorted(self._profiles),
+                "resolved": self._resolved,
+                "missed": self._missed,
+                "skipped_stale": self._skipped_stale,
+                "host_digest": self._host["digest"],
+            }

@@ -665,3 +665,103 @@ class TestRateLimitEndToEnd:
         with pytest.raises(OSError):
             _socket.create_connection(("127.0.0.1", srv.port),
                                       timeout=1.0)
+
+
+# ---------------------------------------------------------------------- #
+# tuned-profile hot swap over the wire
+# ---------------------------------------------------------------------- #
+class TestProfileReload:
+    """The ``reload`` control op: tuned profiles hot-swap into live
+    workers without dropping requests, and post-swap responses stay
+    bit-identical to direct dgefmm under the tuned config."""
+
+    @staticmethod
+    def _write_profile(directory, m):
+        from repro.core.cutoff import SimpleCutoff as _SC
+        from repro.tune import ProfileStore, TunedProfile, class_key
+
+        prof = TunedProfile(
+            key=class_key(m, m, m),
+            cutoff=_SC(32), nb=96, fuse=True,
+        )
+        store = ProfileStore(str(directory))
+        store.put(prof)
+        store.save()
+        return prof
+
+    def test_reload_and_post_swap_bit_identity(self, server, tmp_path):
+        from repro.plan import PlanCache
+
+        m = 96
+        prof = self._write_profile(tmp_path, m)
+        rng = np.random.default_rng(11)
+        a = np.asfortranarray(rng.standard_normal((m, m)))
+        b = np.asfortranarray(rng.standard_normal((m, m)))
+
+        # pre-swap: a knobless request serves under the defaults
+        pre = GemmClient("127.0.0.1", server.port, client_id="reload-pre")
+        try:
+            got = pre.call(a, b)
+        finally:
+            pre.close()
+        want = np.zeros((m, m), order="F")
+        dgefmm(a, b, want)
+        assert np.array_equal(got, want)
+
+        # the swap: every live shard loads the profile
+        reports = server.reload(str(tmp_path))
+        assert reports, "no shards answered the reload"
+        for rep in reports:
+            assert rep["ok"] is True, rep
+            assert rep["loaded"] == 1, rep
+            assert prof.key in rep["profiles"]["keys"], rep
+
+        # post-swap: the same knobless request resolves the tuned
+        # config; reference goes through the plan path because the
+        # tuned config is fused
+        post = GemmClient("127.0.0.1", server.port, client_id="reload-post")
+        try:
+            got = post.call(a, b)
+        finally:
+            post.close()
+        cfg = prof.to_config()
+        want = np.zeros((m, m), order="F")
+        dgefmm(a, b, want, cutoff=cfg.cutoff, scheme=cfg.scheme,
+               peel=cfg.peel, nb=cfg.nb, backend=cfg.backend,
+               plan_cache=PlanCache(max_plans=4), fuse=cfg.fuse)
+        assert np.array_equal(got, want)
+
+        # an explicit per-request knob still beats the profile — for
+        # that knob; resolution is per-knob, so the unpinned knobs
+        # (nb, fuse) keep coming from the profile
+        explicit = GemmClient("127.0.0.1", server.port,
+                              client_id="reload-explicit")
+        try:
+            got = explicit.call(a, b, cutoff=CUT)
+        finally:
+            explicit.close()
+        want = np.zeros((m, m), order="F")
+        dgefmm(a, b, want, cutoff=CUT, scheme=cfg.scheme, peel=cfg.peel,
+               nb=cfg.nb, backend=cfg.backend,
+               plan_cache=PlanCache(max_plans=4), fuse=cfg.fuse)
+        assert np.array_equal(got, want)
+
+    def test_reload_endpoint_over_http(self, server, tmp_path):
+        from repro.api.client import _http_roundtrip
+
+        self._write_profile(tmp_path, 64)
+        status, body = _http_roundtrip(
+            "127.0.0.1", server.port, "POST", "/v1/reload",
+            json.dumps({"directory": str(tmp_path)}).encode(),
+        )
+        assert status == 200, body
+        doc = json.loads(body)
+        assert doc["ok"] is True
+        assert all(s["ok"] for s in doc["shards"])
+
+    def test_reload_missing_directory_reports_empty(self, server,
+                                                    tmp_path):
+        reports = server.reload(str(tmp_path / "nowhere"))
+        for rep in reports:
+            assert rep["ok"] is True
+            assert rep["loaded"] == 0 and rep["files"] == 0

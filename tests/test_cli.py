@@ -63,7 +63,7 @@ class TestJsonUniformity:
     """Every subcommand accepts --json and emits the benchmark schema."""
 
     ALL_COMMANDS = ("report", "figures", "memory", "parallel", "plan",
-                    "fuzz", "serve", "selftest")
+                    "fuzz", "serve", "calibrate", "selftest")
 
     @pytest.mark.parametrize("command", ALL_COMMANDS)
     def test_every_command_advertises_json(self, command, capsys):
@@ -76,6 +76,7 @@ class TestJsonUniformity:
         ["report", "--only", "section2", "--json"],
         ["plan", "--order", "48", "--json"],
         ["fuzz", "--cases", "10", "--max-dim", "12", "--json"],
+        ["calibrate", "--json"],
         ["selftest", "--json"],
     ])
     def test_json_documents_share_the_bench_schema(self, argv, capsys):
@@ -118,6 +119,68 @@ class TestJsonUniformity:
         assert main(["serve", "--duration", "1", "--json"]) == 1
         doc = json.loads(capsys.readouterr().out)
         assert doc["ok"] is False
+
+
+class TestCalibrateCli:
+    def test_preset_human_output(self, capsys):
+        assert main(["calibrate", "--preset", "C90"]) == 0
+        out = capsys.readouterr().out
+        assert "machine: C90" in out and "square crossover" in out
+
+    def test_model_export_round_trips(self, tmp_path, capsys):
+        import json as _json
+
+        from repro.machines.calibrate import machine_from_json
+        from repro.machines.presets import MACHINES
+
+        out = tmp_path / "model.json"
+        assert main(["calibrate", "--preset", "RS6000",
+                     "--out", str(out)]) == 0
+        capsys.readouterr()
+        with out.open() as fh:
+            mach = machine_from_json(_json.load(fh))
+        assert mach == MACHINES["RS6000"]
+
+
+class TestTuneCli:
+    """The tune subcommands honour the JSON contract and exit taxonomy."""
+
+    @pytest.mark.parametrize(
+        "subcommand", ("measure", "search", "show", "apply")
+    )
+    def test_every_subcommand_advertises_json(self, subcommand, capsys):
+        with pytest.raises(SystemExit):
+            main(["tune", subcommand, "--help"])
+        assert "--json" in capsys.readouterr().out
+
+    def test_show_empty_directory_json(self, tmp_path, capsys):
+        assert main(["tune", "show", "--dir", str(tmp_path), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["bench"] == "tune_show" and doc["schema"] == 1
+        assert doc["rows"] == []
+        assert doc["load"]["loaded"] == 0
+
+    def test_search_show_apply_loop(self, tmp_path, capsys):
+        """The CI tune-smoke lane in miniature: short-budget search
+        writes a profile, show reads it back, apply hot-swaps it."""
+        prof_dir = str(tmp_path / "profiles")
+        assert main(["tune", "search", "--order", "64", "--budget", "5",
+                     "--out", prof_dir, "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["bench"] == "tune_search"
+        assert len(doc["rows"]) == 1 and len(doc["saved"]) == 1
+        assert doc["rows"][0]["measured"]["speedup"] is not None
+
+        assert main(["tune", "show", "--dir", prof_dir, "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert len(doc["rows"]) == 1
+        assert doc["rows"][0]["stale"] is False
+
+        assert main(["tune", "apply", "--dir", prof_dir, "--order", "64",
+                     "--requests", "2", "--workers", "1", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["ok"] is True
+        assert all(ph["exact"] == ph["requests"] for ph in doc["rows"])
 
 
 class TestFigData:

@@ -10,7 +10,12 @@ module scope:
 - ``repro.core`` never imports ``repro.plan``, ``repro.serve`` or
   ``repro.api``;
 - ``repro.plan`` never imports ``repro.serve`` or ``repro.api``;
-- ``repro.serve`` and ``repro.fuzz`` never import ``repro.api``.
+- ``repro.serve`` and ``repro.fuzz`` never import ``repro.api``;
+- ``repro.tune`` sits *above* serve (it may import serve, core and
+  machines) but below the network front-end: it never imports
+  ``repro.api``, and nothing in blas/core/plan/serve imports it — the
+  service sees tuned profiles only through a duck-typed ``profiles``
+  object, so the compute stack stays tuner-free.
 
 The compute stack is also **network-free**: only ``repro.api`` may
 touch socket/asyncio machinery — a kernel library that opens sockets
@@ -36,11 +41,14 @@ SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
 #: core driver, so repro.core is not forbidden to blas — only the
 #: plan/serve layers are above both.)
 FORBIDDEN = {
-    "repro.blas": ("repro.plan", "repro.serve", "repro.api"),
-    "repro.core": ("repro.plan", "repro.serve", "repro.api"),
-    "repro.plan": ("repro.serve", "repro.api"),
-    "repro.serve": ("repro.api",),
-    "repro.fuzz": ("repro.api",),
+    "repro.blas": ("repro.plan", "repro.serve", "repro.api",
+                   "repro.tune"),
+    "repro.core": ("repro.plan", "repro.serve", "repro.api",
+                   "repro.tune"),
+    "repro.plan": ("repro.serve", "repro.api", "repro.tune"),
+    "repro.serve": ("repro.api", "repro.tune"),
+    "repro.fuzz": ("repro.api", "repro.tune"),
+    "repro.tune": ("repro.api",),
 }
 
 #: stdlib network machinery only the api layer may touch at module scope
@@ -49,7 +57,7 @@ NETWORK_MODULES = ("socket", "asyncio", "ssl", "http", "urllib",
 
 #: layers that must stay network-free (everything below repro.api)
 NETWORK_FREE_LAYERS = ("repro.blas", "repro.core", "repro.plan",
-                       "repro.serve", "repro.fuzz")
+                       "repro.serve", "repro.fuzz", "repro.tune")
 
 
 def _module_name(path: Path) -> str:
@@ -140,6 +148,19 @@ def test_api_may_import_serving_stack():
     assert any(m.startswith("repro.plan") for m in deep)
 
 
+def test_tune_may_import_serving_stack():
+    """The positive direction for the tune layer: it legitimately builds
+    on serve (hot-swap verification drives GemmService) and on the
+    machines calibration timers — while the serve side touches profiles
+    only through duck typing (asserted by FORBIDDEN above)."""
+    deep = set()
+    for path in sorted((SRC / "tune").rglob("*.py")):
+        tree = ast.parse(path.read_text(), filename=str(path))
+        deep.update(_module_level_imports(tree))
+    assert any(m.startswith("repro.serve") for m in deep)
+    assert any(m.startswith("repro.core") for m in deep)
+
+
 def test_every_layer_directory_exists():
-    for layer in ("blas", "core", "plan", "serve", "api"):
+    for layer in ("blas", "core", "plan", "serve", "api", "tune"):
         assert (SRC / layer).is_dir(), f"src/repro/{layer} missing"

