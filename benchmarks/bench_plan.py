@@ -18,14 +18,13 @@ import time
 import numpy as np
 
 from benchmarks.conftest import emit, emit_json
-from repro.blas.level3 import DEFAULT_TILE
 from repro.context import ExecutionContext
 from repro.core.config import GemmConfig
 from repro.core.cutoff import SimpleCutoff
 from repro.core.dgefmm import dgefmm
 from repro.core.pool import WorkspacePool, workspace_bound_bytes
 from repro.plan import PlanCache
-from repro.plan.compiler import PlanSignature, compile_plan, signature_for
+from repro.plan.compiler import compile_plan, signature_for
 from repro.plan.executor import _aligned_buffer, _resolve, _run_ops
 
 
@@ -76,9 +75,8 @@ def test_plan_overhead(benchmark):
     assert pool.new_buffer_bytes == warm_bytes
     assert cache.stats()["misses"] == 1
 
-    sig = PlanSignature("serial", m, k, n, False, False, False,
-                        beta == 0.0, "float64", "auto", "tail", crit,
-                        DEFAULT_TILE, "substrate")
+    sig = signature_for("serial", m, k, n, False, False, False,
+                        beta == 0.0, "float64", GemmConfig(cutoff=crit))
     plan = cache.get_or_compile(sig)  # a hit: planned() compiled it
     assert cache.stats()["misses"] == 1 and not plan.branches
 

@@ -277,13 +277,13 @@ def _plan_selftest(json_out: bool = False) -> int:
     """Compile + execute + cache-stats on a small grid (CI quick lane)."""
     import numpy as np
 
-    from repro.blas.level3 import DEFAULT_TILE
     from repro.context import ExecutionContext
+    from repro.core.config import GemmConfig
     from repro.core.cutoff import SimpleCutoff
     from repro.core.dgefmm import dgefmm
     from repro.core.recursion import recursion_profile
     from repro.plan import PlanCache
-    from repro.plan.compiler import PlanSignature
+    from repro.plan.compiler import signature_for
 
     crit = SimpleCutoff(8)
     cache = PlanCache()
@@ -301,9 +301,9 @@ def _plan_selftest(json_out: bool = False) -> int:
             dgefmm(a, b, c_rec, alpha, beta, cutoff=crit, ctx=ctx_r)
             dgefmm(a, b, c_pln, alpha, beta, cutoff=crit, ctx=ctx_p,
                    plan_cache=cache)
-            sig = PlanSignature("serial", mm, kk, nn, False, False,
-                                False, beta == 0.0, "float64", "auto",
-                                "tail", crit, DEFAULT_TILE, "substrate")
+            sig = signature_for("serial", mm, kk, nn, False, False,
+                                False, beta == 0.0, "float64",
+                                GemmConfig(cutoff=crit))
             plan = cache.get(sig)
             prof = recursion_profile(mm, kk, nn, crit)
             bit = bool(np.array_equal(c_rec, c_pln))
@@ -409,13 +409,17 @@ def _cmd_fuzz(args) -> int:
         progress=progress,
         scheme=args.scheme or None,
         fuse=args.fuse,
+        dtype=args.dtype or None,
+        accuracy=args.accuracy or None,
     )
     if args.json:
         _print_bench_json(
             "fuzz",
             {"cases": args.cases, "seed": args.seed,
              "max_dim": args.max_dim, "replay": args.replay or None,
-             "scheme": args.scheme or None, "fuse": args.fuse},
+             "scheme": args.scheme or None, "fuse": args.fuse,
+             "dtype": args.dtype or None,
+             "accuracy": args.accuracy or None},
             [report.to_dict()],
         )
         return 0 if report.ok else 1
@@ -609,6 +613,7 @@ def _cmd_api_fuzz(args) -> int:
 def _cmd_api_load(args) -> int:
     """Open-loop load through the network stack, verified bit-exact."""
     from repro.api.client import GemmClient
+    from repro.api.protocol import WIRE_DTYPES
     from repro.serve.loadgen import run_load
 
     own = None
@@ -627,6 +632,7 @@ def _cmd_api_load(args) -> int:
             scheme=args.scheme or None,
             request_timeout=args.timeout, verify=not args.no_verify,
             service=client, canonical_operands=True,
+            dtypes=WIRE_DTYPES,
         )
     finally:
         client.close()
@@ -880,6 +886,7 @@ def _cmd_selftest(args) -> int:
 
 def main(argv=None) -> int:
     from repro.core.schemes import SCHEME_NAMES
+    from repro.fuzz.cases import DTYPES as FUZZ_DTYPES
 
     ap = argparse.ArgumentParser(prog="python -m repro", description=__doc__)
     sub = ap.add_subparsers(dest="command", required=True)
@@ -981,6 +988,14 @@ def main(argv=None) -> int:
                         "smoke lanes); default: draw schemes per case")
     p.add_argument("--fuse", action="store_true",
                    help="also run the fused-execution paths per case")
+    p.add_argument("--dtype", default="",
+                   choices=[""] + list(FUZZ_DTYPES),
+                   help="pin every case to one operand dtype (the CI "
+                        "precision-matrix lanes); default: draw per case")
+    p.add_argument("--accuracy", default="",
+                   choices=["", "fast", "compensated", "exact"],
+                   help="pin the accuracy discipline (exact dtypes "
+                        "always run exact regardless)")
     p.add_argument("--json", action="store_true",
                    help="emit the benchmark-schema JSON document")
     p.set_defaults(fn=_cmd_fuzz)

@@ -243,12 +243,17 @@ class GemmClient:
                timeout: Optional[float] = None,
                block_timeout: Optional[float] = None,
                cutoff=None, scheme: str = "auto",
-               peel: str = "tail") -> WireFuture:
+               peel: str = "tail",
+               accuracy: Optional[str] = None) -> WireFuture:
         """Pipeline one gemm; mirrors ``GemmService.submit``.
 
         ``block_timeout`` has no client-side meaning (admission waits
         happen on the server, bounded by ``timeout``); it is accepted
         so call sites are interchangeable with the in-process service.
+        ``accuracy`` is the request's accuracy SLO (``"fast"`` or
+        ``"compensated"`` — the wire's dtypes are all inexact); None
+        omits the header key, deferring to the shard's tuned profile
+        and then the dtype default.
         """
         if self._closed:
             raise ServiceClosed("client is closed")
@@ -293,7 +298,7 @@ class GemmClient:
         header = gemm_request_header(
             req_id, m, k, n, transa=transa, transb=transb,
             alpha=complex(alpha), beta=beta_c, dtype=dtype, tau=tau,
-            scheme=scheme, peel=peel,
+            scheme=scheme, peel=peel, accuracy=accuracy,
             timeout_ms=(None if timeout is None
                         else max(0, int(timeout * 1e3))),
             client=self.client_id, has_c=has_c,
@@ -411,7 +416,8 @@ def http_get(host: str, port: int, path: str,
 def http_gemm(host: str, port: int, a, b, c=None, alpha=1.0, beta=0.0,
               transa: bool = False, transb: bool = False, *,
               tau: Optional[int] = None, scheme: str = "auto",
-              peel: str = "tail", timeout_ms: Optional[int] = None,
+              peel: str = "tail", accuracy: Optional[str] = None,
+              timeout_ms: Optional[int] = None,
               client: Optional[str] = None,
               timeout: float = 60.0) -> np.ndarray:
     """One-shot ``POST /v1/gemm``: same wire message, no socket to keep.
@@ -437,7 +443,8 @@ def http_gemm(host: str, port: int, a, b, c=None, alpha=1.0, beta=0.0,
     header = gemm_request_header(
         1, m, k, n, transa=transa, transb=transb,
         alpha=complex(alpha), beta=beta_c, dtype=str(dt), tau=tau,
-        scheme=scheme, peel=peel, timeout_ms=timeout_ms, client=client,
+        scheme=scheme, peel=peel, accuracy=accuracy,
+        timeout_ms=timeout_ms, client=client,
         has_c=has_c,
     )
     body = pack_message(header, payloads)

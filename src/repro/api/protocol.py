@@ -21,9 +21,11 @@ view will alias, so a round trip is bit-exact by construction.
 Request headers (``op: "gemm"``) carry the problem (``m, k, n, transa,
 transb, alpha, beta, dtype``, scalars as ``[re, im]`` pairs), the plan
 knobs the wire supports (``tau`` — a :class:`~repro.core.cutoff.
-SimpleCutoff` threshold — ``scheme``, ``peel``), an optional
-``timeout_ms`` deadline that propagates to the worker's admission
-queue, and an optional ``client`` id for rate-limit bucketing.
+SimpleCutoff` threshold — ``scheme``, ``peel``, and the ``accuracy``
+SLO, ``"fast"`` or ``"compensated"``; omitted knobs defer to the
+shard's tuned profile), an optional ``timeout_ms`` deadline that
+propagates to the worker's admission queue, and an optional ``client``
+id for rate-limit bucketing.
 Payloads are ``op``-untransposed A (``m x k`` raw or ``k x m`` when
 ``transa``), B likewise, and C exactly when ``beta != 0``.
 
@@ -169,11 +171,15 @@ def gemm_request_header(
     alpha: complex = 1.0, beta: complex = 0.0,
     dtype: str = "float64", tau: int = None,
     scheme: str = "auto", peel: str = "tail",
+    accuracy: str = None,
     timeout_ms: int = None, client: str = None,
     has_c: bool = False,
 ) -> Dict[str, Any]:
     """Client-side header builder (kept next to the validator so the
-    two sides of the contract evolve together)."""
+    two sides of the contract evolve together).  ``accuracy`` is the
+    request's accuracy SLO; like ``tau``/``timeout_ms`` it is appended
+    only when set — an absent key means "no override", letting the
+    shard's tuned profile (or the dtype default) govern."""
     alpha, beta = complex(alpha), complex(beta)
     hdr: Dict[str, Any] = {
         "op": "gemm", "id": int(req_id),
@@ -186,6 +192,8 @@ def gemm_request_header(
     }
     if tau is not None:
         hdr["tau"] = int(tau)
+    if accuracy is not None:
+        hdr["accuracy"] = str(accuracy)
     if timeout_ms is not None:
         hdr["timeout_ms"] = int(timeout_ms)
     if client is not None:
@@ -236,6 +244,16 @@ def validate_gemm(header: Dict[str, Any],
         tau = int(tau)
         if tau < 0:
             raise ProtocolError(f"tau must be >= 0, got {tau}")
+    accuracy = header.get("accuracy")
+    if accuracy is not None:
+        accuracy = str(accuracy)
+        # the wire's dtypes are all inexact, so "exact" is not a legal
+        # SLO here — integer/object serving stays an in-process affair
+        if accuracy not in ("fast", "compensated"):
+            raise ProtocolError(
+                f"accuracy must be 'fast' or 'compensated', "
+                f"got {accuracy!r}"
+            )
     timeout_ms = header.get("timeout_ms")
     if timeout_ms is not None:
         timeout_ms = int(timeout_ms)
@@ -270,6 +288,7 @@ def validate_gemm(header: Dict[str, Any],
         "transa": transa, "transb": transb,
         "alpha": alpha, "beta": beta,
         "dtype": dtype, "tau": tau, "scheme": scheme, "peel": peel,
+        "accuracy": accuracy,
         "timeout_ms": timeout_ms,
         "client": str(header["client"]) if "client" in header else None,
         "has_c": has_c,

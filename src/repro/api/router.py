@@ -47,6 +47,7 @@ from typing import Any, Deque, Dict, List, Optional, Sequence, Tuple
 
 from repro.api.shm import ShmArena, ShmLease
 from repro.api.worker import worker_main
+from repro.blas.dtypes import default_accuracy
 from repro.blas.level3 import DEFAULT_TILE
 from repro.core.config import GemmConfig
 from repro.core.cutoff import SimpleCutoff
@@ -128,8 +129,12 @@ def routing_signature(g: Dict[str, Any]) -> str:
     if m == 0 or n == 0 or k == 0 or g["alpha"] == 0:
         return f"solo:{m}x{k}x{n}:{g['dtype']}"
     cutoff = DEFAULT_CUTOFF if g["tau"] is None else SimpleCutoff(g["tau"])
+    accuracy = g.get("accuracy")
+    if accuracy is None:
+        accuracy = default_accuracy(g["dtype"])
     cfg = GemmConfig(scheme=g["scheme"], peel=g["peel"], cutoff=cutoff,
-                     nb=DEFAULT_TILE, backend="substrate")
+                     nb=DEFAULT_TILE, backend="substrate",
+                     dtype=g["dtype"], accuracy=accuracy)
     sig = signature_for(
         "serial", m, k, n, g["transa"], g["transb"],
         False, g["beta"] == 0, g["dtype"], cfg,
@@ -425,6 +430,7 @@ class Router:
                 "alpha": g["alpha"], "beta": g["beta"],
                 "dtype": g["dtype"], "tau": g["tau"],
                 "scheme": g["scheme"], "peel": g["peel"],
+                "accuracy": g.get("accuracy"),
                 "timeout": remaining,
                 "a": (leases[0].offset, *g["a_shape"]),
                 "b": (leases[1].offset, *g["b_shape"]),

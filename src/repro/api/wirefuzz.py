@@ -32,6 +32,7 @@ from typing import Any, Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.api.client import GemmClient
+from repro.api.protocol import WIRE_DTYPES
 from repro.core.cutoff import SimpleCutoff
 from repro.fuzz.cases import FuzzCase, case_to_dict, draw_case, materialize
 from repro.fuzz.runner import FuzzReport
@@ -46,12 +47,14 @@ _WINDOW = 32
 
 def draw_wire_cases(cases: int, seed: int,
                     max_dim: int = 32) -> List[FuzzCase]:
-    """The campaign's case list: the fuzz distribution minus aliasing."""
+    """The campaign's case list: the fuzz distribution minus aliasing
+    and minus the exact dtypes (the wire's dtypes are all inexact —
+    integer/object serving is an in-process affair)."""
     rng = np.random.default_rng(seed)
     out: List[FuzzCase] = []
     while len(out) < cases:
         case = draw_case(rng, max_dim=max_dim)
-        if case.alias != "none":
+        if case.alias != "none" or case.dtype not in WIRE_DTYPES:
             continue
         out.append(case)
     return out
@@ -155,6 +158,7 @@ def run_wire_fuzz(
                 case.transa, case.transb,
                 cutoff=SimpleCutoff(case.tau),
                 scheme=case.scheme, peel=case.peel,
+                accuracy=case.accuracy,
             )
             inflight.append((case, fut, expected))
             if len(inflight) >= _WINDOW:

@@ -154,10 +154,13 @@ def worker_main(conn, shm_name: str, cfg: Dict[str, Any]) -> None:
             # request dict carries no was-it-explicit bit).
             scheme = None if d["scheme"] == "auto" else d["scheme"]
             peel = None if d["peel"] == "tail" else d["peel"]
+            # accuracy is already None when the wire header omitted it
+            # (no-override: profile, then dtype default, governs)
             fut = svc.submit(
                 a, b, c, d["alpha"], d["beta"], d["transa"], d["transb"],
                 timeout=timeout, block_timeout=timeout,
                 cutoff=cutoff, scheme=scheme, peel=peel,
+                accuracy=d.get("accuracy"),
             )
         except BaseException as exc:  # noqa: BLE001 — admission failures
             reply(("done", req_id, {

@@ -29,6 +29,7 @@ from typing import Any, Callable, NamedTuple, Optional
 import numpy as np
 
 from repro.context import ExecutionContext, ensure_context
+from repro.blas.dtypes import WIDE, require_integral_scalar
 from repro.blas.validate import require_matrix, require_shape, require_writable
 from repro.errors import ArgumentError
 
@@ -41,6 +42,10 @@ __all__ = [
     "mzero",
     "BlockKernels",
     "NUMERIC_KERNELS",
+    "COMPENSATED_KERNELS",
+    "EXACT_KERNELS",
+    "KERNEL_TABLES",
+    "kernels_for",
 ]
 
 
@@ -179,6 +184,258 @@ class BlockKernels(NamedTuple):
 
 #: the real (numeric) kernel set — the default everywhere
 NUMERIC_KERNELS = BlockKernels(madd, msub, accum, axpby)
+
+
+# -- compensated kernel set -------------------------------------------- #
+# Charges and kernel-call names are IDENTICAL to the fast set — the cost
+# model and the exactness cross-checks see the same tallies at every
+# accuracy; only the rounding error changes.  A single IEEE add or
+# multiply is already correctly rounded, so ``accum`` and the one-op
+# branches of the other kernels are reused verbatim: the compensated win
+# is in multi-op expressions on the narrow dtypes, which evaluate in the
+# WIDE counterpart and round once at the output write.  Double-precision
+# dtypes have no wider hardware type; their compensation lives in the
+# base GEMM's Kahan tile accumulation (:func:`repro.blas.level3.dgemm`
+# with ``accuracy="compensated"``).
+
+
+def _wide_of(out: Any) -> Optional[str]:
+    dt = getattr(out, "dtype", None)
+    return None if dt is None else WIDE.get(np.dtype(dt).name)
+
+
+def madd_compensated(
+    x: Any,
+    y: Any,
+    out: Any,
+    alpha: float = 1.0,
+    *,
+    ctx: Optional[ExecutionContext] = None,
+) -> Any:
+    """``out <- alpha*(x + y)`` with one rounding on narrow dtypes."""
+    ctx = ensure_context(ctx)
+    m, n = require_matrix("madd", "x", x)
+    require_shape("madd", "y", y, (m, n))
+    require_shape("madd", "out", out, (m, n))
+    require_writable("madd", "out", out)
+    _charge_add(ctx, "madd", m, n)
+    if not ctx.dry and m and n:
+        wide = _wide_of(out)
+        if wide is None or alpha == 1.0:
+            np.add(x, y, out=out)
+            if alpha != 1.0:
+                out *= alpha
+        else:
+            out[...] = (np.add(x, y, dtype=wide) * alpha).astype(out.dtype)
+    return out
+
+
+def msub_compensated(
+    x: Any,
+    y: Any,
+    out: Any,
+    alpha: float = 1.0,
+    *,
+    ctx: Optional[ExecutionContext] = None,
+) -> Any:
+    """``out <- alpha*(x - y)`` with one rounding on narrow dtypes."""
+    ctx = ensure_context(ctx)
+    m, n = require_matrix("msub", "x", x)
+    require_shape("msub", "y", y, (m, n))
+    require_shape("msub", "out", out, (m, n))
+    require_writable("msub", "out", out)
+    _charge_add(ctx, "msub", m, n)
+    if not ctx.dry and m and n:
+        wide = _wide_of(out)
+        if wide is None or alpha == 1.0:
+            np.subtract(x, y, out=out)
+            if alpha != 1.0:
+                out *= alpha
+        else:
+            out[...] = (
+                np.subtract(x, y, dtype=wide) * alpha
+            ).astype(out.dtype)
+    return out
+
+
+def axpby_compensated(
+    alpha: float,
+    x: Any,
+    beta: float,
+    y: Any,
+    *,
+    ctx: Optional[ExecutionContext] = None,
+) -> Any:
+    """``y <- alpha*x + beta*y`` evaluated wide on narrow dtypes.
+
+    The fast kernel's generic branch takes three roundings in ``y``'s
+    precision; on float32/complex64 this one takes its roundings in the
+    WIDE dtype and a single final rounding back down — which is what
+    rescues the classic cancellation case ``alpha*x ≈ -beta*y`` (see
+    ``tests/test_precision.py``).  Degenerate scalar classes and the
+    double-precision dtypes match the fast kernel bit for bit.
+    """
+    ctx = ensure_context(ctx)
+    m, n = require_matrix("axpby", "x", x)
+    require_shape("axpby", "y", y, (m, n))
+    require_writable("axpby", "y", y)
+    _charge_add(ctx, "axpby", m, n)
+    if ctx.dry or not (m and n):
+        return y
+    wide = _wide_of(y)
+    if beta == 0.0:
+        if alpha == 0.0:
+            y[...] = 0.0
+        elif alpha == 1.0:
+            y[...] = x
+        elif wide is None:
+            np.multiply(x, alpha, out=y)
+        else:
+            y[...] = np.multiply(x, alpha, dtype=wide).astype(y.dtype)
+    elif wide is None or alpha == 0.0:
+        if beta != 1.0:
+            y *= beta
+        if alpha == 1.0:
+            y += x
+        elif alpha != 0.0:
+            y += alpha * x
+    else:
+        y[...] = (
+            np.multiply(y, beta, dtype=wide)
+            + np.multiply(x, alpha, dtype=wide)
+        ).astype(y.dtype)
+    return y
+
+
+#: compensated kernel set (``accuracy="compensated"``)
+COMPENSATED_KERNELS = BlockKernels(
+    madd_compensated, msub_compensated, accum, axpby_compensated
+)
+
+
+# -- exact kernel set -------------------------------------------------- #
+# Integer/object arithmetic, no float intermediates: scalars must be
+# integral (coerced to Python int, so ``int64 *= beta`` never trips
+# numpy's unsafe-cast refusal and object arrays stay arbitrary
+# precision), and outputs must carry an exact dtype — a float output
+# would mean some upstream step already rounded.
+
+
+def _require_exact_operand(where: str, name: str, out: Any) -> None:
+    dt = getattr(out, "dtype", None)
+    if dt is not None and np.dtype(dt).kind not in "iuO":
+        raise ArgumentError(
+            where, name,
+            f"exact kernels require integer/object operands, "
+            f"got dtype {np.dtype(dt).name}",
+        )
+
+
+def madd_exact(
+    x: Any,
+    y: Any,
+    out: Any,
+    alpha: float = 1.0,
+    *,
+    ctx: Optional[ExecutionContext] = None,
+) -> Any:
+    """``out <- alpha*(x + y)`` in exact integer/object arithmetic."""
+    ctx = ensure_context(ctx)
+    m, n = require_matrix("madd", "x", x)
+    require_shape("madd", "y", y, (m, n))
+    require_shape("madd", "out", out, (m, n))
+    require_writable("madd", "out", out)
+    ai = require_integral_scalar("madd", "alpha", alpha)
+    _charge_add(ctx, "madd", m, n)
+    if not ctx.dry and m and n:
+        _require_exact_operand("madd", "out", out)
+        np.add(x, y, out=out)
+        if ai != 1:
+            out *= ai
+    return out
+
+
+def msub_exact(
+    x: Any,
+    y: Any,
+    out: Any,
+    alpha: float = 1.0,
+    *,
+    ctx: Optional[ExecutionContext] = None,
+) -> Any:
+    """``out <- alpha*(x - y)`` in exact integer/object arithmetic."""
+    ctx = ensure_context(ctx)
+    m, n = require_matrix("msub", "x", x)
+    require_shape("msub", "y", y, (m, n))
+    require_shape("msub", "out", out, (m, n))
+    require_writable("msub", "out", out)
+    ai = require_integral_scalar("msub", "alpha", alpha)
+    _charge_add(ctx, "msub", m, n)
+    if not ctx.dry and m and n:
+        _require_exact_operand("msub", "out", out)
+        np.subtract(x, y, out=out)
+        if ai != 1:
+            out *= ai
+    return out
+
+
+def axpby_exact(
+    alpha: float,
+    x: Any,
+    beta: float,
+    y: Any,
+    *,
+    ctx: Optional[ExecutionContext] = None,
+) -> Any:
+    """``y <- alpha*x + beta*y`` in exact integer/object arithmetic."""
+    ctx = ensure_context(ctx)
+    m, n = require_matrix("axpby", "x", x)
+    require_shape("axpby", "y", y, (m, n))
+    require_writable("axpby", "y", y)
+    ai = require_integral_scalar("axpby", "alpha", alpha)
+    bi = require_integral_scalar("axpby", "beta", beta)
+    _charge_add(ctx, "axpby", m, n)
+    if ctx.dry or not (m and n):
+        return y
+    _require_exact_operand("axpby", "y", y)
+    if bi == 0:
+        if ai == 0:
+            y[...] = 0
+        elif ai == 1:
+            y[...] = x
+        else:
+            np.multiply(x, ai, out=y)
+    else:
+        if bi != 1:
+            y *= bi
+        if ai == 1:
+            y += x
+        elif ai != 0:
+            y += ai * x
+    return y
+
+
+#: exact kernel set (``accuracy="exact"``, int64/object dtypes)
+EXACT_KERNELS = BlockKernels(madd_exact, msub_exact, accum, axpby_exact)
+
+
+#: accuracy mode -> the BlockKernels set realizing it
+KERNEL_TABLES = {
+    "fast": NUMERIC_KERNELS,
+    "compensated": COMPENSATED_KERNELS,
+    "exact": EXACT_KERNELS,
+}
+
+
+def kernels_for(accuracy: str) -> BlockKernels:
+    """The numeric kernel set for an accuracy mode."""
+    try:
+        return KERNEL_TABLES[accuracy]
+    except KeyError:
+        raise ArgumentError(
+            "kernels_for", "accuracy",
+            f"must be one of {tuple(KERNEL_TABLES)}, got {accuracy!r}",
+        ) from None
 
 
 def mcopy(

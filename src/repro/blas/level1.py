@@ -128,7 +128,12 @@ def ddot(
     if ctx.dry or n == 0:
         return 0.0
     # einsum keeps this in the "standard algorithm" family (no BLAS dot).
-    return float(np.einsum("i,i->", x, y))
+    out = np.einsum("i,i->", x, y)
+    # complex inputs keep their complex inner product — coercing through
+    # float() would raise (or silently drop the imaginary part)
+    if np.iscomplexobj(out):
+        return complex(out)
+    return float(out)
 
 
 def dnrm2(
@@ -152,4 +157,7 @@ def dnrm2(
     if amax == 0.0 or not math.isfinite(amax):
         return amax
     scaled = x / amax
-    return amax * math.sqrt(float(np.einsum("i,i->", scaled, scaled)))
+    # conjugated square for complex vectors: |x|^2 = conj(x).x — the
+    # unconjugated einsum would return a complex (and wrong) "norm"
+    sq = np.einsum("i,i->", np.conj(scaled), scaled)
+    return amax * math.sqrt(float(sq.real))

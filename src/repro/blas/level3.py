@@ -24,8 +24,9 @@ from typing import Any, Optional
 import numpy as np
 
 from repro.context import ExecutionContext, ensure_context
+from repro.blas.dtypes import WIDE, require_integral_scalar
 from repro.blas.validate import opshape, require_matrix, require_writable
-from repro.errors import DimensionError
+from repro.errors import ArgumentError, DimensionError
 
 __all__ = ["dgemm", "gemm_flops", "DEFAULT_TILE", "BACKENDS"]
 
@@ -81,6 +82,54 @@ def _standard_product(a: np.ndarray, b: np.ndarray, nb: int) -> np.ndarray:
     return out
 
 
+def _standard_product_kahan(
+    a: np.ndarray, b: np.ndarray, nb: int
+) -> np.ndarray:
+    """Blocked standard product with Kahan (two-sum) tile accumulation.
+
+    The compensated path for the double-precision dtypes: each output
+    block carries a running compensation array across the k-tile loop,
+    so the accumulated rounding error of ``ceil(k/nb)`` tile adds drops
+    from O(k/nb)·u to O(1)·u.  Within a tile, ``einsum`` performs the
+    contraction the same way the fast path does — the compensation is
+    split-free: products are rounded once, only the cross-tile summation
+    is error-corrected.
+    """
+    m, k = a.shape
+    _, n = b.shape
+    out = np.zeros((m, n), dtype=np.result_type(a, b), order="F")
+    if m == 0 or n == 0 or k == 0:
+        return out
+    if m <= nb and n <= nb and k <= nb:
+        np.einsum("ik,kj->ij", a, b, out=out)
+        return out
+    for j0 in range(0, n, nb):
+        j1 = min(j0 + nb, n)
+        for i0 in range(0, m, nb):
+            i1 = min(i0 + nb, m)
+            acc = out[i0:i1, j0:j1]
+            comp = None
+            first = True
+            for l0 in range(0, k, nb):
+                l1 = min(l0 + nb, k)
+                tile = np.einsum(
+                    "ik,kj->ij", a[i0:i1, l0:l1], b[l0:l1, j0:j1]
+                )
+                if first:
+                    acc[...] = tile
+                    first = False
+                    continue
+                if comp is None:
+                    comp = np.zeros_like(tile)
+                # Kahan step: y = tile - comp; t = acc + y;
+                # comp = (t - acc) - y; acc = t
+                y = tile - comp
+                t = acc + y
+                comp = (t - acc) - y
+                acc[...] = t
+    return out
+
+
 def dgemm(
     a: Any,
     b: Any,
@@ -93,6 +142,7 @@ def dgemm(
     ctx: Optional[ExecutionContext] = None,
     nb: int = DEFAULT_TILE,
     backend: str = "substrate",
+    accuracy: str = "fast",
 ) -> Any:
     """Standard-algorithm GEMM: ``C <- alpha*op(A)*op(B) + beta*C`` in place.
 
@@ -101,6 +151,20 @@ def dgemm(
     ``nb`` is the cache-blocking tile edge of the inner kernel;
     ``backend`` selects the inner product implementation (see
     :data:`BACKENDS`).
+
+    ``accuracy`` selects the rounding discipline
+    (:data:`repro.blas.dtypes.ACCURACIES`) at identical flop charges and
+    kernel-call tallies:
+
+    - ``"fast"``: native-precision evaluation (the default);
+    - ``"compensated"``: float32/complex64 operands evaluate in their
+      WIDE dtype and round once at the ``C`` write; double-precision
+      operands use Kahan tile accumulation on the substrate backend
+      (the vendor matmul's accumulation cannot be instrumented — it
+      stays native there);
+    - ``"exact"``: integer/object arithmetic, integral scalars enforced
+      and **no** float intermediates — the product dtype is checked to
+      still be exact before ``C`` is touched.
 
     This routine never recurses and never applies Strassen's construction;
     it is the baseline DGEMM of all experiments and the base case of every
@@ -122,10 +186,13 @@ def dgemm(
     """
     ctx = ensure_context(ctx)
     if backend not in BACKENDS:
-        from repro.errors import ArgumentError
-
         raise ArgumentError(
             "dgemm", "backend", f"must be one of {BACKENDS}, got {backend!r}"
+        )
+    if accuracy not in ("fast", "compensated", "exact"):
+        raise ArgumentError(
+            "dgemm", "accuracy",
+            f"must be 'fast', 'compensated' or 'exact', got {accuracy!r}",
         )
     require_matrix("dgemm", "a", a)
     require_matrix("dgemm", "b", b)
@@ -147,6 +214,9 @@ def dgemm(
     ctx.charge(
         "dgemm", muls=muls, adds=adds, seconds=ctx.model_time("t_gemm", m, k, n)
     )
+    if accuracy == "exact":
+        alpha = require_integral_scalar("dgemm", "alpha", alpha)
+        beta = require_integral_scalar("dgemm", "beta", beta)
     if ctx.dry:
         return c
     if m == 0 or n == 0:
@@ -154,18 +224,43 @@ def dgemm(
     if k == 0 or alpha == 0.0:
         # C <- beta*C only.
         if beta == 0.0:
-            c[...] = 0.0
+            c[...] = 0
         elif beta != 1.0:
             c *= beta
         return c
     opa = a.T if transa else a
     opb = b.T if transb else b
+    wide = (
+        WIDE.get(np.dtype(c.dtype).name)
+        if accuracy == "compensated" else None
+    )
+    if wide is not None:
+        # Narrow compensated path: evaluate the whole update in the
+        # wide dtype, round once at the C write.
+        opa = opa.astype(wide)
+        opb = opb.astype(wide)
     if backend == "vendor":
         prod = np.asfortranarray(opa @ opb)
+    elif accuracy == "compensated" and wide is None:
+        prod = _standard_product_kahan(opa, opb, nb)
     else:
         prod = _standard_product(opa, opb, nb)
+    if accuracy == "exact" and np.dtype(prod.dtype).kind not in "iuO":
+        raise ArgumentError(
+            "dgemm", "accuracy",
+            f"exact accuracy requires integer/object operands, "
+            f"product dtype is {prod.dtype}",
+        )
     if alpha != 1.0:
         prod *= alpha
+    if wide is not None:
+        if beta == 0.0:
+            c[...] = prod.astype(c.dtype)
+        else:
+            c[...] = (
+                prod + np.multiply(c, beta, dtype=wide)
+            ).astype(c.dtype)
+        return c
     if beta == 0.0:
         c[...] = prod
     else:

@@ -85,10 +85,10 @@ def _syrk_base(
     n = c.shape[0]
     if n == 0:
         return
-    tmp = np.zeros((n, n), order="F") if not ctx.dry else None
     if ctx.dry:
         dgemm(a, a.T, c, alpha, beta, ctx=ctx)
         return
+    tmp = np.zeros((n, n), dtype=np.result_type(a, c), order="F")
     dgemm(a, a.T, tmp, 1.0, 0.0, ctx=ctx)
     il = np.tril_indices(n)
     if beta == 0.0:
@@ -168,7 +168,7 @@ def _syr2k_base(a, b, c, alpha, beta, ctx):
         dgemm(a, b.T if hasattr(b, "T") else b, c, alpha, beta, ctx=ctx)
         dgemm(b, a.T if hasattr(a, "T") else a, c, alpha, 1.0, ctx=ctx)
         return
-    tmp = np.zeros((n, n), order="F")
+    tmp = np.zeros((n, n), dtype=np.result_type(a, b, c), order="F")
     dgemm(a, b, tmp, 1.0, 0.0, transb=True, ctx=ctx)
     dgemm(b, a, tmp, 1.0, 1.0, transb=True, ctx=ctx)
     il = np.tril_indices(n)

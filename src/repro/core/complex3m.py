@@ -85,14 +85,17 @@ def zgefmm_3m(
                    workspace=ws)
         return c
 
-    ar = np.asfortranarray(np.ascontiguousarray(opa.real).astype(np.float64))
-    ai = np.asfortranarray(np.ascontiguousarray(opa.imag).astype(np.float64))
-    br = np.asfortranarray(np.ascontiguousarray(opb.real).astype(np.float64))
-    bi = np.asfortranarray(np.ascontiguousarray(opb.imag).astype(np.float64))
+    # the real halves inherit C's precision: complex64 products run the
+    # three real multiplies in float32, complex128 in float64
+    rdt = np.empty(0, dtype=c.dtype).real.dtype
+    ar = np.asfortranarray(np.ascontiguousarray(opa.real).astype(rdt))
+    ai = np.asfortranarray(np.ascontiguousarray(opa.imag).astype(rdt))
+    br = np.asfortranarray(np.ascontiguousarray(opb.real).astype(rdt))
+    bi = np.asfortranarray(np.ascontiguousarray(opb.imag).astype(rdt))
 
-    t1 = np.zeros((m, n), order="F")
-    t2 = np.zeros((m, n), order="F")
-    t3 = np.zeros((m, n), order="F")
+    t1 = np.zeros((m, n), dtype=rdt, order="F")
+    t2 = np.zeros((m, n), dtype=rdt, order="F")
+    t3 = np.zeros((m, n), dtype=rdt, order="F")
     dgefmm(ar, br, t1, cutoff=cutoff, ctx=ctx, workspace=ws)
     dgefmm(ai, bi, t2, cutoff=cutoff, ctx=ctx, workspace=ws)
     dgefmm(

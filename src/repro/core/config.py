@@ -1,8 +1,9 @@
 """GemmConfig: the frozen knob bundle every DGEFMM entry point shares.
 
-One multiplication's behaviour is shaped by five knobs — cutoff
-criterion, scheme, peeling side, base-case tile edge, and base-case
-kernel backend.  Before this module each entry point (``dgefmm``,
+One multiplication's behaviour is shaped by its knobs — cutoff
+criterion, scheme, peeling side, base-case tile edge, base-case
+kernel backend, plan fusion, numeric dtype and accuracy mode.  Before
+this module each entry point (``dgefmm``,
 ``pdgefmm``, ``GemmService.submit``, the fuzz oracle, the CLI) validated
 its own copies of those knobs and hand-listed them into
 :class:`~repro.plan.compiler.PlanSignature`; drift between the copies
@@ -22,12 +23,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.blas.dtypes import ACCURACIES, DTYPES, is_exact_dtype
 from repro.blas.level3 import BACKENDS, DEFAULT_TILE
 from repro.core.cutoff import CutoffCriterion, HybridCutoff
 from repro.core.schemes import SCHEME_NAMES
 from repro.errors import ArgumentError
 
-__all__ = ["GemmConfig", "DEFAULT_CUTOFF", "SCHEMES", "PEELS"]
+__all__ = ["GemmConfig", "DEFAULT_CUTOFF", "SCHEMES", "PEELS",
+           "DTYPES", "ACCURACIES"]
 
 #: Default cutoff for hosts where no calibration has been run.  The tau
 #: values are deliberately conservative for a numpy-kernel substrate; the
@@ -69,6 +72,19 @@ class GemmConfig:
         the batched kernel's accumulation order differs from the tiled
         substrate kernel, ``fuse`` keys the plan signature — fused and
         interpreted plans never collide in a cache.
+    ``dtype``
+        Canonical operand dtype (:data:`repro.blas.dtypes.DTYPES`).
+        Drives kernel selection, workspace/arena element sizes and the
+        plan-cache key; drivers fold the observed operand dtype in via
+        :func:`~repro.plan.compiler.signature_for`.
+    ``accuracy``
+        Accuracy mode (:data:`repro.blas.dtypes.ACCURACIES`):
+        ``"fast"`` native rounding, ``"compensated"`` wide-promoted /
+        Kahan-accumulated floating point, ``"exact"`` integer/object
+        arithmetic with no float intermediates.  Legal combinations:
+        exact ⟺ exact dtype (int64/object); compensated requires an
+        inexact dtype; ``fuse`` requires ``"fast"`` (the batched matmul
+        program has no compensated or exact replay).
 
     Declaration order matters — see the module docstring.
     """
@@ -79,6 +95,8 @@ class GemmConfig:
     nb: int = DEFAULT_TILE
     backend: str = "substrate"
     fuse: bool = False
+    dtype: str = "float64"
+    accuracy: str = "fast"
 
     def __post_init__(self) -> None:
         if self.scheme not in SCHEMES:
@@ -109,4 +127,35 @@ class GemmConfig:
             raise ArgumentError(
                 "GemmConfig", "fuse",
                 f"must be a bool, got {type(self.fuse).__name__}",
+            )
+        if self.dtype not in DTYPES:
+            raise ArgumentError(
+                "GemmConfig", "dtype",
+                f"must be one of {DTYPES}, got {self.dtype!r}",
+            )
+        if self.accuracy not in ACCURACIES:
+            raise ArgumentError(
+                "GemmConfig", "accuracy",
+                f"must be one of {ACCURACIES}, got {self.accuracy!r}",
+            )
+        # Legal (dtype, accuracy) combinations: exact arithmetic and the
+        # exact dtypes imply each other; compensated rounding is a
+        # floating-point notion; fusion replays only the fast program.
+        if is_exact_dtype(self.dtype) and self.accuracy != "exact":
+            raise ArgumentError(
+                "GemmConfig", "accuracy",
+                f"dtype {self.dtype!r} is exact: accuracy must be "
+                f"'exact', got {self.accuracy!r}",
+            )
+        if self.accuracy == "exact" and not is_exact_dtype(self.dtype):
+            raise ArgumentError(
+                "GemmConfig", "accuracy",
+                f"accuracy 'exact' requires an exact dtype "
+                f"(int64/object), got dtype {self.dtype!r}",
+            )
+        if self.fuse and self.accuracy != "fast":
+            raise ArgumentError(
+                "GemmConfig", "fuse",
+                f"plan fusion requires accuracy 'fast', "
+                f"got {self.accuracy!r}",
             )

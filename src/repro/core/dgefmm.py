@@ -37,7 +37,12 @@ from __future__ import annotations
 
 from typing import Any, Optional
 
-from repro.blas.addsub import axpby
+from repro.blas.addsub import kernels_for
+from repro.blas.dtypes import (
+    canonical_dtype,
+    default_accuracy,
+    require_integral_scalar,
+)
 from repro.blas.level3 import DEFAULT_TILE, dgemm
 from repro.blas.validate import (
     copy_on_overlap,
@@ -111,6 +116,7 @@ def dgefmm(
     backend: str = "substrate",
     plan_cache: Optional["PlanCache"] = None,
     fuse: bool = False,
+    accuracy: Optional[str] = None,
 ) -> Any:
     """Strassen-based GEMM: ``C <- alpha*op(A)*op(B) + beta*C`` in place.
 
@@ -179,21 +185,40 @@ def dgefmm(
         also all allocation.  Results are bit-identical to the
         recursive path; cache counters land in
         ``ctx.stats["plan_cache"]``.
+    accuracy:
+        Accuracy mode (:data:`repro.blas.dtypes.ACCURACIES`): ``"fast"``
+        (native rounding), ``"compensated"`` (wide-promoted / Kahan
+        floating point) or ``"exact"`` (integer/object arithmetic,
+        integral scalars enforced, no float intermediates).  ``None``
+        (the default) resolves per dtype: ``"exact"`` for int64/object
+        operands, ``"fast"`` otherwise — so existing float callers and
+        integer callers both keep working unannotated.
 
-    The scheme/peel/cutoff/nb/backend knobs are validated once, as a
-    :class:`~repro.core.config.GemmConfig`; the same frozen config
-    drives the traversal, the plan signature, and the serving engine.
+    The scheme/peel/cutoff/nb/backend/dtype/accuracy knobs are validated
+    once, as a :class:`~repro.core.config.GemmConfig`; the same frozen
+    config drives the traversal, the plan signature, and the serving
+    engine.
     """
     ctx = ensure_context(ctx)
     require_matrix("dgefmm", "a", a)
     require_matrix("dgefmm", "b", b)
     require_matrix("dgefmm", "c", c)
     require_writable("dgefmm", "c", c)
+    dt = canonical_dtype(getattr(c, "dtype", None) or "float64")
+    if accuracy is None:
+        accuracy = default_accuracy(dt)
     cfg = GemmConfig(
         scheme=scheme, peel=peel,
         cutoff=cutoff if cutoff is not None else DEFAULT_CUTOFF,
         nb=nb, backend=backend, fuse=fuse,
+        dtype=dt, accuracy=accuracy,
     )
+    if cfg.accuracy == "exact":
+        # Integral scalars ride through every layer as Python ints, so
+        # in-place integer scaling (``y *= beta``) never trips numpy's
+        # unsafe-cast refusal and object arrays stay arbitrary-precision.
+        alpha = require_integral_scalar("dgefmm", "alpha", alpha)
+        beta = require_integral_scalar("dgefmm", "beta", beta)
     m, k = opshape(a, transa)
     kb, n = opshape(b, transb)
     if kb != k:
@@ -211,7 +236,7 @@ def dgefmm(
         ctx.stats_max("workspace_peak_bytes", 0)
         return c
     if k == 0 or alpha == 0.0:
-        _scale_only(c, beta, ctx)
+        _scale_only(c, beta, ctx, cfg.accuracy)
         ctx.stats_max("workspace_peak_bytes", 0)
         return c
 
@@ -222,17 +247,19 @@ def dgefmm(
     # documented copy-on-overlap fallback.
     a, b = copy_on_overlap(c, a, b, ctx=ctx)
 
-    if plan_cache is not None and not ctx.dry and workspace is None:
+    if (plan_cache is not None and not ctx.dry and workspace is None
+            and cfg.dtype != "object"):
         # plan path: compile once per signature, replay bit-identically.
         # Imported lazily — repro.plan imports this module for the
-        # scheme dispatch it compiles through.
+        # scheme dispatch it compiles through.  Object-dtype problems
+        # never plan: plan temporaries are typed views over a byte
+        # arena, which object arrays cannot be.
         from repro.plan.compiler import signature_for
         from repro.plan.executor import execute_plan
 
-        dt = getattr(c, "dtype", None) or "float64"
         sig = signature_for(
             "serial", m, k, n, bool(transa), bool(transb),
-            alpha == 0.0, beta == 0.0, str(dt), cfg,
+            alpha == 0.0, beta == 0.0, dt, cfg,
         )
         plan = plan_cache.get_or_compile(sig)
         execute_plan(
@@ -245,7 +272,10 @@ def dgefmm(
     pooled = False
     if workspace is not None:
         ws = workspace
-    elif pool is not None and not ctx.dry:
+    elif pool is not None and not ctx.dry and cfg.dtype != "object":
+        # pooled arenas carve typed views out of a byte buffer — fine
+        # for every fixed-width dtype, impossible for object arrays,
+        # which fall back to a plain per-call workspace
         ws = pool.checkout()
         pooled = True
     else:
@@ -292,10 +322,12 @@ def zgefmm(
     return dgefmm(a, b, c, alpha, beta, transa, transb, **kwargs)
 
 
-def _scale_only(c: Any, beta: float, ctx: ExecutionContext) -> None:
+def _scale_only(
+    c: Any, beta: float, ctx: ExecutionContext, accuracy: str = "fast"
+) -> None:
     """``C <- beta*C`` — the k == 0 / alpha == 0 degenerate GEMM."""
     if c.shape[0] and c.shape[1]:
-        axpby(0.0, c, beta, c, ctx=ctx)
+        kernels_for(accuracy).axpby(0, c, beta, c, ctx=ctx)
 
 
 def _rec(
@@ -322,12 +354,13 @@ def _rec(
     if m == 0 or n == 0:
         return
     if k == 0 or alpha == 0.0:
-        _scale_only(c, beta, ctx)
+        _scale_only(c, beta, ctx, cfg.accuracy)
         return
     node = decide(m, k, n, depth, scheme, beta == 0.0, cfg.cutoff)
     if isinstance(node, Base):
         ctx.record(RecursionEvent("base", m, k, n, depth))
-        dgemm(a, b, c, alpha, beta, ctx=ctx, nb=cfg.nb, backend=cfg.backend)
+        dgemm(a, b, c, alpha, beta, ctx=ctx, nb=cfg.nb,
+              backend=cfg.backend, accuracy=cfg.accuracy)
         return
 
     if node.peeled:
@@ -346,14 +379,16 @@ def _rec(
     def recurse(aa: Any, bb: Any, cc: Any, al: float, be: float) -> None:
         _rec(aa, bb, cc, al, be, depth + 1, cfg, node.child_scheme, ctx, ws)
 
+    em = kernels_for(cfg.accuracy)
     if node.level == "s1b0":
         strassen1_beta0_level(
-            core_a, core_b, core_c, alpha, ctx=ctx, ws=ws, recurse=recurse
+            core_a, core_b, core_c, alpha, ctx=ctx, ws=ws,
+            recurse=recurse, kernels=em,
         )
     else:
         LEVEL_FNS[node.level](
             core_a, core_b, core_c, alpha, beta,
-            ctx=ctx, ws=ws, recurse=recurse,
+            ctx=ctx, ws=ws, recurse=recurse, kernels=em,
         )
 
     if node.peeled:

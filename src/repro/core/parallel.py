@@ -72,7 +72,12 @@ from concurrent.futures import ThreadPoolExecutor
 from contextlib import contextmanager
 from typing import Any, Iterator, List, Optional
 
-from repro.blas.addsub import NUMERIC_KERNELS, BlockKernels
+from repro.blas.addsub import NUMERIC_KERNELS, BlockKernels, kernels_for
+from repro.blas.dtypes import (
+    canonical_dtype,
+    default_accuracy,
+    require_integral_scalar,
+)
 from repro.blas.level3 import DEFAULT_TILE
 from repro.blas.validate import (
     copy_on_overlap,
@@ -241,6 +246,7 @@ def pdgefmm(
     backend: str = "substrate",
     plan_cache: Optional["PlanCache"] = None,
     fuse: bool = False,
+    accuracy: Optional[str] = None,
 ) -> Any:
     """Parallel Strassen GEMM: ``C <- alpha*op(A)*op(B) + beta*C``.
 
@@ -292,11 +298,24 @@ def pdgefmm(
         raise DimensionError(
             f"pdgefmm: max_parallel_depth={max_parallel_depth} must be >= 1"
         )
+    dt = canonical_dtype(getattr(c, "dtype", None) or "float64")
+    if accuracy is None:
+        accuracy = default_accuracy(dt)
     cfg = GemmConfig(
         scheme=scheme, peel=peel,
         cutoff=cutoff if cutoff is not None else DEFAULT_CUTOFF,
         nb=nb, backend=backend, fuse=fuse,
+        dtype=dt, accuracy=accuracy,
     )
+    if cfg.accuracy == "exact":
+        # integral scalars travel as Python ints — see dgefmm
+        alpha = require_integral_scalar("pdgefmm", "alpha", alpha)
+        beta = require_integral_scalar("pdgefmm", "beta", beta)
+    if cfg.dtype == "object":
+        # pooled byte arenas and compiled plans carve typed views out of
+        # raw buffers — impossible for object arrays
+        pool = None
+        plan_cache = None
     m, k = opshape(a, transa)
     kb, n = opshape(b, transb)
     if kb != k:
@@ -313,7 +332,7 @@ def pdgefmm(
         ctx.stats_max("workspace_peak_bytes", 0)
         return c
     if k == 0 or alpha == 0.0:
-        _scale_only(c, beta, ctx)
+        _scale_only(c, beta, ctx, cfg.accuracy)
         ctx.stats_max("workspace_peak_bytes", 0)
         return c
 
@@ -330,10 +349,9 @@ def pdgefmm(
         from repro.plan.compiler import signature_for
         from repro.plan.executor import execute_plan
 
-        dt = getattr(c, "dtype", None) or "float64"
         sig = signature_for(
             "parallel", m, k, n, bool(transa), bool(transb),
-            alpha == 0.0, beta == 0.0, str(dt), cfg, max_parallel_depth,
+            alpha == 0.0, beta == 0.0, dt, cfg, max_parallel_depth,
         )
         plan = plan_cache.get_or_compile(sig)
         execute_plan(plan, opa, opb, c, alpha, beta, ctx=ctx, pool=pool,
@@ -352,10 +370,12 @@ def pdgefmm(
             return dgefmm(a, b, c, alpha, beta, transa, transb,
                           cutoff=cfg.cutoff, scheme=cfg.scheme,
                           peel=cfg.peel, ctx=ctx, workspace=workspace,
-                          nb=cfg.nb, backend=cfg.backend)
+                          nb=cfg.nb, backend=cfg.backend,
+                          accuracy=cfg.accuracy)
         return dgefmm(a, b, c, alpha, beta, transa, transb,
                       cutoff=cfg.cutoff, scheme=cfg.scheme, peel=cfg.peel,
-                      ctx=ctx, pool=pool, nb=cfg.nb, backend=cfg.backend)
+                      ctx=ctx, pool=pool, nb=cfg.nb, backend=cfg.backend,
+                      accuracy=cfg.accuracy)
 
     charge = _prun(opa, opb, c, alpha, beta, workers, 1, max_parallel_depth,
                    0, cfg, cfg.scheme, ctx, pool, workspace=workspace)
@@ -393,7 +413,7 @@ def _prun(
     if m == 0 or n == 0:
         return 0
     if k == 0 or alpha == 0.0:
-        _scale_only(c, beta, ctx)
+        _scale_only(c, beta, ctx, cfg.accuracy)
         return 0
     node = decide(m, k, n, depth, scheme, beta == 0.0, cfg.cutoff)
     if isinstance(node, Base) or node.level not in PARALLEL_LEVELS:
@@ -449,6 +469,7 @@ def _parallel_level(
     """One parallel Winograd level (even dims); returns the peak charge:
     this level's own arena peak plus the sum of its products' charges."""
     dt = getattr(c, "dtype", None) or "float64"
+    em = kernels_for(cfg.accuracy)
     threads, sub_budget = _split_budget(budget)
     # the *structure* of the recursion depends only on max_parallel_depth
     # (and the config); the budget governs execution — how many threads
@@ -460,7 +481,7 @@ def _parallel_level(
     with ws.frame():
         # stages (1)/(2): all eight sums materialized (read-only inputs
         # for the concurrent products)
-        s, t, ps = _stage_sums(a, b, ws, dt, ctx)
+        s, t, ps = _stage_sums(a, b, ws, dt, ctx, em)
         jobs = _job_operands(a, b, s, t, ps)
 
         worker_ctxs = [
@@ -496,6 +517,6 @@ def _parallel_level(
         for wctx in worker_ctxs:
             ctx.merge_child(wctx)
 
-        _stage_combine(ps, c, alpha, beta, ctx)
+        _stage_combine(ps, c, alpha, beta, ctx, em)
 
     return ws.peak_bytes + sum(peaks)

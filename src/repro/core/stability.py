@@ -32,6 +32,8 @@ from typing import Callable, Optional, Tuple
 
 import numpy as np
 
+from repro.blas.dtypes import unit_roundoff
+
 __all__ = [
     "UNIT_ROUNDOFF",
     "standard_growth",
@@ -41,7 +43,8 @@ __all__ = [
     "measure_error",
 ]
 
-#: IEEE double unit roundoff
+#: IEEE double unit roundoff (the default precision; per-dtype values
+#: come from :func:`repro.blas.dtypes.unit_roundoff`)
 UNIT_ROUNDOFF = 2.0**-53
 
 
@@ -81,15 +84,19 @@ def normwise_bound(
     m0: int,
     *,
     variant: str = "winograd",
+    dtype: str = "float64",
 ) -> float:
     """Right-hand side of the normwise error bound for C = A*B.
 
-    ``f(d, m0) * u * ||A||_M * ||B||_M`` with max-norms.
+    ``f(d, m0) * u * ||A||_M * ||B||_M`` with max-norms, where ``u`` is
+    the unit roundoff of ``dtype`` (``2^-53`` for the double precisions,
+    ``2^-24`` for the singles, ``0`` for the exact dtypes — for which
+    the bound correctly degenerates to "no error is tolerated").
     """
     f = {"winograd": winograd_growth, "strassen": strassen_growth}[variant]
     na = float(np.max(np.abs(a))) if a.size else 0.0
     nb = float(np.max(np.abs(b))) if b.size else 0.0
-    return f(d, m0) * UNIT_ROUNDOFF * na * nb
+    return f(d, m0) * unit_roundoff(dtype) * na * nb
 
 
 def measure_error(
@@ -98,21 +105,37 @@ def measure_error(
     *,
     seed: int = 0,
     reference: Optional[Callable] = None,
+    dtype: str = "float64",
 ) -> Tuple[float, float]:
     """(max abs error, max-norm bound denominator) of one multiply.
 
     ``multiply(a, b, c)`` computes ``c <- a*b``; the error is measured
-    against a float128-free but higher-accuracy reference (numpy's dot,
-    whose backward error is ~k*u — negligible against Strassen's).
-    Returns (max |C - C_ref|, ||A||_M * ||B||_M) so callers can express
-    the error in units of ``u * ||A|| * ||B||``.
+    against a higher-accuracy reference — for the narrow dtypes the
+    operands are lifted to their wide counterpart before the ``@``
+    (so the reference's own rounding does not pollute the measurement),
+    for the doubles numpy's dot is used directly (backward error ~k*u,
+    negligible against Strassen's).  Returns
+    (max |C - C_ref|, ||A||_M * ||B||_M) so callers can express the
+    error in units of ``u * ||A|| * ||B||``.
     """
+    from repro.blas.dtypes import WIDE, canonical_dtype
+
+    dt = canonical_dtype(dtype)
     rng = np.random.default_rng(seed)
-    a = np.asfortranarray(rng.uniform(-1.0, 1.0, (m, m)))
-    b = np.asfortranarray(rng.uniform(-1.0, 1.0, (m, m)))
-    c = np.zeros((m, m), order="F")
+    a = rng.uniform(-1.0, 1.0, (m, m))
+    b = rng.uniform(-1.0, 1.0, (m, m))
+    if np.dtype(dt).kind == "c":
+        a = a + 1j * rng.uniform(-1.0, 1.0, (m, m))
+        b = b + 1j * rng.uniform(-1.0, 1.0, (m, m))
+    a = np.asfortranarray(a.astype(dt))
+    b = np.asfortranarray(b.astype(dt))
+    c = np.zeros((m, m), dtype=dt, order="F")
     multiply(a, b, c)
-    ref = a @ b
-    err = float(np.max(np.abs(c - ref)))
+    wide = WIDE.get(dt)
+    if wide is not None:
+        ref = a.astype(wide) @ b.astype(wide)
+    else:
+        ref = a @ b
+    err = float(np.max(np.abs(c.astype(ref.dtype) - ref)))
     denom = float(np.max(np.abs(a)) * np.max(np.abs(b)))
     return err, denom

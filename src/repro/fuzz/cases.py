@@ -33,6 +33,7 @@ __all__ = [
     "LAYOUTS",
     "SCHEMES",
     "DTYPES",
+    "ACCURACIES",
 ]
 
 #: operand memory layouts the materializer can produce
@@ -43,12 +44,21 @@ LAYOUTS = ("F", "C", "strided", "revrows", "revcols")
 #: the fuzz case space automatically
 SCHEMES = SCHEME_NAMES
 
-#: element types under test
-DTYPES = ("float64", "float32", "complex128")
+#: element types under test (the full precision matrix; ``object`` is
+#: exercised by the dedicated precision tests, not the fuzz loop — its
+#: Python-int arithmetic is orders of magnitude slower per case)
+DTYPES = ("float64", "float32", "complex128", "complex64", "int64")
+
+#: accuracy disciplines drawn for inexact dtypes; int64 always fuzzes
+#: under "exact" (its only legal discipline)
+ACCURACIES = ("fast", "compensated")
 
 #: scalar pool: the zero class appears often, plus ±1 (the fast paths)
 #: and generic values
 _SCALARS = (0.0, 0.0, 1.0, 1.0, -1.0, 0.5, 2.0, -1.5, 3.25)
+
+#: scalar pool for the exact (integer) cases: integral values only
+_INT_SCALARS = (0.0, 0.0, 1.0, 1.0, -1.0, 2.0, 3.0, -2.0)
 
 #: imaginary parts mixed into scalars for complex cases
 _IMAGS = (0.0, 0.0, 0.5, -1.0, 0.25)
@@ -78,12 +88,15 @@ class FuzzCase:
     nan_c: bool     # pre-fill C with NaN (only drawn when beta == 0)
     pool: bool      # route parallel paths through a WorkspacePool
     seed: int       # operand-content RNG seed
+    accuracy: str = "fast"   # rounding discipline (exact for int64)
 
     # ------------------------------------------------------------------ #
     def scalars(self) -> Tuple[Any, Any]:
         """``(alpha, beta)`` in the case's dtype scalar domain."""
-        if self.dtype == "complex128":
+        if self.dtype in ("complex128", "complex64"):
             return complex(self.alpha), complex(self.beta)
+        if self.dtype == "int64":
+            return int(self.alpha.real), int(self.beta.real)
         return float(self.alpha.real), float(self.beta.real)
 
     @property
@@ -107,8 +120,10 @@ def _draw_dim(rng: np.random.Generator, max_dim: int) -> int:
 
 
 def _draw_scalar(rng: np.random.Generator, dtype: str) -> complex:
+    if dtype == "int64":
+        return complex(_INT_SCALARS[rng.integers(0, len(_INT_SCALARS))], 0.0)
     re = float(_SCALARS[rng.integers(0, len(_SCALARS))])
-    if dtype == "complex128":
+    if dtype in ("complex128", "complex64"):
         im = float(_IMAGS[rng.integers(0, len(_IMAGS))])
         return complex(re, im)
     return complex(re, 0.0)
@@ -121,7 +136,11 @@ def draw_case(rng: np.random.Generator, max_dim: int = 32) -> FuzzCase:
     n = _draw_dim(rng, max_dim)
     transa = bool(rng.random() < 0.5)
     transb = bool(rng.random() < 0.5)
-    dtype = DTYPES[rng.choice(len(DTYPES), p=[0.6, 0.2, 0.2])]
+    dtype = DTYPES[rng.choice(len(DTYPES), p=[0.4, 0.15, 0.15, 0.15, 0.15])]
+    if dtype == "int64":
+        accuracy = "exact"
+    else:
+        accuracy = "compensated" if rng.random() < 0.3 else "fast"
     alpha = _draw_scalar(rng, dtype)
     beta = _draw_scalar(rng, dtype)
     scheme = (
@@ -144,7 +163,9 @@ def draw_case(rng: np.random.Generator, max_dim: int = 32) -> FuzzCase:
     elif r < 0.12 and n > 0 and k > 0:
         alias, transb, m = "b", False, k
 
-    nan_c = bool(beta == 0 and alias == "none" and rng.random() < 0.4)
+    # integer outputs cannot hold NaN — the poison check is float-only
+    nan_c = bool(beta == 0 and alias == "none" and dtype != "int64"
+                 and rng.random() < 0.4)
     return FuzzCase(
         m=m, k=k, n=n, transa=transa, transb=transb,
         alpha=alpha, beta=beta, dtype=dtype,
@@ -156,6 +177,7 @@ def draw_case(rng: np.random.Generator, max_dim: int = 32) -> FuzzCase:
         alias=alias, nan_c=nan_c,
         pool=bool(rng.random() < 0.5),
         seed=int(rng.integers(0, 2**31)),
+        accuracy=accuracy,
     )
 
 
@@ -167,6 +189,9 @@ def _random_matrix(
     dt = np.dtype(dtype)
 
     def vals(r: int, c: int) -> np.ndarray:
+        if dt.kind in "iu":
+            # small integers: exact through any schedule, no overflow
+            return rng.integers(-4, 5, (r, c)).astype(dt)
         x = rng.standard_normal((r, c))
         if dt.kind == "c":
             x = x + 1j * rng.standard_normal((r, c))
@@ -234,8 +259,15 @@ def case_to_dict(case: FuzzCase) -> Dict[str, Any]:
 
 
 def case_from_dict(d: Dict[str, Any]) -> FuzzCase:
-    """Inverse of :func:`case_to_dict` (tolerates scalar floats too)."""
+    """Inverse of :func:`case_to_dict` (tolerates scalar floats too).
+
+    Replay files written before the precision dimension carry no
+    ``accuracy`` key; they decode to the dtype's natural discipline.
+    """
     kw = dict(d)
+    kw.setdefault(
+        "accuracy", "exact" if kw.get("dtype") == "int64" else "fast"
+    )
     for key in ("alpha", "beta"):
         v = kw[key]
         kw[key] = complex(v[0], v[1]) if isinstance(v, (list, tuple)) \

@@ -56,23 +56,42 @@ __all__ = ["run_case", "reference_result", "tolerance_for"]
 #: scale.  Strassen's construction loses a few digits versus the
 #: standard algorithm (the paper's Section 4.3 stability discussion);
 #: genuine schedule bugs produce O(1) relative errors, far above these.
-_TOLS = {"float64": 1e-9, "float32": 1e-3, "complex128": 1e-9}
+#: The exact dtypes tolerate **nothing**: integer arithmetic through
+#: any schedule must reproduce the reference bit for bit.
+_TOLS = {
+    "float64": 1e-9,
+    "float32": 1e-3,
+    "complex128": 1e-9,
+    "complex64": 2e-3,
+    "int64": 0.0,
+    "object": 0.0,
+}
 
 
 def tolerance_for(case: FuzzCase, expect: np.ndarray) -> float:
     """Scaled absolute tolerance for comparisons against the reference."""
+    tol = _TOLS[case.dtype]
+    if tol == 0.0:
+        return 0.0
     scale = 1.0
     if expect.size:
         scale = max(scale, float(np.max(np.abs(expect))))
-    return _TOLS[case.dtype] * scale
+    return tol * scale
 
 
 def reference_result(case: FuzzCase, a, b, c0) -> np.ndarray:
-    """``alpha*op(A)@op(B) + beta*C`` in float64/complex128, with the
-    conformant overwrite semantics: ``beta == 0`` never reads ``c0``
-    (so a NaN-poisoned C yields a finite reference), and ``alpha == 0``
-    (or ``k == 0``) skips the product."""
-    ref_dt = np.complex128 if case.dtype == "complex128" else np.float64
+    """``alpha*op(A)@op(B) + beta*C`` with the conformant overwrite
+    semantics: ``beta == 0`` never reads ``c0`` (so a NaN-poisoned C
+    yields a finite reference), and ``alpha == 0`` (or ``k == 0``)
+    skips the product.  Inexact dtypes are referenced in
+    float64/complex128; int64 is referenced in int64 — numpy's ``@``
+    is exact there, so the reference *is* the true product."""
+    if case.dtype in ("complex128", "complex64"):
+        ref_dt = np.complex128
+    elif case.dtype == "int64":
+        ref_dt = np.int64
+    else:
+        ref_dt = np.float64
     alpha, beta = case.scalars()
     opa = (a.T if case.transa else a).astype(ref_dt)
     opb = (b.T if case.transb else b).astype(ref_dt)
@@ -95,7 +114,7 @@ def _run_path(case: FuzzCase, path: str, plan_cache, pool):
             a, b, c, alpha, beta, case.transa, case.transb,
             cutoff=crit, scheme=case.scheme, peel=case.peel,
             plan_cache=plan_cache if path != "serial" else None,
-            fuse=fused,
+            fuse=fused, accuracy=case.accuracy,
         )
     else:
         pdgefmm(
@@ -106,7 +125,7 @@ def _run_path(case: FuzzCase, path: str, plan_cache, pool):
             plan_cache=(plan_cache
                         if path in ("parallel-plan", "parallel-fused")
                         else None),
-            fuse=path == "parallel-fused",
+            fuse=path == "parallel-fused", accuracy=case.accuracy,
         )
     return c
 
@@ -142,7 +161,10 @@ def run_case(
     paths = ["serial", "plan"]
     if case.parallel_applicable:
         paths += ["parallel", "parallel-plan"]
-    if fuse:
+    # fused programs are compiled for the fast kernels only (GemmConfig
+    # rejects fuse with any other accuracy), so the fused paths join the
+    # cross-check only for fast-discipline cases
+    if fuse and case.accuracy == "fast":
         paths += ["fused", "fused-replay"]
         if case.parallel_applicable:
             paths.append("parallel-fused")
@@ -155,6 +177,7 @@ def run_case(
         except Exception as exc:  # noqa: BLE001 — every crash is a finding
             failures.append({
                 "path": path, "kind": "exception",
+                "dtype": case.dtype, "accuracy": case.accuracy,
                 "detail": f"{type(exc).__name__}: {exc}",
             })
 
@@ -162,17 +185,20 @@ def run_case(
         if got.shape != expect.shape:
             failures.append({
                 "path": path, "kind": "reference-mismatch",
+                "dtype": case.dtype, "accuracy": case.accuracy,
                 "detail": f"shape {got.shape} != {expect.shape}",
             })
             continue
+        exact = np.dtype(expect.dtype).kind in "iuO"
         err = np.abs(got.astype(expect.dtype) - expect)
         max_err = float(np.max(err)) if err.size else 0.0
-        if not np.isfinite(got).all() or max_err > atol:
+        finite = True if exact else bool(np.isfinite(got).all())
+        if not finite or max_err > atol:
             failures.append({
                 "path": path, "kind": "reference-mismatch",
+                "dtype": case.dtype, "accuracy": case.accuracy,
                 "detail": f"max |err| {max_err:.3e} > atol {atol:.3e}"
-                          + ("" if np.isfinite(got).all()
-                             else " (non-finite entries)"),
+                          + ("" if finite else " (non-finite entries)"),
             })
 
     for lhs, rhs in (("serial", "plan"), ("parallel", "parallel-plan"),
@@ -183,6 +209,7 @@ def run_case(
             diff = np.abs(results[lhs] - results[rhs])
             failures.append({
                 "path": rhs, "kind": "bit-divergence",
+                "dtype": case.dtype, "accuracy": case.accuracy,
                 "detail": f"{rhs} differs from {lhs}, max |diff| "
                           f"{float(np.max(diff)):.3e}",
             })

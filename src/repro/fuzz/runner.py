@@ -24,6 +24,7 @@ from typing import Any, Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.blas.dtypes import is_exact_dtype
 from repro.core.pool import WorkspacePool
 from repro.fuzz.cases import FuzzCase, case_from_dict, case_to_dict, draw_case
 from repro.fuzz.oracle import run_case
@@ -50,6 +51,7 @@ class FuzzReport:
         cov = self.coverage
         for key in (
             f"dtype:{case.dtype}",
+            f"accuracy:{case.accuracy}",
             f"scheme:{case.scheme}",
             f"peel:{case.peel}",
             f"alias:{case.alias}",
@@ -106,6 +108,8 @@ def run_fuzz(
     progress: Optional[Any] = None,
     scheme: Optional[str] = None,
     fuse: bool = False,
+    dtype: Optional[str] = None,
+    accuracy: Optional[str] = None,
 ) -> FuzzReport:
     """Run a differential campaign; returns a :class:`FuzzReport`.
 
@@ -119,6 +123,13 @@ def run_fuzz(
     CI smoke lanes; all other knobs keep their drawn values.  ``fuse``
     adds the fused-execution paths to every case (see
     :mod:`repro.fuzz.oracle`).
+
+    ``dtype``/``accuracy`` pin the precision dimension — the CI
+    precision-matrix lanes.  Dtype compatibility wins over an accuracy
+    pin: exact dtypes always run the exact discipline, and a case whose
+    drawn ``"exact"`` accuracy becomes illegal under an inexact dtype
+    pin falls back to ``"fast"``.  NaN poisoning is cleared for exact
+    dtypes (they cannot hold a NaN).
     """
     rng = np.random.default_rng(seed)
     plan_cache = PlanCache()
@@ -132,6 +143,20 @@ def run_fuzz(
         todo = [draw_case(rng, max_dim=max_dim) for _ in range(cases)]
     if scheme is not None:
         todo = [dataclasses.replace(case, scheme=scheme) for case in todo]
+    if dtype is not None or accuracy is not None:
+        pinned: List[FuzzCase] = []
+        for case in todo:
+            dt = dtype if dtype is not None else case.dtype
+            acc = accuracy if accuracy is not None else case.accuracy
+            if is_exact_dtype(dt):
+                acc = "exact"
+            elif acc == "exact":
+                acc = "fast"
+            pinned.append(dataclasses.replace(
+                case, dtype=dt, accuracy=acc,
+                nan_c=case.nan_c and not is_exact_dtype(dt),
+            ))
+        todo = pinned
 
     for idx, case in enumerate(todo):
         report.cases += 1

@@ -24,7 +24,12 @@ bit-identical to the interpreted stream (different base-case kernel);
 """
 
 from repro.plan.cache import PlanCache
-from repro.plan.compiler import ExecutionPlan, PlanSignature, compile_plan
+from repro.plan.compiler import (
+    ExecutionPlan,
+    PlanSignature,
+    compile_plan,
+    signature_for,
+)
 from repro.plan.executor import execute_plan
 from repro.plan.fuse import FusedProgram, fuse_plan
 
@@ -33,6 +38,7 @@ __all__ = [
     "PlanSignature",
     "ExecutionPlan",
     "compile_plan",
+    "signature_for",
     "execute_plan",
     "FusedProgram",
     "fuse_plan",

@@ -39,12 +39,13 @@ from __future__ import annotations
 
 from collections import Counter
 from contextlib import contextmanager
-from dataclasses import field, fields, make_dataclass
+from dataclasses import field, fields, make_dataclass, replace
 from typing import Any, Iterator, List, Optional, Tuple
 
 import numpy as np
 
 from repro.blas.addsub import BlockKernels
+from repro.blas.dtypes import canonical_dtype
 from repro.blas.level3 import gemm_flops
 from repro.context import RecursionEvent
 from repro.core.config import GemmConfig
@@ -103,7 +104,6 @@ PlanSignature = make_dataclass(
         ("transb", bool),
         ("alpha_zero", bool),
         ("beta_zero", bool),
-        ("dtype", str),
     ]
     + [(f.name, f.type, field(default=f.default)) for f in fields(GemmConfig)]
     + [("max_parallel_depth", int, field(default=0))],
@@ -121,13 +121,16 @@ PlanSignature.__doc__ = """The cache key: everything the plan's structure depend
     dataclass) objects themselves.
 
     The behaviour-knob fields (``scheme``, ``peel``, ``cutoff``, ``nb``,
-    ``backend``) are not hand-listed: they are generated from
-    ``dataclasses.fields(GemmConfig)`` at class-creation time, in
-    declaration order, between the problem fields and
-    ``max_parallel_depth``.  A knob added to ``GemmConfig`` therefore
-    cannot be forgotten here — the type system keeps the plan-cache key
-    complete.  :meth:`config` rebuilds (and re-validates) the
-    ``GemmConfig`` the knob fields encode.
+    ``backend``, ``fuse``, ``dtype``, ``accuracy``) are not hand-listed:
+    they are generated from ``dataclasses.fields(GemmConfig)`` at
+    class-creation time, in declaration order, between the problem
+    fields and ``max_parallel_depth``.  A knob added to ``GemmConfig``
+    therefore cannot be forgotten here — the type system keeps the
+    plan-cache key complete.  The operand ``dtype`` and the ``accuracy``
+    mode are config fields (not problem fields): :func:`signature_for`
+    folds the observed operand dtype into the config, so mutating either
+    is structurally a cache miss.  :meth:`config` rebuilds (and
+    re-validates) the ``GemmConfig`` the knob fields encode.
 
     Deliberately excluded because they cannot change the result or the
     plan's structure: ``workers`` (execution-time thread budget),
@@ -156,10 +159,16 @@ def signature_for(
 
     The drivers construct their cache keys through this helper so the
     knob fields are copied from the frozen config structurally — never
-    hand-listed at a call site.
+    hand-listed at a call site.  ``dtype`` is the *observed* operand
+    dtype: it is folded into the config (re-running the config's
+    dtype/accuracy validation) so the signature's ``dtype`` field always
+    reflects what the kernels will actually see, even when the caller's
+    config still carries the float64 default.
     """
+    if canonical_dtype(dtype) != config.dtype:
+        config = replace(config, dtype=canonical_dtype(dtype))
     return PlanSignature(
-        kind, m, k, n, transa, transb, alpha_zero, beta_zero, dtype,
+        kind, m, k, n, transa, transb, alpha_zero, beta_zero,
         *(getattr(config, f.name) for f in fields(GemmConfig)),
         max_parallel_depth,
     )
@@ -178,7 +187,7 @@ class ExecutionPlan:
     """
 
     __slots__ = (
-        "signature", "m", "k", "n", "dtype", "nb", "backend",
+        "signature", "m", "k", "n", "dtype", "nb", "backend", "accuracy",
         "regions", "ops", "ops_quiet", "branches", "epilogue",
         "epilogue_quiet", "arena_bytes", "peak_bytes", "charge_bytes",
         "counts", "nbytes", "fused", "_temp_cache",
@@ -201,12 +210,18 @@ class ExecutionPlan:
         peak_bytes: int,
         charge_bytes: int,
         counts: dict,
+        accuracy: str = "fast",
     ) -> None:
         self.signature = signature
         self.m, self.k, self.n = m, k, n
         self.dtype = np.dtype(dtype)
         self.nb = nb
         self.backend = backend
+        #: accuracy mode baked in from the signature's config: the
+        #: executor replays the op stream through the matching kernel
+        #: table, so plan replay stays bit-identical to the recursive
+        #: driver at every accuracy
+        self.accuracy = accuracy
         self.regions = regions
         self.ops = ops
         self.ops_quiet = tuple(op for op in ops if op[0] != OP_EVENT)
@@ -505,6 +520,7 @@ class _Recorder:
         nb: int,
         backend: str,
         branches: Tuple[tuple, ...] = (),
+        accuracy: str = "fast",
     ) -> ExecutionPlan:
         charge = self.ws.peak + sum(
             child.charge_bytes for *_ids, child in branches
@@ -517,7 +533,7 @@ class _Recorder:
             signature, m, k, n, self.dtype, nb, backend,
             tuple(self.region_descs), tuple(self.ops), branches,
             tuple(self.epilogue), self.ws.required, self.ws.peak,
-            charge, counts,
+            charge, counts, accuracy,
         )
 
 
@@ -630,7 +646,8 @@ def _compile_serial(
     sc = _SerialCompiler(cfg, dtype)
     a, b, c = _roots(m, k, n, dtype)
     sc.run(a, b, c, alpha, beta, depth, scheme)
-    plan = sc.rec.build(signature, m, k, n, cfg.nb, cfg.backend)
+    plan = sc.rec.build(signature, m, k, n, cfg.nb, cfg.backend,
+                        accuracy=cfg.accuracy)
     if cfg.fuse:
         plan.fused = fuse_plan(plan)
     return plan
@@ -687,7 +704,7 @@ def _compile_pnode(
             rec.emit_fixup(a, b, c, alpha, beta, cfg.peel, node.divisors)
 
     return rec.build(signature, m, k, n, cfg.nb, cfg.backend,
-                     tuple(branches))
+                     tuple(branches), accuracy=cfg.accuracy)
 
 
 def _prun_mirror(
@@ -729,6 +746,13 @@ def compile_plan(signature: "PlanSignature") -> ExecutionPlan:
             f"must be 'serial' or 'parallel', got {signature.kind!r}",
         )
     cfg = signature.config()
+    if cfg.dtype == "object":
+        raise ArgumentError(
+            "compile_plan", "dtype",
+            "object-dtype problems cannot be planned (plan temporaries "
+            "are typed views over a byte arena); use the recursive "
+            "driver",
+        )
     alpha: Any = 0.0 if signature.alpha_zero else SymScalar("a")
     beta: Any = 0.0 if signature.beta_zero else SymScalar("b")
     if signature.kind == "serial":

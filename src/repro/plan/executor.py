@@ -34,7 +34,7 @@ from __future__ import annotations
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, List, Optional
 
-from repro.blas.addsub import accum, axpby, madd, msub
+from repro.blas.addsub import NUMERIC_KERNELS, kernels_for
 from repro.blas.level3 import dgemm
 from repro.blas.validate import copy_on_overlap
 from repro.context import ExecutionContext
@@ -110,10 +110,16 @@ def _resolve(plan, va, vb, vc, buf) -> List[Any]:
     return views
 
 
-def _run_ops(ops, v, st, ctx, nb, backend) -> None:
+def _run_ops(ops, v, st, ctx, nb, backend,
+             em=NUMERIC_KERNELS, accuracy="fast") -> None:
     """The flat replay loop.  ``v`` is the resolved region table; ``st``
     the scalar table ``(alpha, -alpha, beta, -beta)`` — int-coded op
-    scalars index it, float literals pass through."""
+    scalars index it, float literals pass through.  ``em`` is the
+    accuracy-selected block-kernel table and ``accuracy`` the matching
+    base-case discipline, so plan replay dispatches the *same* kernels
+    the recursive driver would for that config (bit-identity per
+    accuracy, not just for "fast")."""
+    madd, msub, accum, axpby = em
     for op in ops:
         code = op[0]
         if code == OP_MADD:
@@ -135,7 +141,7 @@ def _run_ops(ops, v, st, ctx, nb, backend) -> None:
             dgemm(v[ai], v[bi], v[ci],
                   st[al] if al.__class__ is int else al,
                   st[be] if be.__class__ is int else be,
-                  ctx=ctx, nb=nb, backend=backend)
+                  ctx=ctx, nb=nb, backend=backend, accuracy=accuracy)
         elif code == OP_FIXUP:
             _, ai, bi, ci, al, be, side, divisors = op
             fix = apply_fixups if side == "tail" else apply_fixups_head
@@ -184,11 +190,13 @@ def _exec(plan, va, vb, vc, st, ctx, pool, workers, arena=None) -> None:
 
     try:
         v = _resolve(plan, va, vb, vc, buf) if plan.regions else []
+        em = kernels_for(plan.accuracy)
         if fused is not None:
             run_fused(fused, v, st, ctx, buf)
         else:
             _run_ops(plan.ops if ctx.trace else plan.ops_quiet,
-                     v, st, ctx, plan.nb, plan.backend)
+                     v, st, ctx, plan.nb, plan.backend,
+                     em, plan.accuracy)
 
         if plan.branches:
             branches = plan.branches
@@ -215,6 +223,7 @@ def _exec(plan, va, vb, vc, st, ctx, pool, workers, arena=None) -> None:
             _run_ops(
                 plan.epilogue if ctx.trace else plan.epilogue_quiet,
                 v, st, ctx, plan.nb, plan.backend,
+                em, plan.accuracy,
             )
     except BaseException:
         if pooled:

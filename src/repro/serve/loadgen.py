@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import dataclasses
 import time
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -42,6 +42,8 @@ def build_mix(
     seed: int = 0,
     max_dim: int = 48,
     scheme: Optional[str] = None,
+    fast_only: bool = False,
+    dtypes: Optional[Sequence[str]] = None,
 ) -> List[FuzzCase]:
     """A deterministic mix of ``n_shapes`` serveable fuzz cases.
 
@@ -51,12 +53,22 @@ def build_mix(
     zero scalars, mixed dtypes and hostile layouts, stays in the mix.
     ``scheme`` pins every case to one scheme (all other knobs keep
     their drawn values), mirroring ``repro fuzz --scheme``.
+    ``fast_only`` additionally drops cases whose accuracy SLO is not
+    ``"fast"`` — the fused plan path compiles against the fast kernels
+    only, so a fused run must serve a fast-only mix.  ``dtypes``
+    restricts the mix to an allowlist — the network path passes
+    :data:`~repro.api.protocol.WIRE_DTYPES`, since exact dtypes don't
+    travel over the wire.
     """
     rng = np.random.default_rng(seed)
     mix: List[FuzzCase] = []
     while len(mix) < n_shapes:
         case = draw_case(rng, max_dim=max_dim)
         if case.alias != "none":
+            continue
+        if fast_only and case.accuracy != "fast":
+            continue
+        if dtypes is not None and case.dtype not in dtypes:
             continue
         mix.append(case)
     if scheme is not None:
@@ -87,7 +99,7 @@ def _reference(case: FuzzCase, a, b, c, *,
     kwargs = {"plan_cache": plan_cache, "fuse": True} if fuse else {}
     dgefmm(a, b, out, alpha, beta, case.transa, case.transb,
            cutoff=SimpleCutoff(case.tau), scheme=case.scheme,
-           peel=case.peel, **kwargs)
+           peel=case.peel, accuracy=case.accuracy, **kwargs)
     return out
 
 
@@ -108,6 +120,7 @@ def run_load(
     verify: bool = True,
     service: Optional[GemmService] = None,
     canonical_operands: bool = False,
+    dtypes: Optional[Sequence[str]] = None,
 ) -> Dict[str, Any]:
     """Drive a GemmService at ``rate`` req/s for ``duration`` seconds.
 
@@ -130,7 +143,7 @@ def run_load(
     and bit-identity stays assertable end to end.
     """
     mix = build_mix(n_shapes=n_shapes, seed=seed, max_dim=max_dim,
-                    scheme=scheme)
+                    scheme=scheme, fast_only=fuse, dtypes=dtypes)
     operands: List[Tuple[Any, Any, Any]] = []
     expected: List[Optional[np.ndarray]] = []
     ref_cache = PlanCache() if (verify and fuse) else None
@@ -180,6 +193,7 @@ def run_load(
                     block_timeout=request_timeout,
                     cutoff=SimpleCutoff(case.tau),
                     scheme=case.scheme, peel=case.peel,
+                    accuracy=case.accuracy,
                 )
                 inflight.append((idx, fut))
             except ServiceOverloaded:
@@ -234,6 +248,7 @@ def run_load(
         "failures": failures,
         "mix": [
             {"m": c.m, "k": c.k, "n": c.n, "dtype": c.dtype,
+             "accuracy": c.accuracy,
              "scheme": c.scheme, "tau": c.tau,
              "beta_zero": c.scalars()[1] == 0.0}
             for c in mix

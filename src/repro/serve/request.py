@@ -108,8 +108,8 @@ class GemmRequest:
 
     __slots__ = ("a", "b", "c0", "alpha", "beta", "transa", "transb",
                  "m", "k", "n", "dtype", "cutoff", "scheme", "peel",
-                 "nb", "backend", "fuse", "signature", "future",
-                 "deadline", "seq", "t_submit")
+                 "nb", "backend", "fuse", "accuracy", "signature",
+                 "future", "deadline", "seq", "t_submit")
 
     def __init__(
         self,
@@ -127,13 +127,11 @@ class GemmRequest:
         nb: int = DEFAULT_TILE,
         backend: str = "substrate",
         fuse: bool = False,
+        accuracy: str = "fast",
         deadline: Optional[float] = None,
     ) -> None:
         require_matrix("GemmService.submit", "a", a)
         require_matrix("GemmService.submit", "b", b)
-        # one validation point for all five behaviour knobs
-        cfg = GemmConfig(scheme=scheme, peel=peel, cutoff=cutoff,
-                         nb=nb, backend=backend, fuse=fuse)
         m, k = opshape(a, transa)
         kb, n = opshape(b, transb)
         if kb != k:
@@ -165,10 +163,17 @@ class GemmRequest:
         self.m, self.k, self.n = m, k, n
         dt = np.result_type(a, b) if c is None else np.asarray(c).dtype
         self.dtype = np.dtype(dt)
+        # one validation point for all behaviour knobs, the observed
+        # operand dtype included — illegal (dtype, accuracy, scheme)
+        # combinations are rejected here, before the request queues
+        cfg = GemmConfig(scheme=scheme, peel=peel, cutoff=cutoff,
+                         nb=nb, backend=backend, fuse=fuse,
+                         dtype=self.dtype.name, accuracy=accuracy)
         self.cutoff = cutoff
         self.scheme, self.peel = scheme, peel
         self.nb, self.backend = nb, backend
         self.fuse = bool(fuse)
+        self.accuracy = accuracy
         self.deadline = deadline
         self.future = GemmFuture()
         self.seq = -1            # assigned at admission

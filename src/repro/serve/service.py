@@ -197,6 +197,7 @@ class GemmService:
         peel: Optional[str] = None,
         nb: Optional[int] = None,
         fuse: Optional[bool] = None,
+        accuracy: Optional[str] = None,
     ) -> GemmFuture:
         """Queue ``C <- alpha*op(A)*op(B) + beta*C``; returns a future.
 
@@ -210,14 +211,24 @@ class GemmService:
         the future resolves.
 
         The knob arguments (``cutoff``/``scheme``/``peel``/``nb``/
-        ``fuse``) default to None, meaning *no per-request override*:
-        the effective value then comes from the tuned profile resolved
-        for this problem's signature class (when the service has a
-        ``profiles`` store and it holds a matching profile), else from
-        the service defaults.  Passing an explicit value — including
-        ``scheme="auto"`` or ``peel="tail"`` — always wins over both.
-        Resolution happens here, at admission: requests already queued
-        keep their knobs across a profile hot-swap.
+        ``fuse``/``accuracy``) default to None, meaning *no per-request
+        override*: the effective value then comes from the tuned
+        profile resolved for this problem's signature class (when the
+        service has a ``profiles`` store and it holds a matching
+        profile), else from the service defaults.  Passing an explicit
+        value — including ``scheme="auto"`` or ``peel="tail"`` —
+        always wins over both.  Resolution happens here, at admission:
+        requests already queued keep their knobs across a profile
+        hot-swap.
+
+        ``accuracy`` is the request's accuracy SLO (one of
+        :data:`repro.core.config.ACCURACIES`); unset, it defaults to
+        the profile's, else to the dtype's natural discipline
+        (``"exact"`` for integer/object operands, ``"fast"``
+        otherwise).  A non-``"fast"`` resolution silently drops a
+        *defaulted* fuse knob (fused programs are compiled for the fast
+        kernels only) — an *explicit* ``fuse=True`` conflict is
+        rejected at validation instead.
 
         Raises :class:`~repro.errors.ServiceOverloaded` (full queue,
         ``"reject"`` policy or ``"block"`` timeout),
@@ -233,6 +244,30 @@ class GemmService:
         prof = self._resolve_profile(a, b, c, transa, transb, beta)
         if prof is not None:
             self._m_profile.inc()
+        # accuracy SLO: explicit > tuned profile > dtype default
+        resolved_accuracy = accuracy
+        if resolved_accuracy is None and prof is not None:
+            resolved_accuracy = getattr(prof, "accuracy", None)
+        if resolved_accuracy is None:
+            try:
+                from repro.blas.dtypes import (
+                    canonical_dtype,
+                    default_accuracy,
+                )
+
+                dt = (np.asarray(c).dtype if c is not None and beta != 0.0
+                      else np.result_type(a, b))
+                resolved_accuracy = default_accuracy(canonical_dtype(dt))
+            except Exception:  # noqa: BLE001 — let GemmRequest diagnose
+                resolved_accuracy = "fast"
+        resolved_fuse = fuse if fuse is not None else (
+            prof.fuse if prof is not None else self.fuse
+        )
+        if fuse is None and resolved_accuracy != "fast":
+            # fused programs exist for the fast kernels only; a
+            # defaulted fuse yields to the accuracy SLO (an explicit
+            # fuse=True conflict is a validation error downstream)
+            resolved_fuse = False
         req = GemmRequest(
             a, b, c, alpha, beta, transa, transb,
             cutoff=cutoff if cutoff is not None else (
@@ -248,9 +283,8 @@ class GemmService:
                 prof.nb if prof is not None else DEFAULT_TILE
             ),
             backend=prof.backend if prof is not None else "substrate",
-            fuse=fuse if fuse is not None else (
-                prof.fuse if prof is not None else self.fuse
-            ),
+            fuse=resolved_fuse,
+            accuracy=resolved_accuracy,
             deadline=deadline,
         )
         self._h_queue_depth.observe(self._queue.depth)
@@ -405,6 +439,7 @@ class GemmService:
         f = "fused" if req.fuse else "interp"
         return (
             f"{req.m}x{req.k}x{req.n}:{req.dtype}:{b}:{req.scheme}:{f}"
+            f":{req.accuracy}"
         )
 
     def _record_signature(self, req: GemmRequest, latency_ms: float) -> None:
@@ -427,6 +462,7 @@ class GemmService:
                         "beta_zero": req.beta == 0.0,
                         "scheme": req.scheme,
                         "fuse": req.fuse,
+                        "accuracy": req.accuracy,
                         "count": 0,
                     }
             meta["count"] += 1
@@ -447,7 +483,8 @@ class GemmService:
             # degenerate problem: the driver's conformant early-outs
             dgefmm(req.a, req.b, out, req.alpha, req.beta,
                    req.transa, req.transb, cutoff=req.cutoff,
-                   scheme=req.scheme, peel=req.peel, ctx=wctx)
+                   scheme=req.scheme, peel=req.peel,
+                   accuracy=req.accuracy, ctx=wctx)
         else:
             opa = req.a.T if req.transa else req.a
             opb = req.b.T if req.transb else req.b

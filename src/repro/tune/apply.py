@@ -32,12 +32,13 @@ def _reference(a: np.ndarray, b: np.ndarray, cfg: GemmConfig,
     """Direct dgefmm under ``cfg`` through the plan path (the serving
     path's ground truth — fused configs must be verified against fused
     replay, which only the plan path executes)."""
-    c = np.zeros((a.shape[0], b.shape[1]), order="F")
+    c = np.zeros((a.shape[0], b.shape[1]),
+                 dtype=np.result_type(a, b), order="F")
     dgefmm(
         a, b, c,
         cutoff=cfg.cutoff, scheme=cfg.scheme, peel=cfg.peel,
         nb=cfg.nb, backend=cfg.backend,
-        plan_cache=cache, fuse=cfg.fuse,
+        plan_cache=cache, fuse=cfg.fuse, accuracy=cfg.accuracy,
     )
     return c
 

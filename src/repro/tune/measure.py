@@ -79,7 +79,8 @@ def time_config(
     signature.
     """
     cache = plan_cache if plan_cache is not None else PlanCache(max_plans=8)
-    a, b, c0, beta = make_operands(m, k, n, seed=seed, beta_zero=beta_zero)
+    a, b, c0, beta = make_operands(m, k, n, seed=seed, beta_zero=beta_zero,
+                                   dtype=config.dtype)
     c = np.array(c0, order="F", copy=True)
 
     def run() -> None:
@@ -95,6 +96,7 @@ def time_config(
             backend=config.backend,
             plan_cache=cache,
             fuse=config.fuse,
+            accuracy=config.accuracy,
         )
 
     med, _ = time_call(run, repeats=repeats)

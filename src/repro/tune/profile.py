@@ -151,6 +151,7 @@ class TunedProfile:
     nb: int = DEFAULT_TILE
     backend: str = "substrate"
     fuse: bool = False
+    accuracy: str = "fast"
     version: int = 1
     created: str = ""
     host: Dict[str, Any] = field(default_factory=dict)
@@ -174,10 +175,17 @@ class TunedProfile:
 
     # ------------------------------------------------------------------ #
     def to_config(self) -> GemmConfig:
-        """The frozen, validated config these knobs encode."""
+        """The frozen, validated config these knobs encode.
+
+        Validates under the default (float64) dtype, which restricts
+        profile accuracies to ``"fast"``/``"compensated"`` — the exact
+        discipline is never *tuned into* a profile, it follows from the
+        request's dtype at admission.
+        """
         return GemmConfig(
             scheme=self.scheme, peel=self.peel, cutoff=self.cutoff,
             nb=self.nb, backend=self.backend, fuse=self.fuse,
+            accuracy=self.accuracy,
         )
 
     def to_json(self) -> Dict[str, Any]:
@@ -191,6 +199,7 @@ class TunedProfile:
             "nb": self.nb,
             "backend": self.backend,
             "fuse": self.fuse,
+            "accuracy": self.accuracy,
             "version": self.version,
             "created": self.created,
             "host": dict(self.host),
@@ -215,6 +224,9 @@ class TunedProfile:
             nb=int(doc.get("nb", DEFAULT_TILE)),
             backend=doc.get("backend", "substrate"),
             fuse=bool(doc.get("fuse", False)),
+            # documents written before the precision dimension carry no
+            # accuracy key; they decode to the fast discipline
+            accuracy=doc.get("accuracy", "fast"),
             version=int(doc.get("version", 1)),
             created=doc.get("created", ""),
             host=dict(doc.get("host", {})),

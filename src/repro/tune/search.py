@@ -27,6 +27,7 @@ construction), and whatever has been measured is ranked.
 
 from __future__ import annotations
 
+import dataclasses
 import datetime
 import time
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
@@ -141,6 +142,7 @@ def tune_class(
     n: int,
     *,
     dtype: str = "float64",
+    accuracy: str = "fast",
     beta_zero: bool = True,
     budget_s: float = 30.0,
     grid: Optional[Sequence[GemmConfig]] = None,
@@ -159,6 +161,12 @@ def tune_class(
     ``budget_s`` wall seconds.  The returned profile carries the
     measurement evidence (``tuned_s``, ``default_s``, ``speedup``,
     predicted-cost rank of the winner) and this host's fingerprint.
+
+    ``dtype``/``accuracy`` pin the precision class being tuned: every
+    candidate is probed with operands of that dtype under that rounding
+    discipline (fused candidates drop out for non-fast accuracies —
+    fused programs are compiled for the fast kernels only), and the
+    winning profile carries the accuracy so admission resolves it.
     """
     if budget_s <= 0:
         raise ArgumentError(
@@ -167,6 +175,11 @@ def tune_class(
     t_start = time.monotonic()
     deadline = t_start + budget_s
     candidates = list(grid) if grid is not None else default_grid()
+    candidates = [
+        dataclasses.replace(cfg, dtype=dtype, accuracy=accuracy)
+        for cfg in candidates
+        if not (cfg.fuse and accuracy != "fast")
+    ]
 
     # cheap model-predicted ordering: if the deadline truncates a rung,
     # the unmeasured tail is the predictably-worst part of the grid
@@ -185,7 +198,7 @@ def tune_class(
             beta_zero=beta_zero, repeats=repeats, plan_cache=cache,
         )
 
-    default_cfg = GemmConfig()
+    default_cfg = GemmConfig(dtype=dtype, accuracy=accuracy)
     default_s = measure(default_cfg, max(rungs))
 
     best_cfg, best_s, trace = successive_halving(
@@ -211,12 +224,14 @@ def tune_class(
         nb=best_cfg.nb,
         backend=best_cfg.backend,
         fuse=best_cfg.fuse,
+        accuracy=best_cfg.accuracy,
         version=version,
         created=datetime.datetime.now(datetime.timezone.utc).isoformat(),
         host=host_fingerprint(),
         measured={
             "m": m, "k": k, "n": n,
             "dtype": dtype, "beta_zero": beta_zero,
+            "accuracy": accuracy,
             "tuned_s": best_s,
             "default_s": default_s,
             "speedup": default_s / best_s if best_s > 0 else None,

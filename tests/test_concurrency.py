@@ -19,11 +19,12 @@ import numpy as np
 import pytest
 
 from repro.context import ExecutionContext
+from repro.core.config import GemmConfig
 from repro.core.cutoff import SimpleCutoff
 from repro.core.dgefmm import dgefmm
 from repro.core.parallel import pdgefmm
 from repro.plan.cache import PlanCache
-from repro.plan.compiler import PlanSignature, compile_plan
+from repro.plan.compiler import compile_plan, signature_for
 
 
 def _run_threads(n, fn):
@@ -156,9 +157,9 @@ class TestPlanCacheConcurrency:
         sigs = []
         for i in range(count):
             m = 16 + 3 * i
-            sigs.append(PlanSignature(
+            sigs.append(signature_for(
                 "serial", m, m + 1, m + 2, False, False, False, True,
-                "float64", "auto", "tail", crit, 64, "substrate",
+                "float64", GemmConfig(cutoff=crit, nb=64),
             ))
         return sigs
 

@@ -15,6 +15,7 @@ import pytest
 
 from repro.blas.level3 import DEFAULT_TILE
 from repro.context import ExecutionContext
+from repro.core.config import GemmConfig
 from repro.core.cutoff import DepthCutoff, HybridCutoff, SimpleCutoff
 from repro.core.dgefmm import dgefmm, zgefmm
 from repro.core.parallel import pdgefmm
@@ -26,6 +27,7 @@ from repro.plan import (
     PlanSignature,
     compile_plan,
     execute_plan,
+    signature_for,
 )
 
 #: grid of op-shapes: powers of two, odd, prime, thin, and degenerate
@@ -45,10 +47,13 @@ CUT = SimpleCutoff(8)
 
 
 def _sig(m, k, n, beta=0.0, scheme="auto", peel="tail", cutoff=CUT,
-         dtype="float64", kind="serial", depth=0, fuse=False):
-    return PlanSignature(kind, m, k, n, False, False, False, beta == 0.0,
-                         dtype, scheme, peel, cutoff, DEFAULT_TILE,
-                         "substrate", fuse=fuse, max_parallel_depth=depth)
+         dtype="float64", kind="serial", depth=0, fuse=False,
+         accuracy="fast"):
+    cfg = GemmConfig(scheme=scheme, peel=peel, cutoff=cutoff,
+                     nb=DEFAULT_TILE, backend="substrate", fuse=fuse,
+                     dtype=dtype, accuracy=accuracy)
+    return signature_for(kind, m, k, n, False, False, False, beta == 0.0,
+                         dtype, cfg, max_parallel_depth=depth)
 
 
 class TestExactnessCrossCheck:
@@ -129,9 +134,8 @@ class TestExactnessCrossCheck:
     def test_alpha_zero_class(self, rng):
         """alpha == 0 compiles to the degenerate C <- beta*C plan."""
         m, k, n = 24, 24, 24
-        sig = PlanSignature("serial", m, k, n, False, False, True, False,
-                            "float64", "auto", "tail", CUT, DEFAULT_TILE,
-                            "substrate")
+        sig = signature_for("serial", m, k, n, False, False, True, False,
+                            "float64", GemmConfig(cutoff=CUT))
         plan = compile_plan(sig)
         assert plan.counts["base"] == 0
         c_rec = np.asfortranarray(rng.standard_normal((m, n)))
@@ -468,6 +472,7 @@ class TestSignatureCompleteness:
             ("nb", dict(nb=DEFAULT_TILE // 2)),
             ("dtype", dict(dtype="float32")),
             ("dtype-complex", dict(dtype="complex128")),
+            ("accuracy", dict(accuracy="compensated")),
             ("cutoff", dict(cutoff=SimpleCutoff(6))),
             ("backend", dict(backend="vendor")),
             ("fuse", dict(fuse=True)),

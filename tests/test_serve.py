@@ -639,12 +639,12 @@ class TestSignatureBreakdown:
             st = svc.stats()
         sigs = st["signatures"]
         assert len(sigs) == 2
-        big = sigs["16x16x16:float64:b0:auto:interp"]
+        big = sigs["16x16x16:float64:b0:auto:interp:fast"]
         assert big["count"] == 3
         assert big["m"] == 16 and big["beta_zero"] is True
         assert big["latency_ms"]["count"] == 3
         assert big["latency_ms"]["mean"] > 0.0
-        assert sigs["4x4x4:float64:b0:auto:interp"]["count"] == 1
+        assert sigs["4x4x4:float64:b0:auto:interp:fast"]["count"] == 1
         json.dumps(st)  # the breakdown must stay JSON-clean
 
     def test_degenerate_traffic_buckets_separately(self):
